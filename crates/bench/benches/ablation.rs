@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Curve choice in HCAM** — Hilbert vs Z-order vs Gray-coded order,
+//!   measured as *quality* (total response time of exhaustive small-square
+//!   placements, reported via Criterion's time for computing it) and as
+//!   construction cost.
+//! * **ECC parity-check construction** — shortened Hamming vs the
+//!   repeated-column fallback.
+//! * **Search symmetry breaking** — the strict search with and without
+//!   disk-relabelling symmetry breaking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decluster_ecc::BitMatrix;
+use decluster_grid::{GridSpace, RangeQuery};
+use decluster_methods::{
+    AllocationMap, CurveAlloc, CurveKind, DeclusteringMethod, Hcam,
+};
+use decluster_theory::search::StrictSearch;
+use std::hint::black_box;
+
+fn total_small_square_rt(space: &GridSpace, method: &dyn DeclusteringMethod) -> u64 {
+    let map = AllocationMap::from_method(space, method).expect("materializes");
+    let mut total = 0;
+    for r in 0..space.dim(0) - 1 {
+        for c in 0..space.dim(1) - 1 {
+            let region = RangeQuery::new([r, c], [r + 1, c + 1])
+                .expect("query")
+                .region(space)
+                .expect("fits");
+            total += map.response_time(&region);
+        }
+    }
+    total
+}
+
+fn bench_curve_choice_quality(c: &mut Criterion) {
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let m = 8;
+    let mut group = c.benchmark_group("ablation_curve_quality_2x2_sweep");
+    group.bench_function("hilbert", |b| {
+        let method = Hcam::new(&space, m).expect("hcam");
+        b.iter(|| black_box(total_small_square_rt(&space, &method)))
+    });
+    group.bench_function("morton", |b| {
+        let method = CurveAlloc::new(&space, m, CurveKind::Morton).expect("zcam");
+        b.iter(|| black_box(total_small_square_rt(&space, &method)))
+    });
+    group.bench_function("gray", |b| {
+        let method = CurveAlloc::new(&space, m, CurveKind::Gray).expect("graycam");
+        b.iter(|| black_box(total_small_square_rt(&space, &method)))
+    });
+    group.finish();
+}
+
+fn bench_curve_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_curve_construction_128x128");
+    group.sample_size(10);
+    for (label, kind) in [("morton", CurveKind::Morton), ("gray", CurveKind::Gray)] {
+        group.bench_function(label, |b| {
+            b.iter_with_setup(
+                || GridSpace::new_2d(128, 128).expect("grid"),
+                |space| black_box(CurveAlloc::new(&space, 16, kind).expect("builds")),
+            )
+        });
+    }
+    group.bench_function("hilbert", |b| {
+        b.iter_with_setup(
+            || GridSpace::new_2d(128, 128).expect("grid"),
+            |space| black_box(Hcam::new(&space, 16).expect("builds")),
+        )
+    });
+    group.finish();
+}
+
+fn bench_ecc_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ecc_parity_check");
+    // Hamming applies when n <= 2^r - 1; the cyclic fallback always does.
+    group.bench_with_input(BenchmarkId::new("hamming", "r4_n12"), &(), |b, ()| {
+        b.iter(|| black_box(BitMatrix::hamming_parity_check(4, 12).expect("shape ok")))
+    });
+    group.bench_with_input(BenchmarkId::new("cyclic", "r4_n12"), &(), |b, ()| {
+        b.iter(|| black_box(BitMatrix::cyclic_parity_check(4, 12).expect("shape ok")))
+    });
+    group.bench_with_input(BenchmarkId::new("cyclic", "r2_n12"), &(), |b, ()| {
+        b.iter(|| black_box(BitMatrix::cyclic_parity_check(2, 12).expect("shape ok")))
+    });
+    group.finish();
+}
+
+fn bench_search_symmetry_breaking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_search_symmetry");
+    group.sample_size(10);
+    for m in [4u32, 5] {
+        let window = m + 1;
+        group.bench_with_input(BenchmarkId::new("with", m), &m, |b, &m| {
+            b.iter(|| black_box(StrictSearch::new(window, window, m).run()))
+        });
+        group.bench_with_input(BenchmarkId::new("without", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(
+                    StrictSearch::new(window, window, m)
+                        .without_symmetry_breaking()
+                        .run(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_curve_choice_quality,
+        bench_curve_construction,
+        bench_ecc_construction,
+        bench_search_symmetry_breaking,
+);
+criterion_main!(ablation);

@@ -1,0 +1,157 @@
+//! Storage-engine benchmarks: record routing and insertion, sequential
+//! vs per-disk-parallel scans, dynamic grid-file loading, the multi-user
+//! loop, and the local-search optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decluster_file::DeclusteredFile;
+use decluster_grid::{
+    AttributeDomain, GridDirectory, GridFile, GridSchema, GridSpace, Record, Value,
+    ValueRangeQuery,
+};
+use decluster_methods::{
+    optimize_allocation, AllocationMap, DeclusteringMethod, DiskModulo, Hcam, LocalSearchConfig,
+    MethodKind,
+};
+use decluster_sim::workload::random_region;
+use decluster_sim::{run_closed_loop, DiskParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn schema() -> GridSchema {
+    GridSchema::uniform(
+        vec![
+            AttributeDomain::int("x", 0, 9_999),
+            AttributeDomain::int("y", 0, 9_999),
+        ],
+        32,
+    )
+    .expect("schema builds")
+}
+
+fn records(n: usize) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(4);
+    (0..n)
+        .map(|_| {
+            Record::new(vec![
+                Value::Int(rng.gen_range(0..10_000)),
+                Value::Int(rng.gen_range(0..10_000)),
+            ])
+        })
+        .collect()
+}
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    let data = records(10_000);
+    let mut group = c.benchmark_group("engine_insert_10k");
+    group.throughput(Throughput::Elements(10_000));
+    group.sample_size(10);
+    group.bench_function("declustered_file_hcam", |b| {
+        b.iter_with_setup(
+            || DeclusteredFile::create(schema(), MethodKind::Hcam, 8).expect("file builds"),
+            |mut file| {
+                for r in &data {
+                    file.insert(r.clone()).expect("in domain");
+                }
+                black_box(file.len())
+            },
+        )
+    });
+    group.bench_function("grid_file_dynamic", |b| {
+        b.iter_with_setup(
+            || {
+                GridFile::new(
+                    vec![
+                        AttributeDomain::int("x", 0, 9_999),
+                        AttributeDomain::int("y", 0, 9_999),
+                    ],
+                    64,
+                )
+                .expect("grid file builds")
+            },
+            |mut gf| {
+                for r in &data {
+                    gf.insert(r.clone()).expect("in domain");
+                }
+                black_box(gf.len())
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench_scan_modes(c: &mut Criterion) {
+    let mut file = DeclusteredFile::create(schema(), MethodKind::Hcam, 8).expect("file builds");
+    for r in records(50_000) {
+        file.insert(r).expect("in domain");
+    }
+    let query = ValueRangeQuery::new(vec![
+        Some((Value::Int(1_000), Value::Int(6_000))),
+        Some((Value::Int(2_000), Value::Int(8_000))),
+    ])
+    .expect("query builds");
+    let mut group = c.benchmark_group("engine_scan_50k_records");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(file.scan(&query).expect("scans").records.len()))
+    });
+    group.bench_function("parallel_per_disk", |b| {
+        b.iter(|| black_box(file.scan_parallel(&query).expect("scans").records.len()))
+    });
+    group.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let hcam = Hcam::new(&space, 8).expect("hcam builds");
+    let dir = GridDirectory::build(space.clone(), 8, |b| hcam.disk_of(b.as_slice()));
+    let params = DiskParams::default();
+    let mut rng = StdRng::seed_from_u64(6);
+    let queries: Vec<_> = (0..200)
+        .map(|_| random_region(&mut rng, &space, &[3, 3]).expect("fits"))
+        .collect();
+    let mut group = c.benchmark_group("engine_closed_loop_200q");
+    for clients in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| black_box(run_closed_loop(&dir, &params, &queries, clients)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let space = GridSpace::new_2d(16, 16).expect("grid");
+    let start =
+        AllocationMap::from_method(&space, &DiskModulo::new(&space, 8).expect("dm")).expect("map");
+    let mut rng = StdRng::seed_from_u64(2);
+    let sample: Vec<_> = (0..100)
+        .map(|_| random_region(&mut rng, &space, &[2, 2]).expect("fits"))
+        .collect();
+    c.bench_function("engine_local_search_20k_moves", |b| {
+        b.iter(|| {
+            black_box(
+                optimize_allocation(
+                    &space,
+                    &start,
+                    &sample,
+                    LocalSearchConfig {
+                        iterations: 20_000,
+                        seed: 3,
+                    },
+                )
+                .expect("search runs"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert_throughput, bench_scan_modes, bench_closed_loop, bench_optimizer,
+);
+criterion_main!(engine);

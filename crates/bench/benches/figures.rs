@@ -1,0 +1,112 @@
+//! One Criterion benchmark per reproduced table/figure: each measures the
+//! wall-clock cost of regenerating that experiment's data series at a
+//! reduced query budget (the `repro` binary runs the full-budget version;
+//! these keep the figure pipelines honest and trackable over time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decluster_grid::GridSpace;
+use decluster_sim::workload::{ShapeSweep, SizeSweep};
+use decluster_sim::{DbSizePoint, Experiment};
+use std::hint::black_box;
+
+const QUERIES: usize = 50;
+
+fn experiment_2d() -> Experiment {
+    Experiment::new(GridSpace::new_2d(64, 64).expect("grid"), 16)
+        .with_queries_per_point(QUERIES)
+        .with_seed(1994)
+}
+
+fn bench_e1_query_size(c: &mut Criterion) {
+    let exp = experiment_2d();
+    let sweep = SizeSweep::explicit(vec![1, 4, 16, 64, 256, 1024]);
+    c.bench_function("e1_query_size_sweep", |b| {
+        b.iter(|| black_box(exp.run_size_sweep(&sweep).expect("runs")))
+    });
+}
+
+fn bench_e2_shape(c: &mut Criterion) {
+    let exp = experiment_2d();
+    let sweep = ShapeSweep::new(64, 6);
+    c.bench_function("e2_shape_sweep", |b| {
+        b.iter(|| black_box(exp.run_shape_sweep(&sweep).expect("runs")))
+    });
+}
+
+fn bench_e3_three_attrs(c: &mut Criterion) {
+    let exp = Experiment::new(GridSpace::new_cube(3, 16).expect("cube"), 16)
+        .with_queries_per_point(QUERIES)
+        .with_seed(1994);
+    let sweep = SizeSweep::explicit(vec![8, 64, 512]);
+    c.bench_function("e3_three_attribute_sweep", |b| {
+        b.iter(|| black_box(exp.run_size_sweep(&sweep).expect("runs")))
+    });
+}
+
+fn bench_e4_disks_small(c: &mut Criterion) {
+    let exp = experiment_2d();
+    c.bench_function("e4_disk_sweep_small_queries", |b| {
+        b.iter(|| black_box(exp.run_disk_sweep(&[4, 8, 16, 32], 4).expect("runs")))
+    });
+}
+
+fn bench_e5_disks_large(c: &mut Criterion) {
+    let exp = experiment_2d();
+    c.bench_function("e5_disk_sweep_large_queries", |b| {
+        b.iter(|| black_box(exp.run_disk_sweep(&[4, 8, 16, 32], 256).expect("runs")))
+    });
+}
+
+fn bench_e6_dbsize(c: &mut Criterion) {
+    let exp = experiment_2d();
+    let points: Vec<DbSizePoint> = [16u32, 32, 64]
+        .iter()
+        .map(|&side| DbSizePoint {
+            side,
+            query_side: (side / 8).max(1),
+        })
+        .collect();
+    c.bench_function("e6_dbsize_sweep", |b| {
+        b.iter(|| black_box(exp.run_dbsize_sweep(&points).expect("runs")))
+    });
+}
+
+fn bench_t2_partial_match(c: &mut Criterion) {
+    let exp = experiment_2d();
+    c.bench_function("t2_partial_match_sweep", |b| {
+        b.iter(|| black_box(exp.run_partial_match().expect("runs")))
+    });
+}
+
+fn bench_t1_prediction_check(c: &mut Criterion) {
+    use decluster_methods::{AllocationMap, DiskModulo};
+    use decluster_sim::workload::all_partial_match_queries;
+    use decluster_theory::partial_match::{check_prediction, dm_predicts_optimal};
+    // T1 on a 16x16 grid (the 64x64 version is the repro binary's job).
+    let space = GridSpace::new_2d(16, 16).expect("grid");
+    let alloc =
+        AllocationMap::from_method(&space, &DiskModulo::new(&space, 8).expect("dm")).expect("map");
+    let queries = all_partial_match_queries(&space);
+    c.bench_with_input(
+        BenchmarkId::new("t1_dm_prediction_check", queries.len()),
+        &queries,
+        |b, queries| {
+            b.iter(|| black_box(check_prediction(&alloc, queries, dm_predicts_optimal)))
+        },
+    );
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_e1_query_size,
+        bench_e2_shape,
+        bench_e3_three_attrs,
+        bench_e4_disks_small,
+        bench_e5_disks_large,
+        bench_e6_dbsize,
+        bench_t2_partial_match,
+        bench_t1_prediction_check,
+);
+criterion_main!(figures);

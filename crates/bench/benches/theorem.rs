@@ -1,0 +1,57 @@
+//! Benchmarks for the impossibility machinery: the exhaustive strict
+//! search (per disk count) and the strict-optimality verifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decluster_grid::GridSpace;
+use decluster_methods::AllocationMap;
+use decluster_theory::impossibility::decisive_window;
+use decluster_theory::search::StrictSearch;
+use decluster_theory::strict::{known_strict_allocation, verify_strictly_optimal};
+use std::hint::black_box;
+
+fn bench_thm_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm_strict_search");
+    for m in [2u32, 4, 5, 6, 8] {
+        let (rows, cols) = decisive_window(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(
+                    StrictSearch::new(rows, cols, m)
+                        .with_node_budget(500_000_000)
+                        .run(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strict_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm_strict_verifier");
+    for side in [8u32, 12, 16] {
+        let space = GridSpace::new_2d(side, side).expect("grid");
+        let alloc = known_strict_allocation(&space, 5).expect("lattice");
+        group.bench_with_input(BenchmarkId::from_parameter(side), &alloc, |b, alloc| {
+            b.iter(|| black_box(verify_strictly_optimal(alloc).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_counterexample_hunt(c: &mut Criterion) {
+    // How fast the verifier finds the first violation for a non-optimal
+    // allocation (DM at M=16).
+    let space = GridSpace::new_2d(16, 16).expect("grid");
+    let dm = decluster_methods::DiskModulo::new(&space, 16).expect("dm");
+    let alloc = AllocationMap::from_method(&space, &dm).expect("map");
+    c.bench_function("thm_counterexample_hunt_dm16", |b| {
+        b.iter(|| black_box(verify_strictly_optimal(&alloc).is_err()))
+    });
+}
+
+criterion_group!(
+    name = theorem;
+    config = Criterion::default().sample_size(10);
+    targets = bench_thm_search, bench_strict_verifier, bench_counterexample_hunt,
+);
+criterion_main!(theorem);

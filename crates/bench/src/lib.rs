@@ -1,0 +1,1 @@
+//! Criterion benchmark harnesses for the paper reproduction; see `benches/`.

@@ -1,0 +1,140 @@
+use crate::{AllocationMap, DeclusteringMethod, MethodError, MethodRegistry, Result};
+use decluster_grid::{BucketRegion, GridSpace};
+
+/// The advisor's verdict: the winning method and the per-method average
+/// response times it was based on.
+#[derive(Debug)]
+pub struct Advice {
+    /// Name of the recommended method.
+    pub winner: &'static str,
+    /// `(method name, average response time over the sample)` for every
+    /// candidate, sorted best-first.
+    pub ranking: Vec<(&'static str, f64)>,
+    /// The winning method, materialized and ready to use.
+    pub allocation: AllocationMap,
+}
+
+/// Picks the best declustering method for a sampled workload.
+///
+/// The paper's conclusion operationalized: *"information about common
+/// queries on a relation ought to be used in deciding the declustering for
+/// it"*. Every candidate the registry can build for `(space, m)` is
+/// materialized and scored by its mean response time over `sample`; the
+/// lowest mean wins (ties break toward the earlier candidate, i.e. the
+/// paper's listing order DM, FX, ECC, HCAM).
+///
+/// # Errors
+/// [`MethodError::EmptyWorkload`] for an empty sample, and
+/// [`MethodError::UnsupportedGrid`] if no candidate applies at all.
+pub fn advise(space: &GridSpace, m: u32, sample: &[BucketRegion]) -> Result<Advice> {
+    if sample.is_empty() {
+        return Err(MethodError::EmptyWorkload);
+    }
+    let registry = MethodRegistry::default();
+    let mut scored: Vec<(&'static str, f64, AllocationMap)> = Vec::new();
+    for method in registry.paper_methods(space, m) {
+        let map = AllocationMap::from_method(space, method.as_ref())?;
+        let total: u64 = sample.iter().map(|r| map.response_time(r)).sum();
+        let mean = total as f64 / sample.len() as f64;
+        scored.push((map.name(), mean, map));
+    }
+    if scored.is_empty() {
+        return Err(MethodError::UnsupportedGrid {
+            method: "advisor",
+            reason: format!("no declustering method applies to this grid with M = {m}"),
+        });
+    }
+    // Stable sort keeps listing order on ties.
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("means are finite"));
+    let ranking = scored.iter().map(|(n, s, _)| (*n, *s)).collect();
+    let (winner, _, allocation) = scored.swap_remove(0);
+    Ok(Advice {
+        winner,
+        ranking,
+        allocation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_grid::{PartialMatchQuery, RangeQuery};
+
+    fn regions_of_rows(space: &GridSpace) -> Vec<BucketRegion> {
+        // Partial-match-style row queries: DM is provably optimal here.
+        (0..space.dim(0))
+            .map(|r| {
+                PartialMatchQuery::new(vec![Some(r), None])
+                    .unwrap()
+                    .region(space)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn advisor_picks_dm_for_row_partial_match_workload() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let advice = advise(&space, 16, &regions_of_rows(&space)).unwrap();
+        // DM achieves the optimum RT = 1 on every row query; it must win
+        // (possibly tied, in which case listing order keeps it first).
+        assert_eq!(advice.winner, "DM");
+        let dm_score = advice.ranking.iter().find(|(n, _)| *n == "DM").unwrap().1;
+        assert_eq!(dm_score, 1.0);
+    }
+
+    #[test]
+    fn advisor_prefers_spatial_methods_for_small_squares() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        // 2x2 squares tiled over the grid: DM wastes parallelism on the
+        // anti-diagonal, HCAM/ECC/FX do better on average.
+        let mut sample = Vec::new();
+        for r in (0..15).step_by(3) {
+            for c in (0..15).step_by(3) {
+                sample.push(
+                    RangeQuery::new([r, c], [r + 1, c + 1])
+                        .unwrap()
+                        .region(&space)
+                        .unwrap(),
+                );
+            }
+        }
+        let advice = advise(&space, 16, &sample).unwrap();
+        assert_ne!(advice.winner, "DM");
+        let dm = advice.ranking.iter().find(|(n, _)| *n == "DM").unwrap().1;
+        let win = advice.ranking[0].1;
+        assert!(win < dm, "winner {} ({win}) should beat DM ({dm})", advice.winner);
+    }
+
+    #[test]
+    fn advisor_rejects_empty_sample() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        assert!(matches!(
+            advise(&space, 4, &[]).unwrap_err(),
+            MethodError::EmptyWorkload
+        ));
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let sample = regions_of_rows(&space);
+        let advice = advise(&space, 4, &sample).unwrap();
+        assert_eq!(advice.ranking.len(), 4); // DM, FX, ECC, HCAM all apply
+        for w in advice.ranking.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(advice.ranking[0].0, advice.winner);
+        // The returned allocation is the winner's.
+        assert_eq!(advice.allocation.name(), advice.winner);
+    }
+
+    #[test]
+    fn non_power_of_two_disks_still_advises() {
+        let space = GridSpace::new_2d(9, 9).unwrap();
+        let sample = regions_of_rows(&space);
+        // ECC can't build here; the others compete.
+        let advice = advise(&space, 3, &sample).unwrap();
+        assert_eq!(advice.ranking.len(), 3);
+    }
+}

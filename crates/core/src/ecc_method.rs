@@ -1,0 +1,245 @@
+use crate::{DeclusteringMethod, MethodError, Result};
+use decluster_ecc::{BinaryLinearCode, BitMatrix};
+use decluster_grid::{DiskId, GridSpace};
+
+/// Error-Correcting-Code (ECC) declustering, Faloutsos & Metaxas (IEEE
+/// Transactions on Computers, 1991).
+///
+/// Requires every `d_i` and `M` to be powers of two. A bucket's
+/// coordinates are concatenated into an `n`-bit word
+/// (`n = Σ log2(d_i)`); the `M = 2^r` disks are the cosets of an
+/// `[n, n−r]` binary linear code, and the bucket's disk is the syndrome of
+/// its word under the code's parity-check matrix. Disk 0 holds exactly the
+/// codewords — buckets on one disk differ in at least `d_min` coordinate
+/// bits, spreading similar buckets across disks.
+///
+/// The parity-check equations come from a shortened-Hamming construction
+/// (`d_min ≥ 3`) when `n ≤ 2^r − 1`, falling back to a full-rank
+/// repeated-column construction (`d_min = 2`) for wider words — the
+/// programmatic stand-in for the Reza `[20]` code tables the original paper
+/// reads equations from (DESIGN.md §4).
+#[derive(Clone, Debug)]
+pub struct EccDecluster {
+    m: u32,
+    /// Bits consumed by each dimension (log2 d_i).
+    dim_bits: Vec<u32>,
+    /// `None` for the trivial single-disk case (`M = 1`).
+    code: Option<BinaryLinearCode>,
+}
+
+impl EccDecluster {
+    /// Creates an ECC instance for `space` over `m` disks.
+    ///
+    /// # Errors
+    /// * [`MethodError::NotPowerOfTwo`] if `m` or any `d_i` is not a power
+    ///   of two.
+    /// * [`MethodError::UnsupportedGrid`] if the grid has fewer buckets
+    ///   than disks (the syndrome map cannot be onto).
+    pub fn new(space: &GridSpace, m: u32) -> Result<Self> {
+        if m == 0 {
+            return Err(MethodError::ZeroDisks);
+        }
+        if !m.is_power_of_two() {
+            return Err(MethodError::NotPowerOfTwo {
+                what: "number of disks".into(),
+                value: u64::from(m),
+            });
+        }
+        let mut dim_bits = Vec::with_capacity(space.k());
+        for (i, &d) in space.dims().iter().enumerate() {
+            if !d.is_power_of_two() {
+                return Err(MethodError::NotPowerOfTwo {
+                    what: format!("partitions on dimension {i}"),
+                    value: u64::from(d),
+                });
+            }
+            dim_bits.push(d.trailing_zeros());
+        }
+        let n: u32 = dim_bits.iter().sum();
+        let r = m.trailing_zeros();
+        if m == 1 {
+            return Ok(EccDecluster {
+                m,
+                dim_bits,
+                code: None,
+            });
+        }
+        if n < r {
+            return Err(MethodError::UnsupportedGrid {
+                method: "ECC",
+                reason: format!(
+                    "grid has 2^{n} buckets, fewer than M = 2^{r} disks"
+                ),
+            });
+        }
+        let h = if u128::from(n) < (1u128 << r) {
+            BitMatrix::hamming_parity_check(r, n as usize)?
+        } else {
+            BitMatrix::cyclic_parity_check(r, n as usize)?
+        };
+        let code = BinaryLinearCode::from_parity_check(h)?;
+        Ok(EccDecluster {
+            m,
+            dim_bits,
+            code: Some(code),
+        })
+    }
+
+    /// The underlying code, if `M > 1`.
+    pub fn code(&self) -> Option<&BinaryLinearCode> {
+        self.code.as_ref()
+    }
+
+    /// Concatenates a bucket's coordinate bits into the code word
+    /// (dimension 0 in the least-significant bits).
+    fn word_of(&self, bucket: &[u32]) -> u128 {
+        let mut word: u128 = 0;
+        let mut shift: u32 = 0;
+        for (dim, &c) in bucket.iter().enumerate() {
+            word |= u128::from(c) << shift;
+            shift += self.dim_bits[dim];
+        }
+        word
+    }
+}
+
+impl DeclusteringMethod for EccDecluster {
+    fn name(&self) -> &'static str {
+        "ECC"
+    }
+
+    fn num_disks(&self) -> u32 {
+        self.m
+    }
+
+    #[inline]
+    fn disk_of(&self, bucket: &[u32]) -> DiskId {
+        debug_assert_eq!(bucket.len(), self.dim_bits.len());
+        match &self.code {
+            None => DiskId(0),
+            Some(code) => DiskId(code.syndrome(self.word_of(bucket)) as u32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_non_powers_of_two() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        assert!(matches!(
+            EccDecluster::new(&g, 6).unwrap_err(),
+            MethodError::NotPowerOfTwo { .. }
+        ));
+        let g = GridSpace::new_2d(6, 8).unwrap();
+        assert!(matches!(
+            EccDecluster::new(&g, 4).unwrap_err(),
+            MethodError::NotPowerOfTwo { .. }
+        ));
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        assert_eq!(EccDecluster::new(&g, 0).unwrap_err(), MethodError::ZeroDisks);
+    }
+
+    #[test]
+    fn rejects_more_disks_than_buckets() {
+        let g = GridSpace::new_2d(2, 2).unwrap();
+        assert!(matches!(
+            EccDecluster::new(&g, 32).unwrap_err(),
+            MethodError::UnsupportedGrid { method: "ECC", .. }
+        ));
+    }
+
+    #[test]
+    fn single_disk_is_trivial() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ecc = EccDecluster::new(&g, 1).unwrap();
+        for b in g.iter() {
+            assert_eq!(ecc.disk_of(b.as_slice()), DiskId(0));
+        }
+    }
+
+    #[test]
+    fn disk_zero_holds_exactly_the_codewords() {
+        let g = GridSpace::new_2d(8, 8).unwrap(); // n = 6 bits
+        let ecc = EccDecluster::new(&g, 8).unwrap(); // r = 3
+        let code = ecc.code().unwrap();
+        let mut on_disk0 = 0u32;
+        for b in g.iter() {
+            let word = ecc.word_of(b.as_slice());
+            let disk = ecc.disk_of(b.as_slice());
+            assert_eq!(disk.0 == 0, code.is_codeword(word));
+            if disk.0 == 0 {
+                on_disk0 += 1;
+            }
+        }
+        assert_eq!(u128::from(on_disk0), 1u128 << code.dimension());
+    }
+
+    #[test]
+    fn load_is_perfectly_balanced() {
+        // Cosets partition the word space evenly, so every disk gets
+        // exactly num_buckets / M buckets.
+        for (dims, m) in [(vec![8u32, 8], 4u32), (vec![16, 16], 16), (vec![4, 4, 4], 8)] {
+            let g = GridSpace::new(dims).unwrap();
+            let ecc = EccDecluster::new(&g, m).unwrap();
+            let mut counts = vec![0u64; m as usize];
+            for b in g.iter() {
+                counts[ecc.disk_of(b.as_slice()).index()] += 1;
+            }
+            let expected = g.num_buckets() / u64::from(m);
+            assert!(counts.iter().all(|&c| c == expected), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn same_disk_buckets_differ_in_at_least_min_distance_bits() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ecc = EccDecluster::new(&g, 8).unwrap();
+        let dmin = ecc.code().unwrap().min_distance().unwrap();
+        assert!(dmin >= 3);
+        let words: Vec<(u128, u32)> = g
+            .iter()
+            .map(|b| (ecc.word_of(b.as_slice()), ecc.disk_of(b.as_slice()).0))
+            .collect();
+        for (i, &(wa, da)) in words.iter().enumerate() {
+            for &(wb, db) in &words[i + 1..] {
+                if da == db {
+                    assert!((wa ^ wb).count_ones() >= dmin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_grid_with_few_disks_uses_fallback_but_stays_balanced() {
+        // n = 12 bits, M = 2 (r = 1): Hamming capacity is 1 column, so the
+        // cyclic construction kicks in.
+        let g = GridSpace::new_2d(64, 64).unwrap();
+        let ecc = EccDecluster::new(&g, 2).unwrap();
+        let mut counts = [0u64; 2];
+        for b in g.iter() {
+            counts[ecc.disk_of(b.as_slice()).index()] += 1;
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn word_of_packs_dimension_zero_lowest() {
+        let g = GridSpace::new_2d(4, 8).unwrap(); // bits: 2, 3
+        let ecc = EccDecluster::new(&g, 2).unwrap();
+        assert_eq!(ecc.word_of(&[0b11, 0b101]), 0b1_0111);
+    }
+
+    #[test]
+    fn asymmetric_dimensions() {
+        let g = GridSpace::new(vec![2, 16, 4]).unwrap(); // n = 1+4+2 = 7
+        let ecc = EccDecluster::new(&g, 8).unwrap();
+        let mut counts = vec![0u64; 8];
+        for b in g.iter() {
+            counts[ecc.disk_of(b.as_slice()).index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 16), "{counts:?}");
+    }
+}

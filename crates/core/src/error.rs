@@ -1,0 +1,118 @@
+use std::fmt;
+
+/// Errors produced when constructing or applying a declustering method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MethodError {
+    /// Every method needs at least one disk.
+    ZeroDisks,
+    /// A quantity the method requires to be a power of two is not.
+    NotPowerOfTwo {
+        /// Which quantity (e.g. "number of disks", "partitions on dimension 1").
+        what: String,
+        /// The offending value.
+        value: u64,
+    },
+    /// The method cannot serve this grid/disk combination.
+    UnsupportedGrid {
+        /// Method name.
+        method: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// GDM was given the wrong number of coefficients.
+    CoefficientMismatch {
+        /// Grid dimensionality.
+        expected: usize,
+        /// Coefficients supplied.
+        got: usize,
+    },
+    /// An unknown method name was requested from the registry.
+    UnknownMethod {
+        /// The requested name.
+        name: String,
+    },
+    /// The advisor needs a non-empty workload sample.
+    EmptyWorkload,
+    /// An underlying grid error.
+    Grid(decluster_grid::GridError),
+    /// An underlying Hilbert-curve error.
+    Hilbert(decluster_hilbert::HilbertError),
+    /// An underlying coding-theory error.
+    Ecc(decluster_ecc::EccError),
+}
+
+impl fmt::Display for MethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodError::ZeroDisks => write!(f, "at least one disk is required"),
+            MethodError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            MethodError::UnsupportedGrid { method, reason } => {
+                write!(f, "{method} cannot decluster this grid: {reason}")
+            }
+            MethodError::CoefficientMismatch { expected, got } => {
+                write!(f, "GDM needs {expected} coefficients, got {got}")
+            }
+            MethodError::UnknownMethod { name } => write!(f, "unknown method {name:?}"),
+            MethodError::EmptyWorkload => write!(f, "workload sample must be non-empty"),
+            MethodError::Grid(e) => write!(f, "grid error: {e}"),
+            MethodError::Hilbert(e) => write!(f, "hilbert error: {e}"),
+            MethodError::Ecc(e) => write!(f, "coding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MethodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MethodError::Grid(e) => Some(e),
+            MethodError::Hilbert(e) => Some(e),
+            MethodError::Ecc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<decluster_grid::GridError> for MethodError {
+    fn from(e: decluster_grid::GridError) -> Self {
+        MethodError::Grid(e)
+    }
+}
+
+impl From<decluster_hilbert::HilbertError> for MethodError {
+    fn from(e: decluster_hilbert::HilbertError) -> Self {
+        MethodError::Hilbert(e)
+    }
+}
+
+impl From<decluster_ecc::EccError> for MethodError {
+    fn from(e: decluster_ecc::EccError) -> Self {
+        MethodError::Ecc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MethodError::ZeroDisks.to_string().contains("disk"));
+        let e = MethodError::NotPowerOfTwo {
+            what: "number of disks".into(),
+            value: 6,
+        };
+        assert!(e.to_string().contains("6"));
+        let e = MethodError::UnknownMethod { name: "zorp".into() };
+        assert!(e.to_string().contains("zorp"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = MethodError::from(decluster_grid::GridError::EmptyGrid);
+        assert!(e.source().is_some());
+        assert!(MethodError::ZeroDisks.source().is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Binary persistence for materialized allocations.
+//!
+//! A parallel database computes an allocation once (possibly via the
+//! advisor or the GDM tuner) and must reload it identically at every
+//! restart — the whole premise of static declustering is that the
+//! bucket→disk map never changes behind the system's back. This module
+//! gives [`AllocationMap`] a versioned, self-describing binary format:
+//!
+//! ```text
+//! "DCLA" | version u16 | k u16 | dims[k] u32 | M u32 |
+//! name_len u8 | name bytes | disk table (u8 per bucket if M ≤ 256, else u32)
+//! ```
+//!
+//! All integers little-endian. Round-trips exactly; unknown method names
+//! load as `"TABLE"` (the map itself is what matters).
+
+use crate::{AllocationMap, DeclusteringMethod, MethodError, MethodKind, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use decluster_grid::GridSpace;
+
+const MAGIC: &[u8; 4] = b"DCLA";
+const VERSION: u16 = 1;
+
+impl AllocationMap {
+    /// Serializes the allocation to its binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let space = self.space();
+        let table = self.table();
+        let m = self.num_disks();
+        let name = crate::DeclusteringMethod::name(self);
+        let mut buf = BytesMut::with_capacity(
+            4 + 2 + 2 + 4 * space.k() + 4 + 1 + name.len() + table.len() * 4,
+        );
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(space.k() as u16);
+        for &d in space.dims() {
+            buf.put_u32_le(d);
+        }
+        buf.put_u32_le(m);
+        let name_bytes = &name.as_bytes()[..name.len().min(255)];
+        buf.put_u8(name_bytes.len() as u8);
+        buf.put_slice(name_bytes);
+        if m <= 256 {
+            for &d in table {
+                buf.put_u8(d as u8);
+            }
+        } else {
+            for &d in table {
+                buf.put_u32_le(d);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes an allocation written by [`AllocationMap::to_bytes`].
+    ///
+    /// # Errors
+    /// [`MethodError::UnsupportedGrid`] with a descriptive reason for any
+    /// malformed input (bad magic, truncation, shape mismatch,
+    /// out-of-range disks).
+    pub fn from_bytes(data: &[u8]) -> Result<AllocationMap> {
+        let corrupt = |reason: &str| MethodError::UnsupportedGrid {
+            method: "AllocationMap::from_bytes",
+            reason: reason.to_owned(),
+        };
+        let mut buf = data;
+        if buf.remaining() < 8 {
+            return Err(corrupt("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let k = buf.get_u16_le() as usize;
+        if k == 0 || buf.remaining() < 4 * k + 4 + 1 {
+            return Err(corrupt("truncated dimensions"));
+        }
+        let dims: Vec<u32> = (0..k).map(|_| buf.get_u32_le()).collect();
+        let m = buf.get_u32_le();
+        let name_len = buf.get_u8() as usize;
+        if buf.remaining() < name_len {
+            return Err(corrupt("truncated name"));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| corrupt("name not UTF-8"))?;
+        let space = GridSpace::new(dims).map_err(MethodError::from)?;
+        let total = usize::try_from(space.num_buckets())
+            .map_err(|_| corrupt("grid too large"))?;
+        let cell = if m <= 256 { 1 } else { 4 };
+        if buf.remaining() != total * cell {
+            return Err(corrupt("table length mismatch"));
+        }
+        let table: Vec<u32> = (0..total)
+            .map(|_| {
+                if m <= 256 {
+                    u32::from(buf.get_u8())
+                } else {
+                    buf.get_u32_le()
+                }
+            })
+            .collect();
+        let map = AllocationMap::from_table(&space, m, table)?;
+        // Restore the stable method name when it is one we know.
+        Ok(match MethodKind::parse(&name) {
+            Ok(kind) => map.renamed(kind.name()),
+            Err(_) => map,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeclusteringMethod, DiskModulo, Hcam, MethodRegistry};
+
+    fn sample_map() -> AllocationMap {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let hcam = Hcam::new(&space, 5).unwrap();
+        AllocationMap::from_method(&space, &hcam).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let map = sample_map();
+        let bytes = map.to_bytes();
+        let loaded = AllocationMap::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded, map);
+        assert_eq!(loaded.name(), "HCAM");
+        assert_eq!(loaded.num_disks(), 5);
+        assert_eq!(loaded.space().dims(), &[8, 8]);
+    }
+
+    #[test]
+    fn roundtrip_every_registry_method() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let registry = MethodRegistry::default();
+        for method in registry.with_baselines(&space, 8) {
+            let map = AllocationMap::from_method(&space, method.as_ref()).unwrap();
+            let loaded = AllocationMap::from_bytes(&map.to_bytes()).unwrap();
+            assert_eq!(loaded, map, "{}", method.name());
+            assert_eq!(loaded.name(), map.name());
+        }
+    }
+
+    #[test]
+    fn wide_disk_counts_use_u32_cells() {
+        let space = GridSpace::new_2d(32, 32).unwrap();
+        let dm = DiskModulo::new(&space, 300).unwrap();
+        let map = AllocationMap::from_method(&space, &dm).unwrap();
+        let bytes = map.to_bytes();
+        let loaded = AllocationMap::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded, map);
+    }
+
+    #[test]
+    fn three_dimensional_roundtrip() {
+        let space = GridSpace::new_cube(3, 8).unwrap();
+        let dm = DiskModulo::new(&space, 7).unwrap();
+        let map = AllocationMap::from_method(&space, &dm).unwrap();
+        assert_eq!(AllocationMap::from_bytes(&map.to_bytes()).unwrap(), map);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let map = sample_map();
+        let good = map.to_bytes();
+
+        // Bad magic.
+        let mut bad = good.to_vec();
+        bad[0] = b'X';
+        assert!(AllocationMap::from_bytes(&bad).is_err());
+
+        // Bad version.
+        let mut bad = good.to_vec();
+        bad[4] = 0xFF;
+        assert!(AllocationMap::from_bytes(&bad).is_err());
+
+        // Truncated table.
+        let bad = &good[..good.len() - 3];
+        assert!(AllocationMap::from_bytes(bad).is_err());
+
+        // Trailing garbage.
+        let mut bad = good.to_vec();
+        bad.extend_from_slice(&[0, 0, 0]);
+        assert!(AllocationMap::from_bytes(&bad).is_err());
+
+        // Empty input.
+        assert!(AllocationMap::from_bytes(&[]).is_err());
+
+        // Out-of-range disk in the table.
+        let mut bad = good.to_vec();
+        let last = bad.len() - 1;
+        bad[last] = 200; // m = 5
+        assert!(AllocationMap::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn unknown_method_names_load_as_table() {
+        let space = GridSpace::new_2d(2, 2).unwrap();
+        let map = AllocationMap::from_table(&space, 2, vec![0, 1, 1, 0]).unwrap();
+        let loaded = AllocationMap::from_bytes(&map.to_bytes()).unwrap();
+        assert_eq!(loaded.name(), "TABLE");
+        assert_eq!(loaded, map);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any well-formed table round-trips bit-exactly.
+        #[test]
+        fn arbitrary_tables_roundtrip(
+            d0 in 1u32..8, d1 in 1u32..8, m in 1u32..300, seed in any::<u64>()
+        ) {
+            let space = GridSpace::new_2d(d0, d1).unwrap();
+            let total = (d0 * d1) as usize;
+            // Deterministic pseudo-random table from the seed.
+            let table: Vec<u32> = (0..total)
+                .map(|i| ((seed.wrapping_mul(i as u64 + 1) >> 7) % u64::from(m)) as u32)
+                .collect();
+            let map = AllocationMap::from_table(&space, m, table).unwrap();
+            let loaded = AllocationMap::from_bytes(&map.to_bytes()).unwrap();
+            prop_assert_eq!(loaded, map);
+        }
+
+        /// Random byte strings never panic the parser (they error instead).
+        #[test]
+        fn fuzzed_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = AllocationMap::from_bytes(&data);
+        }
+
+        /// Flipping any single byte of a valid image either fails to
+        /// parse or yields a *well-formed* allocation (never panics,
+        /// never violates the disk-range invariant).
+        #[test]
+        fn single_byte_corruption_is_contained(flip in 0usize..200, xor in 1u8..255) {
+            let space = GridSpace::new_2d(4, 4).unwrap();
+            let map = AllocationMap::from_table(
+                &space, 3, (0..16).map(|i| i % 3).collect()
+            ).unwrap();
+            let mut bytes = map.to_bytes().to_vec();
+            let idx = flip % bytes.len();
+            bytes[idx] ^= xor;
+            if let Ok(loaded) = AllocationMap::from_bytes(&bytes) {
+                let m = loaded.num_disks();
+                prop_assert!(loaded.table().iter().all(|&d| d < m));
+            }
+        }
+    }
+}

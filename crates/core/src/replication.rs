@@ -1,0 +1,212 @@
+use crate::{AllocationMap, DeclusteringMethod, MethodError, Result};
+use decluster_grid::{BucketRegion, DiskId};
+
+/// Chained-declustering replication (Hsiao & DeWitt) layered over any
+/// grid declustering method.
+///
+/// The paper explicitly scopes replication out ("we do not consider
+/// techniques where a data subspace can be assigned to more than one
+/// disk"); this extension shows what its inclusion buys. Every bucket
+/// keeps its *primary* copy on `base.disk_of(bucket)` and a *backup* on
+/// the next disk modulo `M`, the chain pattern that keeps any single
+/// failure survivable while adding only one extra copy.
+///
+/// Reads prefer the primary; when a disk fails, its buckets fall back to
+/// their backups. [`ChainedDecluster::response_time`] reports the
+/// resulting max-per-disk cost, so the normal/degraded comparison uses
+/// the paper's own metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainedDecluster {
+    base: AllocationMap,
+}
+
+impl ChainedDecluster {
+    /// Wraps a materialized allocation in chained replication.
+    ///
+    /// # Errors
+    /// [`MethodError::UnsupportedGrid`] when there are fewer than 2 disks
+    /// (a chain needs a distinct neighbour).
+    pub fn new(base: AllocationMap) -> Result<Self> {
+        if base.num_disks() < 2 {
+            return Err(MethodError::UnsupportedGrid {
+                method: "chained declustering",
+                reason: "replication needs at least 2 disks".into(),
+            });
+        }
+        Ok(ChainedDecluster { base })
+    }
+
+    /// The underlying (primary) allocation.
+    pub fn base(&self) -> &AllocationMap {
+        &self.base
+    }
+
+    /// Number of disks.
+    pub fn num_disks(&self) -> u32 {
+        self.base.num_disks()
+    }
+
+    /// Primary disk of a bucket.
+    pub fn primary_of(&self, bucket: &[u32]) -> DiskId {
+        self.base.disk_of(bucket)
+    }
+
+    /// Backup disk of a bucket: the next disk along the chain.
+    pub fn backup_of(&self, bucket: &[u32]) -> DiskId {
+        DiskId((self.base.disk_of(bucket).0 + 1) % self.num_disks())
+    }
+
+    /// Response time of a query in bucket retrievals, optionally with one
+    /// failed disk: every bucket reads from its primary unless the
+    /// primary failed, in which case the backup serves it. Returns `None`
+    /// if `failed` is out of range.
+    ///
+    /// With `failed = None` this equals the base allocation's response
+    /// time; replication is free until something breaks.
+    pub fn response_time(&self, region: &BucketRegion, failed: Option<DiskId>) -> Option<u64> {
+        let m = self.num_disks();
+        if let Some(f) = failed {
+            if f.0 >= m {
+                return None;
+            }
+        }
+        let mut per_disk = vec![0u64; m as usize];
+        for bucket in region.iter() {
+            let primary = self.primary_of(bucket.as_slice());
+            let serving = match failed {
+                Some(f) if primary == f => self.backup_of(bucket.as_slice()),
+                _ => primary,
+            };
+            debug_assert!(Some(serving) != failed, "backup of a failed primary is distinct");
+            per_disk[serving.index()] += 1;
+        }
+        Some(per_disk.into_iter().max().unwrap_or(0))
+    }
+
+    /// The worst degraded response time over all single-disk failures.
+    pub fn worst_degraded_response_time(&self, region: &BucketRegion) -> u64 {
+        (0..self.num_disks())
+            .filter_map(|f| self.response_time(region, Some(DiskId(f))))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Storage overhead factor of the scheme (always exactly 2.0 — every
+    /// bucket has two copies). Kept as a method so reports don't hardcode
+    /// the constant.
+    pub fn storage_overhead(&self) -> f64 {
+        2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskModulo, Hcam};
+    use decluster_grid::{GridSpace, RangeQuery};
+
+    fn chained(m: u32) -> (GridSpace, ChainedDecluster) {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let dm = DiskModulo::new(&space, m).unwrap();
+        let base = AllocationMap::from_method(&space, &dm).unwrap();
+        (space.clone(), ChainedDecluster::new(base).unwrap())
+    }
+
+    fn region(space: &GridSpace, lo: [u32; 2], hi: [u32; 2]) -> BucketRegion {
+        RangeQuery::new(lo, hi)
+            .unwrap()
+            .region(space)
+            .unwrap()
+    }
+
+    #[test]
+    fn needs_two_disks() {
+        let space = GridSpace::new_2d(4, 4).unwrap();
+        let dm = DiskModulo::new(&space, 1).unwrap();
+        let base = AllocationMap::from_method(&space, &dm).unwrap();
+        assert!(matches!(
+            ChainedDecluster::new(base).unwrap_err(),
+            MethodError::UnsupportedGrid { .. }
+        ));
+    }
+
+    #[test]
+    fn healthy_reads_match_the_base_allocation() {
+        let (space, chain) = chained(8);
+        let r = region(&space, [2, 3], [9, 10]);
+        assert_eq!(
+            chain.response_time(&r, None).unwrap(),
+            chain.base().response_time(&r)
+        );
+    }
+
+    #[test]
+    fn no_query_is_lost_under_any_single_failure() {
+        let (space, chain) = chained(8);
+        let r = region(&space, [0, 0], [7, 7]);
+        let total = r.num_buckets();
+        for f in 0..8u32 {
+            // Every bucket is still served by a surviving disk: the sum of
+            // per-disk loads equals |Q| and the failed disk serves none.
+            let rt = chain.response_time(&r, Some(DiskId(f))).unwrap();
+            assert!(rt >= total.div_ceil(7), "failure {f}");
+            assert!(rt <= total, "failure {f}");
+        }
+    }
+
+    #[test]
+    fn degraded_rt_is_bounded_by_double_the_healthy_rt() {
+        // The failed disk's load lands entirely on its chain neighbour:
+        // the neighbour serves at most its own plus the failed disk's
+        // buckets.
+        let (space, chain) = chained(8);
+        for (lo, hi) in [([0u32, 0u32], [3u32, 3u32]), ([1, 2], [12, 13]), ([0, 0], [15, 15])] {
+            let r = region(&space, lo, hi);
+            let healthy = chain.response_time(&r, None).unwrap();
+            let degraded = chain.worst_degraded_response_time(&r);
+            assert!(degraded >= healthy);
+            assert!(
+                degraded <= 2 * healthy,
+                "degraded {degraded} > 2x healthy {healthy}"
+            );
+        }
+    }
+
+    #[test]
+    fn backup_is_always_the_chain_neighbour() {
+        let (space, chain) = chained(5);
+        for b in space.iter() {
+            let p = chain.primary_of(b.as_slice()).0;
+            let s = chain.backup_of(b.as_slice()).0;
+            assert_eq!(s, (p + 1) % 5);
+        }
+        assert_eq!(chain.storage_overhead(), 2.0);
+    }
+
+    #[test]
+    fn invalid_failed_disk_is_rejected() {
+        let (space, chain) = chained(4);
+        let r = region(&space, [0, 0], [1, 1]);
+        assert!(chain.response_time(&r, Some(DiskId(4))).is_none());
+        assert!(chain.response_time(&r, Some(DiskId(3))).is_some());
+    }
+
+    #[test]
+    fn replication_beats_no_replication_on_availability() {
+        // Without replication a failure makes some queries unanswerable;
+        // with chaining every query still completes — at a bounded cost.
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 8).unwrap();
+        let base = AllocationMap::from_method(&space, &hcam).unwrap();
+        let chain = ChainedDecluster::new(base.clone()).unwrap();
+        let r = region(&space, [4, 4], [7, 7]);
+        // The un-replicated allocation touches the failed disk for some
+        // failure choice (a 16-bucket query over 8 disks must).
+        let touched: Vec<u64> = base.access_histogram(&r);
+        assert!(touched.iter().any(|&n| n > 0));
+        // Chained: still answerable for every failure.
+        for f in 0..8u32 {
+            assert!(chain.response_time(&r, Some(DiskId(f))).is_some());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+use crate::{DeclusteringMethod, MethodError, Result};
+use decluster_grid::{DiskId, GridSpace};
+use decluster_hilbert::{GrayOrder, MortonOrder};
+
+/// Which space-filling order a [`CurveAlloc`] deals disks along.
+///
+/// HCAM's design choice is the Hilbert curve; these variants ablate it:
+/// Z-order interleaves bits (weaker clustering, Jagadish SIGMOD'90), and
+/// the Gray-coded row-major order is the floor (adjacent ranks differ in
+/// one index bit but can be spatially far).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CurveKind {
+    /// Z-order / Morton bit interleaving.
+    Morton,
+    /// Reflected-binary-Gray-coded concatenated index.
+    Gray,
+}
+
+impl CurveKind {
+    /// Method name for reports.
+    pub fn method_name(self) -> &'static str {
+        match self {
+            CurveKind::Morton => "ZCAM",
+            CurveKind::Gray => "GrayCAM",
+        }
+    }
+}
+
+/// Curve allocation method over a non-Hilbert order: linearize the grid
+/// along the chosen curve, skip points outside the grid, and deal disks
+/// round-robin — exactly HCAM's recipe with the curve swapped out.
+///
+/// Exists to measure how much of HCAM's small-query advantage is the
+/// Hilbert curve itself (see `benches/ablation.rs`); [`crate::Hcam`]
+/// remains the paper's method.
+#[derive(Clone, Debug)]
+pub struct CurveAlloc {
+    m: u32,
+    kind: CurveKind,
+    space: GridSpace,
+    table: Vec<u32>,
+}
+
+impl CurveAlloc {
+    /// Materializes the allocation by walking the covering curve once.
+    ///
+    /// # Errors
+    /// [`MethodError::ZeroDisks`] and curve shape errors.
+    pub fn new(space: &GridSpace, m: u32, kind: CurveKind) -> Result<Self> {
+        if m == 0 {
+            return Err(MethodError::ZeroDisks);
+        }
+        let total = usize::try_from(space.num_buckets()).map_err(|_| {
+            MethodError::UnsupportedGrid {
+                method: kind.method_name(),
+                reason: "grid too large to materialize".into(),
+            }
+        })?;
+        let mut table = vec![0u32; total];
+        let mut rank_in_grid: u64 = 0;
+        let mut visit = |point: &[u32]| {
+            let inside = point.iter().zip(space.dims()).all(|(&c, &d)| c < d);
+            if inside {
+                let id = space.linearize_unchecked(point);
+                table[id as usize] = (rank_in_grid % u64::from(m)) as u32;
+                rank_in_grid += 1;
+            }
+        };
+        match kind {
+            CurveKind::Morton => {
+                let order = MortonOrder::covering(space.dims())?;
+                for rank in 0..order.num_points() {
+                    visit(&order.decode(rank).expect("rank in range"));
+                }
+            }
+            CurveKind::Gray => {
+                let m_order = MortonOrder::covering(space.dims())?;
+                let order = GrayOrder::new(space.k(), m_order.bits())?;
+                for rank in 0..order.num_points() {
+                    visit(&order.decode(rank).expect("rank in range"));
+                }
+            }
+        }
+        debug_assert_eq!(rank_in_grid, space.num_buckets());
+        Ok(CurveAlloc {
+            m,
+            kind,
+            space: space.clone(),
+            table,
+        })
+    }
+
+    /// The curve variant in use.
+    pub fn kind(&self) -> CurveKind {
+        self.kind
+    }
+}
+
+impl DeclusteringMethod for CurveAlloc {
+    fn name(&self) -> &'static str {
+        self.kind.method_name()
+    }
+
+    fn num_disks(&self) -> u32 {
+        self.m
+    }
+
+    #[inline]
+    fn disk_of(&self, bucket: &[u32]) -> DiskId {
+        let id = self.space.linearize_unchecked(bucket);
+        DiskId(self.table[id as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hcam;
+    use decluster_grid::RangeQuery;
+
+    #[test]
+    fn both_kinds_balance_loads() {
+        for kind in [CurveKind::Morton, CurveKind::Gray] {
+            for (dims, m) in [(vec![8u32, 8], 5u32), (vec![6, 10], 4), (vec![4, 4, 4], 7)] {
+                let g = GridSpace::new(dims.clone()).unwrap();
+                let alloc = CurveAlloc::new(&g, m, kind).unwrap();
+                let mut counts = vec![0u64; m as usize];
+                for b in g.iter() {
+                    counts[alloc.disk_of(b.as_slice()).index()] += 1;
+                }
+                let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+                assert!(hi - lo <= 1, "{kind:?} {dims:?} m={m}: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_distinguish_kinds() {
+        let g = GridSpace::new_2d(4, 4).unwrap();
+        assert_eq!(CurveAlloc::new(&g, 2, CurveKind::Morton).unwrap().name(), "ZCAM");
+        assert_eq!(CurveAlloc::new(&g, 2, CurveKind::Gray).unwrap().name(), "GrayCAM");
+    }
+
+    #[test]
+    fn zero_disks_rejected() {
+        let g = GridSpace::new_2d(4, 4).unwrap();
+        assert!(CurveAlloc::new(&g, 0, CurveKind::Morton).is_err());
+    }
+
+    fn total_rt_2x2(g: &GridSpace, method: &dyn DeclusteringMethod) -> u64 {
+        let mut total = 0;
+        for r in 0..g.dim(0) - 1 {
+            for c in 0..g.dim(1) - 1 {
+                let region = RangeQuery::new([r, c], [r + 1, c + 1])
+                    .unwrap()
+                    .region(g)
+                    .unwrap();
+                total += crate::one_shot_response_time(method, &region);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn hilbert_beats_the_gray_floor_on_small_squares() {
+        // HCAM's spatial clustering must beat the Gray-coded order (whose
+        // successive ranks can be spatially far apart) on exhaustive 2x2
+        // placements.
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let m = 8;
+        let hcam = Hcam::new(&g, m).unwrap();
+        let gray = CurveAlloc::new(&g, m, CurveKind::Gray).unwrap();
+        let h = total_rt_2x2(&g, &hcam);
+        let gr = total_rt_2x2(&g, &gray);
+        assert!(h < gr, "HCAM {h} should beat GrayCAM {gr}");
+    }
+
+    #[test]
+    fn morton_is_competitive_with_hilbert_for_declustering() {
+        // An ablation finding this reproduction surfaced (documented in
+        // EXPERIMENTS.md): Z-order's aligned-block structure makes it as
+        // good as — here slightly better than — the Hilbert curve for
+        // *declustering* on power-of-two grids, even though Hilbert
+        // clusters strictly better for storage locality. Pin both facts.
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let m = 8;
+        let hcam = Hcam::new(&g, m).unwrap();
+        let zcam = CurveAlloc::new(&g, m, CurveKind::Morton).unwrap();
+        let h = total_rt_2x2(&g, &hcam);
+        let z = total_rt_2x2(&g, &zcam);
+        // Within 15% of each other, Z-order not worse on this grid.
+        assert!(z <= h, "expected ZCAM ({z}) <= HCAM ({h}) here");
+        assert!((h as f64) < z as f64 * 1.15, "HCAM {h} vs ZCAM {z}");
+    }
+
+    #[test]
+    fn non_power_of_two_grids_are_covered_without_gaps() {
+        let g = GridSpace::new_2d(5, 7).unwrap();
+        let alloc = CurveAlloc::new(&g, 3, CurveKind::Gray).unwrap();
+        let mut counts = [0u64; 3];
+        for b in g.iter() {
+            counts[alloc.disk_of(b.as_slice()).index()] += 1;
+        }
+        assert_eq!(counts.iter().sum::<u64>(), 35);
+    }
+}

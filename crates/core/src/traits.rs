@@ -1,0 +1,81 @@
+use decluster_grid::DiskId;
+
+/// A grid-based declustering method: a total function from bucket
+/// coordinates to disks.
+///
+/// Implementations are constructed for a specific grid and disk count and
+/// must be **total** (every in-grid bucket gets a disk), **deterministic**,
+/// and must return disks in `0..num_disks()`. Those invariants are enforced
+/// by each implementation's constructor plus the property tests in this
+/// crate; [`crate::AllocationMap::from_method`] additionally asserts the
+/// range invariant while materializing.
+///
+/// The trait is object-safe so heterogeneous method sets can be swept by
+/// the experiment harness (`Vec<Box<dyn DeclusteringMethod>>`).
+pub trait DeclusteringMethod: Send + Sync {
+    /// Short stable name used in reports and the registry
+    /// (e.g. `"DM"`, `"FX"`, `"ECC"`, `"HCAM"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of disks this instance declusters over (`M`).
+    fn num_disks(&self) -> u32;
+
+    /// The disk assigned to the bucket with the given coordinates.
+    ///
+    /// `bucket` must be an in-grid coordinate vector for the grid the
+    /// method was constructed with; implementations may panic or return an
+    /// arbitrary in-range disk on out-of-grid input (they never return an
+    /// out-of-range disk).
+    fn disk_of(&self, bucket: &[u32]) -> DiskId;
+}
+
+impl<T: DeclusteringMethod + ?Sized> DeclusteringMethod for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn num_disks(&self) -> u32 {
+        (**self).num_disks()
+    }
+    fn disk_of(&self, bucket: &[u32]) -> DiskId {
+        (**self).disk_of(bucket)
+    }
+}
+
+impl<T: DeclusteringMethod + ?Sized> DeclusteringMethod for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn num_disks(&self) -> u32 {
+        (**self).num_disks()
+    }
+    fn disk_of(&self, bucket: &[u32]) -> DiskId {
+        (**self).disk_of(bucket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl DeclusteringMethod for Fixed {
+        fn name(&self) -> &'static str {
+            "FIXED"
+        }
+        fn num_disks(&self) -> u32 {
+            1
+        }
+        fn disk_of(&self, _: &[u32]) -> DiskId {
+            DiskId(0)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_forwards() {
+        let boxed: Box<dyn DeclusteringMethod> = Box::new(Fixed);
+        assert_eq!(boxed.name(), "FIXED");
+        assert_eq!(boxed.disk_of(&[1, 2]), DiskId(0));
+        let by_ref: &dyn DeclusteringMethod = &Fixed;
+        assert_eq!((&by_ref).num_disks(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+use crate::{BitMatrix, EccError, Result};
+
+/// An `[n, k]` binary linear code defined by a full-row-rank parity-check
+/// matrix `H` (`r × n`, `k = n − r`).
+///
+/// The code is the nullspace of `H`; the `2^r` **cosets** of the code
+/// partition the whole `n`-bit word space, one per syndrome value. ECC
+/// declustering assigns bucket-word `w` to disk `syndrome(w)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinaryLinearCode {
+    h: BitMatrix,
+    generators: Vec<u128>,
+}
+
+impl BinaryLinearCode {
+    /// Builds a code from its parity-check matrix.
+    ///
+    /// # Errors
+    /// [`EccError::RankDeficient`] if `H` does not have full row rank (the
+    /// syndrome map would miss some disks), and
+    /// [`EccError::MoreRowsThanCols`] if `r > n`.
+    pub fn from_parity_check(h: BitMatrix) -> Result<Self> {
+        if h.num_rows() > h.num_cols() {
+            return Err(EccError::MoreRowsThanCols {
+                rows: h.num_rows(),
+                cols: h.num_cols(),
+            });
+        }
+        let rank = h.rank();
+        if rank != h.num_rows() {
+            return Err(EccError::RankDeficient {
+                rows: h.num_rows(),
+                rank,
+            });
+        }
+        let generators = h.nullspace_basis();
+        Ok(BinaryLinearCode { h, generators })
+    }
+
+    /// Convenience: the (shortened) Hamming code with `r` parity bits and
+    /// block length `n`.
+    ///
+    /// # Errors
+    /// Propagates [`BitMatrix::hamming_parity_check`] errors.
+    pub fn hamming(r: u32, n: usize) -> Result<Self> {
+        BinaryLinearCode::from_parity_check(BitMatrix::hamming_parity_check(r, n)?)
+    }
+
+    /// Block length `n`.
+    #[inline]
+    pub fn block_length(&self) -> usize {
+        self.h.num_cols()
+    }
+
+    /// Number of parity bits `r = n − k`.
+    #[inline]
+    pub fn redundancy(&self) -> usize {
+        self.h.num_rows()
+    }
+
+    /// Code dimension `k` (log2 of the number of codewords).
+    #[inline]
+    pub fn dimension(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// The parity-check matrix.
+    #[inline]
+    pub fn parity_check(&self) -> &BitMatrix {
+        &self.h
+    }
+
+    /// A generator basis of the code (nullspace basis of `H`).
+    #[inline]
+    pub fn generator_basis(&self) -> &[u128] {
+        &self.generators
+    }
+
+    /// The syndrome of a word: which coset (disk) it belongs to. Packed
+    /// with parity row 0 at bit 0, so syndromes range over `0..2^r`.
+    #[inline]
+    pub fn syndrome(&self, word: u128) -> u128 {
+        self.h.mul_vec(word)
+    }
+
+    /// Whether `word` is a codeword (syndrome zero).
+    #[inline]
+    pub fn is_codeword(&self, word: u128) -> bool {
+        self.syndrome(word) == 0
+    }
+
+    /// Iterates all `2^k` codewords. Practical for `k ≤ ~24`.
+    pub fn codewords(&self) -> impl Iterator<Item = u128> + '_ {
+        let k = self.generators.len();
+        (0u128..(1u128 << k)).map(move |sel| {
+            let mut w = 0u128;
+            for (i, &g) in self.generators.iter().enumerate() {
+                if (sel >> i) & 1 == 1 {
+                    w ^= g;
+                }
+            }
+            w
+        })
+    }
+
+    /// Minimum Hamming distance of the code (= minimum nonzero codeword
+    /// weight). Returns `None` when the codeword space is too large to
+    /// enumerate (`k > 24`) or the code is trivial (`k = 0`).
+    pub fn min_distance(&self) -> Option<u32> {
+        let k = self.generators.len();
+        if k == 0 || k > 24 {
+            return None;
+        }
+        self.codewords()
+            .skip(1) // skip the zero word
+            .map(|w| w.count_ones())
+            .min()
+    }
+
+    /// The number of cosets (`2^r`) — the number of disks ECC declustering
+    /// serves.
+    #[inline]
+    pub fn num_cosets(&self) -> u128 {
+        1u128 << self.h.num_rows()
+    }
+
+    /// The weight distribution `A_0..A_n` of the code: `A_w` counts
+    /// codewords of Hamming weight `w`. Returns `None` when the codeword
+    /// space is too large to enumerate (`k > 24`).
+    ///
+    /// For ECC declustering, `A_w > 0` means two buckets on the *same*
+    /// disk can differ in exactly `w` coordinate bits — the geometry of
+    /// what the method keeps apart.
+    pub fn weight_distribution(&self) -> Option<Vec<u64>> {
+        if self.generators.len() > 24 {
+            return None;
+        }
+        let mut dist = vec![0u64; self.block_length() + 1];
+        for w in self.codewords() {
+            dist[w.count_ones() as usize] += 1;
+        }
+        Some(dist)
+    }
+
+    /// The weight of each coset's minimum-weight member (the *coset
+    /// leader*), indexed by syndrome. Leader weight `t` means some bucket
+    /// word is `t` bit flips away from the coset — for declustering it is
+    /// the minimum coordinate-bit distance from disk 0's pattern to that
+    /// disk's pattern. Returns `None` when the word space is too large to
+    /// enumerate (`n > 24`).
+    pub fn coset_leader_weights(&self) -> Option<Vec<u32>> {
+        let n = self.block_length();
+        if n > 24 {
+            return None;
+        }
+        let r = self.redundancy();
+        let mut leaders = vec![u32::MAX; 1usize << r];
+        let mut remaining = leaders.len();
+        // Enumerate words by increasing weight: the first word hitting a
+        // syndrome is that coset's leader.
+        for weight in 0..=n as u32 {
+            if remaining == 0 {
+                break;
+            }
+            // All words of this weight, via Gosper's hack within n bits.
+            if weight == 0 {
+                let s = self.syndrome(0) as usize;
+                if leaders[s] == u32::MAX {
+                    leaders[s] = 0;
+                    remaining -= 1;
+                }
+                continue;
+            }
+            let mut word: u128 = (1u128 << weight) - 1;
+            let limit: u128 = 1u128 << n;
+            while word < limit {
+                let s = self.syndrome(word) as usize;
+                if leaders[s] == u32::MAX {
+                    leaders[s] = weight;
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                // Gosper's hack: next word with the same popcount.
+                let c = word & word.wrapping_neg();
+                let rr = word + c;
+                word = (((rr ^ word) >> 2) / c) | rr;
+            }
+        }
+        Some(leaders)
+    }
+
+    /// The covering radius: the largest coset-leader weight — how far the
+    /// farthest word sits from the code. Returns `None` for oversized
+    /// codes (see [`BinaryLinearCode::coset_leader_weights`]).
+    pub fn covering_radius(&self) -> Option<u32> {
+        self.coset_leader_weights()
+            .map(|ws| ws.into_iter().max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_7_4_classic_properties() {
+        let c = BinaryLinearCode::hamming(3, 7).unwrap();
+        assert_eq!(c.block_length(), 7);
+        assert_eq!(c.redundancy(), 3);
+        assert_eq!(c.dimension(), 4);
+        assert_eq!(c.num_cosets(), 8);
+        assert_eq!(c.min_distance(), Some(3));
+        assert_eq!(c.codewords().count(), 16);
+    }
+
+    #[test]
+    fn syndrome_partitions_word_space_evenly() {
+        let c = BinaryLinearCode::hamming(3, 7).unwrap();
+        let mut counts = vec![0u32; 8];
+        for w in 0u128..128 {
+            counts[c.syndrome(w) as usize] += 1;
+        }
+        // Each coset has exactly 2^k = 16 words.
+        assert!(counts.iter().all(|&n| n == 16), "{counts:?}");
+    }
+
+    #[test]
+    fn all_codewords_have_zero_syndrome() {
+        let c = BinaryLinearCode::hamming(4, 15).unwrap();
+        for w in c.codewords() {
+            assert!(c.is_codeword(w));
+        }
+    }
+
+    #[test]
+    fn syndrome_constant_within_coset() {
+        let c = BinaryLinearCode::hamming(3, 6).unwrap();
+        // Pick a coset representative and verify representative ^ codeword
+        // keeps the syndrome.
+        let rep: u128 = 0b101;
+        let s = c.syndrome(rep);
+        for w in c.codewords() {
+            assert_eq!(c.syndrome(rep ^ w), s);
+        }
+    }
+
+    #[test]
+    fn shortened_hamming_keeps_distance_3() {
+        for n in 5..=14 {
+            let c = BinaryLinearCode::hamming(4, n).unwrap();
+            assert!(c.min_distance().unwrap() >= 3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_rejected() {
+        // Two identical rows.
+        let h = BitMatrix::from_rows(4, vec![0b0011, 0b0011]).unwrap();
+        assert!(matches!(
+            BinaryLinearCode::from_parity_check(h).unwrap_err(),
+            EccError::RankDeficient { rows: 2, rank: 1 }
+        ));
+    }
+
+    #[test]
+    fn square_full_rank_code_is_trivial() {
+        // H = I2: only the zero codeword; every word its own coset rep.
+        let h = BitMatrix::from_rows(2, vec![0b01, 0b10]).unwrap();
+        let c = BinaryLinearCode::from_parity_check(h).unwrap();
+        assert_eq!(c.dimension(), 0);
+        assert_eq!(c.min_distance(), None);
+        assert_eq!(c.codewords().count(), 1);
+        for w in 0..4u128 {
+            assert_eq!(c.syndrome(w), w);
+        }
+    }
+
+    #[test]
+    fn hamming_7_4_weight_distribution_is_classic() {
+        // The [7,4] Hamming code: A_0=1, A_3=7, A_4=7, A_7=1.
+        let c = BinaryLinearCode::hamming(3, 7).unwrap();
+        let dist = c.weight_distribution().unwrap();
+        assert_eq!(dist, vec![1, 0, 0, 7, 7, 0, 0, 1]);
+        assert_eq!(dist.iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn hamming_codes_are_perfect() {
+        // A perfect code: every coset leader has weight <= 1, covering
+        // radius exactly 1.
+        let c = BinaryLinearCode::hamming(3, 7).unwrap();
+        let leaders = c.coset_leader_weights().unwrap();
+        assert_eq!(leaders.len(), 8);
+        assert_eq!(leaders[0], 0); // the code itself
+        assert!(leaders[1..].iter().all(|&w| w == 1));
+        assert_eq!(c.covering_radius(), Some(1));
+    }
+
+    #[test]
+    fn shortened_hamming_covering_radius_stays_small() {
+        for n in [5usize, 6] {
+            let c = BinaryLinearCode::hamming(3, n).unwrap();
+            let radius = c.covering_radius().unwrap();
+            assert!(radius <= 2, "n={n} radius {radius}");
+        }
+    }
+
+    #[test]
+    fn leader_weights_are_consistent_with_syndromes() {
+        let c = BinaryLinearCode::hamming(4, 10).unwrap();
+        let leaders = c.coset_leader_weights().unwrap();
+        // Brute-force check: the minimum weight per syndrome matches.
+        let mut brute = vec![u32::MAX; 16];
+        for w in 0u128..(1 << 10) {
+            let s = c.syndrome(w) as usize;
+            brute[s] = brute[s].min(w.count_ones());
+        }
+        assert_eq!(leaders, brute);
+    }
+
+    #[test]
+    fn more_rows_than_cols_rejected() {
+        let h = BitMatrix::from_rows(2, vec![0b01, 0b10, 0b11]).unwrap();
+        assert!(matches!(
+            BinaryLinearCode::from_parity_check(h).unwrap_err(),
+            EccError::MoreRowsThanCols { .. }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn syndrome_is_translation_invariant_under_codewords(
+            n in 5usize..16, w in any::<u64>(), sel in any::<u32>()
+        ) {
+            let c = BinaryLinearCode::hamming(4, n).unwrap();
+            let word = u128::from(w) & ((1u128 << n) - 1);
+            // Random codeword from the generator basis.
+            let mut cw = 0u128;
+            for (i, &g) in c.generator_basis().iter().enumerate() {
+                if (sel >> (i % 32)) & 1 == 1 {
+                    cw ^= g;
+                }
+            }
+            prop_assert_eq!(c.syndrome(word ^ cw), c.syndrome(word));
+        }
+
+        #[test]
+        fn cosets_partition_evenly(r in 2u32..5, extra in 0usize..6) {
+            let n = r as usize + extra;
+            prop_assume!(n < (1usize << r));
+            let c = BinaryLinearCode::hamming(r, n).unwrap();
+            let mut counts = vec![0u64; 1 << r];
+            for w in 0u128..(1u128 << n) {
+                counts[c.syndrome(w) as usize] += 1;
+            }
+            let expected = 1u64 << (n - r as usize);
+            prop_assert!(counts.iter().all(|&x| x == expected));
+        }
+    }
+}

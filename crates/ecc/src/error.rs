@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Errors produced by GF(2) matrix and code construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccError {
+    /// Matrices and codes are limited to 128 columns (rows are `u128`).
+    TooManyColumns {
+        /// Requested column count.
+        cols: usize,
+    },
+    /// A matrix needs at least one row and one column.
+    EmptyMatrix,
+    /// A row index was out of range.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+    /// A column index was out of range.
+    ColOutOfRange {
+        /// Requested column.
+        col: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A Hamming parity check with `r` rows supports at most `2^r − 1`
+    /// distinct nonzero columns.
+    TooManyHammingColumns {
+        /// Parity bits requested.
+        r: u32,
+        /// Columns requested.
+        n: usize,
+    },
+    /// A parity-check matrix must have full row rank for the syndrome map
+    /// to reach all `2^r` disks.
+    RankDeficient {
+        /// Number of rows.
+        rows: usize,
+        /// Actual rank.
+        rank: usize,
+    },
+    /// Rows of a parity-check matrix may not exceed its column count.
+    MoreRowsThanCols {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::TooManyColumns { cols } => {
+                write!(f, "{cols} columns exceed the 128-bit word limit")
+            }
+            EccError::EmptyMatrix => write!(f, "matrix must be non-empty"),
+            EccError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (matrix has {rows} rows)")
+            }
+            EccError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range (matrix has {cols} columns)")
+            }
+            EccError::TooManyHammingColumns { r, n } => {
+                write!(f, "Hamming check with r={r} supports at most 2^{r}-1 columns, got {n}")
+            }
+            EccError::RankDeficient { rows, rank } => {
+                write!(f, "parity-check matrix has rank {rank} < {rows} rows")
+            }
+            EccError::MoreRowsThanCols { rows, cols } => {
+                write!(f, "parity-check matrix has {rows} rows but only {cols} columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(EccError::EmptyMatrix.to_string().contains("non-empty"));
+        assert!(EccError::TooManyColumns { cols: 200 }.to_string().contains("200"));
+        assert!(EccError::RankDeficient { rows: 4, rank: 3 }
+            .to_string()
+            .contains("rank 3"));
+    }
+}

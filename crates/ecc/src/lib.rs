@@ -1,0 +1,39 @@
+//! GF(2) linear algebra and binary linear codes.
+//!
+//! Substrate for ECC-based disk allocation (Faloutsos & Metaxas, IEEE ToC
+//! 1991): with `M = 2^r` disks and buckets identified by `n`-bit words
+//! (the concatenated binary coordinates), the disks are the `2^r` cosets of
+//! an `[n, n−r]` binary linear code, and the disk of a bucket is the
+//! **syndrome** of its word under the code's parity-check matrix. Buckets
+//! on the same disk then differ in at least `d_min` bits, which is exactly
+//! the "spread similar buckets apart" intuition.
+//!
+//! Words and matrix rows are bit-packed into `u128`, bounding codes at 128
+//! bits — ample for the study (a 2-D 64×64 grid is 12 bits).
+//!
+//! # Example
+//!
+//! ```
+//! use decluster_ecc::{BitMatrix, BinaryLinearCode};
+//!
+//! // The [7,4] Hamming code: columns of H are 1..=7 in binary.
+//! let h = BitMatrix::hamming_parity_check(3, 7).unwrap();
+//! let code = BinaryLinearCode::from_parity_check(h).unwrap();
+//! assert_eq!(code.dimension(), 4);
+//! assert_eq!(code.min_distance(), Some(3));
+//! assert_eq!(code.syndrome(0), 0); // zero word is a codeword
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod code;
+mod error;
+mod matrix;
+
+pub use code::BinaryLinearCode;
+pub use error::EccError;
+pub use matrix::{parity, BitMatrix};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EccError>;

@@ -1,0 +1,507 @@
+use crate::{EccError, Result};
+
+/// Parity of a bit-packed word: 1 if it has an odd number of set bits.
+#[inline]
+pub fn parity(word: u128) -> u32 {
+    word.count_ones() & 1
+}
+
+/// A dense matrix over GF(2), each row bit-packed into a `u128`.
+///
+/// Bit `j` of a row is column `j` (column 0 is the least significant bit).
+/// Limited to 128 columns, which covers every code in the study.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    cols: usize,
+    rows: Vec<u128>,
+}
+
+impl BitMatrix {
+    /// Creates a matrix from bit-packed rows.
+    ///
+    /// # Errors
+    /// Rejects empty matrices, more than 128 columns, and rows with bits
+    /// set beyond `cols`.
+    pub fn from_rows(cols: usize, rows: Vec<u128>) -> Result<Self> {
+        if cols == 0 || rows.is_empty() {
+            return Err(EccError::EmptyMatrix);
+        }
+        if cols > 128 {
+            return Err(EccError::TooManyColumns { cols });
+        }
+        let mask = Self::col_mask(cols);
+        for &r in &rows {
+            if r & !mask != 0 {
+                return Err(EccError::TooManyColumns { cols });
+            }
+        }
+        Ok(BitMatrix { cols, rows })
+    }
+
+    /// The all-zero matrix of the given shape.
+    ///
+    /// # Errors
+    /// Shape errors as for [`BitMatrix::from_rows`].
+    pub fn zero(rows: usize, cols: usize) -> Result<Self> {
+        BitMatrix::from_rows(cols, vec![0; rows.max(1)]).and_then(|mut m| {
+            if rows == 0 {
+                return Err(EccError::EmptyMatrix);
+            }
+            m.rows.truncate(rows);
+            Ok(m)
+        })
+    }
+
+    /// The parity-check matrix of a (possibly shortened) Hamming code:
+    /// `r × n`, columns distinct nonzero vectors of GF(2)^r.
+    ///
+    /// Columns are ordered unit vectors first (guaranteeing full row rank
+    /// for every `n ≥ r`), then the remaining nonzero values in increasing
+    /// order. With distinct columns the code has minimum distance ≥ 3.
+    ///
+    /// # Errors
+    /// Rejects `n > 2^r − 1` (columns would repeat), `n < r` (cannot reach
+    /// full rank), and shape errors.
+    pub fn hamming_parity_check(r: u32, n: usize) -> Result<Self> {
+        if r == 0 || n == 0 {
+            return Err(EccError::EmptyMatrix);
+        }
+        if r >= 128 || (r < 64 && n > (1usize << r) - 1) {
+            return Err(EccError::TooManyHammingColumns { r, n });
+        }
+        if n < r as usize {
+            return Err(EccError::MoreRowsThanCols {
+                rows: r as usize,
+                cols: n,
+            });
+        }
+        // Column values: unit vectors 1, 2, 4, …, 2^(r-1), then the other
+        // nonzero values in increasing order.
+        let mut columns: Vec<u128> = (0..r).map(|i| 1u128 << i).collect();
+        let mut v: u128 = 1;
+        while columns.len() < n {
+            v += 1;
+            if v.count_ones() != 1 {
+                columns.push(v);
+            }
+        }
+        // Transpose the column list into r bit-packed rows.
+        let mut rows = vec![0u128; r as usize];
+        for (j, &col) in columns.iter().enumerate() {
+            for (i, row) in rows.iter_mut().enumerate() {
+                if (col >> i) & 1 == 1 {
+                    *row |= 1u128 << j;
+                }
+            }
+        }
+        BitMatrix::from_rows(n, rows)
+    }
+
+    /// A full-row-rank `r × n` parity-check matrix for **any** `n ≥ r`:
+    /// unit-vector columns first, then the nonzero values of GF(2)^r cycled
+    /// in increasing order (repeating once exhausted).
+    ///
+    /// Unlike [`BitMatrix::hamming_parity_check`] this admits
+    /// `n > 2^r − 1` at the cost of repeated columns (minimum distance
+    /// drops to 2). ECC declustering falls back to this when a grid has
+    /// more coordinate bits than a Hamming code with `log2(M)` parity bits
+    /// can carry.
+    ///
+    /// # Errors
+    /// Rejects `r == 0`, `n == 0`, `n < r`, and shape errors.
+    pub fn cyclic_parity_check(r: u32, n: usize) -> Result<Self> {
+        if r == 0 || n == 0 {
+            return Err(EccError::EmptyMatrix);
+        }
+        if n < r as usize {
+            return Err(EccError::MoreRowsThanCols {
+                rows: r as usize,
+                cols: n,
+            });
+        }
+        if n > 128 {
+            return Err(EccError::TooManyColumns { cols: n });
+        }
+        if r > 64 {
+            return Err(EccError::TooManyColumns { cols: n });
+        }
+        let modulus: u128 = (1u128 << r) - 1; // count of nonzero values
+        let mut columns: Vec<u128> = (0..r).map(|i| 1u128 << i).collect();
+        columns.truncate(n);
+        // First cycle: the remaining nonzero values (non-units), in order.
+        let mut v: u128 = 1;
+        while columns.len() < n && v <= modulus {
+            if v.count_ones() != 1 {
+                columns.push(v);
+            }
+            v += 1;
+        }
+        // Subsequent cycles: repeat all nonzero values round-robin.
+        let mut v: u128 = 1;
+        while columns.len() < n {
+            columns.push(v);
+            v = v % modulus + 1;
+        }
+        let mut rows = vec![0u128; r as usize];
+        for (j, &col) in columns.iter().enumerate() {
+            for (i, row) in rows.iter_mut().enumerate() {
+                if (col >> i) & 1 == 1 {
+                    *row |= 1u128 << j;
+                }
+            }
+        }
+        BitMatrix::from_rows(n, rows)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bit-packed rows.
+    #[inline]
+    pub fn rows(&self) -> &[u128] {
+        &self.rows
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Errors
+    /// Index errors for out-of-range positions.
+    pub fn get(&self, row: usize, col: usize) -> Result<bool> {
+        if row >= self.rows.len() {
+            return Err(EccError::RowOutOfRange {
+                row,
+                rows: self.rows.len(),
+            });
+        }
+        if col >= self.cols {
+            return Err(EccError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        Ok((self.rows[row] >> col) & 1 == 1)
+    }
+
+    /// Sets entry `(row, col)` to `value`.
+    ///
+    /// # Errors
+    /// Index errors for out-of-range positions.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) -> Result<()> {
+        // Bounds via get.
+        self.get(row, col)?;
+        if value {
+            self.rows[row] |= 1u128 << col;
+        } else {
+            self.rows[row] &= !(1u128 << col);
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product over GF(2): returns the r-bit result packed
+    /// with row 0 at bit 0. This is the **syndrome** operation when `self`
+    /// is a parity-check matrix.
+    #[inline]
+    pub fn mul_vec(&self, word: u128) -> u128 {
+        let mut out: u128 = 0;
+        for (i, &row) in self.rows.iter().enumerate() {
+            out |= u128::from(parity(row & word)) << i;
+        }
+        out
+    }
+
+    /// Rank over GF(2) (Gaussian elimination on a copy).
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let bit = 1u128 << col;
+            // Find a pivot row at or below `rank` with this column set.
+            let Some(pivot) = (rank..rows.len()).find(|&r| rows[r] & bit != 0) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && *row & bit != 0 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// A basis of the right nullspace: all `x` with `self · x = 0`.
+    ///
+    /// Returns `dim = cols − rank` bit-packed vectors. When `self` is a
+    /// parity-check matrix this is a generator basis of the code.
+    pub fn nullspace_basis(&self) -> Vec<u128> {
+        // Reduce to RREF, tracking pivot columns.
+        let mut rows = self.rows.clone();
+        let mut pivot_cols: Vec<usize> = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..self.cols {
+            let bit = 1u128 << col;
+            let Some(pivot) = (rank..rows.len()).find(|&r| rows[r] & bit != 0) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && *row & bit != 0 {
+                    *row ^= pivot_row;
+                }
+            }
+            pivot_cols.push(col);
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        let is_pivot = {
+            let mut v = vec![false; self.cols];
+            for &c in &pivot_cols {
+                v[c] = true;
+            }
+            v
+        };
+        // One basis vector per free column: set that column to 1 and solve
+        // the pivots.
+        let mut basis = Vec::with_capacity(self.cols - rank);
+        for (free, &pivot) in is_pivot.iter().enumerate() {
+            if pivot {
+                continue;
+            }
+            let mut x: u128 = 1u128 << free;
+            for (i, &pc) in pivot_cols.iter().enumerate() {
+                // Row i reads: x[pc] + Σ_{free cols j in row i} x[j] = 0.
+                if rows[i] & (1u128 << free) != 0 {
+                    x |= 1u128 << pc;
+                }
+            }
+            basis.push(x);
+        }
+        basis
+    }
+}
+
+#[cfg(test)]
+impl BitMatrix {
+    /// Column mask helper exposed for tests.
+    fn col_mask_public(cols: usize) -> u128 {
+        Self::col_mask(cols)
+    }
+}
+
+impl BitMatrix {
+    #[inline]
+    fn col_mask(cols: usize) -> u128 {
+        if cols >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << cols) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_counts_bits() {
+        assert_eq!(parity(0), 0);
+        assert_eq!(parity(0b1), 1);
+        assert_eq!(parity(0b1010), 0);
+        assert_eq!(parity(u128::MAX), 0);
+        assert_eq!(parity(u128::MAX >> 1), 1);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(BitMatrix::from_rows(0, vec![0]).unwrap_err(), EccError::EmptyMatrix);
+        assert_eq!(BitMatrix::from_rows(4, vec![]).unwrap_err(), EccError::EmptyMatrix);
+        assert!(matches!(
+            BitMatrix::from_rows(129, vec![0]).unwrap_err(),
+            EccError::TooManyColumns { .. }
+        ));
+        // A stray bit beyond the declared width is rejected.
+        assert!(BitMatrix::from_rows(3, vec![0b1000]).is_err());
+        assert!(BitMatrix::from_rows(3, vec![0b111]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = BitMatrix::zero(2, 4).unwrap();
+        assert!(!m.get(1, 2).unwrap());
+        m.set(1, 2, true).unwrap();
+        assert!(m.get(1, 2).unwrap());
+        m.set(1, 2, false).unwrap();
+        assert!(!m.get(1, 2).unwrap());
+        assert!(m.get(2, 0).is_err());
+        assert!(m.get(0, 4).is_err());
+    }
+
+    #[test]
+    fn mul_vec_is_row_parities() {
+        // Rows: [1 1 0], [0 1 1].
+        let m = BitMatrix::from_rows(3, vec![0b011, 0b110]).unwrap();
+        assert_eq!(m.mul_vec(0b000), 0b00);
+        assert_eq!(m.mul_vec(0b001), 0b01);
+        assert_eq!(m.mul_vec(0b010), 0b11);
+        assert_eq!(m.mul_vec(0b100), 0b10);
+        // 0b111 hits both bits of each row: even parity everywhere.
+        assert_eq!(m.mul_vec(0b111), 0b00);
+    }
+
+    #[test]
+    fn rank_of_identity_and_singular() {
+        let id = BitMatrix::from_rows(3, vec![0b001, 0b010, 0b100]).unwrap();
+        assert_eq!(id.rank(), 3);
+        let singular = BitMatrix::from_rows(3, vec![0b011, 0b110, 0b101]).unwrap();
+        // Third row is the sum of the first two.
+        assert_eq!(singular.rank(), 2);
+        let zero = BitMatrix::zero(3, 3).unwrap();
+        assert_eq!(zero.rank(), 0);
+    }
+
+    #[test]
+    fn hamming_check_has_distinct_columns_and_full_rank() {
+        for (r, n) in [(3u32, 7usize), (4, 15), (4, 12), (5, 6), (2, 3)] {
+            let h = BitMatrix::hamming_parity_check(r, n).unwrap();
+            assert_eq!(h.num_rows(), r as usize);
+            assert_eq!(h.num_cols(), n);
+            assert_eq!(h.rank(), r as usize, "r={r} n={n}");
+            // Columns distinct and nonzero.
+            let mut cols = Vec::new();
+            for j in 0..n {
+                let mut c = 0u32;
+                for i in 0..r as usize {
+                    if h.get(i, j).unwrap() {
+                        c |= 1 << i;
+                    }
+                }
+                assert_ne!(c, 0);
+                cols.push(c);
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), n);
+        }
+    }
+
+    #[test]
+    fn hamming_check_rejects_impossible_shapes() {
+        assert!(matches!(
+            BitMatrix::hamming_parity_check(3, 8).unwrap_err(),
+            EccError::TooManyHammingColumns { .. }
+        ));
+        assert!(matches!(
+            BitMatrix::hamming_parity_check(5, 4).unwrap_err(),
+            EccError::MoreRowsThanCols { .. }
+        ));
+        assert!(BitMatrix::hamming_parity_check(0, 3).is_err());
+        assert!(BitMatrix::hamming_parity_check(3, 0).is_err());
+    }
+
+    #[test]
+    fn cyclic_check_full_rank_beyond_hamming_limit() {
+        // r=1: single all-ones row (parity check) at any width.
+        let h = BitMatrix::cyclic_parity_check(1, 12).unwrap();
+        assert_eq!(h.num_rows(), 1);
+        assert_eq!(h.rank(), 1);
+        assert_eq!(h.rows()[0], (1u128 << 12) - 1);
+        // r=3, n=12 > 7: repeated columns but still full rank, no zero col.
+        let h = BitMatrix::cyclic_parity_check(3, 12).unwrap();
+        assert_eq!(h.rank(), 3);
+        for j in 0..12 {
+            let col = (0..3).fold(0u32, |acc, i| {
+                acc | (u32::from(h.get(i, j).unwrap()) << i)
+            });
+            assert_ne!(col, 0, "zero column at {j}");
+        }
+    }
+
+    #[test]
+    fn cyclic_check_matches_hamming_within_limit() {
+        // When n ≤ 2^r − 1 both constructions give distinct columns; the
+        // cyclic version equals the Hamming version.
+        for (r, n) in [(3u32, 7usize), (3, 5), (4, 10)] {
+            assert_eq!(
+                BitMatrix::cyclic_parity_check(r, n).unwrap(),
+                BitMatrix::hamming_parity_check(r, n).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_check_rejects_bad_shapes() {
+        assert!(BitMatrix::cyclic_parity_check(0, 3).is_err());
+        assert!(BitMatrix::cyclic_parity_check(3, 0).is_err());
+        assert!(BitMatrix::cyclic_parity_check(5, 3).is_err());
+        assert!(BitMatrix::cyclic_parity_check(2, 200).is_err());
+    }
+
+    #[test]
+    fn nullspace_vectors_are_killed_by_matrix() {
+        let h = BitMatrix::hamming_parity_check(3, 7).unwrap();
+        let basis = h.nullspace_basis();
+        assert_eq!(basis.len(), 4); // dim = 7 - 3
+        for &b in &basis {
+            assert_eq!(h.mul_vec(b), 0, "basis vector {b:#b} not in nullspace");
+        }
+        // Basis is linearly independent: stack as rows, rank = len.
+        let m = BitMatrix::from_rows(7, basis).unwrap();
+        assert_eq!(m.rank(), 4);
+    }
+
+    #[test]
+    fn nullspace_of_full_rank_square_is_empty() {
+        let id = BitMatrix::from_rows(2, vec![0b01, 0b10]).unwrap();
+        assert!(id.nullspace_basis().is_empty());
+    }
+
+    #[test]
+    fn col_mask_handles_128() {
+        assert_eq!(BitMatrix::col_mask_public(128), u128::MAX);
+        assert_eq!(BitMatrix::col_mask_public(3), 0b111);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mul_vec_is_linear(rows in proptest::collection::vec(any::<u64>(), 1..6),
+                             x in any::<u64>(), y in any::<u64>()) {
+            let m = BitMatrix::from_rows(64, rows.iter().map(|&r| u128::from(r)).collect()).unwrap();
+            let (x, y) = (u128::from(x), u128::from(y));
+            prop_assert_eq!(m.mul_vec(x ^ y), m.mul_vec(x) ^ m.mul_vec(y));
+        }
+
+        #[test]
+        fn nullspace_dimension_matches_rank(rows in proptest::collection::vec(any::<u16>(), 1..8)) {
+            let m = BitMatrix::from_rows(16, rows.iter().map(|&r| u128::from(r)).collect()).unwrap();
+            let basis = m.nullspace_basis();
+            prop_assert_eq!(basis.len(), 16 - m.rank());
+            for &b in &basis {
+                prop_assert_eq!(m.mul_vec(b), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+use decluster_grid::DiskId;
+
+/// I/O accounting of one scan: what each disk had to read and how the
+/// parallel subsystem's response time compares to the optimum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IoReport {
+    /// Buckets read per disk.
+    pub buckets_per_disk: Vec<u64>,
+    /// Total buckets the query touched (`|Q|`).
+    pub buckets_touched: u64,
+    /// Response time in bucket retrievals (`max` of `buckets_per_disk`).
+    pub response_time: u64,
+    /// The lower bound `ceil(|Q| / M)`.
+    pub optimal: u64,
+}
+
+impl IoReport {
+    /// Builds a report from the per-disk histogram.
+    pub fn from_histogram(buckets_per_disk: Vec<u64>) -> Self {
+        let buckets_touched: u64 = buckets_per_disk.iter().sum();
+        let response_time = buckets_per_disk.iter().copied().max().unwrap_or(0);
+        let m = buckets_per_disk.len().max(1) as u64;
+        IoReport {
+            buckets_per_disk,
+            buckets_touched,
+            response_time,
+            optimal: buckets_touched.div_ceil(m),
+        }
+    }
+
+    /// Number of disks that participated (read at least one bucket).
+    pub fn disks_used(&self) -> usize {
+        self.buckets_per_disk.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// The busiest disk.
+    pub fn bottleneck(&self) -> Option<DiskId> {
+        let (idx, &max) = self
+            .buckets_per_disk
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &n)| n)?;
+        (max > 0).then_some(DiskId(idx as u32))
+    }
+
+    /// `response_time / optimal` as a float; 1.0 means the scan was
+    /// perfectly parallel.
+    pub fn deviation_factor(&self) -> f64 {
+        if self.optimal == 0 {
+            1.0
+        } else {
+            self.response_time as f64 / self.optimal as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_histogram_computes_all_fields() {
+        let r = IoReport::from_histogram(vec![2, 0, 3, 1]);
+        assert_eq!(r.buckets_touched, 6);
+        assert_eq!(r.response_time, 3);
+        assert_eq!(r.optimal, 2);
+        assert_eq!(r.disks_used(), 3);
+        assert_eq!(r.bottleneck(), Some(DiskId(2)));
+        assert_eq!(r.deviation_factor(), 1.5);
+    }
+
+    #[test]
+    fn empty_scan_report() {
+        let r = IoReport::from_histogram(vec![0, 0]);
+        assert_eq!(r.response_time, 0);
+        assert_eq!(r.optimal, 0);
+        assert_eq!(r.disks_used(), 0);
+        assert_eq!(r.bottleneck(), None);
+        assert_eq!(r.deviation_factor(), 1.0);
+    }
+
+    #[test]
+    fn perfectly_spread_scan() {
+        let r = IoReport::from_histogram(vec![2, 2, 2, 2]);
+        assert_eq!(r.deviation_factor(), 1.0);
+        assert_eq!(r.disks_used(), 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! A declustered multi-attribute file: the storage-engine face of the
+//! workspace.
+//!
+//! [`DeclusteredFile`] ties the substrates together into the object the
+//! paper's parallel database assumes: a [`decluster_grid::GridSchema`]
+//! routes records to buckets, a
+//! [`decluster_methods::DeclusteringMethod`] assigns buckets to disks,
+//! and scans execute bucket-parallel — returning both the matching
+//! records and the I/O accounting (`buckets per disk`, response time,
+//! optimal bound) that the study measures.
+//!
+//! # Example
+//!
+//! ```
+//! use decluster_file::DeclusteredFile;
+//! use decluster_grid::{AttributeDomain, GridSchema, Record, Value, ValueRangeQuery};
+//! use decluster_methods::MethodKind;
+//!
+//! let schema = GridSchema::uniform(
+//!     vec![
+//!         AttributeDomain::int("x", 0, 99),
+//!         AttributeDomain::int("y", 0, 99),
+//!     ],
+//!     8,
+//! ).unwrap();
+//! let mut file = DeclusteredFile::create(schema, MethodKind::Hcam, 4).unwrap();
+//! file.insert(Record::new(vec![Value::Int(10), Value::Int(20)])).unwrap();
+//! file.insert(Record::new(vec![Value::Int(90), Value::Int(20)])).unwrap();
+//!
+//! let q = ValueRangeQuery::new(vec![
+//!     Some((Value::Int(0), Value::Int(49))),
+//!     None,
+//! ]).unwrap();
+//! let scan = file.scan(&q).unwrap();
+//! assert_eq!(scan.records.len(), 1);
+//! assert!(scan.io.response_time >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod file;
+mod io_report;
+
+pub use file::{DeclusteredFile, FileError, FileStats, ScanResult};
+pub use io_report::IoReport;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FileError>;

@@ -1,0 +1,195 @@
+use smallvec::SmallVec;
+use std::fmt;
+
+/// Number of dimensions a [`BucketCoord`] stores inline before spilling to
+/// the heap. The paper's experiments use 2-3 attributes; four covers every
+/// configuration in the study without allocating.
+pub const COORD_INLINE_DIMS: usize = 4;
+
+/// Coordinates of a bucket in the grid: one partition index per attribute.
+///
+/// Bucket `<i_1, i_2, …, i_k>` in the paper's notation. Coordinates are
+/// zero-based. This is the unit every declustering method maps to a disk.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BucketCoord(SmallVec<[u32; COORD_INLINE_DIMS]>);
+
+impl BucketCoord {
+    /// Creates a coordinate from its per-dimension indices.
+    pub fn new(coords: impl Into<SmallVec<[u32; COORD_INLINE_DIMS]>>) -> Self {
+        BucketCoord(coords.into())
+    }
+
+    /// Creates the origin coordinate `<0, …, 0>` with `k` dimensions.
+    pub fn origin(k: usize) -> Self {
+        BucketCoord(SmallVec::from_elem(0, k))
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The coordinates as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Mutable access to the coordinates (used by grid iterators).
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u32] {
+        &mut self.0
+    }
+
+    /// The coordinate on dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= self.dims()`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> u32 {
+        self.0[dim]
+    }
+
+    /// Sum of the coordinates as a `u64` (the quantity DM reduces mod `M`).
+    #[inline]
+    pub fn coord_sum(&self) -> u64 {
+        self.0.iter().map(|&c| u64::from(c)).sum()
+    }
+}
+
+impl fmt::Debug for BucketCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl fmt::Display for BucketCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<u32>> for BucketCoord {
+    fn from(v: Vec<u32>) -> Self {
+        BucketCoord(SmallVec::from_vec(v))
+    }
+}
+
+impl From<&[u32]> for BucketCoord {
+    fn from(v: &[u32]) -> Self {
+        BucketCoord(SmallVec::from_slice(v))
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for BucketCoord {
+    fn from(v: [u32; N]) -> Self {
+        BucketCoord(SmallVec::from_slice(&v))
+    }
+}
+
+impl std::ops::Index<usize> for BucketCoord {
+    type Output = u32;
+    #[inline]
+    fn index(&self, i: usize) -> &u32 {
+        &self.0[i]
+    }
+}
+
+/// Identifier of a disk in the parallel I/O subsystem.
+///
+/// Disks are numbered `0..M`. The newtype prevents mixing disk numbers with
+/// bucket coordinates or linear bucket ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct DiskId(pub u32);
+
+impl DiskId {
+    /// The disk number as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+impl From<u32> for DiskId {
+    fn from(v: u32) -> Self {
+        DiskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_all_zero() {
+        let o = BucketCoord::origin(3);
+        assert_eq!(o.dims(), 3);
+        assert_eq!(o.as_slice(), &[0, 0, 0]);
+        assert_eq!(o.coord_sum(), 0);
+    }
+
+    #[test]
+    fn coord_sum_adds_all_dimensions() {
+        let b = BucketCoord::from([1, 2, 3, 4, 5]);
+        assert_eq!(b.coord_sum(), 15);
+        assert_eq!(b.dims(), 5);
+    }
+
+    #[test]
+    fn coord_sum_does_not_overflow_u32() {
+        let b = BucketCoord::from([u32::MAX, u32::MAX]);
+        assert_eq!(b.coord_sum(), 2 * u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let b = BucketCoord::from([3, 1, 4]);
+        assert_eq!(format!("{b}"), "<3,1,4>");
+        assert_eq!(format!("{b:?}"), "<3,1,4>");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = BucketCoord::from([0, 5]);
+        let b = BucketCoord::from([1, 0]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn indexing_and_coord_agree() {
+        let b = BucketCoord::from([7, 8]);
+        assert_eq!(b[0], 7);
+        assert_eq!(b.coord(1), 8);
+    }
+
+    #[test]
+    fn disk_id_roundtrip() {
+        let d = DiskId::from(5);
+        assert_eq!(d.index(), 5);
+        assert_eq!(d.to_string(), "disk5");
+    }
+
+    #[test]
+    fn small_coords_do_not_heap_allocate() {
+        // SmallVec keeps up to COORD_INLINE_DIMS inline; spilled() reports
+        // whether it moved to the heap.
+        let b = BucketCoord::from([1, 2, 3, 4]);
+        assert!(!b.0.spilled());
+        let big = BucketCoord::from([1, 2, 3, 4, 5]);
+        assert!(big.0.spilled());
+    }
+}

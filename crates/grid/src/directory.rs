@@ -1,0 +1,219 @@
+use crate::{BucketCoord, BucketRegion, DiskId, GridSpace, Result};
+
+/// Physical placement of one bucket: which disk holds it and at which page
+/// position on that disk.
+///
+/// Page numbers are assigned in row-major bucket order per disk, which is
+/// how a bulk-loaded Cartesian product file would be laid out; the
+/// simulator uses inter-page distance as a seek-distance proxy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketPage {
+    /// Disk holding the bucket.
+    pub disk: DiskId,
+    /// Zero-based page position on that disk.
+    pub page: u64,
+}
+
+/// A materialized bucket→(disk, page) directory for a grid, in the style of
+/// the grid file's directory.
+///
+/// The directory is built once from an assignment function (a declustering
+/// method) and thereafter answers placement lookups in O(1) and
+/// disk-content queries in O(buckets-on-disk).
+#[derive(Clone, Debug)]
+pub struct GridDirectory {
+    space: GridSpace,
+    /// Placement per linear bucket id.
+    pages: Vec<BucketPage>,
+    /// Linear bucket ids per disk, in page order.
+    per_disk: Vec<Vec<u64>>,
+}
+
+impl GridDirectory {
+    /// Builds a directory by evaluating `assign` on every bucket of
+    /// `space`, laying buckets out on their disks in row-major order.
+    ///
+    /// `num_disks` fixes the directory width; any assignment ≥ `num_disks`
+    /// is a bug in the method and panics (methods guarantee
+    /// `disk < num_disks` by construction and tests).
+    ///
+    /// # Panics
+    /// Panics if `assign` returns a disk id outside `0..num_disks`, or if
+    /// the grid has more buckets than fit in memory (`usize`).
+    pub fn build(
+        space: GridSpace,
+        num_disks: u32,
+        mut assign: impl FnMut(&BucketCoord) -> DiskId,
+    ) -> Self {
+        let total = usize::try_from(space.num_buckets())
+            .expect("grid too large to materialize a directory");
+        let mut pages = Vec::with_capacity(total);
+        let mut per_disk: Vec<Vec<u64>> = vec![Vec::new(); num_disks as usize];
+        for bucket in space.iter() {
+            let disk = assign(&bucket);
+            assert!(
+                disk.0 < num_disks,
+                "declustering method assigned {disk} but only {num_disks} disks exist"
+            );
+            let page = per_disk[disk.index()].len() as u64;
+            let id = space.linearize_unchecked(bucket.as_slice());
+            per_disk[disk.index()].push(id);
+            pages.push(BucketPage { disk, page });
+        }
+        GridDirectory {
+            space,
+            pages,
+            per_disk,
+        }
+    }
+
+    /// The grid this directory covers.
+    pub fn space(&self) -> &GridSpace {
+        &self.space
+    }
+
+    /// Number of disks.
+    pub fn num_disks(&self) -> u32 {
+        self.per_disk.len() as u32
+    }
+
+    /// Placement of a bucket.
+    ///
+    /// # Errors
+    /// Bounds errors if the bucket lies outside the grid.
+    pub fn lookup(&self, bucket: &BucketCoord) -> Result<BucketPage> {
+        let id = self.space.linearize(bucket)?;
+        Ok(self.pages[id as usize])
+    }
+
+    /// Placement by linear bucket id.
+    ///
+    /// # Errors
+    /// [`crate::GridError::LinearOutOfBounds`] for an invalid id.
+    pub fn lookup_linear(&self, id: u64) -> Result<BucketPage> {
+        // Reuse delinearize purely for its bounds check.
+        self.space.delinearize(id)?;
+        Ok(self.pages[id as usize])
+    }
+
+    /// Linear bucket ids stored on `disk`, in page order.
+    ///
+    /// Returns an empty slice for a disk id out of range (such a disk holds
+    /// nothing by definition).
+    pub fn buckets_on_disk(&self, disk: DiskId) -> &[u64] {
+        self.per_disk
+            .get(disk.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of buckets per disk (the static load vector).
+    pub fn load_vector(&self) -> Vec<u64> {
+        self.per_disk.iter().map(|v| v.len() as u64).collect()
+    }
+
+    /// For each disk, the pages that `region` touches on it (sorted).
+    ///
+    /// This is the physical I/O plan for a range query: disk `i` must fetch
+    /// `plan[i]` pages.
+    pub fn io_plan(&self, region: &BucketRegion) -> Vec<Vec<u64>> {
+        let mut plan: Vec<Vec<u64>> = vec![Vec::new(); self.per_disk.len()];
+        for bucket in region.iter() {
+            let id = self.space.linearize_unchecked(bucket.as_slice());
+            let bp = self.pages[id as usize];
+            plan[bp.disk.index()].push(bp.page);
+        }
+        for pages in &mut plan {
+            pages.sort_unstable();
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_robin_dir() -> GridDirectory {
+        let space = GridSpace::new_2d(4, 4).unwrap();
+        let s2 = space.clone();
+        GridDirectory::build(space, 4, move |b| {
+            DiskId((s2.linearize_unchecked(b.as_slice()) % 4) as u32)
+        })
+    }
+
+    #[test]
+    fn build_assigns_sequential_pages_per_disk() {
+        let dir = round_robin_dir();
+        // Bucket <0,0> is linear 0 -> disk 0 page 0; <1,0> is linear 4 ->
+        // disk 0 page 1.
+        assert_eq!(
+            dir.lookup(&BucketCoord::from([0, 0])).unwrap(),
+            BucketPage { disk: DiskId(0), page: 0 }
+        );
+        assert_eq!(
+            dir.lookup(&BucketCoord::from([1, 0])).unwrap(),
+            BucketPage { disk: DiskId(0), page: 1 }
+        );
+        assert_eq!(
+            dir.lookup(&BucketCoord::from([0, 1])).unwrap(),
+            BucketPage { disk: DiskId(1), page: 0 }
+        );
+    }
+
+    #[test]
+    fn load_vector_is_balanced_for_round_robin() {
+        let dir = round_robin_dir();
+        assert_eq!(dir.load_vector(), vec![4, 4, 4, 4]);
+        assert_eq!(dir.num_disks(), 4);
+    }
+
+    #[test]
+    fn buckets_on_disk_in_page_order() {
+        let dir = round_robin_dir();
+        assert_eq!(dir.buckets_on_disk(DiskId(1)), &[1, 5, 9, 13]);
+        assert!(dir.buckets_on_disk(DiskId(9)).is_empty());
+    }
+
+    #[test]
+    fn lookup_errors_out_of_bounds() {
+        let dir = round_robin_dir();
+        assert!(dir.lookup(&BucketCoord::from([4, 0])).is_err());
+        assert!(dir.lookup_linear(16).is_err());
+        assert!(dir.lookup_linear(15).is_ok());
+    }
+
+    #[test]
+    fn io_plan_covers_region_exactly() {
+        let dir = round_robin_dir();
+        let region = BucketRegion::new(
+            dir.space(),
+            BucketCoord::from([0, 0]),
+            BucketCoord::from([1, 1]),
+        )
+        .unwrap();
+        let plan = dir.io_plan(&region);
+        let fetched: usize = plan.iter().map(Vec::len).sum();
+        assert_eq!(fetched as u64, region.num_buckets());
+        // Round-robin on a 4-wide grid puts column j on disk (4r + j) % 4 = j... per row.
+        // <0,0> and <1,0> both on disk 0.
+        assert_eq!(plan[0], vec![0, 1]);
+        assert_eq!(plan[1], vec![0, 1]);
+        assert!(plan[2].is_empty() && plan[3].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned")]
+    fn build_panics_on_out_of_range_disk() {
+        let space = GridSpace::new_2d(2, 2).unwrap();
+        let _ = GridDirectory::build(space, 2, |_| DiskId(7));
+    }
+
+    #[test]
+    fn single_disk_directory() {
+        let space = GridSpace::new_2d(3, 3).unwrap();
+        let dir = GridDirectory::build(space, 1, |_| DiskId(0));
+        assert_eq!(dir.load_vector(), vec![9]);
+        assert_eq!(dir.buckets_on_disk(DiskId(0)).len(), 9);
+    }
+}

@@ -1,0 +1,144 @@
+use crate::record::Value;
+
+/// The kind of values an attribute holds, with its (closed) domain bounds
+/// where applicable.
+///
+/// The paper treats attribute domains abstractly as ordered sets that a
+/// partitioning splits into `d_i` intervals; these are the concrete carriers
+/// a real relation would use.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DomainKind {
+    /// 64-bit integers in `[min, max]` (inclusive).
+    Int {
+        /// Smallest admissible value.
+        min: i64,
+        /// Largest admissible value.
+        max: i64,
+    },
+    /// 64-bit floats in `[min, max)` (half-open; `max` itself maps to the
+    /// last partition for convenience).
+    Float {
+        /// Smallest admissible value.
+        min: f64,
+        /// Exclusive upper bound.
+        max: f64,
+    },
+    /// UTF-8 strings ordered lexicographically; unbounded domain.
+    Str,
+}
+
+impl DomainKind {
+    /// Whether `v` is a member of this domain (type and range).
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (DomainKind::Int { min, max }, Value::Int(x)) => min <= x && x <= max,
+            (DomainKind::Float { min, max }, Value::Float(x)) => {
+                x.is_finite() && *min <= *x && *x <= *max
+            }
+            (DomainKind::Str, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether `v` has the right type for this domain, ignoring range.
+    pub fn type_matches(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (DomainKind::Int { .. }, Value::Int(_))
+                | (DomainKind::Float { .. }, Value::Float(_))
+                | (DomainKind::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A named attribute of the relation together with its value domain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributeDomain {
+    name: String,
+    kind: DomainKind,
+}
+
+impl AttributeDomain {
+    /// Creates an attribute with the given name and domain.
+    pub fn new(name: impl Into<String>, kind: DomainKind) -> Self {
+        AttributeDomain {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Integer attribute over `[min, max]`.
+    pub fn int(name: impl Into<String>, min: i64, max: i64) -> Self {
+        AttributeDomain::new(name, DomainKind::Int { min, max })
+    }
+
+    /// Float attribute over `[min, max)`.
+    pub fn float(name: impl Into<String>, min: f64, max: f64) -> Self {
+        AttributeDomain::new(name, DomainKind::Float { min, max })
+    }
+
+    /// String attribute (lexicographic order).
+    pub fn str(name: impl Into<String>) -> Self {
+        AttributeDomain::new(name, DomainKind::Str)
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain kind.
+    pub fn kind(&self) -> &DomainKind {
+        &self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_domain_membership() {
+        let d = DomainKind::Int { min: 0, max: 9 };
+        assert!(d.contains(&Value::Int(0)));
+        assert!(d.contains(&Value::Int(9)));
+        assert!(!d.contains(&Value::Int(10)));
+        assert!(!d.contains(&Value::Int(-1)));
+        assert!(!d.contains(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn float_domain_membership() {
+        let d = DomainKind::Float { min: 0.0, max: 1.0 };
+        assert!(d.contains(&Value::Float(0.0)));
+        assert!(d.contains(&Value::Float(1.0)));
+        assert!(!d.contains(&Value::Float(1.5)));
+        assert!(!d.contains(&Value::Float(f64::NAN)));
+        assert!(!d.contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn str_domain_accepts_any_string() {
+        let d = DomainKind::Str;
+        assert!(d.contains(&Value::Str("zebra".into())));
+        assert!(!d.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn type_matches_ignores_range() {
+        let d = DomainKind::Int { min: 0, max: 9 };
+        assert!(d.type_matches(&Value::Int(100)));
+        assert!(!d.type_matches(&Value::Str("x".into())));
+    }
+
+    #[test]
+    fn attribute_constructors() {
+        let a = AttributeDomain::int("age", 0, 120);
+        assert_eq!(a.name(), "age");
+        assert_eq!(a.kind(), &DomainKind::Int { min: 0, max: 120 });
+        let s = AttributeDomain::str("name");
+        assert_eq!(s.kind(), &DomainKind::Str);
+        let f = AttributeDomain::float("salary", 0.0, 1e6);
+        assert!(matches!(f.kind(), DomainKind::Float { .. }));
+    }
+}

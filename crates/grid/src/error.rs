@@ -1,0 +1,143 @@
+use std::fmt;
+
+/// Errors produced by grid construction, record routing, and query mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// A grid must have at least one dimension.
+    EmptyGrid,
+    /// Every dimension must have at least one partition.
+    ZeroPartitions {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+    /// The total number of buckets overflows `u64`.
+    TooManyBuckets,
+    /// A coordinate vector has the wrong number of dimensions.
+    DimensionMismatch {
+        /// Dimensions the grid expects.
+        expected: usize,
+        /// Dimensions that were supplied.
+        got: usize,
+    },
+    /// A coordinate lies outside the grid.
+    CoordOutOfBounds {
+        /// Offending dimension.
+        dim: usize,
+        /// Supplied coordinate on that dimension.
+        coord: u32,
+        /// Number of partitions on that dimension.
+        partitions: u32,
+    },
+    /// A linear bucket id lies outside the grid.
+    LinearOutOfBounds {
+        /// Supplied linear id.
+        id: u64,
+        /// Total number of buckets.
+        total: u64,
+    },
+    /// A range query has `lo > hi` on some dimension.
+    InvertedRange {
+        /// Offending dimension.
+        dim: usize,
+    },
+    /// A query lies entirely outside the data space.
+    EmptyQuery,
+    /// A record value does not fall in its attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute index.
+        attribute: usize,
+    },
+    /// A record has the wrong arity for the schema.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity that was supplied.
+        got: usize,
+    },
+    /// A value of the wrong type was supplied for an attribute.
+    TypeMismatch {
+        /// Attribute index.
+        attribute: usize,
+    },
+    /// A partitioning's boundaries are not strictly increasing.
+    UnsortedBoundaries,
+    /// A partitioning does not cover its domain.
+    IncompletePartitioning,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::EmptyGrid => write!(f, "grid must have at least one dimension"),
+            GridError::ZeroPartitions { dim } => {
+                write!(f, "dimension {dim} must have at least one partition")
+            }
+            GridError::TooManyBuckets => write!(f, "total bucket count overflows u64"),
+            GridError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} dimensions, got {got}")
+            }
+            GridError::CoordOutOfBounds {
+                dim,
+                coord,
+                partitions,
+            } => write!(
+                f,
+                "coordinate {coord} out of bounds on dimension {dim} (has {partitions} partitions)"
+            ),
+            GridError::LinearOutOfBounds { id, total } => {
+                write!(f, "linear bucket id {id} out of bounds (grid has {total} buckets)")
+            }
+            GridError::InvertedRange { dim } => {
+                write!(f, "range query has lo > hi on dimension {dim}")
+            }
+            GridError::EmptyQuery => write!(f, "query does not intersect the data space"),
+            GridError::ValueOutOfDomain { attribute } => {
+                write!(f, "value out of domain for attribute {attribute}")
+            }
+            GridError::ArityMismatch { expected, got } => {
+                write!(f, "record arity mismatch: schema has {expected} attributes, record has {got}")
+            }
+            GridError::TypeMismatch { attribute } => {
+                write!(f, "value type mismatch for attribute {attribute}")
+            }
+            GridError::UnsortedBoundaries => {
+                write!(f, "partition boundaries must be strictly increasing")
+            }
+            GridError::IncompletePartitioning => {
+                write!(f, "partitioning does not cover the attribute domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GridError::CoordOutOfBounds {
+            dim: 1,
+            coord: 9,
+            partitions: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("dimension 1"));
+        assert!(s.contains('9'));
+        assert!(s.contains('8'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GridError::EmptyGrid, GridError::EmptyGrid);
+        assert_ne!(GridError::EmptyGrid, GridError::TooManyBuckets);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GridError::EmptyQuery);
+        assert!(e.to_string().contains("query"));
+    }
+}

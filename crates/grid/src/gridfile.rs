@@ -1,0 +1,949 @@
+//! A dynamic grid file (Nievergelt, Hinterberger & Sevcik, TODS 1984) —
+//! the adaptable structure behind the paper's grid partitioning.
+//!
+//! The static [`crate::GridSchema`] fixes its partitionings up front,
+//! which is what the declustering study assumes ("the allocation of
+//! buckets remains fixed over time"). The grid file is where those
+//! partitionings come from in a living system: *linear scales* (one
+//! ordered cut-point list per attribute) partition the space into cells,
+//! a *directory* maps every cell to a data bucket, and bucket overflows
+//! drive splits — first splitting buckets that span several cells
+//! (directory unchanged), then extending a scale (directory grows by one
+//! slice) when a bucket has shrunk to a single cell.
+//!
+//! This module implements insertion, splitting, directory maintenance,
+//! and range scans with bucket-access accounting. Convergence guarantee:
+//! a split always reduces the maximum bucket occupancy unless all
+//! records in the bucket are duplicates of one point, in which case the
+//! bucket is allowed to overflow (documented grid-file behaviour).
+//!
+//! # Example
+//!
+//! ```
+//! use decluster_grid::{AttributeDomain, GridFile, Record, Value, ValueRangeQuery};
+//!
+//! let mut gf = GridFile::new(
+//!     vec![
+//!         AttributeDomain::int("x", 0, 999),
+//!         AttributeDomain::int("y", 0, 999),
+//!     ],
+//!     4, // bucket capacity
+//! ).unwrap();
+//! for i in 0..100i64 {
+//!     gf.insert(Record::new(vec![Value::Int(i * 7 % 1000), Value::Int(i * 13 % 1000)])).unwrap();
+//! }
+//! assert_eq!(gf.len(), 100);
+//! let q = ValueRangeQuery::new(vec![Some((Value::Int(0), Value::Int(499))), None]).unwrap();
+//! let result = gf.scan(&q).unwrap();
+//! assert!(result.records.iter().all(|r| matches!(r.value(0), Value::Int(x) if *x < 500)));
+//! ```
+
+use crate::record::{Record, Value};
+use crate::{AttributeDomain, GridError, Result};
+use std::cmp::Ordering;
+
+/// Identifier of a data bucket inside a [`GridFile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridBucketId(pub usize);
+
+/// One data bucket: the records of a hyper-rectangular cell region.
+#[derive(Clone, Debug)]
+struct Bucket {
+    /// Inclusive cell-coordinate region this bucket covers.
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    records: Vec<Record>,
+}
+
+impl Bucket {
+    fn spans_multiple_cells(&self, dim: usize) -> bool {
+        self.hi[dim] > self.lo[dim]
+    }
+}
+
+/// Result of a [`GridFile::scan`]: matching records plus access counts.
+#[derive(Clone, Debug)]
+pub struct GridScan {
+    /// Records satisfying the query exactly.
+    pub records: Vec<Record>,
+    /// Distinct buckets read.
+    pub buckets_read: usize,
+    /// Directory cells examined.
+    pub cells_examined: u64,
+}
+
+/// A dynamic grid file over typed attributes.
+#[derive(Debug)]
+pub struct GridFile {
+    attributes: Vec<AttributeDomain>,
+    /// Cut points per dimension, strictly increasing. `cuts[d].len() + 1`
+    /// cells along dimension `d`.
+    scales: Vec<Vec<Value>>,
+    /// Row-major directory: cell → bucket id.
+    directory: Vec<GridBucketId>,
+    /// Cells per dimension.
+    cells: Vec<u32>,
+    buckets: Vec<Bucket>,
+    capacity: usize,
+    /// Next dimension to try splitting (cyclic policy).
+    next_split_dim: usize,
+    records: u64,
+}
+
+impl GridFile {
+    /// Creates an empty grid file: one cell, one bucket.
+    ///
+    /// # Errors
+    /// [`GridError::EmptyGrid`] for no attributes,
+    /// [`GridError::IncompletePartitioning`] for `capacity == 0`.
+    pub fn new(attributes: Vec<AttributeDomain>, capacity: usize) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(GridError::EmptyGrid);
+        }
+        if capacity == 0 {
+            return Err(GridError::IncompletePartitioning);
+        }
+        let k = attributes.len();
+        Ok(GridFile {
+            attributes,
+            scales: vec![Vec::new(); k],
+            directory: vec![GridBucketId(0)],
+            cells: vec![1; k],
+            buckets: vec![Bucket {
+                lo: vec![0; k],
+                hi: vec![0; k],
+                records: Vec::new(),
+            }],
+            capacity,
+            next_split_dim: 0,
+            records: 0,
+        })
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Current cells per dimension (the induced grid resolution).
+    pub fn cell_counts(&self) -> &[u32] {
+        &self.cells
+    }
+
+    /// Number of data buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket capacity (soft: all-duplicate buckets may exceed it).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cut points currently on dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim` is out of range.
+    pub fn scale(&self, dim: usize) -> &[Value] {
+        &self.scales[dim]
+    }
+
+    /// Inserts a record, splitting buckets/extending scales as needed.
+    ///
+    /// # Errors
+    /// Arity/type/domain errors for malformed records.
+    pub fn insert(&mut self, record: Record) -> Result<()> {
+        self.check_record(&record)?;
+        let cell = self.cell_of(&record);
+        let bucket_id = self.bucket_at(&cell);
+        self.buckets[bucket_id.0].records.push(record);
+        self.records += 1;
+        if self.buckets[bucket_id.0].records.len() > self.capacity {
+            self.split(bucket_id);
+        }
+        Ok(())
+    }
+
+    /// Deletes one record equal to `record`, returning whether one was
+    /// found.
+    ///
+    /// Buckets are **not** merged on underflow: the original grid file's
+    /// merging policy mainly reclaims directory space and does not affect
+    /// query correctness, so this implementation (like several published
+    /// grid-file variants) leaves regions in place. Scales never shrink.
+    ///
+    /// # Errors
+    /// Arity/type/domain errors for malformed records.
+    pub fn delete(&mut self, record: &Record) -> Result<bool> {
+        self.check_record(record)?;
+        let cell = self.cell_of(record);
+        let bucket_id = self.bucket_at(&cell);
+        let records = &mut self.buckets[bucket_id.0].records;
+        if let Some(pos) = records.iter().position(|r| r == record) {
+            records.swap_remove(pos);
+            self.records -= 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Exact-predicate range scan with bucket-access accounting.
+    ///
+    /// # Errors
+    /// Arity/type errors in the query.
+    pub fn scan(&self, query: &crate::ValueRangeQuery) -> Result<GridScan> {
+        if query.dims() != self.arity() {
+            return Err(GridError::ArityMismatch {
+                expected: self.arity(),
+                got: query.dims(),
+            });
+        }
+        // Cell range per dimension.
+        let k = self.arity();
+        let mut lo = vec![0u32; k];
+        let mut hi: Vec<u32> = self.cells.iter().map(|&c| c - 1).collect();
+        for (d, interval) in query.intervals().iter().enumerate() {
+            if let Some((a, b)) = interval {
+                if !self.attributes[d].kind().type_matches(a)
+                    || !self.attributes[d].kind().type_matches(b)
+                {
+                    return Err(GridError::TypeMismatch { attribute: d });
+                }
+                match a.partial_cmp_same_type(b) {
+                    Some(Ordering::Greater) => return Err(GridError::InvertedRange { dim: d }),
+                    None => return Err(GridError::TypeMismatch { attribute: d }),
+                    _ => {}
+                }
+                lo[d] = self.cell_index(d, a)?;
+                hi[d] = self.cell_index(d, b)?;
+            }
+        }
+        // Walk the cell box, dedupe buckets.
+        let mut seen = vec![false; self.buckets.len()];
+        let mut records = Vec::new();
+        let mut buckets_read = 0usize;
+        let mut cells_examined = 0u64;
+        let mut pos = lo.clone();
+        loop {
+            cells_examined += 1;
+            let b = self.bucket_at(&pos);
+            if !seen[b.0] {
+                seen[b.0] = true;
+                buckets_read += 1;
+                for r in &self.buckets[b.0].records {
+                    if Self::matches(query, r) {
+                        records.push(r.clone());
+                    }
+                }
+            }
+            let mut dim = k;
+            let advanced = loop {
+                if dim == 0 {
+                    break false;
+                }
+                dim -= 1;
+                pos[dim] += 1;
+                if pos[dim] <= hi[dim] {
+                    break true;
+                }
+                pos[dim] = lo[dim];
+            };
+            if !advanced {
+                break;
+            }
+        }
+        Ok(GridScan {
+            records,
+            buckets_read,
+            cells_examined,
+        })
+    }
+
+    /// The current scales as static [`crate::Partitioning`]s — the bridge
+    /// from dynamic partition discovery to the paper's static
+    /// declustering: bulk-load a grid file, freeze its scales into a
+    /// [`crate::GridSchema`], and decluster that grid.
+    ///
+    /// # Errors
+    /// Propagates cut-point validation (cannot fail for a consistent
+    /// file; kept fallible for API honesty).
+    pub fn partitionings(&self) -> Result<Vec<crate::Partitioning>> {
+        self.scales
+            .iter()
+            .map(|cuts| crate::Partitioning::from_cuts(cuts.clone()))
+            .collect()
+    }
+
+    /// Freezes the file's current partitioning into a static
+    /// [`crate::GridSchema`] over the same attributes.
+    ///
+    /// # Errors
+    /// Propagates schema construction errors.
+    pub fn to_schema(&self) -> Result<crate::GridSchema> {
+        crate::GridSchema::new(self.attributes.clone(), self.partitionings()?)
+    }
+
+    /// The per-bucket occupancy histogram (diagnostics, tests).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.records.len()).collect()
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// * every directory cell maps to a bucket whose region contains it;
+    /// * bucket regions tile the directory exactly;
+    /// * every record lies in a cell of its bucket's region;
+    /// * record count matches.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let k = self.arity();
+        let mut counted = 0u64;
+        // Region containment + tiling via per-cell check.
+        let mut pos = vec![0u32; k];
+        loop {
+            let b = self.bucket_at(&pos);
+            let bucket = &self.buckets[b.0];
+            for d in 0..k {
+                if pos[d] < bucket.lo[d] || pos[d] > bucket.hi[d] {
+                    return Err(format!(
+                        "cell {pos:?} maps to bucket {b:?} with region {:?}..{:?}",
+                        bucket.lo, bucket.hi
+                    ));
+                }
+            }
+            let mut dim = k;
+            let advanced = loop {
+                if dim == 0 {
+                    break false;
+                }
+                dim -= 1;
+                pos[dim] += 1;
+                if pos[dim] < self.cells[dim] {
+                    break true;
+                }
+                pos[dim] = 0;
+            };
+            if !advanced {
+                break;
+            }
+        }
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            counted += bucket.records.len() as u64;
+            for r in &bucket.records {
+                let cell = self.cell_of(r);
+                for d in 0..k {
+                    if cell[d] < bucket.lo[d] || cell[d] > bucket.hi[d] {
+                        return Err(format!(
+                            "record {r:?} in bucket {i} lies in cell {cell:?} outside {:?}..{:?}",
+                            bucket.lo, bucket.hi
+                        ));
+                    }
+                }
+            }
+        }
+        if counted != self.records {
+            return Err(format!("record count {counted} != {}", self.records));
+        }
+        Ok(())
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn check_record(&self, record: &Record) -> Result<()> {
+        if record.arity() != self.arity() {
+            return Err(GridError::ArityMismatch {
+                expected: self.arity(),
+                got: record.arity(),
+            });
+        }
+        for (i, v) in record.values().iter().enumerate() {
+            if !self.attributes[i].kind().type_matches(v) {
+                return Err(GridError::TypeMismatch { attribute: i });
+            }
+            if !self.attributes[i].kind().contains(v) {
+                return Err(GridError::ValueOutOfDomain { attribute: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cell index of a value on one dimension: number of cuts ≤ value.
+    fn cell_index(&self, dim: usize, v: &Value) -> Result<u32> {
+        let cuts = &self.scales[dim];
+        let mut lo = 0usize;
+        let mut hi = cuts.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match cuts[mid].partial_cmp_same_type(v) {
+                Some(Ordering::Greater) => hi = mid,
+                Some(_) => lo = mid + 1,
+                None => return Err(GridError::TypeMismatch { attribute: dim }),
+            }
+        }
+        Ok(lo as u32)
+    }
+
+    fn cell_of(&self, record: &Record) -> Vec<u32> {
+        (0..self.arity())
+            .map(|d| {
+                self.cell_index(d, record.value(d))
+                    .expect("record was type-checked on insert")
+            })
+            .collect()
+    }
+
+    fn dir_index(&self, cell: &[u32]) -> usize {
+        let mut idx = 0usize;
+        for (d, &c) in cell.iter().enumerate() {
+            idx = idx * self.cells[d] as usize + c as usize;
+        }
+        idx
+    }
+
+    fn bucket_at(&self, cell: &[u32]) -> GridBucketId {
+        self.directory[self.dir_index(cell)]
+    }
+
+    /// Splits an overflowing bucket. Tries, in cyclic dimension order:
+    /// (1) a region split along a dimension the bucket spans;
+    /// (2) a scale extension at the median record value, then the region
+    ///     split. Gives up (soft overflow) only when every record is the
+    ///     same point.
+    fn split(&mut self, bucket_id: GridBucketId) {
+        let k = self.arity();
+        for attempt in 0..k {
+            let dim = (self.next_split_dim + attempt) % k;
+            if self.buckets[bucket_id.0].spans_multiple_cells(dim) {
+                if self.region_split(bucket_id, dim) {
+                    self.next_split_dim = (dim + 1) % k;
+                    return;
+                }
+            } else if self.extend_scale(bucket_id, dim) {
+                // The bucket now spans two cells along `dim`.
+                let split_ok = self.region_split(bucket_id, dim);
+                debug_assert!(split_ok, "scale extension must enable a split");
+                self.next_split_dim = (dim + 1) % k;
+                return;
+            }
+        }
+        // All dimensions degenerate (all records one point): soft overflow.
+    }
+
+    /// Splits the bucket's cell region along `dim` at a boundary that
+    /// separates records; returns false if every boundary leaves one side
+    /// empty *and* the region cannot separate records (degenerate).
+    fn region_split(&mut self, bucket_id: GridBucketId, dim: usize) -> bool {
+        let (lo_d, hi_d) = {
+            let b = &self.buckets[bucket_id.0];
+            (b.lo[dim], b.hi[dim])
+        };
+        if hi_d <= lo_d {
+            return false;
+        }
+        // Candidate boundary: midpoint first, then sweep for one that
+        // actually separates records.
+        let mut boundaries: Vec<u32> = (lo_d..hi_d).collect();
+        boundaries.sort_by_key(|&b| {
+            let mid = lo_d + (hi_d - lo_d) / 2;
+            b.abs_diff(mid)
+        });
+        for boundary in boundaries {
+            // Left keeps cells lo..=boundary, right gets boundary+1..=hi.
+            let drained: Vec<Record> = self.buckets[bucket_id.0].records.drain(..).collect();
+            let (left, right): (Vec<Record>, Vec<Record>) = drained
+                .into_iter()
+                .partition(|r| self.cell_index(dim, r.value(dim)).expect("typed") <= boundary);
+            if left.is_empty() || right.is_empty() {
+                // Put them back and try the next boundary.
+                let all: Vec<Record> = left.into_iter().chain(right).collect();
+                self.buckets[bucket_id.0].records = all;
+                continue;
+            }
+            // Commit: shrink the old bucket, create the new one.
+            let new_id = GridBucketId(self.buckets.len());
+            let (mut new_lo, mut new_hi) = {
+                let b = &mut self.buckets[bucket_id.0];
+                b.records = left;
+                let new_lo = {
+                    let mut l = b.lo.clone();
+                    l[dim] = boundary + 1;
+                    l
+                };
+                let new_hi = b.hi.clone();
+                b.hi[dim] = boundary;
+                (new_lo, new_hi)
+            };
+            self.buckets.push(Bucket {
+                lo: std::mem::take(&mut new_lo),
+                hi: std::mem::take(&mut new_hi),
+                records: right,
+            });
+            // Re-point directory cells of the new region.
+            self.repoint(new_id);
+            // Recurse if either half still overflows (possible after a
+            // skewed split).
+            for id in [bucket_id, new_id] {
+                if self.buckets[id.0].records.len() > self.capacity {
+                    self.split(id);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Adds a cut point on `dim` inside the (single-cell) region of
+    /// `bucket_id`, chosen near the median record value. Rebuilds the
+    /// directory. Returns false if no cut can separate the records while
+    /// keeping the scale strictly increasing (all values equal, or all
+    /// non-maximal values sit on the cell's left boundary).
+    fn extend_scale(&mut self, bucket_id: GridBucketId, dim: usize) -> bool {
+        let cell = self.buckets[bucket_id.0].lo[dim];
+        let records = &self.buckets[bucket_id.0].records;
+        let mut values: Vec<Value> = records.iter().map(|r| r.value(dim).clone()).collect();
+        values.sort_by(|a, b| a.partial_cmp_same_type(b).unwrap_or(Ordering::Equal));
+        values.dedup_by(|a, b| a.partial_cmp_same_type(b) == Some(Ordering::Equal));
+        if values.len() < 2 {
+            return false; // all records share one value on this dimension
+        }
+        // Cell-index semantics: a value equal to a cut lies in the cell
+        // *above* the cut (index = number of cuts ≤ value). A cut `c`
+        // therefore sends values < c left and values ≥ c right, so any
+        // distinct value except the minimum separates the records; the
+        // scale stays strictly increasing because every such value
+        // strictly exceeds the cell's left boundary (≤ the minimum).
+        let candidates = &values[1..];
+        let cut = candidates[candidates.len() / 2].clone();
+        // Insert the cut into the scale at position `cell` (cuts ≤ index).
+        self.scales[dim].insert(cell as usize, cut);
+        self.cells[dim] += 1;
+        // Shift every bucket's region on `dim`: coordinates > cell move up;
+        // the bucket containing `cell` now spans cell..=cell+1.
+        for b in &mut self.buckets {
+            if b.lo[dim] > cell {
+                b.lo[dim] += 1;
+            }
+            if b.hi[dim] >= cell {
+                b.hi[dim] += 1;
+            }
+        }
+        self.rebuild_directory();
+        true
+    }
+
+    /// Rebuilds the whole directory from bucket regions (used after scale
+    /// extension).
+    fn rebuild_directory(&mut self) {
+        let total: usize = self.cells.iter().map(|&c| c as usize).product();
+        self.directory = vec![GridBucketId(usize::MAX); total];
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let k = self.arity();
+            let mut pos = bucket.lo.clone();
+            loop {
+                let idx = {
+                    let mut acc = 0usize;
+                    for (d, &c) in pos.iter().enumerate() {
+                        acc = acc * self.cells[d] as usize + c as usize;
+                    }
+                    acc
+                };
+                self.directory[idx] = GridBucketId(i);
+                let mut dim = k;
+                let advanced = loop {
+                    if dim == 0 {
+                        break false;
+                    }
+                    dim -= 1;
+                    pos[dim] += 1;
+                    if pos[dim] <= bucket.hi[dim] {
+                        break true;
+                    }
+                    pos[dim] = bucket.lo[dim];
+                };
+                if !advanced {
+                    break;
+                }
+            }
+        }
+        debug_assert!(
+            self.directory.iter().all(|b| b.0 != usize::MAX),
+            "directory has unmapped cells"
+        );
+    }
+
+    /// Points the directory cells of `bucket_id`'s region at it (used
+    /// after a region split, where the grid resolution is unchanged).
+    fn repoint(&mut self, bucket_id: GridBucketId) {
+        let (lo, hi) = {
+            let b = &self.buckets[bucket_id.0];
+            (b.lo.clone(), b.hi.clone())
+        };
+        let k = self.arity();
+        let mut pos = lo.clone();
+        loop {
+            let idx = self.dir_index(&pos);
+            self.directory[idx] = bucket_id;
+            let mut dim = k;
+            let advanced = loop {
+                if dim == 0 {
+                    break false;
+                }
+                dim -= 1;
+                pos[dim] += 1;
+                if pos[dim] <= hi[dim] {
+                    break true;
+                }
+                pos[dim] = lo[dim];
+            };
+            if !advanced {
+                break;
+            }
+        }
+    }
+
+    fn matches(query: &crate::ValueRangeQuery, record: &Record) -> bool {
+        query
+            .intervals()
+            .iter()
+            .zip(record.values())
+            .all(|(interval, v)| match interval {
+                None => true,
+                Some((lo, hi)) => {
+                    matches!(
+                        lo.partial_cmp_same_type(v),
+                        Some(Ordering::Less | Ordering::Equal)
+                    ) && matches!(
+                        v.partial_cmp_same_type(hi),
+                        Some(Ordering::Less | Ordering::Equal)
+                    )
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValueRangeQuery;
+
+    fn file(capacity: usize) -> GridFile {
+        GridFile::new(
+            vec![
+                AttributeDomain::int("x", 0, 999),
+                AttributeDomain::int("y", 0, 999),
+            ],
+            capacity,
+        )
+        .unwrap()
+    }
+
+    fn rec(x: i64, y: i64) -> Record {
+        Record::new(vec![Value::Int(x), Value::Int(y)])
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            GridFile::new(vec![], 4).unwrap_err(),
+            GridError::EmptyGrid
+        ));
+        assert!(GridFile::new(vec![AttributeDomain::int("x", 0, 9)], 0).is_err());
+        let gf = file(4);
+        assert!(gf.is_empty());
+        assert_eq!(gf.cell_counts(), &[1, 1]);
+        assert_eq!(gf.num_buckets(), 1);
+    }
+
+    #[test]
+    fn inserts_split_when_capacity_exceeded() {
+        let mut gf = file(2);
+        for i in 0..10 {
+            gf.insert(rec(i * 100, i * 100)).unwrap();
+            gf.check_invariants().unwrap();
+        }
+        assert_eq!(gf.len(), 10);
+        assert!(gf.num_buckets() > 1, "no splits happened");
+        // Every bucket within capacity (no degenerate duplicates here).
+        assert!(gf.occupancy().iter().all(|&n| n <= 2), "{:?}", gf.occupancy());
+    }
+
+    #[test]
+    fn insert_rejects_bad_records() {
+        let mut gf = file(4);
+        assert!(gf.insert(Record::new(vec![Value::Int(1)])).is_err());
+        assert!(gf.insert(rec(-5, 0)).is_err());
+        assert!(gf
+            .insert(Record::new(vec![Value::from("x"), Value::Int(1)]))
+            .is_err());
+        assert_eq!(gf.len(), 0);
+    }
+
+    #[test]
+    fn scan_matches_naive_filter() {
+        let mut gf = file(3);
+        let mut all = Vec::new();
+        for i in 0..200i64 {
+            let r = rec((i * 37) % 1000, (i * 59) % 1000);
+            all.push(r.clone());
+            gf.insert(r).unwrap();
+        }
+        gf.check_invariants().unwrap();
+        let q = ValueRangeQuery::new(vec![
+            Some((Value::Int(100), Value::Int(600))),
+            Some((Value::Int(0), Value::Int(500))),
+        ])
+        .unwrap();
+        let mut got = gf.scan(&q).unwrap().records;
+        let mut expected: Vec<Record> = all
+            .into_iter()
+            .filter(|r| {
+                matches!(r.value(0), Value::Int(x) if (100..=600).contains(x))
+                    && matches!(r.value(1), Value::Int(y) if (0..=500).contains(y))
+            })
+            .collect();
+        let key = |r: &Record| {
+            let (Value::Int(a), Value::Int(b)) = (r.value(0).clone(), r.value(1).clone()) else {
+                unreachable!()
+            };
+            (a, b)
+        };
+        got.sort_by_key(key);
+        expected.sort_by_key(key);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn scan_reads_fewer_buckets_for_smaller_queries() {
+        let mut gf = file(4);
+        for i in 0..500i64 {
+            gf.insert(rec((i * 13) % 1000, (i * 29) % 1000)).unwrap();
+        }
+        let narrow = ValueRangeQuery::new(vec![
+            Some((Value::Int(0), Value::Int(99))),
+            Some((Value::Int(0), Value::Int(99))),
+        ])
+        .unwrap();
+        let wide = ValueRangeQuery::new(vec![None, None]).unwrap();
+        let n = gf.scan(&narrow).unwrap();
+        let w = gf.scan(&wide).unwrap();
+        assert!(n.buckets_read < w.buckets_read);
+        assert_eq!(w.records.len() as u64, gf.len());
+        assert_eq!(w.buckets_read, gf.num_buckets());
+    }
+
+    #[test]
+    fn duplicate_heavy_bucket_soft_overflows() {
+        let mut gf = file(3);
+        for _ in 0..10 {
+            gf.insert(rec(500, 500)).unwrap();
+        }
+        gf.check_invariants().unwrap();
+        assert_eq!(gf.len(), 10);
+        // All identical points: unsplittable, capacity is soft.
+        assert!(gf.occupancy().contains(&10));
+        // But they are still findable.
+        let q = ValueRangeQuery::new(vec![
+            Some((Value::Int(500), Value::Int(500))),
+            Some((Value::Int(500), Value::Int(500))),
+        ])
+        .unwrap();
+        assert_eq!(gf.scan(&q).unwrap().records.len(), 10);
+    }
+
+    #[test]
+    fn scales_grow_with_data() {
+        let mut gf = file(2);
+        for i in 0..64i64 {
+            gf.insert(rec(i * 15, (i * 7) % 1000)).unwrap();
+        }
+        assert!(gf.scale(0).len() + gf.scale(1).len() > 0, "no scale growth");
+        assert_eq!(
+            gf.cell_counts()[0] as usize,
+            gf.scale(0).len() + 1
+        );
+        gf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn skewed_inserts_stay_consistent() {
+        // All records on one line: splits must keep working on the other
+        // dimension.
+        let mut gf = file(3);
+        for i in 0..100i64 {
+            gf.insert(rec(7, i * 10 % 1000)).unwrap();
+        }
+        gf.check_invariants().unwrap();
+        let q = ValueRangeQuery::new(vec![
+            Some((Value::Int(7), Value::Int(7))),
+            Some((Value::Int(0), Value::Int(499))),
+        ])
+        .unwrap();
+        let scan = gf.scan(&q).unwrap();
+        assert_eq!(scan.records.len(), 50);
+    }
+
+    #[test]
+    fn scan_validates_queries() {
+        let gf = file(4);
+        assert!(gf.scan(&ValueRangeQuery::new(vec![None]).unwrap()).is_err());
+        let inverted = ValueRangeQuery::new(vec![
+            Some((Value::Int(9), Value::Int(1))),
+            None,
+        ])
+        .unwrap();
+        assert!(gf.scan(&inverted).is_err());
+        let bad_type = ValueRangeQuery::new(vec![
+            Some((Value::from("a"), Value::from("b"))),
+            None,
+        ])
+        .unwrap();
+        assert!(gf.scan(&bad_type).is_err());
+    }
+
+    #[test]
+    fn delete_removes_one_matching_record() {
+        let mut gf = file(3);
+        for i in 0..20i64 {
+            gf.insert(rec(i * 50, i * 50)).unwrap();
+        }
+        // Insert a duplicate; delete removes exactly one copy at a time.
+        gf.insert(rec(100, 100)).unwrap();
+        assert_eq!(gf.len(), 21);
+        assert!(gf.delete(&rec(100, 100)).unwrap());
+        assert_eq!(gf.len(), 20);
+        assert!(gf.delete(&rec(100, 100)).unwrap());
+        assert_eq!(gf.len(), 19);
+        assert!(!gf.delete(&rec(100, 100)).unwrap());
+        assert_eq!(gf.len(), 19);
+        gf.check_invariants().unwrap();
+        // Deleted records no longer match queries.
+        let q = ValueRangeQuery::new(vec![
+            Some((Value::Int(100), Value::Int(100))),
+            Some((Value::Int(100), Value::Int(100))),
+        ])
+        .unwrap();
+        assert!(gf.scan(&q).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn delete_validates_records() {
+        let mut gf = file(3);
+        assert!(gf.delete(&Record::new(vec![Value::Int(1)])).is_err());
+        assert!(gf.delete(&rec(-1, 0)).is_err());
+        // Deleting from an empty file is a clean miss.
+        assert!(!gf.delete(&rec(1, 1)).unwrap());
+    }
+
+    #[test]
+    fn insert_delete_interleaving_keeps_invariants() {
+        let mut gf = file(2);
+        for round in 0..5 {
+            for i in 0..30i64 {
+                gf.insert(rec((i * 31 + round) % 1000, (i * 77) % 1000)).unwrap();
+            }
+            for i in 0..15i64 {
+                gf.delete(&rec((i * 31 + round) % 1000, (i * 77) % 1000)).unwrap();
+            }
+            gf.check_invariants().unwrap();
+        }
+        assert_eq!(gf.len(), 5 * 15);
+    }
+
+    #[test]
+    fn frozen_schema_matches_grid_file_resolution() {
+        let mut gf = file(3);
+        for i in 0..150i64 {
+            gf.insert(rec((i * 41) % 1000, (i * 97) % 1000)).unwrap();
+        }
+        let schema = gf.to_schema().unwrap();
+        assert_eq!(schema.space().dims(), gf.cell_counts());
+        // Records route into the same cells under the frozen schema.
+        for i in 0..150i64 {
+            let r = rec((i * 41) % 1000, (i * 97) % 1000);
+            let bucket = schema.bucket_of(&r).unwrap();
+            let cell = gf.cell_of(&r);
+            assert_eq!(bucket.as_slice(), cell.as_slice());
+        }
+    }
+
+    #[test]
+    fn three_dimensional_grid_file() {
+        let mut gf = GridFile::new(
+            vec![
+                AttributeDomain::int("x", 0, 99),
+                AttributeDomain::int("y", 0, 99),
+                AttributeDomain::int("z", 0, 99),
+            ],
+            4,
+        )
+        .unwrap();
+        for i in 0..200i64 {
+            gf.insert(Record::new(vec![
+                Value::Int((i * 11) % 100),
+                Value::Int((i * 17) % 100),
+                Value::Int((i * 23) % 100),
+            ]))
+            .unwrap();
+        }
+        gf.check_invariants().unwrap();
+        assert!(gf.num_buckets() > 10);
+        let q = ValueRangeQuery::new(vec![None, None, Some((Value::Int(0), Value::Int(49)))])
+            .unwrap();
+        let scan = gf.scan(&q).unwrap();
+        assert_eq!(scan.records.len(), 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ValueRangeQuery;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_inserts_preserve_invariants_and_queries(
+            points in proptest::collection::vec((0i64..100, 0i64..100), 1..150),
+            cap in 1usize..6,
+            (qx0, qx1, qy0, qy1) in (0i64..100, 0i64..100, 0i64..100, 0i64..100),
+        ) {
+            let mut gf = GridFile::new(
+                vec![
+                    AttributeDomain::int("x", 0, 99),
+                    AttributeDomain::int("y", 0, 99),
+                ],
+                cap,
+            ).unwrap();
+            for &(x, y) in &points {
+                gf.insert(Record::new(vec![Value::Int(x), Value::Int(y)])).unwrap();
+            }
+            prop_assert!(gf.check_invariants().is_ok(), "{:?}", gf.check_invariants());
+            prop_assert_eq!(gf.len() as usize, points.len());
+
+            let (xl, xh) = (qx0.min(qx1), qx0.max(qx1));
+            let (yl, yh) = (qy0.min(qy1), qy0.max(qy1));
+            let q = ValueRangeQuery::new(vec![
+                Some((Value::Int(xl), Value::Int(xh))),
+                Some((Value::Int(yl), Value::Int(yh))),
+            ]).unwrap();
+            let got = gf.scan(&q).unwrap().records.len();
+            let expected = points
+                .iter()
+                .filter(|&&(x, y)| xl <= x && x <= xh && yl <= y && y <= yh)
+                .count();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

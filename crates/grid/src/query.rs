@@ -1,0 +1,366 @@
+use crate::record::Value;
+use crate::{BucketCoord, BucketRegion, GridError, GridSpace, Result};
+
+/// A range query in **bucket coordinates**: `l_i ≤ x_i ≤ u_i` per dimension
+/// (Definition 2 of the paper, at grid granularity).
+///
+/// The simulation study operates at bucket granularity throughout — a
+/// query's cost depends only on which buckets it touches — so this is the
+/// workhorse query type. Value-level queries ([`ValueRangeQuery`]) are
+/// mapped to this form by a [`crate::GridSchema`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RangeQuery {
+    lo: BucketCoord,
+    hi: BucketCoord,
+}
+
+impl RangeQuery {
+    /// Creates a range query from inclusive per-dimension bounds.
+    ///
+    /// # Errors
+    /// [`GridError::EmptyGrid`] for zero dimensions,
+    /// [`GridError::DimensionMismatch`] if `lo` and `hi` differ in arity,
+    /// [`GridError::InvertedRange`] if `lo > hi` somewhere.
+    pub fn new(lo: impl Into<BucketCoord>, hi: impl Into<BucketCoord>) -> Result<Self> {
+        let (lo, hi) = (lo.into(), hi.into());
+        if lo.dims() == 0 {
+            return Err(GridError::EmptyGrid);
+        }
+        if lo.dims() != hi.dims() {
+            return Err(GridError::DimensionMismatch {
+                expected: lo.dims(),
+                got: hi.dims(),
+            });
+        }
+        for d in 0..lo.dims() {
+            if lo[d] > hi[d] {
+                return Err(GridError::InvertedRange { dim: d });
+            }
+        }
+        Ok(RangeQuery { lo, hi })
+    }
+
+    /// Inclusive lower bounds.
+    pub fn lo(&self) -> &BucketCoord {
+        &self.lo
+    }
+
+    /// Inclusive upper bounds.
+    pub fn hi(&self) -> &BucketCoord {
+        &self.hi
+    }
+
+    /// Number of queried dimensions.
+    pub fn dims(&self) -> usize {
+        self.lo.dims()
+    }
+
+    /// The bucket region this query touches in `space`, clipping to the
+    /// grid's extent.
+    ///
+    /// # Errors
+    /// [`GridError::DimensionMismatch`] on arity mismatch and
+    /// [`GridError::EmptyQuery`] if the query lies wholly outside the grid.
+    pub fn region(&self, space: &GridSpace) -> Result<BucketRegion> {
+        if self.dims() != space.k() {
+            return Err(GridError::DimensionMismatch {
+                expected: space.k(),
+                got: self.dims(),
+            });
+        }
+        let k = space.k();
+        let mut lo = Vec::with_capacity(k);
+        let mut hi = Vec::with_capacity(k);
+        for d in 0..k {
+            let max = space.dim(d) - 1;
+            if self.lo[d] > max {
+                return Err(GridError::EmptyQuery);
+            }
+            lo.push(self.lo[d]);
+            hi.push(self.hi[d].min(max));
+        }
+        BucketRegion::new(space, BucketCoord::from(lo), BucketCoord::from(hi))
+    }
+}
+
+/// A partial match query: each attribute is either bound to a single
+/// partition or left unspecified (Definition 3 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PartialMatchQuery {
+    /// `Some(j)` binds the attribute to partition `j`; `None` leaves it
+    /// unspecified.
+    bindings: Vec<Option<u32>>,
+}
+
+impl PartialMatchQuery {
+    /// Creates a partial match query from per-attribute bindings.
+    ///
+    /// # Errors
+    /// [`GridError::EmptyGrid`] if no attributes are given.
+    pub fn new(bindings: Vec<Option<u32>>) -> Result<Self> {
+        if bindings.is_empty() {
+            return Err(GridError::EmptyGrid);
+        }
+        Ok(PartialMatchQuery { bindings })
+    }
+
+    /// The per-attribute bindings.
+    pub fn bindings(&self) -> &[Option<u32>] {
+        &self.bindings
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Number of unspecified attributes.
+    pub fn unspecified(&self) -> usize {
+        self.bindings.iter().filter(|b| b.is_none()).count()
+    }
+
+    /// Whether every attribute is bound (i.e. this is a point query).
+    pub fn is_point(&self) -> bool {
+        self.unspecified() == 0
+    }
+
+    /// The bucket region this query touches: bound attributes pin one
+    /// partition, unspecified attributes span the whole dimension.
+    ///
+    /// # Errors
+    /// Arity and bounds errors as for [`RangeQuery::region`].
+    pub fn region(&self, space: &GridSpace) -> Result<BucketRegion> {
+        if self.dims() != space.k() {
+            return Err(GridError::DimensionMismatch {
+                expected: space.k(),
+                got: self.dims(),
+            });
+        }
+        let k = space.k();
+        let mut lo = Vec::with_capacity(k);
+        let mut hi = Vec::with_capacity(k);
+        for d in 0..k {
+            match self.bindings[d] {
+                Some(j) => {
+                    if j >= space.dim(d) {
+                        return Err(GridError::CoordOutOfBounds {
+                            dim: d,
+                            coord: j,
+                            partitions: space.dim(d),
+                        });
+                    }
+                    lo.push(j);
+                    hi.push(j);
+                }
+                None => {
+                    lo.push(0);
+                    hi.push(space.dim(d) - 1);
+                }
+            }
+        }
+        BucketRegion::new(space, BucketCoord::from(lo), BucketCoord::from(hi))
+    }
+}
+
+/// A point query: every attribute bound to one partition (Definition 4).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PointQuery(BucketCoord);
+
+impl PointQuery {
+    /// Creates a point query at the given bucket.
+    pub fn new(coord: impl Into<BucketCoord>) -> Self {
+        PointQuery(coord.into())
+    }
+
+    /// The queried bucket.
+    pub fn coord(&self) -> &BucketCoord {
+        &self.0
+    }
+
+    /// The single-bucket region for this query.
+    ///
+    /// # Errors
+    /// Bounds errors if the bucket lies outside `space`.
+    pub fn region(&self, space: &GridSpace) -> Result<BucketRegion> {
+        BucketRegion::point(space, self.0.clone())
+    }
+}
+
+/// Any of the paper's three query classes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// General range query.
+    Range(RangeQuery),
+    /// Partial match query.
+    PartialMatch(PartialMatchQuery),
+    /// Point query.
+    Point(PointQuery),
+}
+
+impl Query {
+    /// The bucket region this query touches in `space`.
+    ///
+    /// # Errors
+    /// Propagates the underlying query's region errors.
+    pub fn region(&self, space: &GridSpace) -> Result<BucketRegion> {
+        match self {
+            Query::Range(q) => q.region(space),
+            Query::PartialMatch(q) => q.region(space),
+            Query::Point(q) => q.region(space),
+        }
+    }
+}
+
+impl From<RangeQuery> for Query {
+    fn from(q: RangeQuery) -> Self {
+        Query::Range(q)
+    }
+}
+impl From<PartialMatchQuery> for Query {
+    fn from(q: PartialMatchQuery) -> Self {
+        Query::PartialMatch(q)
+    }
+}
+impl From<PointQuery> for Query {
+    fn from(q: PointQuery) -> Self {
+        Query::Point(q)
+    }
+}
+
+/// A range query over **attribute values**, one optional inclusive interval
+/// per attribute (`None` = attribute unconstrained).
+///
+/// This is the form an application would issue; [`crate::GridSchema`]
+/// translates it to a [`BucketRegion`] via the per-attribute partitionings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueRangeQuery {
+    /// Per-attribute inclusive intervals; `None` leaves an attribute free.
+    intervals: Vec<Option<(Value, Value)>>,
+}
+
+impl ValueRangeQuery {
+    /// Creates a value-level range query.
+    ///
+    /// # Errors
+    /// [`GridError::EmptyGrid`] if no attributes are given.
+    pub fn new(intervals: Vec<Option<(Value, Value)>>) -> Result<Self> {
+        if intervals.is_empty() {
+            return Err(GridError::EmptyGrid);
+        }
+        Ok(ValueRangeQuery { intervals })
+    }
+
+    /// The per-attribute intervals.
+    pub fn intervals(&self) -> &[Option<(Value, Value)>] {
+        &self.intervals
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpace {
+        GridSpace::new_2d(8, 8).unwrap()
+    }
+
+    #[test]
+    fn range_query_validation() {
+        assert!(RangeQuery::new([1, 1], [2, 2]).is_ok());
+        assert!(matches!(
+            RangeQuery::new([2, 1], [1, 2]).unwrap_err(),
+            GridError::InvertedRange { dim: 0 }
+        ));
+        assert!(matches!(
+            RangeQuery::new([1], [1, 2]).unwrap_err(),
+            GridError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn range_region_clips_to_grid() {
+        let g = grid();
+        let q = RangeQuery::new([6, 6], [20, 20]).unwrap();
+        let r = q.region(&g).unwrap();
+        assert_eq!(r.hi(), &BucketCoord::from([7, 7]));
+        assert_eq!(r.num_buckets(), 4);
+    }
+
+    #[test]
+    fn range_region_outside_grid_is_empty() {
+        let g = grid();
+        let q = RangeQuery::new([9, 0], [10, 3]).unwrap();
+        assert_eq!(q.region(&g).unwrap_err(), GridError::EmptyQuery);
+    }
+
+    #[test]
+    fn range_region_arity_checked() {
+        let g = GridSpace::new(vec![4, 4, 4]).unwrap();
+        let q = RangeQuery::new([0, 0], [1, 1]).unwrap();
+        assert!(matches!(
+            q.region(&g).unwrap_err(),
+            GridError::DimensionMismatch { expected: 3, got: 2 }
+        ));
+    }
+
+    #[test]
+    fn partial_match_region_spans_unbound_dims() {
+        let g = grid();
+        let q = PartialMatchQuery::new(vec![Some(3), None]).unwrap();
+        let r = q.region(&g).unwrap();
+        assert_eq!(r.lo(), &BucketCoord::from([3, 0]));
+        assert_eq!(r.hi(), &BucketCoord::from([3, 7]));
+        assert_eq!(q.unspecified(), 1);
+        assert!(!q.is_point());
+    }
+
+    #[test]
+    fn partial_match_bound_out_of_range() {
+        let g = grid();
+        let q = PartialMatchQuery::new(vec![Some(9), None]).unwrap();
+        assert!(matches!(
+            q.region(&g).unwrap_err(),
+            GridError::CoordOutOfBounds { dim: 0, coord: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn fully_bound_partial_match_is_point() {
+        let q = PartialMatchQuery::new(vec![Some(1), Some(2)]).unwrap();
+        assert!(q.is_point());
+        let g = grid();
+        assert_eq!(q.region(&g).unwrap().num_buckets(), 1);
+    }
+
+    #[test]
+    fn point_query_region() {
+        let g = grid();
+        let q = PointQuery::new([5, 5]);
+        assert_eq!(q.region(&g).unwrap().num_buckets(), 1);
+        let bad = PointQuery::new([8, 0]);
+        assert!(bad.region(&g).is_err());
+    }
+
+    #[test]
+    fn query_enum_dispatches() {
+        let g = grid();
+        let q: Query = RangeQuery::new([0, 0], [1, 1]).unwrap().into();
+        assert_eq!(q.region(&g).unwrap().num_buckets(), 4);
+        let q: Query = PartialMatchQuery::new(vec![None, Some(0)]).unwrap().into();
+        assert_eq!(q.region(&g).unwrap().num_buckets(), 8);
+        let q: Query = PointQuery::new([0, 0]).into();
+        assert_eq!(q.region(&g).unwrap().num_buckets(), 1);
+    }
+
+    #[test]
+    fn empty_queries_rejected() {
+        assert!(RangeQuery::new(Vec::<u32>::new(), Vec::<u32>::new()).is_err());
+        assert!(PartialMatchQuery::new(vec![]).is_err());
+        assert!(ValueRangeQuery::new(vec![]).is_err());
+    }
+}

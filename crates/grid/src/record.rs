@@ -1,0 +1,153 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value.
+///
+/// Values are totally ordered *within* a type; ordering across types is not
+/// defined (the schema prevents it from ever being asked for).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (must be finite to participate in a grid).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Compares two values of the same type. Returns `None` if the types
+    /// differ or a float is NaN.
+    pub fn partial_cmp_same_type(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A record (tuple) of the relation: one [`Value`] per attribute, in schema
+/// order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record(Vec<Value>);
+
+impl Record {
+    /// Creates a record from its values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Record(values)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value of attribute `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= arity()`.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Record {
+    fn from(v: [Value; N]) -> Self {
+        Record(v.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_type_comparison() {
+        assert_eq!(
+            Value::Int(1).partial_cmp_same_type(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Str("b".into()).partial_cmp_same_type(&Value::Str("a".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float(1.0).partial_cmp_same_type(&Value::Float(1.0)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn cross_type_comparison_is_none() {
+        assert_eq!(Value::Int(1).partial_cmp_same_type(&Value::Float(1.0)), None);
+        assert_eq!(
+            Value::Float(f64::NAN).partial_cmp_same_type(&Value::Float(0.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(0.5), Value::Float(0.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn record_accessors() {
+        let r = Record::new(vec![Value::Int(4), Value::Str("x".into())]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.value(0), &Value::Int(4));
+        assert_eq!(r.values().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+    }
+}

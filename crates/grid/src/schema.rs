@@ -1,0 +1,275 @@
+use crate::query::ValueRangeQuery;
+use crate::record::Record;
+use crate::{
+    AttributeDomain, BucketCoord, BucketRegion, GridError, GridSpace, Partitioning, Result,
+};
+
+/// The value-level view of a Cartesian product file: named, typed attribute
+/// domains plus one [`Partitioning`] per attribute, inducing a
+/// [`GridSpace`].
+///
+/// The schema routes records to buckets and translates value-level range
+/// queries into bucket regions, which is all a declustering method or the
+/// simulator needs.
+#[derive(Clone, Debug)]
+pub struct GridSchema {
+    attributes: Vec<AttributeDomain>,
+    partitionings: Vec<Partitioning>,
+    space: GridSpace,
+}
+
+impl GridSchema {
+    /// Creates a schema from attributes and matching partitionings.
+    ///
+    /// # Errors
+    /// [`GridError::ArityMismatch`] if the two lists differ in length, plus
+    /// any [`GridSpace`] construction error.
+    pub fn new(
+        attributes: Vec<AttributeDomain>,
+        partitionings: Vec<Partitioning>,
+    ) -> Result<Self> {
+        if attributes.len() != partitionings.len() {
+            return Err(GridError::ArityMismatch {
+                expected: attributes.len(),
+                got: partitionings.len(),
+            });
+        }
+        let dims: Vec<u32> = partitionings.iter().map(|p| p.num_partitions()).collect();
+        let space = GridSpace::new(dims)?;
+        Ok(GridSchema {
+            attributes,
+            partitionings,
+            space,
+        })
+    }
+
+    /// Creates a schema with uniform partitionings: `d` partitions on every
+    /// attribute.
+    ///
+    /// # Errors
+    /// Propagates [`Partitioning::uniform_for`] errors (e.g. string
+    /// domains, too-small domains).
+    pub fn uniform(attributes: Vec<AttributeDomain>, d: u32) -> Result<Self> {
+        let partitionings = attributes
+            .iter()
+            .map(|a| Partitioning::uniform_for(a.kind(), d))
+            .collect::<Result<Vec<_>>>()?;
+        GridSchema::new(attributes, partitionings)
+    }
+
+    /// The induced bucket grid.
+    pub fn space(&self) -> &GridSpace {
+        &self.space
+    }
+
+    /// The attribute list.
+    pub fn attributes(&self) -> &[AttributeDomain] {
+        &self.attributes
+    }
+
+    /// The per-attribute partitionings.
+    pub fn partitionings(&self) -> &[Partitioning] {
+        &self.partitionings
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of the attribute with the given name, if any.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// Routes a record to its bucket.
+    ///
+    /// # Errors
+    /// [`GridError::ArityMismatch`] on wrong arity,
+    /// [`GridError::ValueOutOfDomain`] / [`GridError::TypeMismatch`] on bad
+    /// values.
+    pub fn bucket_of(&self, record: &Record) -> Result<BucketCoord> {
+        if record.arity() != self.arity() {
+            return Err(GridError::ArityMismatch {
+                expected: self.arity(),
+                got: record.arity(),
+            });
+        }
+        let mut coords = Vec::with_capacity(self.arity());
+        for (i, v) in record.values().iter().enumerate() {
+            if !self.attributes[i].kind().type_matches(v) {
+                return Err(GridError::TypeMismatch { attribute: i });
+            }
+            if !self.attributes[i].kind().contains(v) {
+                return Err(GridError::ValueOutOfDomain { attribute: i });
+            }
+            let j = self.partitionings[i]
+                .partition_of(v)
+                .map_err(|_| GridError::TypeMismatch { attribute: i })?;
+            coords.push(j);
+        }
+        Ok(BucketCoord::from(coords))
+    }
+
+    /// Translates a value-level range query to its bucket region.
+    ///
+    /// # Errors
+    /// Arity, type, and inverted-range errors as applicable.
+    pub fn region_of(&self, query: &ValueRangeQuery) -> Result<BucketRegion> {
+        if query.dims() != self.arity() {
+            return Err(GridError::ArityMismatch {
+                expected: self.arity(),
+                got: query.dims(),
+            });
+        }
+        let k = self.arity();
+        let mut lo = Vec::with_capacity(k);
+        let mut hi = Vec::with_capacity(k);
+        for (i, interval) in query.intervals().iter().enumerate() {
+            match interval {
+                Some((a, b)) => {
+                    let (pa, pb) = self.partitionings[i]
+                        .partitions_of_range(a, b)
+                        .map_err(|e| match e {
+                            GridError::TypeMismatch { .. } => {
+                                GridError::TypeMismatch { attribute: i }
+                            }
+                            GridError::InvertedRange { .. } => GridError::InvertedRange { dim: i },
+                            other => other,
+                        })?;
+                    lo.push(pa);
+                    hi.push(pb);
+                }
+                None => {
+                    lo.push(0);
+                    hi.push(self.space.dim(i) - 1);
+                }
+            }
+        }
+        BucketRegion::new(&self.space, BucketCoord::from(lo), BucketCoord::from(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Value;
+
+    fn schema() -> GridSchema {
+        GridSchema::uniform(
+            vec![
+                AttributeDomain::int("age", 0, 99),
+                AttributeDomain::float("salary", 0.0, 100_000.0),
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_schema_builds_square_grid() {
+        let s = schema();
+        assert_eq!(s.space().dims(), &[4, 4]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attribute_index("salary"), Some(1));
+        assert_eq!(s.attribute_index("nope"), None);
+    }
+
+    #[test]
+    fn mismatched_lists_rejected() {
+        let err = GridSchema::new(
+            vec![AttributeDomain::int("a", 0, 9)],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GridError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn record_routing() {
+        let s = schema();
+        let b = s
+            .bucket_of(&Record::new(vec![Value::Int(30), Value::Float(80_000.0)]))
+            .unwrap();
+        assert_eq!(b, BucketCoord::from([1, 3]));
+    }
+
+    #[test]
+    fn record_routing_errors() {
+        let s = schema();
+        assert!(matches!(
+            s.bucket_of(&Record::new(vec![Value::Int(30)])).unwrap_err(),
+            GridError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            s.bucket_of(&Record::new(vec![Value::Int(30), Value::Int(1)]))
+                .unwrap_err(),
+            GridError::TypeMismatch { attribute: 1 }
+        ));
+        assert!(matches!(
+            s.bucket_of(&Record::new(vec![Value::Int(200), Value::Float(1.0)]))
+                .unwrap_err(),
+            GridError::ValueOutOfDomain { attribute: 0 }
+        ));
+    }
+
+    #[test]
+    fn value_query_region() {
+        let s = schema();
+        // age in [0, 49] -> partitions 0..=1; salary unconstrained.
+        let q = ValueRangeQuery::new(vec![
+            Some((Value::Int(0), Value::Int(49))),
+            None,
+        ])
+        .unwrap();
+        let r = s.region_of(&q).unwrap();
+        assert_eq!(r.lo(), &BucketCoord::from([0, 0]));
+        assert_eq!(r.hi(), &BucketCoord::from([1, 3]));
+        assert_eq!(r.num_buckets(), 8);
+    }
+
+    #[test]
+    fn value_query_errors() {
+        let s = schema();
+        let wrong_arity = ValueRangeQuery::new(vec![None]).unwrap();
+        assert!(matches!(
+            s.region_of(&wrong_arity).unwrap_err(),
+            GridError::ArityMismatch { .. }
+        ));
+        let inverted = ValueRangeQuery::new(vec![
+            Some((Value::Int(50), Value::Int(10))),
+            None,
+        ])
+        .unwrap();
+        assert!(matches!(
+            s.region_of(&inverted).unwrap_err(),
+            GridError::InvertedRange { dim: 0 }
+        ));
+        let bad_type = ValueRangeQuery::new(vec![
+            Some((Value::from("a"), Value::from("b"))),
+            None,
+        ])
+        .unwrap();
+        assert!(matches!(
+            s.region_of(&bad_type).unwrap_err(),
+            GridError::TypeMismatch { attribute: 0 }
+        ));
+    }
+
+    #[test]
+    fn string_attribute_with_explicit_cuts() {
+        let s = GridSchema::new(
+            vec![AttributeDomain::str("name"), AttributeDomain::int("age", 0, 99)],
+            vec![
+                Partitioning::from_cuts(vec![Value::from("h"), Value::from("p")]).unwrap(),
+                Partitioning::uniform_int(0, 99, 2).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.space().dims(), &[3, 2]);
+        let b = s
+            .bucket_of(&Record::new(vec![Value::from("miller"), Value::Int(70)]))
+            .unwrap();
+        assert_eq!(b, BucketCoord::from([1, 1]));
+    }
+}

@@ -1,0 +1,409 @@
+use crate::{HilbertError, Result};
+
+/// A k-dimensional Hilbert curve over the grid `{0 .. 2^bits}^dims`.
+///
+/// Conversions use Skilling's transpose algorithm: coordinates are first
+/// mapped to the curve's *transposed* index (one `bits`-bit word per
+/// dimension whose bit-interleaving is the rank) and then interleaved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HilbertCurve {
+    dims: usize,
+    bits: u32,
+}
+
+impl HilbertCurve {
+    /// Creates a curve with `dims` dimensions and `bits` bits of resolution
+    /// per dimension (grid side `2^bits`).
+    ///
+    /// # Errors
+    /// Rejects zero dimensions, zero bits, and `dims * bits > 128` (ranks
+    /// are `u128`).
+    pub fn new(dims: usize, bits: u32) -> Result<Self> {
+        if dims == 0 {
+            return Err(HilbertError::ZeroDimensions);
+        }
+        if bits == 0 {
+            return Err(HilbertError::ZeroBits);
+        }
+        if (dims as u128) * u128::from(bits) > 128 {
+            return Err(HilbertError::RankOverflow { dims, bits });
+        }
+        Ok(HilbertCurve { dims, bits })
+    }
+
+    /// The smallest curve whose grid covers `sides` (per-dimension sizes):
+    /// `bits = ceil(log2(max side))`, at least 1.
+    ///
+    /// HCAM uses this to linearize grids that are not powers of two: walk
+    /// the covering curve and skip points outside the real grid.
+    ///
+    /// # Errors
+    /// Rejects empty `sides`, any zero side, and overflowing resolutions.
+    pub fn covering(sides: &[u32]) -> Result<Self> {
+        if sides.is_empty() {
+            return Err(HilbertError::ZeroDimensions);
+        }
+        if sides.contains(&0) {
+            return Err(HilbertError::ZeroBits);
+        }
+        let max = *sides.iter().max().expect("non-empty");
+        let bits = if max <= 1 {
+            1
+        } else {
+            32 - (max - 1).leading_zeros()
+        };
+        HilbertCurve::new(sides.len(), bits.max(1))
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bits of resolution per dimension.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Grid side length (`2^bits`).
+    #[inline]
+    pub fn side(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Total number of points on the curve (`2^(dims*bits)`).
+    #[inline]
+    pub fn num_points(&self) -> u128 {
+        1u128 << (self.dims as u32 * self.bits)
+    }
+
+    /// Hilbert rank of a grid point.
+    ///
+    /// # Errors
+    /// Arity and range errors for malformed coordinates.
+    pub fn encode(&self, coords: &[u32]) -> Result<u128> {
+        if coords.len() != self.dims {
+            return Err(HilbertError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len(),
+            });
+        }
+        let limit = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+        for (dim, &c) in coords.iter().enumerate() {
+            if c > limit {
+                return Err(HilbertError::CoordTooLarge {
+                    dim,
+                    coord: c,
+                    bits: self.bits,
+                });
+            }
+        }
+        let mut x: Vec<u32> = coords.to_vec();
+        self.axes_to_transpose(&mut x);
+        Ok(self.interleave(&x))
+    }
+
+    /// Grid point at a Hilbert rank.
+    ///
+    /// # Errors
+    /// [`HilbertError::RankOutOfRange`] if `rank >= num_points()`.
+    pub fn decode(&self, rank: u128) -> Result<Vec<u32>> {
+        if rank >= self.num_points() {
+            return Err(HilbertError::RankOutOfRange);
+        }
+        let mut x = self.deinterleave(rank);
+        self.transpose_to_axes(&mut x);
+        Ok(x)
+    }
+
+    /// Iterates over the curve's points in rank order.
+    pub fn iter(&self) -> CurveIter {
+        CurveIter {
+            curve: *self,
+            next_rank: 0,
+        }
+    }
+
+    /// Skilling's AxesToTranspose: in-place conversion of coordinates to
+    /// the transposed Hilbert index.
+    fn axes_to_transpose(&self, x: &mut [u32]) {
+        let n = self.dims;
+        if self.bits > 1 {
+            let m: u32 = 1 << (self.bits - 1);
+            // Inverse undo of the excess work decode performs.
+            let mut q = m;
+            while q > 1 {
+                let p = q - 1;
+                for i in 0..n {
+                    if x[i] & q != 0 {
+                        x[0] ^= p; // invert low bits of x[0]
+                    } else {
+                        let t = (x[0] ^ x[i]) & p;
+                        x[0] ^= t;
+                        x[i] ^= t;
+                    }
+                }
+                q >>= 1;
+            }
+        }
+        // Gray encode.
+        for i in 1..n {
+            x[i] ^= x[i - 1];
+        }
+        let mut t: u32 = 0;
+        if self.bits > 1 {
+            let mut q: u32 = 1 << (self.bits - 1);
+            while q > 1 {
+                if x[n - 1] & q != 0 {
+                    t ^= q - 1;
+                }
+                q >>= 1;
+            }
+        }
+        for v in x.iter_mut() {
+            *v ^= t;
+        }
+    }
+
+    /// Skilling's TransposeToAxes: inverse of [`Self::axes_to_transpose`].
+    fn transpose_to_axes(&self, x: &mut [u32]) {
+        let n = self.dims;
+        // Gray decode by H ^ (H/2).
+        let t = x[n - 1] >> 1;
+        for i in (1..n).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+        if self.bits > 1 {
+            // Undo excess work.
+            let nn: u32 = 2 << (self.bits - 1);
+            let mut q: u32 = 2;
+            while q != nn {
+                let p = q - 1;
+                for i in (0..n).rev() {
+                    if x[i] & q != 0 {
+                        x[0] ^= p;
+                    } else {
+                        let t = (x[0] ^ x[i]) & p;
+                        x[0] ^= t;
+                        x[i] ^= t;
+                    }
+                }
+                q <<= 1;
+            }
+        }
+    }
+
+    /// Bit-interleaves the transposed index into a rank: bit `q` of word
+    /// `i` lands at rank bit `q*dims + (dims-1-i)`, MSB first.
+    fn interleave(&self, x: &[u32]) -> u128 {
+        let mut rank: u128 = 0;
+        for q in (0..self.bits).rev() {
+            for (i, &w) in x.iter().enumerate() {
+                let bit = (w >> q) & 1;
+                let pos = q as usize * self.dims + (self.dims - 1 - i);
+                rank |= u128::from(bit) << pos;
+            }
+        }
+        rank
+    }
+
+    /// Inverse of [`Self::interleave`].
+    fn deinterleave(&self, rank: u128) -> Vec<u32> {
+        let mut x = vec![0u32; self.dims];
+        for q in 0..self.bits {
+            for (i, xi) in x.iter_mut().enumerate() {
+                let pos = q as usize * self.dims + (self.dims - 1 - i);
+                let bit = ((rank >> pos) & 1) as u32;
+                *xi |= bit << q;
+            }
+        }
+        x
+    }
+}
+
+/// Iterator over the points of a [`HilbertCurve`] in rank order.
+#[derive(Clone, Debug)]
+pub struct CurveIter {
+    curve: HilbertCurve,
+    next_rank: u128,
+}
+
+impl Iterator for CurveIter {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        if self.next_rank >= self.curve.num_points() {
+            return None;
+        }
+        let coords = self
+            .curve
+            .decode(self.next_rank)
+            .expect("rank checked in range");
+        self.next_rank += 1;
+        Some(coords)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.curve.num_points() - self.next_rank).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(HilbertCurve::new(0, 4).unwrap_err(), HilbertError::ZeroDimensions);
+        assert_eq!(HilbertCurve::new(2, 0).unwrap_err(), HilbertError::ZeroBits);
+        assert!(matches!(
+            HilbertCurve::new(5, 32).unwrap_err(),
+            HilbertError::RankOverflow { .. }
+        ));
+        assert!(HilbertCurve::new(4, 32).is_ok());
+    }
+
+    #[test]
+    fn covering_picks_smallest_power_of_two() {
+        assert_eq!(HilbertCurve::covering(&[64, 64]).unwrap().bits(), 6);
+        assert_eq!(HilbertCurve::covering(&[5, 9]).unwrap().bits(), 4);
+        assert_eq!(HilbertCurve::covering(&[1, 1]).unwrap().bits(), 1);
+        assert_eq!(HilbertCurve::covering(&[16, 16, 16]).unwrap().dims(), 3);
+        assert!(HilbertCurve::covering(&[]).is_err());
+        assert!(HilbertCurve::covering(&[0, 4]).is_err());
+    }
+
+    #[test]
+    fn rank_zero_is_origin() {
+        for dims in 1..=4 {
+            for bits in 1..=4 {
+                let c = HilbertCurve::new(dims, bits).unwrap();
+                assert_eq!(c.decode(0).unwrap(), vec![0; dims]);
+                assert_eq!(c.encode(&vec![0; dims]).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn known_2x2_order() {
+        // First-order 2-D Hilbert curve: a U shape starting at the origin.
+        let c = HilbertCurve::new(2, 1).unwrap();
+        let walk: Vec<Vec<u32>> = c.iter().collect();
+        assert_eq!(walk[0], vec![0, 0]);
+        // The three remaining points are the other corners, each adjacent
+        // to its predecessor.
+        assert_eq!(walk.len(), 4);
+        for w in walk.windows(2) {
+            let d: u32 = w[0].iter().zip(&w[1]).map(|(a, b)| a.abs_diff(*b)).sum();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_small() {
+        for (dims, bits) in [(1usize, 4u32), (2, 3), (3, 2), (4, 2)] {
+            let c = HilbertCurve::new(dims, bits).unwrap();
+            for rank in 0..c.num_points() {
+                let coords = c.decode(rank).unwrap();
+                assert_eq!(c.encode(&coords).unwrap(), rank, "dims={dims} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection() {
+        let c = HilbertCurve::new(2, 3).unwrap();
+        let mut seen = vec![false; 64];
+        for p in c.iter() {
+            let idx = (p[0] * 8 + p[1]) as usize;
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn adjacency_property_2d() {
+        let c = HilbertCurve::new(2, 4).unwrap();
+        let mut prev: Option<Vec<u32>> = None;
+        for p in c.iter() {
+            if let Some(q) = prev {
+                let d: u32 = p.iter().zip(&q).map(|(a, b)| a.abs_diff(*b)).sum();
+                assert_eq!(d, 1, "{q:?} -> {p:?}");
+            }
+            prev = Some(p);
+        }
+    }
+
+    #[test]
+    fn adjacency_property_3d() {
+        let c = HilbertCurve::new(3, 2).unwrap();
+        let walk: Vec<Vec<u32>> = c.iter().collect();
+        assert_eq!(walk.len(), 64);
+        for w in walk.windows(2) {
+            let d: u32 = w[0].iter().zip(&w[1]).map(|(a, b)| a.abs_diff(*b)).sum();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_curve_is_identity() {
+        let c = HilbertCurve::new(1, 5).unwrap();
+        for v in 0..32u32 {
+            assert_eq!(c.encode(&[v]).unwrap(), u128::from(v));
+            assert_eq!(c.decode(u128::from(v)).unwrap(), vec![v]);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_bad_input() {
+        let c = HilbertCurve::new(2, 3).unwrap();
+        assert!(matches!(
+            c.encode(&[1]).unwrap_err(),
+            HilbertError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            c.encode(&[8, 0]).unwrap_err(),
+            HilbertError::CoordTooLarge { dim: 0, coord: 8, bits: 3 }
+        ));
+        assert_eq!(c.decode(64).unwrap_err(), HilbertError::RankOutOfRange);
+    }
+
+    #[test]
+    fn full_resolution_32_bit_dimension() {
+        let c = HilbertCurve::new(2, 32).unwrap();
+        let coords = [u32::MAX, 12345];
+        let rank = c.encode(&coords).unwrap();
+        assert_eq!(c.decode(rank).unwrap(), coords.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(dims in 1usize..5, bits in 1u32..6, seed in any::<u64>()) {
+            let c = HilbertCurve::new(dims, bits).unwrap();
+            let rank = u128::from(seed) % c.num_points();
+            let coords = c.decode(rank).unwrap();
+            prop_assert_eq!(c.encode(&coords).unwrap(), rank);
+        }
+
+        #[test]
+        fn successive_ranks_are_neighbours(dims in 1usize..4, bits in 1u32..5, seed in any::<u64>()) {
+            let c = HilbertCurve::new(dims, bits).unwrap();
+            let rank = u128::from(seed) % (c.num_points() - 1);
+            let a = c.decode(rank).unwrap();
+            let b = c.decode(rank + 1).unwrap();
+            let d: u32 = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+            prop_assert_eq!(d, 1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Reflected binary Gray code helpers.
+//!
+//! The Hilbert curve is, per 2^b-cell level, a Gray-code walk of the 2^k
+//! subcubes; Skilling's algorithm leans on the same encode/decode, exposed
+//! here for tests and for the ECC crate's neighbours-differ-in-one-bit
+//! reasoning.
+
+/// Gray encoding: `g = v ^ (v >> 1)`. Successive values differ in exactly
+/// one bit.
+#[inline]
+pub fn gray_encode(v: u128) -> u128 {
+    v ^ (v >> 1)
+}
+
+/// Inverse of [`gray_encode`].
+#[inline]
+pub fn gray_decode(mut g: u128) -> u128 {
+    let mut v = g;
+    loop {
+        g >>= 1;
+        if g == 0 {
+            break;
+        }
+        v ^= g;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_eight_codes() {
+        let codes: Vec<u128> = (0..8).map(gray_encode).collect();
+        assert_eq!(codes, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+    }
+
+    #[test]
+    fn successive_codes_differ_in_one_bit() {
+        for v in 0u128..1024 {
+            let diff = gray_encode(v) ^ gray_encode(v + 1);
+            assert_eq!(diff.count_ones(), 1, "at v={v}");
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for v in 0u128..4096 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+        let big = u128::MAX - 12345;
+        assert_eq!(gray_decode(gray_encode(big)), big);
+    }
+
+    #[test]
+    fn zero_is_fixed_point() {
+        assert_eq!(gray_encode(0), 0);
+        assert_eq!(gray_decode(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(v in any::<u128>()) {
+            prop_assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+
+        #[test]
+        fn encode_is_injective(a in any::<u64>(), b in any::<u64>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(gray_encode(a as u128), gray_encode(b as u128));
+        }
+    }
+}

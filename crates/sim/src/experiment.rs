@@ -1,0 +1,606 @@
+use crate::workload::{
+    partial_match_with_unspecified, random_region, rect_sides_for_area, ShapeSweep, SizeSweep,
+};
+use crate::{optimal_response_time, Result, SimError, Summary};
+use decluster_grid::{BucketRegion, GridSpace};
+use decluster_methods::{AllocationMap, DeclusteringMethod, MethodRegistry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One method's curve in a sweep: mean response time (or deviation) per
+/// x-value. Points where the method does not apply (e.g. ECC at a
+/// non-power-of-two disk count) are `NaN` and render as `-`.
+#[derive(Clone, Debug)]
+pub struct MethodSeries {
+    /// Method name (`DM`, `FX`, `ECC`, `HCAM`, …).
+    pub name: String,
+    /// Mean response time at each x.
+    pub means: Vec<f64>,
+    /// Full summary statistics at each x (empty summary at NaN points).
+    pub summaries: Vec<Summary>,
+}
+
+impl MethodSeries {
+    fn new(name: String, len: usize) -> Self {
+        MethodSeries {
+            name,
+            means: vec![f64::NAN; len],
+            summaries: vec![Summary::of(&[]); len],
+        }
+    }
+}
+
+/// The output of one experiment: x-values, the optimal lower-bound curve,
+/// and one series per method. This is the in-memory form of one paper
+/// figure.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Human-readable experiment title.
+    pub title: String,
+    /// Label of the x axis.
+    pub xlabel: String,
+    /// The x-values visited.
+    pub xs: Vec<f64>,
+    /// Mean optimal response time `ceil(|Q|/M)` at each x.
+    pub optimal: Vec<f64>,
+    /// One curve per method.
+    pub series: Vec<MethodSeries>,
+}
+
+impl SweepResult {
+    /// The series for a method name, if present.
+    pub fn series_for(&self, name: &str) -> Option<&MethodSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Mean of `series / optimal` across all points where both are finite
+    /// and the optimum is nonzero — a single "deviation factor" per method.
+    pub fn mean_deviation_factor(&self, name: &str) -> Option<f64> {
+        let s = self.series_for(name)?;
+        let mut ratios = Vec::new();
+        for (m, o) in s.means.iter().zip(&self.optimal) {
+            if m.is_finite() && *o > 0.0 {
+                ratios.push(m / o);
+            }
+        }
+        (!ratios.is_empty()).then(|| ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+/// A point of the database-size experiment (E6).
+#[derive(Clone, Debug)]
+pub struct DbSizePoint {
+    /// Grid side length.
+    pub side: u32,
+    /// Query side length used at this grid size.
+    pub query_side: u32,
+}
+
+/// The experiment harness: a grid, a disk count, a query budget per data
+/// point, and a seed. Each `run_*` method regenerates one of the paper's
+/// figures as a [`SweepResult`].
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    space: GridSpace,
+    m: u32,
+    queries_per_point: usize,
+    seed: u64,
+    include_baselines: bool,
+}
+
+impl Experiment {
+    /// An experiment on `space` with `m` disks, 1000 queries per point,
+    /// seed 1994, paper methods only.
+    pub fn new(space: GridSpace, m: u32) -> Self {
+        Experiment {
+            space,
+            m,
+            queries_per_point: 1000,
+            seed: 1994,
+            include_baselines: false,
+        }
+    }
+
+    /// Sets how many random query placements are averaged per data point.
+    pub fn with_queries_per_point(mut self, q: usize) -> Self {
+        self.queries_per_point = q.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Also evaluates the RR and RND baselines.
+    pub fn with_baselines(mut self, yes: bool) -> Self {
+        self.include_baselines = yes;
+        self
+    }
+
+    /// The grid under study.
+    pub fn space(&self) -> &GridSpace {
+        &self.space
+    }
+
+    /// The disk count under study.
+    pub fn num_disks(&self) -> u32 {
+        self.m
+    }
+
+    fn maps_for(&self, space: &GridSpace, m: u32) -> Vec<AllocationMap> {
+        let registry = MethodRegistry::with_seed(self.seed);
+        let methods = if self.include_baselines {
+            registry.with_baselines(space, m)
+        } else {
+            registry.paper_methods(space, m)
+        };
+        methods
+            .iter()
+            .map(|method| {
+                AllocationMap::from_method(space, method.as_ref())
+                    .expect("experiment grids are materializable")
+            })
+            .collect()
+    }
+
+    /// Scores `maps` against `regions`, returning per-map summaries plus
+    /// the mean optimal bound.
+    fn score(
+        maps: &[AllocationMap],
+        regions: &[BucketRegion],
+        m: u32,
+    ) -> (Vec<Summary>, f64) {
+        let mut summaries = Vec::with_capacity(maps.len());
+        for map in maps {
+            let rts: Vec<u64> = regions.iter().map(|r| map.response_time(r)).collect();
+            summaries.push(Summary::of_counts(&rts));
+        }
+        let opt_mean = if regions.is_empty() {
+            0.0
+        } else {
+            regions
+                .iter()
+                .map(|r| optimal_response_time(r.num_buckets(), m) as f64)
+                .sum::<f64>()
+                / regions.len() as f64
+        };
+        (summaries, opt_mean)
+    }
+
+    /// Merges one x-point's scores into the named series, padding series
+    /// that were absent at this point with NaN.
+    fn merge_point(
+        series: &mut Vec<MethodSeries>,
+        names: &[&str],
+        summaries: Vec<Summary>,
+        point: usize,
+        total_points: usize,
+    ) {
+        for (name, summary) in names.iter().zip(summaries) {
+            let entry = match series.iter_mut().find(|s| s.name == *name) {
+                Some(e) => e,
+                None => {
+                    series.push(MethodSeries::new((*name).to_owned(), total_points));
+                    series.last_mut().expect("just pushed")
+                }
+            };
+            entry.means[point] = summary.mean;
+            entry.summaries[point] = summary;
+        }
+    }
+
+    /// **Experiment 1 (query size).** Near-square queries of each area in
+    /// the sweep, placed uniformly at random; reports mean RT per method
+    /// and the optimal curve. Paper: "The query size was varied from
+    /// area = 1 to area = 1024."
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for an empty sweep;
+    /// [`SimError::QueryDoesNotFit`] if an area cannot be realized.
+    pub fn run_size_sweep(&self, sweep: &SizeSweep) -> Result<SweepResult> {
+        if sweep.areas().is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let maps = self.maps_for(&self.space, self.m);
+        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut xs = Vec::new();
+        let mut optimal = Vec::new();
+        let mut series: Vec<MethodSeries> = Vec::new();
+        let total = sweep.areas().len();
+        for (i, &area) in sweep.areas().iter().enumerate() {
+            let sides = rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
+                SimError::QueryDoesNotFit {
+                    extents: vec![area as u32],
+                    dims: self.space.dims().to_vec(),
+                }
+            })?;
+            let regions: Vec<BucketRegion> = (0..self.queries_per_point)
+                .map(|_| random_region(&mut rng, &self.space, &sides))
+                .collect::<Result<_>>()?;
+            let (summaries, opt) = Self::score(&maps, &regions, self.m);
+            xs.push(area as f64);
+            optimal.push(opt);
+            Self::merge_point(&mut series, &names, summaries, i, total);
+        }
+        Ok(SweepResult {
+            title: format!(
+                "Query-size sweep: mean response time vs query area (grid {:?}, M={})",
+                self.space.dims(),
+                self.m
+            ),
+            xlabel: "query area (buckets)".into(),
+            xs,
+            optimal,
+            series,
+        })
+    }
+
+    /// **Experiment 2 (query shape).** Fixed-area queries swept from a
+    /// square (aspect 1:1) toward a line (1:2^p). Paper: "vary the full
+    /// range from a square to a line by varying the aspect ratio from 1:1
+    /// to 1:M."
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] if no aspect ratio divides the area.
+    pub fn run_shape_sweep(&self, sweep: &ShapeSweep) -> Result<SweepResult> {
+        if sweep.powers().is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let maps = self.maps_for(&self.space, self.m);
+        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut xs = Vec::new();
+        let mut optimal = Vec::new();
+        let mut series: Vec<MethodSeries> = Vec::new();
+        let total = sweep.powers().len();
+        for (i, &p) in sweep.powers().iter().enumerate() {
+            let (a, b) =
+                ShapeSweep::sides_for(sweep.area(), p).expect("sweep admitted this power");
+            let sides = vec![a, b];
+            let regions: Vec<BucketRegion> = (0..self.queries_per_point)
+                .map(|_| random_region(&mut rng, &self.space, &sides))
+                .collect::<Result<_>>()?;
+            let (summaries, opt) = Self::score(&maps, &regions, self.m);
+            xs.push(f64::from(1u32 << p));
+            optimal.push(opt);
+            Self::merge_point(&mut series, &names, summaries, i, total);
+        }
+        Ok(SweepResult {
+            title: format!(
+                "Shape sweep: mean response time vs aspect ratio 1:x at area {} (grid {:?}, M={})",
+                sweep.area(),
+                self.space.dims(),
+                self.m
+            ),
+            xlabel: "aspect ratio 1:x".into(),
+            xs,
+            optimal,
+            series,
+        })
+    }
+
+    /// **Figure 5 sweep (number of disks).** Fixed query area, `M` swept.
+    /// Paper Figure 5(a) uses small queries, 5(b) large ones.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] / [`SimError::QueryDoesNotFit`] as above.
+    pub fn run_disk_sweep(&self, disk_counts: &[u32], area: u64) -> Result<SweepResult> {
+        if disk_counts.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let sides = rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
+            SimError::QueryDoesNotFit {
+                extents: vec![area as u32],
+                dims: self.space.dims().to_vec(),
+            }
+        })?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // One shared query population so every M sees identical queries.
+        let regions: Vec<BucketRegion> = (0..self.queries_per_point)
+            .map(|_| random_region(&mut rng, &self.space, &sides))
+            .collect::<Result<_>>()?;
+        let mut xs = Vec::new();
+        let mut optimal = Vec::new();
+        let mut series: Vec<MethodSeries> = Vec::new();
+        let total = disk_counts.len();
+        for (i, &m) in disk_counts.iter().enumerate() {
+            let maps = self.maps_for(&self.space, m);
+            let names: Vec<&str> = maps.iter().map(|mm| mm.name()).collect();
+            let (summaries, opt) = Self::score(&maps, &regions, m);
+            xs.push(f64::from(m));
+            optimal.push(opt);
+            Self::merge_point(&mut series, &names, summaries, i, total);
+        }
+        Ok(SweepResult {
+            title: format!(
+                "Disk sweep: response time vs M at query area {} (grid {:?})",
+                area,
+                self.space.dims()
+            ),
+            xlabel: "number of disks M".into(),
+            xs,
+            optimal,
+            series,
+        })
+    }
+
+    /// **Experiment 6 (database size).** Square grids of growing side;
+    /// the query side grows with each point as given. Reports mean RT per
+    /// method at each grid size.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] / construction errors as above.
+    pub fn run_dbsize_sweep(&self, points: &[DbSizePoint]) -> Result<SweepResult> {
+        if points.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let k = self.space.k();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut xs = Vec::new();
+        let mut optimal = Vec::new();
+        let mut series: Vec<MethodSeries> = Vec::new();
+        let total = points.len();
+        for (i, pt) in points.iter().enumerate() {
+            let space = GridSpace::new(vec![pt.side; k])?;
+            let maps = self.maps_for(&space, self.m);
+            let names: Vec<&str> = maps.iter().map(|mm| mm.name()).collect();
+            let sides = vec![pt.query_side.min(pt.side).max(1); k];
+            let regions: Vec<BucketRegion> = (0..self.queries_per_point)
+                .map(|_| random_region(&mut rng, &space, &sides))
+                .collect::<Result<_>>()?;
+            let (summaries, opt) = Self::score(&maps, &regions, self.m);
+            xs.push(f64::from(pt.side));
+            optimal.push(opt);
+            Self::merge_point(&mut series, &names, summaries, i, total);
+        }
+        Ok(SweepResult {
+            title: format!("Database-size sweep: mean response time vs grid side (M={})", self.m),
+            xlabel: "grid side (partitions per attribute)".into(),
+            xs,
+            optimal,
+            series,
+        })
+    }
+
+    /// **Mixed workload (extension).** One data point per workload mix:
+    /// mean RT per method over a query stream drawn from the mix. The
+    /// x-axis indexes the supplied mixes (0, 1, …).
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no mixes; generation errors.
+    pub fn run_mix(
+        &self,
+        mixes: &[crate::workload::WorkloadMix],
+    ) -> Result<SweepResult> {
+        if mixes.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let maps = self.maps_for(&self.space, self.m);
+        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut xs = Vec::new();
+        let mut optimal = Vec::new();
+        let mut series: Vec<MethodSeries> = Vec::new();
+        let total = mixes.len();
+        for (i, mix) in mixes.iter().enumerate() {
+            let regions = mix.generate(&mut rng, &self.space, self.queries_per_point)?;
+            let (summaries, opt) = Self::score(&maps, &regions, self.m);
+            xs.push(i as f64);
+            optimal.push(opt);
+            Self::merge_point(&mut series, &names, summaries, i, total);
+        }
+        Ok(SweepResult {
+            title: format!(
+                "Mixed-workload sweep: mean response time per mix (grid {:?}, M={})",
+                self.space.dims(),
+                self.m
+            ),
+            xlabel: "workload mix index".into(),
+            xs,
+            optimal,
+            series,
+        })
+    }
+
+    /// **Partial-match table.** Mean RT per method for partial-match
+    /// queries with 1, 2, … `k − 1` unspecified attributes (sampled), plus
+    /// point queries at x = 0.
+    ///
+    /// # Errors
+    /// Construction errors as above.
+    pub fn run_partial_match(&self) -> Result<SweepResult> {
+        let maps = self.maps_for(&self.space, self.m);
+        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let k = self.space.k();
+        let mut xs = Vec::new();
+        let mut optimal = Vec::new();
+        let mut series: Vec<MethodSeries> = Vec::new();
+        let total = k; // unspecified = 0..k-1
+        for (i, unspec) in (0..k).enumerate() {
+            let queries =
+                partial_match_with_unspecified(&mut rng, &self.space, unspec, self.queries_per_point);
+            let regions: Vec<BucketRegion> = queries
+                .iter()
+                .map(|q| q.region(&self.space).map_err(SimError::from))
+                .collect::<Result<_>>()?;
+            let (summaries, opt) = Self::score(&maps, &regions, self.m);
+            xs.push(unspec as f64);
+            optimal.push(opt);
+            Self::merge_point(&mut series, &names, summaries, i, total);
+        }
+        Ok(SweepResult {
+            title: format!(
+                "Partial-match sweep: mean response time vs unspecified attributes (grid {:?}, M={})",
+                self.space.dims(),
+                self.m
+            ),
+            xlabel: "unspecified attributes".into(),
+            xs,
+            optimal,
+            series,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment() -> Experiment {
+        Experiment::new(GridSpace::new_2d(16, 16).unwrap(), 8)
+            .with_queries_per_point(64)
+            .with_seed(3)
+    }
+
+    #[test]
+    fn size_sweep_has_all_methods_and_bounds_hold() {
+        let r = experiment()
+            .run_size_sweep(&SizeSweep::explicit(vec![1, 4, 16, 64]))
+            .unwrap();
+        assert_eq!(r.xs, vec![1.0, 4.0, 16.0, 64.0]);
+        let names: Vec<&str> = r.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["DM", "FX", "ECC", "HCAM"]);
+        for s in &r.series {
+            assert_eq!(s.means.len(), 4);
+            for (mean, opt) in s.means.iter().zip(&r.optimal) {
+                assert!(mean + 1e-9 >= *opt, "{} mean {mean} < opt {opt}", s.name);
+            }
+        }
+        // Area 1: every method retrieves exactly one bucket.
+        for s in &r.series {
+            assert_eq!(s.means[0], 1.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = experiment()
+            .run_size_sweep(&SizeSweep::explicit(vec![16]))
+            .unwrap();
+        let b = experiment()
+            .run_size_sweep(&SizeSweep::explicit(vec![16]))
+            .unwrap();
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.means, sb.means);
+        }
+    }
+
+    #[test]
+    fn shape_sweep_runs_square_to_line() {
+        let r = experiment().run_shape_sweep(&ShapeSweep::new(16, 8)).unwrap();
+        // 16 = 4^2: powers 0 (4x4), 2 (2x8), 4 (1x16).
+        assert_eq!(r.xs, vec![1.0, 4.0, 16.0]);
+        // Optimal is flat (area fixed): ceil(16/8) = 2.
+        for &o in &r.optimal {
+            assert_eq!(o, 2.0);
+        }
+    }
+
+    #[test]
+    fn disk_sweep_marks_ecc_gaps_with_nan() {
+        let r = experiment().run_disk_sweep(&[4, 6, 8], 16).unwrap();
+        let ecc = r.series_for("ECC").unwrap();
+        assert!(ecc.means[0].is_finite());
+        assert!(ecc.means[1].is_nan(), "ECC should not apply at M=6");
+        assert!(ecc.means[2].is_finite());
+        let dm = r.series_for("DM").unwrap();
+        assert!(dm.means.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn dbsize_sweep_runs_multiple_grids() {
+        let pts = vec![
+            DbSizePoint { side: 8, query_side: 2 },
+            DbSizePoint { side: 16, query_side: 4 },
+        ];
+        let r = experiment().run_dbsize_sweep(&pts).unwrap();
+        assert_eq!(r.xs, vec![8.0, 16.0]);
+        for s in &r.series {
+            assert!(s.means.iter().all(|m| m.is_finite()), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn partial_match_point_queries_have_rt_one() {
+        let r = experiment().run_partial_match().unwrap();
+        assert_eq!(r.xs[0], 0.0);
+        for s in &r.series {
+            assert_eq!(s.means[0], 1.0, "{} point-query RT must be 1", s.name);
+        }
+        // One unspecified attribute on a 16-wide grid with M=8: DM is
+        // provably optimal (RT = ceil(16/8) = 2).
+        let dm = r.series_for("DM").unwrap();
+        assert_eq!(dm.means[1], 2.0);
+    }
+
+    #[test]
+    fn mix_sweep_scores_each_mix() {
+        use crate::workload::WorkloadMix;
+        let point_heavy = WorkloadMix {
+            point: 1.0,
+            partial_match: 0.0,
+            small_range: 0.0,
+            large_range: 0.0,
+            small_area: 4,
+            large_area: 64,
+        };
+        let range_heavy = WorkloadMix {
+            point: 0.0,
+            partial_match: 0.0,
+            small_range: 0.0,
+            large_range: 1.0,
+            small_area: 4,
+            large_area: 64,
+        };
+        let r = experiment().run_mix(&[point_heavy, range_heavy]).unwrap();
+        assert_eq!(r.xs, vec![0.0, 1.0]);
+        // Pure point queries: every method at RT 1. Pure 64-area ranges:
+        // everything at least the optimal 8.
+        for s in &r.series {
+            assert_eq!(s.means[0], 1.0, "{}", s.name);
+            assert!(s.means[1] >= 8.0, "{}", s.name);
+        }
+        assert!(matches!(
+            experiment().run_mix(&[]).unwrap_err(),
+            SimError::EmptySweep
+        ));
+    }
+
+    #[test]
+    fn empty_sweeps_are_rejected() {
+        assert!(matches!(
+            experiment().run_disk_sweep(&[], 4).unwrap_err(),
+            SimError::EmptySweep
+        ));
+        assert!(matches!(
+            experiment().run_size_sweep(&SizeSweep::explicit(vec![])).unwrap_err(),
+            SimError::EmptySweep
+        ));
+    }
+
+    #[test]
+    fn mean_deviation_factor_computes() {
+        let r = experiment()
+            .run_size_sweep(&SizeSweep::explicit(vec![4, 16, 64]))
+            .unwrap();
+        let f = r.mean_deviation_factor("DM").unwrap();
+        assert!(f >= 1.0);
+        assert!(r.mean_deviation_factor("NOPE").is_none());
+    }
+
+    #[test]
+    fn baselines_included_on_request() {
+        let r = Experiment::new(GridSpace::new_2d(8, 8).unwrap(), 4)
+            .with_queries_per_point(16)
+            .with_baselines(true)
+            .run_size_sweep(&SizeSweep::explicit(vec![4]))
+            .unwrap();
+        let names: Vec<&str> = r.series.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"RR"));
+        assert!(names.contains(&"RND"));
+    }
+}

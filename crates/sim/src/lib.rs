@@ -1,0 +1,110 @@
+//! Parallel-I/O simulator, workload generators, and experiment harness.
+//!
+//! This crate is the study's laboratory. It provides:
+//!
+//! * the paper's cost metric — [`response_time`] in bucket retrievals, with
+//!   the [`optimal_response_time`] lower bound `ceil(|Q| / M)`;
+//! * a physical disk timing model ([`DiskParams`], [`IoSimulator`]) that
+//!   turns bucket counts into milliseconds for realism-oriented examples
+//!   (the reproduced figures use the hardware-independent bucket metric,
+//!   exactly as the paper does);
+//! * deterministic workload generators ([`workload`]) for every query
+//!   population the paper sweeps: query size (area 1..1024), query shape
+//!   (aspect 1:1 → 1:M), dimensionality (2-D/3-D), partial-match and point
+//!   queries;
+//! * the [`Experiment`] harness and parameter sweeps that regenerate each
+//!   figure as a [`SweepResult`] table.
+//!
+//! # Example
+//!
+//! ```
+//! use decluster_grid::GridSpace;
+//! use decluster_sim::{Experiment, workload::SizeSweep};
+//!
+//! let exp = Experiment::new(GridSpace::new_2d(16, 16).unwrap(), 8)
+//!     .with_queries_per_point(50)
+//!     .with_seed(7);
+//! let result = exp.run_size_sweep(&SizeSweep::new(1, 64, 8)).unwrap();
+//! assert!(!result.series.is_empty());
+//! // Every method's mean RT is at least the optimal bound.
+//! for s in &result.series {
+//!     for (i, &rt) in s.means.iter().enumerate() {
+//!         assert!(rt + 1e-9 >= result.optimal[i]);
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod disk;
+mod experiment;
+mod multiuser;
+mod report;
+mod rt;
+mod stats;
+pub mod workload;
+
+pub use disk::{DiskParams, IoSimulator};
+pub use experiment::{DbSizePoint, Experiment, MethodSeries, SweepResult};
+pub use multiuser::{load_sweep, poisson_arrivals, run_closed_loop, run_open_loop, LoadPoint, MultiUserReport};
+pub use report::{render_csv, render_table, render_table_with_ci};
+pub use rt::{deviation_from_optimal, optimal_response_time, response_time};
+pub use stats::Summary;
+
+/// Errors from the simulator: configuration problems surface as the
+/// underlying crates' errors.
+#[derive(Debug)]
+pub enum SimError {
+    /// A grid/query construction failed.
+    Grid(decluster_grid::GridError),
+    /// A method construction failed.
+    Method(decluster_methods::MethodError),
+    /// A sweep was configured with no points.
+    EmptySweep,
+    /// Queries of the requested size/shape cannot fit the grid.
+    QueryDoesNotFit {
+        /// Requested query extents.
+        extents: Vec<u32>,
+        /// Grid dimensions.
+        dims: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Grid(e) => write!(f, "grid error: {e}"),
+            SimError::Method(e) => write!(f, "method error: {e}"),
+            SimError::EmptySweep => write!(f, "sweep has no points"),
+            SimError::QueryDoesNotFit { extents, dims } => {
+                write!(f, "query extents {extents:?} do not fit grid {dims:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Grid(e) => Some(e),
+            SimError::Method(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<decluster_grid::GridError> for SimError {
+    fn from(e: decluster_grid::GridError) -> Self {
+        SimError::Grid(e)
+    }
+}
+
+impl From<decluster_methods::MethodError> for SimError {
+    fn from(e: decluster_methods::MethodError) -> Self {
+        SimError::Method(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

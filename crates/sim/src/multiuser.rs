@@ -1,0 +1,445 @@
+//! Closed-loop multi-user simulation of the parallel I/O subsystem.
+//!
+//! The paper's motivation cites multi-user performance analyses of
+//! declustering (Ghandeharizadeh & DeWitt, ICDE'90 / SIGMOD'92); this
+//! module provides that view: `clients` concurrent users issue queries
+//! back-to-back from a shared workload, each query fans out one page
+//! batch per disk, disks serve batches FCFS, and a query completes when
+//! its slowest batch does. Declustering quality shows up as throughput:
+//! methods that spread each query thinly across disks keep all spindles
+//! busy and finish the workload sooner.
+
+use crate::{DiskParams, Summary};
+use decluster_grid::{BucketRegion, GridDirectory};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Aggregate results of one closed-loop run.
+#[derive(Clone, Debug)]
+pub struct MultiUserReport {
+    /// Number of queries completed.
+    pub queries: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Time the last query completed, ms.
+    pub makespan_ms: f64,
+    /// Completed queries per second.
+    pub throughput_qps: f64,
+    /// Per-query latency statistics (issue → completion), ms.
+    pub latency: Summary,
+    /// Mean disk utilization in `[0, 1]`: busy time over `M · makespan`.
+    pub utilization: f64,
+}
+
+/// Runs a closed-loop workload: `clients` users repeatedly take the next
+/// query from `queries` (in order), waiting for their previous query to
+/// finish first. Returns aggregate throughput/latency/utilization.
+///
+/// Deterministic: the only inputs are the directory, the disk parameters,
+/// and the query order.
+///
+/// # Panics
+/// Panics if `clients == 0` (a closed loop needs at least one client).
+pub fn run_closed_loop(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    clients: usize,
+) -> MultiUserReport {
+    assert!(clients > 0, "closed loop needs at least one client");
+    let m = dir.num_disks() as usize;
+    let loads = dir.load_vector();
+    let mut disk_free_at = vec![0.0f64; m];
+    let mut disk_busy_ms = vec![0.0f64; m];
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut makespan: f64 = 0.0;
+
+    // Heap of client-ready times (min-heap via Reverse of ordered bits).
+    let mut ready: BinaryHeap<Reverse<OrderedF64>> = (0..clients)
+        .map(|_| Reverse(OrderedF64(0.0)))
+        .collect();
+
+    for region in queries {
+        let Reverse(OrderedF64(issue_at)) = ready.pop().expect("clients > 0");
+        let plan = dir.io_plan(region);
+        let mut completion = issue_at;
+        for (d, pages) in plan.iter().enumerate() {
+            if pages.is_empty() {
+                continue;
+            }
+            let start = issue_at.max(disk_free_at[d]);
+            let service = params.batch_ms(pages, loads[d]);
+            disk_free_at[d] = start + service;
+            disk_busy_ms[d] += service;
+            completion = completion.max(start + service);
+        }
+        latencies.push(completion - issue_at);
+        makespan = makespan.max(completion);
+        ready.push(Reverse(OrderedF64(completion)));
+    }
+
+    let throughput_qps = if makespan > 0.0 {
+        queries.len() as f64 / (makespan / 1000.0)
+    } else {
+        0.0
+    };
+    let utilization = if makespan > 0.0 && m > 0 {
+        disk_busy_ms.iter().sum::<f64>() / (makespan * m as f64)
+    } else {
+        0.0
+    };
+    MultiUserReport {
+        queries: queries.len(),
+        clients,
+        makespan_ms: makespan,
+        throughput_qps,
+        latency: Summary::of(&latencies),
+        utilization,
+    }
+}
+
+/// Runs an open-loop workload: query `i` is issued at `arrivals_ms[i]`
+/// regardless of completions (a load generator, not a closed set of
+/// clients). Disks serve batches FCFS in arrival order. Use
+/// [`poisson_arrivals`] to generate arrival times at a target rate.
+///
+/// # Panics
+/// Panics if `arrivals_ms` is shorter than `queries` or not
+/// non-decreasing.
+pub fn run_open_loop(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    arrivals_ms: &[f64],
+) -> MultiUserReport {
+    assert!(
+        arrivals_ms.len() >= queries.len(),
+        "need one arrival time per query"
+    );
+    assert!(
+        arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+        "arrival times must be non-decreasing"
+    );
+    let m = dir.num_disks() as usize;
+    let loads = dir.load_vector();
+    let mut disk_free_at = vec![0.0f64; m];
+    let mut disk_busy_ms = vec![0.0f64; m];
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut makespan: f64 = 0.0;
+
+    for (region, &issue_at) in queries.iter().zip(arrivals_ms) {
+        let plan = dir.io_plan(region);
+        let mut completion = issue_at;
+        for (d, pages) in plan.iter().enumerate() {
+            if pages.is_empty() {
+                continue;
+            }
+            let start = issue_at.max(disk_free_at[d]);
+            let service = params.batch_ms(pages, loads[d]);
+            disk_free_at[d] = start + service;
+            disk_busy_ms[d] += service;
+            completion = completion.max(start + service);
+        }
+        latencies.push(completion - issue_at);
+        makespan = makespan.max(completion);
+    }
+
+    let throughput_qps = if makespan > 0.0 {
+        queries.len() as f64 / (makespan / 1000.0)
+    } else {
+        0.0
+    };
+    let utilization = if makespan > 0.0 && m > 0 {
+        disk_busy_ms.iter().sum::<f64>() / (makespan * m as f64)
+    } else {
+        0.0
+    };
+    MultiUserReport {
+        queries: queries.len(),
+        clients: 0, // open loop: unbounded concurrency
+        makespan_ms: makespan,
+        throughput_qps,
+        latency: Summary::of(&latencies),
+        utilization,
+    }
+}
+
+/// One point of a latency-vs-load curve: the offered arrival rate and
+/// the per-method mean latencies measured at it.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered load, queries per second.
+    pub rate_qps: f64,
+    /// `(method name, mean latency ms, utilization)` per method.
+    pub methods: Vec<(String, f64, f64)>,
+}
+
+/// Sweeps open-loop arrival rates against a set of directories (one per
+/// method), producing the classic latency-vs-load curves. The same
+/// queries and the same Poisson arrival draws are replayed against every
+/// method at every rate, so curves differ only by the declustering.
+pub fn load_sweep(
+    dirs: &[(&str, &GridDirectory)],
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    rates_qps: &[f64],
+    seed: u64,
+) -> Vec<LoadPoint> {
+    use rand::SeedableRng;
+    rates_qps
+        .iter()
+        .map(|&rate| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let arrivals = poisson_arrivals(&mut rng, queries.len(), rate);
+            let methods = dirs
+                .iter()
+                .map(|(name, dir)| {
+                    let report = run_open_loop(dir, params, queries, &arrivals);
+                    ((*name).to_owned(), report.latency.mean, report.utilization)
+                })
+                .collect();
+            LoadPoint {
+                rate_qps: rate,
+                methods,
+            }
+        })
+        .collect()
+}
+
+/// Exponential (Poisson-process) arrival times for `n` queries at
+/// `rate_qps` queries per second, starting at time 0, from any
+/// [`rand::Rng`]. Deterministic per seed.
+pub fn poisson_arrivals<R: rand::Rng>(rng: &mut R, n: usize, rate_qps: f64) -> Vec<f64> {
+    assert!(rate_qps > 0.0, "arrival rate must be positive");
+    let mean_gap_ms = 1000.0 / rate_qps;
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() * mean_gap_ms;
+            t
+        })
+        .collect()
+}
+
+/// Total order for finite f64 times (simulation times are never NaN).
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("simulation times are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_grid::{BucketCoord, DiskId, GridSpace};
+    use decluster_methods::{DeclusteringMethod, DiskModulo, Hcam};
+
+    fn directory(m: u32, method: &dyn DeclusteringMethod, space: &GridSpace) -> GridDirectory {
+        GridDirectory::build(space.clone(), m, |b| method.disk_of(b.as_slice()))
+    }
+
+    fn small_squares(space: &GridSpace) -> Vec<BucketRegion> {
+        let mut v = Vec::new();
+        for r in (0..space.dim(0) - 1).step_by(2) {
+            for c in (0..space.dim(1) - 1).step_by(2) {
+                v.push(
+                    BucketRegion::new(
+                        space,
+                        BucketCoord::from([r, c]),
+                        BucketCoord::from([r + 1, c + 1]),
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn single_client_latency_equals_single_query_time() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let dir = directory(4, &dm, &space);
+        let params = DiskParams::default();
+        let io = crate::IoSimulator::new(params);
+        let queries = small_squares(&space);
+        let report = run_closed_loop(&dir, &params, &queries[..1], 1);
+        assert_eq!(report.queries, 1);
+        let expected = io.query_response_ms(&dir, &queries[0]);
+        assert!((report.latency.mean - expected).abs() < 1e-9);
+        assert!((report.makespan_ms - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_clients_increase_throughput_until_saturation() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 8).unwrap();
+        let dir = directory(8, &hcam, &space);
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        let t1 = run_closed_loop(&dir, &params, &queries, 1).throughput_qps;
+        let t4 = run_closed_loop(&dir, &params, &queries, 4).throughput_qps;
+        assert!(t4 > t1, "4 clients ({t4:.1} qps) should beat 1 ({t1:.1} qps)");
+    }
+
+    #[test]
+    fn better_declustering_gives_higher_throughput() {
+        // All-on-one-disk versus HCAM on the same workload: the spread
+        // allocation must win on throughput and utilization.
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let m = 8;
+        let hcam = Hcam::new(&space, m).unwrap();
+        let spread = directory(m, &hcam, &space);
+        let stacked = GridDirectory::build(space.clone(), m, |_| DiskId(0));
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        let good = run_closed_loop(&spread, &params, &queries, 4);
+        let bad = run_closed_loop(&stacked, &params, &queries, 4);
+        assert!(good.throughput_qps > bad.throughput_qps);
+        assert!(good.utilization > bad.utilization);
+    }
+
+    #[test]
+    fn latency_suffers_under_contention() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 4).unwrap();
+        let dir = directory(4, &hcam, &space);
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        let solo = run_closed_loop(&dir, &params, &queries, 1);
+        let busy = run_closed_loop(&dir, &params, &queries, 8);
+        assert!(busy.latency.mean >= solo.latency.mean);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let dir = directory(4, &dm, &space);
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        let a = run_closed_loop(&dir, &params, &queries, 3);
+        let b = run_closed_loop(&dir, &params, &queries, 3);
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let dir = directory(4, &dm, &space);
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        let report = run_closed_loop(&dir, &params, &queries, 2);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+    }
+
+    #[test]
+    fn open_loop_light_load_has_unqueued_latencies() {
+        // With arrivals far apart, each query sees an idle subsystem:
+        // its latency equals the single-query response time.
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let dir = directory(4, &dm, &space);
+        let params = DiskParams::default();
+        let io = crate::IoSimulator::new(params);
+        let queries = small_squares(&space);
+        let arrivals: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 1e6).collect();
+        let report = run_open_loop(&dir, &params, &queries, &arrivals);
+        // Mean latency equals mean solo response time.
+        let solo_mean: f64 = queries
+            .iter()
+            .map(|q| io.query_response_ms(&dir, q))
+            .sum::<f64>()
+            / queries.len() as f64;
+        assert!((report.latency.mean - solo_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_loop_heavy_load_queues_up() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 4).unwrap();
+        let dir = directory(4, &hcam, &space);
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        // All queries arrive at t=0: maximal queueing.
+        let slammed = run_open_loop(&dir, &params, &queries, &vec![0.0; queries.len()]);
+        let spaced: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 1e5).collect();
+        let idle = run_open_loop(&dir, &params, &queries, &spaced);
+        assert!(slammed.latency.mean > idle.latency.mean * 2.0);
+        assert!(slammed.utilization > idle.utilization);
+    }
+
+    #[test]
+    fn load_sweep_produces_monotone_curves() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let m = 4;
+        let dm = DiskModulo::new(&space, m).unwrap();
+        let hcam = Hcam::new(&space, m).unwrap();
+        let dir_dm = directory(m, &dm, &space);
+        let dir_hcam = directory(m, &hcam, &space);
+        let queries = small_squares(&space);
+        let points = load_sweep(
+            &[("DM", &dir_dm), ("HCAM", &dir_hcam)],
+            &DiskParams::default(),
+            &queries,
+            &[1.0, 20.0, 200.0],
+            42,
+        );
+        assert_eq!(points.len(), 3);
+        // Per method, latency never decreases with rate.
+        for mi in 0..2 {
+            let lats: Vec<f64> = points.iter().map(|p| p.methods[mi].1).collect();
+            assert!(lats.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{lats:?}");
+        }
+        // At the light-load end, HCAM (better spreader on 2x2s) is at
+        // least as fast as DM.
+        let (dm_lat, hcam_lat) = (points[0].methods[0].1, points[0].methods[1].1);
+        assert!(hcam_lat <= dm_lat + 1e-9, "HCAM {hcam_lat} vs DM {dm_lat}");
+    }
+
+    #[test]
+    fn poisson_arrivals_have_the_right_rate() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let arrivals = poisson_arrivals(&mut rng, 10_000, 50.0);
+        assert_eq!(arrivals.len(), 10_000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Mean gap ~ 20ms within 10%.
+        let span = arrivals.last().unwrap() - arrivals[0];
+        let mean_gap = span / 9_999.0;
+        assert!((mean_gap - 20.0).abs() < 2.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn open_loop_rejects_unsorted_arrivals() {
+        let space = GridSpace::new_2d(4, 4).unwrap();
+        let dm = DiskModulo::new(&space, 2).unwrap();
+        let dir = directory(2, &dm, &space);
+        let queries = small_squares(&space);
+        let n = queries.len();
+        let mut arrivals = vec![0.0; n];
+        if n >= 2 {
+            arrivals[0] = 5.0;
+        }
+        let _ = run_open_loop(&dir, &DiskParams::default(), &queries, &arrivals);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let space = GridSpace::new_2d(4, 4).unwrap();
+        let dm = DiskModulo::new(&space, 2).unwrap();
+        let dir = directory(2, &dm, &space);
+        let _ = run_closed_loop(&dir, &DiskParams::default(), &[], 0);
+    }
+}

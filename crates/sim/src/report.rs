@@ -1,0 +1,219 @@
+//! Plain-text and CSV rendering of sweep results — the "same rows the
+//! paper reports" output format.
+
+use crate::SweepResult;
+use std::fmt::Write as _;
+
+fn fmt_cell(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a sweep as an aligned plain-text table: one row per x-value,
+/// one column per method, plus the optimal lower bound.
+pub fn render_table(result: &SweepResult) -> String {
+    let mut headers: Vec<String> = vec![result.xlabel.clone()];
+    headers.extend(result.series.iter().map(|s| s.name.clone()));
+    headers.push("OPT".to_owned());
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(result.xs.len());
+    for (i, &x) in result.xs.iter().enumerate() {
+        let mut row = vec![format!("{x}")];
+        for s in &result.series {
+            row.push(fmt_cell(s.means[i]));
+        }
+        row.push(fmt_cell(result.optimal[i]));
+        rows.push(row);
+    }
+
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|r| r[c].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", result.title);
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+/// Renders a sweep like [`render_table`] but annotates every mean with
+/// its ~95% confidence half-width (`mean ±hw`), so readers can judge
+/// whether method gaps exceed sampling noise.
+pub fn render_table_with_ci(result: &SweepResult) -> String {
+    let mut headers: Vec<String> = vec![result.xlabel.clone()];
+    headers.extend(result.series.iter().map(|s| s.name.clone()));
+    headers.push("OPT".to_owned());
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(result.xs.len());
+    for (i, &x) in result.xs.iter().enumerate() {
+        let mut row = vec![format!("{x}")];
+        for s in &result.series {
+            if s.means[i].is_nan() {
+                row.push("-".to_owned());
+            } else {
+                row.push(format!(
+                    "{:.3} ±{:.3}",
+                    s.means[i],
+                    s.summaries[i].ci95_half_width()
+                ));
+            }
+        }
+        row.push(fmt_cell(result.optimal[i]));
+        rows.push(row);
+    }
+
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|r| r[c].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} (means ±95% CI)", result.title);
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+/// Renders a sweep as CSV with a header row (`x, <methods…>, OPT`). NaN
+/// points (method not applicable) are empty cells.
+pub fn render_csv(result: &SweepResult) -> String {
+    let mut out = String::new();
+    let mut headers = vec![result.xlabel.replace(',', ";")];
+    headers.extend(result.series.iter().map(|s| s.name.clone()));
+    headers.push("OPT".to_owned());
+    let _ = writeln!(out, "{}", headers.join(","));
+    for (i, &x) in result.xs.iter().enumerate() {
+        let mut row = vec![format!("{x}")];
+        for s in &result.series {
+            row.push(if s.means[i].is_nan() {
+                String::new()
+            } else {
+                format!("{}", s.means[i])
+            });
+        }
+        row.push(format!("{}", result.optimal[i]));
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MethodSeries, Summary};
+
+    fn sample() -> SweepResult {
+        SweepResult {
+            title: "demo".into(),
+            xlabel: "area".into(),
+            xs: vec![1.0, 4.0],
+            optimal: vec![1.0, 1.0],
+            series: vec![
+                MethodSeries {
+                    name: "DM".into(),
+                    means: vec![1.0, 2.5],
+                    summaries: vec![Summary::of(&[1.0]), Summary::of(&[2.5])],
+                },
+                MethodSeries {
+                    name: "ECC".into(),
+                    means: vec![1.0, f64::NAN],
+                    summaries: vec![Summary::of(&[1.0]), Summary::of(&[])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let t = render_table(&sample());
+        assert!(t.contains("demo"));
+        assert!(t.contains("DM"));
+        assert!(t.contains("OPT"));
+        assert!(t.contains("2.500"));
+        // NaN renders as a dash.
+        assert!(t.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn ci_table_annotates_means() {
+        let t = render_table_with_ci(&sample());
+        assert!(t.contains("±"));
+        assert!(t.contains("95% CI"));
+        // NaN points stay dashes.
+        assert!(t.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn ci_table_from_real_experiment_has_finite_cis() {
+        use decluster_grid::GridSpace;
+        let r = crate::Experiment::new(GridSpace::new_2d(8, 8).unwrap(), 4)
+            .with_queries_per_point(32)
+            .run_size_sweep(&crate::workload::SizeSweep::explicit(vec![4]))
+            .unwrap();
+        let t = render_table_with_ci(&r);
+        assert!(t.contains("±"));
+        assert!(!t.contains("NaN"));
+    }
+
+    #[test]
+    fn csv_roundtrips_structure() {
+        let c = render_csv(&sample());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "area,DM,ECC,OPT");
+        assert_eq!(lines[1], "1,1,1,1");
+        // NaN -> empty cell.
+        assert_eq!(lines[2], "4,2.5,,1");
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_xlabel() {
+        let mut s = sample();
+        s.xlabel = "a,b".into();
+        assert!(render_csv(&s).starts_with("a;b,"));
+    }
+}

@@ -1,0 +1,110 @@
+/// Summary statistics of a sample of observations (response times,
+/// deviations, …).
+///
+/// All experiments in the harness report means over many random query
+/// placements; the stddev and a normal-approximation 95% confidence
+/// half-width are kept so tables can show how tight the estimates are.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. An empty sample yields all-zero statistics.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n: values.len(),
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Summarizes integer observations (the common case for bucket-count
+    /// response times).
+    pub fn of_counts(values: &[u64]) -> Self {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&floats)
+    }
+
+    /// Half-width of a ~95% confidence interval for the mean (normal
+    /// approximation, `1.96 · σ / √n`). Zero for n < 2.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Population variance of 1..4 is 1.25.
+        assert!((s.stddev - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn of_counts_matches_of() {
+        assert_eq!(Summary::of_counts(&[1, 2, 3]), Summary::of(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = Summary::of(&[7.0; 100]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+}

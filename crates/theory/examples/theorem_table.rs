@@ -1,0 +1,9 @@
+use decluster_theory::impossibility::demonstrate;
+use std::time::Instant;
+fn main() {
+    for m in 1..=12u32 {
+        let t = Instant::now();
+        let d = demonstrate(m, 500_000_000);
+        println!("{}  ({:?})", d.summary(), t.elapsed());
+    }
+}

@@ -1,0 +1,333 @@
+//! Exact (non-sampled) response-time analysis over all placements of a
+//! query shape.
+//!
+//! The experiment harness estimates mean response times from random
+//! placements; this module computes the exact placement statistics by
+//! enumeration — worst case, best case, exact mean, and the fraction of
+//! placements where the method is optimal. Used to validate the sampled
+//! experiments and to state per-method guarantees ("DM never exceeds 2×
+//! optimal on this shape").
+
+use decluster_grid::{BucketCoord, BucketRegion};
+use decluster_methods::{AllocationMap, DeclusteringMethod};
+
+/// Exact placement statistics of one query shape under one allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeProfile {
+    /// The shape analyzed (per-dimension extents).
+    pub shape: Vec<u32>,
+    /// Number of distinct placements enumerated.
+    pub placements: u64,
+    /// Minimum response time over all placements.
+    pub best: u64,
+    /// Maximum response time over all placements.
+    pub worst: u64,
+    /// A placement achieving `worst`.
+    pub worst_witness: BucketRegion,
+    /// Exact mean response time over all placements.
+    pub mean: f64,
+    /// The optimal bound `ceil(|shape|/M)` (identical for every placement).
+    pub optimal: u64,
+    /// Fraction of placements whose response time equals the bound.
+    pub optimal_fraction: f64,
+}
+
+impl ShapeProfile {
+    /// `worst / optimal` — the shape's worst-case deviation factor.
+    pub fn worst_factor(&self) -> f64 {
+        self.worst as f64 / self.optimal.max(1) as f64
+    }
+}
+
+/// Enumerates every placement of `shape` inside the allocation's grid and
+/// returns the exact statistics. Returns `None` if the shape does not fit
+/// the grid (or is malformed).
+pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfile> {
+    let space = alloc.space().clone();
+    if shape.len() != space.k()
+        || shape.iter().zip(space.dims()).any(|(&s, &d)| s == 0 || s > d)
+    {
+        return None;
+    }
+    let volume: u64 = shape.iter().map(|&s| u64::from(s)).product();
+    let optimal = volume.div_ceil(u64::from(alloc.num_disks()));
+
+    let mut best = u64::MAX;
+    let mut worst = 0u64;
+    let mut worst_witness: Option<BucketRegion> = None;
+    let mut total: u128 = 0;
+    let mut placements = 0u64;
+    let mut optimal_hits = 0u64;
+
+    let mut offset = vec![0u32; space.k()];
+    loop {
+        let lo = BucketCoord::from(offset.clone());
+        let hi = BucketCoord::from(
+            offset
+                .iter()
+                .zip(shape)
+                .map(|(&o, &s)| o + s - 1)
+                .collect::<Vec<u32>>(),
+        );
+        let region = BucketRegion::new(&space, lo, hi).expect("placement fits");
+        let rt = alloc.response_time(&region);
+        total += u128::from(rt);
+        placements += 1;
+        if rt == optimal {
+            optimal_hits += 1;
+        }
+        if rt < best {
+            best = rt;
+        }
+        if rt > worst {
+            worst = rt;
+            worst_witness = Some(region);
+        }
+        // Advance the offset over all valid placements.
+        let mut dim = space.k();
+        let advanced = loop {
+            if dim == 0 {
+                break false;
+            }
+            dim -= 1;
+            offset[dim] += 1;
+            if offset[dim] + shape[dim] <= space.dim(dim) {
+                break true;
+            }
+            offset[dim] = 0;
+        };
+        if !advanced {
+            break;
+        }
+    }
+
+    Some(ShapeProfile {
+        shape: shape.to_vec(),
+        placements,
+        best,
+        worst,
+        worst_witness: worst_witness.expect("at least one placement"),
+        mean: total as f64 / placements as f64,
+        optimal,
+        optimal_fraction: optimal_hits as f64 / placements as f64,
+    })
+}
+
+/// The worst response time of `shape` anywhere in the grid, with a
+/// witness placement. Convenience wrapper over [`shape_profile`].
+pub fn worst_case_response_time(
+    alloc: &AllocationMap,
+    shape: &[u32],
+) -> Option<(u64, BucketRegion)> {
+    shape_profile(alloc, shape).map(|p| (p.worst, p.worst_witness))
+}
+
+/// Fraction of `shape` placements that touch **no** bucket of
+/// `failed_disk` — the queries that remain fully answerable if that disk
+/// fails (no replication, per the paper's model).
+///
+/// This is the flip side of response time: a method that spreads every
+/// query across many disks (low RT) also exposes every query to every
+/// disk's failure (low survival). Enumerated exactly over all
+/// placements; returns `None` if the shape does not fit the grid or the
+/// disk id is out of range.
+pub fn failure_survival_fraction(
+    alloc: &AllocationMap,
+    shape: &[u32],
+    failed_disk: decluster_grid::DiskId,
+) -> Option<f64> {
+    if failed_disk.0 >= alloc.num_disks() {
+        return None;
+    }
+    let space = alloc.space().clone();
+    if shape.len() != space.k()
+        || shape.iter().zip(space.dims()).any(|(&s, &d)| s == 0 || s > d)
+    {
+        return None;
+    }
+    let mut survivors = 0u64;
+    let mut placements = 0u64;
+    let mut offset = vec![0u32; space.k()];
+    loop {
+        let lo = BucketCoord::from(offset.clone());
+        let hi = BucketCoord::from(
+            offset
+                .iter()
+                .zip(shape)
+                .map(|(&o, &s)| o + s - 1)
+                .collect::<Vec<u32>>(),
+        );
+        let region = BucketRegion::new(&space, lo, hi).expect("placement fits");
+        placements += 1;
+        if alloc.access_histogram(&region)[failed_disk.index()] == 0 {
+            survivors += 1;
+        }
+        let mut dim = space.k();
+        let advanced = loop {
+            if dim == 0 {
+                break false;
+            }
+            dim -= 1;
+            offset[dim] += 1;
+            if offset[dim] + shape[dim] <= space.dim(dim) {
+                break true;
+            }
+            offset[dim] = 0;
+        };
+        if !advanced {
+            break;
+        }
+    }
+    Some(survivors as f64 / placements as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strict::known_strict_allocation;
+    use decluster_grid::GridSpace;
+    use decluster_methods::{DiskModulo, FieldwiseXor, Hcam};
+
+    fn alloc_of(
+        space: &GridSpace,
+        method: &dyn DeclusteringMethod,
+    ) -> AllocationMap {
+        AllocationMap::from_method(space, method).unwrap()
+    }
+
+    #[test]
+    fn strictly_optimal_lattice_has_fraction_one() {
+        let space = GridSpace::new_2d(10, 10).unwrap();
+        let alloc = known_strict_allocation(&space, 5).unwrap();
+        for shape in [[1u32, 5], [2, 2], [3, 4], [5, 5]] {
+            let p = shape_profile(&alloc, &shape).unwrap();
+            assert_eq!(p.optimal_fraction, 1.0, "{shape:?}");
+            assert_eq!(p.best, p.worst);
+            assert_eq!(p.worst, p.optimal);
+            assert_eq!(p.worst_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn dm_worst_case_on_squares_is_the_diagonal() {
+        // DM with M >= 2s-1 on an s x s square: the anti-diagonal puts s
+        // buckets on one disk; with M >= s^2 the optimum is 1, so the
+        // worst factor is exactly s.
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let alloc = alloc_of(&space, &DiskModulo::new(&space, 16).unwrap());
+        let p = shape_profile(&alloc, &[4, 4]).unwrap();
+        assert_eq!(p.optimal, 1);
+        assert_eq!(p.worst, 4);
+        assert_eq!(p.best, 4); // every placement has a full anti-diagonal
+        assert_eq!(p.worst_factor(), 4.0);
+        // The witness must actually achieve the worst RT.
+        assert_eq!(alloc.response_time(&p.worst_witness), 4);
+    }
+
+    #[test]
+    fn placement_count_is_exact() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let alloc = alloc_of(&space, &DiskModulo::new(&space, 4).unwrap());
+        let p = shape_profile(&alloc, &[3, 5]).unwrap();
+        assert_eq!(p.placements, 6 * 4);
+    }
+
+    #[test]
+    fn mean_is_between_best_and_worst() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        for method in [
+            &alloc_of(&space, &FieldwiseXor::new(&space, 8).unwrap()),
+            &alloc_of(&space, &Hcam::new(&space, 8).unwrap()),
+        ] {
+            let p = shape_profile(method, &[3, 3]).unwrap();
+            assert!(p.best as f64 <= p.mean && p.mean <= p.worst as f64);
+            assert!(p.optimal_fraction >= 0.0 && p.optimal_fraction <= 1.0);
+            assert!(p.best >= p.optimal);
+        }
+    }
+
+    #[test]
+    fn rejects_shapes_that_do_not_fit() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let alloc = alloc_of(&space, &DiskModulo::new(&space, 4).unwrap());
+        assert!(shape_profile(&alloc, &[9, 1]).is_none());
+        assert!(shape_profile(&alloc, &[0, 1]).is_none());
+        assert!(shape_profile(&alloc, &[1]).is_none());
+    }
+
+    #[test]
+    fn full_grid_shape_has_one_placement() {
+        let space = GridSpace::new_2d(6, 6).unwrap();
+        let alloc = alloc_of(&space, &DiskModulo::new(&space, 3).unwrap());
+        let p = shape_profile(&alloc, &[6, 6]).unwrap();
+        assert_eq!(p.placements, 1);
+        assert_eq!(p.best, p.worst);
+        assert_eq!(p.optimal, 12);
+        assert_eq!(p.worst, 12); // 6x6 with M=3 and d%M=0: perfectly even
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let space = GridSpace::new_cube(3, 4).unwrap();
+        let alloc = alloc_of(&space, &DiskModulo::new(&space, 4).unwrap());
+        let p = shape_profile(&alloc, &[2, 2, 2]).unwrap();
+        assert_eq!(p.placements, 27);
+        assert!(p.worst >= p.optimal);
+    }
+
+    #[test]
+    fn survival_tradeoff_spreading_hurts_availability() {
+        use decluster_grid::DiskId;
+        // DM concentrates a 2x2 query on at most 3 disks; HCAM spreads it
+        // over 4. More spread = lower chance a given disk is avoided.
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let m = 8;
+        let dm = alloc_of(&space, &DiskModulo::new(&space, m).unwrap());
+        let hcam = alloc_of(&space, &Hcam::new(&space, m).unwrap());
+        let shape = [2u32, 2];
+        let avg = |alloc: &AllocationMap| -> f64 {
+            (0..m)
+                .map(|d| failure_survival_fraction(alloc, &shape, DiskId(d)).unwrap())
+                .sum::<f64>()
+                / f64::from(m)
+        };
+        let dm_survival = avg(&dm);
+        let hcam_survival = avg(&hcam);
+        assert!(
+            dm_survival > hcam_survival,
+            "DM survival {dm_survival:.3} should exceed HCAM {hcam_survival:.3}"
+        );
+        // Exact relationship: average over disks of (1 - survival) equals
+        // the mean number of distinct disks touched / M.
+        // Sanity bound: survival fractions live in [0, 1].
+        for s in [dm_survival, hcam_survival] {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn survival_validates_inputs() {
+        use decluster_grid::DiskId;
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let alloc = alloc_of(&space, &DiskModulo::new(&space, 4).unwrap());
+        assert!(failure_survival_fraction(&alloc, &[2, 2], DiskId(4)).is_none());
+        assert!(failure_survival_fraction(&alloc, &[9, 1], DiskId(0)).is_none());
+        assert!(failure_survival_fraction(&alloc, &[2], DiskId(0)).is_none());
+        // The full grid touches every disk of a balanced allocation:
+        // survival 0 for all disks.
+        assert_eq!(
+            failure_survival_fraction(&alloc, &[8, 8], DiskId(0)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn worst_case_wrapper_matches_profile() {
+        let space = GridSpace::new_2d(12, 12).unwrap();
+        let alloc = alloc_of(&space, &Hcam::new(&space, 6).unwrap());
+        let (worst, witness) = worst_case_response_time(&alloc, &[2, 3]).unwrap();
+        let p = shape_profile(&alloc, &[2, 3]).unwrap();
+        assert_eq!(worst, p.worst);
+        assert_eq!(alloc.response_time(&witness), worst);
+    }
+}

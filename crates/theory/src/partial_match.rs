@@ -1,0 +1,223 @@
+//! Partial-match optimality conditions — the paper's Table 1 as
+//! executable predicates.
+//!
+//! | Method | Grid condition | Disk condition | Optimal for |
+//! |---|---|---|---|
+//! | DM/CMD | — | — | PM queries with exactly one unspecified attribute; PM queries with an unspecified attribute `i` s.t. `dᵢ mod M = 0` |
+//! | FX | `dᵢ` powers of 2 | `M` power of 2 | PM queries with exactly one unspecified attribute; PM with an unspecified attribute s.t. `dᵢ ≥ M` |
+//! | ECC | `dᵢ` powers of 2 | `M` power of 2 | good average behaviour (no exact PM class claimed here) |
+//! | HCAM | — | — | none claimed |
+//!
+//! Each `*_predicts_optimal` function returns whether the theory
+//! guarantees optimality for a query; `check_prediction` verifies the
+//! guarantee empirically against an allocation. The paper's T1 experiment
+//! sweeps all partial-match queries and confirms zero violations.
+
+use decluster_grid::{GridSpace, PartialMatchQuery};
+use decluster_methods::{AllocationMap, DeclusteringMethod};
+
+/// DM/CMD optimality guarantee for a partial-match query (Du &
+/// Sobolewski; Li et al.): exactly one unspecified attribute, **or** some
+/// unspecified attribute's partition count is a multiple of `M`.
+pub fn dm_predicts_optimal(space: &GridSpace, m: u32, q: &PartialMatchQuery) -> bool {
+    if q.dims() != space.k() || m == 0 {
+        return false;
+    }
+    let unspecified: Vec<usize> = q
+        .bindings()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| b.is_none().then_some(i))
+        .collect();
+    match unspecified.len() {
+        0 => true, // point queries are trivially optimal for any method
+        1 => true,
+        _ => unspecified.iter().any(|&i| space.dim(i).is_multiple_of(m)),
+    }
+}
+
+/// FX optimality guarantee for a partial-match query (Kim & Pramanik):
+/// all `dᵢ` and `M` powers of two, and either exactly one unspecified
+/// attribute or some unspecified attribute with `dᵢ ≥ M`.
+pub fn fx_predicts_optimal(space: &GridSpace, m: u32, q: &PartialMatchQuery) -> bool {
+    if q.dims() != space.k() || m == 0 {
+        return false;
+    }
+    if !m.is_power_of_two() || space.dims().iter().any(|d| !d.is_power_of_two()) {
+        return false;
+    }
+    let unspecified: Vec<usize> = q
+        .bindings()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| b.is_none().then_some(i))
+        .collect();
+    match unspecified.len() {
+        0 => true,
+        1 => space.dim(unspecified[0]) >= m,
+        _ => unspecified.iter().any(|&i| space.dim(i) >= m),
+    }
+}
+
+/// Outcome of checking one theoretical guarantee against reality.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PredictionCheck {
+    /// Queries whose optimality the theory guaranteed.
+    pub predicted: u64,
+    /// Guaranteed queries that were indeed optimal.
+    pub confirmed: u64,
+    /// Guaranteed queries that were **not** optimal (must be 0 for a
+    /// correct implementation).
+    pub violated: u64,
+    /// Queries with no guarantee that happened to be optimal anyway.
+    pub bonus_optimal: u64,
+    /// Queries with no guarantee that were suboptimal.
+    pub unpredicted_suboptimal: u64,
+}
+
+impl PredictionCheck {
+    /// True when no guaranteed query missed the optimum.
+    pub fn holds(&self) -> bool {
+        self.violated == 0
+    }
+}
+
+/// Verifies a guarantee predicate against an allocation over a set of
+/// partial-match queries.
+pub fn check_prediction(
+    alloc: &AllocationMap,
+    queries: &[PartialMatchQuery],
+    predicts: impl Fn(&GridSpace, u32, &PartialMatchQuery) -> bool,
+) -> PredictionCheck {
+    let space = alloc.space().clone();
+    let m = alloc.num_disks();
+    let mut out = PredictionCheck::default();
+    for q in queries {
+        let region = q.region(&space).expect("query fits grid");
+        let rt = alloc.response_time(&region);
+        let opt = region.num_buckets().div_ceil(u64::from(m));
+        let optimal = rt == opt;
+        if predicts(&space, m, q) {
+            out.predicted += 1;
+            if optimal {
+                out.confirmed += 1;
+            } else {
+                out.violated += 1;
+            }
+        } else if optimal {
+            out.bonus_optimal += 1;
+        } else {
+            out.unpredicted_suboptimal += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_methods::{DiskModulo, FieldwiseXor};
+
+    /// All partial-match queries of a grid (including point queries).
+    fn all_pm(space: &GridSpace) -> Vec<PartialMatchQuery> {
+        let k = space.k();
+        let mut out = Vec::new();
+        let mut idx = vec![0u32; k];
+        loop {
+            let bindings: Vec<Option<u32>> = idx
+                .iter()
+                .zip(space.dims())
+                .map(|(&c, &d)| (c < d).then_some(c))
+                .collect();
+            if bindings.iter().any(Option::is_some) {
+                out.push(PartialMatchQuery::new(bindings).unwrap());
+            }
+            let mut dim = k;
+            loop {
+                if dim == 0 {
+                    return out;
+                }
+                dim -= 1;
+                idx[dim] += 1;
+                if idx[dim] <= space.dim(dim) {
+                    break;
+                }
+                idx[dim] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn dm_theorem_holds_on_divisible_grid() {
+        // d = 8, M = 4: every PM query with an unspecified attribute has
+        // d_i mod M = 0, so DM must be optimal on all of them.
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let alloc = AllocationMap::from_method(&space, &dm).unwrap();
+        let check = check_prediction(&alloc, &all_pm(&space), dm_predicts_optimal);
+        assert!(check.holds(), "{check:?}");
+        assert_eq!(check.predicted, check.confirmed);
+        assert_eq!(check.unpredicted_suboptimal, 0);
+    }
+
+    #[test]
+    fn dm_theorem_holds_on_non_divisible_grid() {
+        // d = 9, M = 4: only the one-unspecified class is guaranteed.
+        let space = GridSpace::new_2d(9, 9).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let alloc = AllocationMap::from_method(&space, &dm).unwrap();
+        let check = check_prediction(&alloc, &all_pm(&space), dm_predicts_optimal);
+        assert!(check.holds(), "{check:?}");
+        assert!(check.predicted > 0);
+    }
+
+    #[test]
+    fn fx_theorem_holds_on_power_of_two_grid() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let fx = FieldwiseXor::new(&space, 8).unwrap();
+        let alloc = AllocationMap::from_method(&space, &fx).unwrap();
+        let check = check_prediction(&alloc, &all_pm(&space), fx_predicts_optimal);
+        assert!(check.holds(), "{check:?}");
+        assert!(check.predicted > 0);
+    }
+
+    #[test]
+    fn fx_predicts_nothing_on_odd_grids() {
+        let space = GridSpace::new_2d(9, 9).unwrap();
+        let q = PartialMatchQuery::new(vec![Some(0), None]).unwrap();
+        assert!(!fx_predicts_optimal(&space, 8, &q));
+        let space2 = GridSpace::new_2d(16, 16).unwrap();
+        assert!(!fx_predicts_optimal(&space2, 6, &q));
+        assert!(fx_predicts_optimal(&space2, 8, &q));
+    }
+
+    #[test]
+    fn dm_conditions_enumerated() {
+        let space = GridSpace::new_2d(8, 6).unwrap();
+        let m = 4;
+        // Exactly one unspecified: guaranteed.
+        let q1 = PartialMatchQuery::new(vec![Some(1), None]).unwrap();
+        assert!(dm_predicts_optimal(&space, m, &q1));
+        // Two unspecified, d0 = 8 divisible by 4: guaranteed.
+        let q2 = PartialMatchQuery::new(vec![None, None]).unwrap();
+        assert!(dm_predicts_optimal(&space, m, &q2));
+        // Two unspecified on a 6x6 grid with M = 4: no guarantee.
+        let space66 = GridSpace::new_2d(6, 6).unwrap();
+        assert!(!dm_predicts_optimal(&space66, m, &q2));
+        // Point query: trivially guaranteed.
+        let q3 = PartialMatchQuery::new(vec![Some(0), Some(0)]).unwrap();
+        assert!(dm_predicts_optimal(&space66, m, &q3));
+    }
+
+    #[test]
+    fn three_attribute_dm_guarantee() {
+        // 3-D: d = (8, 8, 8), M = 8 — everything divisible, everything
+        // guaranteed and confirmed.
+        let space = GridSpace::new_cube(3, 8).unwrap();
+        let dm = DiskModulo::new(&space, 8).unwrap();
+        let alloc = AllocationMap::from_method(&space, &dm).unwrap();
+        let check = check_prediction(&alloc, &all_pm(&space), dm_predicts_optimal);
+        assert!(check.holds(), "{check:?}");
+        assert_eq!(check.unpredicted_suboptimal, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Exhaustive search for strictly optimal 2-D allocations.
+//!
+//! Strict optimality is a monotone constraint: an allocation of an `R × C`
+//! window is strictly optimal iff **no disk appears more than
+//! `ceil(area/M)` times in any sub-rectangle** (the pigeonhole bound makes
+//! `≥` automatic). The search therefore assigns buckets in row-major
+//! order and, after each assignment, re-checks every rectangle whose
+//! bottom-right corner is the just-assigned cell — those are exactly the
+//! rectangles that became fully assigned. Any violation prunes the whole
+//! subtree, so exhausting the tree **proves** no strictly optimal
+//! allocation of the window exists; and since a strictly optimal
+//! allocation of a larger grid restricts to one of any window, that proves
+//! impossibility for every grid containing the window.
+
+use decluster_grid::GridSpace;
+use decluster_methods::AllocationMap;
+
+/// Result of a [`StrictSearch`] run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SearchOutcome {
+    /// A strictly optimal allocation of the window was found.
+    Satisfiable(AllocationMap),
+    /// The search space was exhausted: no strictly optimal allocation of
+    /// this window (hence of any larger grid) exists.
+    Unsatisfiable,
+    /// The node budget ran out before the search concluded.
+    Unknown,
+}
+
+impl SearchOutcome {
+    /// True for [`SearchOutcome::Satisfiable`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SearchOutcome::Satisfiable(_))
+    }
+}
+
+/// Statistics of a completed search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Decision nodes expanded.
+    pub nodes: u64,
+    /// Subtrees pruned by a rectangle violation.
+    pub prunes: u64,
+}
+
+/// Configurable exhaustive search for a strictly optimal allocation of an
+/// `rows × cols` window onto `m` disks.
+#[derive(Clone, Debug)]
+pub struct StrictSearch {
+    rows: u32,
+    cols: u32,
+    m: u32,
+    node_budget: u64,
+    symmetry_breaking: bool,
+}
+
+impl StrictSearch {
+    /// A search over an `rows × cols` window with `m` disks, default node
+    /// budget 10 million, symmetry breaking on.
+    pub fn new(rows: u32, cols: u32, m: u32) -> Self {
+        StrictSearch {
+            rows: rows.max(1),
+            cols: cols.max(1),
+            m: m.max(1),
+            node_budget: 10_000_000,
+            symmetry_breaking: true,
+        }
+    }
+
+    /// Caps the number of decision nodes; exceeding it yields
+    /// [`SearchOutcome::Unknown`].
+    pub fn with_node_budget(mut self, budget: u64) -> Self {
+        self.node_budget = budget;
+        self
+    }
+
+    /// Disables disk-relabelling symmetry breaking (for testing the
+    /// optimization itself; exhaustiveness is unaffected either way).
+    pub fn without_symmetry_breaking(mut self) -> Self {
+        self.symmetry_breaking = false;
+        self
+    }
+
+    /// Runs the search.
+    pub fn run(&self) -> SearchOutcome {
+        self.run_with_stats().0
+    }
+
+    /// Runs the search and reports node/prune counts.
+    pub fn run_with_stats(&self) -> (SearchOutcome, SearchStats) {
+        let total = (self.rows * self.cols) as usize;
+        let mut grid: Vec<u32> = vec![u32::MAX; total];
+        let mut stats = SearchStats::default();
+        let outcome = self.dfs(&mut grid, 0, 0, &mut stats);
+        let outcome = match outcome {
+            Dfs::Found => {
+                let space =
+                    GridSpace::new_2d(self.rows, self.cols).expect("window dims validated");
+                SearchOutcome::Satisfiable(
+                    AllocationMap::from_table(&space, self.m, grid)
+                        .expect("search grid is complete and in range"),
+                )
+            }
+            Dfs::Exhausted => SearchOutcome::Unsatisfiable,
+            Dfs::BudgetExceeded => SearchOutcome::Unknown,
+        };
+        (outcome, stats)
+    }
+
+    fn dfs(&self, grid: &mut [u32], cell: usize, max_used: u32, stats: &mut SearchStats) -> Dfs {
+        if cell == grid.len() {
+            return Dfs::Found;
+        }
+        if stats.nodes >= self.node_budget {
+            return Dfs::BudgetExceeded;
+        }
+        stats.nodes += 1;
+        let (r, c) = ((cell as u32) / self.cols, (cell as u32) % self.cols);
+        // Disk-relabelling symmetry: the first use of a new disk may as
+        // well be the smallest unused label.
+        let candidates = if self.symmetry_breaking {
+            self.m.min(max_used + 1)
+        } else {
+            self.m
+        };
+        for disk in 0..candidates {
+            grid[cell] = disk;
+            if self.placement_ok(grid, r, c) {
+                let next_max = max_used.max(disk + 1);
+                match self.dfs(grid, cell + 1, next_max, stats) {
+                    Dfs::Found => return Dfs::Found,
+                    Dfs::BudgetExceeded => {
+                        grid[cell] = u32::MAX;
+                        return Dfs::BudgetExceeded;
+                    }
+                    Dfs::Exhausted => {}
+                }
+            } else {
+                stats.prunes += 1;
+            }
+        }
+        grid[cell] = u32::MAX;
+        Dfs::Exhausted
+    }
+
+    /// Checks every rectangle whose bottom-right corner is `(r, c)`: all
+    /// disk counts must stay within `ceil(area/M)`.
+    fn placement_ok(&self, grid: &[u32], r: u32, c: u32) -> bool {
+        let cols = self.cols as usize;
+        let mut counts = vec![0u32; self.m as usize];
+        for r1 in (0..=r).rev() {
+            // Growing the rectangle upward; reset per (r1, c1) column scan.
+            for c1 in (0..=c).rev() {
+                counts.iter_mut().for_each(|x| *x = 0);
+                let area = u64::from(r - r1 + 1) * u64::from(c - c1 + 1);
+                let cap = area.div_ceil(u64::from(self.m)) as u32;
+                let mut ok = true;
+                'scan: for rr in r1..=r {
+                    for cc in c1..=c {
+                        let v = grid[rr as usize * cols + cc as usize];
+                        debug_assert_ne!(v, u32::MAX, "rectangle must be complete");
+                        counts[v as usize] += 1;
+                        if counts[v as usize] > cap {
+                            ok = false;
+                            break 'scan;
+                        }
+                    }
+                }
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+enum Dfs {
+    Found,
+    Exhausted,
+    BudgetExceeded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strict::verify_strictly_optimal;
+
+    #[test]
+    fn sat_for_small_m() {
+        for m in [1u32, 2, 3] {
+            let (outcome, stats) = StrictSearch::new(5, 5, m).run_with_stats();
+            match outcome {
+                SearchOutcome::Satisfiable(alloc) => {
+                    assert!(
+                        verify_strictly_optimal(&alloc).is_ok(),
+                        "search result for M={m} failed verification"
+                    );
+                }
+                other => panic!("expected SAT for M={m}, got {other:?} ({stats:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn sat_for_m5() {
+        let outcome = StrictSearch::new(5, 5, 5).run();
+        match outcome {
+            SearchOutcome::Satisfiable(alloc) => {
+                assert!(verify_strictly_optimal(&alloc).is_ok());
+            }
+            other => panic!("expected SAT for M=5, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_is_sound() {
+        // Whatever the search returns as SAT must verify.
+        for (r, c, m) in [(4u32, 4u32, 2u32), (3, 6, 3), (6, 3, 3)] {
+            if let SearchOutcome::Satisfiable(alloc) = StrictSearch::new(r, c, m).run() {
+                assert!(verify_strictly_optimal(&alloc).is_ok(), "({r},{c},{m})");
+            } else {
+                panic!("expected SAT at ({r},{c},{m})");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let outcome = StrictSearch::new(6, 6, 6).with_node_budget(10).run();
+        assert_eq!(outcome, SearchOutcome::Unknown);
+    }
+
+    #[test]
+    fn trivial_windows_are_sat_for_any_m() {
+        // A 1 x C line: round-robin is strictly optimal for any M.
+        for m in [2u32, 4, 7] {
+            assert!(StrictSearch::new(1, 8, m).run().is_sat(), "M={m}");
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_outcomes() {
+        let with = StrictSearch::new(3, 3, 4).run();
+        let without = StrictSearch::new(3, 3, 4).without_symmetry_breaking().run();
+        assert_eq!(with.is_sat(), without.is_sat());
+    }
+}

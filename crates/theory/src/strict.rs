@@ -1,0 +1,189 @@
+//! Strict-optimality verification and the known strictly optimal
+//! allocations.
+
+use decluster_grid::{BucketCoord, BucketRegion, GridSpace};
+use decluster_methods::{AllocationMap, DeclusteringMethod};
+
+/// A witness that an allocation is *not* strictly optimal: a range query
+/// whose response time exceeds the `ceil(|Q|/M)` bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterExample {
+    /// The violating query region.
+    pub region: BucketRegion,
+    /// Response time the allocation achieves on it.
+    pub response_time: u64,
+    /// The optimal bound it misses.
+    pub optimal: u64,
+}
+
+/// Checks whether `alloc` is strictly optimal for range queries: for
+/// **every** axis-aligned sub-rectangle `Q` of the grid,
+/// `RT(Q) = ceil(|Q| / M)`.
+///
+/// Exhaustive over all `Π dᵢ(dᵢ+1)/2` regions, so intended for the small
+/// windows the theory works with (a 16×16 grid is ~18k regions and runs in
+/// milliseconds).
+///
+/// # Errors
+/// Returns the first (in lexicographic corner order) violating query as a
+/// [`CounterExample`].
+pub fn verify_strictly_optimal(alloc: &AllocationMap) -> Result<(), CounterExample> {
+    let space = alloc.space().clone();
+    let m = alloc.num_disks();
+    let mut corner_lo = vec![0u32; space.k()];
+    loop {
+        // Iterate all upper corners ≥ lo.
+        let mut corner_hi = corner_lo.clone();
+        loop {
+            let region = BucketRegion::new(
+                &space,
+                BucketCoord::from(corner_lo.clone()),
+                BucketCoord::from(corner_hi.clone()),
+            )
+            .expect("corners in grid");
+            let rt = alloc.response_time(&region);
+            let opt = region.num_buckets().div_ceil(u64::from(m));
+            if rt != opt {
+                return Err(CounterExample {
+                    region,
+                    response_time: rt,
+                    optimal: opt,
+                });
+            }
+            if !advance(&mut corner_hi, &space, &corner_lo) {
+                break;
+            }
+        }
+        if !advance(&mut corner_lo, &space, &vec![0; space.k()]) {
+            return Ok(());
+        }
+    }
+}
+
+/// Advances a mixed-radix counter with per-dimension lower bounds;
+/// returns false when it wraps.
+fn advance(counter: &mut [u32], space: &GridSpace, floor: &[u32]) -> bool {
+    for i in (0..counter.len()).rev() {
+        counter[i] += 1;
+        if counter[i] < space.dim(i) {
+            return true;
+        }
+        counter[i] = floor[i];
+    }
+    false
+}
+
+/// The known strictly optimal lattice allocations, where they exist:
+///
+/// * `M = 1` — everything on the one disk (trivially optimal);
+/// * `M = 2` — the checkerboard `(i + j) mod 2`;
+/// * `M = 3` — the diagonal lattice `(i + j) mod 3`;
+/// * `M = 5` — the knight's-move lattice `(i + 2j) mod 5`.
+///
+/// Returns `None` for any other `M` — for `M = 4` and every `M > 5` the
+/// exhaustive search ([`crate::search`]) shows no strictly optimal
+/// allocation exists, which is the paper's theorem (strengthened at
+/// `M = 4`).
+///
+/// Only defined for 2-D grids (the setting of the impossibility result).
+pub fn known_strict_allocation(space: &GridSpace, m: u32) -> Option<AllocationMap> {
+    if space.k() != 2 {
+        return None;
+    }
+    let table: Vec<u32> = match m {
+        1 => space.iter().map(|_| 0).collect(),
+        2 | 3 => space
+            .iter()
+            .map(|b| (b.coord(0) + b.coord(1)) % m)
+            .collect(),
+        5 => space
+            .iter()
+            .map(|b| (b.coord(0) + 2 * b.coord(1)) % 5)
+            .collect(),
+        _ => return None,
+    };
+    Some(AllocationMap::from_table(space, m, table).expect("lattice table is well-formed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_methods::{DiskModulo, Hcam};
+
+    #[test]
+    fn lattice_allocations_verify_for_1_2_3_5() {
+        for m in [1u32, 2, 3, 5] {
+            let space = GridSpace::new_2d(9, 9).unwrap();
+            let alloc = known_strict_allocation(&space, m)
+                .unwrap_or_else(|| panic!("no lattice for M={m}"));
+            assert!(
+                verify_strictly_optimal(&alloc).is_ok(),
+                "lattice for M={m} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn no_lattice_claimed_for_other_m() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        for m in [4u32, 6, 7, 8, 16] {
+            assert!(known_strict_allocation(&space, m).is_none(), "M={m}");
+        }
+        let cube = GridSpace::new_cube(3, 4).unwrap();
+        assert!(known_strict_allocation(&cube, 2).is_none());
+    }
+
+    #[test]
+    fn dm_at_m4_has_a_counterexample() {
+        // DM with M=4: the 2x2 square at the origin holds disk 1 twice
+        // (sums 0,1,1,2) while ceil(4/4)=1.
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 4).unwrap();
+        let alloc = AllocationMap::from_method(&space, &dm).unwrap();
+        let ce = verify_strictly_optimal(&alloc).unwrap_err();
+        assert!(ce.response_time > ce.optimal);
+        assert!(ce.region.num_buckets() >= 2);
+    }
+
+    #[test]
+    fn hcam_is_not_strictly_optimal_either() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let hcam = Hcam::new(&space, 8).unwrap();
+        let alloc = AllocationMap::from_method(&space, &hcam).unwrap();
+        assert!(verify_strictly_optimal(&alloc).is_err());
+    }
+
+    #[test]
+    fn verifier_works_in_one_dimension() {
+        // Round-robin on a line is strictly optimal for every interval.
+        let space = GridSpace::new(vec![12]).unwrap();
+        let table: Vec<u32> = (0..12).map(|i| i % 4).collect();
+        let alloc = AllocationMap::from_table(&space, 4, table).unwrap();
+        assert!(verify_strictly_optimal(&alloc).is_ok());
+        // A swap breaks it.
+        let mut bad: Vec<u32> = (0..12).map(|i| i % 4).collect();
+        bad.swap(0, 1);
+        let alloc = AllocationMap::from_table(&space, 4, bad).unwrap();
+        assert!(verify_strictly_optimal(&alloc).is_err());
+    }
+
+    #[test]
+    fn verifier_works_in_three_dimensions() {
+        // Checkerboard parity in 3-D for M=2 is strictly optimal (any box
+        // has color counts within 1).
+        let space = GridSpace::new_cube(3, 4).unwrap();
+        let table: Vec<u32> = space.iter().map(|b| (b.coord_sum() % 2) as u32).collect();
+        let alloc = AllocationMap::from_table(&space, 2, table).unwrap();
+        assert!(verify_strictly_optimal(&alloc).is_ok());
+    }
+
+    #[test]
+    fn counterexample_reports_exact_numbers() {
+        // All buckets on disk 0 of 2: the 1x2 query has RT 2 vs optimal 1.
+        let space = GridSpace::new_2d(2, 2).unwrap();
+        let alloc = AllocationMap::from_table(&space, 2, vec![0, 0, 0, 0]).unwrap();
+        let ce = verify_strictly_optimal(&alloc).unwrap_err();
+        assert_eq!(ce.optimal, 1);
+        assert_eq!(ce.response_time, 2);
+    }
+}

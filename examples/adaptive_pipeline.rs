@@ -1,0 +1,104 @@
+//! The full pipeline a parallel DBMS would run: discover the partitioning
+//! dynamically with a grid file, freeze it into a static schema, pick the
+//! declustering from the workload, and serve queries with per-disk I/O
+//! accounting.
+//!
+//! ```text
+//! cargo run --release --example adaptive_pipeline
+//! ```
+
+use decluster::grid::{AttributeDomain, GridFile, Record, Value, ValueRangeQuery};
+use decluster::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+
+    // Phase 1 - discovery: stream skewed records into a dynamic grid
+    // file; splits place cut points where the data actually is.
+    let mut gf = GridFile::new(
+        vec![
+            AttributeDomain::int("account", 0, 999_999),
+            AttributeDomain::int("amount_cents", 0, 999_999),
+        ],
+        64,
+    )
+    .expect("grid file builds");
+    let sample: Vec<Record> = (0..20_000)
+        .map(|_| {
+            // Account ids cluster low, amounts cluster low: double skew.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let account = ((1_000_000f64).powf(u) - 1.0) as i64;
+            let v: f64 = rng.gen_range(0.0..1.0);
+            let amount = ((1_000_000f64).powf(v) - 1.0) as i64;
+            Record::new(vec![Value::Int(account), Value::Int(amount)])
+        })
+        .collect();
+    for r in &sample {
+        gf.insert(r.clone()).expect("record in domain");
+    }
+    println!(
+        "grid file after 20k inserts: {:?} cells, {} buckets, scales grew to {} + {} cuts",
+        gf.cell_counts(),
+        gf.num_buckets(),
+        gf.scale(0).len(),
+        gf.scale(1).len()
+    );
+
+    // Phase 2 - freeze: the grid file's scales become the static schema.
+    let schema = gf.to_schema().expect("scales freeze into a schema");
+    let space = schema.space().clone();
+
+    // Phase 3 - choose the declustering from a workload sample (small
+    // windows over the hot region).
+    let m = 8;
+    let sample_regions: Vec<BucketRegion> = (0..100)
+        .filter_map(|_| {
+            let q = ValueRangeQuery::new(vec![
+                Some((Value::Int(rng.gen_range(0..1000)), Value::Int(rng.gen_range(1000..20_000)))),
+                None,
+            ])
+            .ok()?;
+            schema.region_of(&q).ok()
+        })
+        .collect();
+    let advice = advise(&space, m, &sample_regions).expect("workload non-empty");
+    println!(
+        "advisor chose {} (ranking {:?})",
+        advice.winner,
+        advice
+            .ranking
+            .iter()
+            .map(|(n, s)| format!("{n}={s:.2}"))
+            .collect::<Vec<_>>()
+    );
+
+    // Phase 4 - serve: load the frozen, declustered file and run queries.
+    let kind = MethodKind::parse(advice.winner).expect("known method");
+    let mut served = DeclusteredFile::create(schema, kind, m).expect("file builds");
+    served
+        .bulk_load(sample.iter().cloned())
+        .expect("records re-load");
+    let stats = served.stats();
+    println!(
+        "serving file: {} records, disk skew {:.3} (1.0 = perfect)",
+        stats.records,
+        stats.disk_skew()
+    );
+
+    let q = ValueRangeQuery::new(vec![
+        Some((Value::Int(0), Value::Int(5_000))),
+        Some((Value::Int(0), Value::Int(50_000))),
+    ])
+    .expect("query builds");
+    let scan = served.scan(&q).expect("query maps");
+    println!(
+        "hot-region query: {} records from {} buckets, RT {} vs optimal {} ({:.2}x)",
+        scan.records.len(),
+        scan.io.buckets_touched,
+        scan.io.response_time,
+        scan.io.optimal,
+        scan.io.deviation_factor()
+    );
+}

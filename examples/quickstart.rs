@@ -1,0 +1,63 @@
+//! Quickstart: decluster a 2-attribute grid four ways and compare what
+//! each method does to one range query.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use decluster::prelude::*;
+
+fn main() {
+    // A relation partitioned 16 x 16 (256 buckets), spread over 8 disks.
+    let space = GridSpace::new_2d(16, 16).expect("valid grid");
+    let m = 8;
+
+    // The paper's four methods.
+    let registry = MethodRegistry::default();
+    let methods = registry.paper_methods(&space, m);
+
+    // One awkward little query: a 4x4 square that is not grid-aligned.
+    let query = RangeQuery::new([3, 5], [6, 8]).expect("valid query");
+    let region = query.region(&space).expect("query intersects grid");
+    let optimal = optimal_response_time(region.num_buckets(), m);
+
+    println!(
+        "Query {:?}..{:?} touches {} buckets on {} disks; optimal RT = {}",
+        query.lo(),
+        query.hi(),
+        region.num_buckets(),
+        m,
+        optimal
+    );
+    println!();
+    println!("{:<6} {:>12} {:>12}", "method", "RT (buckets)", "vs optimal");
+    for method in &methods {
+        let rt = response_time(method, &region);
+        println!(
+            "{:<6} {:>12} {:>11.2}x",
+            method.name(),
+            rt,
+            rt as f64 / optimal as f64
+        );
+    }
+
+    // Where does each bucket of the query go under HCAM?
+    let hcam = Hcam::new(&space, m).expect("HCAM applies");
+    println!("\nHCAM disk per bucket of the query (rows x cols):");
+    for r in 3..=6 {
+        let row: Vec<String> = (5..=8)
+            .map(|c| format!("{}", hcam.disk_of(&[r, c]).0))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+
+    // The materialized view gives load statistics for the whole relation.
+    let map = AllocationMap::from_method(&space, &hcam).expect("materializable");
+    let stats = map.load_stats();
+    println!(
+        "\nHCAM static load: min {} / max {} buckets per disk (imbalance {:.3})",
+        stats.min,
+        stats.max,
+        stats.imbalance()
+    );
+}

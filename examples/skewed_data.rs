@@ -1,0 +1,95 @@
+//! Skewed data: why the grid partitioning itself matters.
+//!
+//! Declustering spreads *buckets* over disks — but if the partitioning
+//! puts most records into a few buckets, no bucket-level method can save
+//! the workload. This example loads a Zipf-skewed relation two ways
+//! (uniform cuts vs equi-depth cuts from a sample) and shows that the
+//! equi-depth grid keeps record-level disk loads balanced under the same
+//! declustering method.
+//!
+//! ```text
+//! cargo run --release --example skewed_data
+//! ```
+
+use decluster::grid::{AttributeDomain, GridSchema, Partitioning, Record, Value};
+use decluster::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a Zipf-ish value in `0..n` (mass concentrated near 0).
+fn zipfish(rng: &mut StdRng, n: i64) -> i64 {
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    ((n as f64).powf(u) - 1.0).round() as i64
+}
+
+fn main() {
+    let n_records = 200_000;
+    let domain_max = 9_999i64;
+    let d = 16u32;
+    let m = 8u32;
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // The relation: (customer_id, order_total), both skewed toward small
+    // values, as real transaction data is.
+    let records: Vec<Record> = (0..n_records)
+        .map(|_| {
+            Record::new(vec![
+                Value::Int(zipfish(&mut rng, domain_max + 1)),
+                Value::Int(zipfish(&mut rng, domain_max + 1)),
+            ])
+        })
+        .collect();
+
+    let attributes = || {
+        vec![
+            AttributeDomain::int("customer_id", 0, domain_max),
+            AttributeDomain::int("order_total", 0, domain_max),
+        ]
+    };
+
+    // Grid 1: uniform cuts over the domain.
+    let uniform = GridSchema::uniform(attributes(), d).expect("uniform schema");
+
+    // Grid 2: equi-depth cuts from a 10k-record sample.
+    let sample: Vec<Value> = records
+        .iter()
+        .take(10_000)
+        .map(|r| r.value(0).clone())
+        .collect();
+    let sample2: Vec<Value> = records
+        .iter()
+        .take(10_000)
+        .map(|r| r.value(1).clone())
+        .collect();
+    let equi = GridSchema::new(
+        attributes(),
+        vec![
+            Partitioning::equi_depth(sample, d).expect("equi-depth"),
+            Partitioning::equi_depth(sample2, d).expect("equi-depth"),
+        ],
+    )
+    .expect("equi-depth schema");
+
+    for (label, schema) in [("uniform cuts", &uniform), ("equi-depth cuts", &equi)] {
+        let space = schema.space().clone();
+        let hcam = Hcam::new(&space, m).expect("hcam builds");
+        // Record-level load: how many records each disk ends up holding.
+        let mut per_disk = vec![0u64; m as usize];
+        for record in &records {
+            let bucket = schema.bucket_of(record).expect("record routes");
+            per_disk[hcam.disk_of(bucket.as_slice()).index()] += 1;
+        }
+        let max = *per_disk.iter().max().expect("disks exist");
+        let min = *per_disk.iter().min().expect("disks exist");
+        let mean = n_records as f64 / f64::from(m);
+        println!("{label:>16}: records/disk min {min} max {max} (ideal {mean:.0})");
+        println!("{:>16}  per-disk: {per_disk:?}", "");
+    }
+
+    println!(
+        "\nSame records, same declustering method - only the partitioning
+changed. Equi-depth cuts keep the record-level load near the ideal even
+under heavy skew, which is why grid files re-fit their partitionings to
+the data distribution."
+    );
+}

@@ -1,0 +1,466 @@
+//! Reproduction harness: regenerates every table and figure of the
+//! ICDE'94 declustering study.
+//!
+//! ```text
+//! repro <experiment> [--csv DIR] [--quick]
+//!
+//! experiments:
+//!   e1    query-size sweep, 2-D (paper Experiment 1 / Fig 3)
+//!   e2    query-shape sweep (paper Experiment 2 / Fig 4)
+//!   e3    query-size sweep, 3 attributes (paper Experiment 3 / Fig 6)
+//!   e4    disks sweep, small queries (paper Fig 5a)
+//!   e5    disks sweep, large queries (paper Fig 5b)
+//!   e6    database-size sweep
+//!   t1    partial-match optimality-condition table (paper Table 1)
+//!   t2    partial-match response-time table
+//!   t3    exact worst/mean/optimal-fraction shape profiles (extension)
+//!   mix   mixed-workload table: OLTP / OLAP / scan-heavy mixes (extension)
+//!   avail single-disk-failure survival per method (extension)
+//!   abl   space-filling-curve ablation for HCAM (extension)
+//!   thm   the M > 5 impossibility theorem
+//!   all   everything above
+//! ```
+//!
+//! `--quick` cuts the query budget (for smoke tests); `--csv DIR` also
+//! writes each sweep as CSV into DIR.
+
+use decluster::prelude::*;
+use decluster::sim::workload::{all_partial_match_queries, ShapeSweep, SizeSweep};
+use decluster::sim::{render_csv, render_table, DbSizePoint};
+use decluster::theory::{impossibility, partial_match};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+/// Default configuration of the study (see EXPERIMENTS.md).
+const GRID_SIDE: u32 = 64;
+const DISKS: u32 = 16;
+const SEED: u64 = 1994;
+
+struct Opts {
+    csv_dir: Option<String>,
+    queries: usize,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut opts = Opts {
+        csv_dir: None,
+        queries: 1000,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => match it.next() {
+                Some(dir) => opts.csv_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => opts.queries = 100,
+            other if experiment.is_none() => experiment = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        eprintln!("usage: repro <e1|e2|e3|e4|e5|e6|t1|t2|thm|all> [--csv DIR] [--quick]");
+        return ExitCode::FAILURE;
+    };
+    let run = |name: &str| -> bool { experiment == name || experiment == "all" };
+    let mut ran_any = false;
+    if run("e1") {
+        emit(&opts, "e1", e1(&opts));
+        ran_any = true;
+    }
+    if run("e2") {
+        emit(&opts, "e2", e2(&opts));
+        ran_any = true;
+    }
+    if run("e3") {
+        emit(&opts, "e3", e3(&opts));
+        ran_any = true;
+    }
+    if run("e4") {
+        emit(&opts, "e4", e4(&opts));
+        ran_any = true;
+    }
+    if run("e5") {
+        emit(&opts, "e5", e5(&opts));
+        ran_any = true;
+    }
+    if run("e6") {
+        emit(&opts, "e6", e6(&opts));
+        ran_any = true;
+    }
+    if run("t1") {
+        println!("{}", t1());
+        ran_any = true;
+    }
+    if run("t2") {
+        emit(&opts, "t2", t2(&opts));
+        ran_any = true;
+    }
+    if run("t3") {
+        println!("{}", t3());
+        ran_any = true;
+    }
+    if run("mix") {
+        emit(&opts, "mix", mixes(&opts));
+        ran_any = true;
+    }
+    if run("avail") {
+        println!("{}", availability());
+        ran_any = true;
+    }
+    if run("abl") {
+        println!("{}", ablation());
+        ran_any = true;
+    }
+    if run("thm") {
+        println!("{}", thm());
+        ran_any = true;
+    }
+    if !ran_any {
+        eprintln!("unknown experiment {experiment:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(opts: &Opts, name: &str, result: SweepResult) {
+    println!("{}", render_table(&result));
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            let mut f = std::fs::File::create(format!("{dir}/{name}.csv"))?;
+            f.write_all(render_csv(&result).as_bytes())
+        }) {
+            eprintln!("could not write {name}.csv: {e}");
+        }
+    }
+}
+
+fn grid_2d() -> GridSpace {
+    GridSpace::new_2d(GRID_SIDE, GRID_SIDE).expect("default grid")
+}
+
+fn experiment_2d(opts: &Opts) -> Experiment {
+    Experiment::new(grid_2d(), DISKS)
+        .with_queries_per_point(opts.queries)
+        .with_seed(SEED)
+}
+
+/// E1: query area 1 → 1024 on the 64×64 grid, near-square shapes.
+fn e1(opts: &Opts) -> SweepResult {
+    let areas = vec![
+        1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    ];
+    experiment_2d(opts)
+        .run_size_sweep(&SizeSweep::explicit(areas))
+        .expect("E1 configuration is valid")
+}
+
+/// E2: aspect ratio 1:1 → 1:64 at fixed area 64.
+fn e2(opts: &Opts) -> SweepResult {
+    experiment_2d(opts)
+        .run_shape_sweep(&ShapeSweep::new(64, 6))
+        .expect("E2 configuration is valid")
+}
+
+/// E3: three attributes (16³ grid), query volume sweep.
+fn e3(opts: &Opts) -> SweepResult {
+    let space = GridSpace::new_cube(3, 16).expect("cube grid");
+    Experiment::new(space, DISKS)
+        .with_queries_per_point(opts.queries)
+        .with_seed(SEED)
+        .run_size_sweep(&SizeSweep::explicit(vec![1, 8, 27, 64, 125, 216, 512, 1024]))
+        .expect("E3 configuration is valid")
+}
+
+const DISK_SWEEP: [u32; 16] = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32];
+
+/// E4 / Fig 5(a): disks 2 → 32, small queries (area 4).
+fn e4(opts: &Opts) -> SweepResult {
+    experiment_2d(opts)
+        .run_disk_sweep(&DISK_SWEEP, 4)
+        .expect("E4 configuration is valid")
+}
+
+/// E5 / Fig 5(b): disks 2 → 32, large queries (area 256).
+fn e5(opts: &Opts) -> SweepResult {
+    experiment_2d(opts)
+        .run_disk_sweep(&DISK_SWEEP, 256)
+        .expect("E5 configuration is valid")
+}
+
+/// E6: database size 16 → 256 per side, query side an eighth of the grid.
+fn e6(opts: &Opts) -> SweepResult {
+    let points: Vec<DbSizePoint> = [16u32, 32, 64, 128, 256]
+        .iter()
+        .map(|&side| DbSizePoint {
+            side,
+            query_side: (side / 8).max(1),
+        })
+        .collect();
+    experiment_2d(opts)
+        .run_dbsize_sweep(&points)
+        .expect("E6 configuration is valid")
+}
+
+/// T1: the optimality-condition table, verified empirically over every
+/// partial-match query of the default grid.
+fn t1() -> String {
+    use decluster::methods::{AllocationMap, DiskModulo, FieldwiseXor};
+    let space = grid_2d();
+    let queries = all_partial_match_queries(&space);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "T1: partial-match optimality conditions, verified on {}x{} grid, M={} ({} queries)\n",
+        GRID_SIDE,
+        GRID_SIDE,
+        DISKS,
+        queries.len()
+    ));
+    out.push_str("method  predicted  confirmed  violated  bonus-optimal  unpredicted-suboptimal\n");
+    let dm = AllocationMap::from_method(&space, &DiskModulo::new(&space, DISKS).unwrap()).unwrap();
+    let check = partial_match::check_prediction(&dm, &queries, partial_match::dm_predicts_optimal);
+    out.push_str(&format!(
+        "{:6}  {:>9}  {:>9}  {:>8}  {:>13}  {:>22}\n",
+        "DM", check.predicted, check.confirmed, check.violated, check.bonus_optimal,
+        check.unpredicted_suboptimal
+    ));
+    let fx =
+        AllocationMap::from_method(&space, &FieldwiseXor::new(&space, DISKS).unwrap()).unwrap();
+    let check = partial_match::check_prediction(&fx, &queries, partial_match::fx_predicts_optimal);
+    out.push_str(&format!(
+        "{:6}  {:>9}  {:>9}  {:>8}  {:>13}  {:>22}\n",
+        "FX", check.predicted, check.confirmed, check.violated, check.bonus_optimal,
+        check.unpredicted_suboptimal
+    ));
+    // ECC and HCAM carry no exact partial-match guarantee in the paper's
+    // table; report their empirical behaviour with a never-predicting
+    // predicate (everything lands in the bonus/suboptimal columns).
+    let registry = MethodRegistry::default();
+    for name in ["ECC", "HCAM"] {
+        let method = registry
+            .build_by_name(name, &space, DISKS)
+            .expect("method applies to default grid");
+        let alloc = AllocationMap::from_method(&space, method.as_ref()).unwrap();
+        let check = partial_match::check_prediction(&alloc, &queries, |_, _, _| false);
+        out.push_str(&format!(
+            "{:6}  {:>9}  {:>9}  {:>8}  {:>13}  {:>22}\n",
+            name,
+            check.predicted,
+            check.confirmed,
+            check.violated,
+            check.bonus_optimal,
+            check.unpredicted_suboptimal
+        ));
+    }
+    out
+}
+
+/// T2: partial-match response time vs number of unspecified attributes.
+fn t2(opts: &Opts) -> SweepResult {
+    experiment_2d(opts)
+        .run_partial_match()
+        .expect("T2 configuration is valid")
+}
+
+/// Mixed workloads (extension): mix 0 = OLTP (point-heavy), mix 1 =
+/// balanced default, mix 2 = OLAP (large ranges + partial match).
+fn mixes(opts: &Opts) -> SweepResult {
+    use decluster::sim::workload::WorkloadMix;
+    let oltp = WorkloadMix {
+        point: 0.7,
+        partial_match: 0.1,
+        small_range: 0.2,
+        small_area: 9,
+        large_range: 0.0,
+        large_area: 256,
+    };
+    let balanced = WorkloadMix::default();
+    let olap = WorkloadMix {
+        point: 0.05,
+        partial_match: 0.35,
+        small_range: 0.1,
+        small_area: 16,
+        large_range: 0.5,
+        large_area: 1024,
+    };
+    experiment_2d(opts)
+        .run_mix(&[oltp, balanced, olap])
+        .expect("mix configuration is valid")
+}
+
+/// T3 (extension): exact placement statistics — not sampled — for the
+/// paper's methods on characteristic shapes.
+fn t3() -> String {
+    use decluster::methods::AllocationMap;
+    use decluster::theory::bounds::shape_profile;
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let m = 16;
+    let registry = MethodRegistry::default();
+    let shapes: [[u32; 2]; 4] = [[2, 2], [4, 4], [2, 8], [1, 16]];
+    let mut out = format!(
+        "T3: exact shape profiles on 32x32 grid, M={m} (all placements enumerated)\n{:<6} {:>7} {:>6} {:>6} {:>8} {:>6} {:>9}\n",
+        "method", "shape", "best", "worst", "mean", "OPT", "opt-frac"
+    );
+    for method in registry.paper_methods(&space, m) {
+        let alloc = AllocationMap::from_method(&space, method.as_ref()).expect("materializes");
+        for shape in &shapes {
+            let p = shape_profile(&alloc, shape).expect("shape fits");
+            out.push_str(&format!(
+                "{:<6} {:>7} {:>6} {:>6} {:>8.3} {:>6} {:>8.1}%\n",
+                method.name(),
+                format!("{}x{}", shape[0], shape[1]),
+                p.best,
+                p.worst,
+                p.mean,
+                p.optimal,
+                p.optimal_fraction * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Availability (extension): fraction of query placements that survive
+/// one disk failure (touch no bucket of the failed disk), averaged over
+/// which disk fails. The mirror image of response time: spreading a
+/// query across disks speeds it up but exposes it to every failure.
+fn availability() -> String {
+    use decluster::methods::AllocationMap;
+    use decluster::theory::bounds::failure_survival_fraction;
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let m = 16u32;
+    let registry = MethodRegistry::default();
+    let shapes: [[u32; 2]; 3] = [[2, 2], [4, 4], [1, 16]];
+    let mut out = format!(
+        "Availability: survival under one disk failure (32x32 grid, M={m};\n\
+         fraction of placements untouched by the failed disk, averaged over disks)\n{:<6}",
+        "method"
+    );
+    for shape in &shapes {
+        out.push_str(&format!(" {:>8}", format!("{}x{}", shape[0], shape[1])));
+    }
+    out.push('\n');
+    for method in registry.paper_methods(&space, m) {
+        let alloc = AllocationMap::from_method(&space, method.as_ref()).expect("materializes");
+        out.push_str(&format!("{:<6}", method.name()));
+        for shape in &shapes {
+            let avg: f64 = (0..m)
+                .map(|d| {
+                    failure_survival_fraction(&alloc, shape, DiskId(d))
+                        .expect("shape fits, disk in range")
+                })
+                .sum::<f64>()
+                / f64::from(m);
+            out.push_str(&format!(" {:>7.1}%", avg * 100.0));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nPer shape, the response-time ranking inverts: whichever method\n\
+         spreads that shape best (HCAM/ECC on squares, DM/FX on lines) leaves\n\
+         the fewest queries untouched by a failure. Without replication,\n\
+         speed and failure-isolation trade off exactly.\n",
+    );
+    out
+}
+
+/// Ablation (extension): swap HCAM's Hilbert curve for Z-order and a
+/// Gray-coded order; exact mean RT over all placements per shape.
+fn ablation() -> String {
+    use decluster::methods::AllocationMap;
+    use decluster::theory::bounds::shape_profile;
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let m = 16;
+    let methods: Vec<Box<dyn DeclusteringMethod>> = vec![
+        Box::new(Hcam::new(&space, m).expect("hcam")),
+        Box::new(CurveAlloc::new(&space, m, CurveKind::Morton).expect("zcam")),
+        Box::new(CurveAlloc::new(&space, m, CurveKind::Gray).expect("graycam")),
+    ];
+    let shapes: [[u32; 2]; 4] = [[2, 2], [3, 3], [4, 4], [2, 8]];
+    let mut out = format!(
+        "Ablation: curve choice in curve-allocation methods (32x32 grid, M={m})\nexact mean RT over all placements; lower is better\n{:<8}",
+        "curve"
+    );
+    for shape in &shapes {
+        out.push_str(&format!(" {:>8}", format!("{}x{}", shape[0], shape[1])));
+    }
+    out.push('\n');
+    for method in &methods {
+        let alloc = AllocationMap::from_method(&space, method.as_ref()).expect("materializes");
+        out.push_str(&format!("{:<8}", method.name()));
+        for shape in &shapes {
+            let p = shape_profile(&alloc, shape).expect("shape fits");
+            out.push_str(&format!(" {:>8.3}", p.mean));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nFinding: Z-order matches or beats Hilbert for declustering on\n\
+         power-of-two grids (aligned blocks are contiguous Z-runs), although\n\
+         Hilbert clusters strictly better for storage locality; the Gray\n\
+         order trails both. See EXPERIMENTS.md.\n",
+    );
+    out.push_str(&ecc_code_analysis());
+    out
+}
+
+/// Code-theoretic view of the ECC instances the experiments actually use:
+/// block length, dimension, minimum distance (how far apart same-disk
+/// buckets sit in coordinate bits), and covering radius.
+fn ecc_code_analysis() -> String {
+    use decluster::methods::EccDecluster;
+    let mut out = String::from(
+        "\nECC code analysis (the binary linear codes behind the ECC instances):\n\
+         grid        M    [n,k]   d_min  covering radius\n",
+    );
+    for (dims, m) in [
+        (vec![64u32, 64], 16u32),
+        (vec![64, 64], 8),
+        (vec![32, 32], 16),
+        (vec![16, 16, 16], 16),
+    ] {
+        let space = GridSpace::new(dims.clone()).expect("grid");
+        let ecc = EccDecluster::new(&space, m).expect("ECC applies");
+        let code = ecc.code().expect("M > 1");
+        let dmin = code
+            .min_distance()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
+        let radius = code
+            .covering_radius()
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:<10} {:>3}   [{},{}]   {:>5}  {:>15}\n",
+            format!("{dims:?}"),
+            m,
+            code.block_length(),
+            code.dimension(),
+            dmin,
+            radius
+        ));
+    }
+    out
+}
+
+/// The impossibility theorem as a table.
+fn thm() -> String {
+    let mut out = String::from(
+        "Theorem: no strictly optimal declustering for range queries when M > 5\n\
+         (machine-checked by exhaustive search; UNSAT on a window proves\n\
+         impossibility for every grid containing it)\n",
+    );
+    for d in impossibility::theorem_table(8, 500_000_000) {
+        out.push_str(&d.summary());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,115 @@
+//! Smoke tests for the two binaries: the `declust` CLI and the `repro`
+//! harness. Cargo builds the binaries for integration tests and exposes
+//! their paths via `CARGO_BIN_EXE_*`.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const DECLUST: &str = env!("CARGO_BIN_EXE_declust");
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+#[test]
+fn declust_methods_lists_everything() {
+    let (ok, stdout, _) = run(DECLUST, &["methods"]);
+    assert!(ok);
+    for name in ["DM", "FX", "ECC", "HCAM", "ZCAM", "GrayCAM", "RR", "RND"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn declust_evaluate_reports_metrics() {
+    let (ok, stdout, _) = run(
+        DECLUST,
+        &[
+            "evaluate", "--grid", "16x16", "--disks", "8", "--method", "hcam", "--shape", "2x2",
+            "--queries", "50",
+        ],
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("mean RT"));
+    assert!(stdout.contains("static load"));
+}
+
+#[test]
+fn declust_advise_ranks_methods() {
+    let (ok, stdout, _) = run(
+        DECLUST,
+        &["advise", "--grid", "16x16", "--disks", "8", "--shape", "2x2", "--queries", "50"],
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("->"));
+    assert!(stdout.contains("DM"));
+}
+
+#[test]
+fn declust_profile_is_exact() {
+    let (ok, stdout, _) = run(
+        DECLUST,
+        &["profile", "--grid", "16x16", "--disks", "16", "--method", "DM", "--shape", "4x4"],
+    );
+    assert!(ok, "{stdout}");
+    // DM on 4x4 with M=16: best = worst = 4 on every placement.
+    assert!(stdout.contains("best 4  worst 4"), "{stdout}");
+}
+
+#[test]
+fn declust_theorem_prints_verdicts() {
+    let (ok, stdout, _) = run(DECLUST, &["theorem", "--max-m", "6"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("M =  5"));
+    assert!(stdout.contains("EXISTS"));
+    assert!(stdout.contains("IMPOSSIBLE"));
+}
+
+#[test]
+fn declust_rejects_bad_input() {
+    let (ok, _, stderr) = run(DECLUST, &["evaluate", "--grid", "banana"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage") || stderr.contains("error"));
+    let (ok, _, _) = run(DECLUST, &["no-such-command"]);
+    assert!(!ok);
+    let (ok, _, _) = run(DECLUST, &[]);
+    assert!(!ok);
+}
+
+#[test]
+fn repro_quick_t1_runs() {
+    let (ok, stdout, _) = run(REPRO, &["t1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("violated"));
+    // The theorems hold: zero violations for DM and FX.
+    for line in stdout.lines() {
+        if line.starts_with("DM") || line.starts_with("FX") {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(fields[3], "0", "violations in {line}");
+        }
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_experiment() {
+    let (ok, _, stderr) = run(REPRO, &["e99"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown"));
+}
+
+#[test]
+fn repro_quick_e2_has_all_methods() {
+    let (ok, stdout, _) = run(REPRO, &["e2", "--quick"]);
+    assert!(ok, "{stdout}");
+    for name in ["DM", "FX", "ECC", "HCAM", "OPT"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}

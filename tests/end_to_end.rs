@@ -1,0 +1,179 @@
+//! End-to-end integration: records → schema → buckets → declustering →
+//! directory → physical I/O, crossing every crate in the workspace.
+
+use decluster::grid::{
+    AttributeDomain, GridDirectory, GridSchema, Partitioning, Record, Value, ValueRangeQuery,
+};
+use decluster::prelude::*;
+use decluster::sim::{DiskParams, IoSimulator};
+
+fn census_schema() -> GridSchema {
+    GridSchema::uniform(
+        vec![
+            AttributeDomain::int("age", 0, 99),
+            AttributeDomain::float("income", 0.0, 100_000.0),
+        ],
+        16,
+    )
+    .expect("schema builds")
+}
+
+#[test]
+fn record_routing_agrees_with_query_mapping() {
+    let schema = census_schema();
+    let space = schema.space().clone();
+
+    // A record inside the query's value box must land in the query's
+    // bucket region.
+    let query = ValueRangeQuery::new(vec![
+        Some((Value::Int(30), Value::Int(39))),
+        Some((Value::Float(50_000.0), Value::Float(59_999.0))),
+    ])
+    .expect("query builds");
+    let region = schema.region_of(&query).expect("region maps");
+
+    for age in [30i64, 35, 39] {
+        for income in [50_000.0f64, 55_000.0, 59_999.0] {
+            let record = Record::new(vec![Value::Int(age), Value::Float(income)]);
+            let bucket = schema.bucket_of(&record).expect("record routes");
+            assert!(
+                region.contains(&bucket),
+                "record ({age}, {income}) routed to {bucket} outside {region:?}"
+            );
+        }
+    }
+    // And one outside stays outside.
+    let outsider = Record::new(vec![Value::Int(70), Value::Float(10_000.0)]);
+    assert!(!region.contains(&schema.bucket_of(&outsider).expect("routes")));
+    let _ = space;
+}
+
+#[test]
+fn every_method_places_every_bucket_exactly_once() {
+    let schema = census_schema();
+    let space = schema.space().clone();
+    let m = 8;
+    let registry = MethodRegistry::default();
+    for method in registry.with_baselines(&space, m) {
+        let dir = GridDirectory::build(space.clone(), m, |b| method.disk_of(b.as_slice()));
+        let load = dir.load_vector();
+        assert_eq!(
+            load.iter().sum::<u64>(),
+            space.num_buckets(),
+            "{} lost buckets",
+            method.name()
+        );
+        // Every bucket resolvable and page ids dense per disk.
+        for disk in 0..m {
+            let buckets = dir.buckets_on_disk(DiskId(disk));
+            for (page, &id) in buckets.iter().enumerate() {
+                let bp = dir.lookup_linear(id).expect("id valid");
+                assert_eq!(bp.disk, DiskId(disk));
+                assert_eq!(bp.page, page as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn bucket_metric_and_ms_metric_agree_on_ordering() {
+    // For a fixed query, a method with a strictly smaller bucket RT must
+    // not be slower in the millisecond model by more than the seek-noise
+    // margin; in particular the best-bucket method is never the worst-ms
+    // method. (The ms model adds seek locality, so exact ordering can
+    // differ; this pins the correlation end to end.)
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let m = 8;
+    let io = IoSimulator::new(DiskParams::default());
+    let region = RangeQuery::new([5, 6], [10, 13])
+        .expect("query")
+        .region(&space)
+        .expect("fits");
+    let registry = MethodRegistry::default();
+    let mut rows: Vec<(String, u64, f64)> = Vec::new();
+    for method in registry.paper_methods(&space, m) {
+        let rt = response_time(&method, &region);
+        let dir = GridDirectory::build(space.clone(), m, |b| method.disk_of(b.as_slice()));
+        let ms = io.query_response_ms(&dir, &region);
+        rows.push((method.name().to_owned(), rt, ms));
+    }
+    let best_buckets = rows.iter().min_by_key(|r| r.1).expect("non-empty").clone();
+    let worst_ms = rows
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .expect("non-empty");
+    assert!(
+        best_buckets.0 != worst_ms.0 || rows.iter().all(|r| r.1 == best_buckets.1),
+        "bucket-best {best_buckets:?} is ms-worst {worst_ms:?}"
+    );
+}
+
+#[test]
+fn string_attribute_schema_end_to_end() {
+    let schema = GridSchema::new(
+        vec![
+            AttributeDomain::str("surname"),
+            AttributeDomain::int("year", 1900, 1999),
+        ],
+        vec![
+            Partitioning::from_cuts(vec![
+                Value::from("f"),
+                Value::from("m"),
+                Value::from("s"),
+            ])
+            .expect("cuts sorted"),
+            Partitioning::uniform_int(1900, 1999, 4).expect("uniform"),
+        ],
+    )
+    .expect("schema builds");
+    let space = schema.space().clone();
+    assert_eq!(space.dims(), &[4, 4]);
+
+    let m = 4;
+    let dm = DiskModulo::new(&space, m).expect("dm builds");
+    let record = Record::new(vec![Value::from("miller"), Value::Int(1963)]);
+    let bucket = schema.bucket_of(&record).expect("routes");
+    assert_eq!(bucket.as_slice(), &[2, 2]);
+    assert_eq!(dm.disk_of(bucket.as_slice()).0, (2 + 2) % 4);
+}
+
+#[test]
+fn advisor_winner_actually_wins_on_fresh_queries() {
+    use decluster::methods::advise;
+    use decluster::sim::workload::random_region;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let space = GridSpace::new_2d(32, 32).expect("grid");
+    let m = 16;
+    let mut rng = StdRng::seed_from_u64(11);
+    let train: Vec<BucketRegion> = (0..100)
+        .map(|_| random_region(&mut rng, &space, &[2, 2]).expect("fits"))
+        .collect();
+    let advice = advise(&space, m, &train).expect("non-empty");
+
+    // Score the winner and the loser on held-out queries from the same
+    // distribution; the advisor's choice must hold up.
+    let mut rng = StdRng::seed_from_u64(999);
+    let test: Vec<BucketRegion> = (0..200)
+        .map(|_| random_region(&mut rng, &space, &[2, 2]).expect("fits"))
+        .collect();
+    let registry = MethodRegistry::default();
+    let winner = registry
+        .build_by_name(advice.winner, &space, m)
+        .expect("winner builds");
+    let loser_name = &advice.ranking.last().expect("ranked").0;
+    let loser = registry
+        .build_by_name(loser_name, &space, m)
+        .expect("loser builds");
+    let score = |method: &dyn DeclusteringMethod| -> u64 {
+        test.iter().map(|r| response_time(method, r)).sum()
+    };
+    assert!(
+        score(winner.as_ref()) <= score(loser.as_ref()),
+        "advisor winner {} lost to {} on held-out data",
+        advice.winner,
+        loser_name
+    );
+}

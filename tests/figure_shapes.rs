@@ -1,0 +1,211 @@
+//! Shape assertions for the reproduced figures: the qualitative findings
+//! the paper reports must hold in our reproduction (who wins, where the
+//! regimes are), independent of absolute numbers.
+
+use decluster::prelude::*;
+use decluster::sim::workload::{ShapeSweep, SizeSweep};
+
+fn experiment() -> Experiment {
+    Experiment::new(GridSpace::new_2d(64, 64).expect("grid"), 16)
+        .with_queries_per_point(300)
+        .with_seed(1994)
+}
+
+/// Finding (i): for large queries all methods perform almost the same and
+/// are close to optimal.
+#[test]
+fn large_queries_converge_to_optimal() {
+    let r = experiment()
+        .run_size_sweep(&SizeSweep::explicit(vec![256, 512, 1024]))
+        .expect("sweep runs");
+    for s in &r.series {
+        for (mean, opt) in s.means.iter().zip(&r.optimal) {
+            let factor = mean / opt;
+            assert!(
+                factor < 1.15,
+                "{} at large size is {factor:.3}x optimal",
+                s.name
+            );
+        }
+    }
+}
+
+/// Finding (ii): for small queries the differences are substantial — DM
+/// is the weakest, the spatial methods (ECC/HCAM) the strongest.
+#[test]
+fn small_queries_show_substantial_differences() {
+    let r = experiment()
+        .run_size_sweep(&SizeSweep::explicit(vec![4, 8, 16]))
+        .expect("sweep runs");
+    let dm = r.series_for("DM").expect("DM present");
+    let hcam = r.series_for("HCAM").expect("HCAM present");
+    let ecc = r.series_for("ECC").expect("ECC present");
+    for i in 0..r.xs.len() {
+        assert!(
+            dm.means[i] > hcam.means[i],
+            "DM ({}) should lose to HCAM ({}) at area {}",
+            dm.means[i],
+            hcam.means[i],
+            r.xs[i]
+        );
+        assert!(dm.means[i] > ecc.means[i], "DM should lose to ECC too");
+    }
+    // Substantial: at least 30% worse somewhere in the small regime.
+    let worst_gap = (0..r.xs.len())
+        .map(|i| dm.means[i] / hcam.means[i])
+        .fold(0.0f64, f64::max);
+    assert!(worst_gap > 1.3, "DM/HCAM gap only {worst_gap:.3}");
+}
+
+/// Finding (iii): performance is sensitive to query shape — DM flips from
+/// worst on squares to optimal on lines, HCAM the other way around.
+#[test]
+fn shape_sensitivity_flips_the_ranking() {
+    let r = experiment()
+        .run_shape_sweep(&ShapeSweep::new(64, 6))
+        .expect("sweep runs");
+    let dm = r.series_for("DM").expect("DM");
+    let hcam = r.series_for("HCAM").expect("HCAM");
+    let square = 0; // aspect 1:1
+    let line = r.xs.len() - 1; // aspect 1:64
+    assert!(
+        dm.means[square] > hcam.means[square],
+        "on squares HCAM should beat DM"
+    );
+    assert!(
+        dm.means[line] < hcam.means[line],
+        "on lines DM should beat HCAM"
+    );
+    // DM on a 1x64 line with M=16 is exactly optimal.
+    assert_eq!(dm.means[line], r.optimal[line]);
+}
+
+/// Finding (iv): deviation from optimality decreases with query size.
+#[test]
+fn deviation_shrinks_with_query_size() {
+    let r = experiment()
+        .run_size_sweep(&SizeSweep::explicit(vec![4, 64, 1024]))
+        .expect("sweep runs");
+    for s in &r.series {
+        let small = s.means[0] / r.optimal[0];
+        let large = s.means[2] / r.optimal[2];
+        assert!(
+            large < small,
+            "{}: deviation factor grew from {small:.3} to {large:.3}",
+            s.name
+        );
+    }
+}
+
+/// Fig 5(a) regime: for small queries DM is uniformly the worst of the
+/// four methods across disk counts.
+#[test]
+fn dm_uniformly_worst_for_small_queries_across_disks() {
+    let r = experiment()
+        .run_disk_sweep(&[4, 8, 16, 32], 4)
+        .expect("sweep runs");
+    let dm = r.series_for("DM").expect("DM");
+    for other in ["FX", "ECC", "HCAM"] {
+        let s = r.series_for(other).expect("series");
+        for i in 0..r.xs.len() {
+            if s.means[i].is_finite() {
+                assert!(
+                    dm.means[i] >= s.means[i],
+                    "DM ({}) beat {} ({}) at M={}",
+                    dm.means[i],
+                    other,
+                    s.means[i],
+                    r.xs[i]
+                );
+            }
+        }
+    }
+}
+
+/// Fig 5(b) regime: for large queries at power-of-two disk counts DM and
+/// FX sit exactly on the optimum and beat HCAM (the paper's "DM/CMD and
+/// FX consistently out-perform HCAM").
+#[test]
+fn dm_fx_beat_hcam_for_large_queries() {
+    let r = experiment()
+        .run_disk_sweep(&[4, 8, 16], 256)
+        .expect("sweep runs");
+    let hcam = r.series_for("HCAM").expect("HCAM");
+    for name in ["DM", "FX"] {
+        let s = r.series_for(name).expect("series");
+        for i in 0..r.xs.len() {
+            assert!(
+                s.means[i] <= hcam.means[i],
+                "{name} should beat HCAM at M={} on large queries",
+                r.xs[i]
+            );
+            assert_eq!(s.means[i], r.optimal[i], "{name} should be optimal");
+        }
+    }
+}
+
+/// Point queries cost exactly one bucket retrieval under every method.
+#[test]
+fn point_queries_are_uniform() {
+    let r = experiment().run_partial_match().expect("runs");
+    assert_eq!(r.xs[0], 0.0);
+    for s in &r.series {
+        assert_eq!(s.means[0], 1.0, "{}", s.name);
+    }
+}
+
+/// With d % M == 0, DM achieves the optimum on every partial-match query
+/// (its classic optimality theorem), while HCAM does not.
+#[test]
+fn partial_match_favours_dm() {
+    let r = experiment().run_partial_match().expect("runs");
+    let dm = r.series_for("DM").expect("DM");
+    let hcam = r.series_for("HCAM").expect("HCAM");
+    // One unspecified attribute: 64 buckets over 16 disks, optimal 4.
+    assert_eq!(dm.means[1], 4.0);
+    assert!(hcam.means[1] > dm.means[1]);
+}
+
+/// Determinism: the full experiment is a pure function of the seed.
+#[test]
+fn experiments_are_reproducible() {
+    let a = experiment()
+        .run_size_sweep(&SizeSweep::explicit(vec![16, 64]))
+        .expect("runs");
+    let b = experiment()
+        .run_size_sweep(&SizeSweep::explicit(vec![16, 64]))
+        .expect("runs");
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        assert_eq!(sa.means, sb.means);
+    }
+    let c = experiment()
+        .with_seed(7777)
+        .run_size_sweep(&SizeSweep::explicit(vec![16, 64]))
+        .expect("runs");
+    let differs = a
+        .series
+        .iter()
+        .zip(&c.series)
+        .any(|(sa, sc)| sa.means != sc.means);
+    assert!(differs, "different seeds should sample different queries");
+}
+
+/// Three attributes (Experiment 3): the fraction of a query on which a
+/// method is suboptimal becomes small as volume grows.
+#[test]
+fn three_attributes_converge_too() {
+    let space = GridSpace::new_cube(3, 16).expect("cube");
+    let r = Experiment::new(space, 16)
+        .with_queries_per_point(200)
+        .with_seed(1994)
+        .run_size_sweep(&SizeSweep::explicit(vec![8, 64, 512]))
+        .expect("runs");
+    for s in &r.series {
+        let small = s.means[0] / r.optimal[0];
+        let large = s.means[2] / r.optimal[2];
+        assert!(large < small, "{}: {small:.3} -> {large:.3}", s.name);
+        // DM's 3-D anti-diagonal keeps it at exactly 1.5x on the full
+        // cube; everything else sits well below that.
+        assert!(large <= 1.5, "{} far from optimal at volume 512", s.name);
+    }
+}

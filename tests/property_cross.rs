@@ -1,0 +1,106 @@
+//! Cross-crate property tests: invariants that must hold for every
+//! method, grid, disk count, and query simultaneously.
+
+use decluster::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small 2-D grid, a legal disk count, and a random in-grid
+/// query box.
+fn config() -> impl Strategy<Value = (GridSpace, u32, (u32, u32, u32, u32))> {
+    (2u32..24, 2u32..24, 1u32..20).prop_flat_map(|(d0, d1, m)| {
+        let g = GridSpace::new_2d(d0, d1).expect("grid");
+        ((0..d0), (0..d0), (0..d1), (0..d1)).prop_map(move |(r0, r1, c0, c1)| {
+            (
+                g.clone(),
+                m,
+                (r0.min(r1), r0.max(r1), c0.min(c1), c0.max(c1)),
+            )
+        })
+    })
+}
+
+fn region_of(g: &GridSpace, q: (u32, u32, u32, u32)) -> BucketRegion {
+    RangeQuery::new([q.0, q.2], [q.1, q.3])
+        .expect("bounds ordered")
+        .region(g)
+        .expect("in grid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every method: RT within [optimal, |Q|]; disks in range; totals add up.
+    #[test]
+    fn response_time_is_bounded((g, m, q) in config()) {
+        let region = region_of(&g, q);
+        let registry = MethodRegistry::default();
+        for method in registry.with_baselines(&g, m) {
+            let map = AllocationMap::from_method(&g, method.as_ref()).expect("materializes");
+            let rt = map.response_time(&region);
+            let opt = optimal_response_time(region.num_buckets(), m);
+            prop_assert!(rt >= opt, "{} RT {rt} below optimal {opt}", method.name());
+            prop_assert!(rt <= region.num_buckets(), "{} RT above |Q|", method.name());
+            let hist = map.access_histogram(&region);
+            prop_assert_eq!(hist.iter().sum::<u64>(), region.num_buckets());
+            prop_assert_eq!(hist.iter().copied().max().unwrap_or(0), rt);
+        }
+    }
+
+    /// Materialized and direct evaluation agree for every method.
+    #[test]
+    fn materialization_is_faithful((g, m, q) in config()) {
+        let region = region_of(&g, q);
+        let registry = MethodRegistry::default();
+        for method in registry.paper_methods(&g, m) {
+            let map = AllocationMap::from_method(&g, method.as_ref()).expect("materializes");
+            prop_assert_eq!(
+                map.response_time(&region),
+                response_time(method.as_ref(), &region),
+                "{} disagrees with its materialization", method.name()
+            );
+        }
+    }
+
+    /// Load balance: the structured methods keep static loads within the
+    /// tightest possible bound (max - min <= 1) on power-of-two square
+    /// grids with M dividing the side (DM's balance precondition
+    /// d_i mod M = 0; the others are balanced regardless).
+    #[test]
+    fn structured_methods_balance_loads(side_pow in 2u32..6, m_sub in 0u32..4) {
+        let side = 1u32 << side_pow;
+        let m = 1u32 << m_sub.min(side_pow);
+        let g = GridSpace::new_2d(side, side).expect("grid");
+        let registry = MethodRegistry::default();
+        for method in registry.paper_methods(&g, m) {
+            let map = AllocationMap::from_method(&g, method.as_ref()).expect("materializes");
+            let stats = map.load_stats();
+            prop_assert!(
+                stats.max - stats.min <= 1,
+                "{} load spread {}..{} on {side}x{side}, M={m}",
+                method.name(), stats.min, stats.max
+            );
+        }
+    }
+
+    /// Translation invariance of the modulo family: shifting a query by a
+    /// multiple of M along one axis leaves DM's response time unchanged.
+    #[test]
+    fn dm_is_translation_invariant_mod_m(
+        m in 2u32..8, w in 1u32..5, h in 1u32..5, r in 0u32..4, c in 0u32..4
+    ) {
+        let g = GridSpace::new_2d(64, 64).expect("grid");
+        let dm = DiskModulo::new(&g, m).expect("dm");
+        let base = RangeQuery::new([r, c], [r + h - 1, c + w - 1])
+            .expect("query").region(&g).expect("fits");
+        let shifted = RangeQuery::new([r + m, c], [r + m + h - 1, c + w - 1])
+            .expect("query").region(&g).expect("fits");
+        prop_assert_eq!(response_time(&dm, &base), response_time(&dm, &shifted));
+    }
+
+    /// The optimal bound is monotone in query size and anti-monotone in M.
+    #[test]
+    fn optimal_bound_monotonicity(n in 0u64..10_000, m in 1u32..64) {
+        prop_assert!(optimal_response_time(n + 1, m) >= optimal_response_time(n, m));
+        prop_assert!(optimal_response_time(n, m + 1) <= optimal_response_time(n, m));
+    }
+}

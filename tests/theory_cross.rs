@@ -1,0 +1,118 @@
+//! Cross-crate theory checks: the search, the verifier, the lattice
+//! constructions, and the real methods all have to tell one consistent
+//! story.
+
+use decluster::prelude::*;
+use decluster::theory::impossibility::{demonstrate, theorem_table};
+use decluster::theory::search::{SearchOutcome, StrictSearch};
+use decluster::theory::strict::{known_strict_allocation, verify_strictly_optimal};
+
+/// The paper's theorem end to end: existence for M ∈ {1,2,3,5},
+/// impossibility for M = 4 and M ∈ 6..=8.
+#[test]
+fn theorem_table_matches_known_theory() {
+    for d in theorem_table(8, 500_000_000) {
+        match d.m {
+            1 | 2 | 3 | 5 => assert!(d.outcome.is_sat(), "{}", d.summary()),
+            _ => assert_eq!(
+                d.outcome,
+                SearchOutcome::Unsatisfiable,
+                "{}",
+                d.summary()
+            ),
+        }
+    }
+}
+
+/// Any SAT witness produced by the search must pass the independent
+/// exhaustive verifier.
+#[test]
+fn search_witnesses_verify() {
+    for m in [1u32, 2, 3, 5] {
+        let d = demonstrate(m, 500_000_000);
+        if let SearchOutcome::Satisfiable(alloc) = d.outcome {
+            assert!(
+                verify_strictly_optimal(&alloc).is_ok(),
+                "search witness for M={m} failed verification"
+            );
+        } else {
+            panic!("expected SAT for M={m}");
+        }
+    }
+}
+
+/// The lattice constructions stay strictly optimal on grids much larger
+/// than the search windows, including non-square ones.
+#[test]
+fn lattices_scale_beyond_search_windows() {
+    for (m, dims) in [
+        (2u32, (13u32, 7u32)),
+        (3, (11, 9)),
+        (5, (11, 13)),
+        (1, (6, 6)),
+    ] {
+        let space = GridSpace::new_2d(dims.0, dims.1).expect("grid");
+        let alloc = known_strict_allocation(&space, m).expect("lattice exists");
+        assert!(
+            verify_strictly_optimal(&alloc).is_ok(),
+            "lattice M={m} on {dims:?}"
+        );
+    }
+}
+
+/// None of the practical methods is strictly optimal at M = 16 — which is
+/// exactly why the paper measures average behaviour instead.
+#[test]
+fn no_practical_method_is_strictly_optimal_at_16_disks() {
+    let space = GridSpace::new_2d(16, 16).expect("grid");
+    let registry = MethodRegistry::default();
+    for method in registry.with_baselines(&space, 16) {
+        let alloc = AllocationMap::from_method(&space, method.as_ref()).expect("materializes");
+        let ce = verify_strictly_optimal(&alloc);
+        assert!(
+            ce.is_err(),
+            "{} unexpectedly strictly optimal (theorem says impossible)",
+            method.name()
+        );
+    }
+}
+
+/// DM *is* strictly optimal in one dimension when d % M = 0 — the 1-D
+/// degenerate case where round-robin is perfect.
+#[test]
+fn one_dimensional_dm_is_strictly_optimal() {
+    let space = GridSpace::new(vec![24]).expect("line grid");
+    let dm = DiskModulo::new(&space, 6).expect("dm builds");
+    let alloc = AllocationMap::from_method(&space, &dm).expect("materializes");
+    assert!(verify_strictly_optimal(&alloc).is_ok());
+}
+
+/// The search respects rectangular (non-square) windows: a strictly
+/// optimal 2 x 10 window exists for M = 4 (only width-limited rectangles
+/// constrain it) even though 5 x 5 is UNSAT.
+#[test]
+fn narrow_windows_can_be_sat_when_square_windows_are_not() {
+    let narrow = StrictSearch::new(2, 10, 4).run();
+    assert!(
+        narrow.is_sat(),
+        "2x10 M=4 should be satisfiable (got {narrow:?})"
+    );
+    let square = StrictSearch::new(5, 5, 4).run();
+    assert_eq!(square, SearchOutcome::Unsatisfiable);
+}
+
+/// A counterexample returned by the verifier is a real violation.
+#[test]
+fn counterexamples_are_self_consistent() {
+    let space = GridSpace::new_2d(8, 8).expect("grid");
+    let dm = DiskModulo::new(&space, 16).expect("dm");
+    let alloc = AllocationMap::from_method(&space, &dm).expect("materializes");
+    let ce = verify_strictly_optimal(&alloc).expect_err("DM not strictly optimal");
+    // Recompute independently.
+    assert_eq!(alloc.response_time(&ce.region), ce.response_time);
+    assert_eq!(
+        ce.region.num_buckets().div_ceil(16),
+        ce.optimal
+    );
+    assert!(ce.response_time > ce.optimal);
+}
