@@ -12,9 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decluster_ecc::BitMatrix;
 use decluster_grid::{GridSpace, RangeQuery};
-use decluster_methods::{
-    AllocationMap, CurveAlloc, CurveKind, DeclusteringMethod, Hcam,
-};
+use decluster_methods::{AllocationMap, CurveAlloc, CurveKind, DeclusteringMethod, Hcam};
 use decluster_theory::search::StrictSearch;
 use std::hint::black_box;
 

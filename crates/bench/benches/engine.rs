@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use decluster_file::DeclusteredFile;
 use decluster_grid::{
-    AttributeDomain, GridDirectory, GridFile, GridSchema, GridSpace, Record, Value,
-    ValueRangeQuery,
+    AttributeDomain, GridDirectory, GridFile, GridSchema, GridSpace, Record, Value, ValueRangeQuery,
 };
 use decluster_methods::{
     optimize_allocation, AllocationMap, DeclusteringMethod, DiskModulo, Hcam, LocalSearchConfig,
@@ -115,9 +114,7 @@ fn bench_closed_loop(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(clients),
             &clients,
-            |b, &clients| {
-                b.iter(|| black_box(run_closed_loop(&dir, &params, &queries, clients)))
-            },
+            |b, &clients| b.iter(|| black_box(run_closed_loop(&dir, &params, &queries, clients))),
         );
     }
     group.finish();

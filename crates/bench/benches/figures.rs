@@ -90,9 +90,7 @@ fn bench_t1_prediction_check(c: &mut Criterion) {
     c.bench_with_input(
         BenchmarkId::new("t1_dm_prediction_check", queries.len()),
         &queries,
-        |b, queries| {
-            b.iter(|| black_box(check_prediction(&alloc, queries, dm_predicts_optimal)))
-        },
+        |b, queries| b.iter(|| black_box(check_prediction(&alloc, queries, dm_predicts_optimal))),
     );
 }
 

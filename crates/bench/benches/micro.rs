@@ -37,7 +37,9 @@ fn bench_hilbert(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u128;
             for i in 0..1000u32 {
-                acc ^= curve.encode(&[i * 37 % 65536, i * 101 % 65536]).expect("in range");
+                acc ^= curve
+                    .encode(&[i * 37 % 65536, i * 101 % 65536])
+                    .expect("in range");
             }
             black_box(acc)
         })
@@ -46,7 +48,9 @@ fn bench_hilbert(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u32;
             for i in 0..1000u128 {
-                acc ^= curve.decode(i * 4_294_967_291 % curve.num_points()).expect("in range")[0];
+                acc ^= curve
+                    .decode(i * 4_294_967_291 % curve.num_points())
+                    .expect("in range")[0];
             }
             black_box(acc)
         })
@@ -69,7 +73,12 @@ fn bench_ecc_syndrome(c: &mut Criterion) {
 fn bench_materialization(c: &mut Criterion) {
     let registry = MethodRegistry::default();
     let mut group = c.benchmark_group("materialize_128x128_m16");
-    for kind in [MethodKind::Dm, MethodKind::Fx, MethodKind::Ecc, MethodKind::Hcam] {
+    for kind in [
+        MethodKind::Dm,
+        MethodKind::Fx,
+        MethodKind::Ecc,
+        MethodKind::Hcam,
+    ] {
         group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
             b.iter_with_setup(
                 || GridSpace::new_2d(128, 128).expect("grid"),
@@ -100,6 +109,88 @@ fn bench_response_time(c: &mut Criterion) {
     group.finish();
 }
 
+/// An E1-style query population: the paper's area ladder cycled over a
+/// thousand deterministic placements on the 64×64 grid.
+fn e1_population(space: &GridSpace) -> Vec<decluster_grid::BucketRegion> {
+    let areas: [u64; 19] = [
+        1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    ];
+    let mut state = 0x1994_u64;
+    (0..1000)
+        .map(|i| {
+            let area = areas[i % areas.len()];
+            // Near-square sides for the area, clipped to the grid.
+            let mut a = (area as f64).sqrt().floor() as u64;
+            while !area.is_multiple_of(a) {
+                a -= 1;
+            }
+            let (w, h) = (a as u32, (area / a) as u32);
+            // SplitMix64 placements — deterministic, no rand dependency.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let lo0 = (z as u32) % (64 - w + 1);
+            let lo1 = ((z >> 32) as u32) % (64 - h + 1);
+            RangeQuery::new([lo0, lo1], [lo0 + w - 1, lo1 + h - 1])
+                .expect("query")
+                .region(space)
+                .expect("fits")
+        })
+        .collect()
+}
+
+fn bench_rt_naive(c: &mut Criterion) {
+    let space = GridSpace::new_2d(64, 64).expect("grid");
+    let registry = MethodRegistry::default();
+    let regions = e1_population(&space);
+    let mut group = c.benchmark_group("rt_naive_e1_1000q");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::Dm,
+        MethodKind::Fx,
+        MethodKind::Ecc,
+        MethodKind::Hcam,
+    ] {
+        let method = registry.build(kind, &space, 16).expect("builds");
+        let map = AllocationMap::from_method(&space, method.as_ref()).expect("map");
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let total: u64 = regions.iter().map(|r| map.response_time(r)).sum();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rt_kernel(c: &mut Criterion) {
+    let space = GridSpace::new_2d(64, 64).expect("grid");
+    let registry = MethodRegistry::default();
+    let regions = e1_population(&space);
+    let mut group = c.benchmark_group("rt_kernel_e1_1000q");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::Dm,
+        MethodKind::Fx,
+        MethodKind::Ecc,
+        MethodKind::Hcam,
+    ] {
+        let method = registry.build(kind, &space, 16).expect("builds");
+        let map = AllocationMap::from_method(&space, method.as_ref()).expect("map");
+        // Kernel build is included: this is the cost a sweep point pays.
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let kernel = map.disk_counts().expect("table fits");
+                let total: u64 = regions.iter().map(|r| kernel.response_time(r)).sum();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
@@ -109,5 +200,7 @@ criterion_group!(
         bench_ecc_syndrome,
         bench_materialization,
         bench_response_time,
+        bench_rt_naive,
+        bench_rt_kernel,
 );
 criterion_main!(micro);

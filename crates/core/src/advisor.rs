@@ -103,7 +103,11 @@ mod tests {
         assert_ne!(advice.winner, "DM");
         let dm = advice.ranking.iter().find(|(n, _)| *n == "DM").unwrap().1;
         let win = advice.ranking[0].1;
-        assert!(win < dm, "winner {} ({win}) should beat DM ({dm})", advice.winner);
+        assert!(
+            win < dm,
+            "winner {} ({win}) should beat DM ({dm})",
+            advice.winner
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ impl EccDecluster {
         if n < r {
             return Err(MethodError::UnsupportedGrid {
                 method: "ECC",
-                reason: format!(
-                    "grid has 2^{n} buckets, fewer than M = 2^{r} disks"
-                ),
+                reason: format!("grid has 2^{n} buckets, fewer than M = 2^{r} disks"),
             });
         }
         let h = if u128::from(n) < (1u128 << r) {
@@ -139,7 +137,10 @@ mod tests {
             MethodError::NotPowerOfTwo { .. }
         ));
         let g = GridSpace::new_2d(8, 8).unwrap();
-        assert_eq!(EccDecluster::new(&g, 0).unwrap_err(), MethodError::ZeroDisks);
+        assert_eq!(
+            EccDecluster::new(&g, 0).unwrap_err(),
+            MethodError::ZeroDisks
+        );
     }
 
     #[test]
@@ -181,7 +182,11 @@ mod tests {
     fn load_is_perfectly_balanced() {
         // Cosets partition the word space evenly, so every disk gets
         // exactly num_buckets / M buckets.
-        for (dims, m) in [(vec![8u32, 8], 4u32), (vec![16, 16], 16), (vec![4, 4, 4], 8)] {
+        for (dims, m) in [
+            (vec![8u32, 8], 4u32),
+            (vec![16, 16], 16),
+            (vec![4, 4, 4], 8),
+        ] {
             let g = GridSpace::new(dims).unwrap();
             let ecc = EccDecluster::new(&g, m).unwrap();
             let mut counts = vec![0u64; m as usize];

@@ -104,7 +104,9 @@ mod tests {
             value: 6,
         };
         assert!(e.to_string().contains("6"));
-        let e = MethodError::UnknownMethod { name: "zorp".into() };
+        let e = MethodError::UnknownMethod {
+            name: "zorp".into(),
+        };
         assert!(e.to_string().contains("zorp"));
     }
 

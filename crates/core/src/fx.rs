@@ -75,7 +75,11 @@ impl FieldwiseXor {
     /// ExFX field placement. A bijection on the window for any rotation.
     fn rotate_in_window(value: u32, width: u32, rot: u32) -> u32 {
         debug_assert!(width >= 1);
-        let mask = if width >= 32 { u32::MAX } else { (1 << width) - 1 };
+        let mask = if width >= 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        };
         let value = value & mask;
         let rot = rot % width;
         if rot == 0 {
@@ -109,16 +113,13 @@ impl DeclusteringMethod for FieldwiseXor {
         debug_assert_eq!(bucket.len(), self.k);
         let x = match self.extended_width {
             None => bucket.iter().fold(0u32, |acc, &c| acc ^ c),
-            Some(width) => bucket
-                .iter()
-                .enumerate()
-                .fold(0u32, |acc, (dim, &c)| {
-                    // Rotate within a window wide enough for both the disk
-                    // count and this coordinate, so placement stays a
-                    // bijection even on mixed-width grids.
-                    let w = width.max(bits_for(c.max(1) + 1));
-                    acc ^ Self::rotate_in_window(c, w, self.dim_offsets[dim])
-                }),
+            Some(width) => bucket.iter().enumerate().fold(0u32, |acc, (dim, &c)| {
+                // Rotate within a window wide enough for both the disk
+                // count and this coordinate, so placement stays a
+                // bijection even on mixed-width grids.
+                let w = width.max(bits_for(c.max(1) + 1));
+                acc ^ Self::rotate_in_window(c, w, self.dim_offsets[dim])
+            }),
         };
         DiskId(x % self.m)
     }
@@ -180,7 +181,10 @@ mod tests {
     #[test]
     fn rejects_zero_disks() {
         let g = GridSpace::new_2d(4, 4).unwrap();
-        assert_eq!(FieldwiseXor::new(&g, 0).unwrap_err(), MethodError::ZeroDisks);
+        assert_eq!(
+            FieldwiseXor::new(&g, 0).unwrap_err(),
+            MethodError::ZeroDisks
+        );
     }
 
     #[test]

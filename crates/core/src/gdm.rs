@@ -39,10 +39,7 @@ impl GeneralizedDiskModulo {
         Ok(GeneralizedDiskModulo {
             m,
             // Reduce eagerly so the hot path cannot overflow.
-            coefficients: coefficients
-                .into_iter()
-                .map(|c| c % u64::from(m))
-                .collect(),
+            coefficients: coefficients.into_iter().map(|c| c % u64::from(m)).collect(),
             name: "GDM",
         })
     }
@@ -132,7 +129,10 @@ mod tests {
         );
         assert_eq!(
             GeneralizedDiskModulo::new(&g, 3, vec![1]).unwrap_err(),
-            MethodError::CoefficientMismatch { expected: 2, got: 1 }
+            MethodError::CoefficientMismatch {
+                expected: 2,
+                got: 1
+            }
         );
     }
 
@@ -153,11 +153,7 @@ mod tests {
         assert_eq!(bdm.name(), "BDM");
         for b in g.iter() {
             let lin = g.linearize(&b).unwrap();
-            assert_eq!(
-                bdm.disk_of(b.as_slice()).0 as u64,
-                lin % 4,
-                "bucket {b}"
-            );
+            assert_eq!(bdm.disk_of(b.as_slice()).0 as u64, lin % 4, "bucket {b}");
         }
     }
 

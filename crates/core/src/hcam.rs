@@ -1,6 +1,6 @@
 use crate::{DeclusteringMethod, MethodError, Result};
-use decluster_hilbert::HilbertCurve;
 use decluster_grid::{DiskId, GridSpace};
+use decluster_hilbert::HilbertCurve;
 
 /// Hilbert Curve Allocation Method (HCAM), Faloutsos & Bhagwat (PDIS
 /// 1993).
@@ -36,19 +36,15 @@ impl Hcam {
             return Err(MethodError::ZeroDisks);
         }
         let curve = HilbertCurve::covering(space.dims())?;
-        let total = usize::try_from(space.num_buckets()).map_err(|_| {
-            MethodError::UnsupportedGrid {
+        let total =
+            usize::try_from(space.num_buckets()).map_err(|_| MethodError::UnsupportedGrid {
                 method: "HCAM",
                 reason: "grid too large to materialize".into(),
-            }
-        })?;
+            })?;
         let mut table = vec![0u32; total];
         let mut rank_in_grid: u64 = 0;
         for point in curve.iter() {
-            let inside = point
-                .iter()
-                .zip(space.dims())
-                .all(|(&c, &d)| c < d);
+            let inside = point.iter().zip(space.dims()).all(|(&c, &d)| c < d);
             if !inside {
                 continue;
             }

@@ -53,6 +53,7 @@ mod gdm;
 mod hcam;
 mod optimize;
 mod persist;
+mod prefix;
 mod registry;
 mod replication;
 mod sfc;
@@ -69,6 +70,7 @@ pub use fx::FieldwiseXor;
 pub use gdm::GeneralizedDiskModulo;
 pub use hcam::Hcam;
 pub use optimize::{optimize_allocation, LocalSearchConfig, OptimizedAllocation};
+pub use prefix::DiskCounts;
 pub use registry::{MethodKind, MethodRegistry};
 pub use replication::ChainedDecluster;
 pub use sfc::{CurveAlloc, CurveKind};

@@ -68,12 +68,11 @@ pub fn optimize_allocation(
         });
     }
     let m = start.num_disks() as usize;
-    let total_buckets = usize::try_from(space.num_buckets()).map_err(|_| {
-        MethodError::UnsupportedGrid {
+    let total_buckets =
+        usize::try_from(space.num_buckets()).map_err(|_| MethodError::UnsupportedGrid {
             method: "optimize_allocation",
             reason: "grid too large".into(),
-        }
-    })?;
+        })?;
 
     // Inverse index: bucket id -> regions containing it.
     let mut regions_of_bucket: Vec<Vec<u32>> = vec![Vec::new(); total_buckets];
@@ -223,7 +222,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(result.final_cost, optimum, "search should reach the optimum");
+        assert_eq!(
+            result.final_cost, optimum,
+            "search should reach the optimum"
+        );
         assert!(result.accepted_moves > 0);
     }
 
@@ -269,7 +271,8 @@ mod tests {
         let sample = tiled_squares(&other, 2);
         let bad_start =
             AllocationMap::from_method(&other, &DiskModulo::new(&other, 4).unwrap()).unwrap();
-        assert!(optimize_allocation(&space, &bad_start, &sample, LocalSearchConfig::default())
-            .is_err());
+        assert!(
+            optimize_allocation(&space, &bad_start, &sample, LocalSearchConfig::default()).is_err()
+        );
     }
 }

@@ -90,8 +90,7 @@ impl AllocationMap {
         let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
             .map_err(|_| corrupt("name not UTF-8"))?;
         let space = GridSpace::new(dims).map_err(MethodError::from)?;
-        let total = usize::try_from(space.num_buckets())
-            .map_err(|_| corrupt("grid too large"))?;
+        let total = usize::try_from(space.num_buckets()).map_err(|_| corrupt("grid too large"))?;
         let cell = if m <= 256 { 1 } else { 4 };
         if buf.remaining() != total * cell {
             return Err(corrupt("table length mismatch"));

@@ -30,8 +30,12 @@ pub enum MethodKind {
 impl MethodKind {
     /// The paper's four grid-based methods, in the order its figures list
     /// them.
-    pub const PAPER: [MethodKind; 4] =
-        [MethodKind::Dm, MethodKind::Fx, MethodKind::Ecc, MethodKind::Hcam];
+    pub const PAPER: [MethodKind; 4] = [
+        MethodKind::Dm,
+        MethodKind::Fx,
+        MethodKind::Ecc,
+        MethodKind::Hcam,
+    ];
 
     /// Every kind the registry knows.
     pub const ALL: [MethodKind; 9] = [
@@ -142,11 +146,7 @@ impl MethodRegistry {
     /// The paper's four methods on this configuration, skipping any whose
     /// constructor rejects it (e.g. ECC when `M` is not a power of two —
     /// matching how the study only reports methods where they apply).
-    pub fn paper_methods(
-        &self,
-        space: &GridSpace,
-        m: u32,
-    ) -> Vec<Box<dyn DeclusteringMethod>> {
+    pub fn paper_methods(&self, space: &GridSpace, m: u32) -> Vec<Box<dyn DeclusteringMethod>> {
         MethodKind::PAPER
             .iter()
             .filter_map(|&k| self.build(k, space, m).ok())
@@ -154,11 +154,7 @@ impl MethodRegistry {
     }
 
     /// The paper's methods plus the RR and RND baselines.
-    pub fn with_baselines(
-        &self,
-        space: &GridSpace,
-        m: u32,
-    ) -> Vec<Box<dyn DeclusteringMethod>> {
+    pub fn with_baselines(&self, space: &GridSpace, m: u32) -> Vec<Box<dyn DeclusteringMethod>> {
         let mut v = self.paper_methods(space, m);
         for kind in [MethodKind::RoundRobin, MethodKind::Random] {
             if let Ok(built) = self.build(kind, space, m) {
@@ -178,7 +174,10 @@ mod tests {
         assert_eq!(MethodKind::parse("cmd").unwrap(), MethodKind::Dm);
         assert_eq!(MethodKind::parse("exfx").unwrap(), MethodKind::Fx);
         assert_eq!(MethodKind::parse("HCAM").unwrap(), MethodKind::Hcam);
-        assert_eq!(MethodKind::parse("round-robin").unwrap(), MethodKind::RoundRobin);
+        assert_eq!(
+            MethodKind::parse("round-robin").unwrap(),
+            MethodKind::RoundRobin
+        );
         assert!(matches!(
             MethodKind::parse("nope").unwrap_err(),
             MethodError::UnknownMethod { .. }

@@ -77,7 +77,10 @@ impl ChainedDecluster {
                 Some(f) if primary == f => self.backup_of(bucket.as_slice()),
                 _ => primary,
             };
-            debug_assert!(Some(serving) != failed, "backup of a failed primary is distinct");
+            debug_assert!(
+                Some(serving) != failed,
+                "backup of a failed primary is distinct"
+            );
             per_disk[serving.index()] += 1;
         }
         Some(per_disk.into_iter().max().unwrap_or(0))
@@ -113,10 +116,7 @@ mod tests {
     }
 
     fn region(space: &GridSpace, lo: [u32; 2], hi: [u32; 2]) -> BucketRegion {
-        RangeQuery::new(lo, hi)
-            .unwrap()
-            .region(space)
-            .unwrap()
+        RangeQuery::new(lo, hi).unwrap().region(space).unwrap()
     }
 
     #[test]
@@ -160,7 +160,11 @@ mod tests {
         // the neighbour serves at most its own plus the failed disk's
         // buckets.
         let (space, chain) = chained(8);
-        for (lo, hi) in [([0u32, 0u32], [3u32, 3u32]), ([1, 2], [12, 13]), ([0, 0], [15, 15])] {
+        for (lo, hi) in [
+            ([0u32, 0u32], [3u32, 3u32]),
+            ([1, 2], [12, 13]),
+            ([0, 0], [15, 15]),
+        ] {
             let r = region(&space, lo, hi);
             let healthy = chain.response_time(&r, None).unwrap();
             let degraded = chain.worst_degraded_response_time(&r);

@@ -50,12 +50,11 @@ impl CurveAlloc {
         if m == 0 {
             return Err(MethodError::ZeroDisks);
         }
-        let total = usize::try_from(space.num_buckets()).map_err(|_| {
-            MethodError::UnsupportedGrid {
+        let total =
+            usize::try_from(space.num_buckets()).map_err(|_| MethodError::UnsupportedGrid {
                 method: kind.method_name(),
                 reason: "grid too large to materialize".into(),
-            }
-        })?;
+            })?;
         let mut table = vec![0u32; total];
         let mut rank_in_grid: u64 = 0;
         let mut visit = |point: &[u32]| {
@@ -137,8 +136,14 @@ mod tests {
     #[test]
     fn names_distinguish_kinds() {
         let g = GridSpace::new_2d(4, 4).unwrap();
-        assert_eq!(CurveAlloc::new(&g, 2, CurveKind::Morton).unwrap().name(), "ZCAM");
-        assert_eq!(CurveAlloc::new(&g, 2, CurveKind::Gray).unwrap().name(), "GrayCAM");
+        assert_eq!(
+            CurveAlloc::new(&g, 2, CurveKind::Morton).unwrap().name(),
+            "ZCAM"
+        );
+        assert_eq!(
+            CurveAlloc::new(&g, 2, CurveKind::Gray).unwrap().name(),
+            "GrayCAM"
+        );
     }
 
     #[test]

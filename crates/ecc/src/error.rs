@@ -63,13 +63,19 @@ impl fmt::Display for EccError {
                 write!(f, "column {col} out of range (matrix has {cols} columns)")
             }
             EccError::TooManyHammingColumns { r, n } => {
-                write!(f, "Hamming check with r={r} supports at most 2^{r}-1 columns, got {n}")
+                write!(
+                    f,
+                    "Hamming check with r={r} supports at most 2^{r}-1 columns, got {n}"
+                )
             }
             EccError::RankDeficient { rows, rank } => {
                 write!(f, "parity-check matrix has rank {rank} < {rows} rows")
             }
             EccError::MoreRowsThanCols { rows, cols } => {
-                write!(f, "parity-check matrix has {rows} rows but only {cols} columns")
+                write!(
+                    f,
+                    "parity-check matrix has {rows} rows but only {cols} columns"
+                )
             }
         }
     }
@@ -84,7 +90,9 @@ mod tests {
     #[test]
     fn displays() {
         assert!(EccError::EmptyMatrix.to_string().contains("non-empty"));
-        assert!(EccError::TooManyColumns { cols: 200 }.to_string().contains("200"));
+        assert!(EccError::TooManyColumns { cols: 200 }
+            .to_string()
+            .contains("200"));
         assert!(EccError::RankDeficient { rows: 4, rank: 3 }
             .to_string()
             .contains("rank 3"));

@@ -331,8 +331,14 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(BitMatrix::from_rows(0, vec![0]).unwrap_err(), EccError::EmptyMatrix);
-        assert_eq!(BitMatrix::from_rows(4, vec![]).unwrap_err(), EccError::EmptyMatrix);
+        assert_eq!(
+            BitMatrix::from_rows(0, vec![0]).unwrap_err(),
+            EccError::EmptyMatrix
+        );
+        assert_eq!(
+            BitMatrix::from_rows(4, vec![]).unwrap_err(),
+            EccError::EmptyMatrix
+        );
         assert!(matches!(
             BitMatrix::from_rows(129, vec![0]).unwrap_err(),
             EccError::TooManyColumns { .. }
@@ -427,9 +433,7 @@ mod tests {
         let h = BitMatrix::cyclic_parity_check(3, 12).unwrap();
         assert_eq!(h.rank(), 3);
         for j in 0..12 {
-            let col = (0..3).fold(0u32, |acc, i| {
-                acc | (u32::from(h.get(i, j).unwrap()) << i)
-            });
+            let col = (0..3).fold(0u32, |acc, i| acc | (u32::from(h.get(i, j).unwrap()) << i));
             assert_ne!(col, 0, "zero column at {j}");
         }
     }

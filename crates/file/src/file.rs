@@ -415,9 +415,7 @@ mod tests {
     #[test]
     fn insert_rejects_malformed_records() {
         let mut f = DeclusteredFile::create(schema(), MethodKind::Dm, 4).unwrap();
-        assert!(f
-            .insert(Record::new(vec![Value::Int(1)]))
-            .is_err());
+        assert!(f.insert(Record::new(vec![Value::Int(1)])).is_err());
         assert!(f
             .insert(Record::new(vec![Value::Int(1), Value::Int(200)]))
             .is_err());
@@ -454,11 +452,7 @@ mod tests {
             .unwrap();
         f.insert(Record::new(vec![Value::Int(19), Value::Int(11)]))
             .unwrap();
-        let q = ValueRangeQuery::new(vec![
-            Some((Value::Int(10), Value::Int(15))),
-            None,
-        ])
-        .unwrap();
+        let q = ValueRangeQuery::new(vec![Some((Value::Int(10), Value::Int(15))), None]).unwrap();
         let scan = f.scan(&q).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].value(0), &Value::Int(11));
@@ -519,11 +513,8 @@ mod tests {
         let f = loaded_file(MethodKind::Dm);
         let bad_arity = ValueRangeQuery::new(vec![None]).unwrap();
         assert!(f.scan(&bad_arity).is_err());
-        let inverted = ValueRangeQuery::new(vec![
-            Some((Value::Int(50), Value::Int(10))),
-            None,
-        ])
-        .unwrap();
+        let inverted =
+            ValueRangeQuery::new(vec![Some((Value::Int(50), Value::Int(10))), None]).unwrap();
         assert!(f.scan(&inverted).is_err());
     }
 
@@ -531,11 +522,7 @@ mod tests {
     fn timed_scan_agrees_with_plain_scan_and_times_positively() {
         let f = loaded_file(MethodKind::Fx);
         let io = decluster_sim::IoSimulator::default();
-        let q = ValueRangeQuery::new(vec![
-            Some((Value::Int(0), Value::Int(49))),
-            None,
-        ])
-        .unwrap();
+        let q = ValueRangeQuery::new(vec![Some((Value::Int(0), Value::Int(49))), None]).unwrap();
         let (scan, ms) = f.scan_timed(&q, &io).unwrap();
         let plain = f.scan(&q).unwrap();
         assert_eq!(scan.io, plain.io);
@@ -578,7 +565,9 @@ mod tests {
         let scan = f.scan_parallel(&q).unwrap();
         assert!(scan.records.is_empty());
         assert_eq!(scan.io.buckets_touched, 100);
-        assert!(f.scan_parallel(&ValueRangeQuery::new(vec![None]).unwrap()).is_err());
+        assert!(f
+            .scan_parallel(&ValueRangeQuery::new(vec![None]).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -149,15 +149,24 @@ mod tests {
         // disk 0 page 1.
         assert_eq!(
             dir.lookup(&BucketCoord::from([0, 0])).unwrap(),
-            BucketPage { disk: DiskId(0), page: 0 }
+            BucketPage {
+                disk: DiskId(0),
+                page: 0
+            }
         );
         assert_eq!(
             dir.lookup(&BucketCoord::from([1, 0])).unwrap(),
-            BucketPage { disk: DiskId(0), page: 1 }
+            BucketPage {
+                disk: DiskId(0),
+                page: 1
+            }
         );
         assert_eq!(
             dir.lookup(&BucketCoord::from([0, 1])).unwrap(),
-            BucketPage { disk: DiskId(1), page: 0 }
+            BucketPage {
+                disk: DiskId(1),
+                page: 0
+            }
         );
     }
 

@@ -85,7 +85,10 @@ impl fmt::Display for GridError {
                 "coordinate {coord} out of bounds on dimension {dim} (has {partitions} partitions)"
             ),
             GridError::LinearOutOfBounds { id, total } => {
-                write!(f, "linear bucket id {id} out of bounds (grid has {total} buckets)")
+                write!(
+                    f,
+                    "linear bucket id {id} out of bounds (grid has {total} buckets)"
+                )
             }
             GridError::InvertedRange { dim } => {
                 write!(f, "range query has lo > hi on dimension {dim}")
@@ -95,7 +98,10 @@ impl fmt::Display for GridError {
                 write!(f, "value out of domain for attribute {attribute}")
             }
             GridError::ArityMismatch { expected, got } => {
-                write!(f, "record arity mismatch: schema has {expected} attributes, record has {got}")
+                write!(
+                    f,
+                    "record arity mismatch: schema has {expected} attributes, record has {got}"
+                )
             }
             GridError::TypeMismatch { attribute } => {
                 write!(f, "value type mismatch for attribute {attribute}")

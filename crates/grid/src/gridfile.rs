@@ -674,7 +674,11 @@ mod tests {
         assert_eq!(gf.len(), 10);
         assert!(gf.num_buckets() > 1, "no splits happened");
         // Every bucket within capacity (no degenerate duplicates here).
-        assert!(gf.occupancy().iter().all(|&n| n <= 2), "{:?}", gf.occupancy());
+        assert!(
+            gf.occupancy().iter().all(|&n| n <= 2),
+            "{:?}",
+            gf.occupancy()
+        );
     }
 
     #[test]
@@ -767,10 +771,7 @@ mod tests {
             gf.insert(rec(i * 15, (i * 7) % 1000)).unwrap();
         }
         assert!(gf.scale(0).len() + gf.scale(1).len() > 0, "no scale growth");
-        assert_eq!(
-            gf.cell_counts()[0] as usize,
-            gf.scale(0).len() + 1
-        );
+        assert_eq!(gf.cell_counts()[0] as usize, gf.scale(0).len() + 1);
         gf.check_invariants().unwrap();
     }
 
@@ -796,17 +797,11 @@ mod tests {
     fn scan_validates_queries() {
         let gf = file(4);
         assert!(gf.scan(&ValueRangeQuery::new(vec![None]).unwrap()).is_err());
-        let inverted = ValueRangeQuery::new(vec![
-            Some((Value::Int(9), Value::Int(1))),
-            None,
-        ])
-        .unwrap();
+        let inverted =
+            ValueRangeQuery::new(vec![Some((Value::Int(9), Value::Int(1))), None]).unwrap();
         assert!(gf.scan(&inverted).is_err());
-        let bad_type = ValueRangeQuery::new(vec![
-            Some((Value::from("a"), Value::from("b"))),
-            None,
-        ])
-        .unwrap();
+        let bad_type =
+            ValueRangeQuery::new(vec![Some((Value::from("a"), Value::from("b"))), None]).unwrap();
         assert!(gf.scan(&bad_type).is_err());
     }
 
@@ -849,10 +844,12 @@ mod tests {
         let mut gf = file(2);
         for round in 0..5 {
             for i in 0..30i64 {
-                gf.insert(rec((i * 31 + round) % 1000, (i * 77) % 1000)).unwrap();
+                gf.insert(rec((i * 31 + round) % 1000, (i * 77) % 1000))
+                    .unwrap();
             }
             for i in 0..15i64 {
-                gf.delete(&rec((i * 31 + round) % 1000, (i * 77) % 1000)).unwrap();
+                gf.delete(&rec((i * 31 + round) % 1000, (i * 77) % 1000))
+                    .unwrap();
             }
             gf.check_invariants().unwrap();
         }
@@ -897,8 +894,8 @@ mod tests {
         }
         gf.check_invariants().unwrap();
         assert!(gf.num_buckets() > 10);
-        let q = ValueRangeQuery::new(vec![None, None, Some((Value::Int(0), Value::Int(49)))])
-            .unwrap();
+        let q =
+            ValueRangeQuery::new(vec![None, None, Some((Value::Int(0), Value::Int(49)))]).unwrap();
         let scan = gf.scan(&q).unwrap();
         assert_eq!(scan.records.len(), 100);
     }

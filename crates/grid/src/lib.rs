@@ -46,9 +46,9 @@ mod space;
 
 pub use bucket::{BucketCoord, DiskId, COORD_INLINE_DIMS};
 pub use directory::{BucketPage, GridDirectory};
-pub use gridfile::{GridBucketId, GridFile, GridScan};
 pub use domain::{AttributeDomain, DomainKind};
 pub use error::GridError;
+pub use gridfile::{GridBucketId, GridFile, GridScan};
 pub use partition::Partitioning;
 pub use query::{PartialMatchQuery, PointQuery, Query, RangeQuery, ValueRangeQuery};
 pub use record::{Record, Value};

@@ -279,15 +279,18 @@ mod tests {
     fn range_mapping() {
         let p = Partitioning::uniform_int(0, 99, 4).unwrap();
         assert_eq!(
-            p.partitions_of_range(&Value::Int(10), &Value::Int(60)).unwrap(),
+            p.partitions_of_range(&Value::Int(10), &Value::Int(60))
+                .unwrap(),
             (0, 2)
         );
         assert_eq!(
-            p.partitions_of_range(&Value::Int(30), &Value::Int(30)).unwrap(),
+            p.partitions_of_range(&Value::Int(30), &Value::Int(30))
+                .unwrap(),
             (1, 1)
         );
         assert!(matches!(
-            p.partitions_of_range(&Value::Int(60), &Value::Int(10)).unwrap_err(),
+            p.partitions_of_range(&Value::Int(60), &Value::Int(10))
+                .unwrap_err(),
             GridError::InvertedRange { .. }
         ));
     }

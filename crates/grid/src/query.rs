@@ -304,7 +304,10 @@ mod tests {
         let q = RangeQuery::new([0, 0], [1, 1]).unwrap();
         assert!(matches!(
             q.region(&g).unwrap_err(),
-            GridError::DimensionMismatch { expected: 3, got: 2 }
+            GridError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            }
         ));
     }
 
@@ -325,7 +328,11 @@ mod tests {
         let q = PartialMatchQuery::new(vec![Some(9), None]).unwrap();
         assert!(matches!(
             q.region(&g).unwrap_err(),
-            GridError::CoordOutOfBounds { dim: 0, coord: 9, .. }
+            GridError::CoordOutOfBounds {
+                dim: 0,
+                coord: 9,
+                ..
+            }
         ));
     }
 

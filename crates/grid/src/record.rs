@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn cross_type_comparison_is_none() {
-        assert_eq!(Value::Int(1).partial_cmp_same_type(&Value::Float(1.0)), None);
+        assert_eq!(
+            Value::Int(1).partial_cmp_same_type(&Value::Float(1.0)),
+            None
+        );
         assert_eq!(
             Value::Float(f64::NAN).partial_cmp_same_type(&Value::Float(0.0)),
             None

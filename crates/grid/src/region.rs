@@ -33,13 +33,7 @@ impl BucketRegion {
     /// The whole grid as a single region.
     pub fn full(space: &GridSpace) -> Self {
         let lo = BucketCoord::origin(space.k());
-        let hi = BucketCoord::from(
-            space
-                .dims()
-                .iter()
-                .map(|&d| d - 1)
-                .collect::<Vec<u32>>(),
-        );
+        let hi = BucketCoord::from(space.dims().iter().map(|&d| d - 1).collect::<Vec<u32>>());
         BucketRegion { lo, hi }
     }
 
@@ -218,7 +212,10 @@ mod tests {
         let g = grid();
         let r = BucketRegion::point(&g, [4, 4].into()).unwrap();
         assert_eq!(r.num_buckets(), 1);
-        assert_eq!(r.iter().collect::<Vec<_>>(), vec![BucketCoord::from([4, 4])]);
+        assert_eq!(
+            r.iter().collect::<Vec<_>>(),
+            vec![BucketCoord::from([4, 4])]
+        );
     }
 
     #[test]
@@ -288,12 +285,8 @@ mod proptests {
             let g = GridSpace::new_2d(side, side).unwrap();
             (0..=(side - a), 0..=(side - b)).prop_map(move |(x, y)| {
                 let g2 = g.clone();
-                let r = BucketRegion::new(
-                    &g2,
-                    [x, y].into(),
-                    [x + a - 1, y + b - 1].into(),
-                )
-                .unwrap();
+                let r =
+                    BucketRegion::new(&g2, [x, y].into(), [x + a - 1, y + b - 1].into()).unwrap();
                 (g2, r)
             })
         })

@@ -24,10 +24,7 @@ impl GridSchema {
     /// # Errors
     /// [`GridError::ArityMismatch`] if the two lists differ in length, plus
     /// any [`GridSpace`] construction error.
-    pub fn new(
-        attributes: Vec<AttributeDomain>,
-        partitionings: Vec<Partitioning>,
-    ) -> Result<Self> {
+    pub fn new(attributes: Vec<AttributeDomain>, partitionings: Vec<Partitioning>) -> Result<Self> {
         if attributes.len() != partitionings.len() {
             return Err(GridError::ArityMismatch {
                 expected: attributes.len(),
@@ -128,15 +125,18 @@ impl GridSchema {
         for (i, interval) in query.intervals().iter().enumerate() {
             match interval {
                 Some((a, b)) => {
-                    let (pa, pb) = self.partitionings[i]
-                        .partitions_of_range(a, b)
-                        .map_err(|e| match e {
-                            GridError::TypeMismatch { .. } => {
-                                GridError::TypeMismatch { attribute: i }
-                            }
-                            GridError::InvertedRange { .. } => GridError::InvertedRange { dim: i },
-                            other => other,
-                        })?;
+                    let (pa, pb) =
+                        self.partitionings[i]
+                            .partitions_of_range(a, b)
+                            .map_err(|e| match e {
+                                GridError::TypeMismatch { .. } => {
+                                    GridError::TypeMismatch { attribute: i }
+                                }
+                                GridError::InvertedRange { .. } => {
+                                    GridError::InvertedRange { dim: i }
+                                }
+                                other => other,
+                            })?;
                     lo.push(pa);
                     hi.push(pb);
                 }
@@ -177,11 +177,7 @@ mod tests {
 
     #[test]
     fn mismatched_lists_rejected() {
-        let err = GridSchema::new(
-            vec![AttributeDomain::int("a", 0, 9)],
-            vec![],
-        )
-        .unwrap_err();
+        let err = GridSchema::new(vec![AttributeDomain::int("a", 0, 9)], vec![]).unwrap_err();
         assert!(matches!(err, GridError::ArityMismatch { .. }));
     }
 
@@ -217,11 +213,7 @@ mod tests {
     fn value_query_region() {
         let s = schema();
         // age in [0, 49] -> partitions 0..=1; salary unconstrained.
-        let q = ValueRangeQuery::new(vec![
-            Some((Value::Int(0), Value::Int(49))),
-            None,
-        ])
-        .unwrap();
+        let q = ValueRangeQuery::new(vec![Some((Value::Int(0), Value::Int(49))), None]).unwrap();
         let r = s.region_of(&q).unwrap();
         assert_eq!(r.lo(), &BucketCoord::from([0, 0]));
         assert_eq!(r.hi(), &BucketCoord::from([1, 3]));
@@ -236,20 +228,14 @@ mod tests {
             s.region_of(&wrong_arity).unwrap_err(),
             GridError::ArityMismatch { .. }
         ));
-        let inverted = ValueRangeQuery::new(vec![
-            Some((Value::Int(50), Value::Int(10))),
-            None,
-        ])
-        .unwrap();
+        let inverted =
+            ValueRangeQuery::new(vec![Some((Value::Int(50), Value::Int(10))), None]).unwrap();
         assert!(matches!(
             s.region_of(&inverted).unwrap_err(),
             GridError::InvertedRange { dim: 0 }
         ));
-        let bad_type = ValueRangeQuery::new(vec![
-            Some((Value::from("a"), Value::from("b"))),
-            None,
-        ])
-        .unwrap();
+        let bad_type =
+            ValueRangeQuery::new(vec![Some((Value::from("a"), Value::from("b"))), None]).unwrap();
         assert!(matches!(
             s.region_of(&bad_type).unwrap_err(),
             GridError::TypeMismatch { attribute: 0 }
@@ -259,7 +245,10 @@ mod tests {
     #[test]
     fn string_attribute_with_explicit_cuts() {
         let s = GridSchema::new(
-            vec![AttributeDomain::str("name"), AttributeDomain::int("age", 0, 99)],
+            vec![
+                AttributeDomain::str("name"),
+                AttributeDomain::int("age", 0, 99),
+            ],
             vec![
                 Partitioning::from_cuts(vec![Value::from("h"), Value::from("p")]).unwrap(),
                 Partitioning::uniform_int(0, 99, 2).unwrap(),

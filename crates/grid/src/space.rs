@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_zero_dims() {
-        assert_eq!(GridSpace::new(Vec::new()).unwrap_err(), GridError::EmptyGrid);
+        assert_eq!(
+            GridSpace::new(Vec::new()).unwrap_err(),
+            GridError::EmptyGrid
+        );
         assert_eq!(
             GridSpace::new(vec![4, 0, 2]).unwrap_err(),
             GridError::ZeroPartitions { dim: 1 }
@@ -267,7 +270,10 @@ mod tests {
         );
         assert_eq!(
             g.linearize(&BucketCoord::from([0])).unwrap_err(),
-            GridError::DimensionMismatch { expected: 2, got: 1 }
+            GridError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
         );
     }
 
@@ -324,8 +330,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn small_grid() -> impl Strategy<Value = GridSpace> {
-        proptest::collection::vec(1u32..6, 1..4)
-            .prop_map(|dims| GridSpace::new(dims).unwrap())
+        proptest::collection::vec(1u32..6, 1..4).prop_map(|dims| GridSpace::new(dims).unwrap())
     }
 
     proptest! {

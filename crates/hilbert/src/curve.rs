@@ -90,7 +90,11 @@ impl HilbertCurve {
                 got: coords.len(),
             });
         }
-        let limit = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+        let limit = if self.bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
         for (dim, &c) in coords.iter().enumerate() {
             if c > limit {
                 return Err(HilbertError::CoordTooLarge {
@@ -258,7 +262,10 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert_eq!(HilbertCurve::new(0, 4).unwrap_err(), HilbertError::ZeroDimensions);
+        assert_eq!(
+            HilbertCurve::new(0, 4).unwrap_err(),
+            HilbertError::ZeroDimensions
+        );
         assert_eq!(HilbertCurve::new(2, 0).unwrap_err(), HilbertError::ZeroBits);
         assert!(matches!(
             HilbertCurve::new(5, 32).unwrap_err(),
@@ -368,7 +375,11 @@ mod tests {
         ));
         assert!(matches!(
             c.encode(&[8, 0]).unwrap_err(),
-            HilbertError::CoordTooLarge { dim: 0, coord: 8, bits: 3 }
+            HilbertError::CoordTooLarge {
+                dim: 0,
+                coord: 8,
+                bits: 3
+            }
         ));
         assert_eq!(c.decode(64).unwrap_err(), HilbertError::RankOutOfRange);
     }

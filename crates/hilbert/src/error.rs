@@ -40,13 +40,19 @@ impl fmt::Display for HilbertError {
             HilbertError::ZeroDimensions => write!(f, "curve must have at least one dimension"),
             HilbertError::ZeroBits => write!(f, "curve must have at least one bit per dimension"),
             HilbertError::RankOverflow { dims, bits } => {
-                write!(f, "curve with {dims} dims x {bits} bits exceeds 128-bit ranks")
+                write!(
+                    f,
+                    "curve with {dims} dims x {bits} bits exceeds 128-bit ranks"
+                )
             }
             HilbertError::DimensionMismatch { expected, got } => {
                 write!(f, "expected {expected} coordinates, got {got}")
             }
             HilbertError::CoordTooLarge { dim, coord, bits } => {
-                write!(f, "coordinate {coord} on dimension {dim} exceeds {bits}-bit resolution")
+                write!(
+                    f,
+                    "coordinate {coord} on dimension {dim} exceeds {bits}-bit resolution"
+                )
             }
             HilbertError::RankOutOfRange => write!(f, "rank outside the curve"),
         }
@@ -63,7 +69,11 @@ mod tests {
     fn displays_mention_the_problem() {
         assert!(HilbertError::ZeroBits.to_string().contains("bit"));
         assert!(HilbertError::RankOutOfRange.to_string().contains("rank"));
-        let e = HilbertError::CoordTooLarge { dim: 2, coord: 9, bits: 3 };
+        let e = HilbertError::CoordTooLarge {
+            dim: 2,
+            coord: 9,
+            bits: 3,
+        };
         assert!(e.to_string().contains("dimension 2"));
     }
 }

@@ -33,7 +33,10 @@ mod tests {
     #[test]
     fn first_eight_codes() {
         let codes: Vec<u128> = (0..8).map(gray_encode).collect();
-        assert_eq!(codes, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+        assert_eq!(
+            codes,
+            vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl MortonOrder {
             return Err(HilbertError::ZeroBits);
         }
         let max = *sides.iter().max().expect("non-empty");
-        let bits = if max <= 1 { 1 } else { 32 - (max - 1).leading_zeros() };
+        let bits = if max <= 1 {
+            1
+        } else {
+            32 - (max - 1).leading_zeros()
+        };
         MortonOrder::new(sides.len(), bits.max(1))
     }
 
@@ -80,7 +84,11 @@ impl MortonOrder {
                 got: coords.len(),
             });
         }
-        let limit = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+        let limit = if self.bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
         let mut rank: u128 = 0;
         for (dim, &c) in coords.iter().enumerate() {
             if c > limit {
@@ -156,7 +164,11 @@ impl GrayOrder {
                 got: coords.len(),
             });
         }
-        let limit = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+        let limit = if self.bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
         let mut word: u128 = 0;
         for (dim, &c) in coords.iter().enumerate() {
             if c > limit {

@@ -103,11 +103,7 @@ impl IoSimulator {
 
     /// Aggregate throughput view: total pages read divided by response
     /// time, in pages per second. Zero for an empty region plan.
-    pub fn query_throughput_pages_per_s(
-        &self,
-        dir: &GridDirectory,
-        region: &BucketRegion,
-    ) -> f64 {
+    pub fn query_throughput_pages_per_s(&self, dir: &GridDirectory, region: &BucketRegion) -> f64 {
         let ms = self.query_response_ms(dir, region);
         if ms <= 0.0 {
             return 0.0;
@@ -185,9 +181,7 @@ mod tests {
         // The ms model must preserve the paper's ordering: spreading a
         // query over both disks beats stacking it on one.
         let space = GridSpace::new_2d(4, 4).unwrap();
-        let spread = GridDirectory::build(space.clone(), 2, |b| {
-            DiskId((b.coord_sum() % 2) as u32)
-        });
+        let spread = GridDirectory::build(space.clone(), 2, |b| DiskId((b.coord_sum() % 2) as u32));
         let stacked = GridDirectory::build(space.clone(), 2, |b| {
             DiskId(u32::from(b.as_slice()[0] >= 2))
         });
@@ -198,9 +192,6 @@ mod tests {
         )
         .unwrap();
         let sim = IoSimulator::default();
-        assert!(
-            sim.query_response_ms(&spread, &region)
-                < sim.query_response_ms(&stacked, &region)
-        );
+        assert!(sim.query_response_ms(&spread, &region) < sim.query_response_ms(&stacked, &region));
     }
 }

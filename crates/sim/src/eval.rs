@@ -1,0 +1,148 @@
+use crate::{optimal_response_time, Summary};
+use decluster_grid::{BucketRegion, GridSpace};
+use decluster_methods::{AllocationMap, DeclusteringMethod, DiskCounts, MethodRegistry};
+
+/// The methods under evaluation at one sweep point, materialized once.
+///
+/// For each method the context holds its [`AllocationMap`] and, where the
+/// grid admits one, the [`DiskCounts`] prefix-sum kernel, so scoring a
+/// query population costs `O(M · 2^k)` per query instead of `O(|Q|)`.
+/// Methods whose kernel cannot be built (the `buckets × disks` table
+/// would not fit in memory) transparently fall back to the naive
+/// per-bucket walk — results are identical either way, only the cost
+/// differs.
+///
+/// A context is immutable after construction and `Sync`, so one context
+/// can be shared by every worker thread of a sweep.
+#[derive(Clone, Debug)]
+pub struct EvalContext {
+    m: u32,
+    maps: Vec<AllocationMap>,
+    kernels: Vec<Option<DiskCounts>>,
+}
+
+impl EvalContext {
+    /// Materializes the registry's method set over `space` with `m`
+    /// disks (paper methods, plus baselines when `baselines` is set),
+    /// building the RT kernel for each.
+    pub fn materialize(
+        registry: &MethodRegistry,
+        space: &GridSpace,
+        m: u32,
+        baselines: bool,
+    ) -> Self {
+        let methods = if baselines {
+            registry.with_baselines(space, m)
+        } else {
+            registry.paper_methods(space, m)
+        };
+        let maps = methods
+            .iter()
+            .map(|method| {
+                AllocationMap::from_method(space, method.as_ref())
+                    .expect("experiment grids are materializable")
+            })
+            .collect();
+        Self::from_maps(m, maps)
+    }
+
+    /// Wraps already-materialized allocations, building each kernel.
+    pub fn from_maps(m: u32, maps: Vec<AllocationMap>) -> Self {
+        let kernels = maps.iter().map(|map| map.disk_counts().ok()).collect();
+        EvalContext { m, maps, kernels }
+    }
+
+    /// The disk count every method in the context uses.
+    pub fn num_disks(&self) -> u32 {
+        self.m
+    }
+
+    /// The materialized allocations, in registry order.
+    pub fn maps(&self) -> &[AllocationMap] {
+        &self.maps
+    }
+
+    /// Method display names, in registry order.
+    pub fn names(&self) -> Vec<&str> {
+        self.maps.iter().map(|m| m.name()).collect()
+    }
+
+    /// How many methods have a working kernel (the rest use the naive
+    /// walk).
+    pub fn kernel_coverage(&self) -> usize {
+        self.kernels.iter().flatten().count()
+    }
+
+    /// Response time of `region` under method `idx`, through the kernel
+    /// when one exists.
+    pub fn response_time(&self, idx: usize, region: &BucketRegion) -> u64 {
+        match &self.kernels[idx] {
+            Some(kernel) => kernel.response_time(region),
+            None => self.maps[idx].response_time(region),
+        }
+    }
+
+    /// Scores every method against a query population: per-method
+    /// response-time summaries plus the mean optimal bound
+    /// `ceil(|Q|/M)`.
+    pub fn score(&self, regions: &[BucketRegion]) -> (Vec<Summary>, f64) {
+        let mut summaries = Vec::with_capacity(self.maps.len());
+        let mut rts = vec![0u64; regions.len()];
+        for idx in 0..self.maps.len() {
+            for (slot, region) in rts.iter_mut().zip(regions) {
+                *slot = self.response_time(idx, region);
+            }
+            summaries.push(Summary::of_counts(&rts));
+        }
+        let opt_mean = if regions.is_empty() {
+            0.0
+        } else {
+            regions
+                .iter()
+                .map(|r| optimal_response_time(r.num_buckets(), self.m) as f64)
+                .sum::<f64>()
+                / regions.len() as f64
+        };
+        (summaries, opt_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_grid::RangeQuery;
+
+    fn context() -> EvalContext {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        EvalContext::materialize(&MethodRegistry::with_seed(1), &g, 4, false)
+    }
+
+    #[test]
+    fn kernel_and_naive_agree_inside_a_context() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ctx = context();
+        assert_eq!(ctx.kernel_coverage(), ctx.maps().len());
+        for (lo, hi) in [([0, 0], [3, 3]), ([2, 5], [7, 7]), ([1, 1], [1, 1])] {
+            let r = RangeQuery::new(lo, hi).unwrap().region(&g).unwrap();
+            for (idx, map) in ctx.maps().iter().enumerate() {
+                assert_eq!(ctx.response_time(idx, &r), map.response_time(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn score_reports_every_method_and_the_bound() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ctx = context();
+        let r = RangeQuery::new([0, 0], [3, 3]).unwrap().region(&g).unwrap();
+        let (summaries, opt) = ctx.score(&[r]);
+        assert_eq!(summaries.len(), ctx.maps().len());
+        assert_eq!(opt, 4.0); // 16 buckets / 4 disks
+        for s in &summaries {
+            assert!(s.mean >= opt);
+        }
+        let (empty, opt0) = ctx.score(&[]);
+        assert_eq!(empty.len(), ctx.maps().len());
+        assert_eq!(opt0, 0.0);
+    }
+}

@@ -1,9 +1,11 @@
+use crate::eval::EvalContext;
+use crate::exec::{derive_point_seed, run_indexed};
 use crate::workload::{
     partial_match_with_unspecified, random_region, rect_sides_for_area, ShapeSweep, SizeSweep,
 };
-use crate::{optimal_response_time, Result, SimError, Summary};
+use crate::{Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
-use decluster_methods::{AllocationMap, DeclusteringMethod, MethodRegistry};
+use decluster_methods::MethodRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -76,9 +78,30 @@ pub struct DbSizePoint {
     pub query_side: u32,
 }
 
+/// One evaluated sweep point: the x-value plus each method's summary and
+/// the mean optimal bound. Sweep points are independent — each is scored
+/// from its own derived RNG stream — which is what lets the executor fan
+/// them out over threads without changing any number.
+struct PointScore {
+    x: f64,
+    names: Vec<String>,
+    summaries: Vec<Summary>,
+    optimal: f64,
+}
+
 /// The experiment harness: a grid, a disk count, a query budget per data
 /// point, and a seed. Each `run_*` method regenerates one of the paper's
 /// figures as a [`SweepResult`].
+///
+/// # Evaluation engine
+///
+/// Every sweep materializes its methods once into an [`EvalContext`]
+/// (per sweep when the grid and `M` are fixed, per point when they
+/// vary), scoring queries through the `O(M · 2^k)` prefix-sum kernel
+/// with a naive-walk fallback. Points are evaluated by a deterministic
+/// parallel executor: each point draws from an RNG seeded by
+/// `(seed, point index)`, so results are bit-identical for any thread
+/// count, including one.
 #[derive(Clone, Debug)]
 pub struct Experiment {
     space: GridSpace,
@@ -86,11 +109,12 @@ pub struct Experiment {
     queries_per_point: usize,
     seed: u64,
     include_baselines: bool,
+    threads: usize,
 }
 
 impl Experiment {
     /// An experiment on `space` with `m` disks, 1000 queries per point,
-    /// seed 1994, paper methods only.
+    /// seed 1994, paper methods only, single-threaded.
     pub fn new(space: GridSpace, m: u32) -> Self {
         Experiment {
             space,
@@ -98,6 +122,7 @@ impl Experiment {
             queries_per_point: 1000,
             seed: 1994,
             include_baselines: false,
+            threads: 1,
         }
     }
 
@@ -119,6 +144,13 @@ impl Experiment {
         self
     }
 
+    /// Sets how many worker threads evaluate sweep points; `0` means one
+    /// per available CPU. Results do not depend on this setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The grid under study.
     pub fn space(&self) -> &GridSpace {
         &self.space
@@ -129,65 +161,76 @@ impl Experiment {
         self.m
     }
 
-    fn maps_for(&self, space: &GridSpace, m: u32) -> Vec<AllocationMap> {
-        let registry = MethodRegistry::with_seed(self.seed);
-        let methods = if self.include_baselines {
-            registry.with_baselines(space, m)
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
         } else {
-            registry.paper_methods(space, m)
-        };
-        methods
-            .iter()
-            .map(|method| {
-                AllocationMap::from_method(space, method.as_ref())
-                    .expect("experiment grids are materializable")
-            })
-            .collect()
-    }
-
-    /// Scores `maps` against `regions`, returning per-map summaries plus
-    /// the mean optimal bound.
-    fn score(
-        maps: &[AllocationMap],
-        regions: &[BucketRegion],
-        m: u32,
-    ) -> (Vec<Summary>, f64) {
-        let mut summaries = Vec::with_capacity(maps.len());
-        for map in maps {
-            let rts: Vec<u64> = regions.iter().map(|r| map.response_time(r)).collect();
-            summaries.push(Summary::of_counts(&rts));
+            self.threads
         }
-        let opt_mean = if regions.is_empty() {
-            0.0
-        } else {
-            regions
-                .iter()
-                .map(|r| optimal_response_time(r.num_buckets(), m) as f64)
-                .sum::<f64>()
-                / regions.len() as f64
-        };
-        (summaries, opt_mean)
     }
 
-    /// Merges one x-point's scores into the named series, padding series
-    /// that were absent at this point with NaN.
-    fn merge_point(
-        series: &mut Vec<MethodSeries>,
-        names: &[&str],
-        summaries: Vec<Summary>,
-        point: usize,
-        total_points: usize,
-    ) {
-        for (name, summary) in names.iter().zip(summaries) {
-            let entry = match series.iter_mut().find(|s| s.name == *name) {
-                Some(e) => e,
-                None => {
-                    series.push(MethodSeries::new((*name).to_owned(), total_points));
-                    series.last_mut().expect("just pushed")
-                }
-            };
-            entry.means[point] = summary.mean;
-            entry.summaries[point] = summary;
+    /// Materializes the method set (and RT kernels) for one grid and
+    /// disk count.
+    fn context_for(&self, space: &GridSpace, m: u32) -> EvalContext {
+        let registry = MethodRegistry::with_seed(self.seed);
+        EvalContext::materialize(&registry, space, m, self.include_baselines)
+    }
+
+    /// Evaluates `total` sweep points through the parallel executor,
+    /// handing each point an RNG derived from `(seed, index)`.
+    fn run_points<F>(&self, total: usize, eval: F) -> Result<Vec<PointScore>>
+    where
+        F: Fn(usize, &mut StdRng) -> Result<PointScore> + Sync,
+    {
+        run_indexed(self.effective_threads(), total, |i| {
+            let mut rng = StdRng::seed_from_u64(derive_point_seed(self.seed, i as u64));
+            eval(i, &mut rng)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Assembles evaluated points into a [`SweepResult`], padding series
+    /// that were absent at some points with NaN.
+    fn assemble(title: String, xlabel: String, points: Vec<PointScore>) -> SweepResult {
+        let total = points.len();
+        let mut xs = Vec::with_capacity(total);
+        let mut optimal = Vec::with_capacity(total);
+        let mut series: Vec<MethodSeries> = Vec::new();
+        for (i, point) in points.into_iter().enumerate() {
+            xs.push(point.x);
+            optimal.push(point.optimal);
+            for (name, summary) in point.names.into_iter().zip(point.summaries) {
+                let entry = match series.iter_mut().find(|s| s.name == name) {
+                    Some(e) => e,
+                    None => {
+                        series.push(MethodSeries::new(name, total));
+                        series.last_mut().expect("just pushed")
+                    }
+                };
+                entry.means[i] = summary.mean;
+                entry.summaries[i] = summary;
+            }
+        }
+        SweepResult {
+            title,
+            xlabel,
+            xs,
+            optimal,
+            series,
+        }
+    }
+
+    /// Scores one point's query population against a context.
+    fn score_point(ctx: &EvalContext, x: f64, regions: &[BucketRegion]) -> PointScore {
+        let (summaries, optimal) = ctx.score(regions);
+        PointScore {
+            x,
+            names: ctx.names().into_iter().map(str::to_owned).collect(),
+            summaries,
+            optimal,
         }
     }
 
@@ -203,39 +246,36 @@ impl Experiment {
         if sweep.areas().is_empty() {
             return Err(SimError::EmptySweep);
         }
-        let maps = self.maps_for(&self.space, self.m);
-        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut xs = Vec::new();
-        let mut optimal = Vec::new();
-        let mut series: Vec<MethodSeries> = Vec::new();
-        let total = sweep.areas().len();
-        for (i, &area) in sweep.areas().iter().enumerate() {
-            let sides = rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
-                SimError::QueryDoesNotFit {
-                    extents: vec![area as u32],
-                    dims: self.space.dims().to_vec(),
-                }
-            })?;
+        // Resolve every area's rectangle up front so shape errors surface
+        // before any evaluation starts.
+        let sides: Vec<Vec<u32>> = sweep
+            .areas()
+            .iter()
+            .map(|&area| {
+                rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
+                    SimError::QueryDoesNotFit {
+                        extents: vec![area as u32],
+                        dims: self.space.dims().to_vec(),
+                    }
+                })
+            })
+            .collect::<Result<_>>()?;
+        let ctx = self.context_for(&self.space, self.m);
+        let points = self.run_points(sweep.areas().len(), |i, rng| {
             let regions: Vec<BucketRegion> = (0..self.queries_per_point)
-                .map(|_| random_region(&mut rng, &self.space, &sides))
+                .map(|_| random_region(rng, &self.space, &sides[i]))
                 .collect::<Result<_>>()?;
-            let (summaries, opt) = Self::score(&maps, &regions, self.m);
-            xs.push(area as f64);
-            optimal.push(opt);
-            Self::merge_point(&mut series, &names, summaries, i, total);
-        }
-        Ok(SweepResult {
-            title: format!(
+            Ok(Self::score_point(&ctx, sweep.areas()[i] as f64, &regions))
+        })?;
+        Ok(Self::assemble(
+            format!(
                 "Query-size sweep: mean response time vs query area (grid {:?}, M={})",
                 self.space.dims(),
                 self.m
             ),
-            xlabel: "query area (buckets)".into(),
-            xs,
-            optimal,
-            series,
-        })
+            "query area (buckets)".into(),
+            points,
+        ))
     }
 
     /// **Experiment 2 (query shape).** Fixed-area queries swept from a
@@ -249,37 +289,26 @@ impl Experiment {
         if sweep.powers().is_empty() {
             return Err(SimError::EmptySweep);
         }
-        let maps = self.maps_for(&self.space, self.m);
-        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut xs = Vec::new();
-        let mut optimal = Vec::new();
-        let mut series: Vec<MethodSeries> = Vec::new();
-        let total = sweep.powers().len();
-        for (i, &p) in sweep.powers().iter().enumerate() {
-            let (a, b) =
-                ShapeSweep::sides_for(sweep.area(), p).expect("sweep admitted this power");
+        let ctx = self.context_for(&self.space, self.m);
+        let points = self.run_points(sweep.powers().len(), |i, rng| {
+            let p = sweep.powers()[i];
+            let (a, b) = ShapeSweep::sides_for(sweep.area(), p).expect("sweep admitted this power");
             let sides = vec![a, b];
             let regions: Vec<BucketRegion> = (0..self.queries_per_point)
-                .map(|_| random_region(&mut rng, &self.space, &sides))
+                .map(|_| random_region(rng, &self.space, &sides))
                 .collect::<Result<_>>()?;
-            let (summaries, opt) = Self::score(&maps, &regions, self.m);
-            xs.push(f64::from(1u32 << p));
-            optimal.push(opt);
-            Self::merge_point(&mut series, &names, summaries, i, total);
-        }
-        Ok(SweepResult {
-            title: format!(
+            Ok(Self::score_point(&ctx, f64::from(1u32 << p), &regions))
+        })?;
+        Ok(Self::assemble(
+            format!(
                 "Shape sweep: mean response time vs aspect ratio 1:x at area {} (grid {:?}, M={})",
                 sweep.area(),
                 self.space.dims(),
                 self.m
             ),
-            xlabel: "aspect ratio 1:x".into(),
-            xs,
-            optimal,
-            series,
-        })
+            "aspect ratio 1:x".into(),
+            points,
+        ))
     }
 
     /// **Figure 5 sweep (number of disks).** Fixed query area, `M` swept.
@@ -297,34 +326,26 @@ impl Experiment {
                 dims: self.space.dims().to_vec(),
             }
         })?;
+        // One shared query population, generated before the fan-out, so
+        // every M sees identical queries.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        // One shared query population so every M sees identical queries.
         let regions: Vec<BucketRegion> = (0..self.queries_per_point)
             .map(|_| random_region(&mut rng, &self.space, &sides))
             .collect::<Result<_>>()?;
-        let mut xs = Vec::new();
-        let mut optimal = Vec::new();
-        let mut series: Vec<MethodSeries> = Vec::new();
-        let total = disk_counts.len();
-        for (i, &m) in disk_counts.iter().enumerate() {
-            let maps = self.maps_for(&self.space, m);
-            let names: Vec<&str> = maps.iter().map(|mm| mm.name()).collect();
-            let (summaries, opt) = Self::score(&maps, &regions, m);
-            xs.push(f64::from(m));
-            optimal.push(opt);
-            Self::merge_point(&mut series, &names, summaries, i, total);
-        }
-        Ok(SweepResult {
-            title: format!(
+        let points = self.run_points(disk_counts.len(), |i, _rng| {
+            let m = disk_counts[i];
+            let ctx = self.context_for(&self.space, m);
+            Ok(Self::score_point(&ctx, f64::from(m), &regions))
+        })?;
+        Ok(Self::assemble(
+            format!(
                 "Disk sweep: response time vs M at query area {} (grid {:?})",
                 area,
                 self.space.dims()
             ),
-            xlabel: "number of disks M".into(),
-            xs,
-            optimal,
-            series,
-        })
+            "number of disks M".into(),
+            points,
+        ))
     }
 
     /// **Experiment 6 (database size).** Square grids of growing side;
@@ -338,31 +359,24 @@ impl Experiment {
             return Err(SimError::EmptySweep);
         }
         let k = self.space.k();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut xs = Vec::new();
-        let mut optimal = Vec::new();
-        let mut series: Vec<MethodSeries> = Vec::new();
-        let total = points.len();
-        for (i, pt) in points.iter().enumerate() {
+        let scored = self.run_points(points.len(), |i, rng| {
+            let pt = &points[i];
             let space = GridSpace::new(vec![pt.side; k])?;
-            let maps = self.maps_for(&space, self.m);
-            let names: Vec<&str> = maps.iter().map(|mm| mm.name()).collect();
+            let ctx = self.context_for(&space, self.m);
             let sides = vec![pt.query_side.min(pt.side).max(1); k];
             let regions: Vec<BucketRegion> = (0..self.queries_per_point)
-                .map(|_| random_region(&mut rng, &space, &sides))
+                .map(|_| random_region(rng, &space, &sides))
                 .collect::<Result<_>>()?;
-            let (summaries, opt) = Self::score(&maps, &regions, self.m);
-            xs.push(f64::from(pt.side));
-            optimal.push(opt);
-            Self::merge_point(&mut series, &names, summaries, i, total);
-        }
-        Ok(SweepResult {
-            title: format!("Database-size sweep: mean response time vs grid side (M={})", self.m),
-            xlabel: "grid side (partitions per attribute)".into(),
-            xs,
-            optimal,
-            series,
-        })
+            Ok(Self::score_point(&ctx, f64::from(pt.side), &regions))
+        })?;
+        Ok(Self::assemble(
+            format!(
+                "Database-size sweep: mean response time vs grid side (M={})",
+                self.m
+            ),
+            "grid side (partitions per attribute)".into(),
+            scored,
+        ))
     }
 
     /// **Mixed workload (extension).** One data point per workload mix:
@@ -371,38 +385,24 @@ impl Experiment {
     ///
     /// # Errors
     /// [`SimError::EmptySweep`] for no mixes; generation errors.
-    pub fn run_mix(
-        &self,
-        mixes: &[crate::workload::WorkloadMix],
-    ) -> Result<SweepResult> {
+    pub fn run_mix(&self, mixes: &[crate::workload::WorkloadMix]) -> Result<SweepResult> {
         if mixes.is_empty() {
             return Err(SimError::EmptySweep);
         }
-        let maps = self.maps_for(&self.space, self.m);
-        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut xs = Vec::new();
-        let mut optimal = Vec::new();
-        let mut series: Vec<MethodSeries> = Vec::new();
-        let total = mixes.len();
-        for (i, mix) in mixes.iter().enumerate() {
-            let regions = mix.generate(&mut rng, &self.space, self.queries_per_point)?;
-            let (summaries, opt) = Self::score(&maps, &regions, self.m);
-            xs.push(i as f64);
-            optimal.push(opt);
-            Self::merge_point(&mut series, &names, summaries, i, total);
-        }
-        Ok(SweepResult {
-            title: format!(
+        let ctx = self.context_for(&self.space, self.m);
+        let points = self.run_points(mixes.len(), |i, rng| {
+            let regions = mixes[i].generate(rng, &self.space, self.queries_per_point)?;
+            Ok(Self::score_point(&ctx, i as f64, &regions))
+        })?;
+        Ok(Self::assemble(
+            format!(
                 "Mixed-workload sweep: mean response time per mix (grid {:?}, M={})",
                 self.space.dims(),
                 self.m
             ),
-            xlabel: "workload mix index".into(),
-            xs,
-            optimal,
-            series,
-        })
+            "workload mix index".into(),
+            points,
+        ))
     }
 
     /// **Partial-match table.** Mean RT per method for partial-match
@@ -412,37 +412,26 @@ impl Experiment {
     /// # Errors
     /// Construction errors as above.
     pub fn run_partial_match(&self) -> Result<SweepResult> {
-        let maps = self.maps_for(&self.space, self.m);
-        let names: Vec<&str> = maps.iter().map(|m| m.name()).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ctx = self.context_for(&self.space, self.m);
         let k = self.space.k();
-        let mut xs = Vec::new();
-        let mut optimal = Vec::new();
-        let mut series: Vec<MethodSeries> = Vec::new();
-        let total = k; // unspecified = 0..k-1
-        for (i, unspec) in (0..k).enumerate() {
+        let points = self.run_points(k, |unspec, rng| {
             let queries =
-                partial_match_with_unspecified(&mut rng, &self.space, unspec, self.queries_per_point);
+                partial_match_with_unspecified(rng, &self.space, unspec, self.queries_per_point);
             let regions: Vec<BucketRegion> = queries
                 .iter()
                 .map(|q| q.region(&self.space).map_err(SimError::from))
                 .collect::<Result<_>>()?;
-            let (summaries, opt) = Self::score(&maps, &regions, self.m);
-            xs.push(unspec as f64);
-            optimal.push(opt);
-            Self::merge_point(&mut series, &names, summaries, i, total);
-        }
-        Ok(SweepResult {
-            title: format!(
+            Ok(Self::score_point(&ctx, unspec as f64, &regions))
+        })?;
+        Ok(Self::assemble(
+            format!(
                 "Partial-match sweep: mean response time vs unspecified attributes (grid {:?}, M={})",
                 self.space.dims(),
                 self.m
             ),
-            xlabel: "unspecified attributes".into(),
-            xs,
-            optimal,
-            series,
-        })
+            "unspecified attributes".into(),
+            points,
+        ))
     }
 }
 
@@ -489,9 +478,33 @@ mod tests {
         }
     }
 
+    /// The determinism contract of the parallel executor: any thread
+    /// count yields byte-identical sweeps.
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sweep = SizeSweep::explicit(vec![1, 4, 16, 64]);
+        let sequential = experiment().with_threads(1).run_size_sweep(&sweep).unwrap();
+        for threads in [2, 4, 0] {
+            let parallel = experiment()
+                .with_threads(threads)
+                .run_size_sweep(&sweep)
+                .unwrap();
+            assert_eq!(sequential.xs, parallel.xs);
+            assert_eq!(sequential.optimal, parallel.optimal);
+            assert_eq!(sequential.series.len(), parallel.series.len());
+            for (sa, sb) in sequential.series.iter().zip(&parallel.series) {
+                assert_eq!(sa.name, sb.name);
+                assert_eq!(sa.means, sb.means);
+                assert_eq!(sa.summaries, sb.summaries);
+            }
+        }
+    }
+
     #[test]
     fn shape_sweep_runs_square_to_line() {
-        let r = experiment().run_shape_sweep(&ShapeSweep::new(16, 8)).unwrap();
+        let r = experiment()
+            .run_shape_sweep(&ShapeSweep::new(16, 8))
+            .unwrap();
         // 16 = 4^2: powers 0 (4x4), 2 (2x8), 4 (1x16).
         assert_eq!(r.xs, vec![1.0, 4.0, 16.0]);
         // Optimal is flat (area fixed): ceil(16/8) = 2.
@@ -514,8 +527,14 @@ mod tests {
     #[test]
     fn dbsize_sweep_runs_multiple_grids() {
         let pts = vec![
-            DbSizePoint { side: 8, query_side: 2 },
-            DbSizePoint { side: 16, query_side: 4 },
+            DbSizePoint {
+                side: 8,
+                query_side: 2,
+            },
+            DbSizePoint {
+                side: 16,
+                query_side: 4,
+            },
         ];
         let r = experiment().run_dbsize_sweep(&pts).unwrap();
         assert_eq!(r.xs, vec![8.0, 16.0]);
@@ -577,7 +596,9 @@ mod tests {
             SimError::EmptySweep
         ));
         assert!(matches!(
-            experiment().run_size_sweep(&SizeSweep::explicit(vec![])).unwrap_err(),
+            experiment()
+                .run_size_sweep(&SizeSweep::explicit(vec![]))
+                .unwrap_err(),
             SimError::EmptySweep
         ));
     }

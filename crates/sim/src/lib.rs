@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 
 mod disk;
+mod eval;
+mod exec;
 mod experiment;
 mod multiuser;
 mod report;
@@ -46,10 +48,13 @@ mod stats;
 pub mod workload;
 
 pub use disk::{DiskParams, IoSimulator};
+pub use eval::EvalContext;
 pub use experiment::{DbSizePoint, Experiment, MethodSeries, SweepResult};
-pub use multiuser::{load_sweep, poisson_arrivals, run_closed_loop, run_open_loop, LoadPoint, MultiUserReport};
+pub use multiuser::{
+    load_sweep, poisson_arrivals, run_closed_loop, run_open_loop, LoadPoint, MultiUserReport,
+};
 pub use report::{render_csv, render_table, render_table_with_ci};
-pub use rt::{deviation_from_optimal, optimal_response_time, response_time};
+pub use rt::{deviation_from_optimal, optimal_response_time, response_time, response_time_batched};
 pub use stats::Summary;
 
 /// Errors from the simulator: configuration problems surface as the

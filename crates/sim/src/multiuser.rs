@@ -55,9 +55,8 @@ pub fn run_closed_loop(
     let mut makespan: f64 = 0.0;
 
     // Heap of client-ready times (min-heap via Reverse of ordered bits).
-    let mut ready: BinaryHeap<Reverse<OrderedF64>> = (0..clients)
-        .map(|_| Reverse(OrderedF64(0.0)))
-        .collect();
+    let mut ready: BinaryHeap<Reverse<OrderedF64>> =
+        (0..clients).map(|_| Reverse(OrderedF64(0.0))).collect();
 
     for region in queries {
         let Reverse(OrderedF64(issue_at)) = ready.pop().expect("clients > 0");
@@ -231,7 +230,8 @@ impl Eq for OrderedF64 {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("simulation times are finite")
+        self.partial_cmp(other)
+            .expect("simulation times are finite")
     }
 }
 
@@ -286,7 +286,10 @@ mod tests {
         let queries = small_squares(&space);
         let t1 = run_closed_loop(&dir, &params, &queries, 1).throughput_qps;
         let t4 = run_closed_loop(&dir, &params, &queries, 4).throughput_qps;
-        assert!(t4 > t1, "4 clients ({t4:.1} qps) should beat 1 ({t1:.1} qps)");
+        assert!(
+            t4 > t1,
+            "4 clients ({t4:.1} qps) should beat 1 ({t1:.1} qps)"
+        );
     }
 
     #[test]

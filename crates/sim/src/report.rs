@@ -49,7 +49,11 @@ pub fn render_table(result: &SweepResult) -> String {
         .map(|(h, w)| format!("{h:>w$}"))
         .collect();
     let _ = writeln!(out, "{}", header_line.join("  "));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn of_counts_matches_of() {
-        assert_eq!(Summary::of_counts(&[1, 2, 3]), Summary::of(&[1.0, 2.0, 3.0]));
+        assert_eq!(
+            Summary::of_counts(&[1, 2, 3]),
+            Summary::of(&[1.0, 2.0, 3.0])
+        );
     }
 
     #[test]

@@ -19,15 +19,16 @@ use rand::Rng;
 pub fn rect_sides_for_area(area: u64, dims: &[u32]) -> Option<Vec<u32>> {
     fn fit(area: u64, dims: &[u32]) -> Option<Vec<u32>> {
         if dims.len() == 1 {
-            return (area <= u64::from(dims[0]) && area >= 1)
-                .then(|| vec![area as u32]);
+            return (area <= u64::from(dims[0]) && area >= 1).then(|| vec![area as u32]);
         }
         // Ideal side on this dimension: the k-th root of the area.
         let k = dims.len() as f64;
         let ideal = (area as f64).powf(1.0 / k).round() as u64;
         let max_side = u64::from(dims[0]);
         // Try divisors of `area` near the ideal, preferring closeness.
-        let mut candidates: Vec<u64> = (1..=area.min(max_side)).filter(|d| area.is_multiple_of(*d)).collect();
+        let mut candidates: Vec<u64> = (1..=area.min(max_side))
+            .filter(|d| area.is_multiple_of(*d))
+            .collect();
         candidates.sort_by_key(|&d| d.abs_diff(ideal));
         for d in candidates {
             if let Some(mut rest) = fit(area / d, &dims[1..]) {
@@ -54,7 +55,11 @@ pub fn random_region<R: Rng>(
     space: &GridSpace,
     sides: &[u32],
 ) -> Result<BucketRegion> {
-    if sides.len() != space.k() || sides.iter().zip(space.dims()).any(|(&s, &d)| s == 0 || s > d)
+    if sides.len() != space.k()
+        || sides
+            .iter()
+            .zip(space.dims())
+            .any(|(&s, &d)| s == 0 || s > d)
     {
         return Err(SimError::QueryDoesNotFit {
             extents: sides.to_vec(),
@@ -65,12 +70,18 @@ pub fn random_region<R: Rng>(
     let mut hi = Vec::with_capacity(space.k());
     for (d, &s) in sides.iter().enumerate() {
         let max_lo = space.dim(d) - s;
-        let l = if max_lo == 0 { 0 } else { rng.gen_range(0..=max_lo) };
+        let l = if max_lo == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_lo)
+        };
         lo.push(l);
         hi.push(l + s - 1);
     }
-    Ok(BucketRegion::new(space, BucketCoord::from(lo), BucketCoord::from(hi))
-        .expect("placement stays in grid"))
+    Ok(
+        BucketRegion::new(space, BucketCoord::from(lo), BucketCoord::from(hi))
+            .expect("placement stays in grid"),
+    )
 }
 
 /// A uniformly random range query: each dimension gets an independent
@@ -488,12 +499,8 @@ mod tests {
     fn workload_mix_is_deterministic_per_seed() {
         let g = GridSpace::new_2d(16, 16).unwrap();
         let mix = WorkloadMix::default();
-        let a = mix
-            .generate(&mut StdRng::seed_from_u64(5), &g, 50)
-            .unwrap();
-        let b = mix
-            .generate(&mut StdRng::seed_from_u64(5), &g, 50)
-            .unwrap();
+        let a = mix.generate(&mut StdRng::seed_from_u64(5), &g, 50).unwrap();
+        let b = mix.generate(&mut StdRng::seed_from_u64(5), &g, 50).unwrap();
         assert_eq!(a, b);
     }
 

@@ -39,26 +39,23 @@ impl ShapeProfile {
     }
 }
 
-/// Enumerates every placement of `shape` inside the allocation's grid and
-/// returns the exact statistics. Returns `None` if the shape does not fit
-/// the grid (or is malformed).
-pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfile> {
-    let space = alloc.space().clone();
-    if shape.len() != space.k()
-        || shape.iter().zip(space.dims()).any(|(&s, &d)| s == 0 || s > d)
-    {
-        return None;
-    }
-    let volume: u64 = shape.iter().map(|&s| u64::from(s)).product();
-    let optimal = volume.div_ceil(u64::from(alloc.num_disks()));
+/// Whether `shape` is a legal query shape for `space`.
+fn shape_fits(space: &decluster_grid::GridSpace, shape: &[u32]) -> bool {
+    shape.len() == space.k()
+        && shape
+            .iter()
+            .zip(space.dims())
+            .all(|(&s, &d)| s > 0 && s <= d)
+}
 
-    let mut best = u64::MAX;
-    let mut worst = 0u64;
-    let mut worst_witness: Option<BucketRegion> = None;
-    let mut total: u128 = 0;
-    let mut placements = 0u64;
-    let mut optimal_hits = 0u64;
-
+/// Calls `f` with every placement of `shape` inside `space`, in
+/// row-major offset order. The caller must have validated the shape
+/// with [`shape_fits`].
+fn for_each_placement(
+    space: &decluster_grid::GridSpace,
+    shape: &[u32],
+    mut f: impl FnMut(BucketRegion),
+) {
     let mut offset = vec![0u32; space.k()];
     loop {
         let lo = BucketCoord::from(offset.clone());
@@ -69,20 +66,7 @@ pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfil
                 .map(|(&o, &s)| o + s - 1)
                 .collect::<Vec<u32>>(),
         );
-        let region = BucketRegion::new(&space, lo, hi).expect("placement fits");
-        let rt = alloc.response_time(&region);
-        total += u128::from(rt);
-        placements += 1;
-        if rt == optimal {
-            optimal_hits += 1;
-        }
-        if rt < best {
-            best = rt;
-        }
-        if rt > worst {
-            worst = rt;
-            worst_witness = Some(region);
-        }
+        f(BucketRegion::new(space, lo, hi).expect("placement fits"));
         // Advance the offset over all valid placements.
         let mut dim = space.k();
         let advanced = loop {
@@ -97,9 +81,54 @@ pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfil
             offset[dim] = 0;
         };
         if !advanced {
-            break;
+            return;
         }
     }
+}
+
+/// Enumerates every placement of `shape` inside the allocation's grid and
+/// returns the exact statistics. Returns `None` if the shape does not fit
+/// the grid (or is malformed).
+///
+/// Enumeration is the theory crate's hot loop — placements × query area
+/// bucket visits under the naive metric — so each response time is read
+/// from the [`decluster_methods::DiskCounts`] prefix-sum kernel
+/// (`O(M · 2^k)` per placement) when the grid admits one, falling back
+/// to the per-bucket walk when it does not.
+pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfile> {
+    let space = alloc.space().clone();
+    if !shape_fits(&space, shape) {
+        return None;
+    }
+    let volume: u64 = shape.iter().map(|&s| u64::from(s)).product();
+    let optimal = volume.div_ceil(u64::from(alloc.num_disks()));
+    let kernel = alloc.disk_counts().ok();
+
+    let mut best = u64::MAX;
+    let mut worst = 0u64;
+    let mut worst_witness: Option<BucketRegion> = None;
+    let mut total: u128 = 0;
+    let mut placements = 0u64;
+    let mut optimal_hits = 0u64;
+
+    for_each_placement(&space, shape, |region| {
+        let rt = match &kernel {
+            Some(k) => k.response_time(&region),
+            None => alloc.response_time(&region),
+        };
+        total += u128::from(rt);
+        placements += 1;
+        if rt == optimal {
+            optimal_hits += 1;
+        }
+        if rt < best {
+            best = rt;
+        }
+        if rt > worst {
+            worst = rt;
+            worst_witness = Some(region);
+        }
+    });
 
     Some(ShapeProfile {
         shape: shape.to_vec(),
@@ -140,44 +169,24 @@ pub fn failure_survival_fraction(
         return None;
     }
     let space = alloc.space().clone();
-    if shape.len() != space.k()
-        || shape.iter().zip(space.dims()).any(|(&s, &d)| s == 0 || s > d)
-    {
+    if !shape_fits(&space, shape) {
         return None;
     }
+    // Only the failed disk's count matters, so the kernel answers each
+    // placement in 2^k lookups instead of a full-region walk.
+    let kernel = alloc.disk_counts().ok();
     let mut survivors = 0u64;
     let mut placements = 0u64;
-    let mut offset = vec![0u32; space.k()];
-    loop {
-        let lo = BucketCoord::from(offset.clone());
-        let hi = BucketCoord::from(
-            offset
-                .iter()
-                .zip(shape)
-                .map(|(&o, &s)| o + s - 1)
-                .collect::<Vec<u32>>(),
-        );
-        let region = BucketRegion::new(&space, lo, hi).expect("placement fits");
+    for_each_placement(&space, shape, |region| {
         placements += 1;
-        if alloc.access_histogram(&region)[failed_disk.index()] == 0 {
+        let touched = match &kernel {
+            Some(k) => k.count_on_disk(&region, failed_disk.0),
+            None => alloc.access_histogram(&region)[failed_disk.index()],
+        };
+        if touched == 0 {
             survivors += 1;
         }
-        let mut dim = space.k();
-        let advanced = loop {
-            if dim == 0 {
-                break false;
-            }
-            dim -= 1;
-            offset[dim] += 1;
-            if offset[dim] + shape[dim] <= space.dim(dim) {
-                break true;
-            }
-            offset[dim] = 0;
-        };
-        if !advanced {
-            break;
-        }
-    }
+    });
     Some(survivors as f64 / placements as f64)
 }
 
@@ -188,10 +197,7 @@ mod tests {
     use decluster_grid::GridSpace;
     use decluster_methods::{DiskModulo, FieldwiseXor, Hcam};
 
-    fn alloc_of(
-        space: &GridSpace,
-        method: &dyn DeclusteringMethod,
-    ) -> AllocationMap {
+    fn alloc_of(space: &GridSpace, method: &dyn DeclusteringMethod) -> AllocationMap {
         AllocationMap::from_method(space, method).unwrap()
     }
 

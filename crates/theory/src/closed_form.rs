@@ -75,7 +75,13 @@ pub fn dm_is_translation_invariant(space: &GridSpace, m: u32, a: u32, b: u32) ->
             .flat_map(|r| (0..=cols).map(move |c| (r, c)))
             .collect()
     } else {
-        vec![(0, 0), (rows, 0), (0, cols), (rows, cols), (rows / 2, cols / 2)]
+        vec![
+            (0, 0),
+            (rows, 0),
+            (0, cols),
+            (rows, cols),
+            (rows / 2, cols / 2),
+        ]
     };
     candidates.into_iter().all(|(r, c)| {
         let mut per_disk = vec![0u64; m as usize];

@@ -88,12 +88,7 @@ mod tests {
         // case) are both UNSAT on their decisive windows.
         for m in [4u32, 6] {
             let d = demonstrate(m, 200_000_000);
-            assert_eq!(
-                d.outcome,
-                SearchOutcome::Unsatisfiable,
-                "{}",
-                d.summary()
-            );
+            assert_eq!(d.outcome, SearchOutcome::Unsatisfiable, "{}", d.summary());
         }
     }
 

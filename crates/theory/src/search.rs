@@ -94,8 +94,7 @@ impl StrictSearch {
         let outcome = self.dfs(&mut grid, 0, 0, &mut stats);
         let outcome = match outcome {
             Dfs::Found => {
-                let space =
-                    GridSpace::new_2d(self.rows, self.cols).expect("window dims validated");
+                let space = GridSpace::new_2d(self.rows, self.cols).expect("window dims validated");
                 SearchOutcome::Satisfiable(
                     AllocationMap::from_table(&space, self.m, grid)
                         .expect("search grid is complete and in range"),

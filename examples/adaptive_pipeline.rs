@@ -56,7 +56,10 @@ fn main() {
     let sample_regions: Vec<BucketRegion> = (0..100)
         .filter_map(|_| {
             let q = ValueRangeQuery::new(vec![
-                Some((Value::Int(rng.gen_range(0..1000)), Value::Int(rng.gen_range(1000..20_000)))),
+                Some((
+                    Value::Int(rng.gen_range(0..1000)),
+                    Value::Int(rng.gen_range(1000..20_000)),
+                )),
                 None,
             ])
             .ok()?;

@@ -7,9 +7,7 @@
 //! cargo run --release --example census_study
 //! ```
 
-use decluster::grid::{
-    AttributeDomain, GridDirectory, GridSchema, Record, Value, ValueRangeQuery,
-};
+use decluster::grid::{AttributeDomain, GridDirectory, GridSchema, Record, Value, ValueRangeQuery};
 use decluster::prelude::*;
 use decluster::sim::{DiskParams, IoSimulator};
 use rand::rngs::StdRng;
@@ -60,11 +58,8 @@ fn main() {
         ),
         (
             "retirees, any income",
-            ValueRangeQuery::new(vec![
-                Some((Value::Int(65), Value::Int(99))),
-                None,
-            ])
-            .expect("two attributes"),
+            ValueRangeQuery::new(vec![Some((Value::Int(65), Value::Int(99))), None])
+                .expect("two attributes"),
         ),
         (
             "top earners, any age",

@@ -51,7 +51,7 @@ fn main() {
     for _ in 0..50_000 {
         let t = rng.gen_range(0..86_400i64);
         let base = -5.0 + 15.0 * ((t as f64 / 86_400.0) * std::f64::consts::TAU).sin();
-        let temp = (base + rng.gen_range(-3.0..3.0)).clamp(-40.0, 59.9);
+        let temp = (base + rng.gen_range(-3.0f64..3.0)).clamp(-40.0, 59.9);
         file.insert(Record::new(vec![Value::Int(t), Value::Float(temp)]))
             .expect("reading in domain");
     }
@@ -76,11 +76,8 @@ fn main() {
         ),
         (
             "all frost events",
-            ValueRangeQuery::new(vec![
-                None,
-                Some((Value::Float(-40.0), Value::Float(0.0))),
-            ])
-            .expect("query builds"),
+            ValueRangeQuery::new(vec![None, Some((Value::Float(-40.0), Value::Float(0.0)))])
+                .expect("query builds"),
         ),
     ];
     for (label, q) in &queries {

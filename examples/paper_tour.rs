@@ -70,9 +70,11 @@ fn main() {
     println!("\n(iv) Deviation factors shrink as queries grow:");
     for s in &small.series {
         let small_f = s.means[0] / small.optimal[0];
-        let large_f = large.series_for(&s.name).expect("same methods").means[1]
-            / large.optimal[1];
-        println!("    {:5} {:.2}x (area 4) -> {:.3}x (area 1024)", s.name, small_f, large_f);
+        let large_f = large.series_for(&s.name).expect("same methods").means[1] / large.optimal[1];
+        println!(
+            "    {:5} {:.2}x (area 4) -> {:.3}x (area 1024)",
+            s.name, small_f, large_f
+        );
     }
 
     // The theorem.

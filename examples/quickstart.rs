@@ -30,7 +30,10 @@ fn main() {
         optimal
     );
     println!();
-    println!("{:<6} {:>12} {:>12}", "method", "RT (buckets)", "vs optimal");
+    println!(
+        "{:<6} {:>12} {:>12}",
+        "method", "RT (buckets)", "vs optimal"
+    );
     for method in &methods {
         let rt = response_time(method, &region);
         println!(

@@ -133,9 +133,7 @@ fn sample_regions(
 ) -> Result<Vec<BucketRegion>, String> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
-            random_region(&mut rng, space, &[shape.0, shape.1]).map_err(|e| e.to_string())
-        })
+        .map(|_| random_region(&mut rng, space, &[shape.0, shape.1]).map_err(|e| e.to_string()))
         .collect()
 }
 
@@ -169,7 +167,10 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
         shape.0,
         shape.1
     );
-    println!("  mean RT {mean:.3}  worst RT {worst}  optimal {opt}  mean/opt {:.3}", mean / opt as f64);
+    println!(
+        "  mean RT {mean:.3}  worst RT {worst}  optimal {opt}  mean/opt {:.3}",
+        mean / opt as f64
+    );
     let stats = map.load_stats();
     println!(
         "  static load {}..{} buckets/disk (stddev {:.2})",
@@ -256,9 +257,14 @@ fn cmd_loadcurve(flags: &Flags) -> Result<(), String> {
             )
         })
         .collect();
-    let dir_refs: Vec<(&str, &GridDirectory)> =
-        dirs.iter().map(|(name, d)| (*name, d)).collect();
-    let points = load_sweep(&dir_refs, &DiskParams::default(), &regions, &rates, seed_of(flags));
+    let dir_refs: Vec<(&str, &GridDirectory)> = dirs.iter().map(|(name, d)| (*name, d)).collect();
+    let points = load_sweep(
+        &dir_refs,
+        &DiskParams::default(),
+        &regions,
+        &rates,
+        seed_of(flags),
+    );
     println!(
         "mean latency (ms) vs offered load, {n} {}x{} queries on {:?} with M={m}:",
         shape.0,

@@ -19,10 +19,13 @@
 //!   abl   space-filling-curve ablation for HCAM (extension)
 //!   thm   the M > 5 impossibility theorem
 //!   all   everything above
+//!   bench kernel-vs-naive RT timing snapshot (writes BENCH_rt.json)
 //! ```
 //!
 //! `--quick` cuts the query budget (for smoke tests); `--csv DIR` also
-//! writes each sweep as CSV into DIR.
+//! writes each sweep as CSV into DIR; `--threads N` evaluates sweep
+//! points on N worker threads (`0` = one per CPU) — the tables are
+//! bit-identical for every thread count.
 
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, ShapeSweep, SizeSweep};
@@ -39,6 +42,7 @@ const SEED: u64 = 1994;
 struct Opts {
     csv_dir: Option<String>,
     queries: usize,
+    threads: usize,
 }
 
 fn main() -> ExitCode {
@@ -47,6 +51,7 @@ fn main() -> ExitCode {
     let mut opts = Opts {
         csv_dir: None,
         queries: 1000,
+        threads: 1,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -59,6 +64,13 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => opts.queries = 100,
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => opts.threads = n,
+                None => {
+                    eprintln!("--threads needs a number (0 = one per CPU)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -67,7 +79,9 @@ fn main() -> ExitCode {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <e1|e2|e3|e4|e5|e6|t1|t2|thm|all> [--csv DIR] [--quick]");
+        eprintln!(
+            "usage: repro <e1|e2|e3|e4|e5|e6|t1|t2|thm|bench|all> [--csv DIR] [--quick] [--threads N]"
+        );
         return ExitCode::FAILURE;
     };
     let run = |name: &str| -> bool { experiment == name || experiment == "all" };
@@ -124,6 +138,12 @@ fn main() -> ExitCode {
         println!("{}", thm());
         ran_any = true;
     }
+    // The timing snapshot is opt-in only: its numbers are wall-clock and
+    // so not deterministic, unlike everything `all` emits.
+    if experiment == "bench" {
+        println!("{}", bench(&opts));
+        ran_any = true;
+    }
     if !ran_any {
         eprintln!("unknown experiment {experiment:?}");
         return ExitCode::FAILURE;
@@ -151,6 +171,7 @@ fn experiment_2d(opts: &Opts) -> Experiment {
     Experiment::new(grid_2d(), DISKS)
         .with_queries_per_point(opts.queries)
         .with_seed(SEED)
+        .with_threads(opts.threads)
 }
 
 /// E1: query area 1 → 1024 on the 64×64 grid, near-square shapes.
@@ -176,7 +197,10 @@ fn e3(opts: &Opts) -> SweepResult {
     Experiment::new(space, DISKS)
         .with_queries_per_point(opts.queries)
         .with_seed(SEED)
-        .run_size_sweep(&SizeSweep::explicit(vec![1, 8, 27, 64, 125, 216, 512, 1024]))
+        .with_threads(opts.threads)
+        .run_size_sweep(&SizeSweep::explicit(vec![
+            1, 8, 27, 64, 125, 216, 512, 1024,
+        ]))
         .expect("E3 configuration is valid")
 }
 
@@ -229,7 +253,11 @@ fn t1() -> String {
     let check = partial_match::check_prediction(&dm, &queries, partial_match::dm_predicts_optimal);
     out.push_str(&format!(
         "{:6}  {:>9}  {:>9}  {:>8}  {:>13}  {:>22}\n",
-        "DM", check.predicted, check.confirmed, check.violated, check.bonus_optimal,
+        "DM",
+        check.predicted,
+        check.confirmed,
+        check.violated,
+        check.bonus_optimal,
         check.unpredicted_suboptimal
     ));
     let fx =
@@ -237,7 +265,11 @@ fn t1() -> String {
     let check = partial_match::check_prediction(&fx, &queries, partial_match::fx_predicts_optimal);
     out.push_str(&format!(
         "{:6}  {:>9}  {:>9}  {:>8}  {:>13}  {:>22}\n",
-        "FX", check.predicted, check.confirmed, check.violated, check.bonus_optimal,
+        "FX",
+        check.predicted,
+        check.confirmed,
+        check.violated,
+        check.bonus_optimal,
         check.unpredicted_suboptimal
     ));
     // ECC and HCAM carry no exact partial-match guarantee in the paper's
@@ -447,6 +479,102 @@ fn ecc_code_analysis() -> String {
             dmin,
             radius
         ));
+    }
+    out
+}
+
+/// Timing snapshot: the E1-style population (64×64 grid, M=16, 1000
+/// placements, all paper methods) evaluated once through the naive
+/// per-bucket walk and once through the `DiskCounts` prefix-sum kernel
+/// (kernel build time included). Writes `BENCH_rt.json` next to the
+/// working directory so later revisions can track the trajectory.
+fn bench(opts: &Opts) -> String {
+    use decluster::methods::AllocationMap;
+    use decluster::sim::workload::{random_region, rect_sides_for_area};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    const PLACEMENTS: usize = 1000;
+    let space = grid_2d();
+    let registry = MethodRegistry::with_seed(SEED);
+    let maps: Vec<AllocationMap> = registry
+        .paper_methods(&space, DISKS)
+        .iter()
+        .map(|m| AllocationMap::from_method(&space, m.as_ref()).expect("materializes"))
+        .collect();
+
+    // The E1 area ladder, cycled over the placement budget.
+    let areas = [
+        1u64, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    ];
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let regions: Vec<BucketRegion> = (0..PLACEMENTS)
+        .map(|i| {
+            let sides =
+                rect_sides_for_area(areas[i % areas.len()], space.dims()).expect("area fits");
+            random_region(&mut rng, &space, &sides).expect("placement fits")
+        })
+        .collect();
+
+    let mut out = format!(
+        "RT bench: {} placements (E1 areas) on {}x{}, M={}\n{:<6} {:>12} {:>12} {:>9}\n",
+        PLACEMENTS, GRID_SIDE, GRID_SIDE, DISKS, "method", "naive ms", "kernel ms", "speedup"
+    );
+    let mut per_method = Vec::new();
+    let mut naive_total = 0.0f64;
+    let mut kernel_total = 0.0f64;
+    for map in &maps {
+        let t = Instant::now();
+        let naive_sum: u64 = regions.iter().map(|r| map.response_time(r)).sum();
+        let naive_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let kernel = map.disk_counts().expect("default grid admits a kernel");
+        let kernel_sum: u64 = regions.iter().map(|r| kernel.response_time(r)).sum();
+        let kernel_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(naive_sum, kernel_sum, "kernel disagrees with naive walk");
+        let speedup = naive_ms / kernel_ms.max(1e-9);
+        out.push_str(&format!(
+            "{:<6} {:>12.3} {:>12.3} {:>8.1}x\n",
+            map.name(),
+            naive_ms,
+            kernel_ms,
+            speedup
+        ));
+        per_method.push(format!(
+            "    {{\"method\": \"{}\", \"naive_ms\": {naive_ms:.3}, \"kernel_ms\": {kernel_ms:.3}, \"speedup\": {speedup:.2}}}",
+            map.name()
+        ));
+        naive_total += naive_ms;
+        kernel_total += kernel_ms;
+    }
+    let speedup = naive_total / kernel_total.max(1e-9);
+    out.push_str(&format!(
+        "{:<6} {:>12.3} {:>12.3} {:>8.1}x\n",
+        "TOTAL", naive_total, kernel_total, speedup
+    ));
+
+    let json = format!(
+        "{{\n  \"name\": \"rt_kernel_vs_naive\",\n  \"grid\": [{GRID_SIDE}, {GRID_SIDE}],\n  \
+         \"disks\": {DISKS},\n  \"placements\": {PLACEMENTS},\n  \
+         \"naive_ms\": {naive_total:.3},\n  \"kernel_ms\": {kernel_total:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \"per_method\": [\n{}\n  ]\n}}\n",
+        per_method.join(",\n")
+    );
+    let path = match opts.csv_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                out.push_str(&format!("\ncould not create {dir}: {e}\n"));
+            }
+            format!("{dir}/BENCH_rt.json")
+        }
+        None => "BENCH_rt.json".into(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
     }
     out
 }

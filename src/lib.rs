@@ -41,12 +41,12 @@ pub use decluster_theory as theory;
 
 /// The most commonly used types across the workspace.
 pub mod prelude {
+    pub use decluster_file::{DeclusteredFile, IoReport, ScanResult};
     pub use decluster_grid::{
         AttributeDomain, BucketCoord, BucketRegion, DiskId, GridSchema, GridSpace,
         PartialMatchQuery, Partitioning, PointQuery, Query, RangeQuery, Record, Value,
         ValueRangeQuery,
     };
-    pub use decluster_file::{DeclusteredFile, IoReport, ScanResult};
     pub use decluster_methods::{
         advise, tune_gdm_coefficients, AllocationMap, CurveAlloc, CurveKind, DeclusteringMethod,
         DiskModulo, EccDecluster, FieldwiseXor, GeneralizedDiskModulo, Hcam, MethodKind,

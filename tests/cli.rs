@@ -5,10 +5,7 @@
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(bin)
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(bin).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -33,8 +30,17 @@ fn declust_evaluate_reports_metrics() {
     let (ok, stdout, _) = run(
         DECLUST,
         &[
-            "evaluate", "--grid", "16x16", "--disks", "8", "--method", "hcam", "--shape", "2x2",
-            "--queries", "50",
+            "evaluate",
+            "--grid",
+            "16x16",
+            "--disks",
+            "8",
+            "--method",
+            "hcam",
+            "--shape",
+            "2x2",
+            "--queries",
+            "50",
         ],
     );
     assert!(ok, "{stdout}");
@@ -46,7 +52,17 @@ fn declust_evaluate_reports_metrics() {
 fn declust_advise_ranks_methods() {
     let (ok, stdout, _) = run(
         DECLUST,
-        &["advise", "--grid", "16x16", "--disks", "8", "--shape", "2x2", "--queries", "50"],
+        &[
+            "advise",
+            "--grid",
+            "16x16",
+            "--disks",
+            "8",
+            "--shape",
+            "2x2",
+            "--queries",
+            "50",
+        ],
     );
     assert!(ok, "{stdout}");
     assert!(stdout.contains("->"));
@@ -57,7 +73,9 @@ fn declust_advise_ranks_methods() {
 fn declust_profile_is_exact() {
     let (ok, stdout, _) = run(
         DECLUST,
-        &["profile", "--grid", "16x16", "--disks", "16", "--method", "DM", "--shape", "4x4"],
+        &[
+            "profile", "--grid", "16x16", "--disks", "16", "--method", "DM", "--shape", "4x4",
+        ],
     );
     assert!(ok, "{stdout}");
     // DM on 4x4 with M=16: best = worst = 4 on every placement.

@@ -117,12 +117,8 @@ fn string_attribute_schema_end_to_end() {
             AttributeDomain::int("year", 1900, 1999),
         ],
         vec![
-            Partitioning::from_cuts(vec![
-                Value::from("f"),
-                Value::from("m"),
-                Value::from("s"),
-            ])
-            .expect("cuts sorted"),
+            Partitioning::from_cuts(vec![Value::from("f"), Value::from("m"), Value::from("s")])
+                .expect("cuts sorted"),
             Partitioning::uniform_int(1900, 1999, 4).expect("uniform"),
         ],
     )

@@ -52,7 +52,10 @@ fn gridfile_to_declustered_file_pipeline() {
     let schema = gf.to_schema().expect("schema freezes");
     let mut file =
         DeclusteredFile::create(schema, MethodKind::Hcam, 8).expect("declustered file builds");
-    assert_eq!(file.bulk_load(records.iter().cloned()).expect("loads"), 2_000);
+    assert_eq!(
+        file.bulk_load(records.iter().cloned()).expect("loads"),
+        2_000
+    );
 
     // Same query against both engines returns the same record multiset.
     let q = ValueRangeQuery::new(vec![
@@ -114,8 +117,16 @@ fn closed_loop_ranking_tracks_bucket_metric() {
     }
     // Latency-bound: the best bucket-metric method has the best
     // throughput, the worst the worst.
-    let best_buckets = results.iter().min_by_key(|r| r.2).expect("non-empty").clone();
-    let worst_buckets = results.iter().max_by_key(|r| r.2).expect("non-empty").clone();
+    let best_buckets = results
+        .iter()
+        .min_by_key(|r| r.2)
+        .expect("non-empty")
+        .clone();
+    let worst_buckets = results
+        .iter()
+        .max_by_key(|r| r.2)
+        .expect("non-empty")
+        .clone();
     assert!(
         best_buckets.1 > worst_buckets.1,
         "bucket-best {best_buckets:?} should out-throughput bucket-worst {worst_buckets:?}: {results:?}"

@@ -14,12 +14,7 @@ fn theorem_table_matches_known_theory() {
     for d in theorem_table(8, 500_000_000) {
         match d.m {
             1 | 2 | 3 | 5 => assert!(d.outcome.is_sat(), "{}", d.summary()),
-            _ => assert_eq!(
-                d.outcome,
-                SearchOutcome::Unsatisfiable,
-                "{}",
-                d.summary()
-            ),
+            _ => assert_eq!(d.outcome, SearchOutcome::Unsatisfiable, "{}", d.summary()),
         }
     }
 }
@@ -110,9 +105,6 @@ fn counterexamples_are_self_consistent() {
     let ce = verify_strictly_optimal(&alloc).expect_err("DM not strictly optimal");
     // Recompute independently.
     assert_eq!(alloc.response_time(&ce.region), ce.response_time);
-    assert_eq!(
-        ce.region.num_buckets().div_ceil(16),
-        ce.optimal
-    );
+    assert_eq!(ce.region.num_buckets().div_ceil(16), ce.optimal);
     assert!(ce.response_time > ce.optimal);
 }

@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! A real wall-clock benchmarking harness: each benchmark is warmed up,
+//! auto-scaled to a target batch duration, then timed for a configurable
+//! number of samples; the median per-iteration time is reported to
+//! stdout (and throughput when configured). No statistical regression
+//! analysis, plots, or baselines.
+//!
+//! CLI: the first non-flag argument filters benchmarks by substring;
+//! `--bench`/`--test` (as passed by cargo) are accepted and ignored,
+//! except that `--test` switches to a single-iteration smoke run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group supplies the function name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    /// Median seconds per iteration of the last `iter` call.
+    last_secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            self.last_secs_per_iter = 0.0;
+            return;
+        }
+        // Warm up and estimate a batch size targeting ~5 ms per sample.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as usize;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.last_secs_per_iter = per_iter[per_iter.len() / 2];
+    }
+
+    /// Times `f(setup())`, excluding `setup` from the measurement as far
+    /// as this harness can (setup runs inside the batch but its cost is
+    /// not separated; keep setups cheap).
+    pub fn iter_with_setup<S, O, FS: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: FS,
+        mut f: F,
+    ) {
+        if self.smoke {
+            std::hint::black_box(f(setup()));
+            self.last_secs_per_iter = 0.0;
+            return;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            per_iter.push(t.elapsed().as_secs_f64());
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.last_secs_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut smoke = false;
+        for a in &args {
+            match a.as_str() {
+                "--bench" => {}
+                "--test" => smoke = true,
+                flag if flag.starts_with("--") => {}
+                needle if filter.is_none() => filter = Some(needle.to_owned()),
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            filter,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke: self.smoke,
+            last_secs_per_iter: 0.0,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        let secs = b.last_secs_per_iter;
+        let mut line = format!("{name:<50} time: [{}]", format_time(secs));
+        if secs > 0.0 {
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!("  thrpt: [{:.3} Melem/s]", n as f64 / secs / 1e6));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!(
+                        "  thrpt: [{:.3} MiB/s]",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.name, None, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    fn full_name(&self, id: &BenchmarkId) -> String {
+        format!("{}/{}", self.name, id.name)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<ID: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        f: F,
+    ) -> &mut Self {
+        let name = self.full_name(&id.into());
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(&name, self.throughput, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<ID: Into<BenchmarkId>, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, upstream-compatible in both
+/// the plain and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

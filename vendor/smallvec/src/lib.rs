@@ -1,0 +1,289 @@
+//! Offline stand-in for the `smallvec` crate (API subset).
+//!
+//! Stores up to `N` elements inline (no heap allocation) and spills to a
+//! `Vec` beyond that. Only the operations this workspace uses are
+//! implemented; element types must be `Copy + Default` (the workspace
+//! stores `u32` coordinates).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing-array abstraction: ties `SmallVec<[T; N]>` to its inline
+/// storage. Implemented for all `[T; N]` with `T: Copy + Default`.
+pub trait Array {
+    /// Element type.
+    type Item: Copy + Default;
+    /// Inline capacity.
+    const CAP: usize;
+    /// A zero-initialized backing array.
+    fn default_array() -> Self;
+    /// The array as a slice.
+    fn array_slice(&self) -> &[Self::Item];
+    /// The array as a mutable slice.
+    fn array_slice_mut(&mut self) -> &mut [Self::Item];
+}
+
+impl<T: Copy + Default, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAP: usize = N;
+    fn default_array() -> Self {
+        [T::default(); N]
+    }
+    fn array_slice(&self) -> &[T] {
+        self
+    }
+    fn array_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+enum Repr<A: Array> {
+    Inline { buf: A, len: usize },
+    Heap(Vec<A::Item>),
+}
+
+/// A vector that stores small lengths inline, heap-allocating only when
+/// the length exceeds the array parameter's capacity.
+pub struct SmallVec<A: Array> {
+    repr: Repr<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector (inline).
+    pub fn new() -> Self {
+        SmallVec {
+            repr: Repr::Inline {
+                buf: A::default_array(),
+                len: 0,
+            },
+        }
+    }
+
+    /// `n` copies of `elem`.
+    pub fn from_elem(elem: A::Item, n: usize) -> Self {
+        if n <= A::CAP {
+            let mut buf = A::default_array();
+            buf.array_slice_mut()[..n].fill(elem);
+            SmallVec {
+                repr: Repr::Inline { buf, len: n },
+            }
+        } else {
+            SmallVec {
+                repr: Repr::Heap(vec![elem; n]),
+            }
+        }
+    }
+
+    /// Takes ownership of `v`, keeping it inline when short enough.
+    pub fn from_vec(v: Vec<A::Item>) -> Self {
+        if v.len() <= A::CAP {
+            Self::from_slice(&v)
+        } else {
+            SmallVec {
+                repr: Repr::Heap(v),
+            }
+        }
+    }
+
+    /// Copies `s`.
+    pub fn from_slice(s: &[A::Item]) -> Self {
+        if s.len() <= A::CAP {
+            let mut buf = A::default_array();
+            buf.array_slice_mut()[..s.len()].copy_from_slice(s);
+            SmallVec {
+                repr: Repr::Inline { buf, len: s.len() },
+            }
+        } else {
+            SmallVec {
+                repr: Repr::Heap(s.to_vec()),
+            }
+        }
+    }
+
+    /// Appends an element, spilling to the heap if inline capacity is full.
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < A::CAP {
+                    buf.array_slice_mut()[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = buf.array_slice()[..*len].to_vec();
+                    v.push(value);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Whether the contents live on the heap rather than inline.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[A::Item] {
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf.array_slice()[..*len],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The contents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => &mut buf.array_slice_mut()[..*len],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Copies the contents into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<A::Item> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(v: Vec<A::Item>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl<A: Array> From<&[A::Item]> for SmallVec<A> {
+    fn from(s: &[A::Item]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for SmallVec<[T; N]> {
+    fn from(a: [T; M]) -> Self {
+        Self::from_slice(&a)
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type SV = SmallVec<[u32; 4]>;
+
+    #[test]
+    fn stays_inline_up_to_cap() {
+        let v = SV::from_slice(&[1, 2, 3, 4]);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spills_beyond_cap() {
+        let v = SV::from_slice(&[1, 2, 3, 4, 5]);
+        assert!(v.spilled());
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn push_spills_at_boundary() {
+        let mut v = SV::from_slice(&[1, 2, 3, 4]);
+        v.push(5);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn from_vec_roundtrips() {
+        let v = SV::from_vec(vec![9, 8, 7]);
+        assert!(!v.spilled());
+        assert_eq!(v.to_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = SV::from_slice(&[0, 5]);
+        let b = SV::from_slice(&[1, 0]);
+        assert!(a < b);
+        assert_eq!(a, a.clone());
+    }
+}
