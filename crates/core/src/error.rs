@@ -31,6 +31,12 @@ pub enum MethodError {
         /// The requested name.
         name: String,
     },
+    /// A persisted allocation image is malformed (truncated, bit-flipped,
+    /// oversized, or failing its checksum).
+    CorruptImage {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The advisor needs a non-empty workload sample.
     EmptyWorkload,
     /// An underlying grid error.
@@ -55,6 +61,9 @@ impl fmt::Display for MethodError {
                 write!(f, "GDM needs {expected} coefficients, got {got}")
             }
             MethodError::UnknownMethod { name } => write!(f, "unknown method {name:?}"),
+            MethodError::CorruptImage { reason } => {
+                write!(f, "corrupt allocation image: {reason}")
+            }
             MethodError::EmptyWorkload => write!(f, "workload sample must be non-empty"),
             MethodError::Grid(e) => write!(f, "grid error: {e}"),
             MethodError::Hilbert(e) => write!(f, "hilbert error: {e}"),
@@ -108,6 +117,10 @@ mod tests {
             name: "zorp".into(),
         };
         assert!(e.to_string().contains("zorp"));
+        let e = MethodError::CorruptImage {
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum"));
     }
 
     #[test]

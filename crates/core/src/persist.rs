@@ -8,28 +8,64 @@
 //!
 //! ```text
 //! "DCLA" | version u16 | k u16 | dims[k] u32 | M u32 |
-//! name_len u8 | name bytes | disk table (u8 per bucket if M ≤ 256, else u32)
+//! name_len u8 | name bytes | disk table (u8 per bucket if M ≤ 256, else u32) |
+//! crc32 u32        (version ≥ 2: IEEE CRC-32 of every preceding byte)
 //! ```
 //!
 //! All integers little-endian. Round-trips exactly; unknown method names
-//! load as `"TABLE"` (the map itself is what matters).
+//! load as `"TABLE"` (the map itself is what matters). Version 1 images
+//! (no checksum trailer) still load; version 2 images are rejected with
+//! [`MethodError::CorruptImage`] when any byte has been disturbed.
 
 use crate::{AllocationMap, DeclusteringMethod, MethodError, MethodKind, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use decluster_grid::GridSpace;
 
 const MAGIC: &[u8; 4] = b"DCLA";
-const VERSION: u16 = 1;
+/// First format version: no integrity trailer.
+const V1: u16 = 1;
+/// Current format version: CRC-32 trailer over the whole image.
+const VERSION: u16 = 2;
+
+/// IEEE CRC-32 (the polynomial used by zip/zlib/Ethernet), table-driven.
+/// Implemented here so persistence stays dependency-free.
+fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut j = 0;
+            while j < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                j += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
 
 impl AllocationMap {
-    /// Serializes the allocation to its binary format.
+    /// Serializes the allocation to its binary format (current version,
+    /// with CRC-32 trailer).
     pub fn to_bytes(&self) -> Bytes {
         let space = self.space();
         let table = self.table();
         let m = self.num_disks();
         let name = crate::DeclusteringMethod::name(self);
         let mut buf = BytesMut::with_capacity(
-            4 + 2 + 2 + 4 * space.k() + 4 + 1 + name.len() + table.len() * 4,
+            4 + 2 + 2 + 4 * space.k() + 4 + 1 + name.len() + table.len() * 4 + 4,
         );
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
@@ -50,32 +86,49 @@ impl AllocationMap {
                 buf.put_u32_le(d);
             }
         }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
         buf.freeze()
     }
 
     /// Deserializes an allocation written by [`AllocationMap::to_bytes`].
+    /// Loads both the current checksummed format and legacy version-1
+    /// images (written before the trailer existed).
     ///
     /// # Errors
-    /// [`MethodError::UnsupportedGrid`] with a descriptive reason for any
-    /// malformed input (bad magic, truncation, shape mismatch,
-    /// out-of-range disks).
+    /// [`MethodError::CorruptImage`] with a descriptive reason for any
+    /// malformed input: bad magic, truncation, oversized input, shape
+    /// mismatch, out-of-range disks, or a failing checksum. Never panics
+    /// on arbitrary bytes.
     pub fn from_bytes(data: &[u8]) -> Result<AllocationMap> {
-        let corrupt = |reason: &str| MethodError::UnsupportedGrid {
-            method: "AllocationMap::from_bytes",
+        let corrupt = |reason: &str| MethodError::CorruptImage {
             reason: reason.to_owned(),
         };
-        let mut buf = data;
-        if buf.remaining() < 8 {
+        if data.len() < 8 {
             return Err(corrupt("truncated header"));
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &data[..4] != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let version = buf.get_u16_le();
-        if version != VERSION {
-            return Err(corrupt("unsupported version"));
+        let version = u16::from_le_bytes([data[4], data[5]]);
+        let body: &[u8] = match version {
+            V1 => &data[6..],
+            VERSION => {
+                if data.len() < 6 + 4 {
+                    return Err(corrupt("truncated checksum trailer"));
+                }
+                let (payload, trailer) = data.split_at(data.len() - 4);
+                let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+                if crc32(payload) != stored {
+                    return Err(corrupt("checksum mismatch"));
+                }
+                &payload[6..]
+            }
+            _ => return Err(corrupt("unsupported version")),
+        };
+        let mut buf = body;
+        if buf.remaining() < 2 {
+            return Err(corrupt("truncated dimensions"));
         }
         let k = buf.get_u16_le() as usize;
         if k == 0 || buf.remaining() < 4 * k + 4 + 1 {
@@ -92,8 +145,15 @@ impl AllocationMap {
         let space = GridSpace::new(dims).map_err(MethodError::from)?;
         let total = usize::try_from(space.num_buckets()).map_err(|_| corrupt("grid too large"))?;
         let cell = if m <= 256 { 1 } else { 4 };
-        if buf.remaining() != total * cell {
-            return Err(corrupt("table length mismatch"));
+        let expected = total
+            .checked_mul(cell)
+            .ok_or_else(|| corrupt("grid too large"))?;
+        if buf.remaining() != expected {
+            return Err(corrupt(if buf.remaining() > expected {
+                "oversized table"
+            } else {
+                "truncated table"
+            }));
         }
         let table: Vec<u32> = (0..total)
             .map(|_| {
@@ -122,6 +182,21 @@ mod tests {
         let space = GridSpace::new_2d(8, 8).unwrap();
         let hcam = Hcam::new(&space, 5).unwrap();
         AllocationMap::from_method(&space, &hcam).unwrap()
+    }
+
+    /// The same image downgraded to the legacy v1 layout: version field
+    /// patched and the checksum trailer stripped.
+    fn as_v1(v2: &[u8]) -> Vec<u8> {
+        let mut v1 = v2[..v2.len() - 4].to_vec();
+        v1[4..6].copy_from_slice(&V1.to_le_bytes());
+        v1
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -166,6 +241,41 @@ mod tests {
     }
 
     #[test]
+    fn trailer_is_crc32_of_the_payload() {
+        let bytes = sample_map().to_bytes();
+        let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+        assert_eq!(
+            u32::from_le_bytes(trailer.try_into().unwrap()),
+            crc32(payload)
+        );
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+    }
+
+    #[test]
+    fn legacy_v1_images_still_load() {
+        let map = sample_map();
+        let v1 = as_v1(&map.to_bytes());
+        let loaded = AllocationMap::from_bytes(&v1).unwrap();
+        assert_eq!(loaded, map);
+        assert_eq!(loaded.name(), "HCAM");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_reported_as_such() {
+        let map = sample_map();
+        let mut bad = map.to_bytes().to_vec();
+        // Flip one bit deep in the disk table: only the checksum notices.
+        let mid = bad.len() - 10;
+        bad[mid] ^= 0x01;
+        match AllocationMap::from_bytes(&bad).unwrap_err() {
+            MethodError::CorruptImage { reason } => {
+                assert!(reason.contains("checksum"), "reason: {reason}")
+            }
+            other => panic!("expected CorruptImage, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_corruption() {
         let map = sample_map();
         let good = map.to_bytes();
@@ -173,27 +283,39 @@ mod tests {
         // Bad magic.
         let mut bad = good.to_vec();
         bad[0] = b'X';
-        assert!(AllocationMap::from_bytes(&bad).is_err());
+        assert!(matches!(
+            AllocationMap::from_bytes(&bad).unwrap_err(),
+            MethodError::CorruptImage { .. }
+        ));
 
-        // Bad version.
-        let mut bad = good.to_vec();
+        // Unsupported version (patch + strip trailer so the checksum
+        // cannot mask the version check).
+        let mut bad = as_v1(&good);
         bad[4] = 0xFF;
         assert!(AllocationMap::from_bytes(&bad).is_err());
 
         // Truncated table.
         let bad = &good[..good.len() - 3];
         assert!(AllocationMap::from_bytes(bad).is_err());
+        let bad = &as_v1(&good)[..good.len() - 7];
+        assert!(AllocationMap::from_bytes(bad).is_err());
 
-        // Trailing garbage.
-        let mut bad = good.to_vec();
+        // Oversized input: trailing garbage after a valid v1 image.
+        let mut bad = as_v1(&good);
         bad.extend_from_slice(&[0, 0, 0]);
-        assert!(AllocationMap::from_bytes(&bad).is_err());
+        match AllocationMap::from_bytes(&bad).unwrap_err() {
+            MethodError::CorruptImage { reason } => {
+                assert!(reason.contains("oversized"), "reason: {reason}")
+            }
+            other => panic!("expected CorruptImage, got {other:?}"),
+        }
 
         // Empty input.
         assert!(AllocationMap::from_bytes(&[]).is_err());
 
-        // Out-of-range disk in the table.
-        let mut bad = good.to_vec();
+        // Out-of-range disk in the table (v1, so no checksum to trip
+        // first — exercises the semantic validation).
+        let mut bad = as_v1(&good);
         let last = bad.len() - 1;
         bad[last] = 200; // m = 5
         assert!(AllocationMap::from_bytes(&bad).is_err());
@@ -239,11 +361,13 @@ mod proptests {
             let _ = AllocationMap::from_bytes(&data);
         }
 
-        /// Flipping any single byte of a valid image either fails to
-        /// parse or yields a *well-formed* allocation (never panics,
-        /// never violates the disk-range invariant).
+        /// Flipping any single byte of a valid checksummed image is
+        /// always rejected: CRC-32 detects every single-byte error, and
+        /// the only checksum-free escape hatch (patching the version
+        /// field down to 1) leaves the trailer as 4 surplus bytes that
+        /// trip the length check.
         #[test]
-        fn single_byte_corruption_is_contained(flip in 0usize..200, xor in 1u8..255) {
+        fn single_byte_corruption_is_rejected(flip in 0usize..200, xor in 1u8..255) {
             let space = GridSpace::new_2d(4, 4).unwrap();
             let map = AllocationMap::from_table(
                 &space, 3, (0..16).map(|i| i % 3).collect()
@@ -251,10 +375,19 @@ mod proptests {
             let mut bytes = map.to_bytes().to_vec();
             let idx = flip % bytes.len();
             bytes[idx] ^= xor;
-            if let Ok(loaded) = AllocationMap::from_bytes(&bytes) {
-                let m = loaded.num_disks();
-                prop_assert!(loaded.table().iter().all(|&d| d < m));
-            }
+            prop_assert!(AllocationMap::from_bytes(&bytes).is_err());
+        }
+
+        /// Truncating a checksummed image at any point is rejected.
+        #[test]
+        fn any_truncation_is_rejected(cut in 0usize..200) {
+            let space = GridSpace::new_2d(4, 4).unwrap();
+            let map = AllocationMap::from_table(
+                &space, 3, (0..16).map(|i| i % 3).collect()
+            ).unwrap();
+            let bytes = map.to_bytes();
+            let cut = cut % bytes.len();
+            prop_assert!(AllocationMap::from_bytes(&bytes[..cut]).is_err());
         }
     }
 }

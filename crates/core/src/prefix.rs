@@ -177,6 +177,39 @@ impl DiskCounts {
         acc.iter().map(|&c| c.max(0) as u64).max().unwrap_or(0)
     }
 
+    /// Response time of `region` restricted to the disks marked live in
+    /// `live`: the max per-disk count over live disks only. Dead disks'
+    /// buckets are excluded (they are served elsewhere — or not at all —
+    /// which degraded-mode execution accounts for separately). Still
+    /// `O(M · 2^k)`, so degraded evaluation keeps the kernel's cost
+    /// profile.
+    ///
+    /// # Panics
+    /// Panics if `live.len()` differs from the disk count (a caller
+    /// contract, like [`DiskCounts::count_on_disk`]'s range check).
+    pub fn masked_response_time(&self, region: &BucketRegion, live: &[bool]) -> u64 {
+        assert_eq!(
+            live.len(),
+            self.m as usize,
+            "live mask length {} does not match disk count {}",
+            live.len(),
+            self.m
+        );
+        let lanes = self.m as usize;
+        let mut acc: SmallVec<[i64; 32]> = SmallVec::from_elem(0i64, lanes);
+        self.for_each_corner(region, |sign, base| {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                *a += sign * i64::from(self.table[base + lane]);
+            }
+        });
+        acc.iter()
+            .zip(live)
+            .filter(|(_, &l)| l)
+            .map(|(&c, _)| c.max(0) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Bucket count of `region` on one disk (`2^k` lookups). Used by
     /// availability analysis, which only needs the failed disk's share.
     pub fn count_on_disk(&self, region: &BucketRegion, disk: u32) -> u64 {
@@ -284,6 +317,45 @@ mod tests {
     }
 
     #[test]
+    fn masked_response_time_matches_filtered_histogram() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let fx = FieldwiseXor::new(&g, 5).unwrap();
+        let (map, dc) = kernel_for(&g, &fx);
+        let r = BucketRegion::new(&g, [1, 1].into(), [6, 5].into()).unwrap();
+        let hist = map.access_histogram(&r);
+        // All-live mask equals the plain response time.
+        assert_eq!(
+            dc.masked_response_time(&r, &[true; 5]),
+            dc.response_time(&r)
+        );
+        // Every single-dead mask equals the max over the surviving lanes.
+        for dead in 0..5usize {
+            let mut live = [true; 5];
+            live[dead] = false;
+            let expect = hist
+                .iter()
+                .enumerate()
+                .filter(|&(d, _)| d != dead)
+                .map(|(_, &c)| c)
+                .max()
+                .unwrap();
+            assert_eq!(dc.masked_response_time(&r, &live), expect, "dead {dead}");
+        }
+        // No disk live: nothing to serve.
+        assert_eq!(dc.masked_response_time(&r, &[false; 5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "live mask length")]
+    fn masked_response_time_rejects_wrong_mask_length() {
+        let g = GridSpace::new_2d(4, 4).unwrap();
+        let dm = DiskModulo::new(&g, 3).unwrap();
+        let (_map, dc) = kernel_for(&g, &dm);
+        let r = BucketRegion::new(&g, [0, 0].into(), [1, 1].into()).unwrap();
+        let _ = dc.masked_response_time(&r, &[true, true]);
+    }
+
+    #[test]
     fn one_dimensional_grid() {
         let g = GridSpace::new(vec![17]).unwrap();
         let dm = DiskModulo::new(&g, 4).unwrap();
@@ -350,6 +422,25 @@ mod proptests {
         fn kernel_matches_naive_histogram((_g, map, r) in grid_method_region()) {
             let dc = map.disk_counts().unwrap();
             prop_assert_eq!(dc.access_histogram(&r), map.access_histogram(&r));
+        }
+
+        #[test]
+        fn masked_kernel_matches_filtered_naive(
+            (_g, map, r) in grid_method_region(),
+            mask_bits in any::<u64>()
+        ) {
+            let dc = map.disk_counts().unwrap();
+            let m = map.num_disks() as usize;
+            let live: Vec<bool> = (0..m).map(|d| mask_bits & (1 << d) != 0).collect();
+            let expect = map
+                .access_histogram(&r)
+                .iter()
+                .zip(&live)
+                .filter(|(_, &l)| l)
+                .map(|(&c, _)| c)
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(dc.masked_response_time(&r, &live), expect);
         }
     }
 }

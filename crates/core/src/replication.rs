@@ -1,4 +1,4 @@
-use crate::{AllocationMap, DeclusteringMethod, MethodError, Result};
+use crate::{AllocationMap, DeclusteringMethod, DiskCounts, MethodError, Result};
 use decluster_grid::{BucketRegion, DiskId};
 
 /// Chained-declustering replication (Hsiao & DeWitt) layered over any
@@ -84,6 +84,77 @@ impl ChainedDecluster {
             per_disk[serving.index()] += 1;
         }
         Some(per_disk.into_iter().max().unwrap_or(0))
+    }
+
+    /// Response time with an arbitrary set of failed disks (`failed[d]`
+    /// true means disk `d` is down): every bucket reads from its primary
+    /// when it is up, falls back to its chained backup when only the
+    /// primary is down, and is *unavailable* when both copies are down.
+    ///
+    /// Returns `None` when the mask length does not match the disk count
+    /// or when some bucket of the region has no live copy — the query
+    /// cannot be answered, which callers surface as an unavailability
+    /// outcome rather than a panic.
+    pub fn response_time_masked(&self, region: &BucketRegion, failed: &[bool]) -> Option<u64> {
+        let m = self.num_disks() as usize;
+        if failed.len() != m {
+            return None;
+        }
+        let mut per_disk = vec![0u64; m];
+        for bucket in region.iter() {
+            let primary = self.primary_of(bucket.as_slice());
+            let serving = if !failed[primary.index()] {
+                primary
+            } else {
+                let backup = self.backup_of(bucket.as_slice());
+                if failed[backup.index()] {
+                    return None; // both copies down: data lost
+                }
+                backup
+            };
+            per_disk[serving.index()] += 1;
+        }
+        Some(per_disk.into_iter().max().unwrap_or(0))
+    }
+
+    /// Kernel-accelerated degraded response time: the same answer as
+    /// [`ChainedDecluster::response_time_masked`], computed from a
+    /// [`DiskCounts`] kernel built over the *base* allocation in
+    /// `O(M · 2^k)` — independent of the query's area. The chain rule
+    /// makes this possible: every bucket's backup is a pure function of
+    /// its primary, so the degraded per-disk loads follow from the
+    /// primary histogram alone (a failed disk's whole share moves to its
+    /// chain successor).
+    ///
+    /// Returns `None` for a mismatched mask or when a failed disk with
+    /// buckets in the region has its successor down too (no live copy).
+    pub fn degraded_response_time(
+        &self,
+        kernel: &DiskCounts,
+        region: &BucketRegion,
+        failed: &[bool],
+    ) -> Option<u64> {
+        let m = self.num_disks() as usize;
+        if failed.len() != m || kernel.num_disks() != self.num_disks() {
+            return None;
+        }
+        let hist = kernel.access_histogram(region);
+        let mut loads = vec![0u64; m];
+        for (d, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !failed[d] {
+                loads[d] += count;
+            } else {
+                let backup = (d + 1) % m;
+                if failed[backup] {
+                    return None;
+                }
+                loads[backup] += count;
+            }
+        }
+        Some(loads.into_iter().max().unwrap_or(0))
     }
 
     /// The worst degraded response time over all single-disk failures.
@@ -193,6 +264,92 @@ mod tests {
         let r = region(&space, [0, 0], [1, 1]);
         assert!(chain.response_time(&r, Some(DiskId(4))).is_none());
         assert!(chain.response_time(&r, Some(DiskId(3))).is_some());
+    }
+
+    #[test]
+    fn masked_single_failure_matches_the_option_api() {
+        let (space, chain) = chained(6);
+        for (lo, hi) in [([0u32, 0u32], [4u32, 4u32]), ([3, 1], [11, 9])] {
+            let r = region(&space, lo, hi);
+            for f in 0..6usize {
+                let mut failed = [false; 6];
+                failed[f] = true;
+                assert_eq!(
+                    chain.response_time_masked(&r, &failed),
+                    chain.response_time(&r, Some(DiskId(f as u32))),
+                    "failure {f}"
+                );
+            }
+            // No failures: the healthy response time.
+            assert_eq!(
+                chain.response_time_masked(&r, &[false; 6]),
+                chain.response_time(&r, None)
+            );
+        }
+    }
+
+    #[test]
+    fn masked_adjacent_double_failure_loses_data() {
+        // Disks f and f+1 both down: any bucket whose primary is f has
+        // its only backup on f+1 — unavailable.
+        let (space, chain) = chained(4);
+        let r = region(&space, [0, 0], [3, 3]); // 16 buckets touch all 4 disks
+        assert!(chain
+            .response_time_masked(&r, &[true, true, false, false])
+            .is_none());
+        // Non-adjacent double failure of DM on this region is also fatal
+        // only via adjacency; disks 0 and 2 are not chained, so buckets
+        // of 0 go to 1 and buckets of 2 go to 3.
+        let rt = chain
+            .response_time_masked(&r, &[true, false, true, false])
+            .unwrap();
+        assert!(rt >= chain.response_time(&r, None).unwrap());
+    }
+
+    #[test]
+    fn masked_rejects_wrong_length() {
+        let (space, chain) = chained(4);
+        let r = region(&space, [0, 0], [1, 1]);
+        assert!(chain.response_time_masked(&r, &[false; 3]).is_none());
+        assert!(chain.response_time_masked(&r, &[false; 5]).is_none());
+    }
+
+    #[test]
+    fn kernel_degraded_matches_naive_masked() {
+        let (space, chain) = chained(5);
+        let kernel = chain.base().disk_counts().unwrap();
+        for (lo, hi) in [
+            ([0u32, 0u32], [3u32, 3u32]),
+            ([2, 5], [9, 14]),
+            ([0, 0], [15, 15]),
+            ([7, 7], [7, 7]),
+        ] {
+            let r = region(&space, lo, hi);
+            // Every single and double failure pattern over 5 disks.
+            for bits in 0u32..(1 << 5) {
+                if bits.count_ones() > 2 {
+                    continue;
+                }
+                let failed: Vec<bool> = (0..5).map(|d| bits & (1 << d) != 0).collect();
+                assert_eq!(
+                    chain.degraded_response_time(&kernel, &r, &failed),
+                    chain.response_time_masked(&r, &failed),
+                    "mask {bits:05b} on {lo:?}..{hi:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_degraded_rejects_mismatched_kernel() {
+        let (space, chain) = chained(5);
+        let other = DiskModulo::new(&space, 4).unwrap();
+        let other_map = AllocationMap::from_method(&space, &other).unwrap();
+        let wrong_kernel = other_map.disk_counts().unwrap();
+        let r = region(&space, [0, 0], [2, 2]);
+        assert!(chain
+            .degraded_response_time(&wrong_kernel, &r, &[false; 5])
+            .is_none());
     }
 
     #[test]

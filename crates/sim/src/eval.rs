@@ -1,4 +1,5 @@
-use crate::{optimal_response_time, Summary};
+use crate::faults::{degraded_outcome, FaultMethodStats, FaultSchedule, QueryOutcome, RetryPolicy};
+use crate::{optimal_response_time, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
 use decluster_methods::{AllocationMap, DeclusteringMethod, DiskCounts, MethodRegistry};
 
@@ -82,6 +83,15 @@ impl EvalContext {
         }
     }
 
+    /// Per-disk bucket counts of `region` under method `idx`, through the
+    /// kernel (`O(M · 2^k)`) when one exists, the naive walk otherwise.
+    pub fn access_histogram(&self, idx: usize, region: &BucketRegion) -> Vec<u64> {
+        match &self.kernels[idx] {
+            Some(kernel) => kernel.access_histogram(region),
+            None => self.maps[idx].access_histogram(region),
+        }
+    }
+
     /// Scores every method against a query population: per-method
     /// response-time summaries plus the mean optimal bound
     /// `ceil(|Q|/M)`.
@@ -104,6 +114,121 @@ impl EvalContext {
                 / regions.len() as f64
         };
         (summaries, opt_mean)
+    }
+}
+
+/// A fault-injection view over an [`EvalContext`]: the same methods, the
+/// same kernels, but every query is executed against a [`FaultSchedule`]
+/// at a logical time equal to its index in the stream.
+///
+/// Each method is scored twice — unreplicated (a touched dead disk makes
+/// the query [`QueryOutcome::Unavailable`]) and with chained-declustering
+/// failover (`<name>+chain`) — so the availability gap replication buys
+/// is visible in one table.
+#[derive(Clone, Debug)]
+pub struct DegradedContext<'a> {
+    ctx: &'a EvalContext,
+    schedule: &'a FaultSchedule,
+    policy: RetryPolicy,
+}
+
+impl<'a> DegradedContext<'a> {
+    /// Wraps a context for degraded evaluation under `schedule`.
+    ///
+    /// # Errors
+    /// [`SimError::ScheduleMismatch`] when the schedule covers a
+    /// different disk count than the context's methods.
+    pub fn new(
+        ctx: &'a EvalContext,
+        schedule: &'a FaultSchedule,
+        policy: RetryPolicy,
+    ) -> Result<Self> {
+        if schedule.num_disks() != ctx.num_disks() {
+            return Err(SimError::ScheduleMismatch {
+                schedule_disks: schedule.num_disks(),
+                experiment_disks: ctx.num_disks(),
+            });
+        }
+        Ok(DegradedContext {
+            ctx,
+            schedule,
+            policy,
+        })
+    }
+
+    /// The outcome of `region` under method `idx` at logical time `t`,
+    /// with or without chained failover.
+    pub fn outcome(
+        &self,
+        idx: usize,
+        t: u64,
+        region: &BucketRegion,
+        chained: bool,
+    ) -> QueryOutcome {
+        let hist = self.ctx.access_histogram(idx, region);
+        degraded_outcome(&hist, self.schedule, t, &self.policy, chained)
+    }
+
+    /// Scores every method against a query stream (query `i` executes at
+    /// logical time `i`), returning two rows per method: the unreplicated
+    /// variant and `<name>+chain`. Deterministic for any caller-side
+    /// parallelization, because outcomes depend only on `(method, i)`.
+    pub fn score(&self, regions: &[BucketRegion]) -> Vec<FaultMethodStats> {
+        let mut rows = Vec::with_capacity(self.ctx.maps().len() * 2);
+        for idx in 0..self.ctx.maps().len() {
+            for chained in [false, true] {
+                rows.push(self.score_variant(idx, regions, chained));
+            }
+        }
+        rows
+    }
+
+    /// Scores one method/variant pair of [`DegradedContext::score`]:
+    /// method `idx`, with or without chained failover. Exposed separately
+    /// so the experiment harness can fan variants out over its executor.
+    pub fn score_variant(
+        &self,
+        idx: usize,
+        regions: &[BucketRegion],
+        chained: bool,
+    ) -> FaultMethodStats {
+        let name = self.ctx.maps()[idx].name();
+        let mut healthy = Vec::with_capacity(regions.len());
+        let mut degraded = Vec::with_capacity(regions.len());
+        let mut unavailable = 0usize;
+        let mut failover_buckets = 0u64;
+        for (i, region) in regions.iter().enumerate() {
+            healthy.push(self.ctx.response_time(idx, region));
+            match self.outcome(idx, i as u64, region, chained) {
+                QueryOutcome::Served {
+                    response_time,
+                    failover_buckets: fo,
+                    ..
+                } => {
+                    degraded.push(response_time);
+                    failover_buckets += fo;
+                }
+                QueryOutcome::Unavailable { .. } => unavailable += 1,
+            }
+        }
+        let served = degraded.len();
+        FaultMethodStats {
+            name: if chained {
+                format!("{name}+chain")
+            } else {
+                name.to_owned()
+            },
+            healthy: Summary::of_counts(&healthy),
+            degraded: Summary::of_counts(&degraded),
+            served,
+            unavailable,
+            availability: if regions.is_empty() {
+                1.0
+            } else {
+                served as f64 / regions.len() as f64
+            },
+            failover_buckets,
+        }
     }
 }
 
@@ -144,5 +269,70 @@ mod tests {
         let (empty, opt0) = ctx.score(&[]);
         assert_eq!(empty.len(), ctx.maps().len());
         assert_eq!(opt0, 0.0);
+    }
+
+    #[test]
+    fn degraded_context_rejects_wrong_disk_count() {
+        let ctx = context(); // 4 disks
+        let schedule = FaultSchedule::healthy(8);
+        assert!(matches!(
+            DegradedContext::new(&ctx, &schedule, RetryPolicy::default()).unwrap_err(),
+            crate::SimError::ScheduleMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn degraded_context_healthy_schedule_matches_plain_scoring() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ctx = context();
+        let schedule = FaultSchedule::healthy(4);
+        let dctx = DegradedContext::new(&ctx, &schedule, RetryPolicy::default()).unwrap();
+        let regions: Vec<_> = [([0u32, 0u32], [3u32, 3u32]), ([2, 2], [6, 5])]
+            .iter()
+            .map(|&(lo, hi)| RangeQuery::new(lo, hi).unwrap().region(&g).unwrap())
+            .collect();
+        let rows = dctx.score(&regions);
+        assert_eq!(rows.len(), 2 * ctx.maps().len());
+        for row in &rows {
+            assert_eq!(row.unavailable, 0);
+            assert_eq!(row.availability, 1.0);
+            assert_eq!(row.failover_buckets, 0);
+            assert_eq!(row.degraded.mean, row.healthy.mean, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn chained_rows_stay_available_under_a_single_failure() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ctx = context();
+        let schedule = FaultSchedule::healthy(4).fail_stop(1, 0).unwrap();
+        let dctx = DegradedContext::new(&ctx, &schedule, RetryPolicy::default()).unwrap();
+        // Big queries: every method touches all 4 disks, so unreplicated
+        // availability collapses while chained stays perfect.
+        let regions: Vec<_> = (0..4)
+            .map(|i| {
+                RangeQuery::new([0, i], [7, i + 3])
+                    .unwrap()
+                    .region(&g)
+                    .unwrap()
+            })
+            .collect();
+        let rows = dctx.score(&regions);
+        for row in &rows {
+            if row.name.ends_with("+chain") {
+                assert_eq!(row.availability, 1.0, "{}", row.name);
+                assert!(
+                    row.degraded.mean >= row.healthy.mean,
+                    "{}: degraded {} < healthy {}",
+                    row.name,
+                    row.degraded.mean,
+                    row.healthy.mean
+                );
+                assert!(row.failover_buckets > 0, "{}", row.name);
+            } else {
+                assert_eq!(row.availability, 0.0, "{}", row.name);
+                assert_eq!(row.served, 0, "{}", row.name);
+            }
+        }
     }
 }

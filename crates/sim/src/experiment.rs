@@ -1,5 +1,6 @@
-use crate::eval::EvalContext;
+use crate::eval::{DegradedContext, EvalContext};
 use crate::exec::{derive_point_seed, run_indexed};
+use crate::faults::{FaultReport, FaultSchedule, RetryPolicy};
 use crate::workload::{
     partial_match_with_unspecified, random_region, rect_sides_for_area, ShapeSweep, SizeSweep,
 };
@@ -405,6 +406,58 @@ impl Experiment {
         ))
     }
 
+    /// **Fault-injection workload (extension).** A single query stream
+    /// of near-square queries of `area`, executed against `schedule`
+    /// (query `i` at logical fault time `i`) under `policy`. Every method
+    /// is reported twice — unreplicated and with chained-declustering
+    /// failover (`<name>+chain`) — so the table shows degraded response
+    /// time, availability, and what replication buys, side by side.
+    ///
+    /// Methods are scored by the deterministic parallel executor, one
+    /// task per method variant; since the query stream and the schedule
+    /// are fixed up front, results are bit-identical for any thread
+    /// count.
+    ///
+    /// # Errors
+    /// [`SimError::ScheduleMismatch`] when the schedule covers a
+    /// different disk count; [`SimError::QueryDoesNotFit`] as above.
+    pub fn run_fault_workload(
+        &self,
+        area: u64,
+        schedule: &FaultSchedule,
+        policy: &RetryPolicy,
+    ) -> Result<FaultReport> {
+        let sides = rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
+            SimError::QueryDoesNotFit {
+                extents: vec![area as u32],
+                dims: self.space.dims().to_vec(),
+            }
+        })?;
+        // One shared stream: the fault clock is the query index, so the
+        // whole stream is generated before any fan-out.
+        let mut rng = StdRng::seed_from_u64(derive_point_seed(self.seed, 0));
+        let regions: Vec<BucketRegion> = (0..self.queries_per_point)
+            .map(|_| random_region(&mut rng, &self.space, &sides))
+            .collect::<Result<_>>()?;
+        let ctx = self.context_for(&self.space, self.m);
+        let dctx = DegradedContext::new(&ctx, schedule, *policy)?;
+        let variants = ctx.maps().len() * 2;
+        let rows = run_indexed(self.effective_threads(), variants, |i| {
+            dctx.score_variant(i / 2, &regions, i % 2 == 1)
+        });
+        Ok(FaultReport {
+            title: format!(
+                "Fault workload: degraded RT and availability at query area {} (grid {:?}, M={}, faults: {})",
+                area,
+                self.space.dims(),
+                self.m,
+                schedule.describe()
+            ),
+            schedule: schedule.describe(),
+            rows,
+        })
+    }
+
     /// **Partial-match table.** Mean RT per method for partial-match
     /// queries with 1, 2, … `k − 1` unspecified attributes (sampled), plus
     /// point queries at x = 0.
@@ -600,6 +653,78 @@ mod tests {
                 .run_size_sweep(&SizeSweep::explicit(vec![]))
                 .unwrap_err(),
             SimError::EmptySweep
+        ));
+    }
+
+    #[test]
+    fn fault_workload_reports_both_variants_per_method() {
+        let schedule = FaultSchedule::healthy(8).fail_stop(3, 32).unwrap();
+        let r = experiment()
+            .run_fault_workload(16, &schedule, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(r.rows.len(), 8); // 4 paper methods x {plain, +chain}
+        assert!(r.title.contains("fail:3@32"));
+        for pair in r.rows.chunks(2) {
+            let (plain, chain) = (&pair[0], &pair[1]);
+            assert_eq!(format!("{}+chain", plain.name), chain.name);
+            // Single failure: chained serves everything, degraded >= healthy.
+            assert_eq!(chain.availability, 1.0, "{}", chain.name);
+            assert_eq!(chain.unavailable, 0);
+            assert!(chain.degraded.mean >= chain.healthy.mean, "{}", chain.name);
+            assert!(chain.degraded.max >= chain.degraded.mean);
+            // Unreplicated: queries from time 32 on that touch disk 3 die.
+            assert!(plain.availability < 1.0, "{}", plain.name);
+            assert_eq!(plain.served + plain.unavailable, 64);
+        }
+    }
+
+    #[test]
+    fn fault_workload_is_thread_count_invariant() {
+        let schedule = FaultSchedule::healthy(8)
+            .fail_stop(1, 10)
+            .unwrap()
+            .slow(5, 2.0, 0, 40)
+            .unwrap();
+        let base = experiment()
+            .with_threads(1)
+            .run_fault_workload(16, &schedule, &RetryPolicy::default())
+            .unwrap();
+        for threads in [2, 8, 0] {
+            let other = experiment()
+                .with_threads(threads)
+                .run_fault_workload(16, &schedule, &RetryPolicy::default())
+                .unwrap();
+            assert_eq!(base.rows.len(), other.rows.len());
+            for (a, b) in base.rows.iter().zip(&other.rows) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.degraded, b.degraded, "{} at {threads} threads", a.name);
+                assert_eq!(a.healthy, b.healthy);
+                assert_eq!(a.served, b.served);
+                assert_eq!(a.unavailable, b.unavailable);
+                assert_eq!(a.failover_buckets, b.failover_buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_workload_healthy_schedule_changes_nothing() {
+        let r = experiment()
+            .run_fault_workload(16, &FaultSchedule::healthy(8), &RetryPolicy::default())
+            .unwrap();
+        for row in &r.rows {
+            assert_eq!(row.availability, 1.0, "{}", row.name);
+            assert_eq!(row.degraded.mean, row.healthy.mean, "{}", row.name);
+            assert_eq!(row.failover_buckets, 0);
+        }
+    }
+
+    #[test]
+    fn fault_workload_rejects_mismatched_schedule() {
+        assert!(matches!(
+            experiment()
+                .run_fault_workload(16, &FaultSchedule::healthy(4), &RetryPolicy::default())
+                .unwrap_err(),
+            SimError::ScheduleMismatch { .. }
         ));
     }
 

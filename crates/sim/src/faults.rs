@@ -1,0 +1,1021 @@
+//! Deterministic fault models and degraded-mode query execution.
+//!
+//! The paper scopes failures out ("a data subspace can be assigned to
+//! [only] one disk"), but a declustering method's value in a real
+//! parallel I/O system is precisely its behavior when disks misbehave.
+//! This module supplies the missing driver: a [`FaultSchedule`] describes
+//! *when* each disk fails, recovers, or slows down on a **logical clock**
+//! (the index of the query being served), and [`degraded_outcome`] turns
+//! a query's per-disk access histogram into what actually happens —
+//! served at a degraded response time, or [`QueryOutcome::Unavailable`]
+//! when no live copy of some bucket exists.
+//!
+//! Keying fault states on logical time rather than wall-clock makes every
+//! run reproducible under any `--threads` setting: the schedule is a pure
+//! function of the query index, so the parallel sweep executor can hand
+//! queries to any thread in any order without changing a single number.
+//!
+//! The failover model is chained declustering's: a failed disk's batch
+//! moves to its chain successor `(d + 1) mod M` after a timeout and
+//! bounded retries ([`RetryPolicy`]), so degraded response time is never
+//! below the fault-free response time — the failed disk's entire share
+//! lands on one survivor. Without replication a failed disk with touched
+//! buckets makes the query unavailable instead.
+
+use crate::{DiskParams, Result, SimError, Summary};
+use decluster_grid::GridDirectory;
+use std::fmt::Write as _;
+
+/// The state of one disk at one logical instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DiskState {
+    /// Serving normally.
+    Up,
+    /// Fail-stopped or inside a transient outage window: serves nothing.
+    Down,
+    /// A "gray" disk: serving, but every batch takes `factor` times as
+    /// long (`factor >= 1`).
+    Slow(f64),
+}
+
+impl DiskState {
+    /// Whether the disk can serve at all.
+    pub fn is_live(self) -> bool {
+        !matches!(self, DiskState::Down)
+    }
+
+    /// The latency multiplier this state imposes (1 for `Up`, the factor
+    /// for `Slow`; meaningless for `Down`).
+    pub fn latency_factor(self) -> f64 {
+        match self {
+            DiskState::Slow(f) => f,
+            _ => 1.0,
+        }
+    }
+}
+
+/// One deterministic fault event on the logical clock. Intervals are
+/// half-open: `from` is the first affected instant, `until` the first
+/// unaffected one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// The disk stops at `at` and never returns.
+    FailStop {
+        /// Affected disk.
+        disk: u32,
+        /// First logical instant at which the disk is down.
+        at: u64,
+    },
+    /// The disk is unavailable during `[from, until)` and then recovers.
+    Transient {
+        /// Affected disk.
+        disk: u32,
+        /// First down instant.
+        from: u64,
+        /// First instant back up.
+        until: u64,
+    },
+    /// The disk serves at `factor`× latency during `[from, until)`.
+    Slow {
+        /// Affected disk.
+        disk: u32,
+        /// Latency multiplier, `>= 1`.
+        factor: f64,
+        /// First slow instant.
+        from: u64,
+        /// First instant back to full speed.
+        until: u64,
+    },
+}
+
+/// A deterministic fault schedule over `M` disks.
+///
+/// Built programmatically ([`FaultSchedule::fail_stop`] etc.) or parsed
+/// from the CLI grammar ([`FaultSchedule::parse`]):
+///
+/// ```text
+/// fail:<disk>@<t>                      fail-stop at logical time t
+/// transient:<disk>@<from>..<until>     outage window [from, until)
+/// slow:<disk>x<factor>@<from>..<until> gray disk at factor x latency
+/// ```
+///
+/// Events are comma-separated; `none` (or an empty spec) is the healthy
+/// schedule. `Down` wins over `Slow`; overlapping slow windows compose by
+/// taking the largest factor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    m: u32,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The healthy schedule: no events over `m` disks.
+    pub fn healthy(m: u32) -> Self {
+        FaultSchedule {
+            m,
+            events: Vec::new(),
+        }
+    }
+
+    fn check_disk(&self, disk: u32) -> Result<()> {
+        if disk >= self.m {
+            return Err(SimError::BadFaultSpec {
+                spec: format!("disk {disk}"),
+                reason: format!("disk index out of range (M = {})", self.m),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_window(from: u64, until: u64) -> Result<()> {
+        if from >= until {
+            return Err(SimError::BadFaultSpec {
+                spec: format!("{from}..{until}"),
+                reason: "window must satisfy from < until".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a fail-stop of `disk` at logical time `at`.
+    ///
+    /// # Errors
+    /// [`SimError::BadFaultSpec`] when `disk` is out of range.
+    pub fn fail_stop(mut self, disk: u32, at: u64) -> Result<Self> {
+        self.check_disk(disk)?;
+        self.events.push(FaultEvent::FailStop { disk, at });
+        Ok(self)
+    }
+
+    /// Adds a transient outage of `disk` over `[from, until)`.
+    ///
+    /// # Errors
+    /// [`SimError::BadFaultSpec`] for an out-of-range disk or an empty
+    /// window.
+    pub fn transient(mut self, disk: u32, from: u64, until: u64) -> Result<Self> {
+        self.check_disk(disk)?;
+        Self::check_window(from, until)?;
+        self.events
+            .push(FaultEvent::Transient { disk, from, until });
+        Ok(self)
+    }
+
+    /// Adds a gray-disk window: `disk` serves at `factor`× latency over
+    /// `[from, until)`.
+    ///
+    /// # Errors
+    /// [`SimError::BadFaultSpec`] for an out-of-range disk, an empty
+    /// window, or a factor below 1 (a disk cannot get faster by failing —
+    /// and the degraded ≥ healthy invariant depends on it).
+    pub fn slow(mut self, disk: u32, factor: f64, from: u64, until: u64) -> Result<Self> {
+        self.check_disk(disk)?;
+        Self::check_window(from, until)?;
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(SimError::BadFaultSpec {
+                spec: format!("slow factor {factor}"),
+                reason: "slow factor must be a finite number >= 1".into(),
+            });
+        }
+        self.events.push(FaultEvent::Slow {
+            disk,
+            factor,
+            from,
+            until,
+        });
+        Ok(self)
+    }
+
+    /// Parses the CLI fault grammar (see the type docs) against `m`
+    /// disks.
+    ///
+    /// # Errors
+    /// [`SimError::BadFaultSpec`] naming the offending clause for any
+    /// syntax or range problem.
+    pub fn parse(spec: &str, m: u32) -> Result<Self> {
+        let mut schedule = FaultSchedule::healthy(m);
+        let trimmed = spec.trim();
+        if trimmed.is_empty() || trimmed == "none" {
+            return Ok(schedule);
+        }
+        for clause in trimmed.split(',') {
+            let clause = clause.trim();
+            let bad = |reason: &str| SimError::BadFaultSpec {
+                spec: clause.to_owned(),
+                reason: reason.to_owned(),
+            };
+            let (kind, rest) = clause.split_once(':').ok_or_else(|| {
+                bad("expected fail:<disk>@<t>, transient:<disk>@<from>..<until>, or slow:<disk>x<factor>@<from>..<until>")
+            })?;
+            match kind {
+                "fail" => {
+                    let (disk, at) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad("expected fail:<disk>@<t>"))?;
+                    let disk: u32 = disk.parse().map_err(|_| bad("disk must be an integer"))?;
+                    let at: u64 = at.parse().map_err(|_| bad("time must be an integer"))?;
+                    schedule = schedule.fail_stop(disk, at)?;
+                }
+                "transient" => {
+                    let (disk, window) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad("expected transient:<disk>@<from>..<until>"))?;
+                    let disk: u32 = disk.parse().map_err(|_| bad("disk must be an integer"))?;
+                    let (from, until) = window
+                        .split_once("..")
+                        .ok_or_else(|| bad("window must be <from>..<until>"))?;
+                    let from: u64 = from
+                        .parse()
+                        .map_err(|_| bad("window start must be an integer"))?;
+                    let until: u64 = until
+                        .parse()
+                        .map_err(|_| bad("window end must be an integer"))?;
+                    schedule = schedule.transient(disk, from, until)?;
+                }
+                "slow" => {
+                    let (head, window) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad("expected slow:<disk>x<factor>@<from>..<until>"))?;
+                    let (disk, factor) = head
+                        .split_once('x')
+                        .ok_or_else(|| bad("expected <disk>x<factor> before @"))?;
+                    let disk: u32 = disk.parse().map_err(|_| bad("disk must be an integer"))?;
+                    let factor: f64 = factor.parse().map_err(|_| bad("factor must be a number"))?;
+                    let (from, until) = window
+                        .split_once("..")
+                        .ok_or_else(|| bad("window must be <from>..<until>"))?;
+                    let from: u64 = from
+                        .parse()
+                        .map_err(|_| bad("window start must be an integer"))?;
+                    let until: u64 = until
+                        .parse()
+                        .map_err(|_| bad("window end must be an integer"))?;
+                    schedule = schedule.slow(disk, factor, from, until)?;
+                }
+                other => {
+                    return Err(SimError::BadFaultSpec {
+                        spec: clause.to_owned(),
+                        reason: format!(
+                            "unknown fault kind {other:?} (want fail, transient, or slow)"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(schedule)
+    }
+
+    /// Number of disks the schedule covers.
+    pub fn num_disks(&self) -> u32 {
+        self.m
+    }
+
+    /// The events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule is the healthy one.
+    pub fn is_healthy(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The state of `disk` at logical time `t`. `Down` wins over `Slow`;
+    /// overlapping slow windows take the largest factor.
+    ///
+    /// # Panics
+    /// Panics if `disk` is out of range (schedules validate disks at
+    /// construction, so this is a caller bug).
+    pub fn state_at(&self, disk: u32, t: u64) -> DiskState {
+        assert!(disk < self.m, "disk {disk} out of range (M = {})", self.m);
+        let mut slow = 1.0f64;
+        for event in &self.events {
+            match *event {
+                FaultEvent::FailStop { disk: d, at } if d == disk && t >= at => {
+                    return DiskState::Down;
+                }
+                FaultEvent::Transient {
+                    disk: d,
+                    from,
+                    until,
+                } if d == disk && t >= from && t < until => {
+                    return DiskState::Down;
+                }
+                FaultEvent::Slow {
+                    disk: d,
+                    factor,
+                    from,
+                    until,
+                } if d == disk && t >= from && t < until => {
+                    slow = slow.max(factor);
+                }
+                _ => {}
+            }
+        }
+        if slow > 1.0 {
+            DiskState::Slow(slow)
+        } else {
+            DiskState::Up
+        }
+    }
+
+    /// The failed-disk mask at time `t`: `mask[d]` is true when disk `d`
+    /// is down.
+    pub fn failed_mask(&self, t: u64) -> Vec<bool> {
+        (0..self.m)
+            .map(|d| !self.state_at(d, t).is_live())
+            .collect()
+    }
+
+    /// A one-line human description of the schedule.
+    pub fn describe(&self) -> String {
+        if self.is_healthy() {
+            return "healthy".to_owned();
+        }
+        let mut out = String::new();
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match *event {
+                FaultEvent::FailStop { disk, at } => {
+                    let _ = write!(out, "fail:{disk}@{at}");
+                }
+                FaultEvent::Transient { disk, from, until } => {
+                    let _ = write!(out, "transient:{disk}@{from}..{until}");
+                }
+                FaultEvent::Slow {
+                    disk,
+                    factor,
+                    from,
+                    until,
+                } => {
+                    let _ = write!(out, "slow:{disk}x{factor}@{from}..{until}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Timeout-and-retry behavior of a client whose batch hits a dead disk.
+///
+/// A batch to a down disk waits `timeout_units` response-time units, is
+/// retried `max_retries` times (each retry paying the timeout again), and
+/// then fails over to the chained backup. The total detection penalty of
+/// `timeout_units × (1 + max_retries)` units is charged to the failover
+/// batch before the backup disk starts serving it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Response-time units a batch waits before declaring its disk dead.
+    pub timeout_units: u64,
+    /// How many times the batch is retried before failing over.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    /// One unit of timeout and a single retry — failure detection costs
+    /// two units before the failover batch is issued.
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_units: 1,
+            max_retries: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with instant failure detection (no timeout, no retries).
+    /// Degraded response times then exactly match the analytic chained
+    /// model in `decluster-methods`.
+    pub fn instant() -> Self {
+        RetryPolicy {
+            timeout_units: 0,
+            max_retries: 0,
+        }
+    }
+
+    /// Total detection cost before failover, in response-time units:
+    /// `timeout_units × (1 + max_retries)`.
+    pub fn detection_units(&self) -> u64 {
+        self.timeout_units * (1 + u64::from(self.max_retries))
+    }
+}
+
+/// What happened to one query under a fault schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Every touched bucket had a live copy; the query completed.
+    Served {
+        /// Degraded response time in bucket-retrieval units (including
+        /// slow-disk inflation and timeout penalties).
+        response_time: u64,
+        /// Buckets served by a chain backup instead of their primary.
+        failover_buckets: u64,
+        /// Detection penalty units charged to failover batches (0 when
+        /// nothing failed over).
+        timeout_penalty: u64,
+    },
+    /// Some touched bucket had no live copy; the query cannot complete.
+    /// An error outcome, not a panic.
+    Unavailable {
+        /// Buckets with no live copy.
+        dead_buckets: u64,
+    },
+    // (An explicit enum rather than Result so that "the disk array lost
+    // data" flows through statistics as a countable outcome.)
+}
+
+impl QueryOutcome {
+    /// The response time, when served.
+    pub fn response_time(&self) -> Option<u64> {
+        match self {
+            QueryOutcome::Served { response_time, .. } => Some(*response_time),
+            QueryOutcome::Unavailable { .. } => None,
+        }
+    }
+
+    /// Whether the query completed.
+    pub fn is_served(&self) -> bool {
+        matches!(self, QueryOutcome::Served { .. })
+    }
+}
+
+/// Executes one query's access histogram against the fault schedule at
+/// logical time `t` and returns its outcome.
+///
+/// `hist[d]` is the number of the query's buckets whose *primary* lives
+/// on disk `d` (from [`decluster_methods::DiskCounts::access_histogram`]
+/// or the naive walk — identical either way). With `chained` set, a down
+/// disk's batch fails over to its chain successor `(d + 1) mod M`, paying
+/// the policy's detection penalty; without replication any touched down
+/// disk makes the query unavailable.
+///
+/// Deterministic, and the served response time is never below the
+/// fault-free `max(hist)`: live disks keep at least their own load, slow
+/// factors only inflate (`factor >= 1` is enforced at construction), and
+/// a failed disk's entire share lands on its single chain successor.
+///
+/// # Panics
+/// Panics if `hist.len()` differs from the schedule's disk count (caller
+/// bug — both derive from the same allocation).
+pub fn degraded_outcome(
+    hist: &[u64],
+    schedule: &FaultSchedule,
+    t: u64,
+    policy: &RetryPolicy,
+    chained: bool,
+) -> QueryOutcome {
+    let m = schedule.num_disks() as usize;
+    assert_eq!(hist.len(), m, "histogram arity {} != M = {m}", hist.len());
+    let scale = |count: u64, state: DiskState| -> u64 {
+        match state {
+            DiskState::Slow(f) => (count as f64 * f).ceil() as u64,
+            _ => count,
+        }
+    };
+    let mut loads = vec![0u64; m];
+    let mut failover_buckets = 0u64;
+    let mut timeout_penalty = 0u64;
+    let mut dead_buckets = 0u64;
+    for (d, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let state = schedule.state_at(d as u32, t);
+        if state.is_live() {
+            loads[d] += scale(count, state);
+            continue;
+        }
+        if !chained {
+            dead_buckets += count;
+            continue;
+        }
+        let backup = (d + 1) % m;
+        let backup_state = schedule.state_at(backup as u32, t);
+        if !backup_state.is_live() {
+            dead_buckets += count;
+            continue;
+        }
+        // The whole batch moves to the chain successor after detection.
+        loads[backup] += scale(count, backup_state) + policy.detection_units();
+        failover_buckets += count;
+        timeout_penalty += policy.detection_units();
+    }
+    if dead_buckets > 0 {
+        return QueryOutcome::Unavailable { dead_buckets };
+    }
+    QueryOutcome::Served {
+        response_time: loads.into_iter().max().unwrap_or(0),
+        failover_buckets,
+        timeout_penalty,
+    }
+}
+
+/// Per-method statistics of a fault-injection run: the healthy and
+/// degraded response-time distributions side by side, plus availability.
+#[derive(Clone, Debug)]
+pub struct FaultMethodStats {
+    /// Row label (`DM`, `DM+chain`, …).
+    pub name: String,
+    /// Fault-free response-time summary of the same query stream.
+    pub healthy: Summary,
+    /// Degraded response-time summary over the *served* queries.
+    pub degraded: Summary,
+    /// Queries that completed.
+    pub served: usize,
+    /// Queries with no live copy of some bucket.
+    pub unavailable: usize,
+    /// Fraction of queries served, in `[0, 1]`.
+    pub availability: f64,
+    /// Total buckets served by chain backups.
+    pub failover_buckets: u64,
+}
+
+/// The output of a fault-injection experiment: one row per method
+/// variant (unreplicated and `+chain`).
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Human-readable experiment title.
+    pub title: String,
+    /// The schedule driving the run, as [`FaultSchedule::describe`]s it.
+    pub schedule: String,
+    /// One row per method variant.
+    pub rows: Vec<FaultMethodStats>,
+}
+
+/// The outcome of rebuilding a failed disk from its chain replicas while
+/// a foreground workload keeps running.
+#[derive(Clone, Debug)]
+pub struct RebuildReport {
+    /// The disk being rebuilt.
+    pub failed_disk: u32,
+    /// Pages replayed from the replica disk.
+    pub pages_rebuilt: u64,
+    /// Wall-clock time (ms) until the last rebuild chunk was written.
+    pub rebuild_ms: f64,
+    /// Foreground throughput with all disks healthy, queries/s.
+    pub healthy_qps: f64,
+    /// Foreground throughput during the rebuild, queries/s.
+    pub degraded_qps: f64,
+    /// `healthy_qps / degraded_qps` — how much the rebuild (plus the
+    /// failover load) slows the foreground; `>= 1` by construction.
+    pub interference_factor: f64,
+}
+
+/// Pages per rebuild chunk: the replica disk interleaves one chunk of
+/// sequential replica reads between foreground batches, the classic
+/// throttled-rebuild policy.
+const REBUILD_CHUNK_PAGES: u64 = 16;
+
+/// Simulates rebuilding `failed`'s contents from its chain replica while
+/// `queries` run closed-loop with `clients` users.
+///
+/// The replica source is the chain successor `(failed + 1) mod M`: it
+/// holds the backup copy of every page the failed disk owned. Foreground
+/// batches destined for the failed disk are served by the source too
+/// (chained failover), and between foreground batches the source disk
+/// reads one [`REBUILD_CHUNK_PAGES`]-page sequential chunk of replica
+/// data until the whole failed disk has been replayed. Deterministic.
+///
+/// # Errors
+/// [`SimError::BadFaultSpec`] when `failed` is out of range.
+///
+/// # Panics
+/// Panics if `clients == 0`.
+pub fn simulate_rebuild(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    failed: u32,
+    queries: &[decluster_grid::BucketRegion],
+    clients: usize,
+) -> Result<RebuildReport> {
+    assert!(clients > 0, "closed loop needs at least one client");
+    let m = dir.num_disks();
+    if failed >= m {
+        return Err(SimError::BadFaultSpec {
+            spec: format!("disk {failed}"),
+            reason: format!("rebuild target out of range (M = {m})"),
+        });
+    }
+    let m = m as usize;
+    let source = (failed as usize + 1) % m;
+    let loads = dir.load_vector();
+    let pages_rebuilt = loads[failed as usize];
+    let chunk_pages: Vec<u64> = (0..REBUILD_CHUNK_PAGES.min(pages_rebuilt.max(1))).collect();
+    let chunk_ms = params.batch_ms(&chunk_pages, loads[source]);
+    let mut chunks_left = pages_rebuilt.div_ceil(REBUILD_CHUNK_PAGES);
+
+    let healthy = crate::run_closed_loop(dir, params, queries, clients);
+
+    // Degraded closed loop: the failed disk's batches are redirected to
+    // the source, which also interleaves one rebuild chunk before each
+    // foreground batch it serves.
+    let mut disk_free_at = vec![0.0f64; m];
+    let mut clients_ready = vec![0.0f64; clients];
+    let mut makespan: f64 = 0.0;
+    for region in queries {
+        // The least-busy client issues next (deterministic tie-break on
+        // index, matching a min-heap over ready times).
+        let (slot, _) = clients_ready
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("clients > 0");
+        let issue_at = clients_ready[slot];
+        let mut plan = dir.io_plan(region);
+        // Chained failover: the failed disk's pages move to the source.
+        let moved = std::mem::take(&mut plan[failed as usize]);
+        if !moved.is_empty() {
+            plan[source].extend(moved);
+            plan[source].sort_unstable();
+        }
+        let mut completion = issue_at;
+        for (d, pages) in plan.iter().enumerate() {
+            if pages.is_empty() {
+                continue;
+            }
+            let mut start = issue_at.max(disk_free_at[d]);
+            if d == source && chunks_left > 0 {
+                // One rebuild chunk jumps the queue ahead of this batch.
+                start += chunk_ms;
+                chunks_left -= 1;
+            }
+            let service = params.batch_ms(pages, loads[d]);
+            disk_free_at[d] = start + service;
+            completion = completion.max(start + service);
+        }
+        makespan = makespan.max(completion);
+        clients_ready[slot] = completion;
+    }
+    // Remaining chunks drain back-to-back once the foreground is done.
+    let rebuild_ms = disk_free_at[source] + chunks_left as f64 * chunk_ms;
+
+    let degraded_qps = if makespan > 0.0 {
+        queries.len() as f64 / (makespan / 1000.0)
+    } else {
+        0.0
+    };
+    let interference_factor = if degraded_qps > 0.0 {
+        healthy.throughput_qps / degraded_qps
+    } else {
+        1.0
+    };
+    Ok(RebuildReport {
+        failed_disk: failed,
+        pages_rebuilt,
+        rebuild_ms,
+        healthy_qps: healthy.throughput_qps,
+        degraded_qps,
+        interference_factor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_schedule_reports_everything_up() {
+        let s = FaultSchedule::healthy(4);
+        assert!(s.is_healthy());
+        assert_eq!(s.describe(), "healthy");
+        for d in 0..4 {
+            for t in [0, 5, 1000] {
+                assert_eq!(s.state_at(d, t), DiskState::Up);
+            }
+        }
+        assert_eq!(s.failed_mask(7), vec![false; 4]);
+    }
+
+    #[test]
+    fn fail_stop_is_permanent() {
+        let s = FaultSchedule::healthy(4).fail_stop(2, 10).unwrap();
+        assert_eq!(s.state_at(2, 9), DiskState::Up);
+        assert_eq!(s.state_at(2, 10), DiskState::Down);
+        assert_eq!(s.state_at(2, 1_000_000), DiskState::Down);
+        assert_eq!(s.state_at(1, 10), DiskState::Up);
+        assert_eq!(s.failed_mask(10), vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn transient_window_recovers() {
+        let s = FaultSchedule::healthy(3).transient(0, 5, 8).unwrap();
+        assert_eq!(s.state_at(0, 4), DiskState::Up);
+        assert_eq!(s.state_at(0, 5), DiskState::Down);
+        assert_eq!(s.state_at(0, 7), DiskState::Down);
+        assert_eq!(s.state_at(0, 8), DiskState::Up);
+    }
+
+    #[test]
+    fn slow_windows_compose_by_max_and_down_wins() {
+        let s = FaultSchedule::healthy(2)
+            .slow(1, 2.0, 0, 10)
+            .unwrap()
+            .slow(1, 3.0, 5, 10)
+            .unwrap()
+            .transient(1, 8, 9)
+            .unwrap();
+        assert_eq!(s.state_at(1, 2), DiskState::Slow(2.0));
+        assert_eq!(s.state_at(1, 6), DiskState::Slow(3.0));
+        assert_eq!(s.state_at(1, 8), DiskState::Down);
+        assert_eq!(s.state_at(1, 9), DiskState::Slow(3.0));
+        assert_eq!(s.state_at(1, 10), DiskState::Up);
+        assert!((DiskState::Slow(3.0).latency_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(FaultSchedule::healthy(4).fail_stop(4, 0).is_err());
+        assert!(FaultSchedule::healthy(4).transient(0, 5, 5).is_err());
+        assert!(FaultSchedule::healthy(4).transient(0, 6, 5).is_err());
+        assert!(FaultSchedule::healthy(4).slow(0, 0.5, 0, 5).is_err());
+        assert!(FaultSchedule::healthy(4).slow(0, f64::NAN, 0, 5).is_err());
+        assert!(FaultSchedule::healthy(4).slow(0, 1.5, 0, 5).is_ok());
+    }
+
+    #[test]
+    fn parse_roundtrips_the_grammar() {
+        let spec = "fail:2@10, transient:0@5..8, slow:1x2.5@0..100";
+        let s = FaultSchedule::parse(spec, 4).unwrap();
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(s.state_at(2, 10), DiskState::Down);
+        assert_eq!(s.state_at(0, 6), DiskState::Down);
+        assert_eq!(s.state_at(1, 50), DiskState::Slow(2.5));
+        // describe() re-emits the grammar, which re-parses identically.
+        let reparsed = FaultSchedule::parse(&s.describe(), 4).unwrap();
+        assert_eq!(reparsed, s);
+    }
+
+    #[test]
+    fn parse_accepts_empty_and_none() {
+        assert!(FaultSchedule::parse("", 4).unwrap().is_healthy());
+        assert!(FaultSchedule::parse("none", 4).unwrap().is_healthy());
+        assert!(FaultSchedule::parse("  none  ", 4).unwrap().is_healthy());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "zorp:1@2",
+            "fail:1",
+            "fail:x@2",
+            "fail:1@y",
+            "fail:9@2", // disk out of range for m = 4
+            "transient:0@5",
+            "transient:0@8..5",
+            "slow:0@1..2",     // missing factor
+            "slow:0x0.5@1..2", // factor < 1
+            "slow:0xq@1..2",
+            "fail:1@2, zorp",
+        ] {
+            let err = FaultSchedule::parse(bad, 4).unwrap_err();
+            assert!(
+                matches!(err, SimError::BadFaultSpec { .. }),
+                "{bad}: {err:?}"
+            );
+            // Error message is one line (CLI prints it verbatim).
+            assert!(!err.to_string().contains('\n'), "{bad}");
+        }
+    }
+
+    #[test]
+    fn degraded_outcome_healthy_matches_plain_rt() {
+        let s = FaultSchedule::healthy(4);
+        let hist = [3u64, 1, 0, 2];
+        let out = degraded_outcome(&hist, &s, 0, &RetryPolicy::default(), true);
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 3,
+                failover_buckets: 0,
+                timeout_penalty: 0
+            }
+        );
+        assert_eq!(out.response_time(), Some(3));
+        assert!(out.is_served());
+    }
+
+    #[test]
+    fn failed_primary_fails_over_to_chain_successor() {
+        let s = FaultSchedule::healthy(4).fail_stop(0, 0).unwrap();
+        let hist = [3u64, 1, 0, 2];
+        // Instant detection: disk 1 inherits disk 0's 3 buckets -> load 4.
+        let out = degraded_outcome(&hist, &s, 0, &RetryPolicy::instant(), true);
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 4,
+                failover_buckets: 3,
+                timeout_penalty: 0
+            }
+        );
+        // Default policy adds 2 detection units to the failover batch.
+        let out = degraded_outcome(&hist, &s, 0, &RetryPolicy::default(), true);
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 6,
+                failover_buckets: 3,
+                timeout_penalty: 2
+            }
+        );
+    }
+
+    #[test]
+    fn unreplicated_failure_is_unavailable_not_a_panic() {
+        let s = FaultSchedule::healthy(4).fail_stop(0, 0).unwrap();
+        let hist = [3u64, 1, 0, 2];
+        let out = degraded_outcome(&hist, &s, 0, &RetryPolicy::default(), false);
+        assert_eq!(out, QueryOutcome::Unavailable { dead_buckets: 3 });
+        assert_eq!(out.response_time(), None);
+        // A query not touching the failed disk is unaffected.
+        let out = degraded_outcome(&[0, 1, 0, 2], &s, 0, &RetryPolicy::default(), false);
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 2,
+                failover_buckets: 0,
+                timeout_penalty: 0
+            }
+        );
+    }
+
+    #[test]
+    fn adjacent_double_failure_is_unavailable_even_chained() {
+        let s = FaultSchedule::healthy(4)
+            .fail_stop(0, 0)
+            .unwrap()
+            .fail_stop(1, 0)
+            .unwrap();
+        let out = degraded_outcome(&[2, 1, 1, 1], &s, 0, &RetryPolicy::default(), true);
+        assert_eq!(out, QueryOutcome::Unavailable { dead_buckets: 2 });
+        // Non-adjacent double failure with chaining still serves.
+        let s2 = FaultSchedule::healthy(4)
+            .fail_stop(0, 0)
+            .unwrap()
+            .fail_stop(2, 0)
+            .unwrap();
+        let out = degraded_outcome(&[2, 1, 1, 1], &s2, 0, &RetryPolicy::instant(), true);
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 3,
+                failover_buckets: 3,
+                timeout_penalty: 0
+            }
+        );
+    }
+
+    #[test]
+    fn slow_disk_inflates_by_ceil() {
+        let s = FaultSchedule::healthy(2).slow(0, 1.5, 0, 10).unwrap();
+        // 3 buckets at 1.5x -> ceil(4.5) = 5.
+        let out = degraded_outcome(&[3, 1], &s, 5, &RetryPolicy::default(), true);
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 5,
+                failover_buckets: 0,
+                timeout_penalty: 0
+            }
+        );
+        // Outside the window the disk is back to full speed.
+        let out = degraded_outcome(&[3, 1], &s, 10, &RetryPolicy::default(), true);
+        assert_eq!(out.response_time(), Some(3));
+    }
+
+    #[test]
+    fn failover_onto_a_slow_backup_scales_too() {
+        let s = FaultSchedule::healthy(3)
+            .fail_stop(0, 0)
+            .unwrap()
+            .slow(1, 2.0, 0, 10)
+            .unwrap();
+        // Disk 0's 2 buckets land on slow disk 1: ceil(2*2) + 0 penalty,
+        // plus disk 1's own 1 bucket also at 2x.
+        let out = degraded_outcome(&[2, 1, 1], &s, 0, &RetryPolicy::instant(), true);
+        // loads[1] = ceil(1*2) + ceil(2*2) = 6.
+        assert_eq!(out.response_time(), Some(6));
+    }
+
+    #[test]
+    fn degraded_rt_never_beats_healthy_rt() {
+        // Exhaustive-ish sweep: random-ish histograms under several
+        // schedules; served outcomes are always >= max(hist).
+        let schedules = [
+            FaultSchedule::healthy(5),
+            FaultSchedule::healthy(5).fail_stop(2, 0).unwrap(),
+            FaultSchedule::healthy(5).slow(0, 3.0, 0, 100).unwrap(),
+            FaultSchedule::healthy(5)
+                .fail_stop(4, 0)
+                .unwrap()
+                .slow(0, 1.5, 0, 50)
+                .unwrap(),
+        ];
+        for (i, schedule) in schedules.iter().enumerate() {
+            for seed in 0u64..50 {
+                let hist: Vec<u64> = (0..5)
+                    .map(|d| (seed.wrapping_mul(d + 3).wrapping_mul(2654435761) >> 29) % 7)
+                    .collect();
+                let healthy = hist.iter().copied().max().unwrap();
+                for t in [0u64, 25, 75] {
+                    let out = degraded_outcome(&hist, schedule, t, &RetryPolicy::default(), true);
+                    if let Some(rt) = out.response_time() {
+                        assert!(
+                            rt >= healthy,
+                            "schedule {i} t {t} hist {hist:?}: {rt} < {healthy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram arity")]
+    fn mismatched_histogram_is_a_caller_bug() {
+        let s = FaultSchedule::healthy(4);
+        let _ = degraded_outcome(&[1, 2], &s, 0, &RetryPolicy::default(), true);
+    }
+
+    #[test]
+    fn retry_policy_detection_units() {
+        assert_eq!(RetryPolicy::default().detection_units(), 2);
+        assert_eq!(RetryPolicy::instant().detection_units(), 0);
+        assert_eq!(
+            RetryPolicy {
+                timeout_units: 3,
+                max_retries: 2
+            }
+            .detection_units(),
+            9
+        );
+    }
+
+    mod rebuild {
+        use super::*;
+        use decluster_grid::{BucketCoord, BucketRegion, GridSpace};
+        use decluster_methods::{DeclusteringMethod, DiskModulo};
+
+        fn setup() -> (GridDirectory, Vec<BucketRegion>) {
+            let space = GridSpace::new_2d(8, 8).unwrap();
+            let dm = DiskModulo::new(&space, 4).unwrap();
+            let dir = GridDirectory::build(space.clone(), 4, |b| dm.disk_of(b.as_slice()));
+            let mut queries = Vec::new();
+            for r in (0..7).step_by(2) {
+                for c in (0..7).step_by(2) {
+                    queries.push(
+                        BucketRegion::new(
+                            &space,
+                            BucketCoord::from([r, c]),
+                            BucketCoord::from([r + 1, c + 1]),
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+            (dir, queries)
+        }
+
+        #[test]
+        fn rebuild_replays_the_failed_disks_pages() {
+            let (dir, queries) = setup();
+            let report = simulate_rebuild(&dir, &DiskParams::default(), 1, &queries, 2).unwrap();
+            assert_eq!(report.failed_disk, 1);
+            assert_eq!(report.pages_rebuilt, dir.load_vector()[1]);
+            assert!(report.rebuild_ms > 0.0);
+        }
+
+        #[test]
+        fn rebuild_interferes_with_foreground() {
+            let (dir, queries) = setup();
+            let report = simulate_rebuild(&dir, &DiskParams::default(), 0, &queries, 2).unwrap();
+            assert!(report.degraded_qps > 0.0);
+            assert!(
+                report.degraded_qps <= report.healthy_qps + 1e-9,
+                "degraded {} > healthy {}",
+                report.degraded_qps,
+                report.healthy_qps
+            );
+            assert!(report.interference_factor >= 1.0 - 1e-9);
+        }
+
+        #[test]
+        fn rebuild_is_deterministic() {
+            let (dir, queries) = setup();
+            let a = simulate_rebuild(&dir, &DiskParams::default(), 2, &queries, 3).unwrap();
+            let b = simulate_rebuild(&dir, &DiskParams::default(), 2, &queries, 3).unwrap();
+            assert_eq!(a.rebuild_ms, b.rebuild_ms);
+            assert_eq!(a.degraded_qps, b.degraded_qps);
+        }
+
+        #[test]
+        fn rebuild_rejects_out_of_range_disk() {
+            let (dir, queries) = setup();
+            assert!(matches!(
+                simulate_rebuild(&dir, &DiskParams::default(), 4, &queries, 1).unwrap_err(),
+                SimError::BadFaultSpec { .. }
+            ));
+        }
+    }
+}

@@ -41,6 +41,7 @@ mod disk;
 mod eval;
 mod exec;
 mod experiment;
+pub mod faults;
 mod multiuser;
 mod report;
 mod rt;
@@ -48,13 +49,23 @@ mod stats;
 pub mod workload;
 
 pub use disk::{DiskParams, IoSimulator};
-pub use eval::EvalContext;
+pub use eval::{DegradedContext, EvalContext};
 pub use experiment::{DbSizePoint, Experiment, MethodSeries, SweepResult};
-pub use multiuser::{
-    load_sweep, poisson_arrivals, run_closed_loop, run_open_loop, LoadPoint, MultiUserReport,
+pub use faults::{
+    degraded_outcome, simulate_rebuild, DiskState, FaultEvent, FaultMethodStats, FaultReport,
+    FaultSchedule, QueryOutcome, RebuildReport, RetryPolicy,
 };
-pub use report::{render_csv, render_table, render_table_with_ci};
-pub use rt::{deviation_from_optimal, optimal_response_time, response_time, response_time_batched};
+pub use multiuser::{
+    load_sweep, poisson_arrivals, run_closed_loop, run_closed_loop_degraded, run_open_loop,
+    DegradedMultiUserReport, LoadPoint, MultiUserReport,
+};
+pub use report::{
+    render_csv, render_fault_csv, render_fault_table, render_table, render_table_with_ci,
+};
+pub use rt::{
+    deviation_from_optimal, masked_response_time, optimal_response_time, response_time,
+    response_time_batched,
+};
 pub use stats::Summary;
 
 /// Errors from the simulator: configuration problems surface as the
@@ -74,6 +85,21 @@ pub enum SimError {
         /// Grid dimensions.
         dims: Vec<u32>,
     },
+    /// A fault specification is malformed or out of range.
+    BadFaultSpec {
+        /// The offending clause or value.
+        spec: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A fault schedule was built for a different disk count than the
+    /// experiment it was handed to.
+    ScheduleMismatch {
+        /// Disks the schedule covers.
+        schedule_disks: u32,
+        /// Disks the experiment uses.
+        experiment_disks: u32,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -84,6 +110,18 @@ impl std::fmt::Display for SimError {
             SimError::EmptySweep => write!(f, "sweep has no points"),
             SimError::QueryDoesNotFit { extents, dims } => {
                 write!(f, "query extents {extents:?} do not fit grid {dims:?}")
+            }
+            SimError::BadFaultSpec { spec, reason } => {
+                write!(f, "bad fault spec {spec:?}: {reason}")
+            }
+            SimError::ScheduleMismatch {
+                schedule_disks,
+                experiment_disks,
+            } => {
+                write!(
+                    f,
+                    "fault schedule covers {schedule_disks} disks but the experiment uses {experiment_disks}"
+                )
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Plain-text and CSV rendering of sweep results — the "same rows the
 //! paper reports" output format.
 
+use crate::faults::FaultReport;
 use crate::SweepResult;
 use std::fmt::Write as _;
 
@@ -145,6 +146,96 @@ pub fn render_csv(result: &SweepResult) -> String {
     out
 }
 
+/// Renders a fault-injection report as an aligned plain-text table: one
+/// row per method variant, with healthy vs degraded mean RT, worst-case
+/// degraded RT, availability, and failover volume.
+pub fn render_fault_table(report: &FaultReport) -> String {
+    let headers = [
+        "method",
+        "healthy RT",
+        "degraded RT",
+        "worst RT",
+        "avail %",
+        "served",
+        "lost",
+        "failover",
+    ];
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3}", r.healthy.mean),
+                format!("{:.3}", r.degraded.mean),
+                format!("{:.0}", r.degraded.max),
+                format!("{:.1}", r.availability * 100.0),
+                format!("{}", r.served),
+                format!("{}", r.unavailable),
+                format!("{}", r.failover_buckets),
+            ]
+        })
+        .collect();
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|r| r[c].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.title);
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+/// Renders a fault-injection report as CSV
+/// (`method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets`).
+pub fn render_fault_csv(report: &FaultReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets"
+    );
+    for r in &report.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            r.name.replace(',', ";"),
+            r.healthy.mean,
+            r.degraded.mean,
+            r.degraded.max,
+            r.availability,
+            r.served,
+            r.unavailable,
+            r.failover_buckets
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +303,55 @@ mod tests {
         assert_eq!(lines[1], "1,1,1,1");
         // NaN -> empty cell.
         assert_eq!(lines[2], "4,2.5,,1");
+    }
+
+    fn fault_sample() -> FaultReport {
+        use crate::faults::FaultMethodStats;
+        FaultReport {
+            title: "fault demo".into(),
+            schedule: "fail:1@5".into(),
+            rows: vec![
+                FaultMethodStats {
+                    name: "DM".into(),
+                    healthy: Summary::of(&[2.0, 2.0]),
+                    degraded: Summary::of(&[2.0]),
+                    served: 1,
+                    unavailable: 1,
+                    availability: 0.5,
+                    failover_buckets: 0,
+                },
+                FaultMethodStats {
+                    name: "DM+chain".into(),
+                    healthy: Summary::of(&[2.0, 2.0]),
+                    degraded: Summary::of(&[2.0, 4.0]),
+                    served: 2,
+                    unavailable: 0,
+                    availability: 1.0,
+                    failover_buckets: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fault_table_shows_both_variants() {
+        let t = render_fault_table(&fault_sample());
+        assert!(t.contains("fault demo"));
+        assert!(t.contains("DM+chain"));
+        assert!(t.contains("avail %"));
+        assert!(t.contains("50.0"));
+        assert!(t.contains("100.0"));
+    }
+
+    #[test]
+    fn fault_csv_has_one_row_per_variant() {
+        let c = render_fault_csv(&fault_sample());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("method,healthy_mean_rt"));
+        assert!(lines[1].starts_with("DM,"));
+        assert!(lines[2].starts_with("DM+chain,"));
+        assert!(lines[2].contains(",1,")); // availability 1
     }
 
     #[test]

@@ -29,6 +29,17 @@ pub fn response_time_batched(kernel: &DiskCounts, region: &BucketRegion) -> u64 
     kernel.response_time(region)
 }
 
+/// Degraded-mode response time restricted to live disks: the max
+/// per-disk count over the disks marked live, through the prefix-sum
+/// kernel — still `O(M · 2^k)`, so fault-injection sweeps keep the
+/// batched engine's cost profile. What happens to the *dead* disks'
+/// buckets (chained failover or unavailability) is the fault executor's
+/// business ([`crate::faults::degraded_outcome`]); this is the surviving
+/// load it builds on.
+pub fn masked_response_time(kernel: &DiskCounts, region: &BucketRegion, live: &[bool]) -> u64 {
+    kernel.masked_response_time(region, live)
+}
+
 /// The unbeatable lower bound on response time: `ceil(|Q| / M)` for a
 /// query touching `num_buckets` buckets on `m` disks. An allocation
 /// achieving this for a query is *optimal* for it.
@@ -65,6 +76,29 @@ mod tests {
             let r = RangeQuery::new(lo, hi).unwrap().region(&g).unwrap();
             assert_eq!(response_time_batched(&kernel, &r), response_time(&dm, &r));
         }
+    }
+
+    #[test]
+    fn masked_rt_with_all_disks_live_is_the_plain_rt() {
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let dm = DiskModulo::new(&g, 5).unwrap();
+        let map = AllocationMap::from_method(&g, &dm).unwrap();
+        let kernel = map.disk_counts().unwrap();
+        let r = RangeQuery::new([2, 5], [9, 14])
+            .unwrap()
+            .region(&g)
+            .unwrap();
+        assert_eq!(
+            masked_response_time(&kernel, &r, &[true; 5]),
+            response_time_batched(&kernel, &r)
+        );
+        // Masking out the busiest disk can only lower the survivors' max.
+        for dead in 0..5usize {
+            let mut live = [true; 5];
+            live[dead] = false;
+            assert!(masked_response_time(&kernel, &r, &live) <= response_time_batched(&kernel, &r));
+        }
+        assert_eq!(masked_response_time(&kernel, &r, &[false; 5]), 0);
     }
 
     #[test]

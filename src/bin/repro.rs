@@ -18,18 +18,26 @@
 //!   avail single-disk-failure survival per method (extension)
 //!   abl   space-filling-curve ablation for HCAM (extension)
 //!   thm   the M > 5 impossibility theorem
+//!   faults degraded-mode table under an injected fault schedule (extension)
 //!   all   everything above
 //!   bench kernel-vs-naive RT timing snapshot (writes BENCH_rt.json)
 //! ```
 //!
 //! `--quick` cuts the query budget (for smoke tests); `--csv DIR` also
-//! writes each sweep as CSV into DIR; `--threads N` evaluates sweep
-//! points on N worker threads (`0` = one per CPU) — the tables are
-//! bit-identical for every thread count.
+//! writes each sweep as CSV into DIR; `--threads N` (N ≥ 1) evaluates
+//! sweep points on N worker threads — the tables are bit-identical for
+//! every thread count. `--faults SPEC` overrides the fault schedule of
+//! the `faults` experiment (grammar: `fail:D@T`, `transient:D@A..B`,
+//! `slow:DxF@A..B`, comma-separated; see EXPERIMENTS.md); `--method
+//! NAME` restricts the `faults` table to one method.
 
+use decluster::grid::GridDirectory;
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, ShapeSweep, SizeSweep};
-use decluster::sim::{render_csv, render_table, DbSizePoint};
+use decluster::sim::{
+    render_csv, render_fault_csv, render_fault_table, render_table, simulate_rebuild, DbSizePoint,
+    DiskParams, FaultEvent, FaultReport, FaultSchedule, RetryPolicy,
+};
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -43,7 +51,15 @@ struct Opts {
     csv_dir: Option<String>,
     queries: usize,
     threads: usize,
+    /// Fault schedule for the `faults` experiment; `None` = the default
+    /// mid-workload single-disk failure.
+    faults: Option<FaultSchedule>,
+    /// Restrict the `faults` table to one method (validated name).
+    method: Option<MethodKind>,
 }
+
+const USAGE: &str = "usage: repro <e1|e2|e3|e4|e5|e6|t1|t2|t3|mix|avail|abl|thm|faults|bench|all> \
+                     [--csv DIR] [--quick] [--threads N] [--faults SPEC] [--method NAME]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +68,8 @@ fn main() -> ExitCode {
         csv_dir: None,
         queries: 1000,
         threads: 1,
+        faults: None,
+        method: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,9 +83,35 @@ fn main() -> ExitCode {
             },
             "--quick" => opts.queries = 100,
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(0) | None => {
+                    eprintln!("--threads needs a positive thread count");
+                    return ExitCode::FAILURE;
+                }
                 Some(n) => opts.threads = n,
+            },
+            "--faults" => match it.next() {
+                Some(spec) => match FaultSchedule::parse(spec, DISKS) {
+                    Ok(schedule) => opts.faults = Some(schedule),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
                 None => {
-                    eprintln!("--threads needs a number (0 = one per CPU)");
+                    eprintln!("--faults needs a schedule spec (e.g. fail:3@50)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--method" => match it.next() {
+                Some(name) => match MethodKind::parse(name) {
+                    Ok(kind) => opts.method = Some(kind),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--method needs a method name (e.g. HCAM)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -79,9 +123,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!(
-            "usage: repro <e1|e2|e3|e4|e5|e6|t1|t2|thm|bench|all> [--csv DIR] [--quick] [--threads N]"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let run = |name: &str| -> bool { experiment == name || experiment == "all" };
@@ -138,6 +180,20 @@ fn main() -> ExitCode {
         println!("{}", thm());
         ran_any = true;
     }
+    if run("faults") {
+        let schedule = fault_schedule(&opts);
+        match faults(&opts, &schedule) {
+            Ok(report) => {
+                emit_faults(&opts, &report);
+                println!("{}", rebuild_summary(&opts, &schedule));
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ran_any = true;
+    }
     // The timing snapshot is opt-in only: its numbers are wall-clock and
     // so not deterministic, unlike everything `all` emits.
     if experiment == "bench" {
@@ -159,6 +215,18 @@ fn emit(opts: &Opts, name: &str, result: SweepResult) {
             f.write_all(render_csv(&result).as_bytes())
         }) {
             eprintln!("could not write {name}.csv: {e}");
+        }
+    }
+}
+
+fn emit_faults(opts: &Opts, report: &FaultReport) {
+    println!("{}", render_fault_table(report));
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            let mut f = std::fs::File::create(format!("{dir}/faults.csv"))?;
+            f.write_all(render_fault_csv(report).as_bytes())
+        }) {
+            eprintln!("could not write faults.csv: {e}");
         }
     }
 }
@@ -402,6 +470,75 @@ fn availability() -> String {
          speed and failure-isolation trade off exactly.\n",
     );
     out
+}
+
+/// The schedule the `faults` experiment runs: the `--faults` spec when
+/// given, otherwise a fail-stop of disk 3 halfway through the query
+/// stream — the paper-style "one of M disks fails mid-workload" scenario.
+fn fault_schedule(opts: &Opts) -> FaultSchedule {
+    opts.faults.clone().unwrap_or_else(|| {
+        FaultSchedule::healthy(DISKS)
+            .fail_stop(3, (opts.queries / 2) as u64)
+            .expect("disk 3 exists on the default array")
+    })
+}
+
+/// Faults (extension): every paper method scored healthy vs degraded
+/// under the injected schedule, unreplicated and with chained-declustering
+/// failover, over area-64 queries on the default grid.
+fn faults(opts: &Opts, schedule: &FaultSchedule) -> Result<FaultReport, String> {
+    let mut report = experiment_2d(opts)
+        .run_fault_workload(64, schedule, &RetryPolicy::default())
+        .map_err(|e| e.to_string())?;
+    if let Some(kind) = opts.method {
+        let base = kind.name();
+        let chained = format!("{base}+chain");
+        report.rows.retain(|r| r.name == base || r.name == chained);
+        if report.rows.is_empty() {
+            return Err(format!(
+                "method {base} is not part of the fault workload (paper methods only)"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Rebuilds the first faulted disk from its chain replica under a live
+/// foreground workload and reports the throughput interference.
+fn rebuild_summary(opts: &Opts, schedule: &FaultSchedule) -> String {
+    use decluster::sim::workload::random_region;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let failed = schedule.events().iter().find_map(|e| match e {
+        FaultEvent::FailStop { disk, .. } | FaultEvent::Transient { disk, .. } => Some(*disk),
+        FaultEvent::Slow { .. } => None,
+    });
+    let Some(failed) = failed else {
+        return "Rebuild: the schedule fails no disk; nothing to rebuild.".to_owned();
+    };
+    let space = grid_2d();
+    let method = DiskModulo::new(&space, DISKS).expect("DM applies to the default grid");
+    let dir = GridDirectory::build(space.clone(), DISKS, |b| method.disk_of(b.as_slice()));
+    let n = (opts.queries / 4).max(25);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let queries: Vec<BucketRegion> = (0..n)
+        .map(|_| random_region(&mut rng, &space, &[8, 8]).expect("8x8 fits the default grid"))
+        .collect();
+    let r = simulate_rebuild(&dir, &DiskParams::default(), failed, &queries, 8)
+        .expect("the schedule's disks are in range");
+    format!(
+        "Rebuild of disk {} from its chain replica (DM, {}x{} grid, {} queries, 8 clients):\n  \
+         {} pages replayed in {:.1} ms; foreground {:.1} -> {:.1} qps (interference {:.2}x)\n",
+        r.failed_disk,
+        GRID_SIDE,
+        GRID_SIDE,
+        n,
+        r.pages_rebuilt,
+        r.rebuild_ms,
+        r.healthy_qps,
+        r.degraded_qps,
+        r.interference_factor
+    )
 }
 
 /// Ablation (extension): swap HCAM's Hilbert curve for Z-order and a

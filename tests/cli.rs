@@ -131,3 +131,72 @@ fn repro_quick_e2_has_all_methods() {
         assert!(stdout.contains(name), "missing {name}");
     }
 }
+
+#[test]
+fn repro_rejects_zero_threads() {
+    let (ok, _, stderr) = run(REPRO, &["e1", "--quick", "--threads", "0"]);
+    assert!(!ok);
+    assert_eq!(stderr.lines().count(), 1, "one-line error, got:\n{stderr}");
+    assert!(stderr.contains("--threads"), "{stderr}");
+}
+
+#[test]
+fn repro_rejects_malformed_fault_specs() {
+    for spec in [
+        "garbage",
+        "fail:99@1",
+        "slow:0x0.5@0..9",
+        "transient:1@9..3",
+    ] {
+        let (ok, _, stderr) = run(REPRO, &["faults", "--quick", "--faults", spec]);
+        assert!(!ok, "spec {spec:?} should be rejected");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "one-line error for {spec:?}, got:\n{stderr}"
+        );
+        assert!(stderr.contains("bad fault spec"), "{stderr}");
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_method_names() {
+    let (ok, _, stderr) = run(REPRO, &["faults", "--quick", "--method", "NOPE"]);
+    assert!(!ok);
+    assert_eq!(stderr.lines().count(), 1, "one-line error, got:\n{stderr}");
+    assert!(stderr.contains("unknown method"), "{stderr}");
+    // A known method that the fault workload does not run is also a
+    // one-line error, not an empty table.
+    let (ok, _, stderr) = run(REPRO, &["faults", "--quick", "--method", "RND"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("not part of the fault workload"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn repro_faults_reports_degraded_mode_and_rebuild() {
+    let (ok, stdout, _) = run(
+        REPRO,
+        &["faults", "--quick", "--faults", "fail:3@50,slow:7x2@0..25"],
+    );
+    assert!(ok, "{stdout}");
+    for needle in [
+        "DM+chain",
+        "HCAM+chain",
+        "avail %",
+        "Rebuild of disk 3",
+        "interference",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn repro_faults_is_thread_count_invariant() {
+    let (ok1, t1, _) = run(REPRO, &["faults", "--quick", "--threads", "1"]);
+    let (ok8, t8, _) = run(REPRO, &["faults", "--quick", "--threads", "8"]);
+    assert!(ok1 && ok8);
+    assert_eq!(t1, t8, "fault tables differ between --threads 1 and 8");
+}

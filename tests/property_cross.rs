@@ -103,4 +103,57 @@ proptest! {
         prop_assert!(optimal_response_time(n + 1, m) >= optimal_response_time(n, m));
         prop_assert!(optimal_response_time(n, m + 1) <= optimal_response_time(n, m));
     }
+
+    /// Chained declustering vs the `theory::bounds` failure enumeration,
+    /// for every paper method and every single-disk failure on a small
+    /// grid: each placement stays available with degraded RT >= healthy
+    /// RT, placements the failure leaves untouched keep their healthy RT
+    /// exactly, and the fraction of untouched placements agrees with
+    /// [`failure_survival_fraction`]'s independent (kernel-based) count.
+    #[test]
+    fn chained_failures_match_the_theory_enumeration(
+        rows in 3u32..9, cols in 3u32..9, m in 2u32..6, h in 1u32..4, w in 1u32..4
+    ) {
+        use decluster::methods::ChainedDecluster;
+        use decluster::theory::bounds::failure_survival_fraction;
+        let (h, w) = (h.min(rows), w.min(cols));
+        let g = GridSpace::new_2d(rows, cols).expect("grid");
+        for method in MethodRegistry::default().paper_methods(&g, m) {
+            let map = AllocationMap::from_method(&g, method.as_ref()).expect("materializes");
+            let chain = ChainedDecluster::new(map.clone()).expect("M >= 2");
+            for f in 0..m {
+                let mut untouched = 0u64;
+                let mut placements = 0u64;
+                for r in 0..=(rows - h) {
+                    for c in 0..=(cols - w) {
+                        let region = RangeQuery::new([r, c], [r + h - 1, c + w - 1])
+                            .expect("query").region(&g).expect("fits");
+                        placements += 1;
+                        let healthy = map.response_time(&region);
+                        let degraded = chain
+                            .response_time(&region, Some(DiskId(f)))
+                            .expect("chained survives any single failure");
+                        prop_assert!(
+                            degraded >= healthy,
+                            "{}: degraded {degraded} < healthy {healthy}", method.name()
+                        );
+                        if map.access_histogram(&region)[f as usize] == 0 {
+                            untouched += 1;
+                            prop_assert_eq!(
+                                degraded, healthy,
+                                "{}: untouched placement changed RT", method.name()
+                            );
+                        }
+                    }
+                }
+                let fraction = failure_survival_fraction(&map, &[h, w], DiskId(f))
+                    .expect("shape fits, disk in range");
+                prop_assert_eq!(
+                    fraction,
+                    untouched as f64 / placements as f64,
+                    "{}: theory enumeration disagrees for failed disk {f}", method.name()
+                );
+            }
+        }
+    }
 }
