@@ -1,0 +1,90 @@
+//! Observability overhead: the RT scoring loop with no recorder
+//! attached must cost the same as before the obs layer existed (the
+//! acceptance bar is a ≤2% delta against the raw kernel loop), and the
+//! live recorder's cost should stay small enough to leave on in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decluster_grid::{BucketRegion, GridSpace};
+use decluster_methods::{AllocationMap, MethodRegistry};
+use decluster_obs::{MetricsRecorder, Obs};
+use decluster_sim::workload::{random_region, rect_sides_for_area};
+use decluster_sim::EvalContext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DISKS: u32 = 16;
+const PLACEMENTS: usize = 500;
+
+fn e1_population() -> (Vec<AllocationMap>, Vec<BucketRegion>) {
+    let space = GridSpace::new_2d(64, 64).expect("grid");
+    let registry = MethodRegistry::with_seed(1994);
+    let maps: Vec<AllocationMap> = registry
+        .paper_methods(&space, DISKS)
+        .iter()
+        .map(|m| AllocationMap::from_method(&space, m.as_ref()).expect("materializes"))
+        .collect();
+    let areas = [
+        1u64, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    ];
+    let mut rng = StdRng::seed_from_u64(1994);
+    let regions = (0..PLACEMENTS)
+        .map(|i| {
+            let sides =
+                rect_sides_for_area(areas[i % areas.len()], space.dims()).expect("area fits");
+            random_region(&mut rng, &space, &sides).expect("placement fits")
+        })
+        .collect();
+    (maps, regions)
+}
+
+/// The acceptance comparison: the same `EvalContext::score` call with
+/// the default (disabled) handle vs a live metrics recorder. The
+/// disabled case is the one that must not regress vs the pre-obs
+/// scoring loop — all aggregation hides behind one `enabled()` branch.
+fn bench_score_overhead(c: &mut Criterion) {
+    let (maps, regions) = e1_population();
+    let mut group = c.benchmark_group("obs_score_500q");
+    group.sample_size(30);
+
+    let disabled = EvalContext::from_maps(DISKS, maps.clone());
+    group.bench_function("recorder_disabled", |b| {
+        b.iter(|| black_box(disabled.score(black_box(&regions))))
+    });
+
+    let recorder = Arc::new(MetricsRecorder::new());
+    let live = EvalContext::from_maps(DISKS, maps.clone()).with_obs(Obs::new(recorder));
+    group.bench_function("recorder_live", |b| {
+        b.iter(|| black_box(live.score(black_box(&regions))))
+    });
+    group.finish();
+}
+
+/// The raw primitives, so registry costs are visible in isolation:
+/// register-or-get handle lookups, counter bumps, histogram observes.
+fn bench_registry_primitives(c: &mut Criterion) {
+    let recorder = MetricsRecorder::new();
+    let registry = recorder.registry();
+    registry.counter_add("warm.counter", 1);
+    registry.observe("warm.histogram", 1);
+    let mut group = c.benchmark_group("obs_primitives");
+    group.bench_function("counter_add_warm", |b| {
+        b.iter(|| registry.counter_add(black_box("warm.counter"), black_box(3)))
+    });
+    group.bench_function("observe_warm", |b| {
+        b.iter(|| registry.observe(black_box("warm.histogram"), black_box(17)))
+    });
+    group.bench_function("noop_counter_add", |b| {
+        let obs = Obs::disabled();
+        b.iter(|| obs.counter_add(black_box("ignored"), black_box(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = obs;
+    config = Criterion::default();
+    targets = bench_score_overhead, bench_registry_primitives,
+);
+criterion_main!(obs);

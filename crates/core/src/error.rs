@@ -1,7 +1,11 @@
 use std::fmt;
 
 /// Errors produced when constructing or applying a declustering method.
+///
+/// Marked `#[non_exhaustive]`: future variants are not breaking
+/// changes, so match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MethodError {
     /// Every method needs at least one disk.
     ZeroDisks,
@@ -60,7 +64,11 @@ impl fmt::Display for MethodError {
             MethodError::CoefficientMismatch { expected, got } => {
                 write!(f, "GDM needs {expected} coefficients, got {got}")
             }
-            MethodError::UnknownMethod { name } => write!(f, "unknown method {name:?}"),
+            MethodError::UnknownMethod { name } => write!(
+                f,
+                "unknown method {name:?} (accepted: {})",
+                crate::MethodKind::ACCEPTED_NAMES
+            ),
             MethodError::CorruptImage { reason } => {
                 write!(f, "corrupt allocation image: {reason}")
             }

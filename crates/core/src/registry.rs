@@ -65,12 +65,25 @@ impl MethodKind {
         }
     }
 
+    /// The accepted names and aliases, for error messages and CLI help.
+    pub const ACCEPTED_NAMES: &'static str =
+        "DM/CMD, BDM, FX/ExFX, ECC, HCAM, ZCAM, GrayCAM, RR, RND";
+
     /// Parses a kind from a (case-insensitive) name. `"CMD"` is accepted
-    /// as an alias of DM, `"ExFX"` of FX.
+    /// as an alias of DM, `"ExFX"` of FX. Equivalent to the [`FromStr`]
+    /// impl.
     ///
     /// # Errors
     /// [`MethodError::UnknownMethod`] for anything else.
     pub fn parse(name: &str) -> Result<Self> {
+        name.parse()
+    }
+}
+
+impl std::str::FromStr for MethodKind {
+    type Err = MethodError;
+
+    fn from_str(name: &str) -> Result<Self> {
         match name.to_ascii_uppercase().as_str() {
             "DM" | "CMD" | "DM/CMD" => Ok(MethodKind::Dm),
             "BDM" => Ok(MethodKind::Bdm),
@@ -83,6 +96,12 @@ impl MethodKind {
             "RND" | "RANDOM" => Ok(MethodKind::Random),
             _ => Err(MethodError::UnknownMethod { name: name.into() }),
         }
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -168,6 +187,16 @@ impl MethodRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fromstr_and_display_roundtrip() {
+        for kind in MethodKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.to_string().parse::<MethodKind>().unwrap(), kind);
+        }
+        let err = "zorp".parse::<MethodKind>().unwrap_err();
+        assert!(err.to_string().contains("HCAM"), "{err}");
+    }
 
     #[test]
     fn parse_accepts_aliases_and_case() {

@@ -1,0 +1,49 @@
+//! Validates a JSON-lines trace file: every line must parse as a JSON
+//! object carrying a string `"event"` key. CI runs this over the trace
+//! a `repro --trace` smoke run produces.
+//!
+//! ```text
+//! cargo run -p decluster-obs --example trace_check -- trace.jsonl
+//! ```
+
+use decluster_obs::json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: not valid JSON: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if !value.is_object() {
+            eprintln!("{path}:{}: trace line is not a JSON object", i + 1);
+            return ExitCode::FAILURE;
+        }
+        if value.get("event").and_then(|e| e.as_str()).is_none() {
+            eprintln!("{path}:{}: missing string \"event\" key", i + 1);
+            return ExitCode::FAILURE;
+        }
+        events += 1;
+    }
+    if events == 0 {
+        eprintln!("{path}: no trace events");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {events} trace events, all valid");
+    ExitCode::SUCCESS
+}

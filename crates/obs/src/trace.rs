@@ -1,0 +1,287 @@
+//! Structured trace events and pluggable sinks.
+//!
+//! A [`TraceEvent`] is a kind tag plus ordered `(key, value)` fields.
+//! Sinks decide the wire format: [`JsonLinesSink`] writes one JSON
+//! object per line (stable schema: `event` first, then fields in
+//! emission order), [`TextSink`] writes a human-readable line, and
+//! [`NullSink`] discards everything.
+
+use crate::json::{write_escaped, write_number, JsonValue};
+use std::io::{self, Write};
+
+/// One field value of a trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (query counts, bucket counts, indices).
+    U64(u64),
+    /// A float (means, fractions).
+    F64(f64),
+    /// A string (method names, phase names).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// A structured trace event: a kind plus ordered fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event kind, e.g. `"point_done"` or `"disk_failed"`.
+    pub kind: &'static str,
+    /// Ordered `(key, value)` fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// An event of `kind` with no fields yet.
+    pub fn new(kind: &'static str) -> Self {
+        TraceEvent {
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends one field (builder style).
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// This event as a JSON object: `event` first, then fields in
+    /// order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = Vec::with_capacity(self.fields.len() + 1);
+        fields.push(("event".to_owned(), JsonValue::String(self.kind.to_owned())));
+        for (key, value) in &self.fields {
+            let v = match value {
+                FieldValue::U64(n) => JsonValue::Number(*n as f64),
+                FieldValue::F64(x) => JsonValue::Number(*x),
+                FieldValue::Str(s) => JsonValue::String(s.clone()),
+                FieldValue::Bool(b) => JsonValue::Bool(*b),
+            };
+            fields.push(((*key).to_owned(), v));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// A consumer of trace events.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn emit(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// Writes one compact JSON object per event, one per line. The first
+/// key is always `"event"`; remaining keys follow field order. `u64`
+/// fields serialize as integers, floats as JSON numbers (`null` if
+/// non-finite).
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+    line: String,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// A sink writing to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer,
+            line: String::new(),
+        }
+    }
+
+    /// Consumes the sink and returns the underlying writer (useful for
+    /// in-memory writers in tests).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.line.clear();
+        self.line.push_str("{\"event\":");
+        write_escaped(&mut self.line, event.kind);
+        for (key, value) in &event.fields {
+            self.line.push(',');
+            write_escaped(&mut self.line, key);
+            self.line.push(':');
+            match value {
+                FieldValue::U64(n) => {
+                    use std::fmt::Write as _;
+                    let _ = write!(self.line, "{n}");
+                }
+                FieldValue::F64(x) => write_number(&mut self.line, *x),
+                FieldValue::Str(s) => write_escaped(&mut self.line, s),
+                FieldValue::Bool(b) => self.line.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        self.line.push_str("}\n");
+        // Trace sinks are best-effort: an unwritable sink should not
+        // abort a long sweep, so errors are swallowed here and surface
+        // via flush().
+        let _ = self.writer.write_all(self.line.as_bytes());
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Writes one human-readable line per event: `kind key=value ...`.
+pub struct TextSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> TextSink<W> {
+    /// A sink writing to `writer`.
+    pub fn new(writer: W) -> Self {
+        TextSink { writer }
+    }
+}
+
+impl<W: Write> TraceSink for TextSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        let mut line = String::from(event.kind);
+        for (key, value) in &event.fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            match value {
+                FieldValue::U64(n) => {
+                    use std::fmt::Write as _;
+                    let _ = write!(line, "{n}");
+                }
+                FieldValue::F64(x) => {
+                    use std::fmt::Write as _;
+                    let _ = write!(line, "{x}");
+                }
+                FieldValue::Str(s) => line.push_str(s),
+                FieldValue::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        line.push('\n');
+        let _ = self.writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render_json(event: &TraceEvent) -> String {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.emit(event);
+        String::from_utf8(sink.writer).unwrap()
+    }
+
+    #[test]
+    fn json_lines_schema_event_first_fields_ordered() {
+        let e = TraceEvent::new("point_done")
+            .with("point", 3usize)
+            .with("method", "HCAM")
+            .with("mean_rt", 2.5)
+            .with("kernel", true);
+        assert_eq!(
+            render_json(&e),
+            "{\"event\":\"point_done\",\"point\":3,\"method\":\"HCAM\",\"mean_rt\":2.5,\"kernel\":true}\n"
+        );
+    }
+
+    #[test]
+    fn json_lines_escapes_and_nonfinite() {
+        let e = TraceEvent::new("note")
+            .with("msg", "a\"b\nc")
+            .with("x", f64::NAN);
+        assert_eq!(
+            render_json(&e),
+            "{\"event\":\"note\",\"msg\":\"a\\\"b\\nc\",\"x\":null}\n"
+        );
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let e = TraceEvent::new("q").with("n", 7u64);
+        let line = render_json(&e);
+        let v = crate::json::parse(line.trim_end()).unwrap();
+        assert_eq!(v.get("event").and_then(JsonValue::as_str), Some("q"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(7.0));
+        assert_eq!(e.to_json(), v);
+    }
+
+    #[test]
+    fn text_sink_renders_key_value_pairs() {
+        let mut sink = TextSink::new(Vec::new());
+        sink.emit(
+            &TraceEvent::new("fail")
+                .with("disk", 2u64)
+                .with("kind", "stop"),
+        );
+        let text = String::from_utf8(sink.writer).unwrap();
+        assert_eq!(text, "fail disk=2 kind=stop\n");
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.emit(&TraceEvent::new("x"));
+        sink.flush().unwrap();
+    }
+}

@@ -2,6 +2,7 @@ use crate::faults::{degraded_outcome, FaultMethodStats, FaultSchedule, QueryOutc
 use crate::{optimal_response_time, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
 use decluster_methods::{AllocationMap, DeclusteringMethod, DiskCounts, MethodRegistry};
+use decluster_obs::{Obs, TraceEvent};
 
 /// The methods under evaluation at one sweep point, materialized once.
 ///
@@ -20,6 +21,7 @@ pub struct EvalContext {
     m: u32,
     maps: Vec<AllocationMap>,
     kernels: Vec<Option<DiskCounts>>,
+    obs: Obs,
 }
 
 impl EvalContext {
@@ -50,7 +52,26 @@ impl EvalContext {
     /// Wraps already-materialized allocations, building each kernel.
     pub fn from_maps(m: u32, maps: Vec<AllocationMap>) -> Self {
         let kernels = maps.iter().map(|map| map.disk_counts().ok()).collect();
-        EvalContext { m, maps, kernels }
+        EvalContext {
+            m,
+            maps,
+            kernels,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle; [`EvalContext::score`] then
+    /// records logical counters (queries, kernel vs naive invocations,
+    /// cells read) and the RT histogram. The default handle is the no-op
+    /// recorder, which keeps the scoring loop free of aggregation.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The context's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The disk count every method in the context uses.
@@ -98,11 +119,53 @@ impl EvalContext {
     pub fn score(&self, regions: &[BucketRegion]) -> (Vec<Summary>, f64) {
         let mut summaries = Vec::with_capacity(self.maps.len());
         let mut rts = vec![0u64; regions.len()];
+        // All observability aggregation sits behind this one branch, so
+        // the disabled recorder costs nothing on the scoring path.
+        let enabled = self.obs.enabled();
+        let mut kernel_inv = 0u64;
+        let mut naive_inv = 0u64;
+        let mut naive_scanned = 0u64;
+        let mut kernel_cells = 0u64;
+        let mut max_rt = 0u64;
         for idx in 0..self.maps.len() {
             for (slot, region) in rts.iter_mut().zip(regions) {
                 *slot = self.response_time(idx, region);
             }
+            if enabled {
+                match &self.kernels[idx] {
+                    Some(_) => {
+                        kernel_inv += regions.len() as u64;
+                        // Inclusion–exclusion over 2^k prefix corners,
+                        // M per-disk counts each.
+                        kernel_cells += regions
+                            .iter()
+                            .map(|r| u64::from(self.m) << r.dims())
+                            .sum::<u64>();
+                    }
+                    None => {
+                        naive_inv += regions.len() as u64;
+                        naive_scanned += regions.iter().map(BucketRegion::num_buckets).sum::<u64>();
+                    }
+                }
+                for &rt in &rts {
+                    self.obs.observe("rt.response_time", rt);
+                    max_rt = max_rt.max(rt);
+                }
+            }
             summaries.push(Summary::of_counts(&rts));
+        }
+        if enabled {
+            self.obs.counter_add("rt.queries", regions.len() as u64);
+            self.obs.counter_add(
+                "rt.buckets_requested",
+                regions.iter().map(BucketRegion::num_buckets).sum(),
+            );
+            self.obs.counter_add("rt.kernel_invocations", kernel_inv);
+            self.obs.counter_add("rt.naive_invocations", naive_inv);
+            self.obs.counter_add("rt.kernel_cells_read", kernel_cells);
+            self.obs
+                .counter_add("rt.naive_buckets_scanned", naive_scanned);
+            self.obs.gauge_max("rt.max_response_time", max_rt);
         }
         let opt_mean = if regions.is_empty() {
             0.0
@@ -193,25 +256,49 @@ impl<'a> DegradedContext<'a> {
         chained: bool,
     ) -> FaultMethodStats {
         let name = self.ctx.maps()[idx].name();
+        let obs = self.ctx.obs();
+        let enabled = obs.enabled();
         let mut healthy = Vec::with_capacity(regions.len());
         let mut degraded = Vec::with_capacity(regions.len());
         let mut unavailable = 0usize;
         let mut failover_buckets = 0u64;
+        let mut timeout_units = 0u64;
         for (i, region) in regions.iter().enumerate() {
             healthy.push(self.ctx.response_time(idx, region));
             match self.outcome(idx, i as u64, region, chained) {
                 QueryOutcome::Served {
                     response_time,
                     failover_buckets: fo,
-                    ..
+                    timeout_penalty,
                 } => {
                     degraded.push(response_time);
                     failover_buckets += fo;
+                    if enabled {
+                        timeout_units += timeout_penalty;
+                        obs.observe("faults.degraded_rt", response_time);
+                    }
                 }
                 QueryOutcome::Unavailable { .. } => unavailable += 1,
             }
         }
         let served = degraded.len();
+        if enabled {
+            obs.counter_add("faults.queries", regions.len() as u64);
+            obs.counter_add("faults.served", served as u64);
+            obs.counter_add("faults.unavailable", unavailable as u64);
+            obs.counter_add("faults.failover_buckets", failover_buckets);
+            obs.counter_add("faults.timeout_penalty_units", timeout_units);
+        }
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("fault_variant_scored")
+                    .with("method", name)
+                    .with("chained", chained)
+                    .with("served", served)
+                    .with("unavailable", unavailable)
+                    .with("failover_buckets", failover_buckets),
+            );
+        }
         FaultMethodStats {
             name: if chained {
                 format!("{name}+chain")

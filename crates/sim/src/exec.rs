@@ -6,6 +6,7 @@
 //! their index's slot, which makes the output a pure function of the
 //! inputs: one thread and N threads produce bit-identical sweeps.
 
+use decluster_obs::Obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -25,26 +26,44 @@ pub(crate) fn derive_point_seed(seed: u64, index: u64) -> u64 {
 /// point) runs inline with no thread machinery; the parallel path uses
 /// `std::thread::scope`, so borrowed state in `eval` needs no `'static`
 /// bound. A panicking evaluation propagates when the scope joins.
-pub(crate) fn run_indexed<T, F>(threads: usize, total: usize, eval: F) -> Vec<T>
+///
+/// When `obs` is live, each worker reports its busy wall time and how
+/// many indices it claimed. Both land in the snapshot's wall-clock
+/// section: which worker claims which index is scheduling-dependent, so
+/// per-worker counts are *not* part of the deterministic contract (the
+/// `exec.worker_points` total across workers still equals `total`).
+pub(crate) fn run_indexed<T, F>(threads: usize, total: usize, obs: &Obs, eval: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.clamp(1, total.max(1));
     if threads <= 1 {
+        let _busy = obs.time_phase("exec.worker_busy_ms");
+        if obs.enabled() {
+            obs.wall_add("exec.worker_points", total as f64);
+        }
         return (0..total).map(eval).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
+            scope.spawn(|| {
+                let _busy = obs.time_phase("exec.worker_busy_ms");
+                let mut claimed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let result = eval(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    claimed += 1;
                 }
-                let result = eval(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                if obs.enabled() {
+                    obs.wall_add("exec.worker_points", claimed as f64);
+                }
             });
         }
     });
@@ -64,20 +83,40 @@ mod tests {
 
     #[test]
     fn preserves_index_order() {
-        let out = run_indexed(4, 100, |i| i * i);
+        let out = run_indexed(4, 100, &Obs::disabled(), |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
     fn single_thread_and_empty_inputs() {
-        assert_eq!(run_indexed(1, 3, |i| i), vec![0, 1, 2]);
-        assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
+        let obs = Obs::disabled();
+        assert_eq!(run_indexed(1, 3, &obs, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(8, 0, &obs, |i| i), Vec::<usize>::new());
     }
 
     #[test]
     fn parallel_matches_sequential() {
+        let obs = Obs::disabled();
         let f = |i: usize| derive_point_seed(42, i as u64);
-        assert_eq!(run_indexed(1, 64, f), run_indexed(7, 64, f));
+        assert_eq!(run_indexed(1, 64, &obs, f), run_indexed(7, 64, &obs, f));
+    }
+
+    #[test]
+    fn worker_point_totals_account_for_every_index() {
+        use decluster_obs::{MetricsRecorder, Recorder};
+        use std::sync::Arc;
+        let rec = Arc::new(MetricsRecorder::new());
+        let obs = Obs::new(rec.clone());
+        let out = run_indexed(4, 37, &obs, |i| i);
+        assert_eq!(out.len(), 37);
+        let snap = rec.snapshot();
+        let points: f64 = snap
+            .walls
+            .iter()
+            .find(|(n, _)| n == "exec.worker_points")
+            .map(|(_, s)| s.total_ms)
+            .unwrap();
+        assert_eq!(points, 37.0);
     }
 
     #[test]

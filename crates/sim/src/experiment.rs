@@ -7,6 +7,7 @@ use crate::workload::{
 use crate::{Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
 use decluster_methods::MethodRegistry;
+use decluster_obs::{Obs, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -111,6 +112,7 @@ pub struct Experiment {
     seed: u64,
     include_baselines: bool,
     threads: usize,
+    obs: Obs,
 }
 
 impl Experiment {
@@ -124,6 +126,7 @@ impl Experiment {
             seed: 1994,
             include_baselines: false,
             threads: 1,
+            obs: Obs::disabled(),
         }
     }
 
@@ -152,6 +155,17 @@ impl Experiment {
         self
     }
 
+    /// Attaches an observability handle; every context the experiment
+    /// materializes shares it, sweep points record per-point wall time
+    /// and logical counters, and (when tracing is on) each completed
+    /// point emits a `point_done` event. Deterministic metric values do
+    /// not depend on the thread count. The default is the no-op
+    /// recorder.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The grid under study.
     pub fn space(&self) -> &GridSpace {
         &self.space
@@ -177,6 +191,7 @@ impl Experiment {
     fn context_for(&self, space: &GridSpace, m: u32) -> EvalContext {
         let registry = MethodRegistry::with_seed(self.seed);
         EvalContext::materialize(&registry, space, m, self.include_baselines)
+            .with_obs(self.obs.clone())
     }
 
     /// Evaluates `total` sweep points through the parallel executor,
@@ -185,9 +200,24 @@ impl Experiment {
     where
         F: Fn(usize, &mut StdRng) -> Result<PointScore> + Sync,
     {
-        run_indexed(self.effective_threads(), total, |i| {
+        run_indexed(self.effective_threads(), total, &self.obs, |i| {
+            let _point_timer = self.obs.time_phase("sweep.point_ms");
             let mut rng = StdRng::seed_from_u64(derive_point_seed(self.seed, i as u64));
-            eval(i, &mut rng)
+            let point = eval(i, &mut rng);
+            if self.obs.enabled() {
+                self.obs.counter_add("sweep.points", 1);
+            }
+            if self.obs.trace_enabled() {
+                if let Ok(p) = &point {
+                    self.obs.emit(
+                        TraceEvent::new("point_done")
+                            .with("point", i)
+                            .with("x", p.x)
+                            .with("methods", p.names.len()),
+                    );
+                }
+            }
+            point
         })
         .into_iter()
         .collect()
@@ -442,7 +472,7 @@ impl Experiment {
         let ctx = self.context_for(&self.space, self.m);
         let dctx = DegradedContext::new(&ctx, schedule, *policy)?;
         let variants = ctx.maps().len() * 2;
-        let rows = run_indexed(self.effective_threads(), variants, |i| {
+        let rows = run_indexed(self.effective_threads(), variants, &self.obs, |i| {
             dctx.score_variant(i / 2, &regions, i % 2 == 1)
         });
         Ok(FaultReport {

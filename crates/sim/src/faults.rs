@@ -24,6 +24,7 @@
 
 use crate::{DiskParams, Result, SimError, Summary};
 use decluster_grid::GridDirectory;
+use decluster_obs::{Obs, TraceEvent};
 use std::fmt::Write as _;
 
 /// The state of one disk at one logical instant.
@@ -589,6 +590,29 @@ pub fn simulate_rebuild(
     queries: &[decluster_grid::BucketRegion],
     clients: usize,
 ) -> Result<RebuildReport> {
+    simulate_rebuild_obs(dir, params, failed, queries, clients, &Obs::disabled())
+}
+
+/// [`simulate_rebuild`] with an observability handle: records rebuild
+/// progress counters (`rebuild.pages`, `rebuild.chunks`,
+/// `rebuild.interleaved_chunks`, `rebuild.drained_chunks`) plus
+/// `rebuild_start` / `rebuild_done` trace events, and runs the healthy
+/// baseline loop through [`crate::run_closed_loop_obs`] so its
+/// `multiuser.*` metrics land in the same snapshot.
+///
+/// # Errors
+/// As [`simulate_rebuild`].
+///
+/// # Panics
+/// As [`simulate_rebuild`].
+pub fn simulate_rebuild_obs(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    failed: u32,
+    queries: &[decluster_grid::BucketRegion],
+    clients: usize,
+    obs: &Obs,
+) -> Result<RebuildReport> {
     assert!(clients > 0, "closed loop needs at least one client");
     let m = dir.num_disks();
     if failed >= m {
@@ -603,9 +627,24 @@ pub fn simulate_rebuild(
     let pages_rebuilt = loads[failed as usize];
     let chunk_pages: Vec<u64> = (0..REBUILD_CHUNK_PAGES.min(pages_rebuilt.max(1))).collect();
     let chunk_ms = params.batch_ms(&chunk_pages, loads[source]);
-    let mut chunks_left = pages_rebuilt.div_ceil(REBUILD_CHUNK_PAGES);
+    let total_chunks = pages_rebuilt.div_ceil(REBUILD_CHUNK_PAGES);
+    let mut chunks_left = total_chunks;
 
-    let healthy = crate::run_closed_loop(dir, params, queries, clients);
+    if obs.enabled() {
+        obs.counter_add("rebuild.pages", pages_rebuilt);
+        obs.counter_add("rebuild.chunks", total_chunks);
+    }
+    if obs.trace_enabled() {
+        obs.emit(
+            TraceEvent::new("rebuild_start")
+                .with("failed_disk", failed)
+                .with("source_disk", source)
+                .with("pages", pages_rebuilt)
+                .with("chunks", total_chunks),
+        );
+    }
+
+    let healthy = crate::run_closed_loop_obs(dir, params, queries, clients, obs);
 
     // Degraded closed loop: the failed disk's batches are redirected to
     // the source, which also interleaves one rebuild chunk before each
@@ -649,6 +688,10 @@ pub fn simulate_rebuild(
     }
     // Remaining chunks drain back-to-back once the foreground is done.
     let rebuild_ms = disk_free_at[source] + chunks_left as f64 * chunk_ms;
+    if obs.enabled() {
+        obs.counter_add("rebuild.interleaved_chunks", total_chunks - chunks_left);
+        obs.counter_add("rebuild.drained_chunks", chunks_left);
+    }
 
     let degraded_qps = if makespan > 0.0 {
         queries.len() as f64 / (makespan / 1000.0)
@@ -660,6 +703,14 @@ pub fn simulate_rebuild(
     } else {
         1.0
     };
+    if obs.trace_enabled() {
+        obs.emit(
+            TraceEvent::new("rebuild_done")
+                .with("failed_disk", failed)
+                .with("rebuild_ms", rebuild_ms)
+                .with("interference_factor", interference_factor),
+        );
+    }
     Ok(RebuildReport {
         failed_disk: failed,
         pages_rebuilt,

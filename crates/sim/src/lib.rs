@@ -52,16 +52,19 @@ pub use disk::{DiskParams, IoSimulator};
 pub use eval::{DegradedContext, EvalContext};
 pub use experiment::{DbSizePoint, Experiment, MethodSeries, SweepResult};
 pub use faults::{
-    degraded_outcome, simulate_rebuild, DiskState, FaultEvent, FaultMethodStats, FaultReport,
-    FaultSchedule, QueryOutcome, RebuildReport, RetryPolicy,
+    degraded_outcome, simulate_rebuild, simulate_rebuild_obs, DiskState, FaultEvent,
+    FaultMethodStats, FaultReport, FaultSchedule, QueryOutcome, RebuildReport, RetryPolicy,
 };
 pub use multiuser::{
-    load_sweep, poisson_arrivals, run_closed_loop, run_closed_loop_degraded, run_open_loop,
+    load_sweep, poisson_arrivals, run_closed_loop, run_closed_loop_degraded,
+    run_closed_loop_degraded_obs, run_closed_loop_obs, run_open_loop, run_open_loop_obs,
     DegradedMultiUserReport, LoadPoint, MultiUserReport,
 };
+#[allow(deprecated)]
 pub use report::{
     render_csv, render_fault_csv, render_fault_table, render_table, render_table_with_ci,
 };
+pub use report::{Report, ReportFormat, TextTable};
 pub use rt::{
     deviation_from_optimal, masked_response_time, optimal_response_time, response_time,
     response_time_batched,
@@ -70,7 +73,11 @@ pub use stats::Summary;
 
 /// Errors from the simulator: configuration problems surface as the
 /// underlying crates' errors.
+///
+/// Marked `#[non_exhaustive]`: future variants (e.g. observability I/O
+/// errors) are not breaking changes, so match with a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SimError {
     /// A grid/query construction failed.
     Grid(decluster_grid::GridError),

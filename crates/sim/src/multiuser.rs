@@ -12,8 +12,41 @@
 use crate::faults::{DiskState, FaultSchedule, RetryPolicy};
 use crate::{DiskParams, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridDirectory};
+use decluster_obs::{Obs, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Records the shared closed/open-loop metrics. Everything here is
+/// derived from simulated (logical) milliseconds and counts, so the
+/// deterministic sections stay bit-identical across runs; only the
+/// sub-millisecond float rounding is quantized (to microseconds for
+/// busy time, milliseconds for latencies).
+fn record_loop_metrics(
+    obs: &Obs,
+    prefix: &str,
+    queries: usize,
+    batches: u64,
+    queued_batches: u64,
+    disk_busy_ms: &[f64],
+    latencies: &[f64],
+) {
+    obs.counter_add(&format!("{prefix}.queries"), queries as u64);
+    obs.counter_add(&format!("{prefix}.batches"), batches);
+    obs.counter_add(&format!("{prefix}.queued_batches"), queued_batches);
+    for (d, &busy) in disk_busy_ms.iter().enumerate() {
+        obs.counter_add(
+            &format!("{prefix}.disk{d:02}.busy_us"),
+            (busy * 1000.0).round() as u64,
+        );
+    }
+    let mut max_latency = 0u64;
+    for &l in latencies {
+        let ms = l.round() as u64;
+        obs.observe(&format!("{prefix}.latency_ms"), ms);
+        max_latency = max_latency.max(ms);
+    }
+    obs.gauge_max(&format!("{prefix}.max_latency_ms"), max_latency);
+}
 
 /// Aggregate results of one closed-loop run.
 #[derive(Clone, Debug)]
@@ -47,13 +80,31 @@ pub fn run_closed_loop(
     queries: &[BucketRegion],
     clients: usize,
 ) -> MultiUserReport {
+    run_closed_loop_obs(dir, params, queries, clients, &Obs::disabled())
+}
+
+/// [`run_closed_loop`] with an observability handle: records
+/// `multiuser.*` counters (queries, batches, queued batches, per-disk
+/// busy microseconds), the latency histogram, and a `closed_loop_done`
+/// trace event. All metric values derive from simulated quantities, so
+/// they are deterministic.
+pub fn run_closed_loop_obs(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    clients: usize,
+    obs: &Obs,
+) -> MultiUserReport {
     assert!(clients > 0, "closed loop needs at least one client");
+    let record = obs.enabled();
     let m = dir.num_disks() as usize;
     let loads = dir.load_vector();
     let mut disk_free_at = vec![0.0f64; m];
     let mut disk_busy_ms = vec![0.0f64; m];
     let mut latencies = Vec::with_capacity(queries.len());
     let mut makespan: f64 = 0.0;
+    let mut batches = 0u64;
+    let mut queued_batches = 0u64;
 
     // Heap of client-ready times (min-heap via Reverse of ordered bits).
     let mut ready: BinaryHeap<Reverse<OrderedF64>> =
@@ -72,6 +123,12 @@ pub fn run_closed_loop(
             disk_free_at[d] = start + service;
             disk_busy_ms[d] += service;
             completion = completion.max(start + service);
+            if record {
+                batches += 1;
+                if start > issue_at {
+                    queued_batches += 1;
+                }
+            }
         }
         latencies.push(completion - issue_at);
         makespan = makespan.max(completion);
@@ -88,6 +145,26 @@ pub fn run_closed_loop(
     } else {
         0.0
     };
+    if record {
+        record_loop_metrics(
+            obs,
+            "multiuser",
+            queries.len(),
+            batches,
+            queued_batches,
+            &disk_busy_ms,
+            &latencies,
+        );
+    }
+    if obs.trace_enabled() {
+        obs.emit(
+            TraceEvent::new("closed_loop_done")
+                .with("queries", queries.len())
+                .with("clients", clients)
+                .with("makespan_ms", makespan)
+                .with("utilization", utilization),
+        );
+    }
     MultiUserReport {
         queries: queries.len(),
         clients,
@@ -140,6 +217,36 @@ pub fn run_closed_loop_degraded(
     schedule: &FaultSchedule,
     policy: &RetryPolicy,
 ) -> Result<DegradedMultiUserReport> {
+    run_closed_loop_degraded_obs(
+        dir,
+        params,
+        queries,
+        clients,
+        schedule,
+        policy,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_closed_loop_degraded`] with an observability handle: records
+/// the `multiuser_degraded.*` loop metrics plus unavailable-query and
+/// failover-batch counters, and a `degraded_loop_done` trace event.
+///
+/// # Errors
+/// As [`run_closed_loop_degraded`].
+///
+/// # Panics
+/// As [`run_closed_loop_degraded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_degraded_obs(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    clients: usize,
+    schedule: &FaultSchedule,
+    policy: &RetryPolicy,
+    obs: &Obs,
+) -> Result<DegradedMultiUserReport> {
     assert!(clients > 0, "closed loop needs at least one client");
     if schedule.num_disks() != dir.num_disks() {
         return Err(SimError::ScheduleMismatch {
@@ -147,6 +254,7 @@ pub fn run_closed_loop_degraded(
             experiment_disks: dir.num_disks(),
         });
     }
+    let record = obs.enabled();
     let m = dir.num_disks() as usize;
     let loads = dir.load_vector();
     let timeout_ms = policy.detection_units() as f64 * params.transfer_ms;
@@ -156,6 +264,8 @@ pub fn run_closed_loop_degraded(
     let mut makespan: f64 = 0.0;
     let mut unavailable = 0usize;
     let mut failover_batches = 0usize;
+    let mut batches = 0u64;
+    let mut queued_batches = 0u64;
 
     let mut ready: BinaryHeap<Reverse<OrderedF64>> =
         (0..clients).map(|_| Reverse(OrderedF64(0.0))).collect();
@@ -188,6 +298,12 @@ pub fn run_closed_loop_degraded(
                     disk_free_at[d] = start + service;
                     disk_busy_ms[d] += service;
                     completion = completion.max(start + service);
+                    if record {
+                        batches += 1;
+                        if start > issue_at {
+                            queued_batches += 1;
+                        }
+                    }
                 }
                 DiskState::Down => {
                     let b = (d + 1) % m;
@@ -198,6 +314,12 @@ pub fn run_closed_loop_degraded(
                     disk_busy_ms[b] += service;
                     completion = completion.max(start + service);
                     failover_batches += 1;
+                    if record {
+                        batches += 1;
+                        if start > issue_at + timeout_ms {
+                            queued_batches += 1;
+                        }
+                    }
                 }
             }
         }
@@ -217,6 +339,31 @@ pub fn run_closed_loop_degraded(
     } else {
         0.0
     };
+    if record {
+        record_loop_metrics(
+            obs,
+            "multiuser_degraded",
+            served,
+            batches,
+            queued_batches,
+            &disk_busy_ms,
+            &latencies,
+        );
+        obs.counter_add("multiuser_degraded.unavailable", unavailable as u64);
+        obs.counter_add(
+            "multiuser_degraded.failover_batches",
+            failover_batches as u64,
+        );
+    }
+    if obs.trace_enabled() {
+        obs.emit(
+            TraceEvent::new("degraded_loop_done")
+                .with("served", served)
+                .with("unavailable", unavailable)
+                .with("failover_batches", failover_batches)
+                .with("makespan_ms", makespan),
+        );
+    }
     Ok(DegradedMultiUserReport {
         report: MultiUserReport {
             queries: served,
@@ -246,6 +393,23 @@ pub fn run_open_loop(
     queries: &[BucketRegion],
     arrivals_ms: &[f64],
 ) -> MultiUserReport {
+    run_open_loop_obs(dir, params, queries, arrivals_ms, &Obs::disabled())
+}
+
+/// [`run_open_loop`] with an observability handle: records the
+/// `openloop.*` loop metrics (queries, batches, queued batches,
+/// per-disk busy microseconds, latency histogram) and an
+/// `open_loop_done` trace event.
+///
+/// # Panics
+/// As [`run_open_loop`].
+pub fn run_open_loop_obs(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    arrivals_ms: &[f64],
+    obs: &Obs,
+) -> MultiUserReport {
     assert!(
         arrivals_ms.len() >= queries.len(),
         "need one arrival time per query"
@@ -254,12 +418,15 @@ pub fn run_open_loop(
         arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
         "arrival times must be non-decreasing"
     );
+    let record = obs.enabled();
     let m = dir.num_disks() as usize;
     let loads = dir.load_vector();
     let mut disk_free_at = vec![0.0f64; m];
     let mut disk_busy_ms = vec![0.0f64; m];
     let mut latencies = Vec::with_capacity(queries.len());
     let mut makespan: f64 = 0.0;
+    let mut batches = 0u64;
+    let mut queued_batches = 0u64;
 
     for (region, &issue_at) in queries.iter().zip(arrivals_ms) {
         let plan = dir.io_plan(region);
@@ -273,6 +440,12 @@ pub fn run_open_loop(
             disk_free_at[d] = start + service;
             disk_busy_ms[d] += service;
             completion = completion.max(start + service);
+            if record {
+                batches += 1;
+                if start > issue_at {
+                    queued_batches += 1;
+                }
+            }
         }
         latencies.push(completion - issue_at);
         makespan = makespan.max(completion);
@@ -288,6 +461,25 @@ pub fn run_open_loop(
     } else {
         0.0
     };
+    if record {
+        record_loop_metrics(
+            obs,
+            "openloop",
+            queries.len(),
+            batches,
+            queued_batches,
+            &disk_busy_ms,
+            &latencies,
+        );
+    }
+    if obs.trace_enabled() {
+        obs.emit(
+            TraceEvent::new("open_loop_done")
+                .with("queries", queries.len())
+                .with("makespan_ms", makespan)
+                .with("utilization", utilization),
+        );
+    }
     MultiUserReport {
         queries: queries.len(),
         clients: 0, // open loop: unbounded concurrency

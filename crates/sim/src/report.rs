@@ -1,9 +1,105 @@
-//! Plain-text and CSV rendering of sweep results — the "same rows the
-//! paper reports" output format.
+//! The report sink API: every tabular artifact — sweep tables, fault
+//! tables, metrics snapshots — renders through one [`Report`] trait and
+//! a [`ReportFormat`] selector, instead of a parallel free function per
+//! (type, format) pair.
+//!
+//! The deprecated `render_*` free functions remain as thin wrappers and
+//! produce byte-identical output (covered by parity tests), so existing
+//! callers keep compiling.
 
 use crate::faults::FaultReport;
 use crate::SweepResult;
+use decluster_obs::json::JsonValue;
+use decluster_obs::MetricsSnapshot;
 use std::fmt::Write as _;
+
+/// Output format selector for [`Report::render`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Aligned plain-text table.
+    Table,
+    /// Plain-text table with every mean annotated by its ~95%
+    /// confidence half-width. Reports without per-cell sampling
+    /// distributions fall back to [`ReportFormat::Table`].
+    TableWithCi,
+    /// Comma-separated values with a header row.
+    Csv,
+    /// One JSON document (trailing newline included).
+    Json,
+}
+
+/// A renderable report. Implemented by [`SweepResult`], [`FaultReport`],
+/// and the observability [`MetricsSnapshot`], so binaries emit every
+/// artifact through the same sink call.
+pub trait Report {
+    /// Renders this report in `format`.
+    fn render(&self, format: ReportFormat) -> String;
+}
+
+/// A generic aligned plain-text table: optional title line, a
+/// right-aligned header row, an optional dashed separator, and
+/// right-aligned data rows (columns joined by two spaces).
+///
+/// This is the one rendering engine behind every `Table` /
+/// `TableWithCi` output in the workspace; it reproduces the original
+/// `render_table` layout byte for byte.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    /// Title printed on its own line (skipped when empty).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have one cell per header.
+    pub rows: Vec<Vec<String>>,
+    /// Whether to print a dashed separator under the header row.
+    pub separator: bool,
+}
+
+impl TextTable {
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        if self.separator && !widths.is_empty() {
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+            );
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
 
 fn fmt_cell(v: f64) -> String {
     if v.is_nan() {
@@ -13,230 +109,270 @@ fn fmt_cell(v: f64) -> String {
     }
 }
 
+impl SweepResult {
+    fn column_headers(&self) -> Vec<String> {
+        let mut headers: Vec<String> = vec![self.xlabel.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        headers.push("OPT".to_owned());
+        headers
+    }
+
+    fn text_table(&self, with_ci: bool) -> TextTable {
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.xs.len());
+        for (i, &x) in self.xs.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                if with_ci {
+                    if s.means[i].is_nan() {
+                        row.push("-".to_owned());
+                    } else {
+                        row.push(format!(
+                            "{:.3} ±{:.3}",
+                            s.means[i],
+                            s.summaries[i].ci95_half_width()
+                        ));
+                    }
+                } else {
+                    row.push(fmt_cell(s.means[i]));
+                }
+            }
+            row.push(fmt_cell(self.optimal[i]));
+            rows.push(row);
+        }
+        TextTable {
+            title: if with_ci {
+                format!("{} (means ±95% CI)", self.title)
+            } else {
+                self.title.clone()
+            },
+            headers: self.column_headers(),
+            rows,
+            // The CI variant historically prints no separator line;
+            // byte-identity with the deprecated wrappers preserves that.
+            separator: !with_ci,
+        }
+    }
+
+    fn csv(&self) -> String {
+        let mut out = String::new();
+        let mut headers = vec![self.xlabel.replace(',', ";")];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        headers.push("OPT".to_owned());
+        let _ = writeln!(out, "{}", headers.join(","));
+        for (i, &x) in self.xs.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(if s.means[i].is_nan() {
+                    String::new()
+                } else {
+                    format!("{}", s.means[i])
+                });
+            }
+            row.push(format!("{}", self.optimal[i]));
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    fn json(&self) -> JsonValue {
+        let numbers =
+            |xs: &[f64]| JsonValue::Array(xs.iter().map(|&v| JsonValue::Number(v)).collect());
+        let series = JsonValue::Array(
+            self.series
+                .iter()
+                .map(|s| {
+                    JsonValue::Object(vec![
+                        ("name".into(), JsonValue::String(s.name.clone())),
+                        ("means".into(), numbers(&s.means)),
+                        (
+                            "ci95".into(),
+                            JsonValue::Array(
+                                s.summaries
+                                    .iter()
+                                    .map(|sm| JsonValue::Number(sm.ci95_half_width()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("title".into(), JsonValue::String(self.title.clone())),
+            ("xlabel".into(), JsonValue::String(self.xlabel.clone())),
+            ("xs".into(), numbers(&self.xs)),
+            ("optimal".into(), numbers(&self.optimal)),
+            ("series".into(), series),
+        ])
+    }
+}
+
+impl Report for SweepResult {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Table => self.text_table(false).render(),
+            ReportFormat::TableWithCi => self.text_table(true).render(),
+            ReportFormat::Csv => self.csv(),
+            ReportFormat::Json => format!("{}\n", self.json()),
+        }
+    }
+}
+
+impl FaultReport {
+    fn text_table(&self) -> TextTable {
+        let headers = [
+            "method",
+            "healthy RT",
+            "degraded RT",
+            "worst RT",
+            "avail %",
+            "served",
+            "lost",
+            "failover",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.3}", r.healthy.mean),
+                    format!("{:.3}", r.degraded.mean),
+                    format!("{:.0}", r.degraded.max),
+                    format!("{:.1}", r.availability * 100.0),
+                    format!("{}", r.served),
+                    format!("{}", r.unavailable),
+                    format!("{}", r.failover_buckets),
+                ]
+            })
+            .collect();
+        TextTable {
+            title: self.title.clone(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows,
+            separator: true,
+        }
+    }
+
+    fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                r.name.replace(',', ";"),
+                r.healthy.mean,
+                r.degraded.mean,
+                r.degraded.max,
+                r.availability,
+                r.served,
+                r.unavailable,
+                r.failover_buckets
+            );
+        }
+        out
+    }
+
+    fn json(&self) -> JsonValue {
+        let rows = JsonValue::Array(
+            self.rows
+                .iter()
+                .map(|r| {
+                    JsonValue::Object(vec![
+                        ("name".into(), JsonValue::String(r.name.clone())),
+                        ("healthy_mean_rt".into(), JsonValue::Number(r.healthy.mean)),
+                        (
+                            "degraded_mean_rt".into(),
+                            JsonValue::Number(r.degraded.mean),
+                        ),
+                        ("degraded_max_rt".into(), JsonValue::Number(r.degraded.max)),
+                        ("availability".into(), JsonValue::Number(r.availability)),
+                        ("served".into(), JsonValue::Number(r.served as f64)),
+                        (
+                            "unavailable".into(),
+                            JsonValue::Number(r.unavailable as f64),
+                        ),
+                        (
+                            "failover_buckets".into(),
+                            JsonValue::Number(r.failover_buckets as f64),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("title".into(), JsonValue::String(self.title.clone())),
+            ("schedule".into(), JsonValue::String(self.schedule.clone())),
+            ("rows".into(), rows),
+        ])
+    }
+}
+
+impl Report for FaultReport {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            // Fault rows carry no per-cell sampling distribution to
+            // annotate, so TableWithCi degrades to the plain table.
+            ReportFormat::Table | ReportFormat::TableWithCi => self.text_table().render(),
+            ReportFormat::Csv => self.csv(),
+            ReportFormat::Json => format!("{}\n", self.json()),
+        }
+    }
+}
+
+impl Report for MetricsSnapshot {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Table | ReportFormat::TableWithCi => self.render_text(),
+            ReportFormat::Csv => self.render_csv(),
+            ReportFormat::Json => format!("{}\n", self.to_json()),
+        }
+    }
+}
+
 /// Renders a sweep as an aligned plain-text table: one row per x-value,
 /// one column per method, plus the optimal lower bound.
+#[deprecated(note = "use `Report::render(ReportFormat::Table)`")]
 pub fn render_table(result: &SweepResult) -> String {
-    let mut headers: Vec<String> = vec![result.xlabel.clone()];
-    headers.extend(result.series.iter().map(|s| s.name.clone()));
-    headers.push("OPT".to_owned());
-
-    let mut rows: Vec<Vec<String>> = Vec::with_capacity(result.xs.len());
-    for (i, &x) in result.xs.iter().enumerate() {
-        let mut row = vec![format!("{x}")];
-        for s in &result.series {
-            row.push(fmt_cell(s.means[i]));
-        }
-        row.push(fmt_cell(result.optimal[i]));
-        rows.push(row);
-    }
-
-    let widths: Vec<usize> = headers
-        .iter()
-        .enumerate()
-        .map(|(c, h)| {
-            rows.iter()
-                .map(|r| r[c].len())
-                .chain(std::iter::once(h.len()))
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-
-    let mut out = String::new();
-    let _ = writeln!(out, "{}", result.title);
-    let header_line: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}"))
-        .collect();
-    let _ = writeln!(out, "{}", header_line.join("  "));
-    let _ = writeln!(
-        out,
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
-    );
-    for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
-        let _ = writeln!(out, "{}", line.join("  "));
-    }
-    out
+    result.render(ReportFormat::Table)
 }
 
 /// Renders a sweep like [`render_table`] but annotates every mean with
 /// its ~95% confidence half-width (`mean ±hw`), so readers can judge
 /// whether method gaps exceed sampling noise.
+#[deprecated(note = "use `Report::render(ReportFormat::TableWithCi)`")]
 pub fn render_table_with_ci(result: &SweepResult) -> String {
-    let mut headers: Vec<String> = vec![result.xlabel.clone()];
-    headers.extend(result.series.iter().map(|s| s.name.clone()));
-    headers.push("OPT".to_owned());
-
-    let mut rows: Vec<Vec<String>> = Vec::with_capacity(result.xs.len());
-    for (i, &x) in result.xs.iter().enumerate() {
-        let mut row = vec![format!("{x}")];
-        for s in &result.series {
-            if s.means[i].is_nan() {
-                row.push("-".to_owned());
-            } else {
-                row.push(format!(
-                    "{:.3} ±{:.3}",
-                    s.means[i],
-                    s.summaries[i].ci95_half_width()
-                ));
-            }
-        }
-        row.push(fmt_cell(result.optimal[i]));
-        rows.push(row);
-    }
-
-    let widths: Vec<usize> = headers
-        .iter()
-        .enumerate()
-        .map(|(c, h)| {
-            rows.iter()
-                .map(|r| r[c].len())
-                .chain(std::iter::once(h.len()))
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-
-    let mut out = String::new();
-    let _ = writeln!(out, "{} (means ±95% CI)", result.title);
-    let header_line: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}"))
-        .collect();
-    let _ = writeln!(out, "{}", header_line.join("  "));
-    for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
-        let _ = writeln!(out, "{}", line.join("  "));
-    }
-    out
+    result.render(ReportFormat::TableWithCi)
 }
 
 /// Renders a sweep as CSV with a header row (`x, <methods…>, OPT`). NaN
 /// points (method not applicable) are empty cells.
+#[deprecated(note = "use `Report::render(ReportFormat::Csv)`")]
 pub fn render_csv(result: &SweepResult) -> String {
-    let mut out = String::new();
-    let mut headers = vec![result.xlabel.replace(',', ";")];
-    headers.extend(result.series.iter().map(|s| s.name.clone()));
-    headers.push("OPT".to_owned());
-    let _ = writeln!(out, "{}", headers.join(","));
-    for (i, &x) in result.xs.iter().enumerate() {
-        let mut row = vec![format!("{x}")];
-        for s in &result.series {
-            row.push(if s.means[i].is_nan() {
-                String::new()
-            } else {
-                format!("{}", s.means[i])
-            });
-        }
-        row.push(format!("{}", result.optimal[i]));
-        let _ = writeln!(out, "{}", row.join(","));
-    }
-    out
+    result.render(ReportFormat::Csv)
 }
 
 /// Renders a fault-injection report as an aligned plain-text table: one
 /// row per method variant, with healthy vs degraded mean RT, worst-case
 /// degraded RT, availability, and failover volume.
+#[deprecated(note = "use `Report::render(ReportFormat::Table)`")]
 pub fn render_fault_table(report: &FaultReport) -> String {
-    let headers = [
-        "method",
-        "healthy RT",
-        "degraded RT",
-        "worst RT",
-        "avail %",
-        "served",
-        "lost",
-        "failover",
-    ];
-    let rows: Vec<Vec<String>> = report
-        .rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:.3}", r.healthy.mean),
-                format!("{:.3}", r.degraded.mean),
-                format!("{:.0}", r.degraded.max),
-                format!("{:.1}", r.availability * 100.0),
-                format!("{}", r.served),
-                format!("{}", r.unavailable),
-                format!("{}", r.failover_buckets),
-            ]
-        })
-        .collect();
-    let widths: Vec<usize> = headers
-        .iter()
-        .enumerate()
-        .map(|(c, h)| {
-            rows.iter()
-                .map(|r| r[c].len())
-                .chain(std::iter::once(h.len()))
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-    let mut out = String::new();
-    let _ = writeln!(out, "{}", report.title);
-    let header_line: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}"))
-        .collect();
-    let _ = writeln!(out, "{}", header_line.join("  "));
-    let _ = writeln!(
-        out,
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
-    );
-    for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
-        let _ = writeln!(out, "{}", line.join("  "));
-    }
-    out
+    report.render(ReportFormat::Table)
 }
 
 /// Renders a fault-injection report as CSV
 /// (`method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets`).
+#[deprecated(note = "use `Report::render(ReportFormat::Csv)`")]
 pub fn render_fault_csv(report: &FaultReport) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets"
-    );
-    for r in &report.rows {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{}",
-            r.name.replace(',', ";"),
-            r.healthy.mean,
-            r.degraded.mean,
-            r.degraded.max,
-            r.availability,
-            r.served,
-            r.unavailable,
-            r.failover_buckets
-        );
-    }
-    out
+    report.render(ReportFormat::Csv)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{MethodSeries, Summary};
@@ -359,5 +495,82 @@ mod tests {
         let mut s = sample();
         s.xlabel = "a,b".into();
         assert!(render_csv(&s).starts_with("a;b,"));
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_report_api_bytes() {
+        let s = sample();
+        assert_eq!(render_table(&s), s.render(ReportFormat::Table));
+        assert_eq!(
+            render_table_with_ci(&s),
+            s.render(ReportFormat::TableWithCi)
+        );
+        assert_eq!(render_csv(&s), s.render(ReportFormat::Csv));
+        let f = fault_sample();
+        assert_eq!(render_fault_table(&f), f.render(ReportFormat::Table));
+        assert_eq!(render_fault_csv(&f), f.render(ReportFormat::Csv));
+    }
+
+    #[test]
+    fn table_layout_is_byte_stable() {
+        // Pin the exact layout the deprecated wrappers promised:
+        // title, right-aligned headers, dashed separator, aligned rows.
+        let t = sample().render(ReportFormat::Table);
+        let expected = "demo\n\
+                        area     DM    ECC    OPT\n\
+                        -------------------------\n\
+                        \u{20}  1  1.000  1.000  1.000\n\
+                        \u{20}  4  2.500      -  1.000\n";
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn ci_table_has_no_separator_line() {
+        let t = sample().render(ReportFormat::TableWithCi);
+        assert!(!t
+            .lines()
+            .any(|l| !l.is_empty() && l.chars().all(|c| c == '-')));
+        assert!(t.starts_with("demo (means ±95% CI)\n"));
+    }
+
+    #[test]
+    fn json_reports_parse_and_carry_the_rows() {
+        use decluster_obs::json;
+        let s = sample();
+        let v = json::parse(s.render(ReportFormat::Json).trim_end()).unwrap();
+        assert_eq!(v.get("title").and_then(JsonValue::as_str), Some("demo"));
+        assert!(matches!(v.get("series"), Some(JsonValue::Array(a)) if a.len() == 2));
+        let f = fault_sample();
+        let v = json::parse(f.render(ReportFormat::Json).trim_end()).unwrap();
+        assert_eq!(
+            v.get("schedule").and_then(JsonValue::as_str),
+            Some("fail:1@5")
+        );
+        assert!(matches!(v.get("rows"), Some(JsonValue::Array(a)) if a.len() == 2));
+    }
+
+    #[test]
+    fn metrics_snapshot_renders_through_report() {
+        use decluster_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        reg.counter_add("rt.queries", 4);
+        let snap = reg.snapshot();
+        assert!(snap.render(ReportFormat::Table).contains("rt.queries"));
+        assert!(snap
+            .render(ReportFormat::Csv)
+            .contains("counter,rt.queries,4"));
+        let json = snap.render(ReportFormat::Json);
+        assert!(decluster_obs::json::parse(json.trim_end()).is_ok());
+    }
+
+    #[test]
+    fn text_table_handles_empty_rows() {
+        let t = TextTable {
+            title: String::new(),
+            headers: vec!["a".into()],
+            rows: vec![],
+            separator: true,
+        };
+        assert_eq!(t.render(), "a\n-\n");
     }
 }

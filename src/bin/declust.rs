@@ -15,7 +15,7 @@
 use decluster::grid::GridDirectory;
 use decluster::prelude::*;
 use decluster::sim::workload::random_region;
-use decluster::sim::{load_sweep, DiskParams};
+use decluster::sim::{load_sweep, DiskParams, TextTable};
 use decluster::theory::bounds::shape_profile;
 use decluster::theory::impossibility::theorem_table;
 use rand::rngs::StdRng;
@@ -265,24 +265,27 @@ fn cmd_loadcurve(flags: &Flags) -> Result<(), String> {
         &rates,
         seed_of(flags),
     );
-    println!(
-        "mean latency (ms) vs offered load, {n} {}x{} queries on {:?} with M={m}:",
-        shape.0,
-        shape.1,
-        space.dims()
-    );
-    print!("{:>10}", "rate qps");
-    for (name, _) in &dir_refs {
-        print!(" {name:>9}");
-    }
-    println!();
-    for p in points {
-        print!("{:>10}", p.rate_qps);
-        for (_, lat, _) in &p.methods {
-            print!(" {lat:>9.2}");
-        }
-        println!();
-    }
+    let table = TextTable {
+        title: format!(
+            "mean latency (ms) vs offered load, {n} {}x{} queries on {:?} with M={m}:",
+            shape.0,
+            shape.1,
+            space.dims()
+        ),
+        headers: std::iter::once("rate qps".to_owned())
+            .chain(dir_refs.iter().map(|(name, _)| (*name).to_owned()))
+            .collect(),
+        rows: points
+            .iter()
+            .map(|p| {
+                std::iter::once(p.rate_qps.to_string())
+                    .chain(p.methods.iter().map(|(_, lat, _)| format!("{lat:.2}")))
+                    .collect()
+            })
+            .collect(),
+        separator: false,
+    };
+    print!("{}", table.render());
     Ok(())
 }
 

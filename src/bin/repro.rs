@@ -1,51 +1,155 @@
 //! Reproduction harness: regenerates every table and figure of the
 //! ICDE'94 declustering study.
 //!
-//! ```text
-//! repro <experiment> [--csv DIR] [--quick]
-//!
-//! experiments:
-//!   e1    query-size sweep, 2-D (paper Experiment 1 / Fig 3)
-//!   e2    query-shape sweep (paper Experiment 2 / Fig 4)
-//!   e3    query-size sweep, 3 attributes (paper Experiment 3 / Fig 6)
-//!   e4    disks sweep, small queries (paper Fig 5a)
-//!   e5    disks sweep, large queries (paper Fig 5b)
-//!   e6    database-size sweep
-//!   t1    partial-match optimality-condition table (paper Table 1)
-//!   t2    partial-match response-time table
-//!   t3    exact worst/mean/optimal-fraction shape profiles (extension)
-//!   mix   mixed-workload table: OLTP / OLAP / scan-heavy mixes (extension)
-//!   avail single-disk-failure survival per method (extension)
-//!   abl   space-filling-curve ablation for HCAM (extension)
-//!   thm   the M > 5 impossibility theorem
-//!   faults degraded-mode table under an injected fault schedule (extension)
-//!   all   everything above
-//!   bench kernel-vs-naive RT timing snapshot (writes BENCH_rt.json)
-//! ```
+//! Run `repro` with no arguments for the usage text — it is generated
+//! from the [`EXPERIMENTS`] table below, the single source of truth for
+//! experiment names, descriptions, and which experiments accept
+//! `--metrics` / `--trace` (the ones that run through the instrumented
+//! evaluation engine).
 //!
 //! `--quick` cuts the query budget (for smoke tests); `--csv DIR` also
 //! writes each sweep as CSV into DIR; `--threads N` (N ≥ 1) evaluates
 //! sweep points on N worker threads — the tables are bit-identical for
-//! every thread count. `--faults SPEC` overrides the fault schedule of
-//! the `faults` experiment (grammar: `fail:D@T`, `transient:D@A..B`,
+//! every thread count, and so is the `--metrics` snapshot (wall-clock
+//! timings go to stderr). `--faults SPEC` overrides the fault schedule
+//! of the `faults` experiment (grammar: `fail:D@T`, `transient:D@A..B`,
 //! `slow:DxF@A..B`, comma-separated; see EXPERIMENTS.md); `--method
 //! NAME` restricts the `faults` table to one method.
 
 use decluster::grid::GridDirectory;
+use decluster::obs::{JsonLinesSink, MetricsRecorder, Obs};
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, ShapeSweep, SizeSweep};
 use decluster::sim::{
-    render_csv, render_fault_csv, render_fault_table, render_table, simulate_rebuild, DbSizePoint,
-    DiskParams, FaultEvent, FaultReport, FaultSchedule, RetryPolicy,
+    simulate_rebuild_obs, DbSizePoint, DiskParams, FaultEvent, FaultReport, FaultSchedule, Report,
+    ReportFormat, RetryPolicy,
 };
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Default configuration of the study (see EXPERIMENTS.md).
 const GRID_SIDE: u32 = 64;
 const DISKS: u32 = 16;
 const SEED: u64 = 1994;
+
+/// One experiment the harness can run: CLI name, usage-line description,
+/// and whether it runs through the instrumented evaluation engine (the
+/// sweep / fault / multi-user paths that feed `--metrics` and
+/// `--trace`). This table is the single source of truth for the usage
+/// text, name validation, and the metrics/trace gate.
+struct ExperimentSpec {
+    name: &'static str,
+    describe: &'static str,
+    engine: bool,
+}
+
+const EXPERIMENTS: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "e1",
+        describe: "query-size sweep, 2-D (paper Experiment 1 / Fig 3)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "e2",
+        describe: "query-shape sweep (paper Experiment 2 / Fig 4)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "e3",
+        describe: "query-size sweep, 3 attributes (paper Experiment 3 / Fig 6)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "e4",
+        describe: "disks sweep, small queries (paper Fig 5a)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "e5",
+        describe: "disks sweep, large queries (paper Fig 5b)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "e6",
+        describe: "database-size sweep",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "t1",
+        describe: "partial-match optimality-condition table (paper Table 1)",
+        engine: false,
+    },
+    ExperimentSpec {
+        name: "t2",
+        describe: "partial-match response-time table",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "t3",
+        describe: "exact worst/mean/optimal-fraction shape profiles (extension)",
+        engine: false,
+    },
+    ExperimentSpec {
+        name: "mix",
+        describe: "mixed-workload table: OLTP / OLAP / scan-heavy mixes (extension)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "avail",
+        describe: "single-disk-failure survival per method (extension)",
+        engine: false,
+    },
+    ExperimentSpec {
+        name: "abl",
+        describe: "space-filling-curve ablation for HCAM (extension)",
+        engine: false,
+    },
+    ExperimentSpec {
+        name: "thm",
+        describe: "the M > 5 impossibility theorem",
+        engine: false,
+    },
+    ExperimentSpec {
+        name: "faults",
+        describe: "degraded-mode table under an injected fault schedule (extension)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "all",
+        describe: "everything above (bench stays opt-in)",
+        engine: true,
+    },
+    ExperimentSpec {
+        name: "bench",
+        describe: "kernel-vs-naive RT timing snapshot (writes BENCH_rt.json)",
+        engine: false,
+    },
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
+    let mut u = format!(
+        "usage: repro <{}>\n       [--csv DIR] [--quick] [--threads N] [--faults SPEC] \
+         [--method NAME]\n       [--metrics FILE|-] [--trace FILE|-]\n\nexperiments:\n",
+        names.join("|")
+    );
+    for e in EXPERIMENTS {
+        u.push_str(&format!("  {:<6} {}\n", e.name, e.describe));
+    }
+    u.push_str(
+        "\n--metrics writes the deterministic metrics snapshot (wall-clock timings go\n\
+         to stderr); --trace writes JSON-lines trace events; `-` means stdout. Both\n\
+         apply only to experiments that run the instrumented engine:\n ",
+    );
+    for e in EXPERIMENTS.iter().filter(|e| e.engine) {
+        u.push(' ');
+        u.push_str(e.name);
+    }
+    u.push('\n');
+    u
+}
 
 struct Opts {
     csv_dir: Option<String>,
@@ -56,10 +160,14 @@ struct Opts {
     faults: Option<FaultSchedule>,
     /// Restrict the `faults` table to one method (validated name).
     method: Option<MethodKind>,
+    /// Destination for the deterministic metrics snapshot (`-` = stdout).
+    metrics: Option<String>,
+    /// Destination for JSON-lines trace events (`-` = stdout).
+    trace: Option<String>,
+    /// The observability handle threaded through the engine; disabled
+    /// unless `--metrics` or `--trace` was given.
+    obs: Obs,
 }
-
-const USAGE: &str = "usage: repro <e1|e2|e3|e4|e5|e6|t1|t2|t3|mix|avail|abl|thm|faults|bench|all> \
-                     [--csv DIR] [--quick] [--threads N] [--faults SPEC] [--method NAME]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +178,9 @@ fn main() -> ExitCode {
         threads: 1,
         faults: None,
         method: None,
+        metrics: None,
+        trace: None,
+        obs: Obs::disabled(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -115,6 +226,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics" => match it.next() {
+                Some(dest) => opts.metrics = Some(dest.clone()),
+                None => {
+                    eprintln!("--metrics needs a destination file (or - for stdout)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match it.next() {
+                Some(dest) => opts.trace = Some(dest.clone()),
+                None => {
+                    eprintln!("--trace needs a destination file (or - for stdout)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -123,8 +248,43 @@ fn main() -> ExitCode {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("{USAGE}");
+        eprint!("{}", usage());
         return ExitCode::FAILURE;
+    };
+    let Some(spec) = EXPERIMENTS.iter().find(|e| e.name == experiment) else {
+        eprintln!("unknown experiment {experiment:?}");
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if (opts.metrics.is_some() || opts.trace.is_some()) && !spec.engine {
+        eprintln!(
+            "--metrics/--trace do not apply to {experiment}: it computes exact \
+             tables without running the instrumented engine"
+        );
+        return ExitCode::FAILURE;
+    }
+    let recorder = if opts.metrics.is_some() || opts.trace.is_some() {
+        let rec = match opts.trace.as_deref() {
+            Some("-") => MetricsRecorder::with_sink(Box::new(JsonLinesSink::new(Box::new(
+                std::io::stdout(),
+            )
+                as Box<dyn std::io::Write + Send>))),
+            Some(path) => match std::fs::File::create(path) {
+                Ok(f) => MetricsRecorder::with_sink(Box::new(JsonLinesSink::new(
+                    Box::new(f) as Box<dyn std::io::Write + Send>
+                ))),
+                Err(e) => {
+                    eprintln!("could not create trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => MetricsRecorder::new(),
+        };
+        let rec = Arc::new(rec);
+        opts.obs = Obs::new(rec.clone());
+        Some(rec)
+    } else {
+        None
     };
     let run = |name: &str| -> bool { experiment == name || experiment == "all" };
     let mut ran_any = false;
@@ -204,15 +364,48 @@ fn main() -> ExitCode {
         eprintln!("unknown experiment {experiment:?}");
         return ExitCode::FAILURE;
     }
+    if let Some(rec) = recorder {
+        if let Err(e) = rec.flush() {
+            eprintln!("could not flush trace sink: {e}");
+            return ExitCode::FAILURE;
+        }
+        let snapshot = rec.registry().snapshot();
+        if let Some(dest) = &opts.metrics {
+            // Deterministic sections go to the requested destination (so
+            // 1-vs-N-thread diffs stay clean); wall-clock timings always
+            // go to stderr.
+            let format = metrics_format(dest);
+            if dest == "-" {
+                print!("{}", snapshot.render(format));
+            } else if let Err(e) = std::fs::write(dest, snapshot.render(format)) {
+                eprintln!("could not write metrics to {dest}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprint!("{}", snapshot.render_wall_text());
+        }
+    }
     ExitCode::SUCCESS
 }
 
+/// Picks the metrics report format from the destination name: `.json`
+/// and `.csv` extensions select those formats, everything else (incl.
+/// `-`) gets the text table.
+fn metrics_format(dest: &str) -> ReportFormat {
+    if dest.ends_with(".json") {
+        ReportFormat::Json
+    } else if dest.ends_with(".csv") {
+        ReportFormat::Csv
+    } else {
+        ReportFormat::Table
+    }
+}
+
 fn emit(opts: &Opts, name: &str, result: SweepResult) {
-    println!("{}", render_table(&result));
+    println!("{}", result.render(ReportFormat::Table));
     if let Some(dir) = &opts.csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
             let mut f = std::fs::File::create(format!("{dir}/{name}.csv"))?;
-            f.write_all(render_csv(&result).as_bytes())
+            f.write_all(result.render(ReportFormat::Csv).as_bytes())
         }) {
             eprintln!("could not write {name}.csv: {e}");
         }
@@ -220,11 +413,11 @@ fn emit(opts: &Opts, name: &str, result: SweepResult) {
 }
 
 fn emit_faults(opts: &Opts, report: &FaultReport) {
-    println!("{}", render_fault_table(report));
+    println!("{}", report.render(ReportFormat::Table));
     if let Some(dir) = &opts.csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
             let mut f = std::fs::File::create(format!("{dir}/faults.csv"))?;
-            f.write_all(render_fault_csv(report).as_bytes())
+            f.write_all(report.render(ReportFormat::Csv).as_bytes())
         }) {
             eprintln!("could not write faults.csv: {e}");
         }
@@ -240,6 +433,7 @@ fn experiment_2d(opts: &Opts) -> Experiment {
         .with_queries_per_point(opts.queries)
         .with_seed(SEED)
         .with_threads(opts.threads)
+        .with_obs(opts.obs.clone())
 }
 
 /// E1: query area 1 → 1024 on the 64×64 grid, near-square shapes.
@@ -266,6 +460,7 @@ fn e3(opts: &Opts) -> SweepResult {
         .with_queries_per_point(opts.queries)
         .with_seed(SEED)
         .with_threads(opts.threads)
+        .with_obs(opts.obs.clone())
         .run_size_sweep(&SizeSweep::explicit(vec![
             1, 8, 27, 64, 125, 216, 512, 1024,
         ]))
@@ -524,7 +719,7 @@ fn rebuild_summary(opts: &Opts, schedule: &FaultSchedule) -> String {
     let queries: Vec<BucketRegion> = (0..n)
         .map(|_| random_region(&mut rng, &space, &[8, 8]).expect("8x8 fits the default grid"))
         .collect();
-    let r = simulate_rebuild(&dir, &DiskParams::default(), failed, &queries, 8)
+    let r = simulate_rebuild_obs(&dir, &DiskParams::default(), failed, &queries, 8, &opts.obs)
         .expect("the schedule's disks are in range");
     format!(
         "Rebuild of disk {} from its chain replica (DM, {}x{} grid, {} queries, 8 clients):\n  \

@@ -13,6 +13,9 @@
 //!   ECC, HCAM), curve ablations, baselines, the advisor and GDM tuner.
 //! * `file` ([`decluster_file`]) — a declustered multi-attribute file
 //!   (records in, parallel scans out).
+//! * [`obs`] — the observability layer: metrics registry, trace sinks,
+//!   and the `Obs` recorder handle the simulator threads through its
+//!   hot paths.
 //! * [`sim`] — the parallel-I/O simulator, workloads, multi-user runs,
 //!   and the experiment harness.
 //! * [`theory`] — strict-optimality verification, exact shape profiles,
@@ -36,6 +39,7 @@ pub use decluster_file as file;
 pub use decluster_grid as grid;
 pub use decluster_hilbert as hilbert;
 pub use decluster_methods as methods;
+pub use decluster_obs as obs;
 pub use decluster_sim as sim;
 pub use decluster_theory as theory;
 

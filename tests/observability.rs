@@ -1,0 +1,171 @@
+//! End-to-end tests of the observability subsystem: the Report API's
+//! byte-compatibility with the deprecated render functions, the
+//! JSON-lines trace schema, the null recorder's invisibility, and the
+//! `repro --metrics/--trace` CLI surface (including the determinism
+//! contract across thread counts).
+
+#![allow(deprecated)]
+
+use decluster::grid::GridSpace;
+use decluster::obs::{json, JsonLinesSink, MetricsRecorder, Obs, TraceEvent, TraceSink};
+use decluster::sim::workload::SizeSweep;
+use decluster::sim::{
+    render_csv, render_fault_table, render_table, render_table_with_ci, Experiment, FaultSchedule,
+    Report, ReportFormat, RetryPolicy,
+};
+use std::process::Command;
+use std::sync::Arc;
+
+fn seeded_sweep() -> decluster::sim::SweepResult {
+    Experiment::new(GridSpace::new_2d(16, 16).unwrap(), 8)
+        .with_queries_per_point(40)
+        .with_seed(7)
+        .run_size_sweep(&SizeSweep::new(1, 64, 6))
+        .expect("sweep runs")
+}
+
+#[test]
+fn report_api_is_byte_identical_to_deprecated_wrappers() {
+    let result = seeded_sweep();
+    assert_eq!(result.render(ReportFormat::Table), render_table(&result));
+    assert_eq!(
+        result.render(ReportFormat::TableWithCi),
+        render_table_with_ci(&result)
+    );
+    assert_eq!(result.render(ReportFormat::Csv), render_csv(&result));
+
+    let schedule = FaultSchedule::healthy(8).fail_stop(2, 10).unwrap();
+    let report = Experiment::new(GridSpace::new_2d(16, 16).unwrap(), 8)
+        .with_queries_per_point(30)
+        .with_seed(11)
+        .run_fault_workload(16, &schedule, &RetryPolicy::default())
+        .expect("fault workload runs");
+    assert_eq!(
+        report.render(ReportFormat::Table),
+        render_fault_table(&report)
+    );
+}
+
+#[test]
+fn json_lines_trace_matches_the_golden_schema() {
+    let mut sink = JsonLinesSink::new(Vec::new());
+    sink.emit(
+        &TraceEvent::new("ping")
+            .with("n", 1u64)
+            .with("ratio", 0.5f64)
+            .with("who", "kernel"),
+    );
+    sink.emit(&TraceEvent::new("pong").with("ok", true));
+    let bytes = sink.into_inner();
+    let text = String::from_utf8(bytes).unwrap();
+    // Golden bytes: compact JSON, `event` first, insertion order after,
+    // one event per line.
+    assert_eq!(
+        text,
+        "{\"event\":\"ping\",\"n\":1,\"ratio\":0.5,\"who\":\"kernel\"}\n\
+         {\"event\":\"pong\",\"ok\":true}\n"
+    );
+    // Every line re-parses and carries the required `event` key.
+    for line in text.lines() {
+        let v = json::parse(line).expect("trace line parses as JSON");
+        assert!(v.get("event").and_then(|e| e.as_str()).is_some());
+    }
+}
+
+#[test]
+fn null_recorder_changes_nothing() {
+    let grid = GridSpace::new_2d(16, 16).unwrap();
+    let plain = Experiment::new(grid.clone(), 8)
+        .with_queries_per_point(40)
+        .with_seed(7)
+        .run_size_sweep(&SizeSweep::new(1, 64, 6))
+        .expect("sweep runs");
+    let observed = Experiment::new(grid, 8)
+        .with_queries_per_point(40)
+        .with_seed(7)
+        .with_obs(Obs::disabled())
+        .run_size_sweep(&SizeSweep::new(1, 64, 6))
+        .expect("sweep runs");
+    assert_eq!(
+        plain.render(ReportFormat::Table),
+        observed.render(ReportFormat::Table)
+    );
+    assert_eq!(
+        plain.render(ReportFormat::Csv),
+        observed.render(ReportFormat::Csv)
+    );
+}
+
+#[test]
+fn live_recorder_does_not_change_results_and_counts_queries() {
+    let grid = GridSpace::new_2d(16, 16).unwrap();
+    let plain = Experiment::new(grid.clone(), 8)
+        .with_queries_per_point(40)
+        .with_seed(7)
+        .run_size_sweep(&SizeSweep::new(1, 64, 6))
+        .expect("sweep runs");
+    let recorder = Arc::new(MetricsRecorder::new());
+    let observed = Experiment::new(grid, 8)
+        .with_queries_per_point(40)
+        .with_seed(7)
+        .with_obs(Obs::new(recorder.clone()))
+        .run_size_sweep(&SizeSweep::new(1, 64, 6))
+        .expect("sweep runs");
+    assert_eq!(
+        plain.render(ReportFormat::Table),
+        observed.render(ReportFormat::Table)
+    );
+    let snap = recorder.registry().snapshot();
+    assert_eq!(snap.counter("sweep.points"), Some(6));
+    assert_eq!(snap.counter("rt.queries"), Some(6 * 40));
+    assert!(snap.histogram("rt.response_time").is_some());
+}
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+fn repro(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(REPRO).args(args).output().expect("repro runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn repro_metrics_snapshot_is_thread_count_invariant() {
+    let (ok1, out1, err1) = repro(&["e1", "--quick", "--threads", "1", "--metrics", "-"]);
+    let (ok8, out8, _) = repro(&["e1", "--quick", "--threads", "8", "--metrics", "-"]);
+    assert!(ok1 && ok8);
+    assert_eq!(out1, out8, "metrics snapshot must not depend on --threads");
+    assert!(out1.contains("metrics snapshot (logical quantities, deterministic)"));
+    assert!(out1.contains("rt.queries"));
+    // Wall-clock timings stay off stdout so the diff above is clean.
+    assert!(err1.contains("wall-clock"));
+    assert!(!out1.contains("wall-clock"));
+}
+
+#[test]
+fn repro_trace_lines_are_json_with_required_keys() {
+    let dir = std::env::temp_dir().join(format!("obs_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let (ok, _, _) = repro(&["e1", "--quick", "--trace", trace.to_str().unwrap()]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        assert!(v.get("event").and_then(|e| e.as_str()).is_some(), "{line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_rejects_metrics_on_non_engine_experiments() {
+    for exp in ["t1", "t3", "avail", "abl", "thm", "bench"] {
+        let (ok, _, err) = repro(&[exp, "--metrics", "-"]);
+        assert!(!ok, "{exp} should reject --metrics");
+        assert!(err.contains("--metrics/--trace do not apply"), "{err}");
+    }
+}
