@@ -103,6 +103,19 @@ impl AllocationMap {
         per_disk.into_iter().max().unwrap_or(0)
     }
 
+    /// As [`AllocationMap::response_time`], accumulating into `scratch`'s
+    /// reusable buffer instead of allocating per query — the naive-walk
+    /// counterpart of [`crate::DiskCounts::response_time_with`], used as
+    /// the fallback path when the kernel table is too large to build.
+    pub fn response_time_with(&self, region: &BucketRegion, scratch: &mut crate::Scratch) -> u64 {
+        let per_disk = scratch.lanes_mut(self.m as usize);
+        for bucket in region.iter() {
+            let id = self.space.linearize_unchecked(bucket.as_slice());
+            per_disk[self.disks[id as usize] as usize] += 1;
+        }
+        per_disk.iter().map(|&c| c.max(0) as u64).max().unwrap_or(0)
+    }
+
     /// Per-disk bucket counts for a query region (the I/O histogram behind
     /// [`AllocationMap::response_time`]).
     pub fn access_histogram(&self, region: &BucketRegion) -> Vec<u64> {
@@ -112,6 +125,17 @@ impl AllocationMap {
             per_disk[self.disks[id as usize] as usize] += 1;
         }
         per_disk
+    }
+
+    /// As [`AllocationMap::access_histogram`], written into a caller-owned
+    /// buffer (cleared first) so sweep loops allocate nothing per query.
+    pub fn access_histogram_into(&self, region: &BucketRegion, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.m as usize, 0);
+        for bucket in region.iter() {
+            let id = self.space.linearize_unchecked(bucket.as_slice());
+            out[self.disks[id as usize] as usize] += 1;
+        }
     }
 
     /// Static load statistics over the whole grid.
@@ -315,6 +339,24 @@ mod tests {
         let b = AllocationMap::from_table(&g, 2, vec![0, 1, 1, 0]).unwrap();
         assert_eq!(a.agreement(&a), 1.0);
         assert_eq!(a.agreement(&b), 0.5);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_paths() {
+        let g = grid8();
+        let dm = DiskModulo::new(&g, 4).unwrap();
+        let map = AllocationMap::from_method(&g, &dm).unwrap();
+        let mut scratch = crate::Scratch::new();
+        let mut hist = vec![99u64; 1]; // wrong size on purpose: must be resized
+        for (lo, hi) in [([0, 0], [0, 3]), ([1, 2], [5, 6]), ([0, 0], [7, 7])] {
+            let r = RangeQuery::new(lo, hi).unwrap().region(&g).unwrap();
+            assert_eq!(
+                map.response_time_with(&r, &mut scratch),
+                map.response_time(&r)
+            );
+            map.access_histogram_into(&r, &mut hist);
+            assert_eq!(hist, map.access_histogram(&r));
+        }
     }
 
     #[test]

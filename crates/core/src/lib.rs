@@ -70,7 +70,7 @@ pub use fx::FieldwiseXor;
 pub use gdm::GeneralizedDiskModulo;
 pub use hcam::Hcam;
 pub use optimize::{optimize_allocation, LocalSearchConfig, OptimizedAllocation};
-pub use prefix::DiskCounts;
+pub use prefix::{CornerPlan, DiskCounts, Scratch};
 pub use registry::{MethodKind, MethodRegistry};
 pub use replication::ChainedDecluster;
 pub use sfc::{CurveAlloc, CurveKind};

@@ -5,20 +5,39 @@ use smallvec::SmallVec;
 /// Batched response-time kernel: one k-D inclusive prefix-sum table per
 /// disk over a materialized allocation.
 ///
-/// `table[cell * m + d]` holds the number of buckets with coordinates
-/// `≤` the cell's coordinates (component-wise) that live on disk `d` — a
-/// per-disk summed-area table. Any rectangular query's per-disk bucket
-/// counts then follow from `2^k` inclusion–exclusion corner lookups, so
-/// [`DiskCounts::response_time`] costs `O(M · 2^k)` regardless of the
-/// query's area, where the naive walk in
-/// [`AllocationMap::response_time`] costs `O(|Q|)`. For the paper's
-/// sweeps — thousands of placements of large rectangles over a fixed
-/// allocation — this turns the dominant cost from the query area into
-/// the (tiny) corner count.
+/// The table holds, for each cell and disk `d`, the number of buckets
+/// with coordinates `≤` the cell's coordinates (component-wise) that
+/// live on disk `d` — a per-disk summed-area table. Any rectangular
+/// query's per-disk bucket counts then follow from `2^k`
+/// inclusion–exclusion corner lookups, so [`DiskCounts::response_time`]
+/// costs `O(M · 2^k)` regardless of the query's area, where the naive
+/// walk in [`AllocationMap::response_time`] costs `O(|Q|)`. For the
+/// paper's sweeps — thousands of placements of large rectangles over a
+/// fixed allocation — this turns the dominant cost from the query area
+/// into the (tiny) corner count.
 ///
 /// Construction walks the grid once per dimension (`O(k · N · M)` time,
 /// `O(N · M)` space for `N` buckets), so the kernel pays off when an
 /// allocation is queried more than a handful of times.
+///
+/// # Kernel v2: count lanes, query plans, scratch buffers
+///
+/// Three refinements on top of the v1 corner walk, all bit-identical to
+/// it (and to the naive walk — property-tested):
+///
+/// * **Adaptive count width.** Counts are capped by the bucket total, so
+///   grids with at most `u16::MAX` buckets (every paper grid) store the
+///   table as `u16` lanes — half the bytes, half the memory traffic of
+///   the `u32` layout, which remains the fallback for larger grids.
+/// * **Shape-compiled plans** ([`CornerPlan`]). The paper's sweeps score
+///   thousands of *placements of the same query shape*. The `2^k` signed
+///   corner row-offsets depend only on the shape (its per-dimension
+///   extents), not the placement, so they are compiled once per shape;
+///   each placement then costs one base-row computation plus an offset
+///   add per corner, instead of re-deriving every corner from scratch.
+/// * **Scratch buffers** ([`Scratch`]). The `*_with` entry points thread
+///   a caller-owned accumulator (and the plan cache) through the scoring
+///   loop, so repeated-query scoring allocates nothing per query.
 #[derive(Clone, Debug)]
 pub struct DiskCounts {
     /// Disks (`M`).
@@ -27,40 +46,336 @@ pub struct DiskCounts {
     dims: Vec<u32>,
     /// Cell strides in *rows* (a row is `m` lanes wide).
     strides: Vec<usize>,
-    /// Inclusive prefix sums, `table[cell * m + disk]`.
-    table: Vec<u32>,
+    /// Inclusive prefix sums, lane `table[cell * m + disk]`.
+    table: CountLane,
+}
+
+/// The prefix-sum table at its adaptive lane width: `u16` when every
+/// count fits (bucket total ≤ `u16::MAX`), `u32` otherwise. Both paths
+/// run the same monomorphized build and scoring code and produce
+/// identical counts; only the bytes moved differ.
+#[derive(Clone, Debug)]
+enum CountLane {
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+}
+
+impl CountLane {
+    fn bytes(&self) -> usize {
+        match self {
+            CountLane::U16(t) => t.len() * std::mem::size_of::<u16>(),
+            CountLane::U32(t) => t.len() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
+/// A count-lane integer: the private trait behind [`CountLane`]'s two
+/// monomorphizations.
+trait Lane: Copy + Default + std::ops::AddAssign<Self> {
+    const ONE: Self;
+    fn widen(self) -> i64;
+    fn wrapping_add_lane(self, rhs: Self) -> Self;
+    fn wrapping_sub_lane(self, rhs: Self) -> Self;
+}
+
+impl Lane for u16 {
+    const ONE: Self = 1;
+    #[inline(always)]
+    fn widen(self) -> i64 {
+        i64::from(self)
+    }
+    #[inline(always)]
+    fn wrapping_add_lane(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+    #[inline(always)]
+    fn wrapping_sub_lane(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl Lane for u32 {
+    const ONE: Self = 1;
+    #[inline(always)]
+    fn widen(self) -> i64 {
+        i64::from(self)
+    }
+    #[inline(always)]
+    fn wrapping_add_lane(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+    #[inline(always)]
+    fn wrapping_sub_lane(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+/// Indicator table + one blocked, division-free running-sum pass per
+/// axis: turns per-cell disk indicators into inclusive prefix sums over
+/// the box `[0, coord]`.
+///
+/// For axis `a`, cells sharing every coordinate before `a` form
+/// contiguous blocks of `dims[a] · strides[a]` rows; within a block the
+/// first `strides[a]` rows carry the axis's zero coordinate (nothing to
+/// add), and every later lane adds the lane one row-stride back. The v1
+/// pass re-derived the same structure per cell with a division and a
+/// modulo; the nested loop form needs neither.
+fn build_table<T: Lane>(
+    map: &AllocationMap,
+    lanes: usize,
+    dims: &[u32],
+    strides: &[usize],
+) -> Vec<T> {
+    let total = map.table().len();
+    let mut table = vec![T::default(); total * lanes];
+    for (cell, &disk) in map.table().iter().enumerate() {
+        table[cell * lanes + disk as usize] = T::ONE;
+    }
+    for (axis, &d) in dims.iter().enumerate() {
+        let stride = strides[axis] * lanes;
+        let block = stride * d as usize;
+        let mut base = 0;
+        while base < table.len() {
+            for i in base + stride..base + block {
+                let prev = table[i - stride];
+                table[i] += prev;
+            }
+            base += block;
+        }
+    }
+    table
+}
+
+/// Sums `corners` (sign, table row) into `acc`, one `i64` per disk lane.
+fn accumulate_rows<T: Lane>(table: &[T], lanes: usize, corners: &[(i64, usize)], acc: &mut [i64]) {
+    for &(sign, row) in corners {
+        let base = row * lanes;
+        for (a, &v) in acc.iter_mut().zip(&table[base..base + lanes]) {
+            *a += sign * v.widen();
+        }
+    }
+}
+
+/// The planned analogue of [`accumulate_rows`]: corner rows come from
+/// the plan's precompiled offsets relative to `base` (the region's `lo`
+/// row); corners whose low-face falls off the grid edge (`edge` mask)
+/// contribute zero and are skipped.
+///
+/// Accumulation runs in *native lane width* with wrapping arithmetic:
+/// every final per-disk count is a bucket count `≤` the grid total,
+/// which fits the lane type by construction, and modular add/sub is
+/// exact whenever the true result fits — intermediate partial sums may
+/// "wrap negative" freely. This removes the per-lane widening to `i64`
+/// and the sign multiply of the v1 path, and leaves an inner loop of
+/// plain `u16`/`u32` adds the compiler can vectorize (`M` lanes per
+/// corner in one or two SIMD registers on a paper-sized `M`).
+fn accumulate_planned<T: Lane>(
+    table: &[T],
+    lanes: usize,
+    plan: &CornerPlan,
+    base: usize,
+    edge: u32,
+    acc: &mut Vec<T>,
+) {
+    acc.clear();
+    acc.resize(lanes, T::default());
+    for c in &plan.corners {
+        if c.lo_mask & edge != 0 {
+            continue;
+        }
+        let row = (base as i64 + c.offset) as usize * lanes;
+        let src = &table[row..row + lanes];
+        if c.sign > 0 {
+            for (a, &v) in acc.iter_mut().zip(src) {
+                *a = a.wrapping_add_lane(v);
+            }
+        } else {
+            for (a, &v) in acc.iter_mut().zip(src) {
+                *a = a.wrapping_sub_lane(v);
+            }
+        }
+    }
+}
+
+/// [`accumulate_planned`] followed by the RT reduction: the max over
+/// lanes, optionally restricted to `live` disks.
+fn planned_max<T: Lane>(
+    table: &[T],
+    lanes: usize,
+    plan: &CornerPlan,
+    base: usize,
+    edge: u32,
+    acc: &mut Vec<T>,
+    live: Option<&[bool]>,
+) -> u64 {
+    accumulate_planned(table, lanes, plan, base, edge, acc);
+    let counts = acc.iter().map(|v| v.widen() as u64);
+    match live {
+        None => counts.max().unwrap_or(0),
+        Some(mask) => counts
+            .zip(mask)
+            .filter(|(_, &l)| l)
+            .map(|(c, _)| c)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// One inclusion–exclusion corner of a compiled plan.
+#[derive(Clone, Copy, Debug, Default)]
+struct PlanCorner {
+    /// Dimensions on which this corner takes the excluded low face
+    /// (`lo - 1`); the corner is skipped when any of them sits on the
+    /// grid edge (`lo == 0`), where the prefix sum below is zero.
+    lo_mask: u32,
+    /// Signed row offset from the region's `lo` row.
+    offset: i64,
+    /// Inclusion–exclusion sign (`+1` / `-1`).
+    sign: i64,
+}
+
+/// A query *shape* compiled against a kernel's grid layout: the `2^k`
+/// signed corner row-offsets of a rectangle with fixed per-dimension
+/// extents, precomputed once so every *placement* of that shape costs
+/// only a base-row add per corner.
+///
+/// A plan is tied to a grid layout (the strides), not to a method: every
+/// kernel of an [`sim-level context`](DiskCounts) over the same grid
+/// accepts the same plan, so one compilation serves all methods of a
+/// sweep point. Compile with [`DiskCounts::compile_plan`]; the `*_with`
+/// scoring entry points keep one cached in their [`Scratch`] and re-use
+/// it while consecutive queries share a shape.
+#[derive(Clone, Debug)]
+pub struct CornerPlan {
+    /// Per-dimension extents of the compiled shape.
+    extents: SmallVec<[u32; 8]>,
+    /// Row strides of the grid the plan was compiled against.
+    strides: SmallVec<[usize; 8]>,
+    /// All `2^k` corners.
+    corners: SmallVec<[PlanCorner; 16]>,
+}
+
+impl CornerPlan {
+    /// Whether this plan answers `region` on `kernel`: same grid layout
+    /// and same per-dimension extents. Placement (the `lo` corner) is
+    /// free — that is the point of the plan.
+    pub fn matches(&self, kernel: &DiskCounts, region: &BucketRegion) -> bool {
+        let k = self.extents.len();
+        region.dims() == k
+            && kernel.strides.as_slice() == self.strides.as_slice()
+            && (0..k).all(|d| region.extent(d) == u64::from(self.extents[d]))
+    }
+
+    /// Corners the plan holds (`2^k`).
+    pub fn num_corners(&self) -> usize {
+        self.corners.len()
+    }
+}
+
+/// Reusable scoring state for the `*_with` kernel entry points: the
+/// per-disk accumulator (replacing a per-query allocation) plus a cached
+/// [`CornerPlan`] with hit/compile counts.
+///
+/// Keep one per worker thread and thread it through the scoring loop;
+/// a `Scratch` may be re-used freely across queries, methods, and even
+/// grids — every entry point revalidates the cached plan against the
+/// kernel it is called on and recompiles on mismatch.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    /// Wide accumulator for the naive per-bucket walk
+    /// ([`AllocationMap::response_time_with`]).
+    acc: Vec<i64>,
+    /// Native-width accumulators for the planned kernel path — one per
+    /// lane width, so inclusion–exclusion runs without widening (see
+    /// [`accumulate_planned`] for why wrapping arithmetic is exact).
+    acc16: Vec<u16>,
+    acc32: Vec<u32>,
+    /// The most recently compiled plan, reused while shapes repeat.
+    plan: Option<CornerPlan>,
+    plan_hits: u64,
+    plan_compiles: u64,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached plan (the next planned call recompiles).
+    ///
+    /// Callers that report plan statistics per batch (the sweep engine)
+    /// reset at batch start so hit/compile counts depend only on the
+    /// batch's query sequence, never on which worker ran the previous
+    /// batch — that keeps the observability counters thread-count
+    /// deterministic.
+    pub fn reset_plan(&mut self) {
+        self.plan = None;
+    }
+
+    /// Returns `(plan_hits, plan_compiles)` accumulated since the last
+    /// drain and resets both to zero.
+    pub fn drain_plan_stats(&mut self) -> (u64, u64) {
+        let stats = (self.plan_hits, self.plan_compiles);
+        self.plan_hits = 0;
+        self.plan_compiles = 0;
+        stats
+    }
+
+    /// The accumulator, cleared and sized to `lanes` (shared with the
+    /// naive walk in [`AllocationMap::response_time_with`]).
+    pub(crate) fn lanes_mut(&mut self, lanes: usize) -> &mut [i64] {
+        self.acc.clear();
+        self.acc.resize(lanes, 0);
+        &mut self.acc
+    }
 }
 
 impl DiskCounts {
-    /// Builds the per-disk prefix-sum table for `map`.
+    /// Builds the per-disk prefix-sum table for `map`, choosing the
+    /// narrow (`u16`) count lane whenever the bucket total fits.
     ///
     /// # Errors
     /// [`MethodError::UnsupportedGrid`] if the `buckets × disks` table
     /// would not fit in memory (callers should fall back to the naive
     /// per-bucket walk).
     pub fn build(map: &AllocationMap) -> Result<Self> {
+        Self::build_inner(map, false)
+    }
+
+    /// Builds the kernel with `u32` count lanes regardless of grid size —
+    /// the v1 layout. A testing/benchmark hook for comparing lane
+    /// widths; [`DiskCounts::build`] picks the narrow lane automatically
+    /// whenever it fits and the two produce identical counts
+    /// (property-tested below).
+    ///
+    /// # Errors
+    /// As [`DiskCounts::build`].
+    pub fn build_wide(map: &AllocationMap) -> Result<Self> {
+        Self::build_inner(map, true)
+    }
+
+    fn build_inner(map: &AllocationMap, force_wide: bool) -> Result<Self> {
         let space = map.space();
         let m = map.num_disks();
         let too_large = || MethodError::UnsupportedGrid {
             method: "DiskCounts",
             reason: "buckets x disks table too large to materialize".into(),
         };
-        // Counts are stored as u32: the largest possible count is the
-        // bucket total, so the total itself must fit.
+        // The largest possible count is the bucket total, so the total
+        // itself must fit the widest lane; `2^k` corner enumeration
+        // additionally needs `k` to stay a sane bit-mask width.
         let total = usize::try_from(space.num_buckets()).map_err(|_| too_large())?;
-        if space.num_buckets() > u64::from(u32::MAX) {
+        if space.num_buckets() > u64::from(u32::MAX) || space.dims().len() > 24 {
             return Err(too_large());
         }
-        let rows_times_m = total.checked_mul(m as usize).ok_or_else(too_large)?;
+        let narrow = !force_wide && total <= usize::from(u16::MAX);
+        let lane_bytes = if narrow { 2 } else { 4 };
+        let cells = total.checked_mul(m as usize).ok_or_else(too_large)?;
         // Cap the table at ~1 GiB so a huge grid degrades to the naive
         // walk instead of aborting on allocation failure.
-        if rows_times_m > (1usize << 30) / std::mem::size_of::<u32>() {
+        if cells.checked_mul(lane_bytes).ok_or_else(too_large)? > 1usize << 30 {
             return Err(too_large());
-        }
-
-        let mut table = vec![0u32; rows_times_m];
-        for (cell, &disk) in map.table().iter().enumerate() {
-            table[cell * m as usize + disk as usize] = 1;
         }
 
         let dims = space.dims().to_vec();
@@ -70,24 +385,12 @@ impl DiskCounts {
             strides[i] = strides[i + 1] * dims[i + 1] as usize;
         }
 
-        // One running-sum pass per axis turns indicator rows into
-        // inclusive prefix sums over the box `[0, coord]`.
         let lanes = m as usize;
-        for axis in 0..k {
-            let stride = strides[axis];
-            let d = dims[axis] as usize;
-            for cell in 0..total {
-                if (cell / stride).is_multiple_of(d) {
-                    continue;
-                }
-                let src = (cell - stride) * lanes;
-                let dst = cell * lanes;
-                for lane in 0..lanes {
-                    table[dst + lane] += table[src + lane];
-                }
-            }
-        }
-
+        let table = if narrow {
+            CountLane::U16(build_table(map, lanes, &dims, &strides))
+        } else {
+            CountLane::U32(build_table(map, lanes, &dims, &strides))
+        };
         Ok(DiskCounts {
             m,
             dims,
@@ -102,16 +405,117 @@ impl DiskCounts {
         self.m
     }
 
-    /// Approximate heap footprint of the table in bytes.
-    pub fn table_bytes(&self) -> usize {
-        self.table.len() * std::mem::size_of::<u32>()
+    /// Bits per stored count: 16 on paper-sized grids, 32 on grids with
+    /// more than `u16::MAX` buckets (and under [`DiskCounts::build_wide`]).
+    pub fn lane_bits(&self) -> u32 {
+        match self.table {
+            CountLane::U16(_) => u16::BITS,
+            CountLane::U32(_) => u32::BITS,
+        }
     }
 
-    /// Visits every inclusion–exclusion corner of `region`, calling
-    /// `f(sign, row_offset)` with the signed table-row offset. Corners
-    /// that fall off the low edge contribute zero and are skipped.
+    /// Approximate heap footprint of the table in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// Compiles `region`'s *shape* into a [`CornerPlan`] for this
+    /// kernel's grid. The plan answers every placement of that shape —
+    /// on this kernel or any other kernel over the same grid.
+    ///
+    /// # Panics
+    /// Panics if the region's arity does not match the grid.
+    pub fn compile_plan(&self, region: &BucketRegion) -> CornerPlan {
+        let k = self.dims.len();
+        assert_eq!(region.dims(), k, "region arity does not match grid");
+        let mut extents: SmallVec<[u32; 8]> = SmallVec::new();
+        for dim in 0..k {
+            extents.push(region.extent(dim) as u32);
+        }
+        let mut corners: SmallVec<[PlanCorner; 16]> = SmallVec::new();
+        for mask in 0u32..(1u32 << k) {
+            let mut offset = 0i64;
+            for dim in 0..k {
+                let stride = self.strides[dim] as i64;
+                if mask & (1 << dim) != 0 {
+                    // Excluded slab below the lower face: row `lo - 1`.
+                    offset -= stride;
+                } else {
+                    // Inclusive upper face: row `lo + extent - 1`.
+                    offset += (i64::from(extents[dim]) - 1) * stride;
+                }
+            }
+            corners.push(PlanCorner {
+                lo_mask: mask,
+                offset,
+                sign: if mask.count_ones() % 2 == 0 { 1 } else { -1 },
+            });
+        }
+        CornerPlan {
+            extents,
+            strides: SmallVec::from_slice(&self.strides),
+            corners,
+        }
+    }
+
+    /// The base row of `region`'s `lo` corner plus the bit-mask of
+    /// dimensions sitting on the grid edge (whose low-face corners
+    /// vanish).
     #[inline]
-    fn for_each_corner(&self, region: &BucketRegion, mut f: impl FnMut(i64, usize)) {
+    fn base_and_edge(&self, region: &BucketRegion) -> (usize, u32) {
+        let lo = region.lo().as_slice();
+        let mut base = 0usize;
+        let mut edge = 0u32;
+        for (dim, &stride) in self.strides.iter().enumerate() {
+            let l = lo[dim] as usize;
+            base += l * stride;
+            if l == 0 {
+                edge |= 1 << dim;
+            }
+        }
+        (base, edge)
+    }
+
+    /// Ensures `scratch` caches a plan valid for `region` on this
+    /// kernel, counting the hit or the recompilation.
+    fn ensure_plan(&self, region: &BucketRegion, scratch: &mut Scratch) {
+        match &scratch.plan {
+            Some(p) if p.matches(self, region) => scratch.plan_hits += 1,
+            _ => {
+                scratch.plan_compiles += 1;
+                scratch.plan = Some(self.compile_plan(region));
+            }
+        }
+    }
+
+    /// The planned RT reduction through `scratch`: ensures the plan,
+    /// accumulates `region`'s per-disk counts in native lane width, and
+    /// returns the max over (optionally `live`-masked) lanes.
+    fn planned_response_time(
+        &self,
+        region: &BucketRegion,
+        scratch: &mut Scratch,
+        live: Option<&[bool]>,
+    ) -> u64 {
+        self.ensure_plan(region, scratch);
+        let (base, edge) = self.base_and_edge(region);
+        let lanes = self.m as usize;
+        let Scratch {
+            acc16, acc32, plan, ..
+        } = scratch;
+        let plan = plan.as_ref().expect("plan just ensured");
+        match &self.table {
+            CountLane::U16(t) => planned_max(t, lanes, plan, base, edge, acc16, live),
+            CountLane::U32(t) => planned_max(t, lanes, plan, base, edge, acc32, live),
+        }
+    }
+
+    /// Visits every inclusion–exclusion corner of `region`, returning
+    /// `(sign, table row)` pairs. Corners that fall off the low edge
+    /// contribute zero and are dropped. This is the v1 per-query path,
+    /// kept for one-shot queries (and as the benchmark baseline for the
+    /// planned path); sweeps should compile the shape once instead.
+    fn corners(&self, region: &BucketRegion) -> SmallVec<[(i64, usize); 16]> {
         let k = self.dims.len();
         debug_assert_eq!(region.dims(), k, "region arity does not match grid");
         let lo = region.lo().as_slice();
@@ -129,6 +533,7 @@ impl DiskCounts {
                 Some((lo[dim] as usize - 1) * self.strides[dim])
             });
         }
+        let mut corners: SmallVec<[(i64, usize); 16]> = SmallVec::new();
         'corner: for mask in 0u32..(1u32 << k) {
             let mut row = 0usize;
             for dim in 0..k {
@@ -142,7 +547,18 @@ impl DiskCounts {
                 }
             }
             let sign = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
-            f(sign, row * self.m as usize);
+            corners.push((sign, row));
+        }
+        corners
+    }
+
+    /// Fills `acc` (length `M`) via the per-query corner walk.
+    fn fill_corners(&self, region: &BucketRegion, acc: &mut [i64]) {
+        let corners = self.corners(region);
+        let lanes = self.m as usize;
+        match &self.table {
+            CountLane::U16(t) => accumulate_rows(t, lanes, &corners, acc),
+            CountLane::U32(t) => accumulate_rows(t, lanes, &corners, acc),
         }
     }
 
@@ -151,11 +567,7 @@ impl DiskCounts {
     pub fn access_histogram(&self, region: &BucketRegion) -> Vec<u64> {
         let lanes = self.m as usize;
         let mut acc: SmallVec<[i64; 32]> = SmallVec::from_elem(0i64, lanes);
-        self.for_each_corner(region, |sign, base| {
-            for (lane, a) in acc.iter_mut().enumerate() {
-                *a += sign * i64::from(self.table[base + lane]);
-            }
-        });
+        self.fill_corners(region, &mut acc);
         acc.iter()
             .map(|&c| {
                 debug_assert!(c >= 0, "inclusion-exclusion produced a negative count");
@@ -164,17 +576,54 @@ impl DiskCounts {
             .collect()
     }
 
+    /// As [`DiskCounts::access_histogram`], but through the scratch's
+    /// plan cache and accumulator into a caller-owned buffer — nothing
+    /// allocated per query once the buffers have grown.
+    pub fn access_histogram_with(
+        &self,
+        region: &BucketRegion,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) {
+        self.ensure_plan(region, scratch);
+        let (base, edge) = self.base_and_edge(region);
+        let lanes = self.m as usize;
+        let Scratch {
+            acc16, acc32, plan, ..
+        } = scratch;
+        let plan = plan.as_ref().expect("plan just ensured");
+        out.clear();
+        match &self.table {
+            CountLane::U16(t) => {
+                accumulate_planned(t, lanes, plan, base, edge, acc16);
+                out.extend(acc16.iter().map(|v| v.widen() as u64));
+            }
+            CountLane::U32(t) => {
+                accumulate_planned(t, lanes, plan, base, edge, acc32);
+                out.extend(acc32.iter().map(|v| v.widen() as u64));
+            }
+        }
+    }
+
     /// Response time of `region`: max over disks of its per-disk bucket
     /// count. `O(M · 2^k)`, independent of the region's area.
+    ///
+    /// This entry point re-derives the corner rows per query; when
+    /// scoring many placements, prefer [`DiskCounts::response_time_with`],
+    /// which amortizes that work over every query of the same shape.
     pub fn response_time(&self, region: &BucketRegion) -> u64 {
         let lanes = self.m as usize;
         let mut acc: SmallVec<[i64; 32]> = SmallVec::from_elem(0i64, lanes);
-        self.for_each_corner(region, |sign, base| {
-            for (lane, a) in acc.iter_mut().enumerate() {
-                *a += sign * i64::from(self.table[base + lane]);
-            }
-        });
+        self.fill_corners(region, &mut acc);
         acc.iter().map(|&c| c.max(0) as u64).max().unwrap_or(0)
+    }
+
+    /// Response time of `region` through `scratch`'s shape-compiled plan
+    /// and reusable accumulator: the kernel-v2 hot path. Equal to
+    /// [`DiskCounts::response_time`] on every input (property-tested);
+    /// only the constant factor differs.
+    pub fn response_time_with(&self, region: &BucketRegion, scratch: &mut Scratch) -> u64 {
+        self.planned_response_time(region, scratch, None)
     }
 
     /// Response time of `region` restricted to the disks marked live in
@@ -197,11 +646,7 @@ impl DiskCounts {
         );
         let lanes = self.m as usize;
         let mut acc: SmallVec<[i64; 32]> = SmallVec::from_elem(0i64, lanes);
-        self.for_each_corner(region, |sign, base| {
-            for (lane, a) in acc.iter_mut().enumerate() {
-                *a += sign * i64::from(self.table[base + lane]);
-            }
-        });
+        self.fill_corners(region, &mut acc);
         acc.iter()
             .zip(live)
             .filter(|(_, &l)| l)
@@ -210,14 +655,77 @@ impl DiskCounts {
             .unwrap_or(0)
     }
 
+    /// As [`DiskCounts::masked_response_time`], through the plan cache
+    /// and scratch accumulator — the degraded-mode analogue of
+    /// [`DiskCounts::response_time_with`].
+    ///
+    /// # Panics
+    /// Panics if `live.len()` differs from the disk count.
+    pub fn masked_response_time_with(
+        &self,
+        region: &BucketRegion,
+        live: &[bool],
+        scratch: &mut Scratch,
+    ) -> u64 {
+        assert_eq!(
+            live.len(),
+            self.m as usize,
+            "live mask length {} does not match disk count {}",
+            live.len(),
+            self.m
+        );
+        self.planned_response_time(region, scratch, Some(live))
+    }
+
     /// Bucket count of `region` on one disk (`2^k` lookups). Used by
     /// availability analysis, which only needs the failed disk's share.
     pub fn count_on_disk(&self, region: &BucketRegion, disk: u32) -> u64 {
         assert!(disk < self.m, "disk {disk} out of range (m = {})", self.m);
-        let mut acc = 0i64;
-        self.for_each_corner(region, |sign, base| {
-            acc += sign * i64::from(self.table[base + disk as usize]);
-        });
+        let corners = self.corners(region);
+        let lanes = self.m as usize;
+        let idx = disk as usize;
+        let acc: i64 = match &self.table {
+            CountLane::U16(t) => corners
+                .iter()
+                .map(|&(sign, row)| sign * t[row * lanes + idx].widen())
+                .sum(),
+            CountLane::U32(t) => corners
+                .iter()
+                .map(|&(sign, row)| sign * t[row * lanes + idx].widen())
+                .sum(),
+        };
+        acc.max(0) as u64
+    }
+
+    /// As [`DiskCounts::count_on_disk`], through the scratch's plan
+    /// cache: per placement of a repeated shape only the single lane is
+    /// read per corner, with no corner re-derivation.
+    ///
+    /// # Panics
+    /// Panics if `disk` is out of range.
+    pub fn count_on_disk_with(
+        &self,
+        region: &BucketRegion,
+        disk: u32,
+        scratch: &mut Scratch,
+    ) -> u64 {
+        assert!(disk < self.m, "disk {disk} out of range (m = {})", self.m);
+        self.ensure_plan(region, scratch);
+        let (base, edge) = self.base_and_edge(region);
+        let lanes = self.m as usize;
+        let idx = disk as usize;
+        let plan = scratch.plan.as_ref().expect("plan just ensured");
+        let single = |rows: &dyn Fn(usize) -> i64| -> i64 {
+            plan.corners
+                .iter()
+                .filter(|c| c.lo_mask & edge == 0)
+                .map(|c| c.sign * rows((base as i64 + c.offset) as usize * lanes + idx))
+                .sum()
+        };
+        let acc = match &self.table {
+            CountLane::U16(t) => single(&|i| t[i].widen()),
+            CountLane::U32(t) => single(&|i| t[i].widen()),
+        };
         acc.max(0) as u64
     }
 }
@@ -283,6 +791,122 @@ mod tests {
     }
 
     #[test]
+    fn planned_path_matches_exhaustively() {
+        let g = GridSpace::new_2d(5, 7).unwrap();
+        let fx = FieldwiseXor::new(&g, 3).unwrap();
+        let (map, dc) = kernel_for(&g, &fx);
+        let mut scratch = Scratch::new();
+        let mut hist = Vec::new();
+        for y0 in 0..5u32 {
+            for y1 in y0..5 {
+                for x0 in 0..7u32 {
+                    for x1 in x0..7 {
+                        let r = BucketRegion::new(&g, [y0, x0].into(), [y1, x1].into()).unwrap();
+                        assert_eq!(
+                            dc.response_time_with(&r, &mut scratch),
+                            map.response_time(&r)
+                        );
+                        dc.access_histogram_with(&r, &mut scratch, &mut hist);
+                        assert_eq!(hist, map.access_histogram(&r));
+                    }
+                }
+            }
+        }
+        let (hits, compiles) = scratch.drain_plan_stats();
+        assert_eq!(hits + compiles, 2 * 420, "every call hit or compiled");
+        assert!(compiles >= 1);
+    }
+
+    #[test]
+    fn plan_is_reused_while_the_shape_repeats() {
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let dm = DiskModulo::new(&g, 4).unwrap();
+        let (map, dc) = kernel_for(&g, &dm);
+        let mut scratch = Scratch::new();
+        // Sixteen placements of the same 3x5 shape: one compile, the
+        // rest plan hits, all equal to the naive walk.
+        for dy in 0..4u32 {
+            for dx in 0..4 {
+                let r = BucketRegion::new(&g, [dy, dx].into(), [dy + 2, dx + 4].into()).unwrap();
+                assert_eq!(
+                    dc.response_time_with(&r, &mut scratch),
+                    map.response_time(&r)
+                );
+            }
+        }
+        assert_eq!(scratch.drain_plan_stats(), (15, 1));
+        // A new shape forces exactly one recompile.
+        let r = BucketRegion::new(&g, [0, 0].into(), [1, 1].into()).unwrap();
+        let _ = dc.response_time_with(&r, &mut scratch);
+        assert_eq!(scratch.drain_plan_stats(), (0, 1));
+    }
+
+    #[test]
+    fn plan_revalidates_across_grids() {
+        // Same extents, different grid layout: the cached plan must not
+        // leak between kernels with different strides.
+        let g1 = GridSpace::new_2d(8, 8).unwrap();
+        let g2 = GridSpace::new_2d(8, 16).unwrap();
+        let (map1, dc1) = kernel_for(&g1, &DiskModulo::new(&g1, 4).unwrap());
+        let (map2, dc2) = kernel_for(&g2, &DiskModulo::new(&g2, 4).unwrap());
+        let r1 = BucketRegion::new(&g1, [1, 1].into(), [3, 3].into()).unwrap();
+        let r2 = BucketRegion::new(&g2, [1, 1].into(), [3, 3].into()).unwrap();
+        let mut scratch = Scratch::new();
+        assert_eq!(
+            dc1.response_time_with(&r1, &mut scratch),
+            map1.response_time(&r1)
+        );
+        assert_eq!(
+            dc2.response_time_with(&r2, &mut scratch),
+            map2.response_time(&r2)
+        );
+        let (hits, compiles) = scratch.drain_plan_stats();
+        assert_eq!((hits, compiles), (0, 2), "stride change must recompile");
+    }
+
+    #[test]
+    fn narrow_and_wide_lanes_agree_bucket_for_bucket() {
+        let g = GridSpace::new(vec![6, 5, 4]).unwrap();
+        let ra = RandomAlloc::new(&g, 7, 99).unwrap();
+        let map = AllocationMap::from_method(&g, &ra).unwrap();
+        let narrow = DiskCounts::build(&map).unwrap();
+        let wide = DiskCounts::build_wide(&map).unwrap();
+        assert_eq!(narrow.lane_bits(), 16);
+        assert_eq!(wide.lane_bits(), 32);
+        assert_eq!(narrow.table_bytes() * 2, wide.table_bytes());
+        for (lo, hi) in [
+            ([0, 0, 0], [5, 4, 3]),
+            ([1, 2, 0], [4, 4, 2]),
+            ([2, 2, 2], [2, 2, 2]),
+        ] {
+            let r = BucketRegion::new(&g, lo.into(), hi.into()).unwrap();
+            assert_eq!(narrow.access_histogram(&r), wide.access_histogram(&r));
+            assert_eq!(narrow.response_time(&r), wide.response_time(&r));
+            for d in 0..7 {
+                assert_eq!(narrow.count_on_disk(&r, d), wide.count_on_disk(&r, d));
+            }
+        }
+    }
+
+    #[test]
+    fn large_grids_pick_the_wide_lane_automatically() {
+        // 300x300 = 90_000 buckets > u16::MAX: counts need u32 lanes.
+        let g = GridSpace::new_2d(300, 300).unwrap();
+        let dm = DiskModulo::new(&g, 3).unwrap();
+        let (map, dc) = kernel_for(&g, &dm);
+        assert_eq!(dc.lane_bits(), 32);
+        let full = BucketRegion::full(&g);
+        assert_eq!(dc.response_time(&full), map.load_stats().max);
+        let r = BucketRegion::new(&g, [17, 250].into(), [140, 299].into()).unwrap();
+        assert_eq!(dc.response_time(&r), map.response_time(&r));
+        let mut scratch = Scratch::new();
+        assert_eq!(
+            dc.response_time_with(&r, &mut scratch),
+            map.response_time(&r)
+        );
+    }
+
+    #[test]
     fn histogram_sums_to_region_volume_in_3d() {
         let g = GridSpace::new(vec![4, 5, 3]).unwrap();
         let ra = RandomAlloc::new(&g, 6, 77).unwrap();
@@ -300,8 +924,10 @@ mod tests {
         let (map, dc) = kernel_for(&g, &dm);
         let r = BucketRegion::new(&g, [2, 1].into(), [5, 4].into()).unwrap();
         let hist = map.access_histogram(&r);
+        let mut scratch = Scratch::new();
         for d in 0..5 {
             assert_eq!(dc.count_on_disk(&r, d), hist[d as usize]);
+            assert_eq!(dc.count_on_disk_with(&r, d, &mut scratch), hist[d as usize]);
         }
     }
 
@@ -323,9 +949,14 @@ mod tests {
         let (map, dc) = kernel_for(&g, &fx);
         let r = BucketRegion::new(&g, [1, 1].into(), [6, 5].into()).unwrap();
         let hist = map.access_histogram(&r);
+        let mut scratch = Scratch::new();
         // All-live mask equals the plain response time.
         assert_eq!(
             dc.masked_response_time(&r, &[true; 5]),
+            dc.response_time(&r)
+        );
+        assert_eq!(
+            dc.masked_response_time_with(&r, &[true; 5], &mut scratch),
             dc.response_time(&r)
         );
         // Every single-dead mask equals the max over the surviving lanes.
@@ -340,9 +971,18 @@ mod tests {
                 .max()
                 .unwrap();
             assert_eq!(dc.masked_response_time(&r, &live), expect, "dead {dead}");
+            assert_eq!(
+                dc.masked_response_time_with(&r, &live, &mut scratch),
+                expect,
+                "dead {dead} (planned)"
+            );
         }
         // No disk live: nothing to serve.
         assert_eq!(dc.masked_response_time(&r, &[false; 5]), 0);
+        assert_eq!(
+            dc.masked_response_time_with(&r, &[false; 5], &mut scratch),
+            0
+        );
     }
 
     #[test]
@@ -360,10 +1000,15 @@ mod tests {
         let g = GridSpace::new(vec![17]).unwrap();
         let dm = DiskModulo::new(&g, 4).unwrap();
         let (map, dc) = kernel_for(&g, &dm);
+        let mut scratch = Scratch::new();
         for lo in 0..17u32 {
             for hi in lo..17 {
                 let r = BucketRegion::new(&g, [lo].into(), [hi].into()).unwrap();
                 assert_eq!(dc.response_time(&r), map.response_time(&r));
+                assert_eq!(
+                    dc.response_time_with(&r, &mut scratch),
+                    map.response_time(&r)
+                );
             }
         }
     }
@@ -424,6 +1069,44 @@ mod proptests {
             prop_assert_eq!(dc.access_histogram(&r), map.access_histogram(&r));
         }
 
+        /// Kernel v2 contract: the shape-compiled plan + scratch path
+        /// equals the naive walk — both on a cold scratch and on one
+        /// carrying a (possibly mismatched) plan from another query.
+        #[test]
+        fn planned_kernel_matches_naive_walk((g, map, r) in grid_method_region()) {
+            let dc = map.disk_counts().unwrap();
+            let mut scratch = Scratch::new();
+            prop_assert_eq!(dc.response_time_with(&r, &mut scratch), map.response_time(&r));
+            // Re-use the same scratch against the full grid (usually a
+            // different shape): the plan must revalidate, not go stale.
+            let full = BucketRegion::full(&g);
+            prop_assert_eq!(dc.response_time_with(&full, &mut scratch), map.response_time(&full));
+            prop_assert_eq!(dc.response_time_with(&r, &mut scratch), map.response_time(&r));
+            let mut hist = Vec::new();
+            dc.access_histogram_with(&r, &mut scratch, &mut hist);
+            prop_assert_eq!(hist, map.access_histogram(&r));
+        }
+
+        /// Adaptive-width contract: u16 and u32 lane tables agree
+        /// bucket-for-bucket on histograms, RT, and per-disk counts.
+        #[test]
+        fn narrow_and_wide_lane_tables_agree((_g, map, r) in grid_method_region()) {
+            let narrow = DiskCounts::build(&map).unwrap();
+            let wide = DiskCounts::build_wide(&map).unwrap();
+            prop_assert_eq!(narrow.lane_bits(), 16); // <= 32^3 buckets always fits
+            prop_assert_eq!(wide.lane_bits(), 32);
+            prop_assert_eq!(narrow.access_histogram(&r), wide.access_histogram(&r));
+            prop_assert_eq!(narrow.response_time(&r), wide.response_time(&r));
+            let mut scratch = Scratch::new();
+            for d in 0..map.num_disks() {
+                prop_assert_eq!(narrow.count_on_disk(&r, d), wide.count_on_disk(&r, d));
+                prop_assert_eq!(
+                    narrow.count_on_disk_with(&r, d, &mut scratch),
+                    wide.count_on_disk(&r, d)
+                );
+            }
+        }
+
         #[test]
         fn masked_kernel_matches_filtered_naive(
             (_g, map, r) in grid_method_region(),
@@ -441,6 +1124,10 @@ mod proptests {
                 .max()
                 .unwrap_or(0);
             prop_assert_eq!(dc.masked_response_time(&r, &live), expect);
+            // The planned/scratch degraded path agrees under the same
+            // random failure mask.
+            let mut scratch = Scratch::new();
+            prop_assert_eq!(dc.masked_response_time_with(&r, &live, &mut scratch), expect);
         }
     }
 }

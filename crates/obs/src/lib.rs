@@ -27,6 +27,16 @@
 //! Wall-clock timings live in the snapshot's separate `walls` section
 //! and are never mixed into deterministic output.
 //!
+//! Per-worker caches need one extra rule to stay on the deterministic
+//! side: counters describing cache behaviour must be reset at batch
+//! start and drained at batch end. The RT kernel's query-plan cache
+//! (`kernel.plan_hits` / `kernel.plan_compiles`) does exactly this —
+//! each scoring batch starts with a cold plan cache, so the counts are a
+//! function of the batch's query sequence alone, never of which worker
+//! (and thus which cache instance) happened to run the previous batch.
+//! Kernel *construction* wall time, by contrast, is scheduling-dependent
+//! and lands in the `walls` section (`kernel.build_ms`).
+//!
 //! # Example
 //!
 //! ```

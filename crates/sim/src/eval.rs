@@ -1,7 +1,9 @@
-use crate::faults::{degraded_outcome, FaultMethodStats, FaultSchedule, QueryOutcome, RetryPolicy};
+use crate::faults::{
+    degraded_outcome_with, FaultMethodStats, FaultSchedule, QueryOutcome, RetryPolicy,
+};
 use crate::{optimal_response_time, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
-use decluster_methods::{AllocationMap, DeclusteringMethod, DiskCounts, MethodRegistry};
+use decluster_methods::{AllocationMap, DeclusteringMethod, DiskCounts, MethodRegistry, Scratch};
 use decluster_obs::{Obs, TraceEvent};
 
 /// The methods under evaluation at one sweep point, materialized once.
@@ -49,9 +51,62 @@ impl EvalContext {
         Self::from_maps(m, maps)
     }
 
+    /// As [`EvalContext::materialize`], but materializing the methods and
+    /// building their kernels on up to `threads` worker threads (the
+    /// deterministic index-order executor behind the sweep engine, so the
+    /// resulting context is identical to the serial one). Kernel build is
+    /// `O(k · N · M)` per method and dominates small sweeps; the methods
+    /// are independent, so a sweep-level context parallelizes cleanly.
+    pub fn build_parallel(
+        registry: &MethodRegistry,
+        space: &GridSpace,
+        m: u32,
+        baselines: bool,
+        threads: usize,
+    ) -> Self {
+        let methods = if baselines {
+            registry.with_baselines(space, m)
+        } else {
+            registry.paper_methods(space, m)
+        };
+        let built = crate::exec::run_indexed(threads, methods.len(), &Obs::disabled(), |i| {
+            let map = AllocationMap::from_method(space, methods[i].as_ref())
+                .expect("experiment grids are materializable");
+            let kernel = map.disk_counts().ok();
+            (map, kernel)
+        });
+        let mut maps = Vec::with_capacity(built.len());
+        let mut kernels = Vec::with_capacity(built.len());
+        for (map, kernel) in built {
+            maps.push(map);
+            kernels.push(kernel);
+        }
+        EvalContext {
+            m,
+            maps,
+            kernels,
+            obs: Obs::disabled(),
+        }
+    }
+
     /// Wraps already-materialized allocations, building each kernel.
     pub fn from_maps(m: u32, maps: Vec<AllocationMap>) -> Self {
         let kernels = maps.iter().map(|map| map.disk_counts().ok()).collect();
+        EvalContext {
+            m,
+            maps,
+            kernels,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// As [`EvalContext::from_maps`], building the per-method kernels on
+    /// up to `threads` worker threads. Bit-identical to the serial
+    /// constructor for any thread count.
+    pub fn from_maps_parallel(m: u32, maps: Vec<AllocationMap>, threads: usize) -> Self {
+        let kernels = crate::exec::run_indexed(threads, maps.len(), &Obs::disabled(), |i| {
+            maps[i].disk_counts().ok()
+        });
         EvalContext {
             m,
             maps,
@@ -104,6 +159,24 @@ impl EvalContext {
         }
     }
 
+    /// As [`EvalContext::response_time`], through `scratch`'s
+    /// shape-compiled plan cache and reusable accumulator: zero
+    /// allocations per query, and the `2^k` corner offsets are computed
+    /// once per query shape instead of once per query. All kernels of a
+    /// context share one grid, so a plan compiled against one method's
+    /// kernel answers every other method's too.
+    pub fn response_time_with(
+        &self,
+        idx: usize,
+        region: &BucketRegion,
+        scratch: &mut Scratch,
+    ) -> u64 {
+        match &self.kernels[idx] {
+            Some(kernel) => kernel.response_time_with(region, scratch),
+            None => self.maps[idx].response_time_with(region, scratch),
+        }
+    }
+
     /// Per-disk bucket counts of `region` under method `idx`, through the
     /// kernel (`O(M · 2^k)`) when one exists, the naive walk otherwise.
     pub fn access_histogram(&self, idx: usize, region: &BucketRegion) -> Vec<u64> {
@@ -113,10 +186,48 @@ impl EvalContext {
         }
     }
 
+    /// As [`EvalContext::access_histogram`], written into a caller-owned
+    /// buffer through the scratch's plan cache — the zero-allocation
+    /// variant behind degraded-mode scoring.
+    pub fn access_histogram_into(
+        &self,
+        idx: usize,
+        region: &BucketRegion,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) {
+        match &self.kernels[idx] {
+            Some(kernel) => kernel.access_histogram_with(region, scratch, out),
+            None => self.maps[idx].access_histogram_into(region, out),
+        }
+    }
+
     /// Scores every method against a query population: per-method
     /// response-time summaries plus the mean optimal bound
-    /// `ceil(|Q|/M)`.
+    /// `ceil(|Q|/M)`. Allocates a fresh [`Scratch`] per call; sweep
+    /// loops that score many batches should hold one per worker and call
+    /// [`EvalContext::score_with`].
     pub fn score(&self, regions: &[BucketRegion]) -> (Vec<Summary>, f64) {
+        self.score_with(regions, &mut Scratch::new())
+    }
+
+    /// [`EvalContext::score`] through a caller-owned [`Scratch`]: the
+    /// kernel-v2 hot path, re-using the scratch's accumulator and
+    /// shape-compiled plan across queries, methods, and batches.
+    ///
+    /// The plan cache is reset at batch start and its hit/compile counts
+    /// are drained into the `kernel.plan_hits` / `kernel.plan_compiles`
+    /// counters at batch end, so those counters are a pure function of
+    /// the batch's query sequence — never of which worker (and thus
+    /// which scratch) ran the previous batch. That keeps metrics
+    /// snapshots bit-identical for any thread count.
+    pub fn score_with(
+        &self,
+        regions: &[BucketRegion],
+        scratch: &mut Scratch,
+    ) -> (Vec<Summary>, f64) {
+        scratch.reset_plan();
+        let _ = scratch.drain_plan_stats();
         let mut summaries = Vec::with_capacity(self.maps.len());
         let mut rts = vec![0u64; regions.len()];
         // All observability aggregation sits behind this one branch, so
@@ -129,7 +240,7 @@ impl EvalContext {
         let mut max_rt = 0u64;
         for idx in 0..self.maps.len() {
             for (slot, region) in rts.iter_mut().zip(regions) {
-                *slot = self.response_time(idx, region);
+                *slot = self.response_time_with(idx, region, scratch);
             }
             if enabled {
                 match &self.kernels[idx] {
@@ -167,6 +278,11 @@ impl EvalContext {
                 .counter_add("rt.naive_buckets_scanned", naive_scanned);
             self.obs.gauge_max("rt.max_response_time", max_rt);
         }
+        let (plan_hits, plan_compiles) = scratch.drain_plan_stats();
+        if enabled {
+            self.obs.counter_add("kernel.plan_hits", plan_hits);
+            self.obs.counter_add("kernel.plan_compiles", plan_compiles);
+        }
         let opt_mean = if regions.is_empty() {
             0.0
         } else {
@@ -193,6 +309,16 @@ pub struct DegradedContext<'a> {
     ctx: &'a EvalContext,
     schedule: &'a FaultSchedule,
     policy: RetryPolicy,
+}
+
+/// The reusable per-variant buffers of a scored degraded stream: the
+/// kernel [`Scratch`] plus the histogram and per-disk-load vectors every
+/// query rewrites in place.
+#[derive(Default)]
+struct VariantBuffers {
+    scratch: Scratch,
+    hist: Vec<u64>,
+    loads: Vec<u64>,
 }
 
 impl<'a> DegradedContext<'a> {
@@ -229,7 +355,38 @@ impl<'a> DegradedContext<'a> {
         chained: bool,
     ) -> QueryOutcome {
         let hist = self.ctx.access_histogram(idx, region);
-        degraded_outcome(&hist, self.schedule, t, &self.policy, chained)
+        degraded_outcome_with(
+            &hist,
+            self.schedule,
+            t,
+            &self.policy,
+            chained,
+            &mut Vec::new(),
+        )
+    }
+
+    /// [`DegradedContext::outcome`] through caller-owned buffers: the
+    /// query's histogram lands in `buf.hist` (via the scratch's plan
+    /// cache) and the degraded per-disk loads in `buf.loads`, so a
+    /// scored stream allocates nothing per query.
+    fn outcome_with(
+        &self,
+        idx: usize,
+        t: u64,
+        region: &BucketRegion,
+        chained: bool,
+        buf: &mut VariantBuffers,
+    ) -> QueryOutcome {
+        self.ctx
+            .access_histogram_into(idx, region, &mut buf.scratch, &mut buf.hist);
+        degraded_outcome_with(
+            &buf.hist,
+            self.schedule,
+            t,
+            &self.policy,
+            chained,
+            &mut buf.loads,
+        )
     }
 
     /// Scores every method against a query stream (query `i` executes at
@@ -263,9 +420,13 @@ impl<'a> DegradedContext<'a> {
         let mut unavailable = 0usize;
         let mut failover_buckets = 0u64;
         let mut timeout_units = 0u64;
+        // Per-variant buffers: the scratch's plan cache starts cold here,
+        // so plan hit/compile counts stay a function of the variant's
+        // query sequence alone (thread-count deterministic).
+        let mut buf = VariantBuffers::default();
         for (i, region) in regions.iter().enumerate() {
-            healthy.push(self.ctx.response_time(idx, region));
-            match self.outcome(idx, i as u64, region, chained) {
+            healthy.push(self.ctx.response_time_with(idx, region, &mut buf.scratch));
+            match self.outcome_with(idx, i as u64, region, chained, &mut buf) {
                 QueryOutcome::Served {
                     response_time,
                     failover_buckets: fo,
@@ -282,7 +443,10 @@ impl<'a> DegradedContext<'a> {
             }
         }
         let served = degraded.len();
+        let (plan_hits, plan_compiles) = buf.scratch.drain_plan_stats();
         if enabled {
+            obs.counter_add("kernel.plan_hits", plan_hits);
+            obs.counter_add("kernel.plan_compiles", plan_compiles);
             obs.counter_add("faults.queries", regions.len() as u64);
             obs.counter_add("faults.served", served as u64);
             obs.counter_add("faults.unavailable", unavailable as u64);
@@ -356,6 +520,94 @@ mod tests {
         let (empty, opt0) = ctx.score(&[]);
         assert_eq!(empty.len(), ctx.maps().len());
         assert_eq!(opt0, 0.0);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let registry = MethodRegistry::with_seed(1);
+        let serial = EvalContext::materialize(&registry, &g, 4, true);
+        for threads in [1, 2, 8] {
+            let parallel = EvalContext::build_parallel(&registry, &g, 4, true, threads);
+            assert_eq!(parallel.maps(), serial.maps(), "threads = {threads}");
+            assert_eq!(parallel.kernel_coverage(), serial.kernel_coverage());
+            let maps = serial.maps().to_vec();
+            let from_maps = EvalContext::from_maps_parallel(4, maps, threads);
+            assert_eq!(from_maps.maps(), serial.maps());
+            assert_eq!(from_maps.kernel_coverage(), serial.kernel_coverage());
+        }
+    }
+
+    #[test]
+    fn score_with_reused_scratch_matches_score() {
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let ctx = context();
+        let regions: Vec<_> = (0..4)
+            .map(|i| {
+                RangeQuery::new([i, 0], [i + 3, 3])
+                    .unwrap()
+                    .region(&g)
+                    .unwrap()
+            })
+            .collect();
+        let (fresh, opt) = ctx.score(&regions);
+        let mut scratch = decluster_methods::Scratch::new();
+        for _ in 0..3 {
+            // A scratch re-used across batches (as a sweep worker would)
+            // must not change results.
+            let (again, opt2) = ctx.score_with(&regions, &mut scratch);
+            assert_eq!(opt2, opt);
+            for (a, b) in again.iter().zip(&fresh) {
+                assert_eq!(a.mean, b.mean);
+                assert_eq!(a.max, b.max);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_counters_are_a_function_of_the_batch() {
+        use decluster_obs::{MetricsRecorder, Recorder};
+        use std::sync::Arc;
+        let g = GridSpace::new_2d(8, 8).unwrap();
+        let regions: Vec<_> = (0..5)
+            .map(|i| {
+                RangeQuery::new([i, 1], [i + 2, 4])
+                    .unwrap()
+                    .region(&g)
+                    .unwrap()
+            })
+            .collect();
+        let counters_for = |prewarm: bool| {
+            let rec = Arc::new(MetricsRecorder::new());
+            let ctx = context().with_obs(Obs::new(rec.clone()));
+            let mut scratch = decluster_methods::Scratch::new();
+            if prewarm {
+                // Leave a stale plan + stats in the scratch, as a worker
+                // that just scored a different batch would.
+                let full = decluster_grid::BucketRegion::full(&g);
+                let _ = ctx.response_time_with(0, &full, &mut scratch);
+            }
+            let _ = ctx.score_with(&regions, &mut scratch);
+            let snap = rec.snapshot();
+            let get = |name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0)
+            };
+            (get("kernel.plan_hits"), get("kernel.plan_compiles"))
+        };
+        let cold = counters_for(false);
+        let warm = counters_for(true);
+        assert_eq!(
+            cold, warm,
+            "plan counters must not depend on scratch history"
+        );
+        // One shape, 5 placements, 4 methods on one grid: one compile,
+        // the rest hits.
+        assert_eq!(cold.1, 1);
+        assert_eq!(cold.0 + cold.1, 4 * 5);
     }
 
     #[test]

@@ -37,13 +37,39 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(threads, total, obs, || (), |i, ()| eval(i))
+}
+
+/// As [`run_indexed`], but each worker thread carries private mutable
+/// state built by `init` once at worker start and passed to every
+/// evaluation that worker claims. This is how the sweep engine threads a
+/// per-worker `Scratch` (accumulators + the kernel's query-plan cache)
+/// through the scoring loop without locking or per-point allocation.
+///
+/// The state must not influence results (the determinism contract:
+/// which worker — and therefore which state instance — evaluates an
+/// index is scheduling-dependent). Evaluations that report per-batch
+/// statistics from the state must reset it at batch start.
+pub(crate) fn run_indexed_with<T, S, I, F>(
+    threads: usize,
+    total: usize,
+    obs: &Obs,
+    init: I,
+    eval: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
     let threads = threads.clamp(1, total.max(1));
     if threads <= 1 {
         let _busy = obs.time_phase("exec.worker_busy_ms");
         if obs.enabled() {
             obs.wall_add("exec.worker_points", total as f64);
         }
-        return (0..total).map(eval).collect();
+        let mut state = init();
+        return (0..total).map(|i| eval(i, &mut state)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
@@ -51,13 +77,14 @@ where
         for _ in 0..threads {
             scope.spawn(|| {
                 let _busy = obs.time_phase("exec.worker_busy_ms");
+                let mut state = init();
                 let mut claimed = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
                     }
-                    let result = eval(i);
+                    let result = eval(i, &mut state);
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                     claimed += 1;
                 }
@@ -117,6 +144,38 @@ mod tests {
             .map(|(_, s)| s.total_ms)
             .unwrap();
         assert_eq!(points, 37.0);
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_reused() {
+        let obs = Obs::disabled();
+        // Each worker counts how many indices it evaluated in its own
+        // state; results carry the pre-increment count, so within any
+        // worker's claimed set the counts are 0,1,2,... — and the result
+        // vector stays a permutation-independent function of the input.
+        let out = run_indexed_with(
+            4,
+            64,
+            &obs,
+            || 0usize,
+            |i, seen| {
+                *seen += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        let serial = run_indexed_with(
+            1,
+            64,
+            &obs,
+            || 0usize,
+            |i, seen| {
+                *seen += 1;
+                assert_eq!(*seen, i + 1, "serial worker sees every index in order");
+                i * 2
+            },
+        );
+        assert_eq!(serial, out);
     }
 
     #[test]

@@ -1,12 +1,12 @@
 use crate::eval::{DegradedContext, EvalContext};
-use crate::exec::{derive_point_seed, run_indexed};
+use crate::exec::{derive_point_seed, run_indexed, run_indexed_with};
 use crate::faults::{FaultReport, FaultSchedule, RetryPolicy};
 use crate::workload::{
     partial_match_with_unspecified, random_region, rect_sides_for_area, ShapeSweep, SizeSweep,
 };
 use crate::{Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
-use decluster_methods::MethodRegistry;
+use decluster_methods::{MethodRegistry, Scratch};
 use decluster_obs::{Obs, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -187,38 +187,68 @@ impl Experiment {
     }
 
     /// Materializes the method set (and RT kernels) for one grid and
-    /// disk count.
+    /// disk count, serially. This is the per-point constructor for
+    /// sweeps whose grid or `M` varies: those build contexts *inside*
+    /// executor workers, where spawning further build threads would
+    /// oversubscribe the machine.
     fn context_for(&self, space: &GridSpace, m: u32) -> EvalContext {
         let registry = MethodRegistry::with_seed(self.seed);
         EvalContext::materialize(&registry, space, m, self.include_baselines)
             .with_obs(self.obs.clone())
     }
 
+    /// As [`Experiment::context_for`], materializing methods and
+    /// building kernels on the experiment's worker threads — used for
+    /// the per-sweep shared context, where kernel build is the dominant
+    /// serial section. The context is identical to the serial one; the
+    /// build wall time lands in the `kernel.build_ms` phase (wall-clock
+    /// section, outside the deterministic contract).
+    fn context_for_parallel(&self, space: &GridSpace, m: u32) -> EvalContext {
+        let _build = self.obs.time_phase("kernel.build_ms");
+        let registry = MethodRegistry::with_seed(self.seed);
+        EvalContext::build_parallel(
+            &registry,
+            space,
+            m,
+            self.include_baselines,
+            self.effective_threads(),
+        )
+        .with_obs(self.obs.clone())
+    }
+
     /// Evaluates `total` sweep points through the parallel executor,
-    /// handing each point an RNG derived from `(seed, index)`.
+    /// handing each point an RNG derived from `(seed, index)` and its
+    /// worker's reusable [`Scratch`] (accumulators + query-plan cache;
+    /// never observable in the results).
     fn run_points<F>(&self, total: usize, eval: F) -> Result<Vec<PointScore>>
     where
-        F: Fn(usize, &mut StdRng) -> Result<PointScore> + Sync,
+        F: Fn(usize, &mut StdRng, &mut Scratch) -> Result<PointScore> + Sync,
     {
-        run_indexed(self.effective_threads(), total, &self.obs, |i| {
-            let _point_timer = self.obs.time_phase("sweep.point_ms");
-            let mut rng = StdRng::seed_from_u64(derive_point_seed(self.seed, i as u64));
-            let point = eval(i, &mut rng);
-            if self.obs.enabled() {
-                self.obs.counter_add("sweep.points", 1);
-            }
-            if self.obs.trace_enabled() {
-                if let Ok(p) = &point {
-                    self.obs.emit(
-                        TraceEvent::new("point_done")
-                            .with("point", i)
-                            .with("x", p.x)
-                            .with("methods", p.names.len()),
-                    );
+        run_indexed_with(
+            self.effective_threads(),
+            total,
+            &self.obs,
+            Scratch::new,
+            |i, scratch| {
+                let _point_timer = self.obs.time_phase("sweep.point_ms");
+                let mut rng = StdRng::seed_from_u64(derive_point_seed(self.seed, i as u64));
+                let point = eval(i, &mut rng, scratch);
+                if self.obs.enabled() {
+                    self.obs.counter_add("sweep.points", 1);
                 }
-            }
-            point
-        })
+                if self.obs.trace_enabled() {
+                    if let Ok(p) = &point {
+                        self.obs.emit(
+                            TraceEvent::new("point_done")
+                                .with("point", i)
+                                .with("x", p.x)
+                                .with("methods", p.names.len()),
+                        );
+                    }
+                }
+                point
+            },
+        )
         .into_iter()
         .collect()
     }
@@ -254,9 +284,18 @@ impl Experiment {
         }
     }
 
-    /// Scores one point's query population against a context.
-    fn score_point(ctx: &EvalContext, x: f64, regions: &[BucketRegion]) -> PointScore {
-        let (summaries, optimal) = ctx.score(regions);
+    /// Scores one point's query population against a context through the
+    /// worker's scratch. `score_with` resets the scratch's plan cache at
+    /// batch start, so a scratch that last served a different point — or
+    /// a different *grid* (the database-size sweep) — cannot influence
+    /// results or metrics.
+    fn score_point(
+        ctx: &EvalContext,
+        x: f64,
+        regions: &[BucketRegion],
+        scratch: &mut Scratch,
+    ) -> PointScore {
+        let (summaries, optimal) = ctx.score_with(regions, scratch);
         PointScore {
             x,
             names: ctx.names().into_iter().map(str::to_owned).collect(),
@@ -291,12 +330,17 @@ impl Experiment {
                 })
             })
             .collect::<Result<_>>()?;
-        let ctx = self.context_for(&self.space, self.m);
-        let points = self.run_points(sweep.areas().len(), |i, rng| {
+        let ctx = self.context_for_parallel(&self.space, self.m);
+        let points = self.run_points(sweep.areas().len(), |i, rng, scratch| {
             let regions: Vec<BucketRegion> = (0..self.queries_per_point)
                 .map(|_| random_region(rng, &self.space, &sides[i]))
                 .collect::<Result<_>>()?;
-            Ok(Self::score_point(&ctx, sweep.areas()[i] as f64, &regions))
+            Ok(Self::score_point(
+                &ctx,
+                sweep.areas()[i] as f64,
+                &regions,
+                scratch,
+            ))
         })?;
         Ok(Self::assemble(
             format!(
@@ -320,15 +364,20 @@ impl Experiment {
         if sweep.powers().is_empty() {
             return Err(SimError::EmptySweep);
         }
-        let ctx = self.context_for(&self.space, self.m);
-        let points = self.run_points(sweep.powers().len(), |i, rng| {
+        let ctx = self.context_for_parallel(&self.space, self.m);
+        let points = self.run_points(sweep.powers().len(), |i, rng, scratch| {
             let p = sweep.powers()[i];
             let (a, b) = ShapeSweep::sides_for(sweep.area(), p).expect("sweep admitted this power");
             let sides = vec![a, b];
             let regions: Vec<BucketRegion> = (0..self.queries_per_point)
                 .map(|_| random_region(rng, &self.space, &sides))
                 .collect::<Result<_>>()?;
-            Ok(Self::score_point(&ctx, f64::from(1u32 << p), &regions))
+            Ok(Self::score_point(
+                &ctx,
+                f64::from(1u32 << p),
+                &regions,
+                scratch,
+            ))
         })?;
         Ok(Self::assemble(
             format!(
@@ -363,10 +412,10 @@ impl Experiment {
         let regions: Vec<BucketRegion> = (0..self.queries_per_point)
             .map(|_| random_region(&mut rng, &self.space, &sides))
             .collect::<Result<_>>()?;
-        let points = self.run_points(disk_counts.len(), |i, _rng| {
+        let points = self.run_points(disk_counts.len(), |i, _rng, scratch| {
             let m = disk_counts[i];
             let ctx = self.context_for(&self.space, m);
-            Ok(Self::score_point(&ctx, f64::from(m), &regions))
+            Ok(Self::score_point(&ctx, f64::from(m), &regions, scratch))
         })?;
         Ok(Self::assemble(
             format!(
@@ -390,7 +439,7 @@ impl Experiment {
             return Err(SimError::EmptySweep);
         }
         let k = self.space.k();
-        let scored = self.run_points(points.len(), |i, rng| {
+        let scored = self.run_points(points.len(), |i, rng, scratch| {
             let pt = &points[i];
             let space = GridSpace::new(vec![pt.side; k])?;
             let ctx = self.context_for(&space, self.m);
@@ -398,7 +447,12 @@ impl Experiment {
             let regions: Vec<BucketRegion> = (0..self.queries_per_point)
                 .map(|_| random_region(rng, &space, &sides))
                 .collect::<Result<_>>()?;
-            Ok(Self::score_point(&ctx, f64::from(pt.side), &regions))
+            Ok(Self::score_point(
+                &ctx,
+                f64::from(pt.side),
+                &regions,
+                scratch,
+            ))
         })?;
         Ok(Self::assemble(
             format!(
@@ -420,10 +474,10 @@ impl Experiment {
         if mixes.is_empty() {
             return Err(SimError::EmptySweep);
         }
-        let ctx = self.context_for(&self.space, self.m);
-        let points = self.run_points(mixes.len(), |i, rng| {
+        let ctx = self.context_for_parallel(&self.space, self.m);
+        let points = self.run_points(mixes.len(), |i, rng, scratch| {
             let regions = mixes[i].generate(rng, &self.space, self.queries_per_point)?;
-            Ok(Self::score_point(&ctx, i as f64, &regions))
+            Ok(Self::score_point(&ctx, i as f64, &regions, scratch))
         })?;
         Ok(Self::assemble(
             format!(
@@ -469,7 +523,7 @@ impl Experiment {
         let regions: Vec<BucketRegion> = (0..self.queries_per_point)
             .map(|_| random_region(&mut rng, &self.space, &sides))
             .collect::<Result<_>>()?;
-        let ctx = self.context_for(&self.space, self.m);
+        let ctx = self.context_for_parallel(&self.space, self.m);
         let dctx = DegradedContext::new(&ctx, schedule, *policy)?;
         let variants = ctx.maps().len() * 2;
         let rows = run_indexed(self.effective_threads(), variants, &self.obs, |i| {
@@ -495,16 +549,16 @@ impl Experiment {
     /// # Errors
     /// Construction errors as above.
     pub fn run_partial_match(&self) -> Result<SweepResult> {
-        let ctx = self.context_for(&self.space, self.m);
+        let ctx = self.context_for_parallel(&self.space, self.m);
         let k = self.space.k();
-        let points = self.run_points(k, |unspec, rng| {
+        let points = self.run_points(k, |unspec, rng, scratch| {
             let queries =
                 partial_match_with_unspecified(rng, &self.space, unspec, self.queries_per_point);
             let regions: Vec<BucketRegion> = queries
                 .iter()
                 .map(|q| q.region(&self.space).map_err(SimError::from))
                 .collect::<Result<_>>()?;
-            Ok(Self::score_point(&ctx, unspec as f64, &regions))
+            Ok(Self::score_point(&ctx, unspec as f64, &regions, scratch))
         })?;
         Ok(Self::assemble(
             format!(

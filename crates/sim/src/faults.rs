@@ -466,6 +466,24 @@ pub fn degraded_outcome(
     policy: &RetryPolicy,
     chained: bool,
 ) -> QueryOutcome {
+    degraded_outcome_with(hist, schedule, t, policy, chained, &mut Vec::new())
+}
+
+/// As [`degraded_outcome`], accumulating per-disk loads into a
+/// caller-owned buffer (cleared and resized first) so per-query stream
+/// scoring allocates nothing once the buffer has grown. The outcome is
+/// identical to [`degraded_outcome`] for any buffer state.
+///
+/// # Panics
+/// As [`degraded_outcome`].
+pub fn degraded_outcome_with(
+    hist: &[u64],
+    schedule: &FaultSchedule,
+    t: u64,
+    policy: &RetryPolicy,
+    chained: bool,
+    loads: &mut Vec<u64>,
+) -> QueryOutcome {
     let m = schedule.num_disks() as usize;
     assert_eq!(hist.len(), m, "histogram arity {} != M = {m}", hist.len());
     let scale = |count: u64, state: DiskState| -> u64 {
@@ -474,7 +492,8 @@ pub fn degraded_outcome(
             _ => count,
         }
     };
-    let mut loads = vec![0u64; m];
+    loads.clear();
+    loads.resize(m, 0);
     let mut failover_buckets = 0u64;
     let mut timeout_penalty = 0u64;
     let mut dead_buckets = 0u64;
@@ -506,7 +525,7 @@ pub fn degraded_outcome(
         return QueryOutcome::Unavailable { dead_buckets };
     }
     QueryOutcome::Served {
-        response_time: loads.into_iter().max().unwrap_or(0),
+        response_time: loads.iter().copied().max().unwrap_or(0),
         failover_buckets,
         timeout_penalty,
     }

@@ -52,8 +52,9 @@ pub use disk::{DiskParams, IoSimulator};
 pub use eval::{DegradedContext, EvalContext};
 pub use experiment::{DbSizePoint, Experiment, MethodSeries, SweepResult};
 pub use faults::{
-    degraded_outcome, simulate_rebuild, simulate_rebuild_obs, DiskState, FaultEvent,
-    FaultMethodStats, FaultReport, FaultSchedule, QueryOutcome, RebuildReport, RetryPolicy,
+    degraded_outcome, degraded_outcome_with, simulate_rebuild, simulate_rebuild_obs, DiskState,
+    FaultEvent, FaultMethodStats, FaultReport, FaultSchedule, QueryOutcome, RebuildReport,
+    RetryPolicy,
 };
 pub use multiuser::{
     load_sweep, poisson_arrivals, run_closed_loop, run_closed_loop_degraded,
@@ -66,8 +67,8 @@ pub use report::{
 };
 pub use report::{Report, ReportFormat, TextTable};
 pub use rt::{
-    deviation_from_optimal, masked_response_time, optimal_response_time, response_time,
-    response_time_batched,
+    deviation_from_optimal, masked_response_time, masked_response_time_with, optimal_response_time,
+    response_time, response_time_batched, response_time_batched_with,
 };
 pub use stats::Summary;
 

@@ -1,5 +1,5 @@
 use decluster_grid::BucketRegion;
-use decluster_methods::{DeclusteringMethod, DiskCounts};
+use decluster_methods::{DeclusteringMethod, DiskCounts, Scratch};
 
 /// Response time of a query under a declustering method, in bucket
 /// retrievals: the maximum number of the query's buckets that land on any
@@ -29,6 +29,19 @@ pub fn response_time_batched(kernel: &DiskCounts, region: &BucketRegion) -> u64 
     kernel.response_time(region)
 }
 
+/// The kernel-v2 hot path: [`response_time_batched`] through a
+/// caller-owned [`Scratch`], whose cached shape-compiled plan amortizes
+/// the `2^k` corner derivation over every placement of one query shape
+/// and whose accumulator removes the per-query allocation. Equal to
+/// [`response_time_batched`] on every input.
+pub fn response_time_batched_with(
+    kernel: &DiskCounts,
+    region: &BucketRegion,
+    scratch: &mut Scratch,
+) -> u64 {
+    kernel.response_time_with(region, scratch)
+}
+
 /// Degraded-mode response time restricted to live disks: the max
 /// per-disk count over the disks marked live, through the prefix-sum
 /// kernel — still `O(M · 2^k)`, so fault-injection sweeps keep the
@@ -38,6 +51,18 @@ pub fn response_time_batched(kernel: &DiskCounts, region: &BucketRegion) -> u64 
 /// load it builds on.
 pub fn masked_response_time(kernel: &DiskCounts, region: &BucketRegion, live: &[bool]) -> u64 {
     kernel.masked_response_time(region, live)
+}
+
+/// [`masked_response_time`] through a caller-owned [`Scratch`] — the
+/// degraded-mode analogue of [`response_time_batched_with`], for fault
+/// sweeps that mask the same query shape at many placements/times.
+pub fn masked_response_time_with(
+    kernel: &DiskCounts,
+    region: &BucketRegion,
+    live: &[bool],
+    scratch: &mut Scratch,
+) -> u64 {
+    kernel.masked_response_time_with(region, live, scratch)
 }
 
 /// The unbeatable lower bound on response time: `ceil(|Q| / M)` for a
@@ -75,6 +100,28 @@ mod tests {
         ] {
             let r = RangeQuery::new(lo, hi).unwrap().region(&g).unwrap();
             assert_eq!(response_time_batched(&kernel, &r), response_time(&dm, &r));
+        }
+    }
+
+    #[test]
+    fn scratch_wrappers_match_their_plain_forms() {
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let fx = FieldwiseXor::new(&g, 5).unwrap();
+        let map = AllocationMap::from_method(&g, &fx).unwrap();
+        let kernel = map.disk_counts().unwrap();
+        let mut scratch = Scratch::new();
+        let mut live = [true; 5];
+        live[2] = false;
+        for (lo, hi) in [([0u32, 0u32], [3u32, 3u32]), ([2, 5], [9, 14])] {
+            let r = RangeQuery::new(lo, hi).unwrap().region(&g).unwrap();
+            assert_eq!(
+                response_time_batched_with(&kernel, &r, &mut scratch),
+                response_time_batched(&kernel, &r)
+            );
+            assert_eq!(
+                masked_response_time_with(&kernel, &r, &live, &mut scratch),
+                masked_response_time(&kernel, &r, &live)
+            );
         }
     }
 

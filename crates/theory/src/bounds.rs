@@ -103,6 +103,10 @@ pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfil
     let volume: u64 = shape.iter().map(|&s| u64::from(s)).product();
     let optimal = volume.div_ceil(u64::from(alloc.num_disks()));
     let kernel = alloc.disk_counts().ok();
+    // Every placement shares one shape, so the kernel's scratch compiles
+    // the 2^k corner plan exactly once and re-uses it for the whole
+    // enumeration.
+    let mut scratch = decluster_methods::Scratch::new();
 
     let mut best = u64::MAX;
     let mut worst = 0u64;
@@ -113,8 +117,8 @@ pub fn shape_profile(alloc: &AllocationMap, shape: &[u32]) -> Option<ShapeProfil
 
     for_each_placement(&space, shape, |region| {
         let rt = match &kernel {
-            Some(k) => k.response_time(&region),
-            None => alloc.response_time(&region),
+            Some(k) => k.response_time_with(&region, &mut scratch),
+            None => alloc.response_time_with(&region, &mut scratch),
         };
         total += u128::from(rt);
         placements += 1;
@@ -175,12 +179,13 @@ pub fn failure_survival_fraction(
     // Only the failed disk's count matters, so the kernel answers each
     // placement in 2^k lookups instead of a full-region walk.
     let kernel = alloc.disk_counts().ok();
+    let mut scratch = decluster_methods::Scratch::new();
     let mut survivors = 0u64;
     let mut placements = 0u64;
     for_each_placement(&space, shape, |region| {
         placements += 1;
         let touched = match &kernel {
-            Some(k) => k.count_on_disk(&region, failed_disk.0),
+            Some(k) => k.count_on_disk_with(&region, failed_disk.0, &mut scratch),
             None => alloc.access_histogram(&region)[failed_disk.index()],
         };
         if touched == 0 {
