@@ -53,6 +53,7 @@ mod gdm;
 mod hcam;
 mod optimize;
 mod persist;
+mod plan;
 mod prefix;
 mod registry;
 mod replication;
@@ -70,6 +71,7 @@ pub use fx::FieldwiseXor;
 pub use gdm::GeneralizedDiskModulo;
 pub use hcam::Hcam;
 pub use optimize::{optimize_allocation, LocalSearchConfig, OptimizedAllocation};
+pub use plan::PlanCounts;
 pub use prefix::{CornerPlan, DiskCounts, Scratch};
 pub use registry::{MethodKind, MethodRegistry};
 pub use replication::ChainedDecluster;

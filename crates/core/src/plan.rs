@@ -1,0 +1,192 @@
+//! Kernel-backed per-disk page counts for a [`GridDirectory`].
+//!
+//! The multi-user simulator's closed-loop, open-loop, and degraded loops
+//! never look at page *identities* — they only need "how many pages must
+//! disk `d` fetch for this query", i.e. the lengths of the I/O plan's
+//! per-disk groups. [`PlanCounts`] answers exactly that straight from the
+//! [`DiskCounts`] prefix-sum kernel in `O(M · 2^k)` per query with zero
+//! allocation, instead of enumerating all `|Q|` buckets of the region.
+//!
+//! Correctness rests on a [`GridDirectory::build`] invariant: pages are
+//! assigned per disk in row-major bucket order, so the number of pages a
+//! region touches on disk `d` equals the number of the region's buckets
+//! allocated to `d` — the access histogram of the directory's disk table.
+
+use crate::{AllocationMap, DeclusteringMethod, DiskCounts, Scratch};
+use decluster_grid::{BucketRegion, GridDirectory};
+
+/// Per-disk page-count oracle for a directory: a cached prefix-sum kernel
+/// with a naive-walk fallback for grids too large to materialize a table.
+///
+/// Build once per directory, then call [`PlanCounts::counts_into`] per
+/// query with a caller-owned [`Scratch`] and output buffer — nothing is
+/// allocated per query on either path once the buffers have grown.
+#[derive(Clone, Debug)]
+pub struct PlanCounts {
+    kernel: Option<DiskCounts>,
+    fallback: AllocationMap,
+}
+
+impl PlanCounts {
+    /// Snapshots `dir`'s disk table and builds the count kernel over it.
+    ///
+    /// Falls back to the naive per-bucket walk (still allocation-free per
+    /// query) when the `buckets × disks` table is too large to build; the
+    /// choice is observable via [`PlanCounts::kernel_backed`].
+    pub fn build(dir: &GridDirectory) -> Self {
+        let map = AllocationMap::from_table(dir.space(), dir.num_disks(), dir.disk_table())
+            .expect("directory disk table is grid-shaped by construction");
+        let kernel = map.disk_counts().ok();
+        PlanCounts {
+            kernel,
+            fallback: map,
+        }
+    }
+
+    /// Disks (`M`).
+    pub fn num_disks(&self) -> u32 {
+        self.fallback.num_disks()
+    }
+
+    /// Whether queries are served by the prefix-sum kernel (as opposed to
+    /// the naive fallback walk).
+    pub fn kernel_backed(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    /// Heap footprint of the kernel table in bytes (0 on the fallback).
+    pub fn table_bytes(&self) -> usize {
+        self.kernel.as_ref().map_or(0, DiskCounts::table_bytes)
+    }
+
+    /// Writes the number of pages each disk must fetch for `region` into
+    /// `out` (cleared first; `out[d]` == `io_plan` group length for `d`).
+    ///
+    /// The kernel path goes through `scratch`'s plan cache, so repeated
+    /// shapes amortize corner derivation exactly like RT scoring does.
+    pub fn counts_into(&self, region: &BucketRegion, scratch: &mut Scratch, out: &mut Vec<u64>) {
+        match &self.kernel {
+            Some(k) => k.access_histogram_with(region, scratch, out),
+            None => self.fallback.access_histogram_into(region, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskModulo;
+    use decluster_grid::{GridSpace, IoPlan};
+
+    fn dm_directory(w: u32, h: u32, m: u32) -> GridDirectory {
+        let g = GridSpace::new_2d(w, h).unwrap();
+        let dm = DiskModulo::new(&g, m).unwrap();
+        GridDirectory::build(g, m, |b| dm.disk_of(b.as_slice()))
+    }
+
+    #[test]
+    fn counts_equal_io_plan_group_lengths() {
+        let dir = dm_directory(8, 8, 4);
+        let pc = PlanCounts::build(&dir);
+        assert!(pc.kernel_backed());
+        assert_eq!(pc.num_disks(), 4);
+        let mut scratch = Scratch::new();
+        let mut counts = Vec::new();
+        let mut plan = IoPlan::new();
+        let g = dir.space().clone();
+        for (lo, hi) in [
+            ([0u32, 0u32], [7u32, 7u32]),
+            ([1, 1], [3, 6]),
+            ([5, 2], [5, 2]),
+        ] {
+            let r = BucketRegion::new(&g, lo.into(), hi.into()).unwrap();
+            pc.counts_into(&r, &mut scratch, &mut counts);
+            dir.io_plan_into(&r, &mut plan);
+            let derived: Vec<u64> = (0..plan.num_disks())
+                .map(|d| plan.disk_pages(d).len() as u64)
+                .collect();
+            assert_eq!(counts, derived);
+        }
+    }
+
+    #[test]
+    fn fallback_walk_matches_kernel() {
+        let dir = dm_directory(6, 6, 3);
+        let kernel_backed = PlanCounts::build(&dir);
+        let naive = PlanCounts {
+            kernel: None,
+            fallback: kernel_backed.fallback.clone(),
+        };
+        assert!(!naive.kernel_backed());
+        assert_eq!(naive.table_bytes(), 0);
+        let g = dir.space().clone();
+        let r = BucketRegion::new(&g, [1, 0].into(), [4, 5].into()).unwrap();
+        let mut scratch = Scratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        kernel_backed.counts_into(&r, &mut scratch, &mut a);
+        naive.counts_into(&r, &mut scratch, &mut b);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{DiskModulo, FieldwiseXor, RandomAlloc, RoundRobin};
+    use decluster_grid::{GridSpace, IoPlan};
+    use proptest::prelude::*;
+
+    /// Random grid (k in 1..=3, dims ≤ 32), method, and in-grid region —
+    /// the same population as the kernel proptests in `prefix.rs`.
+    fn grid_method_region() -> impl Strategy<Value = (GridSpace, AllocationMap, BucketRegion)> {
+        (proptest::collection::vec(1u32..=32, 1..4), 2u32..=8, 0u8..4).prop_flat_map(
+            |(dims, m, which)| {
+                let g = GridSpace::new(dims.clone()).unwrap();
+                let method: Box<dyn DeclusteringMethod> = match which {
+                    0 => Box::new(DiskModulo::new(&g, m).unwrap()),
+                    1 => Box::new(FieldwiseXor::new(&g, m).unwrap()),
+                    2 => Box::new(RoundRobin::new(&g, m).unwrap()),
+                    _ => Box::new(RandomAlloc::new(&g, m, 42).unwrap()),
+                };
+                let map = AllocationMap::from_method(&g, method.as_ref()).unwrap();
+                proptest::collection::vec(0u64..u64::MAX, dims.len()..dims.len() + 1).prop_map(
+                    move |raws| {
+                        let mut lo = Vec::with_capacity(raws.len());
+                        let mut hi = Vec::with_capacity(raws.len());
+                        for (raw, &d) in raws.iter().zip(&dims) {
+                            let a = (raw % u64::from(d)) as u32;
+                            let b = ((raw >> 32) % u64::from(d)) as u32;
+                            lo.push(a.min(b));
+                            hi.push(a.max(b));
+                        }
+                        let r = BucketRegion::new(&g, lo.into(), hi.into()).unwrap();
+                        (g.clone(), map.clone(), r)
+                    },
+                )
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The tentpole invariant: the kernel-backed count fast path
+        /// equals counts derived from the materialized I/O plan, for any
+        /// grid, method, and region.
+        #[test]
+        fn plan_counts_equal_io_plan_lengths((g, map, r) in grid_method_region()) {
+            let dir = GridDirectory::build(g, map.num_disks(), |b| map.disk_of(b.as_slice()));
+            let pc = PlanCounts::build(&dir);
+            let mut scratch = Scratch::new();
+            let mut counts = Vec::new();
+            pc.counts_into(&r, &mut scratch, &mut counts);
+            let mut plan = IoPlan::new();
+            dir.io_plan_into(&r, &mut plan);
+            let derived: Vec<u64> = (0..plan.num_disks())
+                .map(|d| plan.disk_pages(d).len() as u64)
+                .collect();
+            prop_assert_eq!(counts, derived);
+            prop_assert_eq!(plan.total_pages() as u64, r.num_buckets());
+        }
+    }
+}

@@ -116,17 +116,110 @@ impl GridDirectory {
     ///
     /// This is the physical I/O plan for a range query: disk `i` must fetch
     /// `plan[i]` pages.
+    #[deprecated(
+        since = "0.5.0",
+        note = "allocates one Vec per disk per query; use io_plan_into with a reusable IoPlan"
+    )]
     pub fn io_plan(&self, region: &BucketRegion) -> Vec<Vec<u64>> {
-        let mut plan: Vec<Vec<u64>> = vec![Vec::new(); self.per_disk.len()];
+        let mut plan = IoPlan::new();
+        self.io_plan_into(region, &mut plan);
+        (0..plan.num_disks())
+            .map(|d| plan.disk_pages(d).to_vec())
+            .collect()
+    }
+
+    /// Fills `plan` with the pages `region` touches, grouped per disk in a
+    /// single flat arena. Steady-state this allocates nothing: the arena's
+    /// buffers are reused across calls.
+    ///
+    /// Two passes over the region: one to size the per-disk groups, one to
+    /// scatter page numbers into place. Because region iteration visits
+    /// buckets in ascending linear order and [`GridDirectory::build`]
+    /// assigns pages in that same order, each disk's group comes out sorted
+    /// without a sort pass.
+    pub fn io_plan_into(&self, region: &BucketRegion, plan: &mut IoPlan) {
+        let m = self.per_disk.len();
+        plan.offsets.clear();
+        plan.offsets.resize(m + 1, 0);
+        plan.cursors.clear();
+        plan.cursors.resize(m, 0);
+        for bucket in region.iter() {
+            let id = self.space.linearize_unchecked(bucket.as_slice());
+            plan.cursors[self.pages[id as usize].disk.index()] += 1;
+        }
+        let mut total = 0usize;
+        for d in 0..m {
+            plan.offsets[d] = total;
+            total += plan.cursors[d];
+            plan.cursors[d] = plan.offsets[d];
+        }
+        plan.offsets[m] = total;
+        plan.pages.clear();
+        plan.pages.resize(total, 0);
         for bucket in region.iter() {
             let id = self.space.linearize_unchecked(bucket.as_slice());
             let bp = self.pages[id as usize];
-            plan[bp.disk.index()].push(bp.page);
+            let cursor = &mut plan.cursors[bp.disk.index()];
+            plan.pages[*cursor] = bp.page;
+            *cursor += 1;
         }
-        for pages in &mut plan {
-            pages.sort_unstable();
+        debug_assert!((0..m).all(|d| plan.disk_pages(d).windows(2).all(|w| w[0] < w[1])));
+    }
+
+    /// Disk assignment per bucket, in linear (row-major) bucket order.
+    ///
+    /// This is the raw declustering table behind the directory; consumers
+    /// that only need per-disk *counts* (not page identities) can feed it
+    /// to a prefix-sum kernel instead of walking regions.
+    pub fn disk_table(&self) -> Vec<u32> {
+        self.pages.iter().map(|bp| bp.disk.0).collect()
+    }
+}
+
+/// A flat I/O plan: every page a range query touches, in one contiguous
+/// buffer sliced per disk.
+///
+/// Replaces the allocating `Vec<Vec<u64>>` plan: disk `d`'s (sorted) pages
+/// are `pages[offsets[d]..offsets[d + 1]]`. Reusing one `IoPlan` across
+/// queries makes plan construction allocation-free once the buffers have
+/// grown to the working-set size.
+#[derive(Clone, Debug, Default)]
+pub struct IoPlan {
+    /// Page numbers grouped by disk, each group sorted ascending.
+    pages: Vec<u64>,
+    /// `num_disks + 1` group boundaries into `pages`.
+    offsets: Vec<usize>,
+    /// Per-disk scatter cursors, reused by [`GridDirectory::io_plan_into`].
+    cursors: Vec<usize>,
+}
+
+impl IoPlan {
+    /// An empty plan (fill it with [`GridDirectory::io_plan_into`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of disk groups in the last fill (0 before any fill).
+    pub fn num_disks(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The sorted pages disk `d` must fetch (empty for `d` out of range).
+    pub fn disk_pages(&self, d: usize) -> &[u64] {
+        match (self.offsets.get(d), self.offsets.get(d + 1)) {
+            (Some(&lo), Some(&hi)) => &self.pages[lo..hi],
+            _ => &[],
         }
-        plan
+    }
+
+    /// Total pages across all disks.
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterator over per-disk page groups, disk 0 first.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        (0..self.num_disks()).map(move |d| self.disk_pages(d))
     }
 }
 
@@ -193,6 +286,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn io_plan_covers_region_exactly() {
         let dir = round_robin_dir();
         let region = BucketRegion::new(
@@ -209,6 +303,60 @@ mod tests {
         assert_eq!(plan[0], vec![0, 1]);
         assert_eq!(plan[1], vec![0, 1]);
         assert!(plan[2].is_empty() && plan[3].is_empty());
+    }
+
+    #[test]
+    fn flat_io_plan_covers_region_exactly() {
+        let dir = round_robin_dir();
+        let region = BucketRegion::new(
+            dir.space(),
+            BucketCoord::from([0, 0]),
+            BucketCoord::from([1, 1]),
+        )
+        .unwrap();
+        let mut plan = IoPlan::new();
+        dir.io_plan_into(&region, &mut plan);
+        assert_eq!(plan.num_disks(), 4);
+        assert_eq!(plan.total_pages() as u64, region.num_buckets());
+        // Same groups as the nested plan: disks 0 and 1 fetch pages 0 and 1.
+        assert_eq!(plan.disk_pages(0), &[0, 1]);
+        assert_eq!(plan.disk_pages(1), &[0, 1]);
+        assert!(plan.disk_pages(2).is_empty() && plan.disk_pages(3).is_empty());
+        assert!(plan.disk_pages(99).is_empty());
+        assert_eq!(plan.iter().count(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn flat_io_plan_matches_nested_plan_when_reused() {
+        let dir = round_robin_dir();
+        let mut plan = IoPlan::new();
+        // Reuse one arena across regions of different sizes and positions;
+        // each fill must match the nested plan exactly.
+        for (lo, hi) in [
+            ([0u32, 0u32], [3u32, 3u32]),
+            ([1, 2], [2, 3]),
+            ([2, 2], [2, 2]),
+        ] {
+            let region =
+                BucketRegion::new(dir.space(), BucketCoord::from(lo), BucketCoord::from(hi))
+                    .unwrap();
+            let nested = dir.io_plan(&region);
+            dir.io_plan_into(&region, &mut plan);
+            for (d, pages) in nested.iter().enumerate() {
+                assert_eq!(plan.disk_pages(d), pages.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn disk_table_matches_lookups() {
+        let dir = round_robin_dir();
+        let table = dir.disk_table();
+        assert_eq!(table.len(), 16);
+        for id in 0..16u64 {
+            assert_eq!(table[id as usize], dir.lookup_linear(id).unwrap().disk.0);
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod schema;
 mod space;
 
 pub use bucket::{BucketCoord, DiskId, COORD_INLINE_DIMS};
-pub use directory::{BucketPage, GridDirectory};
+pub use directory::{BucketPage, GridDirectory, IoPlan};
 pub use domain::{AttributeDomain, DomainKind};
 pub use error::GridError;
 pub use gridfile::{GridBucketId, GridFile, GridScan};

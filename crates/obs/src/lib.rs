@@ -59,7 +59,10 @@ pub mod json;
 mod registry;
 mod trace;
 
-pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, WallStat, RT_BUCKETS};
+pub use registry::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, WallStat, RT_BUCKETS,
+};
 pub use trace::{FieldValue, JsonLinesSink, NullSink, TextSink, TraceEvent, TraceSink};
 
 use std::sync::{Arc, Mutex};
@@ -92,6 +95,23 @@ pub trait Recorder: Send + Sync {
 
     /// Records `value` into the histogram `name` (RT bucket bounds).
     fn observe(&self, _name: &str, _value: u64) {}
+
+    /// Interns counter `name` and returns a handle that skips the name
+    /// lookup on every update. Defaults to an inert handle, so no-op
+    /// recorders pay nothing per update.
+    fn counter_handle(&self, _name: &str) -> registry::CounterHandle {
+        registry::CounterHandle::inert()
+    }
+
+    /// Interns max-gauge `name` and returns a live-or-inert handle.
+    fn gauge_handle(&self, _name: &str) -> registry::GaugeHandle {
+        registry::GaugeHandle::inert()
+    }
+
+    /// Interns histogram `name` and returns a live-or-inert handle.
+    fn histogram_handle(&self, _name: &str) -> registry::HistogramHandle {
+        registry::HistogramHandle::inert()
+    }
 
     /// Adds one wall-clock observation of `ms` milliseconds to the
     /// non-deterministic `walls` section under `name`.
@@ -180,6 +200,18 @@ impl Recorder for MetricsRecorder {
         self.metrics.observe(name, value);
     }
 
+    fn counter_handle(&self, name: &str) -> CounterHandle {
+        self.metrics.counter_handle(name)
+    }
+
+    fn gauge_handle(&self, name: &str) -> GaugeHandle {
+        self.metrics.gauge_handle(name)
+    }
+
+    fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        self.metrics.histogram_handle(name)
+    }
+
     fn wall_add(&self, name: &str, ms: f64) {
         self.metrics.wall_add(name, ms);
     }
@@ -255,6 +287,22 @@ impl Obs {
     /// Records `value` into histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
         self.recorder.observe(name, value);
+    }
+
+    /// Interns counter `name` once, returning a handle whose updates
+    /// skip the registry lookup (inert when the recorder is disabled).
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        self.recorder.counter_handle(name)
+    }
+
+    /// Interns max-gauge `name`; see [`Obs::counter_handle`].
+    pub fn gauge_handle(&self, name: &str) -> GaugeHandle {
+        self.recorder.gauge_handle(name)
+    }
+
+    /// Interns histogram `name`; see [`Obs::counter_handle`].
+    pub fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        self.recorder.histogram_handle(name)
     }
 
     /// Adds a wall-clock observation (non-deterministic section).
@@ -339,6 +387,28 @@ mod tests {
         assert_eq!(snap.gauges, vec![("g".to_owned(), 7)]);
         assert_eq!(snap.histograms[0].count, 1);
         assert_eq!(snap.walls.len(), 1);
+    }
+
+    #[test]
+    fn interned_handles_hit_the_same_metrics() {
+        let rec = Arc::new(MetricsRecorder::new());
+        let obs = Obs::new(rec.clone());
+        let c = obs.counter_handle("c");
+        c.add(2);
+        obs.counter_add("c", 3);
+        let g = obs.gauge_handle("g");
+        g.max(9);
+        g.max(4);
+        let h = obs.histogram_handle("h");
+        h.observe(4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("c"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(9));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        // Handles from a disabled recorder are inert.
+        let inert = Obs::disabled().counter_handle("c");
+        inert.add(100);
+        assert_eq!(rec.snapshot().counter("c"), Some(5));
     }
 
     #[test]

@@ -89,6 +89,67 @@ fn handle<T>(
         .clone()
 }
 
+/// A pre-interned counter: the name lookup (read lock + map walk) is paid
+/// once at registration, after which [`CounterHandle::add`] is a single
+/// atomic `fetch_add`. An inert handle (from a disabled recorder) drops
+/// every update.
+///
+/// This is the hot-loop form of [`MetricsRegistry::counter_add`]: loops
+/// that update the same counter per query intern the handle once per run
+/// instead of re-resolving the name each time.
+#[derive(Clone, Debug, Default)]
+pub struct CounterHandle(Option<Arc<AtomicU64>>);
+
+impl CounterHandle {
+    /// A handle that drops every update (the disabled-recorder form).
+    pub fn inert() -> Self {
+        CounterHandle(None)
+    }
+
+    /// Adds `delta` to the interned counter (no-op when inert).
+    pub fn add(&self, delta: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A pre-interned max-gauge; see [`CounterHandle`] for the rationale.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeHandle(Option<Arc<AtomicU64>>);
+
+impl GaugeHandle {
+    /// A handle that drops every update (the disabled-recorder form).
+    pub fn inert() -> Self {
+        GaugeHandle(None)
+    }
+
+    /// Raises the interned gauge to at least `value` (no-op when inert).
+    pub fn max(&self, value: u64) {
+        if let Some(g) = &self.0 {
+            g.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A pre-interned histogram; see [`CounterHandle`] for the rationale.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// A handle that drops every update (the disabled-recorder form).
+    pub fn inert() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Records `value` into the interned histogram (no-op when inert).
+    pub fn observe(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.observe(value);
+        }
+    }
+}
+
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -108,6 +169,25 @@ impl MetricsRegistry {
     /// Records `value` into histogram `name` ([`RT_BUCKETS`] bounds).
     pub fn observe(&self, name: &str, value: u64) {
         handle(&self.histograms, name, || Histogram::new(&RT_BUCKETS)).observe(value);
+    }
+
+    /// Interns counter `name` (creating it at zero) and returns a live
+    /// handle so hot loops skip the name lookup on every update.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        CounterHandle(Some(handle(&self.counters, name, || AtomicU64::new(0))))
+    }
+
+    /// Interns max-gauge `name` and returns a live handle.
+    pub fn gauge_handle(&self, name: &str) -> GaugeHandle {
+        GaugeHandle(Some(handle(&self.gauges, name, || AtomicU64::new(0))))
+    }
+
+    /// Interns histogram `name` ([`RT_BUCKETS`] bounds) and returns a live
+    /// handle.
+    pub fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(Some(handle(&self.histograms, name, || {
+            Histogram::new(&RT_BUCKETS)
+        })))
     }
 
     /// Adds one wall-clock observation of `ms` milliseconds under `name`.

@@ -1,4 +1,4 @@
-use decluster_grid::{BucketRegion, GridDirectory};
+use decluster_grid::{BucketRegion, GridDirectory, IoPlan};
 
 /// Timing parameters of one disk in the parallel I/O subsystem.
 ///
@@ -67,6 +67,67 @@ impl DiskParams {
         }
         total
     }
+
+    /// Service time for a batch of `count` page reads on a disk holding
+    /// `disk_pages` pages, given only the *count* — the service model of
+    /// the multi-user engine's kernel fast path, which never materializes
+    /// page identities.
+    ///
+    /// The batch is modeled as `count` pages spread evenly across the
+    /// platter (the expected layout under declustering): each read pays a
+    /// seek over the expected gap `span / count` (at least one page), plus
+    /// rotation and transfer. Unlike [`DiskParams::batch_ms`] there is no
+    /// sequential-rotation discount, which keeps the cost *strictly
+    /// increasing in `count`* — the property the closed/open-loop ordering
+    /// tests rely on (a discount makes dense batches non-monotone).
+    pub fn batch_ms_counts(&self, count: u64, disk_pages: u64) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let n = count as f64;
+        let span = (disk_pages.max(2) - 1) as f64;
+        let gap = (span / n).max(1.0);
+        let frac = (gap / span).min(1.0);
+        let seek = self.min_seek_ms + (self.max_seek_ms - self.min_seek_ms) * frac;
+        n * (seek + self.rotational_latency_ms + self.transfer_ms)
+    }
+
+    /// As [`DiskParams::batch_ms`] over the merge of two sorted page runs,
+    /// without materializing the merged sequence — the rebuild failover
+    /// path reads a disk's own pages plus the failed disk's replica pages
+    /// in one elevator pass.
+    pub fn batch_ms_merged(&self, a: &[u64], b: &[u64], disk_pages: u64) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut head: u64 = 0;
+        let mut total = 0.0;
+        let mut first = true;
+        while i < a.len() || j < b.len() {
+            let p = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x <= y => {
+                    i += 1;
+                    x
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (_, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            let dist = p.abs_diff(head);
+            total += self.seek_ms(dist, disk_pages);
+            if first || dist != 1 {
+                total += self.rotational_latency_ms;
+            }
+            total += self.transfer_ms;
+            head = p;
+            first = false;
+        }
+        total
+    }
 }
 
 /// A parallel I/O subsystem: `M` identical disks served concurrently.
@@ -93,10 +154,24 @@ impl IoSimulator {
     /// directory, in milliseconds: every disk reads its touched pages in
     /// one elevator pass; the slowest disk determines the answer.
     pub fn query_response_ms(&self, dir: &GridDirectory, region: &BucketRegion) -> f64 {
-        let plan = dir.io_plan(region);
+        let mut plan = IoPlan::new();
         let loads = dir.load_vector();
+        self.query_response_ms_with(dir, region, &mut plan, &loads)
+    }
+
+    /// As [`IoSimulator::query_response_ms`], reusing a caller-owned plan
+    /// arena and pre-computed load vector so repeated queries allocate
+    /// nothing.
+    pub fn query_response_ms_with(
+        &self,
+        dir: &GridDirectory,
+        region: &BucketRegion,
+        plan: &mut IoPlan,
+        loads: &[u64],
+    ) -> f64 {
+        dir.io_plan_into(region, plan);
         plan.iter()
-            .zip(&loads)
+            .zip(loads)
             .map(|(pages, &disk_pages)| self.params.batch_ms(pages, disk_pages))
             .fold(0.0, f64::max)
     }
@@ -170,10 +245,53 @@ mod tests {
         .unwrap();
         let sim = IoSimulator::default();
         let ms = sim.query_response_ms(&dir, &region);
-        let plan = dir.io_plan(&region);
-        let d1 = sim.params().batch_ms(&plan[1], dir.load_vector()[1]);
+        let mut plan = IoPlan::new();
+        dir.io_plan_into(&region, &mut plan);
+        let d1 = sim
+            .params()
+            .batch_ms(plan.disk_pages(1), dir.load_vector()[1]);
         assert!((ms - d1).abs() < 1e-9);
         assert!(sim.query_throughput_pages_per_s(&dir, &region) > 0.0);
+    }
+
+    #[test]
+    fn counts_batch_is_strictly_monotone_and_free_when_empty() {
+        let p = params();
+        assert_eq!(p.batch_ms_counts(0, 100), 0.0);
+        let mut prev = 0.0;
+        for n in 1..=100 {
+            let ms = p.batch_ms_counts(n, 100);
+            assert!(ms > prev, "batch_ms_counts must grow with count");
+            prev = ms;
+        }
+        // One page spread over the whole platter pays the full expected
+        // seek plus rotation and transfer.
+        let one = p.batch_ms_counts(1, 100);
+        let expect = p.max_seek_ms + p.rotational_latency_ms + p.transfer_ms;
+        assert!((one - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_batch_prefers_spread_out_work() {
+        // The count model must preserve the paper's ordering: the slowest
+        // disk of a balanced split beats one disk taking everything.
+        let p = params();
+        let balanced = p.batch_ms_counts(4, 100);
+        let stacked = p.batch_ms_counts(8, 100);
+        assert!(balanced < stacked);
+    }
+
+    #[test]
+    fn merged_batch_equals_batch_of_merged_pages() {
+        let p = params();
+        let a = [0u64, 5, 9, 40];
+        let b = [2u64, 9, 33];
+        let mut merged: Vec<u64> = a.iter().chain(&b).copied().collect();
+        merged.sort_unstable();
+        assert!((p.batch_ms_merged(&a, &b, 100) - p.batch_ms(&merged, 100)).abs() < 1e-9);
+        assert!((p.batch_ms_merged(&a, &[], 100) - p.batch_ms(&a, 100)).abs() < 1e-9);
+        assert!((p.batch_ms_merged(&[], &b, 100) - p.batch_ms(&b, 100)).abs() < 1e-9);
+        assert_eq!(p.batch_ms_merged(&[], &[], 100), 0.0);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 use crate::eval::{DegradedContext, EvalContext};
 use crate::exec::{derive_point_seed, run_indexed, run_indexed_with};
 use crate::faults::{FaultReport, FaultSchedule, RetryPolicy};
+use crate::multiuser::{load_sweep_with_threads, LoadPoint, LoopScratch, MultiUserEngine};
 use crate::workload::{
     partial_match_with_unspecified, random_region, rect_sides_for_area, ShapeSweep, SizeSweep,
 };
-use crate::{Result, SimError, Summary};
-use decluster_grid::{BucketRegion, GridSpace};
-use decluster_methods::{MethodRegistry, Scratch};
+use crate::{DiskParams, Result, SimError, Summary};
+use decluster_grid::{BucketRegion, GridDirectory, GridSpace};
+use decluster_methods::{DeclusteringMethod, MethodRegistry, Scratch};
 use decluster_obs::{Obs, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -542,6 +543,168 @@ impl Experiment {
         })
     }
 
+    /// Materializes one [`GridDirectory`] and [`MultiUserEngine`] per
+    /// method (the paper set, plus baselines when enabled), serially and
+    /// before any fan-out — the engines are shared read-only across
+    /// worker threads, so building them up front is what keeps sweep
+    /// results independent of the thread count. Build wall time lands in
+    /// the `multiuser.build_ms` phase.
+    fn multiuser_dirs(&self) -> Vec<(String, GridDirectory)> {
+        let _build = self.obs.time_phase("multiuser.build_ms");
+        let registry = MethodRegistry::with_seed(self.seed);
+        let methods = if self.include_baselines {
+            registry.with_baselines(&self.space, self.m)
+        } else {
+            registry.paper_methods(&self.space, self.m)
+        };
+        methods
+            .iter()
+            .map(|method| {
+                let dir = GridDirectory::build(self.space.clone(), self.m, |b| {
+                    method.disk_of(b.as_slice())
+                });
+                (method.name().to_owned(), dir)
+            })
+            .collect()
+    }
+
+    fn multiuser_engines(&self) -> Vec<(String, MultiUserEngine)> {
+        let dirs = self.multiuser_dirs();
+        let _build = self.obs.time_phase("multiuser.build_ms");
+        dirs.into_iter()
+            .map(|(name, dir)| {
+                let engine = MultiUserEngine::new(&dir);
+                (name, engine)
+            })
+            .collect()
+    }
+
+    /// One shared near-square query stream of `area`, generated before
+    /// any fan-out so every method and every load level replays the
+    /// identical queries.
+    fn shared_regions(&self, area: u64) -> Result<Vec<BucketRegion>> {
+        let sides = rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
+            SimError::QueryDoesNotFit {
+                extents: vec![area as u32],
+                dims: self.space.dims().to_vec(),
+            }
+        })?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.queries_per_point)
+            .map(|_| random_region(&mut rng, &self.space, &sides))
+            .collect()
+    }
+
+    /// **Multi-user throughput grid (extension).** Closed-loop throughput
+    /// per method as the client count grows: every `(client count,
+    /// method)` cell replays the same query stream of near-square
+    /// queries of `area` through that method's [`MultiUserEngine`].
+    /// Cells run on the deterministic parallel executor, one reusable
+    /// [`LoopScratch`] per worker, so results are bit-identical for any
+    /// thread count.
+    ///
+    /// The returned [`SweepResult`] has client counts on the x-axis,
+    /// throughput (queries/s) as each series' means, per-cell latency
+    /// summaries, and as `optimal` the ideal-spread service bound: `M`
+    /// disks continuously busy, every page at the minimum per-page cost.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no client counts;
+    /// [`SimError::QueryDoesNotFit`] as above.
+    ///
+    /// # Panics
+    /// Panics if any client count is zero.
+    pub fn run_multiuser_grid(
+        &self,
+        params: &DiskParams,
+        clients: &[usize],
+        area: u64,
+    ) -> Result<SweepResult> {
+        if clients.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        assert!(
+            clients.iter().all(|&c| c > 0),
+            "closed loop needs at least one client"
+        );
+        let regions = self.shared_regions(area)?;
+        let engines = self.multiuser_engines();
+        let nm = engines.len();
+        let cells = run_indexed_with(
+            self.effective_threads(),
+            clients.len() * nm,
+            &self.obs,
+            LoopScratch::new,
+            |i, ls| {
+                let report = engines[i % nm].1.closed_loop_obs(
+                    params,
+                    &regions,
+                    clients[i / nm],
+                    &self.obs,
+                    ls,
+                );
+                (report.throughput_qps, report.latency)
+            },
+        );
+        let per_page_ms = params.min_seek_ms + params.rotational_latency_ms + params.transfer_ms;
+        let bound_qps = 1000.0 * f64::from(self.m) / (area as f64 * per_page_ms);
+        let mut series: Vec<MethodSeries> = engines
+            .iter()
+            .map(|(name, _)| MethodSeries::new(name.clone(), clients.len()))
+            .collect();
+        for (i, (qps, latency)) in cells.into_iter().enumerate() {
+            let (ci, mi) = (i / nm, i % nm);
+            series[mi].means[ci] = qps;
+            series[mi].summaries[ci] = latency;
+        }
+        Ok(SweepResult {
+            title: format!(
+                "Multi-user closed loop: throughput (q/s) vs clients at query area {} (grid {:?}, M={})",
+                area,
+                self.space.dims(),
+                self.m
+            ),
+            xlabel: "clients".into(),
+            xs: clients.iter().map(|&c| c as f64).collect(),
+            optimal: vec![bound_qps; clients.len()],
+            series,
+        })
+    }
+
+    /// **Open-loop load sweep (extension).** The classic latency-vs-load
+    /// curves over the same engines and query stream as
+    /// [`Experiment::run_multiuser_grid`]: Poisson arrivals at each rate
+    /// (same draws for every method), fanned over the deterministic
+    /// executor with the experiment's thread setting.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no rates;
+    /// [`SimError::QueryDoesNotFit`] as above.
+    pub fn run_load_sweep(
+        &self,
+        params: &DiskParams,
+        rates_qps: &[f64],
+        area: u64,
+    ) -> Result<Vec<LoadPoint>> {
+        if rates_qps.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        let regions = self.shared_regions(area)?;
+        let named = self.multiuser_dirs();
+        let dirs: Vec<(&str, &GridDirectory)> = named
+            .iter()
+            .map(|(name, dir)| (name.as_str(), dir))
+            .collect();
+        Ok(load_sweep_with_threads(
+            &dirs,
+            params,
+            &regions,
+            rates_qps,
+            self.seed,
+            self.effective_threads(),
+        ))
+    }
+
     /// **Partial-match table.** Mean RT per method for partial-match
     /// queries with 1, 2, … `k − 1` unspecified attributes (sampled), plus
     /// point queries at x = 0.
@@ -809,6 +972,82 @@ mod tests {
                 .run_fault_workload(16, &FaultSchedule::healthy(4), &RetryPolicy::default())
                 .unwrap_err(),
             SimError::ScheduleMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn multiuser_grid_reports_all_methods_under_the_bound() {
+        let r = experiment()
+            .run_multiuser_grid(&DiskParams::default(), &[1, 4, 8], 16)
+            .unwrap();
+        assert_eq!(r.xs, vec![1.0, 4.0, 8.0]);
+        let names: Vec<&str> = r.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["DM", "FX", "ECC", "HCAM"]);
+        for s in &r.series {
+            for (&qps, &bound) in s.means.iter().zip(&r.optimal) {
+                assert!(qps.is_finite() && qps > 0.0, "{}", s.name);
+                assert!(qps <= bound + 1e-9, "{} {qps} above bound {bound}", s.name);
+            }
+            // More clients never hurt makespan-derived throughput here.
+            assert!(s.means[2] >= s.means[0] - 1e-9, "{}", s.name);
+        }
+        assert!(matches!(
+            experiment()
+                .run_multiuser_grid(&DiskParams::default(), &[], 16)
+                .unwrap_err(),
+            SimError::EmptySweep
+        ));
+    }
+
+    #[test]
+    fn multiuser_grid_is_thread_count_invariant() {
+        let params = DiskParams::default();
+        let base = experiment()
+            .with_threads(1)
+            .run_multiuser_grid(&params, &[1, 2, 4, 8], 16)
+            .unwrap();
+        for threads in [2, 8, 0] {
+            let other = experiment()
+                .with_threads(threads)
+                .run_multiuser_grid(&params, &[1, 2, 4, 8], 16)
+                .unwrap();
+            assert_eq!(base.xs, other.xs);
+            for (a, b) in base.series.iter().zip(&other.series) {
+                assert_eq!(a.name, b.name);
+                for (x, y) in a.means.iter().zip(&b.means) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{} at {threads} threads", a.name);
+                }
+                assert_eq!(a.summaries, b.summaries);
+            }
+        }
+    }
+
+    #[test]
+    fn experiment_load_sweep_is_thread_count_invariant() {
+        let params = DiskParams::default();
+        let rates = [5.0, 50.0, 500.0];
+        let base = experiment()
+            .with_threads(1)
+            .run_load_sweep(&params, &rates, 16)
+            .unwrap();
+        assert_eq!(base.len(), 3);
+        for threads in [4, 0] {
+            let other = experiment()
+                .with_threads(threads)
+                .run_load_sweep(&params, &rates, 16)
+                .unwrap();
+            for (a, b) in base.iter().zip(&other) {
+                assert_eq!(a.rate_qps.to_bits(), b.rate_qps.to_bits());
+                for (ma, mb) in a.methods.iter().zip(&b.methods) {
+                    assert_eq!(ma.0, mb.0);
+                    assert_eq!(ma.1.to_bits(), mb.1.to_bits());
+                    assert_eq!(ma.2.to_bits(), mb.2.to_bits());
+                }
+            }
+        }
+        assert!(matches!(
+            experiment().run_load_sweep(&params, &[], 16).unwrap_err(),
+            SimError::EmptySweep
         ));
     }
 

@@ -616,8 +616,11 @@ pub fn simulate_rebuild(
 /// progress counters (`rebuild.pages`, `rebuild.chunks`,
 /// `rebuild.interleaved_chunks`, `rebuild.drained_chunks`) plus
 /// `rebuild_start` / `rebuild_done` trace events, and runs the healthy
-/// baseline loop through [`crate::run_closed_loop_obs`] so its
-/// `multiuser.*` metrics land in the same snapshot.
+/// baseline through the position-model closed loop so its `multiuser.*`
+/// metrics land in the same snapshot. Rebuild stays entirely on the
+/// position model (page identities matter here: the source disk replays
+/// the failed disk's replica pages interleaved with its own), so both
+/// sides of the interference ratio use the same elevator accounting.
 ///
 /// # Errors
 /// As [`simulate_rebuild`].
@@ -663,11 +666,13 @@ pub fn simulate_rebuild_obs(
         );
     }
 
-    let healthy = crate::run_closed_loop_obs(dir, params, queries, clients, obs);
+    let healthy =
+        crate::multiuser::run_closed_loop_positions_obs(dir, params, queries, clients, obs);
 
     // Degraded closed loop: the failed disk's batches are redirected to
     // the source, which also interleaves one rebuild chunk before each
     // foreground batch it serves.
+    let mut plan = decluster_grid::IoPlan::new();
     let mut disk_free_at = vec![0.0f64; m];
     let mut clients_ready = vec![0.0f64; clients];
     let mut makespan: f64 = 0.0;
@@ -680,16 +685,22 @@ pub fn simulate_rebuild_obs(
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
             .expect("clients > 0");
         let issue_at = clients_ready[slot];
-        let mut plan = dir.io_plan(region);
-        // Chained failover: the failed disk's pages move to the source.
-        let moved = std::mem::take(&mut plan[failed as usize]);
-        if !moved.is_empty() {
-            plan[source].extend(moved);
-            plan[source].sort_unstable();
-        }
+        dir.io_plan_into(region, &mut plan);
         let mut completion = issue_at;
-        for (d, pages) in plan.iter().enumerate() {
-            if pages.is_empty() {
+        for d in 0..m {
+            // Chained failover: the failed disk's pages move to the
+            // source, which serves them merged with its own in one
+            // elevator pass (both runs are sorted).
+            if d == failed as usize && d != source {
+                continue;
+            }
+            let pages = plan.disk_pages(d);
+            let moved = if d == source && d != failed as usize {
+                plan.disk_pages(failed as usize)
+            } else {
+                &[]
+            };
+            if pages.is_empty() && moved.is_empty() {
                 continue;
             }
             let mut start = issue_at.max(disk_free_at[d]);
@@ -698,7 +709,7 @@ pub fn simulate_rebuild_obs(
                 start += chunk_ms;
                 chunks_left -= 1;
             }
-            let service = params.batch_ms(pages, loads[d]);
+            let service = params.batch_ms_merged(pages, moved, loads[d]);
             disk_free_at[d] = start + service;
             completion = completion.max(start + service);
         }

@@ -57,9 +57,10 @@ pub use faults::{
     RetryPolicy,
 };
 pub use multiuser::{
-    load_sweep, poisson_arrivals, run_closed_loop, run_closed_loop_degraded,
-    run_closed_loop_degraded_obs, run_closed_loop_obs, run_open_loop, run_open_loop_obs,
-    DegradedMultiUserReport, LoadPoint, MultiUserReport,
+    load_sweep, load_sweep_with_threads, poisson_arrivals, run_closed_loop,
+    run_closed_loop_degraded, run_closed_loop_degraded_obs, run_closed_loop_obs, run_open_loop,
+    run_open_loop_obs, DegradedMultiUserReport, LoadPoint, LoopScratch, MultiUserEngine,
+    MultiUserReport,
 };
 #[allow(deprecated)]
 pub use report::{

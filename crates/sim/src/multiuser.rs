@@ -8,44 +8,79 @@
 //! its slowest batch does. Declustering quality shows up as throughput:
 //! methods that spread each query thinly across disks keep all spindles
 //! busy and finish the workload sooner.
+//!
+//! # The counts fast path
+//!
+//! None of the loops here ever look at page *identities* — FCFS queueing
+//! needs only "how many pages must disk `d` fetch", which is exactly what
+//! the [`PlanCounts`] kernel answers in `O(M · 2^k)` per query. The
+//! [`MultiUserEngine`] caches that kernel per directory and runs every
+//! loop allocation-free through a caller-owned [`LoopScratch`]; batch
+//! service times come from [`DiskParams::batch_ms_counts`]. Consumers
+//! that do need page positions (the rebuild replay in
+//! [`crate::faults`]) use the flat [`IoPlan`] arena and the position
+//! model instead — see `run_closed_loop_positions_obs`.
 
 use crate::faults::{DiskState, FaultSchedule, RetryPolicy};
 use crate::{DiskParams, Result, SimError, Summary};
-use decluster_grid::{BucketRegion, GridDirectory};
-use decluster_obs::{Obs, TraceEvent};
+use decluster_grid::{BucketRegion, GridDirectory, IoPlan};
+use decluster_methods::{PlanCounts, Scratch};
+use decluster_obs::{CounterHandle, GaugeHandle, HistogramHandle, Obs, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Records the shared closed/open-loop metrics. Everything here is
+/// Pre-interned handles for the shared closed/open-loop metrics: every
+/// name is formatted and resolved once per run, never inside the
+/// per-query or per-disk recording loops. Everything recorded here is
 /// derived from simulated (logical) milliseconds and counts, so the
 /// deterministic sections stay bit-identical across runs; only the
-/// sub-millisecond float rounding is quantized (to microseconds for
-/// busy time, milliseconds for latencies).
-fn record_loop_metrics(
-    obs: &Obs,
-    prefix: &str,
-    queries: usize,
-    batches: u64,
-    queued_batches: u64,
-    disk_busy_ms: &[f64],
-    latencies: &[f64],
-) {
-    obs.counter_add(&format!("{prefix}.queries"), queries as u64);
-    obs.counter_add(&format!("{prefix}.batches"), batches);
-    obs.counter_add(&format!("{prefix}.queued_batches"), queued_batches);
-    for (d, &busy) in disk_busy_ms.iter().enumerate() {
-        obs.counter_add(
-            &format!("{prefix}.disk{d:02}.busy_us"),
-            (busy * 1000.0).round() as u64,
-        );
+/// sub-millisecond float rounding is quantized (to microseconds for busy
+/// time, milliseconds for latencies).
+struct LoopMeters {
+    queries: CounterHandle,
+    batches: CounterHandle,
+    queued_batches: CounterHandle,
+    disk_busy_us: Vec<CounterHandle>,
+    latency_ms: HistogramHandle,
+    max_latency_ms: GaugeHandle,
+}
+
+impl LoopMeters {
+    fn new(obs: &Obs, prefix: &str, m: usize) -> Self {
+        LoopMeters {
+            queries: obs.counter_handle(&format!("{prefix}.queries")),
+            batches: obs.counter_handle(&format!("{prefix}.batches")),
+            queued_batches: obs.counter_handle(&format!("{prefix}.queued_batches")),
+            disk_busy_us: (0..m)
+                .map(|d| obs.counter_handle(&format!("{prefix}.disk{d:02}.busy_us")))
+                .collect(),
+            latency_ms: obs.histogram_handle(&format!("{prefix}.latency_ms")),
+            max_latency_ms: obs.gauge_handle(&format!("{prefix}.max_latency_ms")),
+        }
     }
-    let mut max_latency = 0u64;
-    for &l in latencies {
-        let ms = l.round() as u64;
-        obs.observe(&format!("{prefix}.latency_ms"), ms);
-        max_latency = max_latency.max(ms);
+
+    fn record(
+        &self,
+        queries: usize,
+        batches: u64,
+        queued_batches: u64,
+        disk_busy_ms: &[f64],
+        latencies: &[f64],
+    ) {
+        self.queries.add(queries as u64);
+        self.batches.add(batches);
+        self.queued_batches.add(queued_batches);
+        for (handle, &busy) in self.disk_busy_us.iter().zip(disk_busy_ms) {
+            handle.add((busy * 1000.0).round() as u64);
+        }
+        let mut max_latency = 0u64;
+        for &l in latencies {
+            let ms = l.round() as u64;
+            self.latency_ms.observe(ms);
+            max_latency = max_latency.max(ms);
+        }
+        self.max_latency_ms.max(max_latency);
     }
-    obs.gauge_max(&format!("{prefix}.max_latency_ms"), max_latency);
 }
 
 /// Aggregate results of one closed-loop run.
@@ -65,12 +100,413 @@ pub struct MultiUserReport {
     pub utilization: f64,
 }
 
+fn assemble_report(
+    queries: usize,
+    clients: usize,
+    makespan: f64,
+    m: usize,
+    disk_busy_ms: &[f64],
+    latencies: &[f64],
+) -> MultiUserReport {
+    let throughput_qps = if makespan > 0.0 {
+        queries as f64 / (makespan / 1000.0)
+    } else {
+        0.0
+    };
+    let utilization = if makespan > 0.0 && m > 0 {
+        disk_busy_ms.iter().sum::<f64>() / (makespan * m as f64)
+    } else {
+        0.0
+    };
+    MultiUserReport {
+        queries,
+        clients,
+        makespan_ms: makespan,
+        throughput_qps,
+        latency: Summary::of(latencies),
+        utilization,
+    }
+}
+
+/// Reusable per-run buffers for the multi-user loops: the kernel
+/// [`Scratch`] (plan cache + accumulators), the per-query count
+/// histogram, and the queue/latency state vectors. One instance per
+/// worker thread makes every loop allocation-free per query once the
+/// buffers have grown to the working-set size.
+#[derive(Debug, Default)]
+pub struct LoopScratch {
+    scratch: Scratch,
+    hist: Vec<u64>,
+    disk_free_at: Vec<f64>,
+    disk_busy_ms: Vec<f64>,
+    latencies: Vec<f64>,
+    ready: BinaryHeap<Reverse<OrderedF64>>,
+}
+
+impl LoopScratch {
+    /// Fresh (empty) buffers; they grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, m: usize, queries: usize) {
+        self.disk_free_at.clear();
+        self.disk_free_at.resize(m, 0.0);
+        self.disk_busy_ms.clear();
+        self.disk_busy_ms.resize(m, 0.0);
+        self.latencies.clear();
+        self.latencies.reserve(queries);
+        self.ready.clear();
+    }
+}
+
+/// A directory's multi-user simulation engine: the cached [`PlanCounts`]
+/// kernel plus the static load vector. Build once per directory (the
+/// kernel build walks the grid once), then run any number of closed-loop,
+/// open-loop, or degraded workloads against it — each query costs
+/// `O(M · 2^k)` kernel lookups and zero heap allocations.
+///
+/// The engine is immutable and `Sync`: parallel sweeps share one engine
+/// per method across worker threads, each worker carrying its own
+/// [`LoopScratch`].
+#[derive(Clone, Debug)]
+pub struct MultiUserEngine {
+    counts: PlanCounts,
+    loads: Vec<u64>,
+}
+
+impl MultiUserEngine {
+    /// Builds the count kernel for `dir` and snapshots its load vector.
+    pub fn new(dir: &GridDirectory) -> Self {
+        MultiUserEngine {
+            counts: PlanCounts::build(dir),
+            loads: dir.load_vector(),
+        }
+    }
+
+    /// Disks (`M`).
+    pub fn num_disks(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether queries are served by the prefix-sum kernel (false means
+    /// the grid was too large for a table and the engine walks buckets).
+    pub fn kernel_backed(&self) -> bool {
+        self.counts.kernel_backed()
+    }
+
+    /// Closed-loop run against this engine; see [`run_closed_loop`].
+    ///
+    /// # Panics
+    /// Panics if `clients == 0`.
+    pub fn closed_loop_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        clients: usize,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> MultiUserReport {
+        assert!(clients > 0, "closed loop needs at least one client");
+        let record = obs.enabled();
+        let meters = record.then(|| LoopMeters::new(obs, "multiuser", self.loads.len()));
+        let m = self.loads.len();
+        ls.begin(m, queries.len());
+        let mut makespan: f64 = 0.0;
+        let mut batches = 0u64;
+        let mut queued_batches = 0u64;
+        for _ in 0..clients {
+            ls.ready.push(Reverse(OrderedF64(0.0)));
+        }
+
+        for region in queries {
+            let Reverse(OrderedF64(issue_at)) = ls.ready.pop().expect("clients > 0");
+            self.counts
+                .counts_into(region, &mut ls.scratch, &mut ls.hist);
+            let mut completion = issue_at;
+            for (d, &count) in ls.hist.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let start = issue_at.max(ls.disk_free_at[d]);
+                let service = params.batch_ms_counts(count, self.loads[d]);
+                ls.disk_free_at[d] = start + service;
+                ls.disk_busy_ms[d] += service;
+                completion = completion.max(start + service);
+                if record {
+                    batches += 1;
+                    if start > issue_at {
+                        queued_batches += 1;
+                    }
+                }
+            }
+            ls.latencies.push(completion - issue_at);
+            makespan = makespan.max(completion);
+            ls.ready.push(Reverse(OrderedF64(completion)));
+        }
+
+        if let Some(meters) = &meters {
+            meters.record(
+                queries.len(),
+                batches,
+                queued_batches,
+                &ls.disk_busy_ms,
+                &ls.latencies,
+            );
+        }
+        let report = assemble_report(
+            queries.len(),
+            clients,
+            makespan,
+            m,
+            &ls.disk_busy_ms,
+            &ls.latencies,
+        );
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("closed_loop_done")
+                    .with("queries", queries.len())
+                    .with("clients", clients)
+                    .with("makespan_ms", report.makespan_ms)
+                    .with("utilization", report.utilization),
+            );
+        }
+        report
+    }
+
+    /// Open-loop run against this engine; see [`run_open_loop`].
+    ///
+    /// # Panics
+    /// As [`run_open_loop`].
+    pub fn open_loop_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> MultiUserReport {
+        assert!(
+            arrivals_ms.len() >= queries.len(),
+            "need one arrival time per query"
+        );
+        assert!(
+            arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be non-decreasing"
+        );
+        let record = obs.enabled();
+        let meters = record.then(|| LoopMeters::new(obs, "openloop", self.loads.len()));
+        let m = self.loads.len();
+        ls.begin(m, queries.len());
+        let mut makespan: f64 = 0.0;
+        let mut batches = 0u64;
+        let mut queued_batches = 0u64;
+
+        for (region, &issue_at) in queries.iter().zip(arrivals_ms) {
+            self.counts
+                .counts_into(region, &mut ls.scratch, &mut ls.hist);
+            let mut completion = issue_at;
+            for (d, &count) in ls.hist.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let start = issue_at.max(ls.disk_free_at[d]);
+                let service = params.batch_ms_counts(count, self.loads[d]);
+                ls.disk_free_at[d] = start + service;
+                ls.disk_busy_ms[d] += service;
+                completion = completion.max(start + service);
+                if record {
+                    batches += 1;
+                    if start > issue_at {
+                        queued_batches += 1;
+                    }
+                }
+            }
+            ls.latencies.push(completion - issue_at);
+            makespan = makespan.max(completion);
+        }
+
+        if let Some(meters) = &meters {
+            meters.record(
+                queries.len(),
+                batches,
+                queued_batches,
+                &ls.disk_busy_ms,
+                &ls.latencies,
+            );
+        }
+        // Open loop: unbounded concurrency, reported as 0 clients.
+        let report = assemble_report(
+            queries.len(),
+            0,
+            makespan,
+            m,
+            &ls.disk_busy_ms,
+            &ls.latencies,
+        );
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("open_loop_done")
+                    .with("queries", queries.len())
+                    .with("makespan_ms", report.makespan_ms)
+                    .with("utilization", report.utilization),
+            );
+        }
+        report
+    }
+
+    /// Degraded closed-loop run against this engine; see
+    /// [`run_closed_loop_degraded`].
+    ///
+    /// # Errors
+    /// [`SimError::ScheduleMismatch`] when the schedule's disk count
+    /// differs from the engine's.
+    ///
+    /// # Panics
+    /// Panics if `clients == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn degraded_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        clients: usize,
+        schedule: &FaultSchedule,
+        policy: &RetryPolicy,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> Result<DegradedMultiUserReport> {
+        assert!(clients > 0, "closed loop needs at least one client");
+        let m = self.loads.len();
+        if schedule.num_disks() as usize != m {
+            return Err(SimError::ScheduleMismatch {
+                schedule_disks: schedule.num_disks(),
+                experiment_disks: m as u32,
+            });
+        }
+        let record = obs.enabled();
+        let meters = record.then(|| LoopMeters::new(obs, "multiuser_degraded", m));
+        let timeout_ms = policy.detection_units() as f64 * params.transfer_ms;
+        ls.begin(m, queries.len());
+        let mut makespan: f64 = 0.0;
+        let mut unavailable = 0usize;
+        let mut failover_batches = 0usize;
+        let mut batches = 0u64;
+        let mut queued_batches = 0u64;
+        for _ in 0..clients {
+            ls.ready.push(Reverse(OrderedF64(0.0)));
+        }
+
+        for (i, region) in queries.iter().enumerate() {
+            let t = i as u64;
+            let Reverse(OrderedF64(issue_at)) = ls.ready.pop().expect("clients > 0");
+            self.counts
+                .counts_into(region, &mut ls.scratch, &mut ls.hist);
+            // Availability first: abandon (don't half-schedule) a query
+            // whose down disk has a down chain successor.
+            let lost = ls.hist.iter().enumerate().any(|(d, &count)| {
+                count > 0
+                    && !schedule.state_at(d as u32, t).is_live()
+                    && !schedule.state_at(((d + 1) % m) as u32, t).is_live()
+            });
+            if lost {
+                unavailable += 1;
+                ls.ready.push(Reverse(OrderedF64(issue_at)));
+                continue;
+            }
+            let mut completion = issue_at;
+            for (d, &count) in ls.hist.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                match schedule.state_at(d as u32, t) {
+                    state @ (DiskState::Up | DiskState::Slow(_)) => {
+                        let start = issue_at.max(ls.disk_free_at[d]);
+                        let service =
+                            params.batch_ms_counts(count, self.loads[d]) * state.latency_factor();
+                        ls.disk_free_at[d] = start + service;
+                        ls.disk_busy_ms[d] += service;
+                        completion = completion.max(start + service);
+                        if record {
+                            batches += 1;
+                            if start > issue_at {
+                                queued_batches += 1;
+                            }
+                        }
+                    }
+                    DiskState::Down => {
+                        let b = (d + 1) % m;
+                        let backup_state = schedule.state_at(b as u32, t);
+                        let start = (issue_at + timeout_ms).max(ls.disk_free_at[b]);
+                        let service = params.batch_ms_counts(count, self.loads[b])
+                            * backup_state.latency_factor();
+                        ls.disk_free_at[b] = start + service;
+                        ls.disk_busy_ms[b] += service;
+                        completion = completion.max(start + service);
+                        failover_batches += 1;
+                        if record {
+                            batches += 1;
+                            if start > issue_at + timeout_ms {
+                                queued_batches += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            ls.latencies.push(completion - issue_at);
+            makespan = makespan.max(completion);
+            ls.ready.push(Reverse(OrderedF64(completion)));
+        }
+
+        let served = ls.latencies.len();
+        if let Some(meters) = &meters {
+            meters.record(
+                served,
+                batches,
+                queued_batches,
+                &ls.disk_busy_ms,
+                &ls.latencies,
+            );
+            obs.counter_add("multiuser_degraded.unavailable", unavailable as u64);
+            obs.counter_add(
+                "multiuser_degraded.failover_batches",
+                failover_batches as u64,
+            );
+        }
+        let report = assemble_report(
+            served,
+            clients,
+            makespan,
+            m,
+            &ls.disk_busy_ms,
+            &ls.latencies,
+        );
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("degraded_loop_done")
+                    .with("served", served)
+                    .with("unavailable", unavailable)
+                    .with("failover_batches", failover_batches)
+                    .with("makespan_ms", report.makespan_ms),
+            );
+        }
+        Ok(DegradedMultiUserReport {
+            report,
+            served,
+            unavailable,
+            failover_batches,
+        })
+    }
+}
+
 /// Runs a closed-loop workload: `clients` users repeatedly take the next
 /// query from `queries` (in order), waiting for their previous query to
 /// finish first. Returns aggregate throughput/latency/utilization.
 ///
 /// Deterministic: the only inputs are the directory, the disk parameters,
-/// and the query order.
+/// and the query order. Convenience wrapper that builds a
+/// [`MultiUserEngine`] per call — sweeps should build the engine once and
+/// reuse it.
 ///
 /// # Panics
 /// Panics if `clients == 0` (a closed loop needs at least one client).
@@ -95,10 +531,33 @@ pub fn run_closed_loop_obs(
     clients: usize,
     obs: &Obs,
 ) -> MultiUserReport {
+    MultiUserEngine::new(dir).closed_loop_obs(
+        params,
+        queries,
+        clients,
+        obs,
+        &mut LoopScratch::new(),
+    )
+}
+
+/// Position-model closed loop over the flat [`IoPlan`] arena: identical
+/// queueing structure to the engine's counts loop, but batch service
+/// times come from [`DiskParams::batch_ms`] over actual page positions.
+/// The rebuild simulation keeps using this so its healthy baseline and
+/// its degraded replay (both position-based) stay directly comparable.
+pub(crate) fn run_closed_loop_positions_obs(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    clients: usize,
+    obs: &Obs,
+) -> MultiUserReport {
     assert!(clients > 0, "closed loop needs at least one client");
     let record = obs.enabled();
     let m = dir.num_disks() as usize;
+    let meters = record.then(|| LoopMeters::new(obs, "multiuser", m));
     let loads = dir.load_vector();
+    let mut plan = IoPlan::new();
     let mut disk_free_at = vec![0.0f64; m];
     let mut disk_busy_ms = vec![0.0f64; m];
     let mut latencies = Vec::with_capacity(queries.len());
@@ -106,13 +565,12 @@ pub fn run_closed_loop_obs(
     let mut batches = 0u64;
     let mut queued_batches = 0u64;
 
-    // Heap of client-ready times (min-heap via Reverse of ordered bits).
     let mut ready: BinaryHeap<Reverse<OrderedF64>> =
         (0..clients).map(|_| Reverse(OrderedF64(0.0))).collect();
 
     for region in queries {
         let Reverse(OrderedF64(issue_at)) = ready.pop().expect("clients > 0");
-        let plan = dir.io_plan(region);
+        dir.io_plan_into(region, &mut plan);
         let mut completion = issue_at;
         for (d, pages) in plan.iter().enumerate() {
             if pages.is_empty() {
@@ -135,20 +593,8 @@ pub fn run_closed_loop_obs(
         ready.push(Reverse(OrderedF64(completion)));
     }
 
-    let throughput_qps = if makespan > 0.0 {
-        queries.len() as f64 / (makespan / 1000.0)
-    } else {
-        0.0
-    };
-    let utilization = if makespan > 0.0 && m > 0 {
-        disk_busy_ms.iter().sum::<f64>() / (makespan * m as f64)
-    } else {
-        0.0
-    };
-    if record {
-        record_loop_metrics(
-            obs,
-            "multiuser",
+    if let Some(meters) = &meters {
+        meters.record(
             queries.len(),
             batches,
             queued_batches,
@@ -156,23 +602,24 @@ pub fn run_closed_loop_obs(
             &latencies,
         );
     }
+    let report = assemble_report(
+        queries.len(),
+        clients,
+        makespan,
+        m,
+        &disk_busy_ms,
+        &latencies,
+    );
     if obs.trace_enabled() {
         obs.emit(
             TraceEvent::new("closed_loop_done")
                 .with("queries", queries.len())
                 .with("clients", clients)
-                .with("makespan_ms", makespan)
-                .with("utilization", utilization),
+                .with("makespan_ms", report.makespan_ms)
+                .with("utilization", report.utilization),
         );
     }
-    MultiUserReport {
-        queries: queries.len(),
-        clients,
-        makespan_ms: makespan,
-        throughput_qps,
-        latency: Summary::of(&latencies),
-        utilization,
-    }
+    report
 }
 
 /// A [`MultiUserReport`] plus the fault accounting of a degraded run.
@@ -247,136 +694,15 @@ pub fn run_closed_loop_degraded_obs(
     policy: &RetryPolicy,
     obs: &Obs,
 ) -> Result<DegradedMultiUserReport> {
-    assert!(clients > 0, "closed loop needs at least one client");
-    if schedule.num_disks() != dir.num_disks() {
-        return Err(SimError::ScheduleMismatch {
-            schedule_disks: schedule.num_disks(),
-            experiment_disks: dir.num_disks(),
-        });
-    }
-    let record = obs.enabled();
-    let m = dir.num_disks() as usize;
-    let loads = dir.load_vector();
-    let timeout_ms = policy.detection_units() as f64 * params.transfer_ms;
-    let mut disk_free_at = vec![0.0f64; m];
-    let mut disk_busy_ms = vec![0.0f64; m];
-    let mut latencies = Vec::with_capacity(queries.len());
-    let mut makespan: f64 = 0.0;
-    let mut unavailable = 0usize;
-    let mut failover_batches = 0usize;
-    let mut batches = 0u64;
-    let mut queued_batches = 0u64;
-
-    let mut ready: BinaryHeap<Reverse<OrderedF64>> =
-        (0..clients).map(|_| Reverse(OrderedF64(0.0))).collect();
-
-    for (i, region) in queries.iter().enumerate() {
-        let t = i as u64;
-        let Reverse(OrderedF64(issue_at)) = ready.pop().expect("clients > 0");
-        let plan = dir.io_plan(region);
-        // Availability first: abandon (don't half-schedule) a query whose
-        // down disk has a down chain successor.
-        let lost = plan.iter().enumerate().any(|(d, pages)| {
-            !pages.is_empty()
-                && !schedule.state_at(d as u32, t).is_live()
-                && !schedule.state_at(((d + 1) % m) as u32, t).is_live()
-        });
-        if lost {
-            unavailable += 1;
-            ready.push(Reverse(OrderedF64(issue_at)));
-            continue;
-        }
-        let mut completion = issue_at;
-        for (d, pages) in plan.iter().enumerate() {
-            if pages.is_empty() {
-                continue;
-            }
-            match schedule.state_at(d as u32, t) {
-                state @ (DiskState::Up | DiskState::Slow(_)) => {
-                    let start = issue_at.max(disk_free_at[d]);
-                    let service = params.batch_ms(pages, loads[d]) * state.latency_factor();
-                    disk_free_at[d] = start + service;
-                    disk_busy_ms[d] += service;
-                    completion = completion.max(start + service);
-                    if record {
-                        batches += 1;
-                        if start > issue_at {
-                            queued_batches += 1;
-                        }
-                    }
-                }
-                DiskState::Down => {
-                    let b = (d + 1) % m;
-                    let backup_state = schedule.state_at(b as u32, t);
-                    let start = (issue_at + timeout_ms).max(disk_free_at[b]);
-                    let service = params.batch_ms(pages, loads[b]) * backup_state.latency_factor();
-                    disk_free_at[b] = start + service;
-                    disk_busy_ms[b] += service;
-                    completion = completion.max(start + service);
-                    failover_batches += 1;
-                    if record {
-                        batches += 1;
-                        if start > issue_at + timeout_ms {
-                            queued_batches += 1;
-                        }
-                    }
-                }
-            }
-        }
-        latencies.push(completion - issue_at);
-        makespan = makespan.max(completion);
-        ready.push(Reverse(OrderedF64(completion)));
-    }
-
-    let served = latencies.len();
-    let throughput_qps = if makespan > 0.0 {
-        served as f64 / (makespan / 1000.0)
-    } else {
-        0.0
-    };
-    let utilization = if makespan > 0.0 && m > 0 {
-        disk_busy_ms.iter().sum::<f64>() / (makespan * m as f64)
-    } else {
-        0.0
-    };
-    if record {
-        record_loop_metrics(
-            obs,
-            "multiuser_degraded",
-            served,
-            batches,
-            queued_batches,
-            &disk_busy_ms,
-            &latencies,
-        );
-        obs.counter_add("multiuser_degraded.unavailable", unavailable as u64);
-        obs.counter_add(
-            "multiuser_degraded.failover_batches",
-            failover_batches as u64,
-        );
-    }
-    if obs.trace_enabled() {
-        obs.emit(
-            TraceEvent::new("degraded_loop_done")
-                .with("served", served)
-                .with("unavailable", unavailable)
-                .with("failover_batches", failover_batches)
-                .with("makespan_ms", makespan),
-        );
-    }
-    Ok(DegradedMultiUserReport {
-        report: MultiUserReport {
-            queries: served,
-            clients,
-            makespan_ms: makespan,
-            throughput_qps,
-            latency: Summary::of(&latencies),
-            utilization,
-        },
-        served,
-        unavailable,
-        failover_batches,
-    })
+    MultiUserEngine::new(dir).degraded_obs(
+        params,
+        queries,
+        clients,
+        schedule,
+        policy,
+        obs,
+        &mut LoopScratch::new(),
+    )
 }
 
 /// Runs an open-loop workload: query `i` is issued at `arrivals_ms[i]`
@@ -410,84 +736,13 @@ pub fn run_open_loop_obs(
     arrivals_ms: &[f64],
     obs: &Obs,
 ) -> MultiUserReport {
-    assert!(
-        arrivals_ms.len() >= queries.len(),
-        "need one arrival time per query"
-    );
-    assert!(
-        arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
-        "arrival times must be non-decreasing"
-    );
-    let record = obs.enabled();
-    let m = dir.num_disks() as usize;
-    let loads = dir.load_vector();
-    let mut disk_free_at = vec![0.0f64; m];
-    let mut disk_busy_ms = vec![0.0f64; m];
-    let mut latencies = Vec::with_capacity(queries.len());
-    let mut makespan: f64 = 0.0;
-    let mut batches = 0u64;
-    let mut queued_batches = 0u64;
-
-    for (region, &issue_at) in queries.iter().zip(arrivals_ms) {
-        let plan = dir.io_plan(region);
-        let mut completion = issue_at;
-        for (d, pages) in plan.iter().enumerate() {
-            if pages.is_empty() {
-                continue;
-            }
-            let start = issue_at.max(disk_free_at[d]);
-            let service = params.batch_ms(pages, loads[d]);
-            disk_free_at[d] = start + service;
-            disk_busy_ms[d] += service;
-            completion = completion.max(start + service);
-            if record {
-                batches += 1;
-                if start > issue_at {
-                    queued_batches += 1;
-                }
-            }
-        }
-        latencies.push(completion - issue_at);
-        makespan = makespan.max(completion);
-    }
-
-    let throughput_qps = if makespan > 0.0 {
-        queries.len() as f64 / (makespan / 1000.0)
-    } else {
-        0.0
-    };
-    let utilization = if makespan > 0.0 && m > 0 {
-        disk_busy_ms.iter().sum::<f64>() / (makespan * m as f64)
-    } else {
-        0.0
-    };
-    if record {
-        record_loop_metrics(
-            obs,
-            "openloop",
-            queries.len(),
-            batches,
-            queued_batches,
-            &disk_busy_ms,
-            &latencies,
-        );
-    }
-    if obs.trace_enabled() {
-        obs.emit(
-            TraceEvent::new("open_loop_done")
-                .with("queries", queries.len())
-                .with("makespan_ms", makespan)
-                .with("utilization", utilization),
-        );
-    }
-    MultiUserReport {
-        queries: queries.len(),
-        clients: 0, // open loop: unbounded concurrency
-        makespan_ms: makespan,
-        throughput_qps,
-        latency: Summary::of(&latencies),
-        utilization,
-    }
+    MultiUserEngine::new(dir).open_loop_obs(
+        params,
+        queries,
+        arrivals_ms,
+        obs,
+        &mut LoopScratch::new(),
+    )
 }
 
 /// One point of a latency-vs-load curve: the offered arrival rate and
@@ -511,23 +766,60 @@ pub fn load_sweep(
     rates_qps: &[f64],
     seed: u64,
 ) -> Vec<LoadPoint> {
+    load_sweep_with_threads(dirs, params, queries, rates_qps, seed, 1)
+}
+
+/// [`load_sweep`] fanned over the deterministic executor: every
+/// `(rate, method)` cell runs as an independent point on up to `threads`
+/// worker threads, each worker carrying its own [`LoopScratch`]. Engines
+/// and arrival draws are built before the fan-out, so the result is
+/// bit-identical for any thread count.
+pub fn load_sweep_with_threads(
+    dirs: &[(&str, &GridDirectory)],
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    rates_qps: &[f64],
+    seed: u64,
+    threads: usize,
+) -> Vec<LoadPoint> {
     use rand::SeedableRng;
-    rates_qps
+    let engines: Vec<MultiUserEngine> = dirs
+        .iter()
+        .map(|(_, dir)| MultiUserEngine::new(dir))
+        .collect();
+    let arrivals: Vec<Vec<f64>> = rates_qps
         .iter()
         .map(|&rate| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let arrivals = poisson_arrivals(&mut rng, queries.len(), rate);
-            let methods = dirs
+            poisson_arrivals(&mut rng, queries.len(), rate)
+        })
+        .collect();
+    let nm = dirs.len();
+    let obs = Obs::disabled();
+    let cells = crate::exec::run_indexed_with(
+        threads,
+        rates_qps.len() * nm,
+        &obs,
+        LoopScratch::new,
+        |i, ls| {
+            let report =
+                engines[i % nm].open_loop_obs(params, queries, &arrivals[i / nm], &obs, ls);
+            (report.latency.mean, report.utilization)
+        },
+    );
+    rates_qps
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| LoadPoint {
+            rate_qps: rate,
+            methods: dirs
                 .iter()
-                .map(|(name, dir)| {
-                    let report = run_open_loop(dir, params, queries, &arrivals);
-                    ((*name).to_owned(), report.latency.mean, report.utilization)
+                .enumerate()
+                .map(|(mi, (name, _))| {
+                    let (latency, utilization) = cells[ri * nm + mi];
+                    ((*name).to_owned(), latency, utilization)
                 })
-                .collect();
-            LoadPoint {
-                rate_qps: rate,
-                methods,
-            }
+                .collect(),
         })
         .collect()
 }
@@ -549,7 +841,7 @@ pub fn poisson_arrivals<R: rand::Rng>(rng: &mut R, n: usize, rate_qps: f64) -> V
 }
 
 /// Total order for finite f64 times (simulation times are never NaN).
-#[derive(PartialEq, PartialOrd)]
+#[derive(Debug, PartialEq, PartialOrd)]
 struct OrderedF64(f64);
 
 impl Eq for OrderedF64 {}
@@ -589,19 +881,57 @@ mod tests {
         v
     }
 
+    /// Count-model response time of a lone query: max over disks of
+    /// `batch_ms_counts` over the I/O plan's group sizes — an
+    /// independent (arena-based) derivation of what the engine's kernel
+    /// path must produce.
+    fn solo_ms(dir: &GridDirectory, params: &DiskParams, region: &BucketRegion) -> f64 {
+        let mut plan = IoPlan::new();
+        dir.io_plan_into(region, &mut plan);
+        let loads = dir.load_vector();
+        plan.iter()
+            .zip(&loads)
+            .map(|(pages, &disk_pages)| params.batch_ms_counts(pages.len() as u64, disk_pages))
+            .fold(0.0, f64::max)
+    }
+
     #[test]
     fn single_client_latency_equals_single_query_time() {
         let space = GridSpace::new_2d(8, 8).unwrap();
         let dm = DiskModulo::new(&space, 4).unwrap();
         let dir = directory(4, &dm, &space);
         let params = DiskParams::default();
-        let io = crate::IoSimulator::new(params);
         let queries = small_squares(&space);
         let report = run_closed_loop(&dir, &params, &queries[..1], 1);
         assert_eq!(report.queries, 1);
-        let expected = io.query_response_ms(&dir, &queries[0]);
+        let expected = solo_ms(&dir, &params, &queries[0]);
         assert!((report.latency.mean - expected).abs() < 1e-9);
         assert!((report.makespan_ms - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_reuse_is_bit_identical_to_fresh_runs() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 8).unwrap();
+        let dir = directory(8, &hcam, &space);
+        let params = DiskParams::default();
+        let queries = small_squares(&space);
+        let engine = MultiUserEngine::new(&dir);
+        assert!(engine.kernel_backed());
+        assert_eq!(engine.num_disks(), 8);
+        let obs = Obs::disabled();
+        let mut ls = LoopScratch::new();
+        // A warm scratch (reused across runs) must not change any bit of
+        // the output relative to one-shot wrapper runs.
+        let _warmup = engine.closed_loop_obs(&params, &queries, 4, &obs, &mut ls);
+        let reused = engine.closed_loop_obs(&params, &queries, 4, &obs, &mut ls);
+        let fresh = run_closed_loop(&dir, &params, &queries, 4);
+        assert_eq!(reused.makespan_ms.to_bits(), fresh.makespan_ms.to_bits());
+        assert_eq!(reused.latency.mean.to_bits(), fresh.latency.mean.to_bits());
+        assert_eq!(
+            reused.throughput_qps.to_bits(),
+            fresh.throughput_qps.to_bits()
+        );
     }
 
     #[test]
@@ -680,14 +1010,13 @@ mod tests {
         let dm = DiskModulo::new(&space, 4).unwrap();
         let dir = directory(4, &dm, &space);
         let params = DiskParams::default();
-        let io = crate::IoSimulator::new(params);
         let queries = small_squares(&space);
         let arrivals: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 1e6).collect();
         let report = run_open_loop(&dir, &params, &queries, &arrivals);
         // Mean latency equals mean solo response time.
         let solo_mean: f64 = queries
             .iter()
-            .map(|q| io.query_response_ms(&dir, q))
+            .map(|q| solo_ms(&dir, &params, q))
             .sum::<f64>()
             / queries.len() as f64;
         assert!((report.latency.mean - solo_mean).abs() < 1e-9);
@@ -734,6 +1063,31 @@ mod tests {
         // least as fast as DM.
         let (dm_lat, hcam_lat) = (points[0].methods[0].1, points[0].methods[1].1);
         assert!(hcam_lat <= dm_lat + 1e-9, "HCAM {hcam_lat} vs DM {dm_lat}");
+    }
+
+    #[test]
+    fn load_sweep_is_thread_count_invariant() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let m = 4;
+        let dm = DiskModulo::new(&space, m).unwrap();
+        let hcam = Hcam::new(&space, m).unwrap();
+        let dir_dm = directory(m, &dm, &space);
+        let dir_hcam = directory(m, &hcam, &space);
+        let dirs: Vec<(&str, &GridDirectory)> = vec![("DM", &dir_dm), ("HCAM", &dir_hcam)];
+        let queries = small_squares(&space);
+        let rates = [1.0, 10.0, 50.0, 200.0];
+        let params = DiskParams::default();
+        let serial = load_sweep_with_threads(&dirs, &params, &queries, &rates, 42, 1);
+        let parallel = load_sweep_with_threads(&dirs, &params, &queries, &rates, 42, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.rate_qps.to_bits(), b.rate_qps.to_bits());
+            for (ma, mb) in a.methods.iter().zip(&b.methods) {
+                assert_eq!(ma.0, mb.0);
+                assert_eq!(ma.1.to_bits(), mb.1.to_bits(), "latency differs");
+                assert_eq!(ma.2.to_bits(), mb.2.to_bits(), "utilization differs");
+            }
+        }
     }
 
     #[test]

@@ -21,8 +21,8 @@ use decluster::obs::{JsonLinesSink, MetricsRecorder, Obs};
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, ShapeSweep, SizeSweep};
 use decluster::sim::{
-    simulate_rebuild_obs, DbSizePoint, DiskParams, FaultEvent, FaultReport, FaultSchedule, Report,
-    ReportFormat, RetryPolicy,
+    simulate_rebuild_obs, DbSizePoint, DiskParams, FaultEvent, FaultReport, FaultSchedule,
+    LoadPoint, LoopScratch, MultiUserEngine, Report, ReportFormat, RetryPolicy, TextTable,
 };
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
@@ -117,13 +117,18 @@ const EXPERIMENTS: &[ExperimentSpec] = &[
         engine: true,
     },
     ExperimentSpec {
+        name: "multiuser",
+        describe: "multi-user closed-loop throughput grid + open-loop load sweep (extension)",
+        engine: true,
+    },
+    ExperimentSpec {
         name: "all",
         describe: "everything above (bench stays opt-in)",
         engine: true,
     },
     ExperimentSpec {
         name: "bench",
-        describe: "kernel-vs-naive RT timing snapshot (writes BENCH_rt.json)",
+        describe: "timing snapshots: RT kernel and multi-user engine (writes BENCH_rt.json, BENCH_multiuser.json)",
         engine: false,
     },
 ];
@@ -354,10 +359,16 @@ fn main() -> ExitCode {
         }
         ran_any = true;
     }
-    // The timing snapshot is opt-in only: its numbers are wall-clock and
-    // so not deterministic, unlike everything `all` emits.
+    if run("multiuser") {
+        emit(&opts, "multiuser", multiuser_grid(&opts));
+        emit_load_sweep(&opts, load_curve(&opts));
+        ran_any = true;
+    }
+    // The timing snapshots are opt-in only: their numbers are wall-clock
+    // and so not deterministic, unlike everything `all` emits.
     if experiment == "bench" {
         println!("{}", bench(&opts));
+        println!("{}", bench_multiuser(&opts));
         ran_any = true;
     }
     if !ran_any {
@@ -736,6 +747,71 @@ fn rebuild_summary(opts: &Opts, schedule: &FaultSchedule) -> String {
     )
 }
 
+/// Client counts of the multi-user closed-loop grid.
+const MULTIUSER_CLIENTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// Offered rates (queries/s) of the open-loop load sweep.
+const MULTIUSER_RATES: [f64; 6] = [10.0, 20.0, 50.0, 100.0, 200.0, 400.0];
+/// Query area of both multi-user workloads (the paper's mid-size query).
+const MULTIUSER_AREA: u64 = 64;
+
+/// Multi-user closed loop (extension): throughput per method as the
+/// client count grows, every cell running the kernel-backed engine over
+/// the deterministic executor.
+fn multiuser_grid(opts: &Opts) -> SweepResult {
+    experiment_2d(opts)
+        .run_multiuser_grid(&DiskParams::default(), &MULTIUSER_CLIENTS, MULTIUSER_AREA)
+        .expect("multiuser configuration is valid")
+}
+
+/// Open-loop latency-vs-load curves over the same engines and queries.
+fn load_curve(opts: &Opts) -> Vec<LoadPoint> {
+    experiment_2d(opts)
+        .run_load_sweep(&DiskParams::default(), &MULTIUSER_RATES, MULTIUSER_AREA)
+        .expect("load sweep configuration is valid")
+}
+
+fn load_sweep_table(points: &[LoadPoint]) -> TextTable {
+    let methods: Vec<String> = points
+        .first()
+        .map(|p| p.methods.iter().map(|(name, _, _)| name.clone()).collect())
+        .unwrap_or_default();
+    TextTable {
+        title: format!(
+            "Open-loop load sweep: mean latency (ms) vs offered load, area-{MULTIUSER_AREA} \
+             queries on {GRID_SIDE}x{GRID_SIDE}, M={DISKS}:"
+        ),
+        headers: std::iter::once("rate qps".to_owned())
+            .chain(methods)
+            .collect(),
+        rows: points
+            .iter()
+            .map(|p| {
+                std::iter::once(format!("{:.0}", p.rate_qps))
+                    .chain(p.methods.iter().map(|(_, lat, _)| format!("{lat:.2}")))
+                    .collect()
+            })
+            .collect(),
+        separator: false,
+    }
+}
+
+fn emit_load_sweep(opts: &Opts, points: Vec<LoadPoint>) {
+    print!("{}", load_sweep_table(&points).render());
+    if let Some(dir) = &opts.csv_dir {
+        let mut csv = String::from("rate_qps,method,mean_latency_ms,utilization\n");
+        for p in &points {
+            for (name, lat, util) in &p.methods {
+                csv.push_str(&format!("{},{name},{lat:.6},{util:.6}\n", p.rate_qps));
+            }
+        }
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(format!("{dir}/loadsweep.csv"), csv))
+        {
+            eprintln!("could not write loadsweep.csv: {e}");
+        }
+    }
+}
+
 /// Ablation (extension): swap HCAM's Hilbert curve for Z-order and a
 /// Gray-coded order; exact mean RT over all placements per shape.
 fn ablation() -> String {
@@ -933,6 +1009,156 @@ fn bench(opts: &Opts) -> String {
             format!("{dir}/BENCH_rt.json")
         }
         None => "BENCH_rt.json".into(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
+    }
+    out
+}
+
+/// Timing snapshot of the multi-user rewire: the closed loop at paper
+/// scale (64×64 grid, M=16, 1000 queries on the E1 area ladder, 8
+/// clients) run once through the pre-rewire data path — one nested
+/// `io_plan` materialization per query, counts taken as group lengths —
+/// and once through the kernel-backed [`MultiUserEngine`]. Both paths
+/// compute the identical service model, so their makespans are asserted
+/// bit-identical and the speedup is a pure data-path win. The kernel
+/// side is split into engine construction (`build_ms`, one grid walk +
+/// prefix-sum table) and the allocation-free loop (`loop_ms`). Writes
+/// `BENCH_multiuser.json` beside `BENCH_rt.json`.
+fn bench_multiuser(opts: &Opts) -> String {
+    use decluster::sim::workload::{random_region, rect_sides_for_area};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    const QUERIES: usize = 1000;
+    const CLIENTS: usize = 8;
+    let space = grid_2d();
+    let params = DiskParams::default();
+    let registry = MethodRegistry::with_seed(SEED);
+    let methods = registry.paper_methods(&space, DISKS);
+
+    let areas = [
+        1u64, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    ];
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let regions: Vec<BucketRegion> = (0..QUERIES)
+        .map(|i| {
+            let sides =
+                rect_sides_for_area(areas[i % areas.len()], space.dims()).expect("area fits");
+            random_region(&mut rng, &space, &sides).expect("placement fits")
+        })
+        .collect();
+
+    // The pre-rewire hot loop: one nested Vec<Vec<u64>> plan allocated
+    // per query, counts read off as group lengths. Same queueing and
+    // service model as the engine, so the outputs must match exactly.
+    #[allow(deprecated)]
+    let naive_closed_loop = |dir: &GridDirectory| -> f64 {
+        let loads = dir.load_vector();
+        let mut disk_free_at = vec![0.0f64; DISKS as usize];
+        let mut clients_ready = [0.0f64; CLIENTS];
+        let mut makespan = 0.0f64;
+        for region in &regions {
+            let (slot, _) = clients_ready
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("clients > 0");
+            let issue_at = clients_ready[slot];
+            let plan = dir.io_plan(region);
+            let mut completion = issue_at;
+            for (d, pages) in plan.iter().enumerate() {
+                if pages.is_empty() {
+                    continue;
+                }
+                let start = issue_at.max(disk_free_at[d]);
+                let service = params.batch_ms_counts(pages.len() as u64, loads[d]);
+                disk_free_at[d] = start + service;
+                completion = completion.max(start + service);
+            }
+            makespan = makespan.max(completion);
+            clients_ready[slot] = completion;
+        }
+        makespan
+    };
+
+    let mut out = format!(
+        "Multi-user bench: closed loop, {QUERIES} queries (E1 areas) on {GRID_SIDE}x{GRID_SIDE}, \
+         M={DISKS}, {CLIENTS} clients\n\
+         {:<6} {:>12} {:>10} {:>10} {:>12} {:>9}\n",
+        "method", "naive ms", "build ms", "loop ms", "kernel ms", "speedup"
+    );
+    let mut per_method = Vec::new();
+    let (mut naive_total, mut build_total, mut loop_total) = (0.0f64, 0.0f64, 0.0f64);
+    let obs = Obs::disabled();
+    let mut ls = LoopScratch::new();
+    for method in &methods {
+        let dir = GridDirectory::build(space.clone(), DISKS, |b| method.disk_of(b.as_slice()));
+
+        let t = Instant::now();
+        let naive_makespan = naive_closed_loop(&dir);
+        let naive_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let engine = MultiUserEngine::new(&dir);
+        let build_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(engine.kernel_backed(), "paper scale admits a kernel");
+
+        let t = Instant::now();
+        let report = engine.closed_loop_obs(&params, &regions, CLIENTS, &obs, &mut ls);
+        let loop_ms = t.elapsed().as_secs_f64() * 1e3;
+        let kernel_ms = build_ms + loop_ms;
+
+        assert_eq!(
+            naive_makespan.to_bits(),
+            report.makespan_ms.to_bits(),
+            "engine disagrees with the materialized-plan loop"
+        );
+        let speedup = naive_ms / kernel_ms.max(1e-9);
+        out.push_str(&format!(
+            "{:<6} {:>12.3} {:>10.3} {:>10.3} {:>12.3} {:>8.1}x\n",
+            method.name(),
+            naive_ms,
+            build_ms,
+            loop_ms,
+            kernel_ms,
+            speedup
+        ));
+        per_method.push(format!(
+            "    {{\"method\": \"{}\", \"naive_ms\": {naive_ms:.3}, \"build_ms\": {build_ms:.3}, \
+             \"loop_ms\": {loop_ms:.3}, \"kernel_ms\": {kernel_ms:.3}, \"speedup\": {speedup:.2}}}",
+            method.name()
+        ));
+        naive_total += naive_ms;
+        build_total += build_ms;
+        loop_total += loop_ms;
+    }
+    let kernel_total = build_total + loop_total;
+    let speedup = naive_total / kernel_total.max(1e-9);
+    out.push_str(&format!(
+        "{:<6} {:>12.3} {:>10.3} {:>10.3} {:>12.3} {:>8.1}x\n",
+        "TOTAL", naive_total, build_total, loop_total, kernel_total, speedup
+    ));
+
+    let json = format!(
+        "{{\n  \"name\": \"multiuser_closed_loop\",\n  \"grid\": [{GRID_SIDE}, {GRID_SIDE}],\n  \
+         \"disks\": {DISKS},\n  \"queries\": {QUERIES},\n  \"clients\": {CLIENTS},\n  \
+         \"naive_ms\": {naive_total:.3},\n  \"build_ms\": {build_total:.3},\n  \
+         \"loop_ms\": {loop_total:.3},\n  \"kernel_ms\": {kernel_total:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \"per_method\": [\n{}\n  ]\n}}\n",
+        per_method.join(",\n")
+    );
+    let path = match opts.csv_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                out.push_str(&format!("\ncould not create {dir}: {e}\n"));
+            }
+            format!("{dir}/BENCH_multiuser.json")
+        }
+        None => "BENCH_multiuser.json".into(),
     };
     match std::fs::write(&path, json) {
         Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),

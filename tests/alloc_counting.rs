@@ -1,0 +1,108 @@
+//! Proof of the multi-user engine's allocation-free hot path: a counting
+//! global allocator observes zero heap allocations across an entire
+//! closed-loop and open-loop run once the caller-owned `LoopScratch` has
+//! been warmed. Lives at the workspace root because the library crates
+//! `forbid(unsafe_code)` and a `GlobalAlloc` impl is necessarily unsafe.
+//!
+//! The file holds exactly one test: the counter is process-wide, and a
+//! concurrently running test would pollute the measurement.
+
+use decluster::grid::{BucketCoord, BucketRegion, GridDirectory, GridSpace};
+use decluster::prelude::*;
+use decluster::sim::{DiskParams, LoopScratch, MultiUserEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// A deterministic mixed-shape query stream tiled over the grid (no RNG:
+/// the stream itself must not allocate inside the measured section, so
+/// it is built entirely up front).
+fn query_stream(space: &GridSpace, n: usize) -> Vec<BucketRegion> {
+    let shapes: [[u32; 2]; 4] = [[1, 1], [2, 2], [2, 8], [4, 4]];
+    (0..n)
+        .map(|i| {
+            let [h, w] = shapes[i % shapes.len()];
+            let r = (i as u32 * 5) % (space.dim(0) - h + 1);
+            let c = (i as u32 * 11) % (space.dim(1) - w + 1);
+            BucketRegion::new(
+                space,
+                BucketCoord::from([r, c]),
+                BucketCoord::from([r + h - 1, c + w - 1]),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn warmed_loops_make_zero_heap_allocations() {
+    let space = GridSpace::new_2d(32, 32).unwrap();
+    let m = 8;
+    let hcam = Hcam::new(&space, m).unwrap();
+    let dir = GridDirectory::build(space.clone(), m, |b| hcam.disk_of(b.as_slice()));
+    let params = DiskParams::default();
+    let engine = MultiUserEngine::new(&dir);
+    assert!(engine.kernel_backed());
+    let obs = decluster::obs::Obs::disabled();
+    let queries = query_stream(&space, 256);
+    let arrivals: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 3.0).collect();
+
+    // Warm-up: grows every LoopScratch buffer to the working-set size and
+    // compiles the kernel's per-shape corner plans.
+    let mut ls = LoopScratch::new();
+    let warm_closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
+    let warm_open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut ls);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
+    let open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut ls);
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(
+        during, 0,
+        "warmed closed+open loops must not touch the heap ({during} allocations observed)"
+    );
+    // The measured runs are the warm-up runs, bit for bit.
+    assert_eq!(
+        closed.makespan_ms.to_bits(),
+        warm_closed.makespan_ms.to_bits()
+    );
+    assert_eq!(
+        closed.latency.mean.to_bits(),
+        warm_closed.latency.mean.to_bits()
+    );
+    assert_eq!(open.makespan_ms.to_bits(), warm_open.makespan_ms.to_bits());
+    assert_eq!(
+        open.latency.mean.to_bits(),
+        warm_open.latency.mean.to_bits()
+    );
+}

@@ -1,0 +1,190 @@
+//! End-to-end equivalence tests for the kernel-backed multi-user engine:
+//! the public closed/open/degraded loops must produce bit-identical
+//! reports to an independent reference loop that materializes each
+//! query's I/O plan and reads counts off its group lengths — the
+//! pre-rewire data path. This pins the rewire as a pure data-path
+//! optimization: same queueing, same service model, same bytes.
+
+use decluster::grid::{BucketRegion, GridDirectory, GridSpace, IoPlan};
+use decluster::prelude::*;
+use decluster::sim::workload::random_region;
+use decluster::sim::{
+    load_sweep, poisson_arrivals, run_closed_loop, run_open_loop, DiskParams, LoopScratch,
+    MultiUserEngine,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: u32 = 8;
+
+fn directory() -> (GridSpace, GridDirectory) {
+    let space = GridSpace::new_2d(32, 32).unwrap();
+    let hcam = Hcam::new(&space, M).unwrap();
+    let dir = GridDirectory::build(space.clone(), M, |b| hcam.disk_of(b.as_slice()));
+    (space, dir)
+}
+
+/// A mixed-size query stream (areas 1..64) placed deterministically.
+fn query_stream(space: &GridSpace, n: usize) -> Vec<BucketRegion> {
+    let shapes: [[u32; 2]; 5] = [[1, 1], [2, 2], [2, 8], [4, 4], [8, 8]];
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..n)
+        .map(|i| random_region(&mut rng, space, &shapes[i % shapes.len()]).unwrap())
+        .collect()
+}
+
+/// The pre-rewire closed loop: one materialized `IoPlan` per query,
+/// per-disk counts taken as group lengths, identical queueing to the
+/// engine. Returns `(makespan_ms, latencies)`.
+fn reference_closed_loop(
+    dir: &GridDirectory,
+    params: &DiskParams,
+    queries: &[BucketRegion],
+    clients: usize,
+) -> (f64, Vec<f64>) {
+    let loads = dir.load_vector();
+    let m = loads.len();
+    let mut plan = IoPlan::new();
+    let mut disk_free_at = vec![0.0f64; m];
+    let mut clients_ready = vec![0.0f64; clients];
+    let mut latencies = Vec::new();
+    let mut makespan = 0.0f64;
+    for region in queries {
+        let (slot, _) = clients_ready
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let issue_at = clients_ready[slot];
+        dir.io_plan_into(region, &mut plan);
+        let mut completion = issue_at;
+        for d in 0..m {
+            let count = plan.disk_pages(d).len() as u64;
+            if count == 0 {
+                continue;
+            }
+            let start = issue_at.max(disk_free_at[d]);
+            let service = params.batch_ms_counts(count, loads[d]);
+            disk_free_at[d] = start + service;
+            completion = completion.max(start + service);
+        }
+        latencies.push(completion - issue_at);
+        makespan = makespan.max(completion);
+        clients_ready[slot] = completion;
+    }
+    (makespan, latencies)
+}
+
+#[test]
+fn closed_loop_is_bit_identical_to_materialized_plan_loop() {
+    let (space, dir) = directory();
+    let params = DiskParams::default();
+    let queries = query_stream(&space, 300);
+    for clients in [1, 3, 8] {
+        let (ref_makespan, ref_latencies) = reference_closed_loop(&dir, &params, &queries, clients);
+        let report = run_closed_loop(&dir, &params, &queries, clients);
+        assert_eq!(
+            report.makespan_ms.to_bits(),
+            ref_makespan.to_bits(),
+            "makespan differs at {clients} clients"
+        );
+        let ref_mean = ref_latencies.iter().sum::<f64>() / ref_latencies.len() as f64;
+        assert_eq!(
+            report.latency.mean.to_bits(),
+            ref_mean.to_bits(),
+            "mean latency differs at {clients} clients"
+        );
+        let ref_qps = queries.len() as f64 / (ref_makespan / 1000.0);
+        assert_eq!(report.throughput_qps.to_bits(), ref_qps.to_bits());
+    }
+}
+
+#[test]
+fn open_loop_is_bit_identical_to_materialized_plan_loop() {
+    let (space, dir) = directory();
+    let params = DiskParams::default();
+    let queries = query_stream(&space, 200);
+    let mut rng = StdRng::seed_from_u64(5);
+    let arrivals = poisson_arrivals(&mut rng, queries.len(), 80.0);
+    // Reference: same loop but issue times come from the arrival vector.
+    let loads = dir.load_vector();
+    let m = loads.len();
+    let mut plan = IoPlan::new();
+    let mut disk_free_at = vec![0.0f64; m];
+    let mut makespan = 0.0f64;
+    let mut sum = 0.0f64;
+    for (region, &issue_at) in queries.iter().zip(&arrivals) {
+        dir.io_plan_into(region, &mut plan);
+        let mut completion = issue_at;
+        for d in 0..m {
+            let count = plan.disk_pages(d).len() as u64;
+            if count == 0 {
+                continue;
+            }
+            let start = issue_at.max(disk_free_at[d]);
+            let service = params.batch_ms_counts(count, loads[d]);
+            disk_free_at[d] = start + service;
+            completion = completion.max(start + service);
+        }
+        sum += completion - issue_at;
+        makespan = makespan.max(completion);
+    }
+    let report = run_open_loop(&dir, &params, &queries, &arrivals);
+    assert_eq!(report.makespan_ms.to_bits(), makespan.to_bits());
+    let ref_mean = sum / queries.len() as f64;
+    assert_eq!(report.latency.mean.to_bits(), ref_mean.to_bits());
+}
+
+#[test]
+fn engine_scratch_reuse_across_workloads_changes_nothing() {
+    let (space, dir) = directory();
+    let params = DiskParams::default();
+    let engine = MultiUserEngine::new(&dir);
+    assert!(engine.kernel_backed());
+    let obs = decluster::obs::Obs::disabled();
+    let big = query_stream(&space, 400);
+    let small = query_stream(&space, 50);
+    // One scratch serving runs of different sizes, interleaved, must
+    // reproduce fresh-scratch results bit for bit.
+    let mut shared = LoopScratch::new();
+    let _warm = engine.closed_loop_obs(&params, &big, 8, &obs, &mut shared);
+    let small_shared = engine.closed_loop_obs(&params, &small, 2, &obs, &mut shared);
+    let big_shared = engine.closed_loop_obs(&params, &big, 8, &obs, &mut shared);
+    let small_fresh = engine.closed_loop_obs(&params, &small, 2, &obs, &mut LoopScratch::new());
+    let big_fresh = engine.closed_loop_obs(&params, &big, 8, &obs, &mut LoopScratch::new());
+    assert_eq!(
+        small_shared.makespan_ms.to_bits(),
+        small_fresh.makespan_ms.to_bits()
+    );
+    assert_eq!(
+        small_shared.latency.mean.to_bits(),
+        small_fresh.latency.mean.to_bits()
+    );
+    assert_eq!(
+        big_shared.makespan_ms.to_bits(),
+        big_fresh.makespan_ms.to_bits()
+    );
+    assert_eq!(
+        big_shared.latency.mean.to_bits(),
+        big_fresh.latency.mean.to_bits()
+    );
+}
+
+#[test]
+fn load_sweep_matches_individual_open_loop_runs() {
+    let (space, dir) = directory();
+    let params = DiskParams::default();
+    let queries = query_stream(&space, 120);
+    let rates = [20.0, 150.0];
+    let points = load_sweep(&[("HCAM", &dir)], &params, &queries, &rates, 9);
+    assert_eq!(points.len(), 2);
+    for (point, &rate) in points.iter().zip(&rates) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let arrivals = poisson_arrivals(&mut rng, queries.len(), rate);
+        let solo = run_open_loop(&dir, &params, &queries, &arrivals);
+        assert_eq!(point.methods.len(), 1);
+        assert_eq!(point.methods[0].0, "HCAM");
+        assert_eq!(point.methods[0].1.to_bits(), solo.latency.mean.to_bits());
+        assert_eq!(point.methods[0].2.to_bits(), solo.utilization.to_bits());
+    }
+}

@@ -146,6 +146,20 @@ fn repro_metrics_snapshot_is_thread_count_invariant() {
 }
 
 #[test]
+fn repro_multiuser_is_thread_count_invariant() {
+    let (ok1, out1, err1) = repro(&["multiuser", "--quick", "--threads", "1", "--metrics", "-"]);
+    let (ok8, out8, _) = repro(&["multiuser", "--quick", "--threads", "8", "--metrics", "-"]);
+    assert!(ok1 && ok8, "{err1}");
+    // Tables (closed-loop grid + load sweep) AND the metrics snapshot
+    // are byte-identical across thread counts.
+    assert_eq!(out1, out8, "multiuser output must not depend on --threads");
+    assert!(out1.contains("Multi-user closed loop"));
+    assert!(out1.contains("Open-loop load sweep"));
+    assert!(out1.contains("multiuser.queries"));
+    assert!(out1.contains("multiuser.latency_ms"));
+}
+
+#[test]
 fn repro_trace_lines_are_json_with_required_keys() {
     let dir = std::env::temp_dir().join(format!("obs_trace_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
