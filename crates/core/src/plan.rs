@@ -60,15 +60,23 @@ impl PlanCounts {
     }
 
     /// Writes the number of pages each disk must fetch for `region` into
-    /// `out` (cleared first; `out[d]` == `io_plan` group length for `d`).
+    /// `out` (cleared first; `out[d]` == `io_plan` group length for `d`)
+    /// and returns the total page count across disks (== the region's
+    /// bucket count).
     ///
     /// The kernel path goes through `scratch`'s plan cache, so repeated
     /// shapes amortize corner derivation exactly like RT scoring does.
-    pub fn counts_into(&self, region: &BucketRegion, scratch: &mut Scratch, out: &mut Vec<u64>) {
+    pub fn counts_into(
+        &self,
+        region: &BucketRegion,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) -> u64 {
         match &self.kernel {
             Some(k) => k.access_histogram_with(region, scratch, out),
             None => self.fallback.access_histogram_into(region, out),
         }
+        out.iter().sum()
     }
 }
 
@@ -100,7 +108,8 @@ mod tests {
             ([5, 2], [5, 2]),
         ] {
             let r = BucketRegion::new(&g, lo.into(), hi.into()).unwrap();
-            pc.counts_into(&r, &mut scratch, &mut counts);
+            let total = pc.counts_into(&r, &mut scratch, &mut counts);
+            assert_eq!(total, r.num_buckets(), "returned total is the page sum");
             dir.io_plan_into(&r, &mut plan);
             let derived: Vec<u64> = (0..plan.num_disks())
                 .map(|d| plan.disk_pages(d).len() as u64)

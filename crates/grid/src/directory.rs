@@ -286,26 +286,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn io_plan_covers_region_exactly() {
-        let dir = round_robin_dir();
-        let region = BucketRegion::new(
-            dir.space(),
-            BucketCoord::from([0, 0]),
-            BucketCoord::from([1, 1]),
-        )
-        .unwrap();
-        let plan = dir.io_plan(&region);
-        let fetched: usize = plan.iter().map(Vec::len).sum();
-        assert_eq!(fetched as u64, region.num_buckets());
-        // Round-robin on a 4-wide grid puts column j on disk (4r + j) % 4 = j... per row.
-        // <0,0> and <1,0> both on disk 0.
-        assert_eq!(plan[0], vec![0, 1]);
-        assert_eq!(plan[1], vec![0, 1]);
-        assert!(plan[2].is_empty() && plan[3].is_empty());
-    }
-
-    #[test]
     fn flat_io_plan_covers_region_exactly() {
         let dir = round_robin_dir();
         let region = BucketRegion::new(

@@ -272,6 +272,26 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Nearest-rank quantile estimate, resolved to the upper bound of
+    /// the bucket containing the `q`-th observation (`0.0 < q <= 1.0`).
+    /// Returns `None` when the histogram is empty or the rank falls in
+    /// the overflow bucket, whose upper edge is unknown.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        // ceil(q * count) without float edge cases at q == 1.0.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
 }
 
 /// A point-in-time copy of a registry: deterministic sections (counters,
@@ -515,6 +535,27 @@ mod tests {
         assert_eq!(h.counts[1], 2); // le 2
         assert_eq!(*h.counts.last().unwrap(), 1); // overflow
         assert!((h.mean() - 1201.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_resolve_to_bucket_bounds() {
+        let r = MetricsRegistry::new();
+        for v in [1, 2, 2, 1000, 5000] {
+            r.observe("h", v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("h").unwrap();
+        // Ranks 1..=5 walk the cumulative counts: 1,2,2 then 1000, then
+        // the 5000 observation lands in the overflow bucket (None).
+        assert_eq!(h.quantile(0.2), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(
+            h.quantile(0.8),
+            h.bounds.iter().find(|&&b| b >= 1000).copied()
+        );
+        assert_eq!(h.quantile(1.0), None); // max fell past the last bound
+        assert_eq!(h.quantile(0.0), None); // out of range
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
     }
 
     #[test]

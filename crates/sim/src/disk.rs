@@ -92,6 +92,13 @@ impl DiskParams {
         n * (seek + self.rotational_latency_ms + self.transfer_ms)
     }
 
+    /// Nominal cost of one isolated page read at minimum seek distance:
+    /// `min_seek + rotation + transfer`. The experiment harness uses this
+    /// to size client counts and sampling intervals from disk speed.
+    pub fn per_page_ms(&self) -> f64 {
+        self.min_seek_ms + self.rotational_latency_ms + self.transfer_ms
+    }
+
     /// As [`DiskParams::batch_ms`] over the merge of two sorted page runs,
     /// without materializing the merged sequence — the rebuild failover
     /// path reads a disk's own pages plus the failed disk's replica pages
@@ -252,6 +259,15 @@ mod tests {
             .batch_ms(plan.disk_pages(1), dir.load_vector()[1]);
         assert!((ms - d1).abs() < 1e-9);
         assert!(sim.query_throughput_pages_per_s(&dir, &region) > 0.0);
+    }
+
+    #[test]
+    fn per_page_is_the_component_sum() {
+        let p = params();
+        assert!(
+            (p.per_page_ms() - (p.min_seek_ms + p.rotational_latency_ms + p.transfer_ms)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

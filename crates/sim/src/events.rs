@@ -1,0 +1,893 @@
+//! The event-driven serving core of the multi-user simulator.
+//!
+//! The closed-loop, open-loop, and degraded loops in [`crate::multiuser`]
+//! are all drivers over the same two primitives defined here:
+//!
+//! * [`EventHeap`] — an indexed binary min-heap over logical time with
+//!   deterministic tie-breaking: events at equal times pop in insertion
+//!   order (a monotone sequence number is the secondary key), so a run's
+//!   event order is a pure function of its inputs.
+//! * [`ServingEngine`] — the per-directory service core: the cached
+//!   [`PlanCounts`] kernel, the static load vector, and the FCFS fan-out
+//!   step that turns one query into per-disk batch service. The streaming
+//!   entry point [`ServingEngine::serve_obs`] consumes an arrival-event
+//!   stream and emits completion events through the heap, sampling
+//!   mid-run state (in-flight, queue depth, windowed p50/p95/p99) at
+//!   configurable logical-time intervals.
+//!
+//! # Memory bounds
+//!
+//! A serving run's state is the event heap (one entry per in-flight
+//! query), a fixed-capacity ring of recently completed latencies, and the
+//! flat latency vector — never per-client state. A million-client
+//! open-loop run therefore peaks at `O(in-flight + clients × 8 bytes)`,
+//! and the warmed loop performs zero heap allocations per event
+//! (`tests/alloc_counting.rs` proves it with a counting allocator).
+//!
+//! # Sharded arrival streams
+//!
+//! [`sharded_arrivals`] generates large arrival vectors in fixed-size
+//! chunks on the deterministic executor, each chunk from its own derived
+//! RNG stream, merged by a sequential prefix-sum reduction — byte-identical
+//! output at any thread count.
+
+use crate::multiuser::{assemble_report, LoopMeters, MultiUserReport};
+use crate::stats::Quantiles;
+use crate::workload::InterArrival;
+use crate::DiskParams;
+use decluster_grid::{BucketRegion, GridDirectory};
+use decluster_methods::{PlanCounts, Scratch};
+use decluster_obs::{Obs, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One scheduled event: its logical time, the sequence number assigned at
+/// push (the deterministic tie-breaker), and a payload.
+#[derive(Clone, Copy, Debug)]
+pub struct Event<T> {
+    /// Logical time of the event, ms.
+    pub time: f64,
+    /// Monotone insertion index; equal-time events pop in this order.
+    pub seq: u64,
+    /// Caller data carried by the event.
+    pub payload: T,
+}
+
+impl<T> Event<T> {
+    #[inline]
+    fn key(&self) -> (f64, u64) {
+        (self.time, self.seq)
+    }
+
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        let (ta, sa) = self.key();
+        let (tb, sb) = other.key();
+        match ta.total_cmp(&tb) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => sa < sb,
+        }
+    }
+}
+
+/// A binary min-heap of [`Event`]s keyed by `(time, seq)`.
+///
+/// Times are compared with [`f64::total_cmp`], so ordering is total even
+/// for pathological inputs; ties break by sequence number (insertion
+/// order), which makes pop order deterministic under duplicate
+/// timestamps — the property the proptests below pin.
+///
+/// The heap is a flat `Vec` that retains capacity across
+/// [`EventHeap::clear`], so warmed serving loops push and pop without
+/// touching the allocator. It also tracks its high-water mark
+/// ([`EventHeap::peak_len`]) for the bounded-memory accounting of large
+/// open-loop runs.
+#[derive(Clone, Debug)]
+pub struct EventHeap<T> {
+    entries: Vec<Event<T>>,
+    next_seq: u64,
+    peak: usize,
+}
+
+impl<T> Default for EventHeap<T> {
+    fn default() -> Self {
+        EventHeap {
+            entries: Vec::new(),
+            next_seq: 0,
+            peak: 0,
+        }
+    }
+}
+
+impl<T> EventHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scheduled events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest number of events ever scheduled at once since the last
+    /// [`EventHeap::clear`].
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Removes all events and resets the sequence counter and peak,
+    /// keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.next_seq = 0;
+        self.peak = 0;
+    }
+
+    /// Schedules `payload` at `time` and returns the assigned sequence
+    /// number. Later pushes at the same time pop later.
+    pub fn push(&mut self, time: f64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Event { time, seq, payload });
+        self.sift_up(self.entries.len() - 1);
+        self.peak = self.peak.max(self.entries.len());
+        seq
+    }
+
+    /// Time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.entries.first().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event (ties by sequence number).
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let out = self.entries.pop();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[i].before(&self.entries[parent]) {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.entries[l].before(&self.entries[smallest]) {
+                smallest = l;
+            }
+            if r < n && self.entries[r].before(&self.entries[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.entries.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// A fixed-capacity ring of the most recently completed latencies: the
+/// windowed sample behind mid-run p50/p95/p99 snapshots. Overwrites the
+/// oldest entry once full; capacity is fixed at
+/// [`LatencyRing::reset`] and never grows, so million-client runs keep a
+/// bounded tail window.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LatencyRing {
+    buf: Vec<f64>,
+    cap: usize,
+    head: usize,
+}
+
+impl LatencyRing {
+    /// Empties the ring and fixes its capacity (at least 1), keeping any
+    /// existing allocation.
+    pub(crate) fn reset(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        self.buf.clear();
+        self.buf.reserve(self.cap);
+        self.head = 0;
+    }
+
+    pub(crate) fn push(&mut self, v: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// The window contents, in no particular order (quantile extraction
+    /// sorts its own copy).
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+/// One mid-run state snapshot of a serving run, taken at a logical-time
+/// sampling boundary (see [`ServeConfig::sample_every_ms`]). Everything
+/// here derives from simulated quantities, so samples are bit-identical
+/// across thread counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeSample {
+    /// Logical sample time, ms.
+    pub at_ms: f64,
+    /// Queries issued but not yet completed (the event heap's size).
+    pub in_flight: usize,
+    /// Disks whose FCFS queue extends past the sample time.
+    pub busy_disks: usize,
+    /// Queries completed so far.
+    pub completed: u64,
+    /// Windowed latency tails over the last [`ServeConfig::window`]
+    /// completions (zeros before the first completion).
+    pub tail_ms: Quantiles,
+}
+
+/// Configuration of a streaming serve run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Logical-time interval between mid-run samples, ms; `0` (the
+    /// default) disables sampling.
+    pub sample_every_ms: f64,
+    /// Capacity of the windowed latency ring behind each sample's tails.
+    pub window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            sample_every_ms: 0.0,
+            window: 1024,
+        }
+    }
+}
+
+/// Aggregate results of one streaming serve run. Mid-run samples stay in
+/// the caller's [`LoopScratch`] (see [`LoopScratch::samples`]) so the
+/// warmed loop allocates nothing; this report carries only their count.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// The open-loop aggregate report (`clients` is 0: arrivals are an
+    /// open stream, not a closed set).
+    pub report: MultiUserReport,
+    /// Events processed (one arrival plus one completion per query).
+    pub events: u64,
+    /// High-water mark of in-flight queries (the event heap's peak).
+    pub peak_in_flight: usize,
+    /// Total pages fetched across all disks.
+    pub pages: u64,
+    /// Mid-run samples recorded into the scratch.
+    pub samples: usize,
+}
+
+/// Reusable per-run buffers for every serving loop: the kernel
+/// [`Scratch`] (plan cache + accumulators), the per-query count
+/// histogram, the FCFS queue state, the latency vector, the event heap,
+/// and the sampling window. One instance per worker thread makes every
+/// loop allocation-free per event once the buffers have grown to the
+/// working-set size.
+#[derive(Debug, Default)]
+pub struct LoopScratch {
+    pub(crate) scratch: Scratch,
+    pub(crate) hist: Vec<u64>,
+    pub(crate) disk_free_at: Vec<f64>,
+    pub(crate) disk_busy_ms: Vec<f64>,
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) events: EventHeap<f64>,
+    pub(crate) ring: LatencyRing,
+    pub(crate) sorted: Vec<f64>,
+    pub(crate) samples: Vec<ServeSample>,
+}
+
+impl LoopScratch {
+    /// Fresh (empty) buffers; they grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mid-run samples of the most recent serve run (empty for the
+    /// closed/open/degraded loops and for runs with sampling disabled).
+    pub fn samples(&self) -> &[ServeSample] {
+        &self.samples
+    }
+
+    pub(crate) fn begin(&mut self, m: usize, queries: usize) {
+        self.disk_free_at.clear();
+        self.disk_free_at.resize(m, 0.0);
+        self.disk_busy_ms.clear();
+        self.disk_busy_ms.resize(m, 0.0);
+        self.latencies.clear();
+        self.latencies.reserve(queries);
+        self.events.clear();
+        self.samples.clear();
+    }
+}
+
+/// A directory's serving core: the cached [`PlanCounts`] kernel plus the
+/// static load vector, with the FCFS fan-out step every loop shares.
+/// Build once per directory (the kernel build walks the grid once); the
+/// engine is immutable and `Sync`, so parallel sweeps share one engine
+/// per method across worker threads, each worker carrying its own
+/// [`LoopScratch`].
+#[derive(Clone, Debug)]
+pub struct ServingEngine {
+    pub(crate) counts: PlanCounts,
+    pub(crate) loads: Vec<u64>,
+}
+
+impl ServingEngine {
+    /// Builds the count kernel for `dir` and snapshots its load vector.
+    pub fn new(dir: &GridDirectory) -> Self {
+        ServingEngine {
+            counts: PlanCounts::build(dir),
+            loads: dir.load_vector(),
+        }
+    }
+
+    /// Disks (`M`).
+    pub fn num_disks(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether queries are served by the prefix-sum kernel (false means
+    /// the grid was too large for a table and the engine walks buckets).
+    pub fn kernel_backed(&self) -> bool {
+        self.counts.kernel_backed()
+    }
+
+    /// Per-disk page counts of `region` into `out` via the cached
+    /// kernel; returns the total pages touched.
+    pub(crate) fn counts_into(
+        &self,
+        region: &BucketRegion,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) -> u64 {
+        self.counts.counts_into(region, scratch, out)
+    }
+
+    /// Static load (pages stored) of disk `d`.
+    pub(crate) fn load_of(&self, d: usize) -> u64 {
+        self.loads[d]
+    }
+
+    /// The FCFS fan-out step shared by every loop: issues one query's
+    /// per-disk batches (from the count histogram in `hist`) against the
+    /// disk queues and returns its completion time. `batches` /
+    /// `queued_batches` accumulate only when `record` is set, exactly as
+    /// the metered loops always did.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fan_out(
+        &self,
+        params: &DiskParams,
+        issue_at: f64,
+        hist: &[u64],
+        disk_free_at: &mut [f64],
+        disk_busy_ms: &mut [f64],
+        record: bool,
+        batches: &mut u64,
+        queued_batches: &mut u64,
+    ) -> f64 {
+        let mut completion = issue_at;
+        for (d, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let start = issue_at.max(disk_free_at[d]);
+            let service = params.batch_ms_counts(count, self.loads[d]);
+            disk_free_at[d] = start + service;
+            disk_busy_ms[d] += service;
+            completion = completion.max(start + service);
+            if record {
+                *batches += 1;
+                if start > issue_at {
+                    *queued_batches += 1;
+                }
+            }
+        }
+        completion
+    }
+
+    /// Streaming open-loop serve: one request per entry of `arrivals_ms`
+    /// (non-decreasing logical times), each replaying the next query of
+    /// `queries` round-robin. Arrival events interleave with completion
+    /// events through the heap (completions at a tied time process
+    /// first), mid-run state is sampled every
+    /// [`ServeConfig::sample_every_ms`], and the aggregate report carries
+    /// exact p50/p95/p99 over all latencies.
+    ///
+    /// The per-request service math is identical to the open loop's, so
+    /// for `arrivals_ms.len() == queries.len()` the aggregate report is
+    /// bit-identical to [`crate::run_open_loop`] on the same inputs.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty or `arrivals_ms` is not
+    /// non-decreasing.
+    pub fn serve_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        cfg: &ServeConfig,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> ServeReport {
+        assert!(!queries.is_empty(), "serve needs at least one query shape");
+        assert!(
+            arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be non-decreasing"
+        );
+        let record = obs.enabled();
+        let m = self.loads.len();
+        let meters = record.then(|| LoopMeters::new(obs, "serve", m));
+        let n = arrivals_ms.len();
+        ls.begin(m, n);
+        ls.ring.reset(cfg.window);
+        ls.sorted.clear();
+        let sample_every = if cfg.sample_every_ms > 0.0 {
+            cfg.sample_every_ms
+        } else {
+            f64::INFINITY
+        };
+        let mut next_sample = sample_every;
+        let mut makespan: f64 = 0.0;
+        let mut batches = 0u64;
+        let mut queued_batches = 0u64;
+        let mut pages = 0u64;
+        let mut events = 0u64;
+        let mut completed = 0u64;
+        let mut next_arrival = 0usize;
+
+        while next_arrival < n || !ls.events.is_empty() {
+            let arrival_t = if next_arrival < n {
+                arrivals_ms[next_arrival]
+            } else {
+                f64::INFINITY
+            };
+            let take_completion = ls.events.peek_time().is_some_and(|t| t <= arrival_t);
+            let event_t = if take_completion {
+                ls.events.peek_time().expect("non-empty heap")
+            } else {
+                arrival_t
+            };
+            // Samples fire strictly before any event at or past their
+            // boundary, so each snapshot reflects the state just before
+            // its logical time.
+            while next_sample <= event_t {
+                let tail_ms = {
+                    ls.sorted.clear();
+                    ls.sorted.extend_from_slice(ls.ring.as_slice());
+                    Quantiles::of_unsorted(&mut ls.sorted)
+                };
+                ls.samples.push(ServeSample {
+                    at_ms: next_sample,
+                    in_flight: ls.events.len(),
+                    busy_disks: ls.disk_free_at.iter().filter(|&&f| f > next_sample).count(),
+                    completed,
+                    tail_ms,
+                });
+                next_sample += sample_every;
+            }
+            if take_completion {
+                let ev = ls.events.pop().expect("non-empty heap");
+                ls.ring.push(ev.payload);
+                completed += 1;
+            } else {
+                let issue_at = arrival_t;
+                let region = &queries[next_arrival % queries.len()];
+                next_arrival += 1;
+                pages += self
+                    .counts
+                    .counts_into(region, &mut ls.scratch, &mut ls.hist);
+                let completion = self.fan_out(
+                    params,
+                    issue_at,
+                    &ls.hist,
+                    &mut ls.disk_free_at,
+                    &mut ls.disk_busy_ms,
+                    record,
+                    &mut batches,
+                    &mut queued_batches,
+                );
+                ls.latencies.push(completion - issue_at);
+                makespan = makespan.max(completion);
+                ls.events.push(completion, completion - issue_at);
+            }
+            events += 1;
+        }
+
+        if let Some(meters) = &meters {
+            meters.record(n, batches, queued_batches, &ls.disk_busy_ms, &ls.latencies);
+            obs.gauge_max("serve.peak_in_flight", ls.events.peak_len() as u64);
+            obs.counter_add("serve.events", events);
+            obs.counter_add("serve.pages", pages);
+            obs.counter_add("serve.samples", ls.samples.len() as u64);
+        }
+        let report = assemble_report(n, 0, makespan, m, &ls.disk_busy_ms, &mut ls.latencies);
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("serve_done")
+                    .with("requests", n)
+                    .with("events", events)
+                    .with("peak_in_flight", ls.events.peak_len())
+                    .with("makespan_ms", report.makespan_ms),
+            );
+        }
+        ServeReport {
+            report,
+            events,
+            peak_in_flight: ls.events.peak_len(),
+            pages,
+            samples: ls.samples.len(),
+        }
+    }
+}
+
+/// The fixed chunk length of [`sharded_arrivals`]. Chunk boundaries are
+/// part of the deterministic contract: they depend only on `n`, never on
+/// the thread count.
+const ARRIVAL_CHUNK: usize = 1 << 16;
+
+/// Arrival times for `n` requests drawn from `dist`, generated in
+/// fixed-size chunks on the deterministic executor and merged by a
+/// sequential prefix-sum reduction: chunk `c` draws its gaps from an RNG
+/// seeded by `(seed, c)`, and chunk offsets accumulate left to right. The
+/// output is byte-identical at any `threads`, which is what lets
+/// million-client arrival streams be built in parallel without touching
+/// the determinism contract.
+pub fn sharded_arrivals(
+    seed: u64,
+    n: usize,
+    dist: InterArrival,
+    threads: usize,
+    obs: &Obs,
+) -> Vec<f64> {
+    let chunks = n.div_ceil(ARRIVAL_CHUNK);
+    let parts: Vec<Vec<f64>> = crate::exec::run_indexed(threads, chunks, obs, |c| {
+        let mut rng = StdRng::seed_from_u64(crate::exec::derive_point_seed(seed, c as u64));
+        let len = ARRIVAL_CHUNK.min(n - c * ARRIVAL_CHUNK);
+        let mut t = 0.0;
+        (0..len)
+            .map(|_| {
+                t += dist.sample_gap_ms(&mut rng);
+                t
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut offset = 0.0;
+    for part in parts {
+        let last = part.last().copied().unwrap_or(0.0);
+        out.extend(part.iter().map(|&t| offset + t));
+        offset += last;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiuser::poisson_arrivals;
+    use crate::workload::random_region;
+    use decluster_grid::GridSpace;
+    use decluster_methods::{DeclusteringMethod, Hcam};
+    use proptest::prelude::*;
+
+    #[test]
+    fn heap_pops_in_time_order() {
+        let mut h = EventHeap::new();
+        for (t, p) in [(5.0, 'a'), (1.0, 'b'), (3.0, 'c'), (2.0, 'd'), (4.0, 'e')] {
+            h.push(t, p);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| h.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!['b', 'd', 'c', 'e', 'a']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut h = EventHeap::new();
+        for i in 0..10 {
+            h.push(7.0, i);
+        }
+        h.push(1.0, 99);
+        let order: Vec<i32> = std::iter::from_fn(|| h.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![99, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn clear_resets_sequence_and_peak_but_keeps_capacity() {
+        let mut h = EventHeap::new();
+        for i in 0..100 {
+            h.push(i as f64, ());
+        }
+        assert_eq!(h.peak_len(), 100);
+        let cap = h.entries.capacity();
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.peak_len(), 0);
+        assert_eq!(h.entries.capacity(), cap);
+        assert_eq!(h.push(3.0, ()), 0, "sequence restarts after clear");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.peek_time(), None);
+        h.push(2.0, ());
+        h.push(1.0, ());
+        assert_eq!(h.peek_time(), Some(1.0));
+        assert_eq!(h.pop().unwrap().time, 1.0);
+        assert_eq!(h.peek_time(), Some(2.0));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut h = EventHeap::new();
+        h.push(1.0, ());
+        h.push(2.0, ());
+        h.pop();
+        h.push(3.0, ());
+        h.pop();
+        h.pop();
+        assert_eq!(h.peak_len(), 2);
+        assert!(h.is_empty());
+    }
+
+    proptest! {
+        /// Pop order equals a stable sort of the pushed events by time:
+        /// the deterministic tie-breaking contract under random mixes
+        /// with duplicate timestamps.
+        #[test]
+        fn pop_order_is_stable_sort_by_time(times in prop::collection::vec(0u32..16, 0..200)) {
+            let mut h = EventHeap::new();
+            for (i, &t) in times.iter().enumerate() {
+                h.push(f64::from(t), i);
+            }
+            let popped: Vec<(f64, usize)> =
+                std::iter::from_fn(|| h.pop()).map(|e| (e.time, e.payload)).collect();
+            let mut expected: Vec<(f64, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (f64::from(t), i))
+                .collect();
+            expected.sort_by(|a, b| a.0.total_cmp(&b.0)); // stable: ties keep insertion order
+            prop_assert_eq!(popped, expected);
+        }
+
+        /// Interleaved pushes and pops never violate time order among
+        /// pops that happen after a given push set.
+        #[test]
+        fn interleaved_ops_stay_ordered(ops in prop::collection::vec(prop::option::of(0u32..8), 1..200)) {
+            let mut h = EventHeap::new();
+            let mut last_popped: Option<(f64, u64)> = None;
+            for op in ops {
+                match op {
+                    Some(t) => { h.push(f64::from(t), ()); }
+                    None => {
+                        if let Some(e) = h.pop() {
+                            if let Some((lt, ls)) = last_popped {
+                                // Keys are totally ordered only among events
+                                // present together; a later push can legally
+                                // pop at an earlier time, so only assert the
+                                // (time, seq) key is never duplicated.
+                                prop_assert!(!(lt == e.time && ls == e.seq));
+                            }
+                            last_popped = Some((e.time, e.seq));
+                        }
+                    }
+                }
+            }
+            // Draining the rest is fully ordered.
+            let rest: Vec<(f64, u64)> =
+                std::iter::from_fn(|| h.pop()).map(|e| (e.time, e.seq)).collect();
+            prop_assert!(rest.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn latency_ring_overwrites_oldest() {
+        let mut r = LatencyRing::default();
+        r.reset(3);
+        for v in [1.0, 2.0, 3.0] {
+            r.push(v);
+        }
+        assert_eq!(r.as_slice(), &[1.0, 2.0, 3.0]);
+        r.push(4.0);
+        r.push(5.0);
+        let mut w: Vec<f64> = r.as_slice().to_vec();
+        w.sort_unstable_by(f64::total_cmp);
+        assert_eq!(w, vec![3.0, 4.0, 5.0]);
+        r.reset(3);
+        assert!(r.as_slice().is_empty());
+    }
+
+    fn serving_setup() -> (GridSpace, ServingEngine, Vec<BucketRegion>) {
+        let space = GridSpace::new_2d(32, 32).unwrap();
+        let m = 8;
+        let hcam = Hcam::new(&space, m).unwrap();
+        let dir =
+            decluster_grid::GridDirectory::build(space.clone(), m, |b| hcam.disk_of(b.as_slice()));
+        let engine = ServingEngine::new(&dir);
+        let mut rng = StdRng::seed_from_u64(11);
+        let queries: Vec<BucketRegion> = (0..64)
+            .map(|_| random_region(&mut rng, &space, &[4, 4]).unwrap())
+            .collect();
+        (space, engine, queries)
+    }
+
+    #[test]
+    fn serve_counts_every_event_and_drains_the_heap() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrivals = poisson_arrivals(&mut rng, 200, 50.0);
+        let mut ls = LoopScratch::new();
+        let r = engine.serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &ServeConfig::default(),
+            &Obs::disabled(),
+            &mut ls,
+        );
+        assert_eq!(r.report.queries, 200);
+        assert_eq!(r.events, 400, "one arrival + one completion per request");
+        assert!(ls.events.is_empty(), "heap drains by the end of the run");
+        assert!(r.peak_in_flight >= 1);
+        assert!(r.pages > 0);
+        assert_eq!(r.samples, 0, "sampling disabled by default");
+        assert!(r.report.tail.p50 <= r.report.tail.p95);
+        assert!(r.report.tail.p95 <= r.report.tail.p99);
+        assert!(r.report.tail.p99 <= r.report.latency.max);
+    }
+
+    #[test]
+    fn serve_samples_fire_at_logical_intervals() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrivals = poisson_arrivals(&mut rng, 400, 80.0);
+        let cfg = ServeConfig {
+            sample_every_ms: 250.0,
+            window: 64,
+        };
+        let mut ls = LoopScratch::new();
+        let r = engine.serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &cfg,
+            &Obs::disabled(),
+            &mut ls,
+        );
+        assert!(r.samples > 0);
+        assert_eq!(ls.samples().len(), r.samples);
+        for (i, s) in ls.samples().iter().enumerate() {
+            assert_eq!(s.at_ms, 250.0 * (i + 1) as f64);
+            assert!(s.tail_ms.p50 <= s.tail_ms.p99);
+        }
+        // Samples cover the run up to the last event.
+        let last = ls.samples().last().unwrap();
+        assert!(last.completed <= 400);
+    }
+
+    #[test]
+    fn serve_sampling_does_not_change_the_report() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let arrivals = poisson_arrivals(&mut rng, 300, 60.0);
+        let obs = Obs::disabled();
+        let mut ls = LoopScratch::new();
+        let plain = engine.serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &ServeConfig::default(),
+            &obs,
+            &mut ls,
+        );
+        let sampled = engine.serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &ServeConfig {
+                sample_every_ms: 100.0,
+                window: 32,
+            },
+            &obs,
+            &mut ls,
+        );
+        assert_eq!(
+            plain.report.makespan_ms.to_bits(),
+            sampled.report.makespan_ms.to_bits()
+        );
+        assert_eq!(
+            plain.report.latency.mean.to_bits(),
+            sampled.report.latency.mean.to_bits()
+        );
+        assert_eq!(plain.report.tail, sampled.report.tail);
+        assert_eq!(plain.events, sampled.events);
+    }
+
+    #[test]
+    fn serve_cycles_queries_for_long_arrival_streams() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let n = queries.len() * 3 + 7;
+        let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * 5.0).collect();
+        let mut ls = LoopScratch::new();
+        let r = engine.serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &ServeConfig::default(),
+            &Obs::disabled(),
+            &mut ls,
+        );
+        assert_eq!(r.report.queries, n);
+        assert_eq!(r.events, 2 * n as u64);
+    }
+
+    #[test]
+    fn sharded_arrivals_are_thread_count_invariant() {
+        let obs = Obs::disabled();
+        let dist = InterArrival::Poisson { rate_qps: 40.0 };
+        // Cross a chunk boundary so the merge reduction is exercised.
+        let n = ARRIVAL_CHUNK + 1234;
+        let serial = sharded_arrivals(77, n, dist, 1, &obs);
+        let parallel = sharded_arrivals(77, n, dist, 8, &obs);
+        assert_eq!(serial.len(), n);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(serial.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sharded_arrivals_have_the_right_rate() {
+        let obs = Obs::disabled();
+        let n = 100_000;
+        let arrivals = sharded_arrivals(9, n, InterArrival::Poisson { rate_qps: 50.0 }, 4, &obs);
+        let span = arrivals.last().unwrap() - arrivals[0];
+        let mean_gap = span / (n - 1) as f64;
+        assert!((mean_gap - 20.0).abs() < 1.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn constant_arrivals_are_evenly_spaced() {
+        let obs = Obs::disabled();
+        let arrivals = sharded_arrivals(1, 10, InterArrival::Constant { rate_qps: 100.0 }, 2, &obs);
+        for (i, &t) in arrivals.iter().enumerate() {
+            assert!((t - (i + 1) as f64 * 10.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,9 +1,12 @@
 use crate::eval::{DegradedContext, EvalContext};
+use crate::events::{sharded_arrivals, LoopScratch, ServeConfig, ServeSample};
 use crate::exec::{derive_point_seed, run_indexed, run_indexed_with};
 use crate::faults::{FaultReport, FaultSchedule, RetryPolicy};
-use crate::multiuser::{load_sweep_with_threads, LoadPoint, LoopScratch, MultiUserEngine};
+use crate::multiuser::{load_sweep_with_threads, LoadPoint, MultiUserEngine};
+use crate::stats::Quantiles;
 use crate::workload::{
-    partial_match_with_unspecified, random_region, rect_sides_for_area, ShapeSweep, SizeSweep,
+    partial_match_with_unspecified, random_region, rect_sides_for_area, InterArrival, ShapeSweep,
+    SizeSweep,
 };
 use crate::{DiskParams, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridDirectory, GridSpace};
@@ -81,6 +84,54 @@ pub struct DbSizePoint {
     pub query_side: u32,
 }
 
+/// One `(arrival rate, method)` cell of a serve sweep: offered versus
+/// achieved throughput, latency mean and tails, utilization, the peak
+/// in-flight count, and the mid-run samples.
+#[derive(Clone, Debug)]
+pub struct ServePoint {
+    /// Offered arrival rate, queries/s.
+    pub offered_qps: f64,
+    /// Achieved completion throughput, queries/s.
+    pub achieved_qps: f64,
+    /// Mean issue-to-completion latency, ms.
+    pub mean_latency_ms: f64,
+    /// Exact nearest-rank p50/p95/p99 latency tails, ms.
+    pub tail_ms: Quantiles,
+    /// Mean disk utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// High-water mark of concurrently in-flight queries.
+    pub peak_in_flight: usize,
+    /// Mid-run metric samples at the configured logical-time interval.
+    pub samples: Vec<ServeSample>,
+}
+
+/// A per-method saturation curve: one [`ServePoint`] per offered rate
+/// plus the knee — the largest offered rate the method still serves at
+/// ≥95% of offered throughput.
+#[derive(Clone, Debug)]
+pub struct ServeCurve {
+    /// Method name.
+    pub method: String,
+    /// One point per offered rate, in sweep order.
+    pub points: Vec<ServePoint>,
+    /// Saturation knee, queries/s (`0.0` when every rate saturates).
+    pub knee_qps: f64,
+}
+
+/// Result of [`Experiment::run_serve_sweep`]: per-method saturation
+/// curves over a shared arrival-rate sweep.
+#[derive(Clone, Debug)]
+pub struct ServeSweep {
+    /// Human-readable description of the sweep.
+    pub title: String,
+    /// Arrivals simulated per (rate, method) cell.
+    pub clients: usize,
+    /// The offered rates, queries/s.
+    pub rates_qps: Vec<f64>,
+    /// One curve per method, in registry order.
+    pub curves: Vec<ServeCurve>,
+}
+
 /// One evaluated sweep point: the x-value plus each method's summary and
 /// the mean optimal bound. Sweep points are independent — each is scored
 /// from its own derived RNG stream — which is what lets the executor fan
@@ -113,6 +164,7 @@ pub struct Experiment {
     seed: u64,
     include_baselines: bool,
     threads: usize,
+    method_filter: Option<String>,
     obs: Obs,
 }
 
@@ -127,6 +179,7 @@ impl Experiment {
             seed: 1994,
             include_baselines: false,
             threads: 1,
+            method_filter: None,
             obs: Obs::disabled(),
         }
     }
@@ -153,6 +206,15 @@ impl Experiment {
     /// per available CPU. Results do not depend on this setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Restricts the multi-user and serve engine set to one method by
+    /// name (e.g. `"HCAM"`). The query stream and arrival streams are
+    /// unchanged, so the surviving method's numbers are bit-identical
+    /// to its column in the unrestricted run.
+    pub fn with_method_filter(mut self, name: &str) -> Self {
+        self.method_filter = Some(name.to_owned());
         self
     }
 
@@ -559,6 +621,11 @@ impl Experiment {
         };
         methods
             .iter()
+            .filter(|method| {
+                self.method_filter
+                    .as_deref()
+                    .is_none_or(|f| method.name() == f)
+            })
             .map(|method| {
                 let dir = GridDirectory::build(self.space.clone(), self.m, |b| {
                     method.disk_of(b.as_slice())
@@ -646,8 +713,7 @@ impl Experiment {
                 (report.throughput_qps, report.latency)
             },
         );
-        let per_page_ms = params.min_seek_ms + params.rotational_latency_ms + params.transfer_ms;
-        let bound_qps = 1000.0 * f64::from(self.m) / (area as f64 * per_page_ms);
+        let bound_qps = 1000.0 * f64::from(self.m) / (area as f64 * params.per_page_ms());
         let mut series: Vec<MethodSeries> = engines
             .iter()
             .map(|(name, _)| MethodSeries::new(name.clone(), clients.len()))
@@ -703,6 +769,122 @@ impl Experiment {
             self.seed,
             self.effective_threads(),
         ))
+    }
+
+    /// **Serve sweep (extension).** Per-method saturation-knee curves
+    /// from the event-driven serving core: for every offered arrival
+    /// rate, `clients` Poisson arrivals — sharded deterministically
+    /// across the executor and identical for every method — stream
+    /// through each method's serving engine, with mid-run metric
+    /// samples every 1/32nd of the expected span. A curve's knee is the
+    /// largest offered rate the method still completes at ≥95% of the
+    /// offered throughput (`0.0` when even the lowest rate saturates).
+    ///
+    /// Cells fan out on the deterministic executor with one reusable
+    /// [`LoopScratch`] per worker, so every table and every sample is
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no rates;
+    /// [`SimError::QueryDoesNotFit`] as above.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero or any rate is non-positive.
+    pub fn run_serve_sweep(
+        &self,
+        params: &DiskParams,
+        clients: usize,
+        rates_qps: &[f64],
+        area: u64,
+    ) -> Result<ServeSweep> {
+        if rates_qps.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        assert!(clients > 0, "serve needs at least one client");
+        assert!(
+            rates_qps.iter().all(|&r| r > 0.0),
+            "arrival rate must be positive"
+        );
+        let regions = self.shared_regions(area)?;
+        let engines = self.multiuser_engines();
+        let nm = engines.len();
+        let threads = self.effective_threads();
+        // One arrival stream per rate, built before the fan-out so every
+        // method replays the identical stream.
+        let arrivals: Vec<Vec<f64>> = rates_qps
+            .iter()
+            .enumerate()
+            .map(|(r, &rate)| {
+                sharded_arrivals(
+                    derive_point_seed(self.seed, r as u64),
+                    clients,
+                    InterArrival::Poisson { rate_qps: rate },
+                    threads,
+                    &self.obs,
+                )
+            })
+            .collect();
+        let cells = run_indexed_with(
+            threads,
+            rates_qps.len() * nm,
+            &self.obs,
+            LoopScratch::new,
+            |i, ls| {
+                let (ri, mi) = (i / nm, i % nm);
+                let cfg = ServeConfig {
+                    sample_every_ms: (clients as f64 * 1000.0 / rates_qps[ri]) / 32.0,
+                    ..ServeConfig::default()
+                };
+                let rep = engines[mi].1.serving().serve_obs(
+                    params,
+                    &regions,
+                    &arrivals[ri],
+                    &cfg,
+                    &self.obs,
+                    ls,
+                );
+                ServePoint {
+                    offered_qps: rates_qps[ri],
+                    achieved_qps: rep.report.throughput_qps,
+                    mean_latency_ms: rep.report.latency.mean,
+                    tail_ms: rep.report.tail,
+                    utilization: rep.report.utilization,
+                    peak_in_flight: rep.peak_in_flight,
+                    samples: ls.samples().to_vec(),
+                }
+            },
+        );
+        let mut curves: Vec<ServeCurve> = engines
+            .iter()
+            .map(|(name, _)| ServeCurve {
+                method: name.clone(),
+                points: Vec::with_capacity(rates_qps.len()),
+                knee_qps: 0.0,
+            })
+            .collect();
+        for (i, point) in cells.into_iter().enumerate() {
+            curves[i % nm].points.push(point);
+        }
+        for curve in &mut curves {
+            curve.knee_qps = curve
+                .points
+                .iter()
+                .filter(|p| p.achieved_qps >= 0.95 * p.offered_qps)
+                .map(|p| p.offered_qps)
+                .fold(0.0, f64::max);
+        }
+        Ok(ServeSweep {
+            title: format!(
+                "Serve sweep: {} open-loop clients per rate at query area {} (grid {:?}, M={})",
+                clients,
+                area,
+                self.space.dims(),
+                self.m
+            ),
+            clients,
+            rates_qps: rates_qps.to_vec(),
+            curves,
+        })
     }
 
     /// **Partial-match table.** Mean RT per method for partial-match
@@ -1039,9 +1221,11 @@ mod tests {
             for (a, b) in base.iter().zip(&other) {
                 assert_eq!(a.rate_qps.to_bits(), b.rate_qps.to_bits());
                 for (ma, mb) in a.methods.iter().zip(&b.methods) {
-                    assert_eq!(ma.0, mb.0);
-                    assert_eq!(ma.1.to_bits(), mb.1.to_bits());
-                    assert_eq!(ma.2.to_bits(), mb.2.to_bits());
+                    assert_eq!(ma.name, mb.name);
+                    assert_eq!(ma.mean_latency_ms.to_bits(), mb.mean_latency_ms.to_bits());
+                    assert_eq!(ma.utilization.to_bits(), mb.utilization.to_bits());
+                    assert_eq!(ma.tail_ms.p95.to_bits(), mb.tail_ms.p95.to_bits());
+                    assert_eq!(ma.tail_ms.p99.to_bits(), mb.tail_ms.p99.to_bits());
                 }
             }
         }
@@ -1049,6 +1233,76 @@ mod tests {
             experiment().run_load_sweep(&params, &[], 16).unwrap_err(),
             SimError::EmptySweep
         ));
+    }
+
+    #[test]
+    fn experiment_serve_sweep_is_thread_count_invariant() {
+        let params = DiskParams::default();
+        let rates = [2.0, 200.0];
+        let base = experiment()
+            .with_threads(1)
+            .run_serve_sweep(&params, 300, &rates, 16)
+            .unwrap();
+        assert_eq!(base.rates_qps, rates);
+        for threads in [4, 0] {
+            let other = experiment()
+                .with_threads(threads)
+                .run_serve_sweep(&params, 300, &rates, 16)
+                .unwrap();
+            for (a, b) in base.curves.iter().zip(&other.curves) {
+                assert_eq!(a.method, b.method);
+                assert_eq!(a.knee_qps.to_bits(), b.knee_qps.to_bits());
+                for (pa, pb) in a.points.iter().zip(&b.points) {
+                    assert_eq!(pa.achieved_qps.to_bits(), pb.achieved_qps.to_bits());
+                    assert_eq!(pa.mean_latency_ms.to_bits(), pb.mean_latency_ms.to_bits());
+                    assert_eq!(pa.tail_ms, pb.tail_ms);
+                    assert_eq!(pa.peak_in_flight, pb.peak_in_flight);
+                    assert_eq!(pa.samples, pb.samples);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn experiment_serve_sweep_finds_a_knee_and_samples() {
+        let params = DiskParams::default();
+        // 2 q/s is far below saturation for area 16 on 8 disks; 500 q/s
+        // is far above it.
+        let sweep = experiment()
+            .run_serve_sweep(&params, 2000, &[2.0, 500.0], 16)
+            .unwrap();
+        for curve in &sweep.curves {
+            assert_eq!(curve.points.len(), 2);
+            let slow = &curve.points[0];
+            let fast = &curve.points[1];
+            assert!(
+                slow.achieved_qps >= 0.95 * slow.offered_qps,
+                "{}",
+                curve.method
+            );
+            assert!(
+                fast.achieved_qps < 0.95 * fast.offered_qps,
+                "{}",
+                curve.method
+            );
+            assert_eq!(curve.knee_qps, 2.0, "{}", curve.method);
+            assert!(!slow.samples.is_empty());
+            assert!(slow.tail_ms.p50 <= slow.tail_ms.p95);
+            assert!(fast.mean_latency_ms > slow.mean_latency_ms);
+            assert!(fast.peak_in_flight > slow.peak_in_flight);
+        }
+        assert!(matches!(
+            experiment()
+                .run_serve_sweep(&params, 300, &[], 16)
+                .unwrap_err(),
+            SimError::EmptySweep
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn experiment_serve_sweep_rejects_zero_clients() {
+        let _ = experiment().run_serve_sweep(&DiskParams::default(), 0, &[5.0], 16);
     }
 
     #[test]

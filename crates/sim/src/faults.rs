@@ -319,6 +319,16 @@ impl FaultSchedule {
         }
     }
 
+    /// Whether `disk` and its chained-declustering backup `(disk + 1)
+    /// mod M` are both down at time `t` — the condition under which a
+    /// batch on `disk` has no live copy and its query is unavailable.
+    ///
+    /// # Panics
+    /// As [`FaultSchedule::state_at`].
+    pub fn chain_dead(&self, disk: u32, t: u64) -> bool {
+        !self.state_at(disk, t).is_live() && !self.state_at((disk + 1) % self.m, t).is_live()
+    }
+
     /// The failed-disk mask at time `t`: `mask[d]` is true when disk `d`
     /// is down.
     pub fn failed_mask(&self, t: u64) -> Vec<bool> {
@@ -754,6 +764,28 @@ pub fn simulate_rebuild_obs(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chain_dead_needs_both_links_down() {
+        let s = FaultSchedule::healthy(4)
+            .fail_stop(1, 0)
+            .unwrap()
+            .fail_stop(2, 10)
+            .unwrap();
+        // Only disk 1 down: its backup (2) is still live.
+        assert!(!s.chain_dead(1, 5));
+        // After t=10 both 1 and 2 are down: 1's chain is dead, and so is
+        // 2's only if disk 3 is down too (it is not).
+        assert!(s.chain_dead(1, 10));
+        assert!(!s.chain_dead(2, 10));
+        // Wrap-around: backup of the last disk is disk 0.
+        let wrap = FaultSchedule::healthy(4)
+            .fail_stop(3, 0)
+            .unwrap()
+            .fail_stop(0, 0)
+            .unwrap();
+        assert!(wrap.chain_dead(3, 0));
+    }
 
     #[test]
     fn healthy_schedule_reports_everything_up() {

@@ -39,6 +39,7 @@
 
 mod disk;
 mod eval;
+mod events;
 mod exec;
 mod experiment;
 pub mod faults;
@@ -50,7 +51,13 @@ pub mod workload;
 
 pub use disk::{DiskParams, IoSimulator};
 pub use eval::{DegradedContext, EvalContext};
-pub use experiment::{DbSizePoint, Experiment, MethodSeries, SweepResult};
+pub use events::{
+    sharded_arrivals, Event, EventHeap, LoopScratch, ServeConfig, ServeReport, ServeSample,
+    ServingEngine,
+};
+pub use experiment::{
+    DbSizePoint, Experiment, MethodSeries, ServeCurve, ServePoint, ServeSweep, SweepResult,
+};
 pub use faults::{
     degraded_outcome, degraded_outcome_with, simulate_rebuild, simulate_rebuild_obs, DiskState,
     FaultEvent, FaultMethodStats, FaultReport, FaultSchedule, QueryOutcome, RebuildReport,
@@ -59,19 +66,52 @@ pub use faults::{
 pub use multiuser::{
     load_sweep, load_sweep_with_threads, poisson_arrivals, run_closed_loop,
     run_closed_loop_degraded, run_closed_loop_degraded_obs, run_closed_loop_obs, run_open_loop,
-    run_open_loop_obs, DegradedMultiUserReport, LoadPoint, LoopScratch, MultiUserEngine,
+    run_open_loop_obs, DegradedMultiUserReport, LoadPoint, LoadPointMethod, MultiUserEngine,
     MultiUserReport,
-};
-#[allow(deprecated)]
-pub use report::{
-    render_csv, render_fault_csv, render_fault_table, render_table, render_table_with_ci,
 };
 pub use report::{Report, ReportFormat, TextTable};
 pub use rt::{
     deviation_from_optimal, masked_response_time, masked_response_time_with, optimal_response_time,
     response_time, response_time_batched, response_time_batched_with,
 };
-pub use stats::Summary;
+pub use stats::{Quantiles, Summary};
+
+/// Renders a sweep as an aligned plain-text table: one row per x-value,
+/// one column per method, plus the optimal lower bound.
+#[deprecated(note = "use `Report::render(ReportFormat::Table)`")]
+pub fn render_table(result: &SweepResult) -> String {
+    result.render(ReportFormat::Table)
+}
+
+/// Renders a sweep like [`render_table`] but annotates every mean with
+/// its ~95% confidence half-width (`mean ±hw`), so readers can judge
+/// whether method gaps exceed sampling noise.
+#[deprecated(note = "use `Report::render(ReportFormat::TableWithCi)`")]
+pub fn render_table_with_ci(result: &SweepResult) -> String {
+    result.render(ReportFormat::TableWithCi)
+}
+
+/// Renders a sweep as CSV with a header row (`x, <methods…>, OPT`). NaN
+/// points (method not applicable) are empty cells.
+#[deprecated(note = "use `Report::render(ReportFormat::Csv)`")]
+pub fn render_csv(result: &SweepResult) -> String {
+    result.render(ReportFormat::Csv)
+}
+
+/// Renders a fault-injection report as an aligned plain-text table: one
+/// row per method variant, with healthy vs degraded mean RT, worst-case
+/// degraded RT, availability, and failover volume.
+#[deprecated(note = "use `Report::render(ReportFormat::Table)`")]
+pub fn render_fault_table(report: &FaultReport) -> String {
+    report.render(ReportFormat::Table)
+}
+
+/// Renders a fault-injection report as CSV
+/// (`method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets`).
+#[deprecated(note = "use `Report::render(ReportFormat::Csv)`")]
+pub fn render_fault_csv(report: &FaultReport) -> String {
+    report.render(ReportFormat::Csv)
+}
 
 /// Errors from the simulator: configuration problems surface as the
 /// underlying crates' errors.

@@ -9,6 +9,16 @@
 //! methods that spread each query thinly across disks keep all spindles
 //! busy and finish the workload sooner.
 //!
+//! # The event core
+//!
+//! Every loop here is a driver over the serving core in
+//! [`crate::events`]: client readiness and query completions flow
+//! through the deterministic [`crate::events::EventHeap`], and the
+//! per-query FCFS fan-out is [`ServingEngine::fan_out`] — the identical
+//! float sequence the loops always computed, now shared. The streaming
+//! entry point ([`ServingEngine::serve_obs`]) generalizes the open loop
+//! to unbounded arrival streams with mid-run sampling.
+//!
 //! # The counts fast path
 //!
 //! None of the loops here ever look at page *identities* — FCFS queueing
@@ -21,13 +31,14 @@
 //! [`crate::faults`]) use the flat [`IoPlan`] arena and the position
 //! model instead — see `run_closed_loop_positions_obs`.
 
+use crate::events::{EventHeap, LoopScratch, ServingEngine};
 use crate::faults::{DiskState, FaultSchedule, RetryPolicy};
+use crate::stats::Quantiles;
 use crate::{DiskParams, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridDirectory, IoPlan};
-use decluster_methods::{PlanCounts, Scratch};
+#[allow(unused_imports)] // rustdoc links
+use decluster_methods::PlanCounts;
 use decluster_obs::{CounterHandle, GaugeHandle, HistogramHandle, Obs, TraceEvent};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Pre-interned handles for the shared closed/open-loop metrics: every
 /// name is formatted and resolved once per run, never inside the
@@ -36,7 +47,7 @@ use std::collections::BinaryHeap;
 /// deterministic sections stay bit-identical across runs; only the
 /// sub-millisecond float rounding is quantized (to microseconds for busy
 /// time, milliseconds for latencies).
-struct LoopMeters {
+pub(crate) struct LoopMeters {
     queries: CounterHandle,
     batches: CounterHandle,
     queued_batches: CounterHandle,
@@ -46,7 +57,7 @@ struct LoopMeters {
 }
 
 impl LoopMeters {
-    fn new(obs: &Obs, prefix: &str, m: usize) -> Self {
+    pub(crate) fn new(obs: &Obs, prefix: &str, m: usize) -> Self {
         LoopMeters {
             queries: obs.counter_handle(&format!("{prefix}.queries")),
             batches: obs.counter_handle(&format!("{prefix}.batches")),
@@ -59,7 +70,7 @@ impl LoopMeters {
         }
     }
 
-    fn record(
+    pub(crate) fn record(
         &self,
         queries: usize,
         batches: u64,
@@ -96,17 +107,22 @@ pub struct MultiUserReport {
     pub throughput_qps: f64,
     /// Per-query latency statistics (issue → completion), ms.
     pub latency: Summary,
+    /// Exact nearest-rank p50/p95/p99 latency tails, ms.
+    pub tail: Quantiles,
     /// Mean disk utilization in `[0, 1]`: busy time over `M · makespan`.
     pub utilization: f64,
 }
 
-fn assemble_report(
+/// Builds the aggregate report. Sorts `latencies` in place for the tail
+/// quantiles — the summary moments are taken first, in recording order,
+/// so their floating-point sums keep their historical bit patterns.
+pub(crate) fn assemble_report(
     queries: usize,
     clients: usize,
     makespan: f64,
     m: usize,
     disk_busy_ms: &[f64],
-    latencies: &[f64],
+    latencies: &mut [f64],
 ) -> MultiUserReport {
     let throughput_qps = if makespan > 0.0 {
         queries as f64 / (makespan / 1000.0)
@@ -118,52 +134,23 @@ fn assemble_report(
     } else {
         0.0
     };
+    let latency = Summary::of(latencies);
+    let tail = Quantiles::of_unsorted(latencies);
     MultiUserReport {
         queries,
         clients,
         makespan_ms: makespan,
         throughput_qps,
-        latency: Summary::of(latencies),
+        latency,
+        tail,
         utilization,
     }
 }
 
-/// Reusable per-run buffers for the multi-user loops: the kernel
-/// [`Scratch`] (plan cache + accumulators), the per-query count
-/// histogram, and the queue/latency state vectors. One instance per
-/// worker thread makes every loop allocation-free per query once the
-/// buffers have grown to the working-set size.
-#[derive(Debug, Default)]
-pub struct LoopScratch {
-    scratch: Scratch,
-    hist: Vec<u64>,
-    disk_free_at: Vec<f64>,
-    disk_busy_ms: Vec<f64>,
-    latencies: Vec<f64>,
-    ready: BinaryHeap<Reverse<OrderedF64>>,
-}
-
-impl LoopScratch {
-    /// Fresh (empty) buffers; they grow on first use and are reused
-    /// afterwards.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn begin(&mut self, m: usize, queries: usize) {
-        self.disk_free_at.clear();
-        self.disk_free_at.resize(m, 0.0);
-        self.disk_busy_ms.clear();
-        self.disk_busy_ms.resize(m, 0.0);
-        self.latencies.clear();
-        self.latencies.reserve(queries);
-        self.ready.clear();
-    }
-}
-
-/// A directory's multi-user simulation engine: the cached [`PlanCounts`]
-/// kernel plus the static load vector. Build once per directory (the
-/// kernel build walks the grid once), then run any number of closed-loop,
+/// A directory's multi-user simulation engine: a [`ServingEngine`] (the
+/// cached [`PlanCounts`] kernel plus the static load vector) with the
+/// whole-run loop drivers on top. Build once per directory (the kernel
+/// build walks the grid once), then run any number of closed-loop,
 /// open-loop, or degraded workloads against it — each query costs
 /// `O(M · 2^k)` kernel lookups and zero heap allocations.
 ///
@@ -172,28 +159,32 @@ impl LoopScratch {
 /// [`LoopScratch`].
 #[derive(Clone, Debug)]
 pub struct MultiUserEngine {
-    counts: PlanCounts,
-    loads: Vec<u64>,
+    core: ServingEngine,
 }
 
 impl MultiUserEngine {
     /// Builds the count kernel for `dir` and snapshots its load vector.
     pub fn new(dir: &GridDirectory) -> Self {
         MultiUserEngine {
-            counts: PlanCounts::build(dir),
-            loads: dir.load_vector(),
+            core: ServingEngine::new(dir),
         }
     }
 
     /// Disks (`M`).
     pub fn num_disks(&self) -> usize {
-        self.loads.len()
+        self.core.num_disks()
     }
 
     /// Whether queries are served by the prefix-sum kernel (false means
     /// the grid was too large for a table and the engine walks buckets).
     pub fn kernel_backed(&self) -> bool {
-        self.counts.kernel_backed()
+        self.core.kernel_backed()
+    }
+
+    /// The underlying streaming serving core (for
+    /// [`ServingEngine::serve_obs`] arrival-stream runs).
+    pub fn serving(&self) -> &ServingEngine {
+        &self.core
     }
 
     /// Closed-loop run against this engine; see [`run_closed_loop`].
@@ -210,40 +201,34 @@ impl MultiUserEngine {
     ) -> MultiUserReport {
         assert!(clients > 0, "closed loop needs at least one client");
         let record = obs.enabled();
-        let meters = record.then(|| LoopMeters::new(obs, "multiuser", self.loads.len()));
-        let m = self.loads.len();
+        let meters = record.then(|| LoopMeters::new(obs, "multiuser", self.core.num_disks()));
+        let m = self.core.num_disks();
         ls.begin(m, queries.len());
         let mut makespan: f64 = 0.0;
         let mut batches = 0u64;
         let mut queued_batches = 0u64;
+        // A client-ready event per client; the earliest-free client
+        // (ties by event order) issues the next query.
         for _ in 0..clients {
-            ls.ready.push(Reverse(OrderedF64(0.0)));
+            ls.events.push(0.0, 0.0);
         }
 
         for region in queries {
-            let Reverse(OrderedF64(issue_at)) = ls.ready.pop().expect("clients > 0");
-            self.counts
-                .counts_into(region, &mut ls.scratch, &mut ls.hist);
-            let mut completion = issue_at;
-            for (d, &count) in ls.hist.iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                let start = issue_at.max(ls.disk_free_at[d]);
-                let service = params.batch_ms_counts(count, self.loads[d]);
-                ls.disk_free_at[d] = start + service;
-                ls.disk_busy_ms[d] += service;
-                completion = completion.max(start + service);
-                if record {
-                    batches += 1;
-                    if start > issue_at {
-                        queued_batches += 1;
-                    }
-                }
-            }
+            let issue_at = ls.events.pop().expect("clients > 0").time;
+            self.core.counts_into(region, &mut ls.scratch, &mut ls.hist);
+            let completion = self.core.fan_out(
+                params,
+                issue_at,
+                &ls.hist,
+                &mut ls.disk_free_at,
+                &mut ls.disk_busy_ms,
+                record,
+                &mut batches,
+                &mut queued_batches,
+            );
             ls.latencies.push(completion - issue_at);
             makespan = makespan.max(completion);
-            ls.ready.push(Reverse(OrderedF64(completion)));
+            ls.events.push(completion, completion - issue_at);
         }
 
         if let Some(meters) = &meters {
@@ -261,7 +246,7 @@ impl MultiUserEngine {
             makespan,
             m,
             &ls.disk_busy_ms,
-            &ls.latencies,
+            &mut ls.latencies,
         );
         if obs.trace_enabled() {
             obs.emit(
@@ -296,36 +281,36 @@ impl MultiUserEngine {
             "arrival times must be non-decreasing"
         );
         let record = obs.enabled();
-        let meters = record.then(|| LoopMeters::new(obs, "openloop", self.loads.len()));
-        let m = self.loads.len();
+        let meters = record.then(|| LoopMeters::new(obs, "openloop", self.core.num_disks()));
+        let m = self.core.num_disks();
         ls.begin(m, queries.len());
         let mut makespan: f64 = 0.0;
         let mut batches = 0u64;
         let mut queued_batches = 0u64;
 
         for (region, &issue_at) in queries.iter().zip(arrivals_ms) {
-            self.counts
-                .counts_into(region, &mut ls.scratch, &mut ls.hist);
-            let mut completion = issue_at;
-            for (d, &count) in ls.hist.iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                let start = issue_at.max(ls.disk_free_at[d]);
-                let service = params.batch_ms_counts(count, self.loads[d]);
-                ls.disk_free_at[d] = start + service;
-                ls.disk_busy_ms[d] += service;
-                completion = completion.max(start + service);
-                if record {
-                    batches += 1;
-                    if start > issue_at {
-                        queued_batches += 1;
-                    }
-                }
+            // Retire completion events that precede this arrival, so the
+            // heap tracks the in-flight set (arrivals never wait on it —
+            // the open loop has unbounded concurrency).
+            while ls.events.peek_time().is_some_and(|t| t <= issue_at) {
+                ls.events.pop();
             }
+            self.core.counts_into(region, &mut ls.scratch, &mut ls.hist);
+            let completion = self.core.fan_out(
+                params,
+                issue_at,
+                &ls.hist,
+                &mut ls.disk_free_at,
+                &mut ls.disk_busy_ms,
+                record,
+                &mut batches,
+                &mut queued_batches,
+            );
             ls.latencies.push(completion - issue_at);
             makespan = makespan.max(completion);
+            ls.events.push(completion, completion - issue_at);
         }
+        ls.events.clear();
 
         if let Some(meters) = &meters {
             meters.record(
@@ -343,7 +328,7 @@ impl MultiUserEngine {
             makespan,
             m,
             &ls.disk_busy_ms,
-            &ls.latencies,
+            &mut ls.latencies,
         );
         if obs.trace_enabled() {
             obs.emit(
@@ -377,7 +362,7 @@ impl MultiUserEngine {
         ls: &mut LoopScratch,
     ) -> Result<DegradedMultiUserReport> {
         assert!(clients > 0, "closed loop needs at least one client");
-        let m = self.loads.len();
+        let m = self.core.num_disks();
         if schedule.num_disks() as usize != m {
             return Err(SimError::ScheduleMismatch {
                 schedule_disks: schedule.num_disks(),
@@ -394,24 +379,23 @@ impl MultiUserEngine {
         let mut batches = 0u64;
         let mut queued_batches = 0u64;
         for _ in 0..clients {
-            ls.ready.push(Reverse(OrderedF64(0.0)));
+            ls.events.push(0.0, 0.0);
         }
 
         for (i, region) in queries.iter().enumerate() {
             let t = i as u64;
-            let Reverse(OrderedF64(issue_at)) = ls.ready.pop().expect("clients > 0");
-            self.counts
-                .counts_into(region, &mut ls.scratch, &mut ls.hist);
+            let issue_at = ls.events.pop().expect("clients > 0").time;
+            self.core.counts_into(region, &mut ls.scratch, &mut ls.hist);
             // Availability first: abandon (don't half-schedule) a query
             // whose down disk has a down chain successor.
-            let lost = ls.hist.iter().enumerate().any(|(d, &count)| {
-                count > 0
-                    && !schedule.state_at(d as u32, t).is_live()
-                    && !schedule.state_at(((d + 1) % m) as u32, t).is_live()
-            });
+            let lost = ls
+                .hist
+                .iter()
+                .enumerate()
+                .any(|(d, &count)| count > 0 && schedule.chain_dead(d as u32, t));
             if lost {
                 unavailable += 1;
-                ls.ready.push(Reverse(OrderedF64(issue_at)));
+                ls.events.push(issue_at, 0.0);
                 continue;
             }
             let mut completion = issue_at;
@@ -422,8 +406,8 @@ impl MultiUserEngine {
                 match schedule.state_at(d as u32, t) {
                     state @ (DiskState::Up | DiskState::Slow(_)) => {
                         let start = issue_at.max(ls.disk_free_at[d]);
-                        let service =
-                            params.batch_ms_counts(count, self.loads[d]) * state.latency_factor();
+                        let service = params.batch_ms_counts(count, self.core.load_of(d))
+                            * state.latency_factor();
                         ls.disk_free_at[d] = start + service;
                         ls.disk_busy_ms[d] += service;
                         completion = completion.max(start + service);
@@ -438,7 +422,7 @@ impl MultiUserEngine {
                         let b = (d + 1) % m;
                         let backup_state = schedule.state_at(b as u32, t);
                         let start = (issue_at + timeout_ms).max(ls.disk_free_at[b]);
-                        let service = params.batch_ms_counts(count, self.loads[b])
+                        let service = params.batch_ms_counts(count, self.core.load_of(b))
                             * backup_state.latency_factor();
                         ls.disk_free_at[b] = start + service;
                         ls.disk_busy_ms[b] += service;
@@ -455,7 +439,7 @@ impl MultiUserEngine {
             }
             ls.latencies.push(completion - issue_at);
             makespan = makespan.max(completion);
-            ls.ready.push(Reverse(OrderedF64(completion)));
+            ls.events.push(completion, completion - issue_at);
         }
 
         let served = ls.latencies.len();
@@ -479,7 +463,7 @@ impl MultiUserEngine {
             makespan,
             m,
             &ls.disk_busy_ms,
-            &ls.latencies,
+            &mut ls.latencies,
         );
         if obs.trace_enabled() {
             obs.emit(
@@ -565,11 +549,13 @@ pub(crate) fn run_closed_loop_positions_obs(
     let mut batches = 0u64;
     let mut queued_batches = 0u64;
 
-    let mut ready: BinaryHeap<Reverse<OrderedF64>> =
-        (0..clients).map(|_| Reverse(OrderedF64(0.0))).collect();
+    let mut ready: EventHeap<()> = EventHeap::new();
+    for _ in 0..clients {
+        ready.push(0.0, ());
+    }
 
     for region in queries {
-        let Reverse(OrderedF64(issue_at)) = ready.pop().expect("clients > 0");
+        let issue_at = ready.pop().expect("clients > 0").time;
         dir.io_plan_into(region, &mut plan);
         let mut completion = issue_at;
         for (d, pages) in plan.iter().enumerate() {
@@ -590,7 +576,7 @@ pub(crate) fn run_closed_loop_positions_obs(
         }
         latencies.push(completion - issue_at);
         makespan = makespan.max(completion);
-        ready.push(Reverse(OrderedF64(completion)));
+        ready.push(completion, ());
     }
 
     if let Some(meters) = &meters {
@@ -608,7 +594,7 @@ pub(crate) fn run_closed_loop_positions_obs(
         makespan,
         m,
         &disk_busy_ms,
-        &latencies,
+        &mut latencies,
     );
     if obs.trace_enabled() {
         obs.emit(
@@ -745,14 +731,27 @@ pub fn run_open_loop_obs(
     )
 }
 
+/// One method's measurements at one offered load.
+#[derive(Clone, Debug)]
+pub struct LoadPointMethod {
+    /// Declustering method name.
+    pub name: String,
+    /// Mean query latency, ms.
+    pub mean_latency_ms: f64,
+    /// Mean disk utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Exact p50/p95/p99 latency tails, ms.
+    pub tail_ms: Quantiles,
+}
+
 /// One point of a latency-vs-load curve: the offered arrival rate and
-/// the per-method mean latencies measured at it.
+/// the per-method measurements at it.
 #[derive(Clone, Debug)]
 pub struct LoadPoint {
     /// Offered load, queries per second.
     pub rate_qps: f64,
-    /// `(method name, mean latency ms, utilization)` per method.
-    pub methods: Vec<(String, f64, f64)>,
+    /// Per-method latency/utilization/tail measurements.
+    pub methods: Vec<LoadPointMethod>,
 }
 
 /// Sweeps open-loop arrival rates against a set of directories (one per
@@ -804,7 +803,7 @@ pub fn load_sweep_with_threads(
         |i, ls| {
             let report =
                 engines[i % nm].open_loop_obs(params, queries, &arrivals[i / nm], &obs, ls);
-            (report.latency.mean, report.utilization)
+            (report.latency.mean, report.utilization, report.tail)
         },
     );
     rates_qps
@@ -816,8 +815,13 @@ pub fn load_sweep_with_threads(
                 .iter()
                 .enumerate()
                 .map(|(mi, (name, _))| {
-                    let (latency, utilization) = cells[ri * nm + mi];
-                    ((*name).to_owned(), latency, utilization)
+                    let (mean_latency_ms, utilization, tail_ms) = cells[ri * nm + mi];
+                    LoadPointMethod {
+                        name: (*name).to_owned(),
+                        mean_latency_ms,
+                        utilization,
+                        tail_ms,
+                    }
                 })
                 .collect(),
         })
@@ -838,20 +842,6 @@ pub fn poisson_arrivals<R: rand::Rng>(rng: &mut R, n: usize, rate_qps: f64) -> V
             t
         })
         .collect()
-}
-
-/// Total order for finite f64 times (simulation times are never NaN).
-#[derive(Debug, PartialEq, PartialOrd)]
-struct OrderedF64(f64);
-
-impl Eq for OrderedF64 {}
-
-#[allow(clippy::derive_ord_xor_partial_ord)]
-impl Ord for OrderedF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other)
-            .expect("simulation times are finite")
-    }
 }
 
 #[cfg(test)]
@@ -932,6 +922,7 @@ mod tests {
             reused.throughput_qps.to_bits(),
             fresh.throughput_qps.to_bits()
         );
+        assert_eq!(reused.tail, fresh.tail);
     }
 
     #[test]
@@ -989,6 +980,19 @@ mod tests {
         let b = run_closed_loop(&dir, &params, &queries, 3);
         assert_eq!(a.makespan_ms, b.makespan_ms);
         assert_eq!(a.latency, b.latency);
+        assert_eq!(a.tail, b.tail);
+    }
+
+    #[test]
+    fn report_tails_are_ordered_and_within_range() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 4).unwrap();
+        let dir = directory(4, &hcam, &space);
+        let report = run_closed_loop(&dir, &DiskParams::default(), &small_squares(&space), 4);
+        assert!(report.latency.min <= report.tail.p50);
+        assert!(report.tail.p50 <= report.tail.p95);
+        assert!(report.tail.p95 <= report.tail.p99);
+        assert!(report.tail.p99 <= report.latency.max);
     }
 
     #[test]
@@ -1056,13 +1060,26 @@ mod tests {
         assert_eq!(points.len(), 3);
         // Per method, latency never decreases with rate.
         for mi in 0..2 {
-            let lats: Vec<f64> = points.iter().map(|p| p.methods[mi].1).collect();
+            let lats: Vec<f64> = points
+                .iter()
+                .map(|p| p.methods[mi].mean_latency_ms)
+                .collect();
             assert!(lats.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{lats:?}");
         }
         // At the light-load end, HCAM (better spreader on 2x2s) is at
         // least as fast as DM.
-        let (dm_lat, hcam_lat) = (points[0].methods[0].1, points[0].methods[1].1);
+        let (dm_lat, hcam_lat) = (
+            points[0].methods[0].mean_latency_ms,
+            points[0].methods[1].mean_latency_ms,
+        );
         assert!(hcam_lat <= dm_lat + 1e-9, "HCAM {hcam_lat} vs DM {dm_lat}");
+        // Tails are ordered per cell.
+        for p in &points {
+            for mm in &p.methods {
+                assert!(mm.tail_ms.p50 <= mm.tail_ms.p95);
+                assert!(mm.tail_ms.p95 <= mm.tail_ms.p99);
+            }
+        }
     }
 
     #[test]
@@ -1083,9 +1100,18 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.rate_qps.to_bits(), b.rate_qps.to_bits());
             for (ma, mb) in a.methods.iter().zip(&b.methods) {
-                assert_eq!(ma.0, mb.0);
-                assert_eq!(ma.1.to_bits(), mb.1.to_bits(), "latency differs");
-                assert_eq!(ma.2.to_bits(), mb.2.to_bits(), "utilization differs");
+                assert_eq!(ma.name, mb.name);
+                assert_eq!(
+                    ma.mean_latency_ms.to_bits(),
+                    mb.mean_latency_ms.to_bits(),
+                    "latency differs"
+                );
+                assert_eq!(
+                    ma.utilization.to_bits(),
+                    mb.utilization.to_bits(),
+                    "utilization differs"
+                );
+                assert_eq!(ma.tail_ms, mb.tail_ms, "tails differ");
             }
         }
     }
@@ -1125,6 +1151,7 @@ mod tests {
         assert_eq!(degraded.failover_batches, 0);
         assert_eq!(degraded.report.makespan_ms, plain.makespan_ms);
         assert_eq!(degraded.report.latency, plain.latency);
+        assert_eq!(degraded.report.tail, plain.tail);
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! The report sink API: every tabular artifact — sweep tables, fault
-//! tables, metrics snapshots — renders through one [`Report`] trait and
-//! a [`ReportFormat`] selector, instead of a parallel free function per
-//! (type, format) pair.
+//! The report sink API: every tabular artifact — sweep tables, serve
+//! curves, fault tables, metrics snapshots — renders through one
+//! [`Report`] trait and a [`ReportFormat`] selector, instead of a
+//! parallel free function per (type, format) pair.
 //!
-//! The deprecated `render_*` free functions remain as thin wrappers and
-//! produce byte-identical output (covered by parity tests), so existing
-//! callers keep compiling.
+//! The deprecated `render_*` free functions live at the crate root as
+//! thin wrappers and produce byte-identical output (covered by parity
+//! tests), so existing callers keep compiling.
 
+use crate::experiment::ServeSweep;
 use crate::faults::FaultReport;
 use crate::SweepResult;
 use decluster_obs::json::JsonValue;
@@ -324,6 +325,143 @@ impl Report for FaultReport {
     }
 }
 
+impl ServeSweep {
+    fn text_table(&self) -> TextTable {
+        let headers = [
+            "rate q/s",
+            "method",
+            "achieved q/s",
+            "mean ms",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "util",
+            "in-flight",
+        ];
+        let mut rows = Vec::with_capacity(self.rates_qps.len() * self.curves.len());
+        for ri in 0..self.rates_qps.len() {
+            for curve in &self.curves {
+                let p = &curve.points[ri];
+                rows.push(vec![
+                    format!("{:.3}", p.offered_qps),
+                    curve.method.clone(),
+                    format!("{:.3}", p.achieved_qps),
+                    format!("{:.3}", p.mean_latency_ms),
+                    format!("{:.3}", p.tail_ms.p50),
+                    format!("{:.3}", p.tail_ms.p95),
+                    format!("{:.3}", p.tail_ms.p99),
+                    format!("{:.3}", p.utilization),
+                    format!("{}", p.peak_in_flight),
+                ]);
+            }
+        }
+        TextTable {
+            title: self.title.clone(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows,
+            separator: true,
+        }
+    }
+
+    fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rate_qps,method,achieved_qps,mean_latency_ms,p50_ms,p95_ms,p99_ms,utilization,peak_in_flight,knee_qps"
+        );
+        for ri in 0..self.rates_qps.len() {
+            for curve in &self.curves {
+                let p = &curve.points[ri];
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    p.offered_qps,
+                    curve.method.replace(',', ";"),
+                    p.achieved_qps,
+                    p.mean_latency_ms,
+                    p.tail_ms.p50,
+                    p.tail_ms.p95,
+                    p.tail_ms.p99,
+                    p.utilization,
+                    p.peak_in_flight,
+                    curve.knee_qps
+                );
+            }
+        }
+        out
+    }
+
+    fn json(&self) -> JsonValue {
+        let curves = JsonValue::Array(
+            self.curves
+                .iter()
+                .map(|c| {
+                    let points = JsonValue::Array(
+                        c.points
+                            .iter()
+                            .map(|p| {
+                                JsonValue::Object(vec![
+                                    ("offered_qps".into(), JsonValue::Number(p.offered_qps)),
+                                    ("achieved_qps".into(), JsonValue::Number(p.achieved_qps)),
+                                    (
+                                        "mean_latency_ms".into(),
+                                        JsonValue::Number(p.mean_latency_ms),
+                                    ),
+                                    ("p50_ms".into(), JsonValue::Number(p.tail_ms.p50)),
+                                    ("p95_ms".into(), JsonValue::Number(p.tail_ms.p95)),
+                                    ("p99_ms".into(), JsonValue::Number(p.tail_ms.p99)),
+                                    ("utilization".into(), JsonValue::Number(p.utilization)),
+                                    (
+                                        "peak_in_flight".into(),
+                                        JsonValue::Number(p.peak_in_flight as f64),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    JsonValue::Object(vec![
+                        ("method".into(), JsonValue::String(c.method.clone())),
+                        ("knee_qps".into(), JsonValue::Number(c.knee_qps)),
+                        ("points".into(), points),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("title".into(), JsonValue::String(self.title.clone())),
+            ("clients".into(), JsonValue::Number(self.clients as f64)),
+            (
+                "rates_qps".into(),
+                JsonValue::Array(
+                    self.rates_qps
+                        .iter()
+                        .map(|&r| JsonValue::Number(r))
+                        .collect(),
+                ),
+            ),
+            ("curves".into(), curves),
+        ])
+    }
+}
+
+impl Report for ServeSweep {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            // Serve rows carry exact tails rather than sampling CIs, so
+            // TableWithCi degrades to the plain table.
+            ReportFormat::Table | ReportFormat::TableWithCi => {
+                let mut out = self.text_table().render();
+                for c in &self.curves {
+                    let _ = writeln!(out, "knee {}: {:.3} q/s", c.method, c.knee_qps);
+                }
+                out
+            }
+            ReportFormat::Csv => self.csv(),
+            ReportFormat::Json => format!("{}\n", self.json()),
+        }
+    }
+}
+
 impl Report for MetricsSnapshot {
     fn render(&self, format: ReportFormat) -> String {
         match format {
@@ -334,45 +472,7 @@ impl Report for MetricsSnapshot {
     }
 }
 
-/// Renders a sweep as an aligned plain-text table: one row per x-value,
-/// one column per method, plus the optimal lower bound.
-#[deprecated(note = "use `Report::render(ReportFormat::Table)`")]
-pub fn render_table(result: &SweepResult) -> String {
-    result.render(ReportFormat::Table)
-}
-
-/// Renders a sweep like [`render_table`] but annotates every mean with
-/// its ~95% confidence half-width (`mean ±hw`), so readers can judge
-/// whether method gaps exceed sampling noise.
-#[deprecated(note = "use `Report::render(ReportFormat::TableWithCi)`")]
-pub fn render_table_with_ci(result: &SweepResult) -> String {
-    result.render(ReportFormat::TableWithCi)
-}
-
-/// Renders a sweep as CSV with a header row (`x, <methods…>, OPT`). NaN
-/// points (method not applicable) are empty cells.
-#[deprecated(note = "use `Report::render(ReportFormat::Csv)`")]
-pub fn render_csv(result: &SweepResult) -> String {
-    result.render(ReportFormat::Csv)
-}
-
-/// Renders a fault-injection report as an aligned plain-text table: one
-/// row per method variant, with healthy vs degraded mean RT, worst-case
-/// degraded RT, availability, and failover volume.
-#[deprecated(note = "use `Report::render(ReportFormat::Table)`")]
-pub fn render_fault_table(report: &FaultReport) -> String {
-    report.render(ReportFormat::Table)
-}
-
-/// Renders a fault-injection report as CSV
-/// (`method,healthy_mean_rt,degraded_mean_rt,degraded_max_rt,availability,served,unavailable,failover_buckets`).
-#[deprecated(note = "use `Report::render(ReportFormat::Csv)`")]
-pub fn render_fault_csv(report: &FaultReport) -> String {
-    report.render(ReportFormat::Csv)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{MethodSeries, Summary};
@@ -400,7 +500,7 @@ mod tests {
 
     #[test]
     fn table_contains_headers_and_values() {
-        let t = render_table(&sample());
+        let t = sample().render(ReportFormat::Table);
         assert!(t.contains("demo"));
         assert!(t.contains("DM"));
         assert!(t.contains("OPT"));
@@ -411,7 +511,7 @@ mod tests {
 
     #[test]
     fn ci_table_annotates_means() {
-        let t = render_table_with_ci(&sample());
+        let t = sample().render(ReportFormat::TableWithCi);
         assert!(t.contains("±"));
         assert!(t.contains("95% CI"));
         // NaN points stay dashes.
@@ -425,14 +525,14 @@ mod tests {
             .with_queries_per_point(32)
             .run_size_sweep(&crate::workload::SizeSweep::explicit(vec![4]))
             .unwrap();
-        let t = render_table_with_ci(&r);
+        let t = r.render(ReportFormat::TableWithCi);
         assert!(t.contains("±"));
         assert!(!t.contains("NaN"));
     }
 
     #[test]
     fn csv_roundtrips_structure() {
-        let c = render_csv(&sample());
+        let c = sample().render(ReportFormat::Csv);
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "area,DM,ECC,OPT");
@@ -471,7 +571,7 @@ mod tests {
 
     #[test]
     fn fault_table_shows_both_variants() {
-        let t = render_fault_table(&fault_sample());
+        let t = fault_sample().render(ReportFormat::Table);
         assert!(t.contains("fault demo"));
         assert!(t.contains("DM+chain"));
         assert!(t.contains("avail %"));
@@ -481,7 +581,7 @@ mod tests {
 
     #[test]
     fn fault_csv_has_one_row_per_variant() {
-        let c = render_fault_csv(&fault_sample());
+        let c = fault_sample().render(ReportFormat::Csv);
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("method,healthy_mean_rt"));
@@ -494,11 +594,17 @@ mod tests {
     fn csv_escapes_commas_in_xlabel() {
         let mut s = sample();
         s.xlabel = "a,b".into();
-        assert!(render_csv(&s).starts_with("a;b,"));
+        assert!(s.render(ReportFormat::Csv).starts_with("a;b,"));
     }
 
+    /// Byte-identity pin for the deprecated wrappers: the one place the
+    /// deprecated API is still exercised on purpose.
     #[test]
+    #[allow(deprecated)]
     fn deprecated_wrappers_match_report_api_bytes() {
+        use crate::{
+            render_csv, render_fault_csv, render_fault_table, render_table, render_table_with_ci,
+        };
         let s = sample();
         assert_eq!(render_table(&s), s.render(ReportFormat::Table));
         assert_eq!(
@@ -547,6 +653,65 @@ mod tests {
             Some("fail:1@5")
         );
         assert!(matches!(v.get("rows"), Some(JsonValue::Array(a)) if a.len() == 2));
+    }
+
+    fn serve_sample() -> ServeSweep {
+        use crate::experiment::{ServeCurve, ServePoint};
+        use crate::stats::Quantiles;
+        let point = |offered: f64, achieved: f64| ServePoint {
+            offered_qps: offered,
+            achieved_qps: achieved,
+            mean_latency_ms: 42.0,
+            tail_ms: Quantiles {
+                p50: 40.0,
+                p95: 80.0,
+                p99: 99.0,
+            },
+            utilization: 0.5,
+            peak_in_flight: 7,
+            samples: vec![],
+        };
+        ServeSweep {
+            title: "serve demo".into(),
+            clients: 100,
+            rates_qps: vec![5.0, 10.0],
+            curves: vec![ServeCurve {
+                method: "HCAM".into(),
+                points: vec![point(5.0, 5.0), point(10.0, 8.0)],
+                knee_qps: 5.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn serve_table_lists_rates_and_knees() {
+        let t = serve_sample().render(ReportFormat::Table);
+        assert!(t.contains("serve demo"));
+        assert!(t.contains("p99 ms"));
+        assert!(t.contains("HCAM"));
+        assert!(t.trim_end().ends_with("knee HCAM: 5.000 q/s"));
+    }
+
+    #[test]
+    fn serve_csv_has_one_row_per_cell() {
+        let c = serve_sample().render(ReportFormat::Csv);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("rate_qps,method,achieved_qps"));
+        assert!(lines[0].ends_with("knee_qps"));
+        assert_eq!(lines[1], "5,HCAM,5,42,40,80,99,0.5,7,5");
+        assert_eq!(lines[2], "10,HCAM,8,42,40,80,99,0.5,7,5");
+    }
+
+    #[test]
+    fn serve_json_parses_and_carries_curves() {
+        use decluster_obs::json;
+        let v = json::parse(serve_sample().render(ReportFormat::Json).trim_end()).unwrap();
+        assert_eq!(
+            v.get("title").and_then(JsonValue::as_str),
+            Some("serve demo")
+        );
+        assert!(matches!(v.get("curves"), Some(JsonValue::Array(a)) if a.len() == 1));
     }
 
     #[test]

@@ -62,6 +62,48 @@ impl Summary {
     }
 }
 
+/// Exact latency tail quantiles, extracted by nearest-rank from the full
+/// sorted sample (no sketches, no interpolation): deterministic for a
+/// deterministic sample, so 1-thread and N-thread runs agree bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Quantiles {
+    /// Median (nearest-rank p50).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl Quantiles {
+    /// Nearest-rank quantile of an ascending-sorted sample: the smallest
+    /// observation whose rank `r` satisfies `r / n >= q`. Zero when empty.
+    fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
+    }
+
+    /// Extracts p50/p95/p99 from an ascending-sorted sample. An empty
+    /// sample yields all-zero quantiles.
+    pub fn of_sorted(sorted: &[f64]) -> Self {
+        Quantiles {
+            p50: Self::nearest_rank(sorted, 0.50),
+            p95: Self::nearest_rank(sorted, 0.95),
+            p99: Self::nearest_rank(sorted, 0.99),
+        }
+    }
+
+    /// Sorts `values` in place (total order, so NaNs cannot poison the
+    /// ranks) and extracts the quantiles. Allocation-free.
+    pub fn of_unsorted(values: &mut [f64]) -> Self {
+        values.sort_unstable_by(f64::total_cmp);
+        Self::of_sorted(values)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +151,55 @@ mod tests {
         let s = Summary::of(&[7.0; 100]);
         assert_eq!(s.stddev, 0.0);
         assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_empty_sample_are_zero() {
+        assert_eq!(Quantiles::of_sorted(&[]), Quantiles::default());
+    }
+
+    #[test]
+    fn quantiles_of_singleton_are_that_value() {
+        let q = Quantiles::of_sorted(&[3.5]);
+        assert_eq!(
+            q,
+            Quantiles {
+                p50: 3.5,
+                p95: 3.5,
+                p99: 3.5
+            }
+        );
+    }
+
+    #[test]
+    fn nearest_rank_on_1_to_100() {
+        // With n = 100 the nearest-rank quantile of value k at rank k is
+        // exact: p50 = 50, p95 = 95, p99 = 99.
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let q = Quantiles::of_sorted(&sorted);
+        assert_eq!(q.p50, 50.0);
+        assert_eq!(q.p95, 95.0);
+        assert_eq!(q.p99, 99.0);
+    }
+
+    #[test]
+    fn of_unsorted_matches_of_sorted() {
+        let mut shuffled = vec![9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0];
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        assert_eq!(
+            Quantiles::of_unsorted(&mut shuffled),
+            Quantiles::of_sorted(&sorted)
+        );
+    }
+
+    #[test]
+    fn quantiles_are_always_observations() {
+        let sorted = [0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5];
+        let q = Quantiles::of_sorted(&sorted);
+        for v in [q.p50, q.p95, q.p99] {
+            assert!(sorted.contains(&v), "{v} not an observation");
+        }
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99);
     }
 }

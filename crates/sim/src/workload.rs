@@ -9,6 +9,70 @@ use crate::{Result, SimError};
 use decluster_grid::{BucketCoord, BucketRegion, GridSpace, PartialMatchQuery};
 use rand::Rng;
 
+/// Seedable inter-arrival distribution of an open-loop request stream:
+/// the gap between consecutive arrivals, parameterized by the offered
+/// rate. Poisson is the paper-era default (memoryless clients); Uniform
+/// and Constant bound the burstiness from either side at the same mean.
+///
+/// Sampling is deterministic per RNG state; the serving engine's
+/// [`crate::events::sharded_arrivals`] draws per-chunk streams from this
+/// to build arbitrarily long arrival vectors byte-identically at any
+/// thread count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InterArrival {
+    /// Exponential gaps (a Poisson arrival process) at `rate_qps`.
+    Poisson {
+        /// Offered load, queries per second.
+        rate_qps: f64,
+    },
+    /// Uniform gaps on `[0, 2/rate)` — same mean, bounded burst.
+    Uniform {
+        /// Offered load, queries per second.
+        rate_qps: f64,
+    },
+    /// Fixed gaps of exactly `1/rate` — a metronome, no randomness.
+    Constant {
+        /// Offered load, queries per second.
+        rate_qps: f64,
+    },
+}
+
+impl InterArrival {
+    /// The offered rate, queries per second.
+    pub fn rate_qps(&self) -> f64 {
+        match *self {
+            InterArrival::Poisson { rate_qps }
+            | InterArrival::Uniform { rate_qps }
+            | InterArrival::Constant { rate_qps } => rate_qps,
+        }
+    }
+
+    /// Mean gap between arrivals, ms.
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive.
+    pub fn mean_gap_ms(&self) -> f64 {
+        let rate = self.rate_qps();
+        assert!(rate > 0.0, "arrival rate must be positive");
+        1000.0 / rate
+    }
+
+    /// Draws one inter-arrival gap in ms. The Poisson draw consumes the
+    /// RNG exactly like [`crate::poisson_arrivals`] (same formula, same
+    /// stream), so chunked generation reproduces the pinned vectors.
+    pub fn sample_gap_ms<R: Rng>(&self, rng: &mut R) -> f64 {
+        let mean = self.mean_gap_ms();
+        match self {
+            InterArrival::Poisson { .. } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -u.ln() * mean
+            }
+            InterArrival::Uniform { .. } => rng.gen_range(0.0..2.0 * mean),
+            InterArrival::Constant { .. } => mean,
+        }
+    }
+}
+
 /// Near-isotropic integer side lengths whose product is exactly `area`,
 /// fitted to `dims` (per-dimension grid sizes).
 ///
@@ -372,6 +436,51 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn inter_arrival_poisson_matches_poisson_arrivals_stream() {
+        // Same seed, same formula: cumulative gaps reproduce the pinned
+        // poisson_arrivals vector bit for bit.
+        let dist = InterArrival::Poisson { rate_qps: 40.0 };
+        let mut a = StdRng::seed_from_u64(123);
+        let mut t = 0.0;
+        let via_dist: Vec<f64> = (0..50)
+            .map(|_| {
+                t += dist.sample_gap_ms(&mut a);
+                t
+            })
+            .collect();
+        let mut b = StdRng::seed_from_u64(123);
+        let pinned = crate::poisson_arrivals(&mut b, 50, 40.0);
+        for (x, y) in via_dist.iter().zip(&pinned) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn inter_arrival_means_agree() {
+        for dist in [
+            InterArrival::Poisson { rate_qps: 25.0 },
+            InterArrival::Uniform { rate_qps: 25.0 },
+            InterArrival::Constant { rate_qps: 25.0 },
+        ] {
+            assert_eq!(dist.rate_qps(), 25.0);
+            assert_eq!(dist.mean_gap_ms(), 40.0);
+            let mut r = rng();
+            let n = 20_000;
+            let mean = (0..n).map(|_| dist.sample_gap_ms(&mut r)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - 40.0).abs() < 2.0,
+                "{dist:?} sample mean {mean} far from 40"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn inter_arrival_rejects_zero_rate() {
+        let _ = InterArrival::Constant { rate_qps: 0.0 }.mean_gap_ms();
     }
 
     #[test]

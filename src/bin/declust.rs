@@ -279,7 +279,11 @@ fn cmd_loadcurve(flags: &Flags) -> Result<(), String> {
             .iter()
             .map(|p| {
                 std::iter::once(p.rate_qps.to_string())
-                    .chain(p.methods.iter().map(|(_, lat, _)| format!("{lat:.2}")))
+                    .chain(
+                        p.methods
+                            .iter()
+                            .map(|m| format!("{:.2}", m.mean_latency_ms)),
+                    )
                     .collect()
             })
             .collect(),

@@ -16,13 +16,14 @@
 //! `slow:DxF@A..B`, comma-separated; see EXPERIMENTS.md); `--method
 //! NAME` restricts the `faults` table to one method.
 
-use decluster::grid::GridDirectory;
+use decluster::grid::{GridDirectory, IoPlan};
 use decluster::obs::{JsonLinesSink, MetricsRecorder, Obs};
 use decluster::prelude::*;
-use decluster::sim::workload::{all_partial_match_queries, ShapeSweep, SizeSweep};
+use decluster::sim::workload::{all_partial_match_queries, InterArrival, ShapeSweep, SizeSweep};
 use decluster::sim::{
-    simulate_rebuild_obs, DbSizePoint, DiskParams, FaultEvent, FaultReport, FaultSchedule,
-    LoadPoint, LoopScratch, MultiUserEngine, Report, ReportFormat, RetryPolicy, TextTable,
+    sharded_arrivals, simulate_rebuild_obs, DbSizePoint, DiskParams, FaultEvent, FaultReport,
+    FaultSchedule, LoadPoint, LoopScratch, MultiUserEngine, Report, ReportFormat, RetryPolicy,
+    ServeConfig, ServeSweep, TextTable,
 };
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
@@ -122,13 +123,19 @@ const EXPERIMENTS: &[ExperimentSpec] = &[
         engine: true,
     },
     ExperimentSpec {
+        name: "serve",
+        describe: "event-driven open-loop serving: per-method saturation-knee curves (extension)",
+        engine: true,
+    },
+    ExperimentSpec {
         name: "all",
         describe: "everything above (bench stays opt-in)",
         engine: true,
     },
     ExperimentSpec {
         name: "bench",
-        describe: "timing snapshots: RT kernel and multi-user engine (writes BENCH_rt.json, BENCH_multiuser.json)",
+        describe:
+            "timing snapshots: RT kernel, multi-user engine, serve core (writes BENCH_*.json)",
         engine: false,
     },
 ];
@@ -137,7 +144,8 @@ fn usage() -> String {
     let names: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
     let mut u = format!(
         "usage: repro <{}>\n       [--csv DIR] [--quick] [--threads N] [--faults SPEC] \
-         [--method NAME]\n       [--metrics FILE|-] [--trace FILE|-]\n\nexperiments:\n",
+         [--method NAME]\n       [--clients N] [--rate R] [--metrics FILE|-] [--trace FILE|-]\n\n\
+         experiments:\n",
         names.join("|")
     );
     for e in EXPERIMENTS {
@@ -159,7 +167,13 @@ fn usage() -> String {
 struct Opts {
     csv_dir: Option<String>,
     queries: usize,
+    quick: bool,
     threads: usize,
+    /// Arrivals per (rate, method) cell of the `serve` experiment;
+    /// `None` = 50,000 (5,000 with `--quick`).
+    clients: Option<usize>,
+    /// Base arrival rate (queries/s) the `serve` sweep scales around.
+    rate: f64,
     /// Fault schedule for the `faults` experiment; `None` = the default
     /// mid-workload single-disk failure.
     faults: Option<FaultSchedule>,
@@ -180,7 +194,10 @@ fn main() -> ExitCode {
     let mut opts = Opts {
         csv_dir: None,
         queries: 1000,
+        quick: false,
         threads: 1,
+        clients: None,
+        rate: 12.0,
         faults: None,
         method: None,
         metrics: None,
@@ -197,13 +214,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--quick" => opts.queries = 100,
+            "--quick" => {
+                opts.queries = 100;
+                opts.quick = true;
+            }
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(0) | None => {
                     eprintln!("--threads needs a positive thread count");
                     return ExitCode::FAILURE;
                 }
                 Some(n) => opts.threads = n,
+            },
+            "--clients" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(0) | None => {
+                    eprintln!("--clients needs a positive client count");
+                    return ExitCode::FAILURE;
+                }
+                Some(n) => opts.clients = Some(n),
+            },
+            "--rate" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 && r.is_finite() => opts.rate = r,
+                _ => {
+                    eprintln!("--rate needs a positive arrival rate");
+                    return ExitCode::FAILURE;
+                }
             },
             "--faults" => match it.next() {
                 Some(spec) => match FaultSchedule::parse(spec, DISKS) {
@@ -364,11 +398,22 @@ fn main() -> ExitCode {
         emit_load_sweep(&opts, load_curve(&opts));
         ran_any = true;
     }
+    if run("serve") {
+        match serve_sweep(&opts) {
+            Ok(sweep) => emit_serve(&opts, &sweep),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ran_any = true;
+    }
     // The timing snapshots are opt-in only: their numbers are wall-clock
     // and so not deterministic, unlike everything `all` emits.
     if experiment == "bench" {
         println!("{}", bench(&opts));
         println!("{}", bench_multiuser(&opts));
+        println!("{}", bench_serve(&opts));
         ran_any = true;
     }
     if !ran_any {
@@ -773,7 +818,7 @@ fn load_curve(opts: &Opts) -> Vec<LoadPoint> {
 fn load_sweep_table(points: &[LoadPoint]) -> TextTable {
     let methods: Vec<String> = points
         .first()
-        .map(|p| p.methods.iter().map(|(name, _, _)| name.clone()).collect())
+        .map(|p| p.methods.iter().map(|m| m.name.clone()).collect())
         .unwrap_or_default();
     TextTable {
         title: format!(
@@ -787,7 +832,11 @@ fn load_sweep_table(points: &[LoadPoint]) -> TextTable {
             .iter()
             .map(|p| {
                 std::iter::once(format!("{:.0}", p.rate_qps))
-                    .chain(p.methods.iter().map(|(_, lat, _)| format!("{lat:.2}")))
+                    .chain(
+                        p.methods
+                            .iter()
+                            .map(|m| format!("{:.2}", m.mean_latency_ms)),
+                    )
                     .collect()
             })
             .collect(),
@@ -798,16 +847,95 @@ fn load_sweep_table(points: &[LoadPoint]) -> TextTable {
 fn emit_load_sweep(opts: &Opts, points: Vec<LoadPoint>) {
     print!("{}", load_sweep_table(&points).render());
     if let Some(dir) = &opts.csv_dir {
-        let mut csv = String::from("rate_qps,method,mean_latency_ms,utilization\n");
+        let mut csv =
+            String::from("rate_qps,method,mean_latency_ms,utilization,p50_ms,p95_ms,p99_ms\n");
         for p in &points {
-            for (name, lat, util) in &p.methods {
-                csv.push_str(&format!("{},{name},{lat:.6},{util:.6}\n", p.rate_qps));
+            for m in &p.methods {
+                csv.push_str(&format!(
+                    "{},{},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                    p.rate_qps,
+                    m.name,
+                    m.mean_latency_ms,
+                    m.utilization,
+                    m.tail_ms.p50,
+                    m.tail_ms.p95,
+                    m.tail_ms.p99
+                ));
             }
         }
         if let Err(e) = std::fs::create_dir_all(dir)
             .and_then(|()| std::fs::write(format!("{dir}/loadsweep.csv"), csv))
         {
             eprintln!("could not write loadsweep.csv: {e}");
+        }
+    }
+}
+
+/// Rate fractions the `serve` sweep applies to `--rate`: the full ladder
+/// brackets the expected knee from 30% through 115% of the base rate.
+const SERVE_FRACTIONS: [f64; 6] = [0.3, 0.5, 0.7, 0.85, 1.0, 1.15];
+const SERVE_FRACTIONS_QUICK: [f64; 4] = [0.5, 0.85, 1.0, 1.15];
+
+/// Serve (extension): open-loop saturation-knee curves from the
+/// event-driven serving core, `--clients` arrivals per (rate, method)
+/// cell at rates scaled around `--rate`. `--method` restricts the sweep
+/// to one method; the surviving column is bit-identical to its column
+/// in the unrestricted run.
+fn serve_sweep(opts: &Opts) -> Result<ServeSweep, String> {
+    let clients = opts
+        .clients
+        .unwrap_or(if opts.quick { 5_000 } else { 50_000 });
+    let fractions: &[f64] = if opts.quick {
+        &SERVE_FRACTIONS_QUICK
+    } else {
+        &SERVE_FRACTIONS
+    };
+    let rates: Vec<f64> = fractions.iter().map(|f| f * opts.rate).collect();
+    let mut exp = experiment_2d(opts);
+    if let Some(kind) = opts.method {
+        exp = exp.with_method_filter(kind.name());
+    }
+    let sweep = exp
+        .run_serve_sweep(&DiskParams::default(), clients, &rates, MULTIUSER_AREA)
+        .map_err(|e| e.to_string())?;
+    if sweep.curves.is_empty() {
+        let name = opts.method.map(MethodKind::name).unwrap_or("?");
+        return Err(format!(
+            "method {name} is not part of the serve sweep (paper methods only)"
+        ));
+    }
+    Ok(sweep)
+}
+
+fn emit_serve(opts: &Opts, sweep: &ServeSweep) {
+    println!("{}", sweep.render(ReportFormat::Table));
+    if let Some(dir) = &opts.csv_dir {
+        let mut samples = String::from(
+            "rate_qps,method,at_ms,in_flight,busy_disks,completed,p50_ms,p95_ms,p99_ms\n",
+        );
+        for curve in &sweep.curves {
+            for point in &curve.points {
+                for s in &point.samples {
+                    samples.push_str(&format!(
+                        "{},{},{:.3},{},{},{},{:.6},{:.6},{:.6}\n",
+                        point.offered_qps,
+                        curve.method,
+                        s.at_ms,
+                        s.in_flight,
+                        s.busy_disks,
+                        s.completed,
+                        s.tail_ms.p50,
+                        s.tail_ms.p95,
+                        s.tail_ms.p99
+                    ));
+                }
+            }
+        }
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(format!("{dir}/serve.csv"), sweep.render(ReportFormat::Csv))?;
+            std::fs::write(format!("{dir}/serve_samples.csv"), samples)
+        }) {
+            eprintln!("could not write serve CSVs: {e}");
         }
     }
 }
@@ -1052,12 +1180,14 @@ fn bench_multiuser(opts: &Opts) -> String {
         })
         .collect();
 
-    // The pre-rewire hot loop: one nested Vec<Vec<u64>> plan allocated
-    // per query, counts read off as group lengths. Same queueing and
-    // service model as the engine, so the outputs must match exactly.
-    #[allow(deprecated)]
+    // The pre-rewire hot loop: one nested Vec<Vec<u64>> plan materialized
+    // per query (rebuilt from the flat arena, preserving the per-query
+    // allocation cost being benchmarked), counts read off as group
+    // lengths. Same queueing and service model as the engine, so the
+    // outputs must match exactly.
     let naive_closed_loop = |dir: &GridDirectory| -> f64 {
         let loads = dir.load_vector();
+        let mut flat = IoPlan::new();
         let mut disk_free_at = vec![0.0f64; DISKS as usize];
         let mut clients_ready = [0.0f64; CLIENTS];
         let mut makespan = 0.0f64;
@@ -1068,7 +1198,8 @@ fn bench_multiuser(opts: &Opts) -> String {
                 .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
                 .expect("clients > 0");
             let issue_at = clients_ready[slot];
-            let plan = dir.io_plan(region);
+            dir.io_plan_into(region, &mut flat);
+            let plan: Vec<Vec<u64>> = flat.iter().map(<[u64]>::to_vec).collect();
             let mut completion = issue_at;
             for (d, pages) in plan.iter().enumerate() {
                 if pages.is_empty() {
@@ -1159,6 +1290,137 @@ fn bench_multiuser(opts: &Opts) -> String {
             format!("{dir}/BENCH_multiuser.json")
         }
         None => "BENCH_multiuser.json".into(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
+    }
+    out
+}
+
+/// Timing snapshot of the event-driven serving core: for each paper
+/// method, the serve rate ladder around the default base rate streams
+/// 20,000 Poisson arrivals per rate through the serving engine
+/// (sampling off) and is timed as one batch. Reports sustained
+/// events/sec, the event heap's peak occupancy, and the measured
+/// saturation knee per method; writes `BENCH_serve.json` beside the
+/// other snapshots.
+fn bench_serve(opts: &Opts) -> String {
+    use decluster::sim::workload::{random_region, rect_sides_for_area};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    const ARRIVALS: usize = 20_000;
+    let space = grid_2d();
+    let params = DiskParams::default();
+    let registry = MethodRegistry::with_seed(SEED);
+    let methods = registry.paper_methods(&space, DISKS);
+    let sides = rect_sides_for_area(MULTIUSER_AREA, space.dims()).expect("area fits");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let regions: Vec<BucketRegion> = (0..1000)
+        .map(|_| random_region(&mut rng, &space, &sides).expect("placement fits"))
+        .collect();
+    let obs = Obs::disabled();
+    let rates: Vec<f64> = SERVE_FRACTIONS.iter().map(|f| f * opts.rate).collect();
+    let arrivals: Vec<Vec<f64>> = rates
+        .iter()
+        .map(|&r| {
+            sharded_arrivals(
+                SEED,
+                ARRIVALS,
+                InterArrival::Poisson { rate_qps: r },
+                opts.threads,
+                &obs,
+            )
+        })
+        .collect();
+
+    let mut out = format!(
+        "Serve bench: {} arrivals per rate, {} rates around {:.1} q/s, area-{MULTIUSER_AREA} \
+         queries on {GRID_SIDE}x{GRID_SIDE}, M={DISKS}\n\
+         {:<6} {:>10} {:>10} {:>13} {:>10} {:>10}\n",
+        ARRIVALS,
+        rates.len(),
+        opts.rate,
+        "method",
+        "events",
+        "loop ms",
+        "events/sec",
+        "peak heap",
+        "knee q/s"
+    );
+    let mut per_method = Vec::new();
+    let mut ls = LoopScratch::new();
+    let (mut events_total, mut secs_total) = (0u64, 0.0f64);
+    for method in &methods {
+        let dir = GridDirectory::build(space.clone(), DISKS, |b| method.disk_of(b.as_slice()));
+        let engine = MultiUserEngine::new(&dir);
+        let (mut events, mut peak, mut knee) = (0u64, 0usize, 0.0f64);
+        let t = Instant::now();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let rep = engine.serving().serve_obs(
+                &params,
+                &regions,
+                &arrivals[ri],
+                &ServeConfig::default(),
+                &obs,
+                &mut ls,
+            );
+            events += rep.events;
+            peak = peak.max(rep.peak_in_flight);
+            if rep.report.throughput_qps >= 0.95 * rate {
+                knee = knee.max(rate);
+            }
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let events_per_sec = events as f64 / secs.max(1e-9);
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>10.3} {:>13.0} {:>10} {:>10.2}\n",
+            method.name(),
+            events,
+            secs * 1e3,
+            events_per_sec,
+            peak,
+            knee
+        ));
+        per_method.push(format!(
+            "    {{\"method\": \"{}\", \"events\": {events}, \"loop_ms\": {:.3}, \
+             \"events_per_sec\": {events_per_sec:.0}, \"peak_heap\": {peak}, \
+             \"knee_qps\": {knee:.3}}}",
+            method.name(),
+            secs * 1e3
+        ));
+        events_total += events;
+        secs_total += secs;
+    }
+    let total_eps = events_total as f64 / secs_total.max(1e-9);
+    out.push_str(&format!(
+        "{:<6} {:>10} {:>10.3} {:>13.0}\n",
+        "TOTAL",
+        events_total,
+        secs_total * 1e3,
+        total_eps
+    ));
+
+    let json = format!(
+        "{{\n  \"name\": \"serve_core\",\n  \"grid\": [{GRID_SIDE}, {GRID_SIDE}],\n  \
+         \"disks\": {DISKS},\n  \"arrivals_per_rate\": {ARRIVALS},\n  \
+         \"base_rate_qps\": {:.3},\n  \"events\": {events_total},\n  \
+         \"loop_ms\": {:.3},\n  \"events_per_sec\": {total_eps:.0},\n  \
+         \"per_method\": [\n{}\n  ]\n}}\n",
+        opts.rate,
+        secs_total * 1e3,
+        per_method.join(",\n")
+    );
+    let path = match opts.csv_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                out.push_str(&format!("\ncould not create {dir}: {e}\n"));
+            }
+            format!("{dir}/BENCH_serve.json")
+        }
+        None => "BENCH_serve.json".into(),
     };
     match std::fs::write(&path, json) {
         Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),

@@ -58,6 +58,6 @@ pub mod prelude {
     };
     pub use decluster_sim::{
         deviation_from_optimal, optimal_response_time, response_time, DiskParams, Experiment,
-        IoSimulator, SweepResult,
+        IoSimulator, Quantiles, ServeConfig, ServeSweep, ServingEngine, SweepResult,
     };
 }

@@ -1,7 +1,7 @@
 //! Proof of the multi-user engine's allocation-free hot path: a counting
 //! global allocator observes zero heap allocations across an entire
-//! closed-loop and open-loop run once the caller-owned `LoopScratch` has
-//! been warmed. Lives at the workspace root because the library crates
+//! closed-loop, open-loop, and event-driven serve run (mid-run sampling
+//! included) once the caller-owned `LoopScratch` has been warmed. Lives at the workspace root because the library crates
 //! `forbid(unsafe_code)` and a `GlobalAlloc` impl is necessarily unsafe.
 //!
 //! The file holds exactly one test: the counter is process-wide, and a
@@ -9,7 +9,7 @@
 
 use decluster::grid::{BucketCoord, BucketRegion, GridDirectory, GridSpace};
 use decluster::prelude::*;
-use decluster::sim::{DiskParams, LoopScratch, MultiUserEngine};
+use decluster::sim::{DiskParams, LoopScratch, MultiUserEngine, ServeConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -76,20 +76,33 @@ fn warmed_loops_make_zero_heap_allocations() {
     let queries = query_stream(&space, 256);
     let arrivals: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 3.0).collect();
 
+    // Mid-run sampling on: the serve loop must stay allocation-free even
+    // while taking latency-tail snapshots.
+    let cfg = ServeConfig {
+        sample_every_ms: 64.0,
+        ..ServeConfig::default()
+    };
+
     // Warm-up: grows every LoopScratch buffer to the working-set size and
     // compiles the kernel's per-shape corner plans.
     let mut ls = LoopScratch::new();
     let warm_closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
     let warm_open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut ls);
+    let warm_serve = engine
+        .serving()
+        .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
     let open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut ls);
+    let serve = engine
+        .serving()
+        .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
     let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
     assert_eq!(
         during, 0,
-        "warmed closed+open loops must not touch the heap ({during} allocations observed)"
+        "warmed closed+open+serve loops must not touch the heap ({during} allocations observed)"
     );
     // The measured runs are the warm-up runs, bit for bit.
     assert_eq!(
@@ -105,4 +118,11 @@ fn warmed_loops_make_zero_heap_allocations() {
         open.latency.mean.to_bits(),
         warm_open.latency.mean.to_bits()
     );
+    assert_eq!(
+        serve.report.makespan_ms.to_bits(),
+        warm_serve.report.makespan_ms.to_bits()
+    );
+    assert_eq!(serve.events, warm_serve.events);
+    assert_eq!(serve.samples, warm_serve.samples);
+    assert!(serve.samples > 0, "sampling was live in the measured run");
 }

@@ -194,6 +194,69 @@ fn repro_faults_reports_degraded_mode_and_rebuild() {
 }
 
 #[test]
+fn repro_rejects_zero_clients() {
+    let (ok, _, stderr) = run(REPRO, &["serve", "--quick", "--clients", "0"]);
+    assert!(!ok);
+    assert_eq!(stderr.lines().count(), 1, "one-line error, got:\n{stderr}");
+    assert!(stderr.contains("--clients"), "{stderr}");
+}
+
+#[test]
+fn repro_rejects_nonpositive_rate() {
+    for rate in ["0", "-3", "NaN"] {
+        let (ok, _, stderr) = run(REPRO, &["serve", "--quick", "--rate", rate]);
+        assert!(!ok, "rate {rate:?} should be rejected");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "one-line error for {rate:?}, got:\n{stderr}"
+        );
+        assert!(stderr.contains("--rate"), "{stderr}");
+    }
+}
+
+#[test]
+fn repro_serve_reports_a_knee_per_method() {
+    let (ok, stdout, _) = run(REPRO, &["serve", "--quick", "--clients", "800"]);
+    assert!(ok, "{stdout}");
+    for name in ["DM", "FX", "ECC", "HCAM"] {
+        assert!(
+            stdout.contains(&format!("knee {name}")),
+            "missing knee line for {name} in:\n{stdout}"
+        );
+    }
+    // Restricting to one method keeps that column bit-identical.
+    let (ok, only, _) = run(
+        REPRO,
+        &["serve", "--quick", "--clients", "800", "--method", "HCAM"],
+    );
+    assert!(ok, "{only}");
+    let full_knee = stdout
+        .lines()
+        .find(|l| l.starts_with("knee HCAM"))
+        .expect("knee line");
+    assert!(only.contains(full_knee), "{only}");
+    // A method outside the sweep is a one-line error.
+    let (ok, _, stderr) = run(REPRO, &["serve", "--quick", "--method", "RND"]);
+    assert!(!ok);
+    assert!(stderr.contains("not part of the serve sweep"), "{stderr}");
+}
+
+#[test]
+fn repro_serve_is_thread_count_invariant() {
+    let (ok1, t1, _) = run(
+        REPRO,
+        &["serve", "--quick", "--clients", "800", "--threads", "1"],
+    );
+    let (ok8, t8, _) = run(
+        REPRO,
+        &["serve", "--quick", "--clients", "800", "--threads", "8"],
+    );
+    assert!(ok1 && ok8);
+    assert_eq!(t1, t8, "serve tables differ between --threads 1 and 8");
+}
+
+#[test]
 fn repro_faults_is_thread_count_invariant() {
     let (ok1, t1, _) = run(REPRO, &["faults", "--quick", "--threads", "1"]);
     let (ok8, t8, _) = run(REPRO, &["faults", "--quick", "--threads", "8"]);

@@ -183,8 +183,155 @@ fn load_sweep_matches_individual_open_loop_runs() {
         let arrivals = poisson_arrivals(&mut rng, queries.len(), rate);
         let solo = run_open_loop(&dir, &params, &queries, &arrivals);
         assert_eq!(point.methods.len(), 1);
-        assert_eq!(point.methods[0].0, "HCAM");
-        assert_eq!(point.methods[0].1.to_bits(), solo.latency.mean.to_bits());
-        assert_eq!(point.methods[0].2.to_bits(), solo.utilization.to_bits());
+        assert_eq!(point.methods[0].name, "HCAM");
+        assert_eq!(
+            point.methods[0].mean_latency_ms.to_bits(),
+            solo.latency.mean.to_bits()
+        );
+        assert_eq!(
+            point.methods[0].utilization.to_bits(),
+            solo.utilization.to_bits()
+        );
+        assert_eq!(point.methods[0].tail_ms, solo.tail);
     }
+}
+
+/// The pre-rewire degraded loop, reimplemented over materialized plans:
+/// same chained failover, same timeout charging, same floats. Pins the
+/// event-heap rewrite of `run_closed_loop_degraded`.
+#[test]
+fn degraded_loop_is_bit_identical_to_materialized_plan_loop() {
+    use decluster::sim::faults::{DiskState, FaultSchedule, RetryPolicy};
+    use decluster::sim::run_closed_loop_degraded;
+    let (space, dir) = directory();
+    let params = DiskParams::default();
+    let queries = query_stream(&space, 250);
+    // Disk 2 dies, disk 5 grays out, and from t=100 disk 3 dies too —
+    // disk 2's chain successor — so late queries touching disk 2 are
+    // unavailable while disk-3-only batches fail over to disk 4.
+    let schedule = FaultSchedule::healthy(M)
+        .fail_stop(2, 40)
+        .unwrap()
+        .fail_stop(3, 100)
+        .unwrap()
+        .slow(5, 3.0, 20, 160)
+        .unwrap();
+    let policy = RetryPolicy::default();
+    let timeout_ms = policy.detection_units() as f64 * params.transfer_ms;
+    let clients = 4;
+
+    // Reference loop: materialized plans, per-query fault-aware fan-out.
+    let loads = dir.load_vector();
+    let m = loads.len();
+    let mut plan = IoPlan::new();
+    let mut disk_free_at = vec![0.0f64; m];
+    let mut clients_ready = vec![0.0f64; clients];
+    let mut latencies = Vec::new();
+    let (mut unavailable, mut failover) = (0usize, 0usize);
+    let mut makespan = 0.0f64;
+    for (t, region) in queries.iter().enumerate() {
+        let (slot, _) = clients_ready
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let issue_at = clients_ready[slot];
+        dir.io_plan_into(region, &mut plan);
+        let t = t as u64;
+        if (0..m).any(|d| !plan.disk_pages(d).is_empty() && schedule.chain_dead(d as u32, t)) {
+            unavailable += 1;
+            continue; // the client is ready again at issue_at
+        }
+        let mut completion = issue_at;
+        for d in 0..m {
+            let count = plan.disk_pages(d).len() as u64;
+            if count == 0 {
+                continue;
+            }
+            match schedule.state_at(d as u32, t) {
+                state @ (DiskState::Up | DiskState::Slow(_)) => {
+                    let start = issue_at.max(disk_free_at[d]);
+                    let service = params.batch_ms_counts(count, loads[d]) * state.latency_factor();
+                    disk_free_at[d] = start + service;
+                    completion = completion.max(start + service);
+                }
+                DiskState::Down => {
+                    let b = (d + 1) % m;
+                    let start = (issue_at + timeout_ms).max(disk_free_at[b]);
+                    let service = params.batch_ms_counts(count, loads[b])
+                        * schedule.state_at(b as u32, t).latency_factor();
+                    disk_free_at[b] = start + service;
+                    completion = completion.max(start + service);
+                    failover += 1;
+                }
+            }
+        }
+        latencies.push(completion - issue_at);
+        makespan = makespan.max(completion);
+        clients_ready[slot] = completion;
+    }
+
+    let report =
+        run_closed_loop_degraded(&dir, &params, &queries, clients, &schedule, &policy).unwrap();
+    assert!(
+        unavailable > 0 && failover > 0,
+        "schedule exercises both paths"
+    );
+    assert_eq!(report.served, latencies.len());
+    assert_eq!(report.unavailable, unavailable);
+    assert_eq!(report.failover_batches, failover);
+    assert_eq!(
+        report.report.makespan_ms.to_bits(),
+        makespan.to_bits(),
+        "degraded makespan differs from the materialized-plan loop"
+    );
+    let ref_mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    assert_eq!(report.report.latency.mean.to_bits(), ref_mean.to_bits());
+}
+
+/// The serve loop over an arrival stream is the open loop, expressed as
+/// events: identical service model at issue time, so the aggregate
+/// report must match `run_open_loop` bit for bit.
+#[test]
+fn serve_report_is_bit_identical_to_open_loop() {
+    use decluster::sim::workload::InterArrival;
+    use decluster::sim::{sharded_arrivals, ServeConfig};
+    let (space, dir) = directory();
+    let params = DiskParams::default();
+    let queries = query_stream(&space, 240);
+    let obs = decluster::obs::Obs::disabled();
+    let arrivals = sharded_arrivals(
+        11,
+        queries.len(),
+        InterArrival::Poisson { rate_qps: 60.0 },
+        1,
+        &obs,
+    );
+    let engine = MultiUserEngine::new(&dir);
+    let mut ls = LoopScratch::new();
+    // Sampling on: mid-run snapshots must not perturb the report.
+    let cfg = ServeConfig {
+        sample_every_ms: 500.0,
+        ..ServeConfig::default()
+    };
+    let serve = engine
+        .serving()
+        .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
+    let open = run_open_loop(&dir, &params, &queries, &arrivals);
+    assert_eq!(
+        serve.report.makespan_ms.to_bits(),
+        open.makespan_ms.to_bits()
+    );
+    assert_eq!(
+        serve.report.latency.mean.to_bits(),
+        open.latency.mean.to_bits()
+    );
+    assert_eq!(serve.report.tail, open.tail);
+    assert_eq!(
+        serve.report.utilization.to_bits(),
+        open.utilization.to_bits()
+    );
+    assert_eq!(serve.events, 2 * queries.len() as u64);
+    assert!(serve.peak_in_flight >= 1);
+    assert!(!ls.samples().is_empty());
 }

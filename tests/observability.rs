@@ -4,15 +4,10 @@
 //! `repro --metrics/--trace` CLI surface (including the determinism
 //! contract across thread counts).
 
-#![allow(deprecated)]
-
 use decluster::grid::GridSpace;
 use decluster::obs::{json, JsonLinesSink, MetricsRecorder, Obs, TraceEvent, TraceSink};
 use decluster::sim::workload::SizeSweep;
-use decluster::sim::{
-    render_csv, render_fault_table, render_table, render_table_with_ci, Experiment, FaultSchedule,
-    Report, ReportFormat, RetryPolicy,
-};
+use decluster::sim::{Experiment, FaultSchedule, Report, ReportFormat, RetryPolicy};
 use std::process::Command;
 use std::sync::Arc;
 
@@ -25,7 +20,9 @@ fn seeded_sweep() -> decluster::sim::SweepResult {
 }
 
 #[test]
+#[allow(deprecated)] // byte-identity pin of the deprecated wrappers
 fn report_api_is_byte_identical_to_deprecated_wrappers() {
+    use decluster::sim::{render_csv, render_fault_table, render_table, render_table_with_ci};
     let result = seeded_sweep();
     assert_eq!(result.render(ReportFormat::Table), render_table(&result));
     assert_eq!(

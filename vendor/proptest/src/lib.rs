@@ -63,6 +63,34 @@ pub mod collection {
 /// lives in [`strategy`]; this module exists for path compatibility.
 pub mod num {}
 
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy producing `None` roughly a quarter of the time and
+    /// `Some(inner)` otherwise (upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if (0u32..4).generate(rng) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// The glob-import surface: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, Just, Strategy};
@@ -72,6 +100,7 @@ pub mod prelude {
     pub mod prop {
         pub use crate::collection;
         pub use crate::num;
+        pub use crate::option;
     }
 }
 
