@@ -15,25 +15,52 @@ use decluster_grid::{BucketRegion, DiskId};
 /// their backups. [`ChainedDecluster::response_time`] reports the
 /// resulting max-per-disk cost, so the normal/degraded comparison uses
 /// the paper's own metric.
+///
+/// The scheme generalizes to **r-way** chains
+/// ([`ChainedDecluster::with_replicas`]): each bucket keeps `r` backup
+/// copies on the `r` chain successors of its primary, surviving any `r`
+/// simultaneous failures at a storage overhead of `1 + r`. `r = 1` is
+/// the classic Hsiao & DeWitt layout and the default.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainedDecluster {
     base: AllocationMap,
+    replicas: u32,
 }
 
 impl ChainedDecluster {
-    /// Wraps a materialized allocation in chained replication.
+    /// Wraps a materialized allocation in chained replication with one
+    /// backup copy per bucket (`r = 1`).
     ///
     /// # Errors
     /// [`MethodError::UnsupportedGrid`] when there are fewer than 2 disks
     /// (a chain needs a distinct neighbour).
     pub fn new(base: AllocationMap) -> Result<Self> {
-        if base.num_disks() < 2 {
+        Self::with_replicas(base, 1)
+    }
+
+    /// Wraps a materialized allocation in r-way chained replication:
+    /// bucket copies live on the primary and its `replicas` chain
+    /// successors modulo `M`.
+    ///
+    /// # Errors
+    /// [`MethodError::UnsupportedGrid`] unless `1 <= replicas <= M - 1`
+    /// (0 extra copies is no replication; `M` copies or more would wrap
+    /// the chain onto the primary).
+    pub fn with_replicas(base: AllocationMap, replicas: u32) -> Result<Self> {
+        let m = base.num_disks();
+        if m < 2 {
             return Err(MethodError::UnsupportedGrid {
                 method: "chained declustering",
                 reason: "replication needs at least 2 disks".into(),
             });
         }
-        Ok(ChainedDecluster { base })
+        if replicas == 0 || replicas >= m {
+            return Err(MethodError::UnsupportedGrid {
+                method: "chained declustering",
+                reason: format!("replica count {replicas} outside 1..={} (M = {m})", m - 1),
+            });
+        }
+        Ok(ChainedDecluster { base, replicas })
     }
 
     /// The underlying (primary) allocation.
@@ -51,9 +78,29 @@ impl ChainedDecluster {
         self.base.disk_of(bucket)
     }
 
-    /// Backup disk of a bucket: the next disk along the chain.
+    /// Number of backup copies per bucket (`r`).
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// Backup disk of a bucket: the next disk along the chain (the first
+    /// of its `r` backups).
     pub fn backup_of(&self, bucket: &[u32]) -> DiskId {
-        DiskId((self.base.disk_of(bucket).0 + 1) % self.num_disks())
+        self.copy_of(bucket, 1)
+    }
+
+    /// Disk holding copy `j` of a bucket (`j = 0` is the primary,
+    /// `1..=r` the chain backups): `(primary + j) mod M`.
+    ///
+    /// # Panics
+    /// When `j > r` — the bucket has no such copy.
+    pub fn copy_of(&self, bucket: &[u32], j: u32) -> DiskId {
+        assert!(
+            j <= self.replicas,
+            "copy index {j} > replica count {}",
+            self.replicas
+        );
+        DiskId((self.base.disk_of(bucket).0 + j) % self.num_disks())
     }
 
     /// Response time of a query in bucket retrievals, optionally with one
@@ -87,9 +134,9 @@ impl ChainedDecluster {
     }
 
     /// Response time with an arbitrary set of failed disks (`failed[d]`
-    /// true means disk `d` is down): every bucket reads from its primary
-    /// when it is up, falls back to its chained backup when only the
-    /// primary is down, and is *unavailable* when both copies are down.
+    /// true means disk `d` is down): every bucket reads from the first
+    /// live copy along its chain (primary, then the `r` successors in
+    /// order), and is *unavailable* when all `1 + r` copies are down.
     ///
     /// Returns `None` when the mask length does not match the disk count
     /// or when some bucket of the region has no live copy — the query
@@ -103,15 +150,9 @@ impl ChainedDecluster {
         let mut per_disk = vec![0u64; m];
         for bucket in region.iter() {
             let primary = self.primary_of(bucket.as_slice());
-            let serving = if !failed[primary.index()] {
-                primary
-            } else {
-                let backup = self.backup_of(bucket.as_slice());
-                if failed[backup.index()] {
-                    return None; // both copies down: data lost
-                }
-                backup
-            };
+            let serving = (0..=self.replicas)
+                .map(|j| DiskId((primary.0 + j) % self.num_disks()))
+                .find(|c| !failed[c.index()])?; // every copy down: data lost
             per_disk[serving.index()] += 1;
         }
         Some(per_disk.into_iter().max().unwrap_or(0))
@@ -121,13 +162,14 @@ impl ChainedDecluster {
     /// [`ChainedDecluster::response_time_masked`], computed from a
     /// [`DiskCounts`] kernel built over the *base* allocation in
     /// `O(M · 2^k)` — independent of the query's area. The chain rule
-    /// makes this possible: every bucket's backup is a pure function of
+    /// makes this possible: every bucket's backups are pure functions of
     /// its primary, so the degraded per-disk loads follow from the
     /// primary histogram alone (a failed disk's whole share moves to its
-    /// chain successor).
+    /// first live chain successor).
     ///
     /// Returns `None` for a mismatched mask or when a failed disk with
-    /// buckets in the region has its successor down too (no live copy).
+    /// buckets in the region has all `r` successors down too (no live
+    /// copy).
     pub fn degraded_response_time(
         &self,
         kernel: &DiskCounts,
@@ -147,11 +189,10 @@ impl ChainedDecluster {
             if !failed[d] {
                 loads[d] += count;
             } else {
-                let backup = (d + 1) % m;
-                if failed[backup] {
-                    return None;
-                }
-                loads[backup] += count;
+                let serving = (1..=self.replicas as usize)
+                    .map(|j| (d + j) % m)
+                    .find(|&c| !failed[c])?;
+                loads[serving] += count;
             }
         }
         Some(loads.into_iter().max().unwrap_or(0))
@@ -165,11 +206,11 @@ impl ChainedDecluster {
             .unwrap_or(0)
     }
 
-    /// Storage overhead factor of the scheme (always exactly 2.0 — every
-    /// bucket has two copies). Kept as a method so reports don't hardcode
-    /// the constant.
+    /// Storage overhead factor of the scheme: `1 + r` copies per bucket
+    /// (exactly 2.0 for the classic one-backup chain). Kept as a method
+    /// so reports don't hardcode the constant.
     pub fn storage_overhead(&self) -> f64 {
-        2.0
+        (1 + self.replicas) as f64
     }
 }
 
@@ -184,6 +225,16 @@ mod tests {
         let dm = DiskModulo::new(&space, m).unwrap();
         let base = AllocationMap::from_method(&space, &dm).unwrap();
         (space.clone(), ChainedDecluster::new(base).unwrap())
+    }
+
+    fn chained_r(m: u32, r: u32) -> (GridSpace, ChainedDecluster) {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let dm = DiskModulo::new(&space, m).unwrap();
+        let base = AllocationMap::from_method(&space, &dm).unwrap();
+        (
+            space.clone(),
+            ChainedDecluster::with_replicas(base, r).unwrap(),
+        )
     }
 
     fn region(space: &GridSpace, lo: [u32; 2], hi: [u32; 2]) -> BucketRegion {
@@ -350,6 +401,83 @@ mod tests {
         assert!(chain
             .degraded_response_time(&wrong_kernel, &r, &[false; 5])
             .is_none());
+    }
+
+    #[test]
+    fn replica_count_is_validated() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let dm = DiskModulo::new(&space, 5).unwrap();
+        let base = AllocationMap::from_method(&space, &dm).unwrap();
+        for bad in [0u32, 5, 6] {
+            let err = ChainedDecluster::with_replicas(base.clone(), bad).unwrap_err();
+            assert!(
+                matches!(err, MethodError::UnsupportedGrid { .. }),
+                "r = {bad}: {err}"
+            );
+            assert!(!err.to_string().contains('\n'), "one-line error: {err}");
+        }
+        for ok in 1u32..=4 {
+            let chain = ChainedDecluster::with_replicas(base.clone(), ok).unwrap();
+            assert_eq!(chain.replicas(), ok);
+            assert_eq!(chain.storage_overhead(), (1 + ok) as f64);
+        }
+    }
+
+    #[test]
+    fn default_constructor_is_the_one_backup_chain() {
+        let (_, via_new) = chained(6);
+        let (_, via_r) = chained_r(6, 1);
+        assert_eq!(via_new, via_r);
+        assert_eq!(via_new.replicas(), 1);
+    }
+
+    #[test]
+    fn copies_walk_the_chain() {
+        let (space, chain) = chained_r(5, 3);
+        for b in space.iter() {
+            let p = chain.primary_of(b.as_slice()).0;
+            for j in 0..=3u32 {
+                assert_eq!(chain.copy_of(b.as_slice(), j).0, (p + j) % 5);
+            }
+        }
+        assert_eq!(chain.storage_overhead(), 4.0);
+    }
+
+    #[test]
+    fn any_r_simultaneous_failures_keep_every_query_answerable() {
+        for r in 1u32..=4 {
+            let (space, chain) = chained_r(5, r);
+            let q = region(&space, [0, 0], [9, 9]);
+            for bits in 0u32..(1 << 5) {
+                let failed: Vec<bool> = (0..5).map(|d| bits & (1 << d) != 0).collect();
+                let kernel = chain.base().disk_counts().unwrap();
+                let masked = chain.response_time_masked(&q, &failed);
+                assert_eq!(
+                    masked,
+                    chain.degraded_response_time(&kernel, &q, &failed),
+                    "r = {r}, mask {bits:05b}"
+                );
+                if bits.count_ones() <= r {
+                    assert!(masked.is_some(), "r = {r} must survive mask {bits:05b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extra_replicas_never_raise_the_degraded_cost() {
+        // A deeper chain gives the failover more choices, so for a single
+        // failure the (first-live-copy) degraded RT is unchanged, and for
+        // multi-failures it only helps availability.
+        let (space, r1) = chained_r(8, 1);
+        let (_, r3) = chained_r(8, 3);
+        let q = region(&space, [1, 2], [10, 11]);
+        for f in 0..8u32 {
+            assert_eq!(
+                r1.response_time(&q, Some(DiskId(f))),
+                r3.response_time(&q, Some(DiskId(f)))
+            );
+        }
     }
 
     #[test]

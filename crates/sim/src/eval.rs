@@ -1,5 +1,5 @@
 use crate::faults::{
-    degraded_outcome_with, FaultMethodStats, FaultSchedule, QueryOutcome, RetryPolicy,
+    degraded_outcome_r, FaultMethodStats, FaultSchedule, QueryOutcome, ReplicaPolicy, RetryPolicy,
 };
 use crate::{optimal_response_time, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridSpace};
@@ -309,6 +309,8 @@ pub struct DegradedContext<'a> {
     ctx: &'a EvalContext,
     schedule: &'a FaultSchedule,
     policy: RetryPolicy,
+    replicas: u32,
+    selection: ReplicaPolicy,
 }
 
 /// The reusable per-variant buffers of a scored degraded stream: the
@@ -342,11 +344,32 @@ impl<'a> DegradedContext<'a> {
             ctx,
             schedule,
             policy,
+            replicas: 1,
+            selection: ReplicaPolicy::FailoverOnly,
         })
     }
 
+    /// Overrides the replication depth and replica-selection policy of
+    /// the chained variants (the defaults — one backup, failover-only —
+    /// reproduce the classic chain bit for bit).
+    ///
+    /// # Panics
+    /// Panics if `replicas >= M` (CLI and constructors validate
+    /// upstream).
+    pub fn with_replication(mut self, replicas: u32, selection: ReplicaPolicy) -> Self {
+        assert!(
+            replicas < self.ctx.num_disks(),
+            "replica count {replicas} >= M = {}",
+            self.ctx.num_disks()
+        );
+        self.replicas = replicas;
+        self.selection = selection;
+        self
+    }
+
     /// The outcome of `region` under method `idx` at logical time `t`,
-    /// with or without chained failover.
+    /// with or without replicated failover (`chained` uses the context's
+    /// replication depth and selection policy).
     pub fn outcome(
         &self,
         idx: usize,
@@ -355,12 +378,13 @@ impl<'a> DegradedContext<'a> {
         chained: bool,
     ) -> QueryOutcome {
         let hist = self.ctx.access_histogram(idx, region);
-        degraded_outcome_with(
+        degraded_outcome_r(
             &hist,
             self.schedule,
             t,
             &self.policy,
-            chained,
+            if chained { self.replicas } else { 0 },
+            self.selection,
             &mut Vec::new(),
         )
     }
@@ -379,12 +403,13 @@ impl<'a> DegradedContext<'a> {
     ) -> QueryOutcome {
         self.ctx
             .access_histogram_into(idx, region, &mut buf.scratch, &mut buf.hist);
-        degraded_outcome_with(
+        degraded_outcome_r(
             &buf.hist,
             self.schedule,
             t,
             &self.policy,
-            chained,
+            if chained { self.replicas } else { 0 },
+            self.selection,
             &mut buf.loads,
         )
     }

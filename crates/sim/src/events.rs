@@ -31,10 +31,11 @@
 //! RNG stream, merged by a sequential prefix-sum reduction — byte-identical
 //! output at any thread count.
 
+use crate::faults::{DiskState, FaultEvent, FaultSchedule, ReplicaPolicy, RetryPolicy};
 use crate::multiuser::{assemble_report, LoopMeters, MultiUserReport};
 use crate::stats::Quantiles;
 use crate::workload::InterArrival;
-use crate::DiskParams;
+use crate::{DiskParams, Result, SimError};
 use decluster_grid::{BucketRegion, GridDirectory};
 use decluster_methods::{PlanCounts, Scratch};
 use decluster_obs::{Obs, TraceEvent};
@@ -286,12 +287,110 @@ pub struct ServeReport {
     pub samples: usize,
 }
 
+/// Payload of one fault-injected serve event: a request completion, a
+/// disk health transition crossing a schedule boundary, or a scheduled
+/// retry of a request that found no live copy at issue time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ServeEventKind {
+    /// A request finished; its latency feeds the sampling ring.
+    Completion {
+        /// Arrival-to-completion latency, ms.
+        latency_ms: f64,
+    },
+    /// A disk crossed a fault-schedule boundary; its health state is
+    /// recomputed from the schedule at the event's time.
+    Transition {
+        /// The disk whose state changes.
+        disk: u32,
+    },
+    /// A request with no live copy retries after jittered backoff.
+    Retry {
+        /// Arrival index of the request.
+        query: u64,
+        /// Attempt number of the *re-issue* (1 = first retry).
+        attempt: u32,
+    },
+}
+
+/// Configuration of a fault-injected streaming serve run, extending
+/// [`ServeConfig`] with admission control and retry scheduling.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegradedServeConfig {
+    /// Sampling and windowing, exactly as in the fault-free path.
+    pub serve: ServeConfig,
+    /// Admission-control bound on in-flight requests: arrivals past the
+    /// bound are *shed* (a typed outcome, excluded from latency stats)
+    /// instead of growing the queue without bound. `0` disables
+    /// shedding.
+    pub max_in_flight: usize,
+    /// Timeout and retry budget. `timeout_units × transfer_ms` is the
+    /// per-hop failover penalty under [`ReplicaPolicy::FailoverOnly`]
+    /// and the base of the exponential retry backoff.
+    pub retry: RetryPolicy,
+    /// Seed of the deterministic retry jitter (see [`retry_jitter01`]).
+    pub seed: u64,
+}
+
+/// Aggregate results of one fault-injected serve run: the fault-free
+/// shaped aggregates plus the availability accounting. Every arrival is
+/// exactly one of served, shed, or lost.
+#[derive(Clone, Debug)]
+pub struct DegradedServeReport {
+    /// The fault-free-shaped aggregates; with a healthy schedule, one
+    /// replica, [`ReplicaPolicy::PrimaryOnly`], and shedding disabled
+    /// this is bit-identical to [`ServingEngine::serve_obs`] on the same
+    /// inputs.
+    pub serve: ServeReport,
+    /// Requests that completed.
+    pub served: u64,
+    /// Requests refused at admission (in-flight bound reached).
+    pub shed: u64,
+    /// Requests that exhausted their retries without finding a live
+    /// copy.
+    pub lost: u64,
+    /// Retry events scheduled (jittered exponential backoff).
+    pub retries: u64,
+    /// Timed-out batch attempts paid while failing over along the chain
+    /// (only [`ReplicaPolicy::FailoverOnly`] discovers failures by
+    /// timeout).
+    pub timeouts: u64,
+    /// Batches served by a non-primary copy.
+    pub failovers: u64,
+    /// Disk health transitions processed from the fault schedule.
+    pub transitions: u64,
+}
+
+impl DegradedServeReport {
+    /// Fraction of arrivals served, in `[0, 1]` (1.0 for an empty run).
+    pub fn availability(&self) -> f64 {
+        let offered = self.served + self.shed + self.lost;
+        if offered == 0 {
+            1.0
+        } else {
+            self.served as f64 / offered as f64
+        }
+    }
+}
+
+/// Deterministic retry jitter in `[0, 1)`: a splitmix64 finalizer over
+/// `(seed, query, attempt)`. A pure function of its inputs, so retry
+/// schedules are byte-identical at any thread count.
+pub(crate) fn retry_jitter01(seed: u64, query: u64, attempt: u32) -> f64 {
+    let mut z = seed ^ query.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 32);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Reusable per-run buffers for every serving loop: the kernel
 /// [`Scratch`] (plan cache + accumulators), the per-query count
 /// histogram, the FCFS queue state, the latency vector, the event heap,
 /// and the sampling window. One instance per worker thread makes every
 /// loop allocation-free per event once the buffers have grown to the
-/// working-set size.
+/// working-set size. The degraded serve loop adds its own typed event
+/// heap, the per-disk health vector, and the per-query replica targets.
 #[derive(Debug, Default)]
 pub struct LoopScratch {
     pub(crate) scratch: Scratch,
@@ -303,6 +402,9 @@ pub struct LoopScratch {
     pub(crate) ring: LatencyRing,
     pub(crate) sorted: Vec<f64>,
     pub(crate) samples: Vec<ServeSample>,
+    pub(crate) fault_events: EventHeap<ServeEventKind>,
+    pub(crate) disk_state: Vec<DiskState>,
+    pub(crate) targets: Vec<u32>,
 }
 
 impl LoopScratch {
@@ -327,6 +429,18 @@ impl LoopScratch {
         self.latencies.reserve(queries);
         self.events.clear();
         self.samples.clear();
+    }
+
+    /// Extra setup for the degraded serve loop: clears the typed event
+    /// heap, snapshots every disk's health at time 0, and sizes the
+    /// replica-target buffer.
+    pub(crate) fn begin_degraded(&mut self, m: usize, schedule: &FaultSchedule) {
+        self.fault_events.clear();
+        self.disk_state.clear();
+        self.disk_state
+            .extend((0..m as u32).map(|d| schedule.state_at(d, 0)));
+        self.targets.clear();
+        self.targets.resize(m, 0);
     }
 }
 
@@ -549,6 +663,402 @@ impl ServingEngine {
             samples: ls.samples.len(),
         }
     }
+
+    /// Streaming serve under a mid-run fault schedule with r-way chained
+    /// replication: [`FaultSchedule`] boundaries become heap events
+    /// (fail-stop, recovery, gray-slow), each batch reads from the copy
+    /// `policy` selects among the live ones, requests with no reachable
+    /// live copy retry after jittered exponential backoff (bounded by
+    /// the retry policy), and arrivals past `cfg.max_in_flight` are shed
+    /// at admission. The schedule's logical clock is milliseconds — the
+    /// same clock the arrival stream uses.
+    ///
+    /// Deterministic: disk health is a pure function of simulated time,
+    /// retry jitter a pure function of `(seed, query, attempt)`, and all
+    /// events flow through one deterministically tie-broken heap, so the
+    /// report is bit-identical at any thread count. With a healthy
+    /// schedule, `replicas = 1`, [`ReplicaPolicy::PrimaryOnly`], and
+    /// shedding disabled, the embedded [`ServeReport`] is bit-identical
+    /// to [`ServingEngine::serve_obs`] on the same inputs.
+    ///
+    /// Batch service uses the serving disk's health at issue time (a
+    /// batch started before a boundary is not interrupted), and a
+    /// query's latency is measured from its *arrival*, so retried
+    /// requests carry their backoff delay in the tail.
+    ///
+    /// # Errors
+    /// [`SimError::ScheduleMismatch`] when the schedule's disk count
+    /// differs from the engine's.
+    ///
+    /// # Panics
+    /// As [`ServingEngine::serve_obs`]; also if `replicas >= M` (CLI and
+    /// constructors validate upstream).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_degraded_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        schedule: &FaultSchedule,
+        replicas: u32,
+        policy: ReplicaPolicy,
+        cfg: &DegradedServeConfig,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> Result<DegradedServeReport> {
+        assert!(!queries.is_empty(), "serve needs at least one query shape");
+        assert!(
+            arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be non-decreasing"
+        );
+        let m = self.loads.len();
+        if schedule.num_disks() as usize != m {
+            return Err(SimError::ScheduleMismatch {
+                schedule_disks: schedule.num_disks(),
+                experiment_disks: m as u32,
+            });
+        }
+        assert!(
+            (replicas as usize) < m,
+            "replica count {replicas} >= M = {m}"
+        );
+        let record = obs.enabled();
+        let meters = record.then(|| LoopMeters::new(obs, "serve", m));
+        let n = arrivals_ms.len();
+        ls.begin(m, n);
+        ls.begin_degraded(m, schedule);
+        ls.ring.reset(cfg.serve.window);
+        ls.sorted.clear();
+        // Every schedule boundary becomes a transition event; on pop the
+        // disk's state is recomputed from the schedule, which composes
+        // overlapping windows correctly.
+        for event in schedule.events() {
+            match *event {
+                FaultEvent::FailStop { disk, at } => {
+                    ls.fault_events
+                        .push(at as f64, ServeEventKind::Transition { disk });
+                }
+                FaultEvent::Transient { disk, from, until }
+                | FaultEvent::Slow {
+                    disk, from, until, ..
+                } => {
+                    ls.fault_events
+                        .push(from as f64, ServeEventKind::Transition { disk });
+                    ls.fault_events
+                        .push(until as f64, ServeEventKind::Transition { disk });
+                }
+            }
+        }
+        let timeout_ms = cfg.retry.timeout_units as f64 * params.transfer_ms;
+        let sample_every = if cfg.serve.sample_every_ms > 0.0 {
+            cfg.serve.sample_every_ms
+        } else {
+            f64::INFINITY
+        };
+        let mut next_sample = sample_every;
+        let mut c = DegradedCounters::default();
+        let mut events = 0u64;
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut transitions = 0u64;
+        let mut next_arrival = 0usize;
+
+        while next_arrival < n || !ls.fault_events.is_empty() {
+            let arrival_t = if next_arrival < n {
+                arrivals_ms[next_arrival]
+            } else {
+                f64::INFINITY
+            };
+            let take_event = ls.fault_events.peek_time().is_some_and(|t| t <= arrival_t);
+            let event_t = if take_event {
+                ls.fault_events.peek_time().expect("non-empty heap")
+            } else {
+                arrival_t
+            };
+            while next_sample <= event_t {
+                let tail_ms = {
+                    ls.sorted.clear();
+                    ls.sorted.extend_from_slice(ls.ring.as_slice());
+                    Quantiles::of_unsorted(&mut ls.sorted)
+                };
+                ls.samples.push(ServeSample {
+                    at_ms: next_sample,
+                    in_flight: c.in_flight,
+                    busy_disks: ls.disk_free_at.iter().filter(|&&f| f > next_sample).count(),
+                    completed,
+                    tail_ms,
+                });
+                next_sample += sample_every;
+            }
+            if take_event {
+                let ev = ls.fault_events.pop().expect("non-empty heap");
+                match ev.payload {
+                    ServeEventKind::Completion { latency_ms } => {
+                        ls.ring.push(latency_ms);
+                        completed += 1;
+                        c.in_flight -= 1;
+                    }
+                    ServeEventKind::Transition { disk } => {
+                        ls.disk_state[disk as usize] = schedule.state_at(disk, ev.time as u64);
+                        transitions += 1;
+                    }
+                    ServeEventKind::Retry { query, attempt } => {
+                        self.issue_degraded(
+                            params,
+                            queries,
+                            arrivals_ms,
+                            replicas,
+                            policy,
+                            timeout_ms,
+                            &cfg.retry,
+                            cfg.seed,
+                            query,
+                            ev.time,
+                            attempt,
+                            record,
+                            ls,
+                            &mut c,
+                        );
+                    }
+                }
+            } else {
+                let i = next_arrival as u64;
+                next_arrival += 1;
+                if cfg.max_in_flight > 0 && c.in_flight >= cfg.max_in_flight {
+                    shed += 1;
+                } else {
+                    c.in_flight += 1;
+                    c.peak_in_flight = c.peak_in_flight.max(c.in_flight);
+                    self.issue_degraded(
+                        params,
+                        queries,
+                        arrivals_ms,
+                        replicas,
+                        policy,
+                        timeout_ms,
+                        &cfg.retry,
+                        cfg.seed,
+                        i,
+                        arrival_t,
+                        0,
+                        record,
+                        ls,
+                        &mut c,
+                    );
+                }
+            }
+            events += 1;
+        }
+
+        if let Some(meters) = &meters {
+            meters.record(
+                n,
+                c.batches,
+                c.queued_batches,
+                &ls.disk_busy_ms,
+                &ls.latencies,
+            );
+            obs.gauge_max("serve.peak_in_flight", c.peak_in_flight as u64);
+            obs.counter_add("serve.events", events);
+            obs.counter_add("serve.pages", c.pages);
+            obs.counter_add("serve.samples", ls.samples.len() as u64);
+            obs.counter_add("serve.retries", c.retries);
+            obs.counter_add("serve.timeouts", c.timeouts);
+            obs.counter_add("serve.sheds", shed);
+            obs.counter_add("serve.failovers", c.failovers);
+            obs.counter_add("serve.lost", c.lost);
+            obs.counter_add("faults.transitions", transitions);
+        }
+        let report = assemble_report(n, 0, c.makespan, m, &ls.disk_busy_ms, &mut ls.latencies);
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("degraded_serve_done")
+                    .with("requests", n)
+                    .with("events", events)
+                    .with("served", completed)
+                    .with("shed", shed)
+                    .with("lost", c.lost)
+                    .with("retries", c.retries)
+                    .with("failovers", c.failovers)
+                    .with("makespan_ms", report.makespan_ms),
+            );
+        }
+        Ok(DegradedServeReport {
+            serve: ServeReport {
+                report,
+                events,
+                peak_in_flight: c.peak_in_flight,
+                pages: c.pages,
+                samples: ls.samples.len(),
+            },
+            served: completed,
+            shed,
+            lost: c.lost,
+            retries: c.retries,
+            timeouts: c.timeouts,
+            failovers: c.failovers,
+            transitions,
+        })
+    }
+
+    /// One issue attempt of the degraded serve loop: picks a serving
+    /// copy per touched disk, fans out if every batch has one, and
+    /// otherwise schedules a retry (or declares the request lost).
+    #[allow(clippy::too_many_arguments)]
+    fn issue_degraded(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        replicas: u32,
+        policy: ReplicaPolicy,
+        timeout_ms: f64,
+        retry: &RetryPolicy,
+        seed: u64,
+        query: u64,
+        now: f64,
+        attempt: u32,
+        record: bool,
+        ls: &mut LoopScratch,
+        c: &mut DegradedCounters,
+    ) {
+        let m = self.loads.len();
+        let region = &queries[(query as usize) % queries.len()];
+        let page_count = self
+            .counts
+            .counts_into(region, &mut ls.scratch, &mut ls.hist);
+        // Pass 1: pick a serving copy for every touched disk, without
+        // touching queue state. Any batch with no live copy makes the
+        // whole request unserviceable right now.
+        let mut serviceable = true;
+        for (d, &count) in ls.hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            match select_copy(d, query, replicas, policy, &ls.disk_state, &ls.disk_free_at) {
+                Some(s) => ls.targets[d] = s,
+                None => {
+                    serviceable = false;
+                    break;
+                }
+            }
+        }
+        if !serviceable {
+            if attempt < retry.max_retries {
+                // Exponential backoff with deterministic jitter: the
+                // request waits out (hopefully) a transient window.
+                let backoff = timeout_ms
+                    * (1u64 << attempt.min(52)) as f64
+                    * (1.0 + retry_jitter01(seed, query, attempt));
+                ls.fault_events.push(
+                    now + backoff,
+                    ServeEventKind::Retry {
+                        query,
+                        attempt: attempt + 1,
+                    },
+                );
+                c.retries += 1;
+            } else {
+                c.lost += 1;
+                c.in_flight -= 1;
+            }
+            return;
+        }
+        // Pass 2: fan out to the chosen copies, FCFS per disk.
+        c.pages += page_count;
+        let mut completion = now;
+        for (d, &count) in ls.hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let s = ls.targets[d] as usize;
+            let hops = (s + m - d) % m;
+            let base = if policy == ReplicaPolicy::FailoverOnly && hops > 0 {
+                // Failures are discovered by timing out once per dead
+                // copy skipped along the chain.
+                c.timeouts += hops as u64;
+                now + timeout_ms * hops as f64
+            } else {
+                now
+            };
+            let start = base.max(ls.disk_free_at[s]);
+            let service =
+                params.batch_ms_counts(count, self.loads[s]) * ls.disk_state[s].latency_factor();
+            ls.disk_free_at[s] = start + service;
+            ls.disk_busy_ms[s] += service;
+            completion = completion.max(start + service);
+            if hops > 0 {
+                c.failovers += 1;
+            }
+            if record {
+                c.batches += 1;
+                if start > now {
+                    c.queued_batches += 1;
+                }
+            }
+        }
+        let latency = completion - arrivals_ms[query as usize];
+        ls.latencies.push(latency);
+        c.makespan = c.makespan.max(completion);
+        ls.fault_events.push(
+            completion,
+            ServeEventKind::Completion {
+                latency_ms: latency,
+            },
+        );
+    }
+}
+
+/// Mutable counter block of one degraded serve run, threaded through
+/// [`ServingEngine::issue_degraded`] so the issue step stays a single
+/// borrow.
+#[derive(Debug, Default)]
+struct DegradedCounters {
+    batches: u64,
+    queued_batches: u64,
+    pages: u64,
+    retries: u64,
+    timeouts: u64,
+    failovers: u64,
+    lost: u64,
+    in_flight: usize,
+    peak_in_flight: usize,
+    makespan: f64,
+}
+
+/// Picks the chain copy that serves a batch whose primary is `d`, per
+/// the replica-selection policy, or `None` when the policy cannot reach
+/// a live copy. Pure function of the health/queue snapshots, resolved in
+/// disk order by the caller — deterministic.
+fn select_copy(
+    d: usize,
+    query: u64,
+    replicas: u32,
+    policy: ReplicaPolicy,
+    disk_state: &[DiskState],
+    disk_free_at: &[f64],
+) -> Option<u32> {
+    let m = disk_state.len();
+    let copy = |j: u32| (d + j as usize) % m;
+    let live = |j: &u32| disk_state[copy(*j)].is_live();
+    if replicas == 0 {
+        return live(&0).then_some(d as u32);
+    }
+    let j = match policy {
+        ReplicaPolicy::PrimaryOnly => live(&0).then_some(0),
+        ReplicaPolicy::FailoverOnly => (0..=replicas).find(live),
+        ReplicaPolicy::NearestFreeQueue => (0..=replicas).filter(live).min_by(|&a, &b| {
+            disk_free_at[copy(a)]
+                .total_cmp(&disk_free_at[copy(b)])
+                .then(a.cmp(&b))
+        }),
+        ReplicaPolicy::RoundRobin => {
+            let mut live_copies = (0..=replicas).filter(live);
+            let n_live = live_copies.clone().count() as u64;
+            live_copies.nth((query % n_live.max(1)) as usize)
+        }
+    };
+    j.map(|j| copy(j) as u32)
 }
 
 /// The fixed chunk length of [`sharded_arrivals`]. Chunk boundaries are
@@ -855,6 +1365,303 @@ mod tests {
         );
         assert_eq!(r.report.queries, n);
         assert_eq!(r.events, 2 * n as u64);
+    }
+
+    fn degraded_cfg() -> DegradedServeConfig {
+        DegradedServeConfig::default()
+    }
+
+    #[test]
+    fn fault_free_degraded_serve_matches_serve_obs_bitwise() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrivals = poisson_arrivals(&mut rng, 300, 60.0);
+        let obs = Obs::disabled();
+        let mut ls = LoopScratch::new();
+        let plain = engine.serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &ServeConfig::default(),
+            &obs,
+            &mut ls,
+        );
+        let healthy = FaultSchedule::healthy(8);
+        for policy in [ReplicaPolicy::PrimaryOnly, ReplicaPolicy::FailoverOnly] {
+            let degraded = engine
+                .serve_degraded_obs(
+                    &params,
+                    &queries,
+                    &arrivals,
+                    &healthy,
+                    1,
+                    policy,
+                    &degraded_cfg(),
+                    &obs,
+                    &mut ls,
+                )
+                .unwrap();
+            let (a, b) = (&plain.report, &degraded.serve.report);
+            assert_eq!(a.makespan_ms.to_bits(), b.makespan_ms.to_bits(), "{policy}");
+            assert_eq!(a.latency.mean.to_bits(), b.latency.mean.to_bits());
+            assert_eq!(a.latency.max.to_bits(), b.latency.max.to_bits());
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            assert_eq!(a.tail, b.tail);
+            assert_eq!(plain.events, degraded.serve.events);
+            assert_eq!(plain.peak_in_flight, degraded.serve.peak_in_flight);
+            assert_eq!(plain.pages, degraded.serve.pages);
+            assert_eq!(degraded.served, 300);
+            assert_eq!((degraded.shed, degraded.lost, degraded.retries), (0, 0, 0));
+            assert_eq!((degraded.timeouts, degraded.failovers), (0, 0));
+            assert_eq!(degraded.availability(), 1.0);
+        }
+    }
+
+    #[test]
+    fn primary_only_loses_requests_through_a_fail_stop() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let arrivals = poisson_arrivals(&mut rng, 200, 50.0);
+        let schedule = FaultSchedule::healthy(8).fail_stop(3, 0).unwrap();
+        let mut ls = LoopScratch::new();
+        let r = engine
+            .serve_degraded_obs(
+                &params,
+                &queries,
+                &arrivals,
+                &schedule,
+                1,
+                ReplicaPolicy::PrimaryOnly,
+                &degraded_cfg(),
+                &Obs::disabled(),
+                &mut ls,
+            )
+            .unwrap();
+        assert!(r.lost > 0, "a permanently dead primary loses requests");
+        assert!(r.retries > 0, "losses only follow exhausted retries");
+        assert!(r.availability() < 1.0);
+        assert_eq!(r.served + r.shed + r.lost, 200);
+    }
+
+    #[test]
+    fn failover_serves_through_a_fail_stop() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let arrivals = poisson_arrivals(&mut rng, 200, 50.0);
+        let schedule = FaultSchedule::healthy(8).fail_stop(3, 0).unwrap();
+        let mut ls = LoopScratch::new();
+        let r = engine
+            .serve_degraded_obs(
+                &params,
+                &queries,
+                &arrivals,
+                &schedule,
+                1,
+                ReplicaPolicy::FailoverOnly,
+                &degraded_cfg(),
+                &Obs::disabled(),
+                &mut ls,
+            )
+            .unwrap();
+        assert_eq!(r.lost, 0, "one failure never defeats a 1-chain");
+        assert_eq!(r.served, 200);
+        assert!(r.failovers > 0);
+        assert!(r.timeouts > 0, "failover pays the detection timeout");
+        assert_eq!(r.availability(), 1.0);
+    }
+
+    #[test]
+    fn transient_outage_recovers_via_retries() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        // Constant arrivals across a 100..140 ms outage of disk 2.
+        let arrivals: Vec<f64> = (0..100).map(|i| i as f64 * 4.0).collect();
+        let schedule = FaultSchedule::healthy(8).transient(2, 100, 140).unwrap();
+        let cfg = DegradedServeConfig {
+            retry: RetryPolicy {
+                timeout_units: 2,
+                max_retries: 5,
+            },
+            ..degraded_cfg()
+        };
+        let mut ls = LoopScratch::new();
+        let r = engine
+            .serve_degraded_obs(
+                &params,
+                &queries,
+                &arrivals,
+                &schedule,
+                1,
+                ReplicaPolicy::PrimaryOnly,
+                &cfg,
+                &Obs::disabled(),
+                &mut ls,
+            )
+            .unwrap();
+        assert_eq!(r.transitions, 2, "outage start + recovery");
+        assert!(r.retries > 0, "requests inside the window back off");
+        assert_eq!(r.lost, 0, "backoff outlives the 40 ms outage");
+        assert_eq!(r.served, 100);
+        // Retried requests carry their backoff in the measured tail.
+        assert!(r.serve.report.latency.max > r.serve.report.latency.mean);
+    }
+
+    #[test]
+    fn shedding_bounds_in_flight() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        // An arrival burst far above service capacity.
+        let arrivals: Vec<f64> = (0..300).map(|i| i as f64 * 0.1).collect();
+        let cfg = DegradedServeConfig {
+            max_in_flight: 4,
+            ..degraded_cfg()
+        };
+        let mut ls = LoopScratch::new();
+        let r = engine
+            .serve_degraded_obs(
+                &params,
+                &queries,
+                &arrivals,
+                &FaultSchedule::healthy(8),
+                1,
+                ReplicaPolicy::PrimaryOnly,
+                &cfg,
+                &Obs::disabled(),
+                &mut ls,
+            )
+            .unwrap();
+        assert!(r.shed > 0, "overload must shed");
+        assert!(r.serve.peak_in_flight <= 4, "admission bound holds");
+        assert_eq!(r.served + r.shed + r.lost, 300);
+        assert!(r.availability() < 1.0);
+        // Shed requests leave no latency sample behind.
+        assert_eq!(ls.latencies.len() as u64, r.served);
+    }
+
+    #[test]
+    fn balanced_policies_spread_load_across_live_copies() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let arrivals: Vec<f64> = (0..200).map(|i| i as f64 * 2.0).collect();
+        let healthy = FaultSchedule::healthy(8);
+        let obs = Obs::disabled();
+        let mut ls = LoopScratch::new();
+        let mut run = |policy| {
+            engine
+                .serve_degraded_obs(
+                    &params,
+                    &queries,
+                    &arrivals,
+                    &healthy,
+                    2,
+                    policy,
+                    &degraded_cfg(),
+                    &obs,
+                    &mut ls,
+                )
+                .unwrap()
+        };
+        let primary = run(ReplicaPolicy::PrimaryOnly);
+        let nearest = run(ReplicaPolicy::NearestFreeQueue);
+        let rr = run(ReplicaPolicy::RoundRobin);
+        for r in [&primary, &nearest, &rr] {
+            assert_eq!(r.served, 200);
+            assert_eq!(r.lost + r.shed, 0);
+        }
+        assert_eq!(primary.failovers, 0);
+        assert!(rr.failovers > 0, "round-robin rotates off the primary");
+        assert!(
+            nearest.serve.report.latency.mean <= primary.serve.report.latency.mean,
+            "queue-aware reads should not be slower than primary-only: {} > {}",
+            nearest.serve.report.latency.mean,
+            primary.serve.report.latency.mean
+        );
+    }
+
+    #[test]
+    fn degraded_serve_is_deterministic() {
+        let (_space, engine, queries) = serving_setup();
+        let params = DiskParams::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        let arrivals = poisson_arrivals(&mut rng, 250, 60.0);
+        let schedule =
+            FaultSchedule::parse("fail:3@500,transient:5@200..400,slow:1x2@0..800", 8).unwrap();
+        let cfg = DegradedServeConfig {
+            max_in_flight: 64,
+            seed: 42,
+            ..degraded_cfg()
+        };
+        let obs = Obs::disabled();
+        let mut ls = LoopScratch::new();
+        let mut run = || {
+            engine
+                .serve_degraded_obs(
+                    &params,
+                    &queries,
+                    &arrivals,
+                    &schedule,
+                    2,
+                    ReplicaPolicy::FailoverOnly,
+                    &cfg,
+                    &obs,
+                    &mut ls,
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.serve.report.makespan_ms.to_bits(),
+            b.serve.report.makespan_ms.to_bits()
+        );
+        assert_eq!(
+            a.serve.report.latency.mean.to_bits(),
+            b.serve.report.latency.mean.to_bits()
+        );
+        assert_eq!(
+            (a.served, a.shed, a.lost, a.retries, a.timeouts, a.failovers),
+            (b.served, b.shed, b.lost, b.retries, b.timeouts, b.failovers)
+        );
+    }
+
+    #[test]
+    fn schedule_mismatch_is_an_error_not_a_panic() {
+        let (_space, engine, queries) = serving_setup();
+        let err = engine
+            .serve_degraded_obs(
+                &DiskParams::default(),
+                &queries,
+                &[1.0],
+                &FaultSchedule::healthy(4),
+                1,
+                ReplicaPolicy::PrimaryOnly,
+                &degraded_cfg(),
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::ScheduleMismatch { .. }));
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_in_unit_range() {
+        for seed in [0u64, 1, 99] {
+            for query in [0u64, 7, 12345] {
+                for attempt in [0u32, 1, 5] {
+                    let j = retry_jitter01(seed, query, attempt);
+                    assert!((0.0..1.0).contains(&j), "{j}");
+                    assert_eq!(j.to_bits(), retry_jitter01(seed, query, attempt).to_bits());
+                }
+            }
+        }
+        // Distinct attempts decorrelate (the whole point of jitter).
+        assert_ne!(
+            retry_jitter01(1, 1, 0).to_bits(),
+            retry_jitter01(1, 1, 1).to_bits()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use crate::eval::{DegradedContext, EvalContext};
-use crate::events::{sharded_arrivals, LoopScratch, ServeConfig, ServeSample};
+use crate::events::{sharded_arrivals, DegradedServeConfig, LoopScratch, ServeConfig, ServeSample};
 use crate::exec::{derive_point_seed, run_indexed, run_indexed_with};
-use crate::faults::{FaultReport, FaultSchedule, RetryPolicy};
+use crate::faults::{FaultReport, FaultSchedule, ReplicaPolicy, RetryPolicy};
 use crate::multiuser::{load_sweep_with_threads, LoadPoint, MultiUserEngine};
 use crate::stats::Quantiles;
 use crate::workload::{
@@ -130,6 +130,62 @@ pub struct ServeSweep {
     pub rates_qps: Vec<f64>,
     /// One curve per method, in registry order.
     pub curves: Vec<ServeCurve>,
+}
+
+/// One `(fault schedule, replica count, policy)` cell of an availability
+/// sweep: the fraction of arrivals served, the loss/shed/retry volume,
+/// and what the configuration costs in response time and storage
+/// relative to the fault-free unreplicated baseline.
+#[derive(Clone, Debug)]
+pub struct AvailPoint {
+    /// The fault schedule this cell ran under (CLI grammar).
+    pub schedule: String,
+    /// Extra copies per bucket (`r`).
+    pub replicas: u32,
+    /// Replica-selection policy.
+    pub policy: ReplicaPolicy,
+    /// Served fraction of all arrivals, in `[0, 1]`.
+    pub availability: f64,
+    /// Arrivals served to completion.
+    pub served: u64,
+    /// Arrivals shed at admission.
+    pub shed: u64,
+    /// Arrivals lost after exhausting retries.
+    pub lost: u64,
+    /// Retry attempts scheduled.
+    pub retries: u64,
+    /// Failover timeout penalties paid (chain hops).
+    pub timeouts: u64,
+    /// Requests served by a non-primary copy.
+    pub failovers: u64,
+    /// Achieved completion throughput, queries/s.
+    pub achieved_qps: f64,
+    /// Mean issue-to-completion latency over served requests, ms.
+    pub mean_latency_ms: f64,
+    /// Exact nearest-rank latency tails, ms.
+    pub tail_ms: Quantiles,
+    /// Mean latency relative to the sweep's first cell (the fault-free
+    /// `r = 1` primary-only baseline); `1.0` for the baseline itself.
+    pub rt_overhead: f64,
+    /// Storage cost relative to no replication: `1 + r`.
+    pub storage_overhead: f64,
+}
+
+/// Result of [`Experiment::run_avail_sweep`]: one [`AvailPoint`] per
+/// `(schedule, replica count, policy)` combination for a single method,
+/// in `schedules × replicas × ReplicaPolicy::ALL` order.
+#[derive(Clone, Debug)]
+pub struct AvailSweep {
+    /// Human-readable description of the sweep.
+    pub title: String,
+    /// The method under study.
+    pub method: String,
+    /// Arrivals simulated per cell.
+    pub clients: usize,
+    /// Offered arrival rate, queries/s.
+    pub rate_qps: f64,
+    /// One point per cell, in sweep order.
+    pub points: Vec<AvailPoint>,
 }
 
 /// One evaluated sweep point: the x-value plus each method's summary and
@@ -574,6 +630,28 @@ impl Experiment {
         schedule: &FaultSchedule,
         policy: &RetryPolicy,
     ) -> Result<FaultReport> {
+        self.run_fault_workload_with(area, schedule, policy, 1, ReplicaPolicy::FailoverOnly)
+    }
+
+    /// [`Experiment::run_fault_workload`] with the replication depth and
+    /// replica-selection policy exposed: the `<name>+chain` rows walk an
+    /// `r`-way chain under `selection` instead of the default one-backup
+    /// failover. `replicas = 1` with [`ReplicaPolicy::FailoverOnly`] is
+    /// bit-identical to [`Experiment::run_fault_workload`].
+    ///
+    /// # Errors
+    /// As [`Experiment::run_fault_workload`].
+    ///
+    /// # Panics
+    /// Panics when `replicas` falls outside `1..M`.
+    pub fn run_fault_workload_with(
+        &self,
+        area: u64,
+        schedule: &FaultSchedule,
+        policy: &RetryPolicy,
+        replicas: u32,
+        selection: ReplicaPolicy,
+    ) -> Result<FaultReport> {
         let sides = rect_sides_for_area(area, self.space.dims()).ok_or_else(|| {
             SimError::QueryDoesNotFit {
                 extents: vec![area as u32],
@@ -587,7 +665,8 @@ impl Experiment {
             .map(|_| random_region(&mut rng, &self.space, &sides))
             .collect::<Result<_>>()?;
         let ctx = self.context_for_parallel(&self.space, self.m);
-        let dctx = DegradedContext::new(&ctx, schedule, *policy)?;
+        let dctx =
+            DegradedContext::new(&ctx, schedule, *policy)?.with_replication(replicas, selection);
         let variants = ctx.maps().len() * 2;
         let rows = run_indexed(self.effective_threads(), variants, &self.obs, |i| {
             dctx.score_variant(i / 2, &regions, i % 2 == 1)
@@ -884,6 +963,289 @@ impl Experiment {
             clients,
             rates_qps: rates_qps.to_vec(),
             curves,
+        })
+    }
+
+    /// **Degraded serve sweep (extension).** [`Experiment::run_serve_sweep`]
+    /// with a fault schedule injected mid-run: same rates, same arrival
+    /// streams, same query stream, but every cell serves through
+    /// `schedule` under `r`-way chained replication and `policy`, with
+    /// `retry` governing backoff. With the healthy schedule, `r = 1`,
+    /// [`ReplicaPolicy::PrimaryOnly`], and shedding off, every number is
+    /// bit-identical to the fault-free sweep.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no rates;
+    /// [`SimError::ScheduleMismatch`] for a schedule covering a
+    /// different disk count; [`SimError::QueryDoesNotFit`] as above.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero, any rate is non-positive, or
+    /// `replicas` falls outside `1..M`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_serve_sweep_degraded(
+        &self,
+        params: &DiskParams,
+        clients: usize,
+        rates_qps: &[f64],
+        area: u64,
+        schedule: &FaultSchedule,
+        replicas: u32,
+        policy: ReplicaPolicy,
+        retry: RetryPolicy,
+    ) -> Result<ServeSweep> {
+        if rates_qps.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        assert!(clients > 0, "serve needs at least one client");
+        assert!(
+            rates_qps.iter().all(|&r| r > 0.0),
+            "arrival rate must be positive"
+        );
+        if schedule.num_disks() != self.m {
+            return Err(SimError::ScheduleMismatch {
+                schedule_disks: schedule.num_disks(),
+                experiment_disks: self.m,
+            });
+        }
+        let regions = self.shared_regions(area)?;
+        let engines = self.multiuser_engines();
+        let nm = engines.len();
+        let threads = self.effective_threads();
+        let arrivals: Vec<Vec<f64>> = rates_qps
+            .iter()
+            .enumerate()
+            .map(|(r, &rate)| {
+                sharded_arrivals(
+                    derive_point_seed(self.seed, r as u64),
+                    clients,
+                    InterArrival::Poisson { rate_qps: rate },
+                    threads,
+                    &self.obs,
+                )
+            })
+            .collect();
+        let cells = run_indexed_with(
+            threads,
+            rates_qps.len() * nm,
+            &self.obs,
+            LoopScratch::new,
+            |i, ls| {
+                let (ri, mi) = (i / nm, i % nm);
+                let cfg = DegradedServeConfig {
+                    serve: ServeConfig {
+                        sample_every_ms: (clients as f64 * 1000.0 / rates_qps[ri]) / 32.0,
+                        ..ServeConfig::default()
+                    },
+                    max_in_flight: 0,
+                    retry,
+                    seed: self.seed,
+                };
+                let rep = engines[mi]
+                    .1
+                    .serving()
+                    .serve_degraded_obs(
+                        params,
+                        &regions,
+                        &arrivals[ri],
+                        schedule,
+                        replicas,
+                        policy,
+                        &cfg,
+                        &self.obs,
+                        ls,
+                    )
+                    .expect("schedule pre-validated against M");
+                ServePoint {
+                    offered_qps: rates_qps[ri],
+                    achieved_qps: rep.serve.report.throughput_qps,
+                    mean_latency_ms: rep.serve.report.latency.mean,
+                    tail_ms: rep.serve.report.tail,
+                    utilization: rep.serve.report.utilization,
+                    peak_in_flight: rep.serve.peak_in_flight,
+                    samples: ls.samples().to_vec(),
+                }
+            },
+        );
+        let mut curves: Vec<ServeCurve> = engines
+            .iter()
+            .map(|(name, _)| ServeCurve {
+                method: name.clone(),
+                points: Vec::with_capacity(rates_qps.len()),
+                knee_qps: 0.0,
+            })
+            .collect();
+        for (i, point) in cells.into_iter().enumerate() {
+            curves[i % nm].points.push(point);
+        }
+        for curve in &mut curves {
+            curve.knee_qps = curve
+                .points
+                .iter()
+                .filter(|p| p.achieved_qps >= 0.95 * p.offered_qps)
+                .map(|p| p.offered_qps)
+                .fold(0.0, f64::max);
+        }
+        Ok(ServeSweep {
+            title: format!(
+                "Degraded serve sweep: {} open-loop clients per rate at query area {} (grid {:?}, M={}, r={replicas}, policy {}, faults: {})",
+                clients,
+                area,
+                self.space.dims(),
+                self.m,
+                policy.name(),
+                schedule.describe()
+            ),
+            clients,
+            rates_qps: rates_qps.to_vec(),
+            curves,
+        })
+    }
+
+    /// **Availability sweep (extension).** One fault-injected serve run
+    /// per `(schedule, replica count, policy)` cell for a single method
+    /// (the first survivor of the method filter): `clients` Poisson
+    /// arrivals at `rate_qps` stream through the serving engine while
+    /// the schedule fails, slows, and recovers disks mid-run, under
+    /// every [`ReplicaPolicy`] and each requested `r`-way chain depth.
+    ///
+    /// The arrival stream and query stream are shared across all cells
+    /// (and match [`Experiment::run_serve_sweep`] for a single-rate
+    /// sweep at the same rate, which is what pins the fault-free
+    /// baseline cell bit-for-bit to the plain serve path). Cells fan out
+    /// on the deterministic executor, so every number is bit-identical
+    /// for any thread count.
+    ///
+    /// Put the healthy schedule first and `r = 1` first: the sweep's
+    /// first cell (fault-free, `r = 1`, primary-only) is the baseline
+    /// every cell's `rt_overhead` is measured against.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no schedules or no replica counts;
+    /// [`SimError::ScheduleMismatch`] when any schedule covers a
+    /// different disk count; [`SimError::QueryDoesNotFit`] as above.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero, `rate_qps` is non-positive, or any
+    /// replica count falls outside `1..M`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_avail_sweep(
+        &self,
+        params: &DiskParams,
+        clients: usize,
+        rate_qps: f64,
+        area: u64,
+        schedules: &[(String, FaultSchedule)],
+        replicas: &[u32],
+        retry: RetryPolicy,
+        max_in_flight: usize,
+    ) -> Result<AvailSweep> {
+        if schedules.is_empty() || replicas.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        assert!(clients > 0, "avail needs at least one client");
+        assert!(rate_qps > 0.0, "arrival rate must be positive");
+        assert!(
+            replicas.iter().all(|&r| r >= 1 && r < self.m),
+            "replica counts must lie in 1..M"
+        );
+        for (_, schedule) in schedules {
+            if schedule.num_disks() != self.m {
+                return Err(SimError::ScheduleMismatch {
+                    schedule_disks: schedule.num_disks(),
+                    experiment_disks: self.m,
+                });
+            }
+        }
+        let regions = self.shared_regions(area)?;
+        let engines = self.multiuser_engines();
+        let Some((method, engine)) = engines.first() else {
+            // A method filter that matches nothing leaves no engine to
+            // sweep — the caller's filter name is the problem.
+            return Err(SimError::EmptySweep);
+        };
+        let threads = self.effective_threads();
+        // One arrival stream shared by every cell, drawn exactly as a
+        // single-rate serve sweep draws its first rate.
+        let arrivals = sharded_arrivals(
+            derive_point_seed(self.seed, 0),
+            clients,
+            InterArrival::Poisson { rate_qps },
+            threads,
+            &self.obs,
+        );
+        let cfg = DegradedServeConfig {
+            serve: ServeConfig {
+                sample_every_ms: (clients as f64 * 1000.0 / rate_qps) / 32.0,
+                ..ServeConfig::default()
+            },
+            max_in_flight,
+            retry,
+            seed: self.seed,
+        };
+        let np = ReplicaPolicy::ALL.len();
+        let per_schedule = replicas.len() * np;
+        let cells = run_indexed_with(
+            threads,
+            schedules.len() * per_schedule,
+            &self.obs,
+            LoopScratch::new,
+            |i, ls| {
+                let (si, rest) = (i / per_schedule, i % per_schedule);
+                let (ri, pi) = (rest / np, rest % np);
+                let rep = engine
+                    .serving()
+                    .serve_degraded_obs(
+                        params,
+                        &regions,
+                        &arrivals,
+                        &schedules[si].1,
+                        replicas[ri],
+                        ReplicaPolicy::ALL[pi],
+                        &cfg,
+                        &self.obs,
+                        ls,
+                    )
+                    .expect("schedules pre-validated against M");
+                AvailPoint {
+                    schedule: schedules[si].0.clone(),
+                    replicas: replicas[ri],
+                    policy: ReplicaPolicy::ALL[pi],
+                    availability: rep.availability(),
+                    served: rep.served,
+                    shed: rep.shed,
+                    lost: rep.lost,
+                    retries: rep.retries,
+                    timeouts: rep.timeouts,
+                    failovers: rep.failovers,
+                    achieved_qps: rep.serve.report.throughput_qps,
+                    mean_latency_ms: rep.serve.report.latency.mean,
+                    tail_ms: rep.serve.report.tail,
+                    rt_overhead: 1.0,
+                    storage_overhead: f64::from(1 + replicas[ri]),
+                }
+            },
+        );
+        let mut points = cells;
+        let baseline = points[0].mean_latency_ms;
+        for p in &mut points {
+            p.rt_overhead = if baseline > 0.0 {
+                p.mean_latency_ms / baseline
+            } else {
+                1.0
+            };
+        }
+        Ok(AvailSweep {
+            title: format!(
+                "Availability sweep: {method} serving {clients} arrivals at {rate_qps} q/s, query area {} (grid {:?}, M={})",
+                area,
+                self.space.dims(),
+                self.m
+            ),
+            method: method.clone(),
+            clients,
+            rate_qps,
+            points,
         })
     }
 
@@ -1303,6 +1665,219 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn experiment_serve_sweep_rejects_zero_clients() {
         let _ = experiment().run_serve_sweep(&DiskParams::default(), 0, &[5.0], 16);
+    }
+
+    #[test]
+    fn degraded_serve_sweep_with_no_faults_matches_the_plain_sweep_bitwise() {
+        let params = DiskParams::default();
+        let rates = [20.0, 80.0];
+        let plain = experiment()
+            .run_serve_sweep(&params, 300, &rates, 16)
+            .unwrap();
+        let degraded = experiment()
+            .run_serve_sweep_degraded(
+                &params,
+                300,
+                &rates,
+                16,
+                &FaultSchedule::healthy(8),
+                1,
+                ReplicaPolicy::PrimaryOnly,
+                RetryPolicy::default(),
+            )
+            .unwrap();
+        for (a, b) in plain.curves.iter().zip(&degraded.curves) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.knee_qps.to_bits(), b.knee_qps.to_bits());
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.achieved_qps.to_bits(), pb.achieved_qps.to_bits());
+                assert_eq!(pa.mean_latency_ms.to_bits(), pb.mean_latency_ms.to_bits());
+                assert_eq!(pa.tail_ms, pb.tail_ms);
+                assert_eq!(pa.peak_in_flight, pb.peak_in_flight);
+                assert_eq!(pa.samples, pb.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_serve_sweep_serves_through_a_fail_stop_with_failover() {
+        let params = DiskParams::default();
+        let schedule = FaultSchedule::healthy(8).fail_stop(2, 1000).unwrap();
+        let sweep = experiment()
+            .with_method_filter("HCAM")
+            .run_serve_sweep_degraded(
+                &params,
+                300,
+                &[40.0],
+                16,
+                &schedule,
+                1,
+                ReplicaPolicy::FailoverOnly,
+                RetryPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(sweep.curves.len(), 1);
+        let p = &sweep.curves[0].points[0];
+        // Every arrival still completes: the chain absorbs the failure.
+        assert!(p.achieved_qps > 0.0);
+        assert!(p.mean_latency_ms.is_finite());
+        assert!(sweep.title.contains("fail:2@1000"));
+        assert!(matches!(
+            experiment()
+                .run_serve_sweep_degraded(
+                    &params,
+                    300,
+                    &[40.0],
+                    16,
+                    &FaultSchedule::healthy(4),
+                    1,
+                    ReplicaPolicy::FailoverOnly,
+                    RetryPolicy::default(),
+                )
+                .unwrap_err(),
+            SimError::ScheduleMismatch { .. }
+        ));
+    }
+
+    fn avail_schedules() -> Vec<(String, FaultSchedule)> {
+        vec![
+            ("none".into(), FaultSchedule::healthy(8)),
+            (
+                "fail:3@2000".into(),
+                FaultSchedule::healthy(8).fail_stop(3, 2000).unwrap(),
+            ),
+        ]
+    }
+
+    /// The acceptance pin: the sweep's first cell (healthy schedule,
+    /// `r = 1`, primary-only, shedding off) reproduces the plain serve
+    /// path bit for bit.
+    #[test]
+    fn avail_sweep_baseline_cell_matches_serve_sweep_bitwise() {
+        let params = DiskParams::default();
+        let exp = experiment().with_method_filter("HCAM");
+        let serve = exp.run_serve_sweep(&params, 400, &[40.0], 16).unwrap();
+        let avail = exp
+            .run_avail_sweep(
+                &params,
+                400,
+                40.0,
+                16,
+                &avail_schedules(),
+                &[1, 2],
+                RetryPolicy::default(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(avail.method, "HCAM");
+        assert_eq!(avail.points.len(), 2 * 2 * ReplicaPolicy::ALL.len());
+        let base = &avail.points[0];
+        assert_eq!(base.schedule, "none");
+        assert_eq!(base.replicas, 1);
+        assert_eq!(base.policy, ReplicaPolicy::PrimaryOnly);
+        let sp = &serve.curves[0].points[0];
+        assert_eq!(base.achieved_qps.to_bits(), sp.achieved_qps.to_bits());
+        assert_eq!(base.mean_latency_ms.to_bits(), sp.mean_latency_ms.to_bits());
+        assert_eq!(base.tail_ms, sp.tail_ms);
+        assert_eq!(base.availability, 1.0);
+        assert_eq!(base.rt_overhead, 1.0);
+        assert_eq!(base.storage_overhead, 2.0);
+        assert_eq!(base.shed + base.lost + base.retries + base.failovers, 0);
+    }
+
+    #[test]
+    fn avail_sweep_failover_beats_primary_only_through_a_failure() {
+        let params = DiskParams::default();
+        let avail = experiment()
+            .with_method_filter("HCAM")
+            .run_avail_sweep(
+                &params,
+                400,
+                40.0,
+                16,
+                &avail_schedules(),
+                &[1],
+                RetryPolicy::default(),
+                0,
+            )
+            .unwrap();
+        // Second schedule block: fail-stop of disk 3 mid-run.
+        let faulted = &avail.points[ReplicaPolicy::ALL.len()..];
+        let by_policy = |p: ReplicaPolicy| faulted.iter().find(|c| c.policy == p).unwrap();
+        let primary = by_policy(ReplicaPolicy::PrimaryOnly);
+        let failover = by_policy(ReplicaPolicy::FailoverOnly);
+        assert!(primary.availability < 1.0);
+        assert!(primary.lost > 0);
+        assert_eq!(failover.availability, 1.0);
+        assert!(failover.failovers > 0);
+        // Surviving the failure costs response time, not requests.
+        assert!(failover.rt_overhead >= 1.0);
+    }
+
+    #[test]
+    fn avail_sweep_is_thread_count_invariant() {
+        let params = DiskParams::default();
+        let run = |threads| {
+            experiment()
+                .with_threads(threads)
+                .with_method_filter("HCAM")
+                .run_avail_sweep(
+                    &params,
+                    300,
+                    40.0,
+                    16,
+                    &avail_schedules(),
+                    &[1, 2],
+                    RetryPolicy::default(),
+                    8,
+                )
+                .unwrap()
+        };
+        let base = run(1);
+        for threads in [4, 0] {
+            let other = run(threads);
+            assert_eq!(base.points.len(), other.points.len());
+            for (a, b) in base.points.iter().zip(&other.points) {
+                assert_eq!(
+                    (a.schedule.as_str(), a.replicas, a.policy),
+                    (b.schedule.as_str(), b.replicas, b.policy)
+                );
+                assert_eq!(a.availability.to_bits(), b.availability.to_bits());
+                assert_eq!(a.mean_latency_ms.to_bits(), b.mean_latency_ms.to_bits());
+                assert_eq!(a.achieved_qps.to_bits(), b.achieved_qps.to_bits());
+                assert_eq!(a.tail_ms, b.tail_ms);
+                assert_eq!(
+                    (a.served, a.shed, a.lost, a.retries, a.timeouts, a.failovers),
+                    (b.served, b.shed, b.lost, b.retries, b.timeouts, b.failovers)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avail_sweep_rejects_bad_inputs() {
+        let params = DiskParams::default();
+        assert!(matches!(
+            experiment()
+                .run_avail_sweep(&params, 100, 40.0, 16, &[], &[1], RetryPolicy::default(), 0)
+                .unwrap_err(),
+            SimError::EmptySweep
+        ));
+        assert!(matches!(
+            experiment()
+                .run_avail_sweep(
+                    &params,
+                    100,
+                    40.0,
+                    16,
+                    &[("none".into(), FaultSchedule::healthy(4))],
+                    &[1],
+                    RetryPolicy::default(),
+                    0
+                )
+                .unwrap_err(),
+            SimError::ScheduleMismatch { .. }
+        ));
     }
 
     #[test]

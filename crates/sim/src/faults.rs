@@ -118,6 +118,34 @@ impl FaultSchedule {
         }
     }
 
+    /// Builds a schedule from pre-assembled events, validating each one:
+    /// events addressed to disks `>= m`, empty windows, and gray-slow
+    /// factors below 1 are rejected with the same one-line typed errors
+    /// the incremental builders produce. This is the ingestion path for
+    /// event lists assembled outside the builder chain (e.g. by the
+    /// serving engine's fault-event plumbing).
+    ///
+    /// # Errors
+    /// [`SimError::BadFaultSpec`] naming the offending event.
+    pub fn from_events(m: u32, events: impl IntoIterator<Item = FaultEvent>) -> Result<Self> {
+        let mut schedule = FaultSchedule::healthy(m);
+        for event in events {
+            schedule = match event {
+                FaultEvent::FailStop { disk, at } => schedule.fail_stop(disk, at)?,
+                FaultEvent::Transient { disk, from, until } => {
+                    schedule.transient(disk, from, until)?
+                }
+                FaultEvent::Slow {
+                    disk,
+                    factor,
+                    from,
+                    until,
+                } => schedule.slow(disk, factor, from, until)?,
+            };
+        }
+        Ok(schedule)
+    }
+
     fn check_disk(&self, disk: u32) -> Result<()> {
         if disk >= self.m {
             return Err(SimError::BadFaultSpec {
@@ -326,7 +354,28 @@ impl FaultSchedule {
     /// # Panics
     /// As [`FaultSchedule::state_at`].
     pub fn chain_dead(&self, disk: u32, t: u64) -> bool {
-        !self.state_at(disk, t).is_live() && !self.state_at((disk + 1) % self.m, t).is_live()
+        self.replicas_dead(disk, t, 1)
+    }
+
+    /// Whether `disk` and all `r` of its chain successors are down at
+    /// time `t` — under r-way chained replication the condition for a
+    /// batch on `disk` to have no live copy. `replicas_dead(d, t, 1)` is
+    /// [`FaultSchedule::chain_dead`].
+    ///
+    /// # Panics
+    /// As [`FaultSchedule::state_at`].
+    pub fn replicas_dead(&self, disk: u32, t: u64, replicas: u32) -> bool {
+        self.first_live_copy(disk, t, replicas).is_none()
+    }
+
+    /// The chain offset `j in 0..=replicas` of the first live copy of a
+    /// bucket whose primary is `disk` (`0` when the primary itself is
+    /// live), or `None` when every copy is down at time `t`.
+    ///
+    /// # Panics
+    /// As [`FaultSchedule::state_at`].
+    pub fn first_live_copy(&self, disk: u32, t: u64, replicas: u32) -> Option<u32> {
+        (0..=replicas).find(|&j| self.state_at((disk + j) % self.m, t).is_live())
     }
 
     /// The failed-disk mask at time `t`: `mask[d]` is true when disk `d`
@@ -409,6 +458,84 @@ impl RetryPolicy {
     /// `timeout_units × (1 + max_retries)`.
     pub fn detection_units(&self) -> u64 {
         self.timeout_units * (1 + u64::from(self.max_retries))
+    }
+}
+
+/// How a read picks among the `1 + r` copies of a bucket under r-way
+/// chained replication.
+///
+/// The first two treat replicas purely as failover insurance; the last
+/// two use them as read bandwidth (the shared-I/O argument: replication
+/// under load should be a throughput multiplier, not just a spare).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplicaPolicy {
+    /// Always read the primary; a down primary makes the batch's query
+    /// unavailable. The no-replication-routing baseline.
+    PrimaryOnly,
+    /// Read the primary when it is live; otherwise walk the chain to the
+    /// first live successor, paying the retry policy's timeout per dead
+    /// copy skipped (failures are discovered by timing out, not by
+    /// health gossip).
+    FailoverOnly,
+    /// Health-aware: read the live copy with the shortest queue (fewest
+    /// accumulated load units / earliest free disk), tie-broken in chain
+    /// order. No timeout penalty — routing already knows who is down.
+    NearestFreeQueue,
+    /// Health-aware load-balanced round-robin: rotate reads across the
+    /// live copies keyed on the logical clock, spreading load evenly.
+    RoundRobin,
+}
+
+impl ReplicaPolicy {
+    /// Every policy, in report order.
+    pub const ALL: [ReplicaPolicy; 4] = [
+        ReplicaPolicy::PrimaryOnly,
+        ReplicaPolicy::FailoverOnly,
+        ReplicaPolicy::NearestFreeQueue,
+        ReplicaPolicy::RoundRobin,
+    ];
+
+    /// The accepted names and aliases, for error messages and CLI help.
+    pub const ACCEPTED_NAMES: &'static str = "primary, failover, nearest, roundrobin";
+
+    /// Stable name (accepted back by [`ReplicaPolicy::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaPolicy::PrimaryOnly => "primary",
+            ReplicaPolicy::FailoverOnly => "failover",
+            ReplicaPolicy::NearestFreeQueue => "nearest",
+            ReplicaPolicy::RoundRobin => "roundrobin",
+        }
+    }
+
+    /// Parses a policy from a (case-insensitive) name, mirroring
+    /// `MethodKind::parse`. Equivalent to the [`std::str::FromStr`] impl.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownPolicy`] (which lists the accepted names) for
+    /// anything else.
+    pub fn parse(name: &str) -> Result<Self> {
+        name.parse()
+    }
+}
+
+impl std::str::FromStr for ReplicaPolicy {
+    type Err = SimError;
+
+    fn from_str(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "primary" | "primary-only" => Ok(ReplicaPolicy::PrimaryOnly),
+            "failover" | "failover-only" => Ok(ReplicaPolicy::FailoverOnly),
+            "nearest" | "nearest-free-queue" => Ok(ReplicaPolicy::NearestFreeQueue),
+            "roundrobin" | "round-robin" | "rr" => Ok(ReplicaPolicy::RoundRobin),
+            _ => Err(SimError::UnknownPolicy { name: name.into() }),
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -530,6 +657,105 @@ pub fn degraded_outcome_with(
         loads[backup] += scale(count, backup_state) + policy.detection_units();
         failover_buckets += count;
         timeout_penalty += policy.detection_units();
+    }
+    if dead_buckets > 0 {
+        return QueryOutcome::Unavailable { dead_buckets };
+    }
+    QueryOutcome::Served {
+        response_time: loads.iter().copied().max().unwrap_or(0),
+        failover_buckets,
+        timeout_penalty,
+    }
+}
+
+/// The r-way generalization of [`degraded_outcome_with`]: each bucket
+/// has copies on its primary and `replicas` chain successors, and
+/// `selection` decides which live copy serves each batch.
+///
+/// * `replicas = 0` ignores `selection` and reproduces the unreplicated
+///   path (`chained = false`): any touched down disk makes the query
+///   unavailable.
+/// * `replicas = 1` with [`ReplicaPolicy::FailoverOnly`] is bit-identical
+///   to `degraded_outcome_with(…, chained = true, …)` — the classic
+///   chain.
+/// * [`ReplicaPolicy::PrimaryOnly`] never reads a backup, so a down
+///   primary is an unavailability even when copies exist.
+/// * [`ReplicaPolicy::FailoverOnly`] pays the retry policy's
+///   `detection_units` once per dead copy skipped before the first live
+///   one.
+/// * [`ReplicaPolicy::NearestFreeQueue`] and [`ReplicaPolicy::RoundRobin`]
+///   are health-aware (no timeout penalty) and may serve from a backup
+///   even when the primary is live, spreading load across copies.
+///
+/// Deterministic for a given `(hist, schedule, t)`; batches are resolved
+/// in disk order, so `NearestFreeQueue`'s queue lengths are well-defined.
+///
+/// # Panics
+/// As [`degraded_outcome`]; also if `replicas >= M` (an r-way chain
+/// would wrap onto its own primary — construction-validated upstream).
+pub fn degraded_outcome_r(
+    hist: &[u64],
+    schedule: &FaultSchedule,
+    t: u64,
+    policy: &RetryPolicy,
+    replicas: u32,
+    selection: ReplicaPolicy,
+    loads: &mut Vec<u64>,
+) -> QueryOutcome {
+    let m = schedule.num_disks() as usize;
+    assert_eq!(hist.len(), m, "histogram arity {} != M = {m}", hist.len());
+    assert!(
+        (replicas as usize) < m,
+        "replica count {replicas} >= M = {m}"
+    );
+    let scale = |count: u64, state: DiskState| -> u64 {
+        match state {
+            DiskState::Slow(f) => (count as f64 * f).ceil() as u64,
+            _ => count,
+        }
+    };
+    loads.clear();
+    loads.resize(m, 0);
+    let mut failover_buckets = 0u64;
+    let mut timeout_penalty = 0u64;
+    let mut dead_buckets = 0u64;
+    for (d, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let primary_state = schedule.state_at(d as u32, t);
+        // The chain offset of the copy that serves this batch, or None
+        // when the policy cannot reach a live copy.
+        let serving_offset: Option<u32> = match selection {
+            _ if replicas == 0 => primary_state.is_live().then_some(0),
+            ReplicaPolicy::PrimaryOnly => primary_state.is_live().then_some(0),
+            ReplicaPolicy::FailoverOnly => schedule.first_live_copy(d as u32, t, replicas),
+            ReplicaPolicy::NearestFreeQueue => (0..=replicas)
+                .filter(|&j| schedule.state_at((d as u32 + j) % m as u32, t).is_live())
+                .min_by_key(|&j| (loads[(d + j as usize) % m], j)),
+            ReplicaPolicy::RoundRobin => {
+                let mut live = (0..=replicas)
+                    .filter(|&j| schedule.state_at((d as u32 + j) % m as u32, t).is_live());
+                let n_live = live.clone().count() as u64;
+                live.nth((t % n_live.max(1)) as usize)
+            }
+        };
+        let Some(j) = serving_offset else {
+            dead_buckets += count;
+            continue;
+        };
+        let serving = (d + j as usize) % m;
+        let serving_state = schedule.state_at(serving as u32, t);
+        let penalty = if selection == ReplicaPolicy::FailoverOnly {
+            policy.detection_units() * u64::from(j)
+        } else {
+            0
+        };
+        loads[serving] += scale(count, serving_state) + penalty;
+        if j > 0 {
+            failover_buckets += count;
+        }
+        timeout_penalty += penalty;
     }
     if dead_buckets > 0 {
         return QueryOutcome::Unavailable { dead_buckets };
@@ -1049,6 +1275,291 @@ mod tests {
     fn mismatched_histogram_is_a_caller_bug() {
         let s = FaultSchedule::healthy(4);
         let _ = degraded_outcome(&[1, 2], &s, 0, &RetryPolicy::default(), true);
+    }
+
+    #[test]
+    fn from_events_validates_every_event() {
+        let ok = FaultSchedule::from_events(
+            4,
+            [
+                FaultEvent::FailStop { disk: 1, at: 5 },
+                FaultEvent::Slow {
+                    disk: 0,
+                    factor: 2.0,
+                    from: 0,
+                    until: 9,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(ok.events().len(), 2);
+        for (bad, what) in [
+            (FaultEvent::FailStop { disk: 4, at: 0 }, "disk >= M"),
+            (
+                FaultEvent::Transient {
+                    disk: 0,
+                    from: 9,
+                    until: 3,
+                },
+                "empty window",
+            ),
+            (
+                FaultEvent::Slow {
+                    disk: 0,
+                    factor: 0.5,
+                    from: 0,
+                    until: 9,
+                },
+                "slow factor < 1",
+            ),
+            (
+                FaultEvent::Slow {
+                    disk: 0,
+                    factor: f64::NAN,
+                    from: 0,
+                    until: 9,
+                },
+                "non-finite factor",
+            ),
+        ] {
+            let err = FaultSchedule::from_events(4, [bad]).unwrap_err();
+            assert!(
+                matches!(err, SimError::BadFaultSpec { .. }),
+                "{what}: {err:?}"
+            );
+            assert!(!err.to_string().contains('\n'), "one-line error for {what}");
+        }
+    }
+
+    #[test]
+    fn replicas_dead_generalizes_chain_dead() {
+        let s = FaultSchedule::healthy(5)
+            .fail_stop(1, 0)
+            .unwrap()
+            .fail_stop(2, 0)
+            .unwrap()
+            .fail_stop(3, 0)
+            .unwrap();
+        // r = 1: disk 1's only backup (2) is down.
+        assert!(s.replicas_dead(1, 0, 1));
+        assert_eq!(s.replicas_dead(1, 0, 1), s.chain_dead(1, 0));
+        // r = 2: copies {1,2,3} all down.
+        assert!(s.replicas_dead(1, 0, 2));
+        // r = 3: copy on disk 4 is live.
+        assert!(!s.replicas_dead(1, 0, 3));
+        assert_eq!(s.first_live_copy(1, 0, 3), Some(3));
+        assert_eq!(s.first_live_copy(0, 0, 2), Some(0));
+        assert_eq!(s.first_live_copy(1, 0, 2), None);
+    }
+
+    #[test]
+    fn policy_names_roundtrip_and_reject_unknowns() {
+        for p in ReplicaPolicy::ALL {
+            assert_eq!(ReplicaPolicy::parse(p.name()).unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(
+            ReplicaPolicy::parse("Round-Robin").unwrap(),
+            ReplicaPolicy::RoundRobin
+        );
+        assert_eq!(
+            ReplicaPolicy::parse("NEAREST").unwrap(),
+            ReplicaPolicy::NearestFreeQueue
+        );
+        let err = ReplicaPolicy::parse("zorp").unwrap_err();
+        assert!(matches!(err, SimError::UnknownPolicy { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("unknown replica policy"), "{msg}");
+        for name in ["primary", "failover", "nearest", "roundrobin"] {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
+        assert!(!msg.contains('\n'), "one-line error: {msg}");
+    }
+
+    #[test]
+    fn r1_failover_matches_the_classic_chain_outcome() {
+        let schedules = [
+            FaultSchedule::healthy(5),
+            FaultSchedule::healthy(5).fail_stop(2, 0).unwrap(),
+            FaultSchedule::healthy(5)
+                .fail_stop(0, 0)
+                .unwrap()
+                .fail_stop(1, 0)
+                .unwrap(),
+            FaultSchedule::healthy(5)
+                .fail_stop(4, 0)
+                .unwrap()
+                .slow(0, 1.5, 0, 50)
+                .unwrap(),
+        ];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for schedule in &schedules {
+            for seed in 0u64..40 {
+                let hist: Vec<u64> = (0..5)
+                    .map(|d| (seed.wrapping_mul(d + 3).wrapping_mul(2654435761) >> 29) % 7)
+                    .collect();
+                for t in [0u64, 25, 75] {
+                    for policy in [RetryPolicy::default(), RetryPolicy::instant()] {
+                        let classic =
+                            degraded_outcome_with(&hist, schedule, t, &policy, true, &mut a);
+                        let rway = degraded_outcome_r(
+                            &hist,
+                            schedule,
+                            t,
+                            &policy,
+                            1,
+                            ReplicaPolicy::FailoverOnly,
+                            &mut b,
+                        );
+                        assert_eq!(classic, rway, "hist {hist:?} t {t}");
+                        let unreplicated =
+                            degraded_outcome_with(&hist, schedule, t, &policy, false, &mut a);
+                        let r0 = degraded_outcome_r(
+                            &hist,
+                            schedule,
+                            t,
+                            &policy,
+                            0,
+                            ReplicaPolicy::FailoverOnly,
+                            &mut b,
+                        );
+                        assert_eq!(unreplicated, r0, "hist {hist:?} t {t} (r = 0)");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primary_only_ignores_live_backups() {
+        let s = FaultSchedule::healthy(4).fail_stop(0, 0).unwrap();
+        let out = degraded_outcome_r(
+            &[2, 1, 1, 1],
+            &s,
+            0,
+            &RetryPolicy::instant(),
+            2,
+            ReplicaPolicy::PrimaryOnly,
+            &mut Vec::new(),
+        );
+        assert_eq!(out, QueryOutcome::Unavailable { dead_buckets: 2 });
+    }
+
+    #[test]
+    fn deeper_chains_survive_adjacent_double_failures() {
+        let s = FaultSchedule::healthy(4)
+            .fail_stop(0, 0)
+            .unwrap()
+            .fail_stop(1, 0)
+            .unwrap();
+        let hist = [2u64, 1, 1, 1];
+        // r = 1 dies (0's backup is 1); r = 2 fails over to disk 2.
+        let r1 = degraded_outcome_r(
+            &hist,
+            &s,
+            0,
+            &RetryPolicy::instant(),
+            1,
+            ReplicaPolicy::FailoverOnly,
+            &mut Vec::new(),
+        );
+        assert!(!r1.is_served());
+        let r2 = degraded_outcome_r(
+            &hist,
+            &s,
+            0,
+            &RetryPolicy::instant(),
+            2,
+            ReplicaPolicy::FailoverOnly,
+            &mut Vec::new(),
+        );
+        // Disk 2 serves its own 1 + disk 0's 2 + disk 1's 1 = 4.
+        assert_eq!(
+            r2,
+            QueryOutcome::Served {
+                response_time: 4,
+                failover_buckets: 3,
+                timeout_penalty: 0
+            }
+        );
+        // With the default policy each skipped dead copy costs the
+        // detection units: disk 0's batch skips two dead copies (2×2),
+        // disk 1's skips one (2).
+        let r2 = degraded_outcome_r(
+            &hist,
+            &s,
+            0,
+            &RetryPolicy::default(),
+            2,
+            ReplicaPolicy::FailoverOnly,
+            &mut Vec::new(),
+        );
+        assert_eq!(
+            r2,
+            QueryOutcome::Served {
+                response_time: 4 + 6,
+                failover_buckets: 3,
+                timeout_penalty: 6
+            }
+        );
+    }
+
+    #[test]
+    fn nearest_free_queue_balances_across_copies() {
+        // Healthy, r = 1: every batch may use primary or its successor;
+        // nearest-free-queue picks whichever queue is shorter at that
+        // point, so the max load can only improve on primary-only.
+        let s = FaultSchedule::healthy(4);
+        let hist = [6u64, 0, 2, 0];
+        let nearest = degraded_outcome_r(
+            &hist,
+            &s,
+            0,
+            &RetryPolicy::instant(),
+            1,
+            ReplicaPolicy::NearestFreeQueue,
+            &mut Vec::new(),
+        );
+        let primary = degraded_outcome_r(
+            &hist,
+            &s,
+            0,
+            &RetryPolicy::instant(),
+            1,
+            ReplicaPolicy::PrimaryOnly,
+            &mut Vec::new(),
+        );
+        assert!(nearest.response_time().unwrap() <= primary.response_time().unwrap());
+        assert!(nearest.is_served());
+    }
+
+    #[test]
+    fn round_robin_rotates_on_the_logical_clock() {
+        let s = FaultSchedule::healthy(3);
+        let hist = [3u64, 0, 0];
+        // r = 2, all live: t selects copy t % 3 for disk 0's batch.
+        for t in 0u64..6 {
+            let out = degraded_outcome_r(
+                &hist,
+                &s,
+                t,
+                &RetryPolicy::instant(),
+                2,
+                ReplicaPolicy::RoundRobin,
+                &mut Vec::new(),
+            );
+            let expect_failover = if t % 3 == 0 { 0 } else { 3 };
+            assert_eq!(
+                out,
+                QueryOutcome::Served {
+                    response_time: 3,
+                    failover_buckets: expect_failover,
+                    timeout_penalty: 0
+                },
+                "t = {t}"
+            );
+        }
     }
 
     #[test]

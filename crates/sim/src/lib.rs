@@ -52,16 +52,17 @@ pub mod workload;
 pub use disk::{DiskParams, IoSimulator};
 pub use eval::{DegradedContext, EvalContext};
 pub use events::{
-    sharded_arrivals, Event, EventHeap, LoopScratch, ServeConfig, ServeReport, ServeSample,
-    ServingEngine,
+    sharded_arrivals, DegradedServeConfig, DegradedServeReport, Event, EventHeap, LoopScratch,
+    ServeConfig, ServeReport, ServeSample, ServingEngine,
 };
 pub use experiment::{
-    DbSizePoint, Experiment, MethodSeries, ServeCurve, ServePoint, ServeSweep, SweepResult,
+    AvailPoint, AvailSweep, DbSizePoint, Experiment, MethodSeries, ServeCurve, ServePoint,
+    ServeSweep, SweepResult,
 };
 pub use faults::{
-    degraded_outcome, degraded_outcome_with, simulate_rebuild, simulate_rebuild_obs, DiskState,
-    FaultEvent, FaultMethodStats, FaultReport, FaultSchedule, QueryOutcome, RebuildReport,
-    RetryPolicy,
+    degraded_outcome, degraded_outcome_r, degraded_outcome_with, simulate_rebuild,
+    simulate_rebuild_obs, DiskState, FaultEvent, FaultMethodStats, FaultReport, FaultSchedule,
+    QueryOutcome, RebuildReport, ReplicaPolicy, RetryPolicy,
 };
 pub use multiuser::{
     load_sweep, load_sweep_with_threads, poisson_arrivals, run_closed_loop,
@@ -149,6 +150,11 @@ pub enum SimError {
         /// Disks the experiment uses.
         experiment_disks: u32,
     },
+    /// A replica-selection policy name was not recognized.
+    UnknownPolicy {
+        /// The offending name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -170,6 +176,13 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "fault schedule covers {schedule_disks} disks but the experiment uses {experiment_disks}"
+                )
+            }
+            SimError::UnknownPolicy { name } => {
+                write!(
+                    f,
+                    "unknown replica policy {name:?} (accepted: {})",
+                    faults::ReplicaPolicy::ACCEPTED_NAMES
                 )
             }
         }

@@ -7,7 +7,7 @@
 //! thin wrappers and produce byte-identical output (covered by parity
 //! tests), so existing callers keep compiling.
 
-use crate::experiment::ServeSweep;
+use crate::experiment::{AvailSweep, ServeSweep};
 use crate::faults::FaultReport;
 use crate::SweepResult;
 use decluster_obs::json::JsonValue;
@@ -462,6 +462,144 @@ impl Report for ServeSweep {
     }
 }
 
+impl AvailSweep {
+    fn text_table(&self) -> TextTable {
+        let headers = [
+            "faults",
+            "r",
+            "policy",
+            "avail %",
+            "served",
+            "shed",
+            "lost",
+            "retries",
+            "failovers",
+            "q/s",
+            "mean ms",
+            "p99 ms",
+            "RT x",
+            "storage x",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.schedule.clone(),
+                    format!("{}", p.replicas),
+                    p.policy.name().to_owned(),
+                    format!("{:.2}", p.availability * 100.0),
+                    format!("{}", p.served),
+                    format!("{}", p.shed),
+                    format!("{}", p.lost),
+                    format!("{}", p.retries),
+                    format!("{}", p.failovers),
+                    format!("{:.3}", p.achieved_qps),
+                    format!("{:.3}", p.mean_latency_ms),
+                    format!("{:.3}", p.tail_ms.p99),
+                    format!("{:.3}", p.rt_overhead),
+                    format!("{:.0}", p.storage_overhead),
+                ]
+            })
+            .collect();
+        TextTable {
+            title: self.title.clone(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows,
+            separator: true,
+        }
+    }
+
+    fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "schedule,replicas,policy,availability,served,shed,lost,retries,timeouts,failovers,achieved_qps,mean_latency_ms,p50_ms,p95_ms,p99_ms,rt_overhead,storage_overhead"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                p.schedule.replace(',', ";"),
+                p.replicas,
+                p.policy.name(),
+                p.availability,
+                p.served,
+                p.shed,
+                p.lost,
+                p.retries,
+                p.timeouts,
+                p.failovers,
+                p.achieved_qps,
+                p.mean_latency_ms,
+                p.tail_ms.p50,
+                p.tail_ms.p95,
+                p.tail_ms.p99,
+                p.rt_overhead,
+                p.storage_overhead
+            );
+        }
+        out
+    }
+
+    fn json(&self) -> JsonValue {
+        let points = JsonValue::Array(
+            self.points
+                .iter()
+                .map(|p| {
+                    JsonValue::Object(vec![
+                        ("schedule".into(), JsonValue::String(p.schedule.clone())),
+                        ("replicas".into(), JsonValue::Number(f64::from(p.replicas))),
+                        (
+                            "policy".into(),
+                            JsonValue::String(p.policy.name().to_owned()),
+                        ),
+                        ("availability".into(), JsonValue::Number(p.availability)),
+                        ("served".into(), JsonValue::Number(p.served as f64)),
+                        ("shed".into(), JsonValue::Number(p.shed as f64)),
+                        ("lost".into(), JsonValue::Number(p.lost as f64)),
+                        ("retries".into(), JsonValue::Number(p.retries as f64)),
+                        ("timeouts".into(), JsonValue::Number(p.timeouts as f64)),
+                        ("failovers".into(), JsonValue::Number(p.failovers as f64)),
+                        ("achieved_qps".into(), JsonValue::Number(p.achieved_qps)),
+                        (
+                            "mean_latency_ms".into(),
+                            JsonValue::Number(p.mean_latency_ms),
+                        ),
+                        ("p50_ms".into(), JsonValue::Number(p.tail_ms.p50)),
+                        ("p95_ms".into(), JsonValue::Number(p.tail_ms.p95)),
+                        ("p99_ms".into(), JsonValue::Number(p.tail_ms.p99)),
+                        ("rt_overhead".into(), JsonValue::Number(p.rt_overhead)),
+                        (
+                            "storage_overhead".into(),
+                            JsonValue::Number(p.storage_overhead),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("title".into(), JsonValue::String(self.title.clone())),
+            ("method".into(), JsonValue::String(self.method.clone())),
+            ("clients".into(), JsonValue::Number(self.clients as f64)),
+            ("rate_qps".into(), JsonValue::Number(self.rate_qps)),
+            ("points".into(), points),
+        ])
+    }
+}
+
+impl Report for AvailSweep {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            // Availability rows carry exact counts rather than sampling
+            // CIs, so TableWithCi degrades to the plain table.
+            ReportFormat::Table | ReportFormat::TableWithCi => self.text_table().render(),
+            ReportFormat::Csv => self.csv(),
+            ReportFormat::Json => format!("{}\n", self.json()),
+        }
+    }
+}
+
 impl Report for MetricsSnapshot {
     fn render(&self, format: ReportFormat) -> String {
         match format {
@@ -712,6 +850,80 @@ mod tests {
             Some("serve demo")
         );
         assert!(matches!(v.get("curves"), Some(JsonValue::Array(a)) if a.len() == 1));
+    }
+
+    fn avail_sample() -> AvailSweep {
+        use crate::experiment::AvailPoint;
+        use crate::faults::ReplicaPolicy;
+        use crate::stats::Quantiles;
+        let point = |policy, avail: f64, lost| AvailPoint {
+            schedule: "fail:3@50".into(),
+            replicas: 1,
+            policy,
+            availability: avail,
+            served: 90,
+            shed: 0,
+            lost,
+            retries: 2,
+            timeouts: 3,
+            failovers: 4,
+            achieved_qps: 10.0,
+            mean_latency_ms: 21.0,
+            tail_ms: Quantiles {
+                p50: 20.0,
+                p95: 30.0,
+                p99: 40.0,
+            },
+            rt_overhead: 1.25,
+            storage_overhead: 2.0,
+        };
+        AvailSweep {
+            title: "avail demo".into(),
+            method: "HCAM".into(),
+            clients: 100,
+            rate_qps: 10.0,
+            points: vec![
+                point(ReplicaPolicy::PrimaryOnly, 0.9, 10),
+                point(ReplicaPolicy::FailoverOnly, 1.0, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn avail_table_lists_policies_and_overheads() {
+        let t = avail_sample().render(ReportFormat::Table);
+        assert!(t.contains("avail demo"));
+        assert!(t.contains("primary"));
+        assert!(t.contains("failover"));
+        assert!(t.contains("90.00"));
+        assert!(t.contains("100.00"));
+        assert!(t.contains("1.250"));
+        assert!(t.contains("storage x"));
+    }
+
+    #[test]
+    fn avail_csv_has_one_row_per_cell() {
+        let c = avail_sample().render(ReportFormat::Csv);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("schedule,replicas,policy,availability"));
+        assert!(lines[0].ends_with("rt_overhead,storage_overhead"));
+        assert_eq!(
+            lines[1],
+            "fail:3@50,1,primary,0.9,90,0,10,2,3,4,10,21,20,30,40,1.25,2"
+        );
+        assert_eq!(
+            lines[2],
+            "fail:3@50,1,failover,1,90,0,0,2,3,4,10,21,20,30,40,1.25,2"
+        );
+    }
+
+    #[test]
+    fn avail_json_parses_and_carries_points() {
+        use decluster_obs::json;
+        let v = json::parse(avail_sample().render(ReportFormat::Json).trim_end()).unwrap();
+        assert_eq!(v.get("method").and_then(JsonValue::as_str), Some("HCAM"));
+        assert!(matches!(v.get("points"), Some(JsonValue::Array(a)) if a.len() == 2));
     }
 
     #[test]

@@ -21,9 +21,9 @@ use decluster::obs::{JsonLinesSink, MetricsRecorder, Obs};
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, InterArrival, ShapeSweep, SizeSweep};
 use decluster::sim::{
-    sharded_arrivals, simulate_rebuild_obs, DbSizePoint, DiskParams, FaultEvent, FaultReport,
-    FaultSchedule, LoadPoint, LoopScratch, MultiUserEngine, Report, ReportFormat, RetryPolicy,
-    ServeConfig, ServeSweep, TextTable,
+    sharded_arrivals, simulate_rebuild_obs, AvailSweep, DbSizePoint, DegradedServeConfig,
+    DiskParams, FaultEvent, FaultReport, FaultSchedule, LoadPoint, LoopScratch, MultiUserEngine,
+    ReplicaPolicy, Report, ReportFormat, RetryPolicy, ServeConfig, ServeSweep, TextTable,
 };
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
@@ -99,8 +99,9 @@ const EXPERIMENTS: &[ExperimentSpec] = &[
     },
     ExperimentSpec {
         name: "avail",
-        describe: "single-disk-failure survival per method (extension)",
-        engine: false,
+        describe:
+            "availability: r-way replication x policy x fault schedule serving sweep (extension)",
+        engine: true,
     },
     ExperimentSpec {
         name: "abl",
@@ -144,7 +145,8 @@ fn usage() -> String {
     let names: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
     let mut u = format!(
         "usage: repro <{}>\n       [--csv DIR] [--quick] [--threads N] [--faults SPEC] \
-         [--method NAME]\n       [--clients N] [--rate R] [--metrics FILE|-] [--trace FILE|-]\n\n\
+         [--method NAME]\n       [--replicas R] [--policy NAME] [--clients N] [--rate R]\n       \
+         [--metrics FILE|-] [--trace FILE|-]\n\n\
          experiments:\n",
         names.join("|")
     );
@@ -161,6 +163,12 @@ fn usage() -> String {
         u.push_str(e.name);
     }
     u.push('\n');
+    u.push_str(&format!(
+        "\n--replicas R (1..{DISKS}) sets the r-way chain depth and --policy \
+         ({}) the replica routing\nof the faults, avail, and fault-injected serve \
+         experiments.\n",
+        ReplicaPolicy::ACCEPTED_NAMES
+    ));
     u
 }
 
@@ -179,6 +187,12 @@ struct Opts {
     faults: Option<FaultSchedule>,
     /// Restrict the `faults` table to one method (validated name).
     method: Option<MethodKind>,
+    /// Extra copies per bucket for the replication-aware experiments;
+    /// `None` = 1 for `faults`/`serve`, the {1, 2, 3} sweep for `avail`.
+    replicas: Option<u32>,
+    /// Replica-selection policy; `None` = failover for `faults`/`serve`,
+    /// all four policies for `avail`.
+    policy: Option<ReplicaPolicy>,
     /// Destination for the deterministic metrics snapshot (`-` = stdout).
     metrics: Option<String>,
     /// Destination for JSON-lines trace events (`-` = stdout).
@@ -200,6 +214,8 @@ fn main() -> ExitCode {
         rate: 12.0,
         faults: None,
         method: None,
+        replicas: None,
+        policy: None,
         metrics: None,
         trace: None,
         obs: Obs::disabled(),
@@ -262,6 +278,29 @@ fn main() -> ExitCode {
                 },
                 None => {
                     eprintln!("--method needs a method name (e.g. HCAM)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replicas" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(r) if (1..DISKS).contains(&r) => opts.replicas = Some(r),
+                _ => {
+                    eprintln!("--replicas needs a replica count in 1..{DISKS} (M = {DISKS} disks)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match it.next() {
+                Some(name) => match ReplicaPolicy::parse(name) {
+                    Ok(policy) => opts.policy = Some(policy),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "--policy needs a replica policy ({})",
+                        ReplicaPolicy::ACCEPTED_NAMES
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -369,6 +408,13 @@ fn main() -> ExitCode {
     }
     if run("avail") {
         println!("{}", availability());
+        match avail_sweep(&opts) {
+            Ok(sweep) => emit_avail(&opts, &sweep),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
         ran_any = true;
     }
     if run("abl") {
@@ -414,6 +460,7 @@ fn main() -> ExitCode {
         println!("{}", bench(&opts));
         println!("{}", bench_multiuser(&opts));
         println!("{}", bench_serve(&opts));
+        println!("{}", bench_avail(&opts));
         ran_any = true;
     }
     if !ran_any {
@@ -723,6 +770,87 @@ fn availability() -> String {
     out
 }
 
+/// Default chain depths the `avail` sweep explores.
+const AVAIL_REPLICAS: [u32; 3] = [1, 2, 3];
+
+/// Availability sweep (extension): the engine-backed
+/// `fault schedule × r × policy` table. One method (`--method`, default
+/// HCAM) serves `--clients` Poisson arrivals at `--rate` while each
+/// schedule fails, slows, and recovers disks mid-run; every cell
+/// reports availability, loss/retry/failover volume, and the
+/// response-time and storage overhead relative to the fault-free
+/// unreplicated baseline (the first row). `--faults` replaces the
+/// default light/heavy schedules; `--replicas`/`--policy` narrow the
+/// sweep to one chain depth / one routing policy.
+fn avail_sweep(opts: &Opts) -> Result<AvailSweep, String> {
+    let clients = opts
+        .clients
+        .unwrap_or(if opts.quick { 2_000 } else { 20_000 });
+    // The serve clock is milliseconds, so schedule boundaries scale with
+    // the expected run span.
+    let span = (clients as f64 * 1000.0 / opts.rate) as u64;
+    let schedules: Vec<(String, FaultSchedule)> = match &opts.faults {
+        Some(schedule) => vec![
+            ("none".to_owned(), FaultSchedule::healthy(DISKS)),
+            (schedule.describe(), schedule.clone()),
+        ],
+        None => {
+            let light = FaultSchedule::healthy(DISKS)
+                .fail_stop(3, span / 2)
+                .expect("disk 3 exists on the default array");
+            let heavy = FaultSchedule::healthy(DISKS)
+                .fail_stop(3, span / 4)
+                .and_then(|s| s.transient(7, span / 2, 3 * span / 4))
+                .and_then(|s| s.slow(11, 2.0, span / 8, span / 2))
+                .expect("the default chaos schedule is valid");
+            vec![
+                ("none".to_owned(), FaultSchedule::healthy(DISKS)),
+                ("light".to_owned(), light),
+                ("heavy".to_owned(), heavy),
+            ]
+        }
+    };
+    let replicas: Vec<u32> = opts
+        .replicas
+        .map_or_else(|| AVAIL_REPLICAS.to_vec(), |r| vec![r]);
+    let method = opts.method.map_or("HCAM", MethodKind::name);
+    let mut sweep = experiment_2d(opts)
+        .with_method_filter(method)
+        .run_avail_sweep(
+            &DiskParams::default(),
+            clients,
+            opts.rate,
+            MULTIUSER_AREA,
+            &schedules,
+            &replicas,
+            RetryPolicy::default(),
+            0,
+        )
+        .map_err(|e| match e {
+            decluster::sim::SimError::EmptySweep => {
+                format!("method {method} is not part of the avail sweep (paper methods only)")
+            }
+            e => e.to_string(),
+        })?;
+    if let Some(policy) = opts.policy {
+        // Overheads were computed against the full sweep's baseline
+        // before the filter, so narrowing the table changes no number.
+        sweep.points.retain(|p| p.policy == policy);
+    }
+    Ok(sweep)
+}
+
+fn emit_avail(opts: &Opts, sweep: &AvailSweep) {
+    println!("{}", sweep.render(ReportFormat::Table));
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(format!("{dir}/avail.csv"), sweep.render(ReportFormat::Csv))
+        }) {
+            eprintln!("could not write avail.csv: {e}");
+        }
+    }
+}
+
 /// The schedule the `faults` experiment runs: the `--faults` spec when
 /// given, otherwise a fail-stop of disk 3 halfway through the query
 /// stream — the paper-style "one of M disks fails mid-workload" scenario.
@@ -735,11 +863,18 @@ fn fault_schedule(opts: &Opts) -> FaultSchedule {
 }
 
 /// Faults (extension): every paper method scored healthy vs degraded
-/// under the injected schedule, unreplicated and with chained-declustering
-/// failover, over area-64 queries on the default grid.
+/// under the injected schedule, unreplicated and with r-way
+/// chained-declustering failover (`--replicas`, `--policy`), over
+/// area-64 queries on the default grid.
 fn faults(opts: &Opts, schedule: &FaultSchedule) -> Result<FaultReport, String> {
     let mut report = experiment_2d(opts)
-        .run_fault_workload(64, schedule, &RetryPolicy::default())
+        .run_fault_workload_with(
+            64,
+            schedule,
+            &RetryPolicy::default(),
+            opts.replicas.unwrap_or(1),
+            opts.policy.unwrap_or(ReplicaPolicy::FailoverOnly),
+        )
         .map_err(|e| e.to_string())?;
     if let Some(kind) = opts.method {
         let base = kind.name();
@@ -895,9 +1030,26 @@ fn serve_sweep(opts: &Opts) -> Result<ServeSweep, String> {
     if let Some(kind) = opts.method {
         exp = exp.with_method_filter(kind.name());
     }
-    let sweep = exp
-        .run_serve_sweep(&DiskParams::default(), clients, &rates, MULTIUSER_AREA)
-        .map_err(|e| e.to_string())?;
+    // Without --faults this is the exact historical serve path; with a
+    // schedule the same sweep runs through the fault-injected engine
+    // (chaos mode), serving across failures with `--replicas`/`--policy`.
+    let sweep = match &opts.faults {
+        None => exp
+            .run_serve_sweep(&DiskParams::default(), clients, &rates, MULTIUSER_AREA)
+            .map_err(|e| e.to_string())?,
+        Some(schedule) => exp
+            .run_serve_sweep_degraded(
+                &DiskParams::default(),
+                clients,
+                &rates,
+                MULTIUSER_AREA,
+                schedule,
+                opts.replicas.unwrap_or(1),
+                opts.policy.unwrap_or(ReplicaPolicy::FailoverOnly),
+                RetryPolicy::default(),
+            )
+            .map_err(|e| e.to_string())?,
+    };
     if sweep.curves.is_empty() {
         let name = opts.method.map(MethodKind::name).unwrap_or("?");
         return Err(format!(
@@ -1421,6 +1573,138 @@ fn bench_serve(opts: &Opts) -> String {
             format!("{dir}/BENCH_serve.json")
         }
         None => "BENCH_serve.json".into(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
+    }
+    out
+}
+
+/// Timing snapshot of the fault-injected serving path: 20,000 Poisson
+/// arrivals at the base rate stream through HCAM's serving engine under
+/// a mid-run fail-stop plus a transient outage, once per replica
+/// policy at chain depth r = 2. Reports sustained events/sec, the
+/// availability each policy holds, and its failover volume; writes
+/// `BENCH_avail.json` beside the other snapshots.
+fn bench_avail(opts: &Opts) -> String {
+    use decluster::sim::workload::{random_region, rect_sides_for_area};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    const ARRIVALS: usize = 20_000;
+    const REPLICAS: u32 = 2;
+    let space = grid_2d();
+    let params = DiskParams::default();
+    let method = Hcam::new(&space, DISKS).expect("HCAM applies to the default grid");
+    let dir = GridDirectory::build(space.clone(), DISKS, |b| method.disk_of(b.as_slice()));
+    let engine = MultiUserEngine::new(&dir);
+    let sides = rect_sides_for_area(MULTIUSER_AREA, space.dims()).expect("area fits");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let regions: Vec<BucketRegion> = (0..1000)
+        .map(|_| random_region(&mut rng, &space, &sides).expect("placement fits"))
+        .collect();
+    let obs = Obs::disabled();
+    let arrivals = sharded_arrivals(
+        SEED,
+        ARRIVALS,
+        InterArrival::Poisson {
+            rate_qps: opts.rate,
+        },
+        opts.threads,
+        &obs,
+    );
+    let span = (ARRIVALS as f64 * 1000.0 / opts.rate) as u64;
+    let schedule = FaultSchedule::healthy(DISKS)
+        .fail_stop(3, span / 3)
+        .and_then(|s| s.transient(7, span / 2, 3 * span / 4))
+        .expect("the bench schedule is valid");
+    let cfg = DegradedServeConfig {
+        serve: ServeConfig::default(),
+        max_in_flight: 0,
+        retry: RetryPolicy::default(),
+        seed: SEED,
+    };
+
+    let mut out = format!(
+        "Avail bench: {ARRIVALS} arrivals at {:.1} q/s through HCAM, r={REPLICAS}, \
+         faults: {} ({GRID_SIDE}x{GRID_SIDE}, M={DISKS})\n\
+         {:<10} {:>10} {:>10} {:>13} {:>8} {:>9}\n",
+        opts.rate,
+        schedule.describe(),
+        "policy",
+        "events",
+        "loop ms",
+        "events/sec",
+        "avail %",
+        "failovers"
+    );
+    let mut per_policy = Vec::new();
+    let mut ls = LoopScratch::new();
+    let (mut events_total, mut secs_total) = (0u64, 0.0f64);
+    for policy in ReplicaPolicy::ALL {
+        let t = Instant::now();
+        let rep = engine
+            .serving()
+            .serve_degraded_obs(
+                &params, &regions, &arrivals, &schedule, REPLICAS, policy, &cfg, &obs, &mut ls,
+            )
+            .expect("the bench schedule covers the default array");
+        let secs = t.elapsed().as_secs_f64();
+        let events_per_sec = rep.serve.events as f64 / secs.max(1e-9);
+        let avail = rep.availability();
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>10.3} {:>13.0} {:>8.2} {:>9}\n",
+            policy.name(),
+            rep.serve.events,
+            secs * 1e3,
+            events_per_sec,
+            avail * 100.0,
+            rep.failovers
+        ));
+        per_policy.push(format!(
+            "    {{\"policy\": \"{}\", \"events\": {}, \"loop_ms\": {:.3}, \
+             \"events_per_sec\": {events_per_sec:.0}, \"availability\": {avail:.6}, \
+             \"failovers\": {}, \"retries\": {}, \"lost\": {}}}",
+            policy.name(),
+            rep.serve.events,
+            secs * 1e3,
+            rep.failovers,
+            rep.retries,
+            rep.lost
+        ));
+        events_total += rep.serve.events;
+        secs_total += secs;
+    }
+    let total_eps = events_total as f64 / secs_total.max(1e-9);
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10.3} {:>13.0}\n",
+        "TOTAL",
+        events_total,
+        secs_total * 1e3,
+        total_eps
+    ));
+
+    let json = format!(
+        "{{\n  \"name\": \"avail_degraded_serve\",\n  \"grid\": [{GRID_SIDE}, {GRID_SIDE}],\n  \
+         \"disks\": {DISKS},\n  \"arrivals\": {ARRIVALS},\n  \"replicas\": {REPLICAS},\n  \
+         \"base_rate_qps\": {:.3},\n  \"schedule\": \"{}\",\n  \"events\": {events_total},\n  \
+         \"loop_ms\": {:.3},\n  \"events_per_sec\": {total_eps:.0},\n  \
+         \"per_policy\": [\n{}\n  ]\n}}\n",
+        opts.rate,
+        schedule.describe(),
+        secs_total * 1e3,
+        per_policy.join(",\n")
+    );
+    let path = match opts.csv_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                out.push_str(&format!("\ncould not create {dir}: {e}\n"));
+            }
+            format!("{dir}/BENCH_avail.json")
+        }
+        None => "BENCH_avail.json".into(),
     };
     match std::fs::write(&path, json) {
         Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),

@@ -9,7 +9,10 @@
 
 use decluster::grid::{BucketCoord, BucketRegion, GridDirectory, GridSpace};
 use decluster::prelude::*;
-use decluster::sim::{DiskParams, LoopScratch, MultiUserEngine, ServeConfig};
+use decluster::sim::{
+    DegradedServeConfig, DiskParams, FaultSchedule, LoopScratch, MultiUserEngine, ReplicaPolicy,
+    RetryPolicy, ServeConfig,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -83,6 +86,24 @@ fn warmed_loops_make_zero_heap_allocations() {
         ..ServeConfig::default()
     };
 
+    // Degraded serve: a transient outage mid-stream (so retries, timeouts,
+    // and losses all fire), a tight admission bound (so sheds fire), and a
+    // burst arrival pattern that keeps the queue pressed against it. The
+    // schedule and config are built before the measured section.
+    let schedule = FaultSchedule::healthy(m)
+        .transient(3, 20, 90)
+        .expect("disk 3 exists on the test array");
+    let burst: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 0.5).collect();
+    let degraded_cfg = DegradedServeConfig {
+        serve: cfg,
+        max_in_flight: 4,
+        retry: RetryPolicy {
+            timeout_units: 2,
+            max_retries: 3,
+        },
+        seed: 9,
+    };
+
     // Warm-up: grows every LoopScratch buffer to the working-set size and
     // compiles the kernel's per-shape corner plans.
     let mut ls = LoopScratch::new();
@@ -91,6 +112,20 @@ fn warmed_loops_make_zero_heap_allocations() {
     let warm_serve = engine
         .serving()
         .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
+    let warm_degraded = engine
+        .serving()
+        .serve_degraded_obs(
+            &params,
+            &queries,
+            &burst,
+            &schedule,
+            1,
+            ReplicaPolicy::PrimaryOnly,
+            &degraded_cfg,
+            &obs,
+            &mut ls,
+        )
+        .expect("schedule matches the test array");
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
@@ -98,11 +133,25 @@ fn warmed_loops_make_zero_heap_allocations() {
     let serve = engine
         .serving()
         .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
+    let degraded = engine
+        .serving()
+        .serve_degraded_obs(
+            &params,
+            &queries,
+            &burst,
+            &schedule,
+            1,
+            ReplicaPolicy::PrimaryOnly,
+            &degraded_cfg,
+            &obs,
+            &mut ls,
+        )
+        .expect("schedule matches the test array");
     let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
     assert_eq!(
         during, 0,
-        "warmed closed+open+serve loops must not touch the heap ({during} allocations observed)"
+        "warmed closed+open+serve+degraded loops must not touch the heap ({during} allocations observed)"
     );
     // The measured runs are the warm-up runs, bit for bit.
     assert_eq!(
@@ -125,4 +174,22 @@ fn warmed_loops_make_zero_heap_allocations() {
     assert_eq!(serve.events, warm_serve.events);
     assert_eq!(serve.samples, warm_serve.samples);
     assert!(serve.samples > 0, "sampling was live in the measured run");
+    // The degraded run exercised the availability paths while staying off
+    // the heap, and repeats bit for bit.
+    assert!(degraded.retries > 0, "the transient outage forced retries");
+    assert!(degraded.shed > 0, "the admission bound forced sheds");
+    assert!(degraded.transitions > 0, "fault events reached the heap");
+    assert_eq!(
+        degraded.serve.report.makespan_ms.to_bits(),
+        warm_degraded.serve.report.makespan_ms.to_bits()
+    );
+    assert_eq!(
+        degraded.serve.report.latency.mean.to_bits(),
+        warm_degraded.serve.report.latency.mean.to_bits()
+    );
+    assert_eq!(degraded.served, warm_degraded.served);
+    assert_eq!(degraded.shed, warm_degraded.shed);
+    assert_eq!(degraded.lost, warm_degraded.lost);
+    assert_eq!(degraded.retries, warm_degraded.retries);
+    assert_eq!(degraded.failovers, warm_degraded.failovers);
 }

@@ -257,6 +257,105 @@ fn repro_serve_is_thread_count_invariant() {
 }
 
 #[test]
+fn repro_rejects_bad_replica_counts() {
+    for r in ["0", "16", "banana"] {
+        let (ok, _, stderr) = run(REPRO, &["avail", "--quick", "--replicas", r]);
+        assert!(!ok, "replicas {r:?} should be rejected");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "one-line error for {r:?}, got:\n{stderr}"
+        );
+        assert!(stderr.contains("--replicas"), "{stderr}");
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_policy_names() {
+    let (ok, _, stderr) = run(REPRO, &["avail", "--quick", "--policy", "bogus"]);
+    assert!(!ok);
+    assert_eq!(stderr.lines().count(), 1, "one-line error, got:\n{stderr}");
+    assert!(stderr.contains("unknown replica policy"), "{stderr}");
+    // The error names every accepted policy so the fix is self-evident.
+    for name in ["primary", "failover", "nearest", "roundrobin"] {
+        assert!(stderr.contains(name), "missing {name} in:\n{stderr}");
+    }
+    // A method outside the sweep is a one-line error, not an empty table.
+    let (ok, _, stderr) = run(REPRO, &["avail", "--quick", "--method", "RND"]);
+    assert!(!ok);
+    assert!(stderr.contains("not part of the avail sweep"), "{stderr}");
+}
+
+#[test]
+fn repro_avail_narrows_to_one_replica_and_policy() {
+    let (ok, stdout, _) = run(
+        REPRO,
+        &[
+            "avail",
+            "--quick",
+            "--clients",
+            "600",
+            "--replicas",
+            "2",
+            "--policy",
+            "failover",
+        ],
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("failover"), "{stdout}");
+    for hidden in ["roundrobin", "nearest"] {
+        assert!(
+            !stdout.contains(hidden),
+            "policy filter leaked {hidden}:\n{stdout}"
+        );
+    }
+    // The three default schedules each keep exactly one row.
+    for schedule in ["none", "light", "heavy"] {
+        assert!(stdout.contains(schedule), "missing {schedule}:\n{stdout}");
+    }
+}
+
+#[test]
+fn repro_avail_is_thread_count_invariant() {
+    let (ok1, t1, _) = run(
+        REPRO,
+        &["avail", "--quick", "--clients", "600", "--threads", "1"],
+    );
+    let (ok8, t8, _) = run(
+        REPRO,
+        &["avail", "--quick", "--clients", "600", "--threads", "8"],
+    );
+    assert!(ok1 && ok8);
+    assert_eq!(t1, t8, "avail tables differ between --threads 1 and 8");
+}
+
+#[test]
+fn repro_serve_runs_through_a_chaos_schedule() {
+    let (ok, stdout, _) = run(
+        REPRO,
+        &[
+            "serve",
+            "--quick",
+            "--clients",
+            "800",
+            "--faults",
+            "fail:3@20000,transient:7@5000..15000",
+            "--replicas",
+            "2",
+            "--policy",
+            "failover",
+        ],
+    );
+    assert!(ok, "{stdout}");
+    for name in ["DM", "FX", "ECC", "HCAM"] {
+        assert!(
+            stdout.contains(&format!("knee {name}")),
+            "missing knee line for {name} in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
 fn repro_faults_is_thread_count_invariant() {
     let (ok1, t1, _) = run(REPRO, &["faults", "--quick", "--threads", "1"]);
     let (ok8, t8, _) = run(REPRO, &["faults", "--quick", "--threads", "8"]);

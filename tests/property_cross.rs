@@ -156,4 +156,130 @@ proptest! {
             }
         }
     }
+
+    /// The r = 1 chain against a hand-rolled one-successor reference on
+    /// random grids and random failure masks: every bucket reads its
+    /// primary, a failed primary falls back to `(primary + 1) mod M`, and
+    /// the query is lost when that successor is down too. Both the naive
+    /// masked evaluator and the kernel-accelerated one must reproduce
+    /// this reference exactly — the generalization to r-way chains
+    /// changed no r = 1 answer.
+    #[test]
+    fn r1_masked_failover_matches_the_one_successor_reference(
+        (g, m, q) in config(), bits in any::<u32>()
+    ) {
+        use decluster::methods::ChainedDecluster;
+        prop_assume!(m >= 2);
+        let region = region_of(&g, q);
+        let failed: Vec<bool> = (0..m).map(|d| (bits >> d) & 1 != 0).collect();
+        for method in MethodRegistry::default().paper_methods(&g, m) {
+            let map = AllocationMap::from_method(&g, method.as_ref()).expect("materializes");
+            let kernel = map.disk_counts().expect("kernel builds");
+            let chain = ChainedDecluster::with_replicas(map.clone(), 1).expect("M >= 2");
+            let mut per_disk = vec![0u64; m as usize];
+            let mut lost = false;
+            for bucket in region.iter() {
+                let p = map.disk_of(bucket.as_slice()).0;
+                let serving = if !failed[p as usize] {
+                    p
+                } else {
+                    let s = (p + 1) % m;
+                    if failed[s as usize] {
+                        lost = true;
+                        break;
+                    }
+                    s
+                };
+                per_disk[serving as usize] += 1;
+            }
+            let reference = if lost {
+                None
+            } else {
+                Some(per_disk.iter().copied().max().unwrap_or(0))
+            };
+            prop_assert_eq!(
+                chain.response_time_masked(&region, &failed),
+                reference,
+                "{}: naive masked eval diverged from the reference (mask {bits:b})",
+                method.name()
+            );
+            prop_assert_eq!(
+                chain.degraded_response_time(&kernel, &region, &failed),
+                reference,
+                "{}: kernel eval diverged from the reference (mask {bits:b})",
+                method.name()
+            );
+        }
+    }
+
+    /// An r-way chain survives ANY `<= r` simultaneous failures with
+    /// availability 1.0: every placement of the shape stays answerable at
+    /// a degraded RT no better than healthy. Cross-checked against the
+    /// `theory::bounds` failure enumeration: for single failures, the
+    /// fraction of placements whose RT is untouched equals
+    /// [`failure_survival_fraction`] — replication lifts the *answerable*
+    /// fraction to 1.0 but cannot change which placements dodge the
+    /// failed disk entirely.
+    #[test]
+    fn r_way_chains_survive_any_r_failures(
+        rows in 3u32..7, cols in 3u32..7, m in 2u32..5, r_raw in 1u32..4,
+        h in 1u32..3, w in 1u32..3
+    ) {
+        use decluster::methods::ChainedDecluster;
+        use decluster::theory::bounds::failure_survival_fraction;
+        let r = r_raw.min(m - 1);
+        let (h, w) = (h.min(rows), w.min(cols));
+        let g = GridSpace::new_2d(rows, cols).expect("grid");
+        for method in MethodRegistry::default().paper_methods(&g, m) {
+            let map = AllocationMap::from_method(&g, method.as_ref()).expect("materializes");
+            let kernel = map.disk_counts().expect("kernel builds");
+            let chain = ChainedDecluster::with_replicas(map.clone(), r).expect("r in 1..M");
+            for bits in 0u32..(1 << m) {
+                if bits.count_ones() > r {
+                    continue;
+                }
+                let failed: Vec<bool> = (0..m).map(|d| (bits >> d) & 1 != 0).collect();
+                let mut untouched = 0u64;
+                let mut placements = 0u64;
+                for row in 0..=(rows - h) {
+                    for col in 0..=(cols - w) {
+                        let region = RangeQuery::new([row, col], [row + h - 1, col + w - 1])
+                            .expect("query").region(&g).expect("fits");
+                        placements += 1;
+                        let healthy = map.response_time(&region);
+                        let degraded = chain.degraded_response_time(&kernel, &region, &failed);
+                        prop_assert!(
+                            degraded.is_some(),
+                            "{}: r = {r} lost a query under mask {bits:b}", method.name()
+                        );
+                        prop_assert!(
+                            degraded.unwrap() >= healthy,
+                            "{}: degraded below healthy under mask {bits:b}", method.name()
+                        );
+                        if bits.count_ones() == 1
+                            && kernel.access_histogram(&region)[bits.trailing_zeros() as usize]
+                                == 0
+                        {
+                            untouched += 1;
+                            prop_assert_eq!(
+                                degraded.unwrap(), healthy,
+                                "{}: untouched placement changed RT", method.name()
+                            );
+                        }
+                    }
+                }
+                if bits.count_ones() == 1 {
+                    let f = bits.trailing_zeros();
+                    let fraction = failure_survival_fraction(&map, &[h, w], DiskId(f))
+                        .expect("shape fits, disk in range");
+                    prop_assert_eq!(
+                        fraction,
+                        untouched as f64 / placements as f64,
+                        "{}: theory enumeration disagrees for failed disk {f} at r = {r}",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
 }
