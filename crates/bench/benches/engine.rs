@@ -12,7 +12,7 @@ use decluster_methods::{
     MethodKind,
 };
 use decluster_sim::workload::random_region;
-use decluster_sim::{run_closed_loop, DiskParams};
+use decluster_sim::{DiskParams, ServeSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -114,7 +114,15 @@ fn bench_closed_loop(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(clients),
             &clients,
-            |b, &clients| b.iter(|| black_box(run_closed_loop(&dir, &params, &queries, clients))),
+            |b, &clients| {
+                b.iter(|| {
+                    black_box(
+                        ServeSpec::closed(clients)
+                            .run_on(&dir, &params, &queries)
+                            .expect("the closed spec is valid"),
+                    )
+                })
+            },
         );
     }
     group.finish();

@@ -71,7 +71,7 @@ pub use fx::FieldwiseXor;
 pub use gdm::GeneralizedDiskModulo;
 pub use hcam::Hcam;
 pub use optimize::{optimize_allocation, LocalSearchConfig, OptimizedAllocation};
-pub use plan::PlanCounts;
+pub use plan::{PlanCounts, ShareAttribution, SharedScan};
 pub use prefix::{CornerPlan, DiskCounts, Scratch};
 pub use registry::{MethodKind, MethodRegistry};
 pub use replication::ChainedDecluster;

@@ -80,6 +80,78 @@ impl PlanCounts {
     }
 }
 
+/// Per-query attribution of a [`SharedScan::absorb`] step.
+///
+/// `own_pages` is what the query would have read alone; `fresh_pages` is
+/// what its absorption actually added to the merged schedule. The
+/// difference is the I/O the shared scan saved for this query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShareAttribution {
+    /// Pages the query's individual plan touches.
+    pub own_pages: u64,
+    /// Pages newly added to the merged plan (not already scheduled by an
+    /// earlier query in the window).
+    pub fresh_pages: u64,
+}
+
+impl ShareAttribution {
+    /// Pages this query did not have to read because an earlier query in
+    /// the window already scheduled them.
+    pub fn saved_pages(&self) -> u64 {
+        self.own_pages - self.fresh_pages
+    }
+}
+
+/// Shared-count accumulator: merges the [`IoPlan`]s of a batch window's
+/// queries into one deduplicated per-disk page schedule, attributing to
+/// each query how many pages it added versus shared.
+///
+/// The three arenas (incoming plan, merged schedule, swap buffer) are
+/// reused across windows, so a warmed accumulator absorbs queries with
+/// zero heap allocation — the same contract as [`PlanCounts`].
+///
+/// [`IoPlan`]: decluster_grid::IoPlan
+#[derive(Clone, Debug, Default)]
+pub struct SharedScan {
+    merged: decluster_grid::IoPlan,
+    incoming: decluster_grid::IoPlan,
+    swap: decluster_grid::IoPlan,
+}
+
+impl SharedScan {
+    /// An empty accumulator (call [`SharedScan::begin`] before absorbing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new window over `num_disks` disks, discarding any merged
+    /// schedule from the previous window but keeping buffer capacity.
+    pub fn begin(&mut self, num_disks: usize) {
+        self.merged.reset(num_disks);
+    }
+
+    /// Merges `region`'s I/O plan under `dir` into the window's schedule
+    /// and reports the query's attribution.
+    ///
+    /// # Panics
+    /// Panics if `dir`'s disk count differs from the `begin` width.
+    pub fn absorb(&mut self, dir: &GridDirectory, region: &BucketRegion) -> ShareAttribution {
+        dir.io_plan_into(region, &mut self.incoming);
+        let before = self.merged.total_pages();
+        self.swap.merge_union(&self.merged, &self.incoming);
+        std::mem::swap(&mut self.swap, &mut self.merged);
+        ShareAttribution {
+            own_pages: self.incoming.total_pages() as u64,
+            fresh_pages: (self.merged.total_pages() - before) as u64,
+        }
+    }
+
+    /// The window's merged, deduplicated per-disk schedule so far.
+    pub fn merged(&self) -> &decluster_grid::IoPlan {
+        &self.merged
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +188,41 @@ mod tests {
                 .collect();
             assert_eq!(counts, derived);
         }
+    }
+
+    #[test]
+    fn shared_scan_attributes_overlap_and_dedups() {
+        let dir = dm_directory(8, 8, 4);
+        let g = dir.space().clone();
+        let a = BucketRegion::new(&g, [0, 0].into(), [3, 3].into()).unwrap();
+        let b = BucketRegion::new(&g, [2, 2].into(), [5, 5].into()).unwrap();
+        let mut scan = SharedScan::new();
+        scan.begin(4);
+        let first = scan.absorb(&dir, &a);
+        assert_eq!(first.own_pages, 16);
+        assert_eq!(first.fresh_pages, 16, "first query shares nothing");
+        assert_eq!(first.saved_pages(), 0);
+        let second = scan.absorb(&dir, &b);
+        assert_eq!(second.own_pages, 16);
+        // The [2,2]..[3,3] overlap (4 buckets) is already scheduled.
+        assert_eq!(second.fresh_pages, 12);
+        assert_eq!(second.saved_pages(), 4);
+        assert_eq!(scan.merged().total_pages(), 28);
+        // The merged schedule equals the per-disk set union of both plans.
+        let (mut pa, mut pb) = (IoPlan::new(), IoPlan::new());
+        dir.io_plan_into(&a, &mut pa);
+        dir.io_plan_into(&b, &mut pb);
+        for d in 0..4 {
+            let mut expect: Vec<u64> = pa.disk_pages(d).to_vec();
+            expect.extend_from_slice(pb.disk_pages(d));
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(scan.merged().disk_pages(d), expect.as_slice());
+        }
+        // begin() starts the next window from scratch.
+        scan.begin(4);
+        assert_eq!(scan.merged().total_pages(), 0);
+        assert_eq!(scan.absorb(&dir, &a).fresh_pages, 16);
     }
 
     #[test]
@@ -196,6 +303,62 @@ mod proptests {
                 .collect();
             prop_assert_eq!(counts, derived);
             prop_assert_eq!(plan.total_pages() as u64, r.num_buckets());
+        }
+
+        /// Shared-scan invariant: absorbing any window of regions yields,
+        /// per disk, exactly the sorted deduplicated union of the
+        /// individual plans' page groups, and the attribution totals
+        /// reconcile (fresh sums to the merged size, own − fresh to the
+        /// pages saved).
+        #[test]
+        fn merged_plan_is_the_deduplicated_union(
+            (g, map, r) in grid_method_region(),
+            picks in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 1..5),
+        ) {
+            let dir = GridDirectory::build(g.clone(), map.num_disks(), |b| map.disk_of(b.as_slice()));
+            let m = map.num_disks() as usize;
+            // Derive a window of regions from the base region's grid.
+            let dims: Vec<u32> = g.dims().to_vec();
+            let mut window = vec![r];
+            for &(lo_raw, hi_raw) in &picks {
+                let mut lo = Vec::with_capacity(dims.len());
+                let mut hi = Vec::with_capacity(dims.len());
+                for (a, &d) in dims.iter().enumerate() {
+                    let x = ((lo_raw >> (8 * a)) % u64::from(d)) as u32;
+                    let y = ((hi_raw >> (8 * a)) % u64::from(d)) as u32;
+                    lo.push(x.min(y));
+                    hi.push(x.max(y));
+                }
+                window.push(BucketRegion::new(&g, lo.into(), hi.into()).unwrap());
+            }
+            let mut scan = SharedScan::new();
+            scan.begin(m);
+            let mut fresh_sum = 0u64;
+            let mut saved_sum = 0u64;
+            for region in &window {
+                let att = scan.absorb(&dir, region);
+                fresh_sum += att.fresh_pages;
+                saved_sum += att.saved_pages();
+                prop_assert_eq!(att.own_pages, region.num_buckets());
+            }
+            // Per-disk: merged group == sorted dedup union of the plans.
+            let mut plan = IoPlan::new();
+            let mut union: Vec<std::collections::BTreeSet<u64>> =
+                vec![std::collections::BTreeSet::new(); m];
+            let mut own_sum = 0u64;
+            for region in &window {
+                dir.io_plan_into(region, &mut plan);
+                own_sum += plan.total_pages() as u64;
+                for (d, set) in union.iter_mut().enumerate() {
+                    set.extend(plan.disk_pages(d).iter().copied());
+                }
+            }
+            for (d, set) in union.iter().enumerate() {
+                let expect: Vec<u64> = set.iter().copied().collect();
+                prop_assert_eq!(scan.merged().disk_pages(d), expect.as_slice());
+            }
+            prop_assert_eq!(fresh_sum, scan.merged().total_pages() as u64);
+            prop_assert_eq!(saved_sum, own_sum - fresh_sum);
         }
     }
 }

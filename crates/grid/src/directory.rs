@@ -112,22 +112,6 @@ impl GridDirectory {
         self.per_disk.iter().map(|v| v.len() as u64).collect()
     }
 
-    /// For each disk, the pages that `region` touches on it (sorted).
-    ///
-    /// This is the physical I/O plan for a range query: disk `i` must fetch
-    /// `plan[i]` pages.
-    #[deprecated(
-        since = "0.5.0",
-        note = "allocates one Vec per disk per query; use io_plan_into with a reusable IoPlan"
-    )]
-    pub fn io_plan(&self, region: &BucketRegion) -> Vec<Vec<u64>> {
-        let mut plan = IoPlan::new();
-        self.io_plan_into(region, &mut plan);
-        (0..plan.num_disks())
-            .map(|d| plan.disk_pages(d).to_vec())
-            .collect()
-    }
-
     /// Fills `plan` with the pages `region` touches, grouped per disk in a
     /// single flat arena. Steady-state this allocates nothing: the arena's
     /// buffers are reused across calls.
@@ -221,6 +205,55 @@ impl IoPlan {
     pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
         (0..self.num_disks()).map(move |d| self.disk_pages(d))
     }
+
+    /// Resets the plan to `num_disks` empty groups, keeping the buffers'
+    /// capacity so a warmed plan stays allocation-free.
+    pub fn reset(&mut self, num_disks: usize) {
+        self.pages.clear();
+        self.offsets.clear();
+        self.offsets.resize(num_disks + 1, 0);
+        self.cursors.clear();
+    }
+
+    /// Fills `self` with the order-preserving deduplicated union of `a` and
+    /// `b`: per disk, the sorted set union of both page groups.
+    ///
+    /// Both inputs must cover the same number of disks (a plan freshly
+    /// [`reset`](IoPlan::reset) to that width counts). Relies on the
+    /// invariant that every group is strictly ascending — which
+    /// [`GridDirectory::io_plan_into`] guarantees and this union preserves —
+    /// so a two-pointer merge is an exact multiset dedup. Allocation-free
+    /// once `self` has grown to the working-set size.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` have different disk counts.
+    pub fn merge_union(&mut self, a: &IoPlan, b: &IoPlan) {
+        let m = a.num_disks();
+        assert_eq!(
+            m,
+            b.num_disks(),
+            "cannot merge plans over different disk counts"
+        );
+        self.pages.clear();
+        self.offsets.clear();
+        self.offsets.reserve(m + 1);
+        self.pages.reserve(a.total_pages() + b.total_pages());
+        self.cursors.clear();
+        self.offsets.push(0);
+        for d in 0..m {
+            let (xs, ys) = (a.disk_pages(d), b.disk_pages(d));
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                let (x, y) = (xs[i], ys[j]);
+                self.pages.push(x.min(y));
+                i += usize::from(x <= y);
+                j += usize::from(y <= x);
+            }
+            self.pages.extend_from_slice(&xs[i..]);
+            self.pages.extend_from_slice(&ys[j..]);
+            self.offsets.push(self.pages.len());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -307,12 +340,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn flat_io_plan_matches_nested_plan_when_reused() {
+    fn flat_io_plan_matches_fresh_plan_when_reused() {
         let dir = round_robin_dir();
         let mut plan = IoPlan::new();
         // Reuse one arena across regions of different sizes and positions;
-        // each fill must match the nested plan exactly.
+        // each fill must match a freshly-built plan exactly.
         for (lo, hi) in [
             ([0u32, 0u32], [3u32, 3u32]),
             ([1, 2], [2, 3]),
@@ -321,12 +353,81 @@ mod tests {
             let region =
                 BucketRegion::new(dir.space(), BucketCoord::from(lo), BucketCoord::from(hi))
                     .unwrap();
-            let nested = dir.io_plan(&region);
+            let mut fresh = IoPlan::new();
+            dir.io_plan_into(&region, &mut fresh);
             dir.io_plan_into(&region, &mut plan);
-            for (d, pages) in nested.iter().enumerate() {
-                assert_eq!(plan.disk_pages(d), pages.as_slice());
+            assert_eq!(plan.num_disks(), fresh.num_disks());
+            for d in 0..fresh.num_disks() {
+                assert_eq!(plan.disk_pages(d), fresh.disk_pages(d));
             }
         }
+    }
+
+    #[test]
+    fn reset_yields_empty_groups() {
+        let dir = round_robin_dir();
+        let region = BucketRegion::new(
+            dir.space(),
+            BucketCoord::from([0, 0]),
+            BucketCoord::from([3, 3]),
+        )
+        .unwrap();
+        let mut plan = IoPlan::new();
+        dir.io_plan_into(&region, &mut plan);
+        assert!(plan.total_pages() > 0);
+        plan.reset(4);
+        assert_eq!(plan.num_disks(), 4);
+        assert_eq!(plan.total_pages(), 0);
+        assert!((0..4).all(|d| plan.disk_pages(d).is_empty()));
+    }
+
+    #[test]
+    fn merge_union_deduplicates_overlapping_plans() {
+        let dir = round_robin_dir();
+        let a_region = BucketRegion::new(
+            dir.space(),
+            BucketCoord::from([0, 0]),
+            BucketCoord::from([2, 2]),
+        )
+        .unwrap();
+        let b_region = BucketRegion::new(
+            dir.space(),
+            BucketCoord::from([1, 1]),
+            BucketCoord::from([3, 3]),
+        )
+        .unwrap();
+        let (mut a, mut b, mut merged) = (IoPlan::new(), IoPlan::new(), IoPlan::new());
+        dir.io_plan_into(&a_region, &mut a);
+        dir.io_plan_into(&b_region, &mut b);
+        merged.merge_union(&a, &b);
+        assert_eq!(merged.num_disks(), 4);
+        for d in 0..4 {
+            let mut expect: Vec<u64> = a.disk_pages(d).to_vec();
+            expect.extend_from_slice(b.disk_pages(d));
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(merged.disk_pages(d), expect.as_slice(), "disk {d}");
+        }
+        // The overlap ([1,1]..[2,2], 4 buckets) is read once, not twice.
+        assert_eq!(merged.total_pages(), a.total_pages() + b.total_pages() - 4);
+        // Union against an empty (reset) plan is the identity.
+        let mut empty = IoPlan::new();
+        empty.reset(4);
+        let mut same = IoPlan::new();
+        same.merge_union(&a, &empty);
+        for d in 0..4 {
+            assert_eq!(same.disk_pages(d), a.disk_pages(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different disk counts")]
+    fn merge_union_rejects_width_mismatch() {
+        let mut a = IoPlan::new();
+        a.reset(3);
+        let mut b = IoPlan::new();
+        b.reset(4);
+        IoPlan::new().merge_union(&a, &b);
     }
 
     #[test]

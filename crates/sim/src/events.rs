@@ -310,6 +310,9 @@ pub(crate) enum ServeEventKind {
         /// Attempt number of the *re-issue* (1 = first retry).
         attempt: u32,
     },
+    /// A shared-scan batch window closes: every query queued since the
+    /// window opened is merged into one deduplicated schedule and issued.
+    Flush,
 }
 
 /// Configuration of a fault-injected streaming serve run, extending
@@ -372,6 +375,57 @@ impl DegradedServeReport {
     }
 }
 
+/// Configuration of a shared-scan streaming serve run: the plain
+/// sampling/window knobs plus the batch window and the replica fan-out of
+/// merged schedules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharedServeConfig {
+    /// Sampling and windowing, exactly as in the unshared path.
+    pub serve: ServeConfig,
+    /// Length of the merge window, ms of logical time: the first arrival
+    /// of a window schedules a flush `batch_window_ms` later, and every
+    /// arrival before the flush joins the window's merged schedule. `0`
+    /// disables sharing — the run is bit-identical to the unshared path.
+    pub batch_window_ms: f64,
+    /// Chain replicas per bucket (`r`); merged reads may be served by any
+    /// of the `1 + r` copies, per `policy`.
+    pub replicas: u32,
+    /// How merged per-disk batches pick among copies.
+    /// [`ReplicaPolicy::Spread`] splits each batch's pages across all
+    /// copies; the whole-batch policies route batches like the degraded
+    /// path routes queries.
+    pub policy: ReplicaPolicy,
+}
+
+impl Default for SharedServeConfig {
+    fn default() -> Self {
+        SharedServeConfig {
+            serve: ServeConfig::default(),
+            batch_window_ms: 0.0,
+            replicas: 0,
+            policy: ReplicaPolicy::Spread,
+        }
+    }
+}
+
+/// Aggregate results of one shared-scan serve run: the plain-shaped
+/// aggregates plus the sharing accounting. `pages` in the embedded report
+/// counts *deduplicated* reads actually issued; `pages_saved` is the
+/// duplicate I/O that merging eliminated.
+#[derive(Clone, Debug)]
+pub struct SharedServeReport {
+    /// The plain-shaped aggregates; with a zero batch window this is
+    /// bit-identical to the unshared path on the same inputs.
+    pub serve: ServeReport,
+    /// Batch windows flushed (0 with sharing disabled).
+    pub windows: u64,
+    /// Queries that shared their window with at least one other query.
+    pub merged_queries: u64,
+    /// Duplicate pages eliminated by merging (sum over windows of member
+    /// plan sizes minus the merged schedule's size).
+    pub pages_saved: u64,
+}
+
 /// Deterministic retry jitter in `[0, 1)`: a splitmix64 finalizer over
 /// `(seed, query, attempt)`. A pure function of its inputs, so retry
 /// schedules are byte-identical at any thread count.
@@ -405,6 +459,8 @@ pub struct LoopScratch {
     pub(crate) fault_events: EventHeap<ServeEventKind>,
     pub(crate) disk_state: Vec<DiskState>,
     pub(crate) targets: Vec<u32>,
+    pub(crate) batch: Vec<(u64, f64)>,
+    pub(crate) shared: decluster_methods::SharedScan,
 }
 
 impl LoopScratch {
@@ -429,6 +485,14 @@ impl LoopScratch {
         self.latencies.reserve(queries);
         self.events.clear();
         self.samples.clear();
+    }
+
+    /// Extra setup for the shared-scan serve loop: clears the typed event
+    /// heap, the batch membership list, and the merge accumulator.
+    pub(crate) fn begin_shared(&mut self, m: usize) {
+        self.fault_events.clear();
+        self.batch.clear();
+        self.shared.begin(m);
     }
 
     /// Extra setup for the degraded serve loop: clears the typed event
@@ -545,7 +609,23 @@ impl ServingEngine {
     /// # Panics
     /// Panics if `queries` is empty or `arrivals_ms` is not
     /// non-decreasing.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ServeSpec::open(..).run_with_arrivals(..)` (or `serve` on the engine spec)"
+    )]
     pub fn serve_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        cfg: &ServeConfig,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> ServeReport {
+        self.serve_core(params, queries, arrivals_ms, cfg, obs, ls)
+    }
+
+    pub(crate) fn serve_core(
         &self,
         params: &DiskParams,
         queries: &[BucketRegion],
@@ -693,8 +773,38 @@ impl ServingEngine {
     /// # Panics
     /// As [`ServingEngine::serve_obs`]; also if `replicas >= M` (CLI and
     /// constructors validate upstream).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ServeSpec::open(..).faults(..).run_with_arrivals(..)`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn serve_degraded_obs(
+        &self,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        schedule: &FaultSchedule,
+        replicas: u32,
+        policy: ReplicaPolicy,
+        cfg: &DegradedServeConfig,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> Result<DegradedServeReport> {
+        self.serve_degraded_core(
+            params,
+            queries,
+            arrivals_ms,
+            schedule,
+            replicas,
+            policy,
+            cfg,
+            obs,
+            ls,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn serve_degraded_core(
         &self,
         params: &DiskParams,
         queries: &[BucketRegion],
@@ -819,6 +929,9 @@ impl ServingEngine {
                             ls,
                             &mut c,
                         );
+                    }
+                    ServeEventKind::Flush => {
+                        unreachable!("batch flushes belong to the shared-scan loop")
                     }
                 }
             } else {
@@ -1007,6 +1120,344 @@ impl ServingEngine {
             },
         );
     }
+
+    /// Streaming shared-scan serve: arrivals are grouped into batch
+    /// windows of `cfg.batch_window_ms` of logical time. The first
+    /// arrival of a window opens it and schedules a [`ServeEventKind::Flush`]
+    /// one window later; every arrival before the flush joins the window.
+    /// At flush time the members' I/O plans are merged into one
+    /// deduplicated per-disk schedule (a [`decluster_methods::SharedScan`]
+    /// over `dir`'s flat [`decluster_grid::IoPlan`] arena), issued once
+    /// across the `1 + r` replica copies per `cfg.policy`, and the
+    /// completion fans back to every member — each latency measured from
+    /// its own arrival, so queueing inside the window shows up in the
+    /// tail.
+    ///
+    /// With `batch_window_ms == 0` the run delegates to the unshared
+    /// loop and is bit-identical to it. The shared path is healthy-mode
+    /// only; `ServeSpec` rejects sharing combined with a fault schedule.
+    ///
+    /// # Panics
+    /// As the unshared loop; also if `dir`'s disk count differs from the
+    /// engine's, if `cfg.replicas >= M`, or if the window is negative or
+    /// non-finite (all validated upstream by `ServeSpec`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn serve_shared_core(
+        &self,
+        dir: &GridDirectory,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        cfg: &SharedServeConfig,
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> SharedServeReport {
+        if cfg.batch_window_ms == 0.0 {
+            let serve = self.serve_core(params, queries, arrivals_ms, &cfg.serve, obs, ls);
+            return SharedServeReport {
+                serve,
+                windows: 0,
+                merged_queries: 0,
+                pages_saved: 0,
+            };
+        }
+        assert!(
+            cfg.batch_window_ms.is_finite() && cfg.batch_window_ms > 0.0,
+            "batch window must be finite and non-negative"
+        );
+        assert!(!queries.is_empty(), "serve needs at least one query shape");
+        assert!(
+            arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be non-decreasing"
+        );
+        let m = self.loads.len();
+        assert_eq!(
+            dir.num_disks() as usize,
+            m,
+            "directory disk count differs from the engine's"
+        );
+        assert!(
+            (cfg.replicas as usize) < m,
+            "replica count {} >= M = {m}",
+            cfg.replicas
+        );
+        let record = obs.enabled();
+        let meters = record.then(|| LoopMeters::new(obs, "serve", m));
+        let n = arrivals_ms.len();
+        ls.begin(m, n);
+        ls.begin_shared(m);
+        ls.ring.reset(cfg.serve.window);
+        ls.sorted.clear();
+        let w = cfg.batch_window_ms;
+        let sample_every = if cfg.serve.sample_every_ms > 0.0 {
+            cfg.serve.sample_every_ms
+        } else {
+            f64::INFINITY
+        };
+        let mut next_sample = sample_every;
+        let mut makespan: f64 = 0.0;
+        let mut batches = 0u64;
+        let mut queued_batches = 0u64;
+        let mut pages = 0u64;
+        let mut pages_saved = 0u64;
+        let mut windows = 0u64;
+        let mut merged_queries = 0u64;
+        let mut events = 0u64;
+        let mut completed = 0u64;
+        let mut in_flight = 0usize;
+        let mut peak_in_flight = 0usize;
+        let mut next_arrival = 0usize;
+
+        while next_arrival < n || !ls.fault_events.is_empty() {
+            let arrival_t = if next_arrival < n {
+                arrivals_ms[next_arrival]
+            } else {
+                f64::INFINITY
+            };
+            let take_event = ls.fault_events.peek_time().is_some_and(|t| t <= arrival_t);
+            let event_t = if take_event {
+                ls.fault_events.peek_time().expect("non-empty heap")
+            } else {
+                arrival_t
+            };
+            while next_sample <= event_t {
+                let tail_ms = {
+                    ls.sorted.clear();
+                    ls.sorted.extend_from_slice(ls.ring.as_slice());
+                    Quantiles::of_unsorted(&mut ls.sorted)
+                };
+                ls.samples.push(ServeSample {
+                    at_ms: next_sample,
+                    in_flight,
+                    busy_disks: ls.disk_free_at.iter().filter(|&&f| f > next_sample).count(),
+                    completed,
+                    tail_ms,
+                });
+                next_sample += sample_every;
+            }
+            if take_event {
+                let ev = ls.fault_events.pop().expect("non-empty heap");
+                match ev.payload {
+                    ServeEventKind::Completion { latency_ms } => {
+                        ls.ring.push(latency_ms);
+                        completed += 1;
+                        in_flight -= 1;
+                    }
+                    ServeEventKind::Flush => {
+                        let members = ls.batch.len();
+                        debug_assert!(members > 0, "a flush always closes a non-empty window");
+                        windows += 1;
+                        if members > 1 {
+                            merged_queries += members as u64;
+                        }
+                        // Merge the members' plans into one deduplicated
+                        // schedule, attributing saved pages.
+                        let mut own = 0u64;
+                        {
+                            let (shared, batch) = (&mut ls.shared, &ls.batch);
+                            shared.begin(m);
+                            for &(qi, _) in batch {
+                                let att = shared.absorb(dir, &queries[qi as usize % queries.len()]);
+                                own += att.own_pages;
+                            }
+                        }
+                        let fresh = ls.shared.merged().total_pages() as u64;
+                        pages += fresh;
+                        pages_saved += own - fresh;
+                        let route_key = ls.batch.first().map_or(0, |&(q, _)| q);
+                        let completion = self.fan_out_merged(
+                            params,
+                            ev.time,
+                            ls.shared.merged(),
+                            cfg.replicas,
+                            cfg.policy,
+                            route_key,
+                            &mut ls.disk_free_at,
+                            &mut ls.disk_busy_ms,
+                            record,
+                            &mut batches,
+                            &mut queued_batches,
+                        );
+                        makespan = makespan.max(completion);
+                        // Fan the shared completion back to every member.
+                        for i in 0..ls.batch.len() {
+                            let (_, arrived) = ls.batch[i];
+                            let latency = completion - arrived;
+                            ls.latencies.push(latency);
+                            ls.fault_events.push(
+                                completion,
+                                ServeEventKind::Completion {
+                                    latency_ms: latency,
+                                },
+                            );
+                        }
+                        ls.batch.clear();
+                    }
+                    ServeEventKind::Transition { .. } | ServeEventKind::Retry { .. } => {
+                        unreachable!("the shared-scan loop schedules no fault events")
+                    }
+                }
+            } else {
+                // An arrival joins the open window, or opens a new one
+                // (scheduling its flush one window later).
+                if ls.batch.is_empty() {
+                    ls.fault_events.push(arrival_t + w, ServeEventKind::Flush);
+                }
+                ls.batch.push((next_arrival as u64, arrival_t));
+                in_flight += 1;
+                peak_in_flight = peak_in_flight.max(in_flight);
+                next_arrival += 1;
+            }
+            events += 1;
+        }
+
+        if let Some(meters) = &meters {
+            meters.record(n, batches, queued_batches, &ls.disk_busy_ms, &ls.latencies);
+            obs.gauge_max("serve.peak_in_flight", peak_in_flight as u64);
+            obs.counter_add("serve.events", events);
+            obs.counter_add("serve.pages", pages);
+            obs.counter_add("serve.samples", ls.samples.len() as u64);
+            obs.counter_add("share.windows", windows);
+            obs.counter_add("share.merged_queries", merged_queries);
+            obs.counter_add("share.pages_saved", pages_saved);
+        }
+        let report = assemble_report(n, 0, makespan, m, &ls.disk_busy_ms, &mut ls.latencies);
+        if obs.trace_enabled() {
+            obs.emit(
+                TraceEvent::new("shared_serve_done")
+                    .with("requests", n)
+                    .with("events", events)
+                    .with("windows", windows)
+                    .with("merged_queries", merged_queries)
+                    .with("pages_saved", pages_saved)
+                    .with("makespan_ms", report.makespan_ms),
+            );
+        }
+        SharedServeReport {
+            serve: ServeReport {
+                report,
+                events,
+                peak_in_flight,
+                pages,
+                samples: ls.samples.len(),
+            },
+            windows,
+            merged_queries,
+            pages_saved,
+        }
+    }
+
+    /// Issues one window's merged schedule across the replica chain: for
+    /// each disk with merged pages, [`ReplicaPolicy::Spread`] splits the
+    /// batch across all `1 + r` copies (page-granular balancing) while
+    /// the whole-batch policies route it to one copy — primary for
+    /// `PrimaryOnly`/`FailoverOnly` (the shared path is healthy-mode, so
+    /// the primary is always live), the shortest queue for
+    /// `NearestFreeQueue`, and a `route_key`-keyed rotation for
+    /// `RoundRobin`. Returns the window's completion time.
+    #[allow(clippy::too_many_arguments)]
+    fn fan_out_merged(
+        &self,
+        params: &DiskParams,
+        issue_at: f64,
+        merged: &decluster_grid::IoPlan,
+        replicas: u32,
+        policy: ReplicaPolicy,
+        route_key: u64,
+        disk_free_at: &mut [f64],
+        disk_busy_ms: &mut [f64],
+        record: bool,
+        batches: &mut u64,
+        queued_batches: &mut u64,
+    ) -> f64 {
+        // One copy's FCFS batch service, shared by every policy arm.
+        #[allow(clippy::too_many_arguments)]
+        fn serve_on(
+            params: &DiskParams,
+            loads: &[u64],
+            s: usize,
+            count: u64,
+            issue_at: f64,
+            disk_free_at: &mut [f64],
+            disk_busy_ms: &mut [f64],
+            completion: &mut f64,
+            record: bool,
+            batches: &mut u64,
+            queued_batches: &mut u64,
+        ) {
+            let start = issue_at.max(disk_free_at[s]);
+            let service = params.batch_ms_counts(count, loads[s]);
+            disk_free_at[s] = start + service;
+            disk_busy_ms[s] += service;
+            *completion = completion.max(start + service);
+            if record {
+                *batches += 1;
+                if start > issue_at {
+                    *queued_batches += 1;
+                }
+            }
+        }
+        let m = self.loads.len();
+        let copies = u64::from(replicas) + 1;
+        let mut completion = issue_at;
+        for d in 0..m {
+            let count = merged.disk_pages(d).len() as u64;
+            if count == 0 {
+                continue;
+            }
+            macro_rules! serve {
+                ($s:expr, $count:expr) => {
+                    serve_on(
+                        params,
+                        &self.loads,
+                        $s,
+                        $count,
+                        issue_at,
+                        disk_free_at,
+                        disk_busy_ms,
+                        &mut completion,
+                        record,
+                        batches,
+                        queued_batches,
+                    )
+                };
+            }
+            if replicas == 0 {
+                serve!(d, count);
+                continue;
+            }
+            match policy {
+                ReplicaPolicy::Spread => {
+                    for j in 0..=replicas {
+                        let share = count / copies + u64::from(u64::from(j) < count % copies);
+                        if share == 0 {
+                            continue;
+                        }
+                        serve!((d + j as usize) % m, share);
+                    }
+                }
+                ReplicaPolicy::PrimaryOnly | ReplicaPolicy::FailoverOnly => {
+                    serve!(d, count);
+                }
+                ReplicaPolicy::NearestFreeQueue => {
+                    // First-minimal scan: ties go to the earliest chain
+                    // position, matching `select_copy`'s tie-breaking.
+                    let mut best = d;
+                    for j in 1..=replicas as usize {
+                        let s = (d + j) % m;
+                        if disk_free_at[s] < disk_free_at[best] {
+                            best = s;
+                        }
+                    }
+                    serve!(best, count);
+                }
+                ReplicaPolicy::RoundRobin => {
+                    serve!((d + (route_key % copies) as usize) % m, count);
+                }
+            }
+        }
+        completion
+    }
 }
 
 /// Mutable counter block of one degraded serve run, threaded through
@@ -1057,6 +1508,13 @@ fn select_copy(
             let n_live = live_copies.clone().count() as u64;
             live_copies.nth((query % n_live.max(1)) as usize)
         }
+        // At whole-batch granularity spreading degenerates to shortest
+        // queue; the page-granular split lives in the shared-scan fan-out.
+        ReplicaPolicy::Spread => (0..=replicas).filter(live).min_by(|&a, &b| {
+            disk_free_at[copy(a)]
+                .total_cmp(&disk_free_at[copy(b)])
+                .then(a.cmp(&b))
+        }),
     };
     j.map(|j| copy(j) as u32)
 }
@@ -1260,7 +1718,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let arrivals = poisson_arrivals(&mut rng, 200, 50.0);
         let mut ls = LoopScratch::new();
-        let r = engine.serve_obs(
+        let r = engine.serve_core(
             &params,
             &queries,
             &arrivals,
@@ -1290,7 +1748,7 @@ mod tests {
             window: 64,
         };
         let mut ls = LoopScratch::new();
-        let r = engine.serve_obs(
+        let r = engine.serve_core(
             &params,
             &queries,
             &arrivals,
@@ -1317,7 +1775,7 @@ mod tests {
         let arrivals = poisson_arrivals(&mut rng, 300, 60.0);
         let obs = Obs::disabled();
         let mut ls = LoopScratch::new();
-        let plain = engine.serve_obs(
+        let plain = engine.serve_core(
             &params,
             &queries,
             &arrivals,
@@ -1325,7 +1783,7 @@ mod tests {
             &obs,
             &mut ls,
         );
-        let sampled = engine.serve_obs(
+        let sampled = engine.serve_core(
             &params,
             &queries,
             &arrivals,
@@ -1355,7 +1813,7 @@ mod tests {
         let n = queries.len() * 3 + 7;
         let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * 5.0).collect();
         let mut ls = LoopScratch::new();
-        let r = engine.serve_obs(
+        let r = engine.serve_core(
             &params,
             &queries,
             &arrivals,
@@ -1379,7 +1837,7 @@ mod tests {
         let arrivals = poisson_arrivals(&mut rng, 300, 60.0);
         let obs = Obs::disabled();
         let mut ls = LoopScratch::new();
-        let plain = engine.serve_obs(
+        let plain = engine.serve_core(
             &params,
             &queries,
             &arrivals,
@@ -1390,7 +1848,7 @@ mod tests {
         let healthy = FaultSchedule::healthy(8);
         for policy in [ReplicaPolicy::PrimaryOnly, ReplicaPolicy::FailoverOnly] {
             let degraded = engine
-                .serve_degraded_obs(
+                .serve_degraded_core(
                     &params,
                     &queries,
                     &arrivals,
@@ -1427,7 +1885,7 @@ mod tests {
         let schedule = FaultSchedule::healthy(8).fail_stop(3, 0).unwrap();
         let mut ls = LoopScratch::new();
         let r = engine
-            .serve_degraded_obs(
+            .serve_degraded_core(
                 &params,
                 &queries,
                 &arrivals,
@@ -1454,7 +1912,7 @@ mod tests {
         let schedule = FaultSchedule::healthy(8).fail_stop(3, 0).unwrap();
         let mut ls = LoopScratch::new();
         let r = engine
-            .serve_degraded_obs(
+            .serve_degraded_core(
                 &params,
                 &queries,
                 &arrivals,
@@ -1489,7 +1947,7 @@ mod tests {
         };
         let mut ls = LoopScratch::new();
         let r = engine
-            .serve_degraded_obs(
+            .serve_degraded_core(
                 &params,
                 &queries,
                 &arrivals,
@@ -1521,7 +1979,7 @@ mod tests {
         };
         let mut ls = LoopScratch::new();
         let r = engine
-            .serve_degraded_obs(
+            .serve_degraded_core(
                 &params,
                 &queries,
                 &arrivals,
@@ -1551,7 +2009,7 @@ mod tests {
         let mut ls = LoopScratch::new();
         let mut run = |policy| {
             engine
-                .serve_degraded_obs(
+                .serve_degraded_core(
                     &params,
                     &queries,
                     &arrivals,
@@ -1598,7 +2056,7 @@ mod tests {
         let mut ls = LoopScratch::new();
         let mut run = || {
             engine
-                .serve_degraded_obs(
+                .serve_degraded_core(
                     &params,
                     &queries,
                     &arrivals,
@@ -1631,7 +2089,7 @@ mod tests {
     fn schedule_mismatch_is_an_error_not_a_panic() {
         let (_space, engine, queries) = serving_setup();
         let err = engine
-            .serve_degraded_obs(
+            .serve_degraded_core(
                 &DiskParams::default(),
                 &queries,
                 &[1.0],

@@ -3,6 +3,7 @@ use crate::events::{sharded_arrivals, DegradedServeConfig, LoopScratch, ServeCon
 use crate::exec::{derive_point_seed, run_indexed, run_indexed_with};
 use crate::faults::{FaultReport, FaultSchedule, ReplicaPolicy, RetryPolicy};
 use crate::multiuser::{load_sweep_with_threads, LoadPoint, MultiUserEngine};
+use crate::spec::ServeSpec;
 use crate::stats::Quantiles;
 use crate::workload::{
     partial_match_with_unspecified, random_region, rect_sides_for_area, InterArrival, ShapeSweep,
@@ -132,6 +133,56 @@ pub struct ServeSweep {
     pub curves: Vec<ServeCurve>,
 }
 
+/// One `(method, overlap, replica count)` cell of a share sweep: the
+/// same arrival stream served once without batching and once with the
+/// shared-scan window, plus the merge accounting of the shared run.
+#[derive(Clone, Debug)]
+pub struct SharePoint {
+    /// Method name.
+    pub method: String,
+    /// Fraction of queries redirected to the hot pool, in `[0, 1]`.
+    pub overlap: f64,
+    /// Chain replicas per bucket (`r`) the merged reads spread over.
+    pub replicas: u32,
+    /// Achieved throughput without batching, queries/s.
+    pub unshared_qps: f64,
+    /// Achieved throughput with the batch window, queries/s.
+    pub shared_qps: f64,
+    /// Mean latency without batching, ms.
+    pub unshared_mean_ms: f64,
+    /// Mean latency with the batch window, ms.
+    pub shared_mean_ms: f64,
+    /// Batch windows flushed in the shared run.
+    pub windows: u64,
+    /// Queries that shared their window with at least one other query.
+    pub merged_queries: u64,
+    /// Duplicate pages the merge eliminated.
+    pub pages_saved: u64,
+}
+
+impl SharePoint {
+    /// Shared-over-unshared throughput ratio (`> 1` means batching won).
+    pub fn speedup(&self) -> f64 {
+        self.shared_qps / self.unshared_qps
+    }
+}
+
+/// Result of [`Experiment::run_share_sweep`]: one [`SharePoint`] per
+/// `(method, overlap, replicas)` cell, in that nesting order.
+#[derive(Clone, Debug)]
+pub struct ShareSweep {
+    /// Human-readable description of the sweep.
+    pub title: String,
+    /// Arrivals simulated per cell.
+    pub clients: usize,
+    /// Offered arrival rate, queries/s.
+    pub rate_qps: f64,
+    /// Length of the shared-scan merge window, ms.
+    pub batch_window_ms: f64,
+    /// One point per cell, in sweep order.
+    pub points: Vec<SharePoint>,
+}
+
 /// One `(fault schedule, replica count, policy)` cell of an availability
 /// sweep: the fraction of arrivals served, the loss/shed/retry volume,
 /// and what the configuration costs in response time and storage
@@ -186,6 +237,17 @@ pub struct AvailSweep {
     pub rate_qps: f64,
     /// One point per cell, in sweep order.
     pub points: Vec<AvailPoint>,
+}
+
+/// A splitmix64-finalized hash of a query index mapped to `[0, 1)`: the
+/// share sweep's hot-pool redirect test. A pure function of the index,
+/// so overlap streams are identical at any thread count.
+fn index_hash01(i: u64) -> f64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// One evaluated sweep point: the x-value plus each method's summary and
@@ -914,7 +976,7 @@ impl Experiment {
                     sample_every_ms: (clients as f64 * 1000.0 / rates_qps[ri]) / 32.0,
                     ..ServeConfig::default()
                 };
-                let rep = engines[mi].1.serving().serve_obs(
+                let rep = engines[mi].1.serving().serve_core(
                     params,
                     &regions,
                     &arrivals[ri],
@@ -1044,7 +1106,7 @@ impl Experiment {
                 let rep = engines[mi]
                     .1
                     .serving()
-                    .serve_degraded_obs(
+                    .serve_degraded_core(
                         params,
                         &regions,
                         &arrivals[ri],
@@ -1099,6 +1161,279 @@ impl Experiment {
             clients,
             rates_qps: rates_qps.to_vec(),
             curves,
+        })
+    }
+
+    /// **Shared serve sweep (extension).** [`Experiment::run_serve_sweep`]
+    /// through the shared-scan batching path: an `overlap` fraction of the
+    /// query stream is redirected to one hot scan, and arrivals inside a
+    /// `batch_window_ms` window merge into one deduplicated schedule
+    /// spread over the `1 + replicas` chain copies
+    /// ([`ReplicaPolicy::Spread`]).
+    ///
+    /// With `overlap == 0` and `batch_window_ms == 0` this delegates to
+    /// [`Experiment::run_serve_sweep`] outright, so the output is
+    /// byte-identical to the unshared sweep — the CLI's `--share 0
+    /// --batch-window 0` pin.
+    ///
+    /// # Errors
+    /// As [`Experiment::run_serve_sweep`]; also [`SimError::Spec`] when
+    /// `replicas` reaches `M`.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero, any rate is non-positive, `overlap`
+    /// falls outside `[0, 1]`, or the window is negative or non-finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_serve_sweep_shared(
+        &self,
+        params: &DiskParams,
+        clients: usize,
+        rates_qps: &[f64],
+        area: u64,
+        overlap: f64,
+        batch_window_ms: f64,
+        replicas: u32,
+    ) -> Result<ServeSweep> {
+        if overlap == 0.0 && batch_window_ms == 0.0 {
+            return self.run_serve_sweep(params, clients, rates_qps, area);
+        }
+        if rates_qps.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        assert!(clients > 0, "serve needs at least one client");
+        assert!(
+            rates_qps.iter().all(|&r| r > 0.0),
+            "arrival rate must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&overlap),
+            "overlap fraction must lie in [0, 1]"
+        );
+        assert!(
+            batch_window_ms.is_finite() && batch_window_ms >= 0.0,
+            "batch window must be finite and non-negative"
+        );
+        let base = self.shared_regions(area)?;
+        let hot = base.first().expect("shared_regions is non-empty").clone();
+        let regions: Vec<BucketRegion> = base
+            .iter()
+            .enumerate()
+            .map(|(i, region)| {
+                if index_hash01(i as u64) < overlap {
+                    hot.clone()
+                } else {
+                    region.clone()
+                }
+            })
+            .collect();
+        let engines = self.multiuser_engines();
+        let nm = engines.len();
+        let threads = self.effective_threads();
+        let arrivals: Vec<Vec<f64>> = rates_qps
+            .iter()
+            .enumerate()
+            .map(|(r, &rate)| {
+                sharded_arrivals(
+                    derive_point_seed(self.seed, r as u64),
+                    clients,
+                    InterArrival::Poisson { rate_qps: rate },
+                    threads,
+                    &self.obs,
+                )
+            })
+            .collect();
+        let cells: Vec<Result<ServePoint>> = run_indexed_with(
+            threads,
+            rates_qps.len() * nm,
+            &self.obs,
+            LoopScratch::new,
+            |i, ls| {
+                let (ri, mi) = (i / nm, i % nm);
+                let run = ServeSpec::open(rates_qps[ri])
+                    .seed(self.seed)
+                    .sampling((clients as f64 * 1000.0 / rates_qps[ri]) / 32.0)
+                    .share(batch_window_ms)
+                    .replicas(replicas)
+                    .policy(ReplicaPolicy::Spread)
+                    .run_with_arrivals(
+                        &engines[mi].1,
+                        params,
+                        &regions,
+                        &arrivals[ri],
+                        &self.obs,
+                        ls,
+                    )?;
+                Ok(ServePoint {
+                    offered_qps: rates_qps[ri],
+                    achieved_qps: run.report.throughput_qps,
+                    mean_latency_ms: run.report.latency.mean,
+                    tail_ms: run.report.tail,
+                    utilization: run.report.utilization,
+                    peak_in_flight: run.peak_in_flight,
+                    samples: ls.samples().to_vec(),
+                })
+            },
+        );
+        let mut curves: Vec<ServeCurve> = engines
+            .iter()
+            .map(|(name, _)| ServeCurve {
+                method: name.clone(),
+                points: Vec::with_capacity(rates_qps.len()),
+                knee_qps: 0.0,
+            })
+            .collect();
+        for (i, point) in cells.into_iter().enumerate() {
+            curves[i % nm].points.push(point?);
+        }
+        for curve in &mut curves {
+            curve.knee_qps = curve
+                .points
+                .iter()
+                .filter(|p| p.achieved_qps >= 0.95 * p.offered_qps)
+                .map(|p| p.offered_qps)
+                .fold(0.0, f64::max);
+        }
+        Ok(ServeSweep {
+            title: format!(
+                "Shared serve sweep: {} open-loop clients per rate, overlap {:.2}, {} ms window, r={} (query area {}, grid {:?}, M={})",
+                clients,
+                overlap,
+                batch_window_ms,
+                replicas,
+                area,
+                self.space.dims(),
+                self.m
+            ),
+            clients,
+            rates_qps: rates_qps.to_vec(),
+            curves,
+        })
+    }
+
+    /// **Share sweep (extension).** Shared-scan batching versus the plain
+    /// serving path across query overlap and replica depth: for every
+    /// `(method, overlap, r)` cell, `clients` Poisson arrivals at
+    /// `rate_qps` replay a query stream in which an `overlap` fraction of
+    /// queries is redirected to a small hot pool of identical scans, once
+    /// through the unbatched engine and once through a
+    /// `batch_window_ms`-wide shared-scan window spreading merged reads
+    /// over the `1 + r` chain copies ([`ReplicaPolicy::Spread`]).
+    ///
+    /// The redirect is a pure function of the query index, and both runs
+    /// of a cell replay the identical arrival and query streams, so the
+    /// shared-vs-unshared delta isolates the merge. Cells fan out on the
+    /// deterministic executor with one reusable [`LoopScratch`] per
+    /// worker; every number is bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// [`SimError::EmptySweep`] for no overlaps or no replica counts;
+    /// [`SimError::QueryDoesNotFit`] as above; [`SimError::Spec`] when a
+    /// replica count reaches `M`.
+    ///
+    /// # Panics
+    /// Panics when `clients` is zero, `rate_qps` is non-positive, any
+    /// overlap falls outside `[0, 1]`, or the window is negative or
+    /// non-finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_share_sweep(
+        &self,
+        params: &DiskParams,
+        clients: usize,
+        rate_qps: f64,
+        area: u64,
+        overlaps: &[f64],
+        replicas: &[u32],
+        batch_window_ms: f64,
+    ) -> Result<ShareSweep> {
+        if overlaps.is_empty() || replicas.is_empty() {
+            return Err(SimError::EmptySweep);
+        }
+        assert!(clients > 0, "serve needs at least one client");
+        assert!(rate_qps > 0.0, "arrival rate must be positive");
+        assert!(
+            overlaps.iter().all(|&o| (0.0..=1.0).contains(&o)),
+            "overlap fractions must lie in [0, 1]"
+        );
+        assert!(
+            batch_window_ms.is_finite() && batch_window_ms >= 0.0,
+            "batch window must be finite and non-negative"
+        );
+        let base = self.shared_regions(area)?;
+        // The hot pool: one fixed region every redirected query rescans.
+        // Using a single target maximizes page overlap inside a window,
+        // which is the regime the batching is supposed to win in.
+        let hot = base.first().expect("shared_regions is non-empty").clone();
+        let streams: Vec<Vec<BucketRegion>> = overlaps
+            .iter()
+            .map(|&overlap| {
+                base.iter()
+                    .enumerate()
+                    .map(|(i, region)| {
+                        if index_hash01(i as u64) < overlap {
+                            hot.clone()
+                        } else {
+                            region.clone()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let engines = self.multiuser_engines();
+        let nm = engines.len();
+        let threads = self.effective_threads();
+        let arrivals = sharded_arrivals(
+            self.seed,
+            clients,
+            InterArrival::Poisson { rate_qps },
+            threads,
+            &self.obs,
+        );
+        let no = overlaps.len();
+        let nr = replicas.len();
+        let cells: Vec<Result<SharePoint>> = run_indexed_with(
+            threads,
+            nm * no * nr,
+            &self.obs,
+            LoopScratch::new,
+            |i, ls| {
+                let (mi, oi, ri) = (i / (no * nr), (i / nr) % no, i % nr);
+                let engine = &engines[mi].1;
+                let queries = &streams[oi];
+                let unshared = ServeSpec::open(rate_qps)
+                    .seed(self.seed)
+                    .run_with_arrivals(engine, params, queries, &arrivals, &self.obs, ls)?;
+                let shared = ServeSpec::open(rate_qps)
+                    .seed(self.seed)
+                    .share(batch_window_ms)
+                    .replicas(replicas[ri])
+                    .policy(ReplicaPolicy::Spread)
+                    .run_with_arrivals(engine, params, queries, &arrivals, &self.obs, ls)?;
+                let sharing = shared.sharing.unwrap_or_default();
+                Ok(SharePoint {
+                    method: engines[mi].0.clone(),
+                    overlap: overlaps[oi],
+                    replicas: replicas[ri],
+                    unshared_qps: unshared.report.throughput_qps,
+                    shared_qps: shared.report.throughput_qps,
+                    unshared_mean_ms: unshared.report.latency.mean,
+                    shared_mean_ms: shared.report.latency.mean,
+                    windows: sharing.windows,
+                    merged_queries: sharing.merged_queries,
+                    pages_saved: sharing.pages_saved,
+                })
+            },
+        );
+        let points = cells.into_iter().collect::<Result<Vec<SharePoint>>>()?;
+        Ok(ShareSweep {
+            title: format!(
+                "Share sweep: {clients} arrivals at {rate_qps} q/s, {batch_window_ms} ms window, query area {area} (grid {:?}, M={})",
+                self.space.dims(),
+                self.m
+            ),
+            clients,
+            rate_qps,
+            batch_window_ms,
+            points,
         })
     }
 
@@ -1195,7 +1530,7 @@ impl Experiment {
                 let (ri, pi) = (rest / np, rest % np);
                 let rep = engine
                     .serving()
-                    .serve_degraded_obs(
+                    .serve_degraded_core(
                         params,
                         &regions,
                         &arrivals,
@@ -1623,6 +1958,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn share_sweep_is_thread_count_invariant() {
+        let params = DiskParams::default();
+        let base = experiment()
+            .with_threads(1)
+            .run_share_sweep(&params, 300, 400.0, 16, &[0.0, 0.9], &[0, 1], 8.0)
+            .unwrap();
+        for threads in [4, 0] {
+            let other = experiment()
+                .with_threads(threads)
+                .run_share_sweep(&params, 300, 400.0, 16, &[0.0, 0.9], &[0, 1], 8.0)
+                .unwrap();
+            assert_eq!(base.points.len(), other.points.len());
+            for (a, b) in base.points.iter().zip(&other.points) {
+                assert_eq!(a.method, b.method);
+                assert_eq!(a.unshared_qps.to_bits(), b.unshared_qps.to_bits());
+                assert_eq!(a.shared_qps.to_bits(), b.shared_qps.to_bits());
+                assert_eq!(a.unshared_mean_ms.to_bits(), b.unshared_mean_ms.to_bits());
+                assert_eq!(a.shared_mean_ms.to_bits(), b.shared_mean_ms.to_bits());
+                assert_eq!(
+                    (a.windows, a.merged_queries, a.pages_saved),
+                    (b.windows, b.merged_queries, b.pages_saved)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn share_sweep_saves_pages_at_high_overlap() {
+        let params = DiskParams::default();
+        let sweep = experiment()
+            .run_share_sweep(&params, 400, 800.0, 16, &[0.0, 1.0], &[1], 8.0)
+            .unwrap();
+        // Points nest method-major: [m0 o=0, m0 o=1, m1 o=0, ...].
+        for pair in sweep.points.chunks(2) {
+            let (cold, hot) = (&pair[0], &pair[1]);
+            assert_eq!(cold.method, hot.method);
+            assert!(
+                hot.pages_saved > 0,
+                "{}: full overlap must dedup pages",
+                hot.method
+            );
+            assert!(hot.merged_queries > 0, "{}", hot.method);
+            assert!(
+                hot.pages_saved >= cold.pages_saved,
+                "{}: overlap 1.0 saved {} < overlap 0.0 saved {}",
+                hot.method,
+                hot.pages_saved,
+                cold.pages_saved
+            );
+        }
+        assert!(matches!(
+            experiment()
+                .run_share_sweep(&params, 400, 800.0, 16, &[], &[1], 8.0)
+                .unwrap_err(),
+            SimError::EmptySweep
+        ));
     }
 
     #[test]

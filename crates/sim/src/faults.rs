@@ -484,10 +484,19 @@ pub enum ReplicaPolicy {
     /// Health-aware load-balanced round-robin: rotate reads across the
     /// live copies keyed on the logical clock, spreading load evenly.
     RoundRobin,
+    /// Page-granular spreading: split each disk's page batch across all
+    /// live copies instead of routing the whole batch to one of them.
+    /// The shared-scan policy — replicas become read bandwidth for a
+    /// single (possibly merged) schedule. No timeout penalty.
+    Spread,
 }
 
 impl ReplicaPolicy {
-    /// Every policy, in report order.
+    /// Every whole-query routing policy, in report order. Excludes
+    /// [`ReplicaPolicy::Spread`]: at whole-batch granularity spreading
+    /// degenerates into [`ReplicaPolicy::NearestFreeQueue`]-style
+    /// balancing, so the availability sweeps keep their four-policy axis
+    /// and `spread` is exercised by the shared-scan path instead.
     pub const ALL: [ReplicaPolicy; 4] = [
         ReplicaPolicy::PrimaryOnly,
         ReplicaPolicy::FailoverOnly,
@@ -496,7 +505,7 @@ impl ReplicaPolicy {
     ];
 
     /// The accepted names and aliases, for error messages and CLI help.
-    pub const ACCEPTED_NAMES: &'static str = "primary, failover, nearest, roundrobin";
+    pub const ACCEPTED_NAMES: &'static str = "primary, failover, nearest, roundrobin, spread";
 
     /// Stable name (accepted back by [`ReplicaPolicy::parse`]).
     pub fn name(self) -> &'static str {
@@ -505,6 +514,7 @@ impl ReplicaPolicy {
             ReplicaPolicy::FailoverOnly => "failover",
             ReplicaPolicy::NearestFreeQueue => "nearest",
             ReplicaPolicy::RoundRobin => "roundrobin",
+            ReplicaPolicy::Spread => "spread",
         }
     }
 
@@ -528,6 +538,7 @@ impl std::str::FromStr for ReplicaPolicy {
             "failover" | "failover-only" => Ok(ReplicaPolicy::FailoverOnly),
             "nearest" | "nearest-free-queue" => Ok(ReplicaPolicy::NearestFreeQueue),
             "roundrobin" | "round-robin" | "rr" => Ok(ReplicaPolicy::RoundRobin),
+            "spread" => Ok(ReplicaPolicy::Spread),
             _ => Err(SimError::UnknownPolicy { name: name.into() }),
         }
     }
@@ -686,6 +697,9 @@ pub fn degraded_outcome_with(
 /// * [`ReplicaPolicy::NearestFreeQueue`] and [`ReplicaPolicy::RoundRobin`]
 ///   are health-aware (no timeout penalty) and may serve from a backup
 ///   even when the primary is live, spreading load across copies.
+/// * [`ReplicaPolicy::Spread`] splits each disk's batch across *all*
+///   live copies (page-granular balancing, no timeout penalty); with no
+///   live copy the batch is unavailable like the others.
 ///
 /// Deterministic for a given `(hist, schedule, t)`; batches are resolved
 /// in disk order, so `NearestFreeQueue`'s queue lengths are well-defined.
@@ -724,6 +738,31 @@ pub fn degraded_outcome_r(
             continue;
         }
         let primary_state = schedule.state_at(d as u32, t);
+        if selection == ReplicaPolicy::Spread && replicas > 0 {
+            // Page-granular: split the batch across every live copy in
+            // the chain instead of picking one serving offset.
+            let live = || {
+                (0..=replicas)
+                    .filter(|&j| schedule.state_at((d as u32 + j) % m as u32, t).is_live())
+            };
+            let n_live = live().count() as u64;
+            if n_live == 0 {
+                dead_buckets += count;
+                continue;
+            }
+            for (idx, j) in live().enumerate() {
+                let share = count / n_live + u64::from((idx as u64) < count % n_live);
+                if share == 0 {
+                    continue;
+                }
+                let s = (d + j as usize) % m;
+                loads[s] += scale(share, schedule.state_at(s as u32, t));
+                if j > 0 {
+                    failover_buckets += share;
+                }
+            }
+            continue;
+        }
         // The chain offset of the copy that serves this batch, or None
         // when the policy cannot reach a live copy.
         let serving_offset: Option<u32> = match selection {
@@ -739,6 +778,7 @@ pub fn degraded_outcome_r(
                 let n_live = live.clone().count() as u64;
                 live.nth((t % n_live.max(1)) as usize)
             }
+            ReplicaPolicy::Spread => unreachable!("spread with replicas > 0 is handled above"),
         };
         let Some(j) = serving_offset else {
             dead_buckets += count;
@@ -1354,7 +1394,10 @@ mod tests {
 
     #[test]
     fn policy_names_roundtrip_and_reject_unknowns() {
-        for p in ReplicaPolicy::ALL {
+        for p in ReplicaPolicy::ALL
+            .into_iter()
+            .chain(std::iter::once(ReplicaPolicy::Spread))
+        {
             assert_eq!(ReplicaPolicy::parse(p.name()).unwrap(), p);
             assert_eq!(p.to_string(), p.name());
         }
@@ -1366,11 +1409,17 @@ mod tests {
             ReplicaPolicy::parse("NEAREST").unwrap(),
             ReplicaPolicy::NearestFreeQueue
         );
+        assert_eq!(
+            ReplicaPolicy::parse("SPREAD").unwrap(),
+            ReplicaPolicy::Spread
+        );
+        // Spread is deliberately absent from the whole-query policy axis.
+        assert!(!ReplicaPolicy::ALL.contains(&ReplicaPolicy::Spread));
         let err = ReplicaPolicy::parse("zorp").unwrap_err();
         assert!(matches!(err, SimError::UnknownPolicy { .. }));
         let msg = err.to_string();
         assert!(msg.contains("unknown replica policy"), "{msg}");
-        for name in ["primary", "failover", "nearest", "roundrobin"] {
+        for name in ["primary", "failover", "nearest", "roundrobin", "spread"] {
             assert!(msg.contains(name), "{msg} should list {name}");
         }
         assert!(!msg.contains('\n'), "one-line error: {msg}");
@@ -1560,6 +1609,60 @@ mod tests {
                 "t = {t}"
             );
         }
+    }
+
+    #[test]
+    fn spread_splits_batches_across_live_copies() {
+        let s = FaultSchedule::healthy(4);
+        let hist = [7u64, 0, 0, 0];
+        // r = 1, all live: 7 pages split 4/3 over disks 0 and 1.
+        let out = degraded_outcome_r(
+            &hist,
+            &s,
+            0,
+            &RetryPolicy::instant(),
+            1,
+            ReplicaPolicy::Spread,
+            &mut Vec::new(),
+        );
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 4,
+                failover_buckets: 3,
+                timeout_penalty: 0
+            }
+        );
+        // A dead primary shifts the whole batch to the live successor.
+        let down = FaultSchedule::parse("fail:0@0", 4).unwrap();
+        let out = degraded_outcome_r(
+            &hist,
+            &down,
+            1,
+            &RetryPolicy::instant(),
+            1,
+            ReplicaPolicy::Spread,
+            &mut Vec::new(),
+        );
+        assert_eq!(
+            out,
+            QueryOutcome::Served {
+                response_time: 7,
+                failover_buckets: 7,
+                timeout_penalty: 0
+            }
+        );
+        // r = 0 degenerates to primary-only.
+        let out = degraded_outcome_r(
+            &hist,
+            &down,
+            1,
+            &RetryPolicy::instant(),
+            0,
+            ReplicaPolicy::Spread,
+            &mut Vec::new(),
+        );
+        assert!(matches!(out, QueryOutcome::Unavailable { dead_buckets: 7 }));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod faults;
 mod multiuser;
 mod report;
 mod rt;
+mod spec;
 mod stats;
 pub mod workload;
 
@@ -53,17 +54,18 @@ pub use disk::{DiskParams, IoSimulator};
 pub use eval::{DegradedContext, EvalContext};
 pub use events::{
     sharded_arrivals, DegradedServeConfig, DegradedServeReport, Event, EventHeap, LoopScratch,
-    ServeConfig, ServeReport, ServeSample, ServingEngine,
+    ServeConfig, ServeReport, ServeSample, ServingEngine, SharedServeConfig, SharedServeReport,
 };
 pub use experiment::{
     AvailPoint, AvailSweep, DbSizePoint, Experiment, MethodSeries, ServeCurve, ServePoint,
-    ServeSweep, SweepResult,
+    ServeSweep, SharePoint, ShareSweep, SweepResult,
 };
 pub use faults::{
     degraded_outcome, degraded_outcome_r, degraded_outcome_with, simulate_rebuild,
     simulate_rebuild_obs, DiskState, FaultEvent, FaultMethodStats, FaultReport, FaultSchedule,
     QueryOutcome, RebuildReport, ReplicaPolicy, RetryPolicy,
 };
+#[allow(deprecated)] // the deprecated wrappers stay re-exported until removal
 pub use multiuser::{
     load_sweep, load_sweep_with_threads, poisson_arrivals, run_closed_loop,
     run_closed_loop_degraded, run_closed_loop_degraded_obs, run_closed_loop_obs, run_open_loop,
@@ -75,6 +77,7 @@ pub use rt::{
     deviation_from_optimal, masked_response_time, masked_response_time_with, optimal_response_time,
     response_time, response_time_batched, response_time_batched_with,
 };
+pub use spec::{AvailStats, ServeRun, ServeSpec, ShareStats, SpecError, DEFAULT_SPEC_SEED};
 pub use stats::{Quantiles, Summary};
 
 /// Renders a sweep as an aligned plain-text table: one row per x-value,
@@ -155,6 +158,8 @@ pub enum SimError {
         /// The offending name.
         name: String,
     },
+    /// A [`ServeSpec`] asked for a knob its mode cannot honor.
+    Spec(SpecError),
 }
 
 impl std::fmt::Display for SimError {
@@ -185,6 +190,7 @@ impl std::fmt::Display for SimError {
                     faults::ReplicaPolicy::ACCEPTED_NAMES
                 )
             }
+            SimError::Spec(e) => write!(f, "bad serve spec: {e}"),
         }
     }
 }
@@ -194,6 +200,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Grid(e) => Some(e),
             SimError::Method(e) => Some(e),
+            SimError::Spec(e) => Some(e),
             _ => None,
         }
     }
@@ -208,6 +215,12 @@ impl From<decluster_grid::GridError> for SimError {
 impl From<decluster_methods::MethodError> for SimError {
     fn from(e: decluster_methods::MethodError) -> Self {
         SimError::Method(e)
+    }
+}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
     }
 }
 

@@ -160,6 +160,7 @@ pub(crate) fn assemble_report(
 #[derive(Clone, Debug)]
 pub struct MultiUserEngine {
     core: ServingEngine,
+    dir: GridDirectory,
 }
 
 impl MultiUserEngine {
@@ -167,12 +168,20 @@ impl MultiUserEngine {
     pub fn new(dir: &GridDirectory) -> Self {
         MultiUserEngine {
             core: ServingEngine::new(dir),
+            dir: dir.clone(),
         }
     }
 
     /// Disks (`M`).
     pub fn num_disks(&self) -> usize {
         self.core.num_disks()
+    }
+
+    /// The directory this engine was built from (shared-scan runs need
+    /// the page-level [`GridDirectory::io_plan_into`] arena, not just the
+    /// count kernel).
+    pub fn directory(&self) -> &GridDirectory {
+        &self.dir
     }
 
     /// Whether queries are served by the prefix-sum kernel (false means
@@ -182,7 +191,7 @@ impl MultiUserEngine {
     }
 
     /// The underlying streaming serving core (for
-    /// [`ServingEngine::serve_obs`] arrival-stream runs).
+    /// [`crate::ServeSpec`] arrival-stream runs).
     pub fn serving(&self) -> &ServingEngine {
         &self.core
     }
@@ -494,12 +503,17 @@ impl MultiUserEngine {
 ///
 /// # Panics
 /// Panics if `clients == 0` (a closed loop needs at least one client).
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ServeSpec::closed(clients).run_on(dir, params, queries)`"
+)]
 pub fn run_closed_loop(
     dir: &GridDirectory,
     params: &DiskParams,
     queries: &[BucketRegion],
     clients: usize,
 ) -> MultiUserReport {
+    #[allow(deprecated)] // wrapper delegates to its deprecated sibling
     run_closed_loop_obs(dir, params, queries, clients, &Obs::disabled())
 }
 
@@ -508,6 +522,10 @@ pub fn run_closed_loop(
 /// busy microseconds), the latency histogram, and a `closed_loop_done`
 /// trace event. All metric values derive from simulated quantities, so
 /// they are deterministic.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ServeSpec::closed(clients).run(..)` with an observability handle"
+)]
 pub fn run_closed_loop_obs(
     dir: &GridDirectory,
     params: &DiskParams,
@@ -642,6 +660,10 @@ pub struct DegradedMultiUserReport {
 ///
 /// # Panics
 /// Panics if `clients == 0`.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ServeSpec::closed(clients).faults(schedule, policy).run(..)`"
+)]
 pub fn run_closed_loop_degraded(
     dir: &GridDirectory,
     params: &DiskParams,
@@ -650,6 +672,7 @@ pub fn run_closed_loop_degraded(
     schedule: &FaultSchedule,
     policy: &RetryPolicy,
 ) -> Result<DegradedMultiUserReport> {
+    #[allow(deprecated)] // wrapper delegates to its deprecated sibling
     run_closed_loop_degraded_obs(
         dir,
         params,
@@ -671,6 +694,10 @@ pub fn run_closed_loop_degraded(
 /// # Panics
 /// As [`run_closed_loop_degraded`].
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ServeSpec::closed(clients).faults(schedule, policy).run(..)`"
+)]
 pub fn run_closed_loop_degraded_obs(
     dir: &GridDirectory,
     params: &DiskParams,
@@ -699,12 +726,17 @@ pub fn run_closed_loop_degraded_obs(
 /// # Panics
 /// Panics if `arrivals_ms` is shorter than `queries` or not
 /// non-decreasing.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ServeSpec::open(rate_qps).run_with_arrivals(..)` on a `MultiUserEngine`"
+)]
 pub fn run_open_loop(
     dir: &GridDirectory,
     params: &DiskParams,
     queries: &[BucketRegion],
     arrivals_ms: &[f64],
 ) -> MultiUserReport {
+    #[allow(deprecated)] // wrapper delegates to its deprecated sibling
     run_open_loop_obs(dir, params, queries, arrivals_ms, &Obs::disabled())
 }
 
@@ -715,6 +747,10 @@ pub fn run_open_loop(
 ///
 /// # Panics
 /// As [`run_open_loop`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ServeSpec::open(rate_qps).run_with_arrivals(..)` on a `MultiUserEngine`"
+)]
 pub fn run_open_loop_obs(
     dir: &GridDirectory,
     params: &DiskParams,
@@ -845,6 +881,9 @@ pub fn poisson_arrivals<R: rand::Rng>(rng: &mut R, n: usize, rate_qps: f64) -> V
 }
 
 #[cfg(test)]
+// Pin tests: the deprecated free-function wrappers must keep their exact
+// behavior until removal, so these tests keep exercising them.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use decluster_grid::{BucketCoord, DiskId, GridSpace};

@@ -7,7 +7,7 @@
 //! thin wrappers and produce byte-identical output (covered by parity
 //! tests), so existing callers keep compiling.
 
-use crate::experiment::{AvailSweep, ServeSweep};
+use crate::experiment::{AvailSweep, ServeSweep, ShareSweep};
 use crate::faults::FaultReport;
 use crate::SweepResult;
 use decluster_obs::json::JsonValue;
@@ -600,6 +600,146 @@ impl Report for AvailSweep {
     }
 }
 
+impl ShareSweep {
+    fn text_table(&self) -> TextTable {
+        let headers = [
+            "method",
+            "overlap",
+            "r",
+            "unshared q/s",
+            "shared q/s",
+            "speedup",
+            "mean ms",
+            "shared ms",
+            "windows",
+            "merged",
+            "pages saved",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.method.clone(),
+                    format!("{:.2}", p.overlap),
+                    format!("{}", p.replicas),
+                    format!("{:.3}", p.unshared_qps),
+                    format!("{:.3}", p.shared_qps),
+                    format!("{:.3}", p.speedup()),
+                    format!("{:.3}", p.unshared_mean_ms),
+                    format!("{:.3}", p.shared_mean_ms),
+                    format!("{}", p.windows),
+                    format!("{}", p.merged_queries),
+                    format!("{}", p.pages_saved),
+                ]
+            })
+            .collect();
+        TextTable {
+            title: self.title.clone(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows,
+            separator: true,
+        }
+    }
+
+    fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "method,overlap,replicas,unshared_qps,shared_qps,speedup,unshared_mean_ms,shared_mean_ms,windows,merged_queries,pages_saved"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                p.method.replace(',', ";"),
+                p.overlap,
+                p.replicas,
+                p.unshared_qps,
+                p.shared_qps,
+                p.speedup(),
+                p.unshared_mean_ms,
+                p.shared_mean_ms,
+                p.windows,
+                p.merged_queries,
+                p.pages_saved
+            );
+        }
+        out
+    }
+
+    fn json(&self) -> JsonValue {
+        let points = JsonValue::Array(
+            self.points
+                .iter()
+                .map(|p| {
+                    JsonValue::Object(vec![
+                        ("method".into(), JsonValue::String(p.method.clone())),
+                        ("overlap".into(), JsonValue::Number(p.overlap)),
+                        ("replicas".into(), JsonValue::Number(f64::from(p.replicas))),
+                        ("unshared_qps".into(), JsonValue::Number(p.unshared_qps)),
+                        ("shared_qps".into(), JsonValue::Number(p.shared_qps)),
+                        ("speedup".into(), JsonValue::Number(p.speedup())),
+                        (
+                            "unshared_mean_ms".into(),
+                            JsonValue::Number(p.unshared_mean_ms),
+                        ),
+                        ("shared_mean_ms".into(), JsonValue::Number(p.shared_mean_ms)),
+                        ("windows".into(), JsonValue::Number(p.windows as f64)),
+                        (
+                            "merged_queries".into(),
+                            JsonValue::Number(p.merged_queries as f64),
+                        ),
+                        (
+                            "pages_saved".into(),
+                            JsonValue::Number(p.pages_saved as f64),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("title".into(), JsonValue::String(self.title.clone())),
+            ("clients".into(), JsonValue::Number(self.clients as f64)),
+            ("rate_qps".into(), JsonValue::Number(self.rate_qps)),
+            (
+                "batch_window_ms".into(),
+                JsonValue::Number(self.batch_window_ms),
+            ),
+            ("points".into(), points),
+        ])
+    }
+}
+
+impl Report for ShareSweep {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            // Share rows carry exact counts rather than sampling CIs, so
+            // TableWithCi degrades to the plain table.
+            ReportFormat::Table | ReportFormat::TableWithCi => {
+                let mut out = self.text_table().render();
+                if let Some(best) = self
+                    .points
+                    .iter()
+                    .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+                {
+                    let _ = writeln!(
+                        out,
+                        "best speedup {}: {:.3}x at overlap {:.2}, r={}",
+                        best.method,
+                        best.speedup(),
+                        best.overlap,
+                        best.replicas
+                    );
+                }
+                out
+            }
+            ReportFormat::Csv => self.csv(),
+            ReportFormat::Json => format!("{}\n", self.json()),
+        }
+    }
+}
+
 impl Report for MetricsSnapshot {
     fn render(&self, format: ReportFormat) -> String {
         match format {
@@ -923,6 +1063,62 @@ mod tests {
         use decluster_obs::json;
         let v = json::parse(avail_sample().render(ReportFormat::Json).trim_end()).unwrap();
         assert_eq!(v.get("method").and_then(JsonValue::as_str), Some("HCAM"));
+        assert!(matches!(v.get("points"), Some(JsonValue::Array(a)) if a.len() == 2));
+    }
+
+    fn share_sample() -> ShareSweep {
+        use crate::experiment::SharePoint;
+        let point = |overlap: f64, shared_qps: f64, pages_saved| SharePoint {
+            method: "HCAM".into(),
+            overlap,
+            replicas: 1,
+            unshared_qps: 10.0,
+            shared_qps,
+            unshared_mean_ms: 21.0,
+            shared_mean_ms: 18.0,
+            windows: 5,
+            merged_queries: 8,
+            pages_saved,
+        };
+        ShareSweep {
+            title: "share demo".into(),
+            clients: 100,
+            rate_qps: 10.0,
+            batch_window_ms: 4.0,
+            points: vec![point(0.0, 10.0, 0), point(0.8, 15.0, 640)],
+        }
+    }
+
+    #[test]
+    fn share_table_lists_speedups_and_best_line() {
+        let t = share_sample().render(ReportFormat::Table);
+        assert!(t.contains("share demo"));
+        assert!(t.contains("pages saved"));
+        assert!(t.contains("1.500"));
+        assert!(t
+            .trim_end()
+            .ends_with("best speedup HCAM: 1.500x at overlap 0.80, r=1"));
+    }
+
+    #[test]
+    fn share_csv_has_one_row_per_cell() {
+        let c = share_sample().render(ReportFormat::Csv);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("method,overlap,replicas,unshared_qps"));
+        assert!(lines[0].ends_with("pages_saved"));
+        assert_eq!(lines[1], "HCAM,0,1,10,10,1,21,18,5,8,0");
+        assert_eq!(lines[2], "HCAM,0.8,1,10,15,1.5,21,18,5,8,640");
+    }
+
+    #[test]
+    fn share_json_parses_and_carries_points() {
+        use decluster_obs::json;
+        let v = json::parse(share_sample().render(ReportFormat::Json).trim_end()).unwrap();
+        assert_eq!(
+            v.get("title").and_then(JsonValue::as_str),
+            Some("share demo")
+        );
         assert!(matches!(v.get("points"), Some(JsonValue::Array(a)) if a.len() == 2));
     }
 

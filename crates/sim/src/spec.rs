@@ -1,0 +1,865 @@
+//! Unified serving-run specification: one builder for every loop the
+//! engine can drive.
+//!
+//! PR 7 left the serving surface as six free functions plus three engine
+//! methods, each with its own argument pile. [`ServeSpec`] collapses them
+//! behind one builder: pick a mode ([`ServeSpec::closed`] or
+//! [`ServeSpec::open`]), chain the knobs that matter (replicas, policy,
+//! retry, faults, sampling, admission, sharing), and run. Every knob the
+//! chosen mode cannot honor is a typed one-line [`SpecError`] instead of
+//! a silent ignore, and every dispatch lands on the exact same loop body
+//! the deprecated entry points wrap — so migrated callers are
+//! bit-identical by construction.
+//!
+//! | spec | loop |
+//! |---|---|
+//! | `closed(c)` | the closed-loop counts kernel |
+//! | `closed(c).faults(..)` | chained-failover closed loop |
+//! | `open(rate)` | streaming event serve |
+//! | `open(rate).faults(..)` | fault-injected streaming serve |
+//! | `open(rate).share(w)` | shared-scan streaming serve |
+
+use crate::events::{
+    DegradedServeConfig, LoopScratch, ServeConfig, ServingEngine, SharedServeConfig,
+};
+use crate::faults::{FaultSchedule, ReplicaPolicy, RetryPolicy};
+use crate::multiuser::{MultiUserEngine, MultiUserReport};
+use crate::workload::InterArrival;
+use crate::{DiskParams, SimError};
+use decluster_grid::{BucketRegion, GridDirectory};
+use decluster_obs::Obs;
+
+/// Default RNG seed of self-generated arrival streams (the repository's
+/// pinned experiment seed).
+pub const DEFAULT_SPEC_SEED: u64 = 1994;
+
+/// A serving-run mode: a closed set of clients or an open arrival stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SpecMode {
+    /// `clients` users, each issuing its next query on completion.
+    Closed { clients: usize },
+    /// An open Poisson stream at `rate_qps` (ignored by
+    /// [`ServeSpec::run_with_arrivals`], which takes explicit times).
+    Open { rate_qps: f64 },
+}
+
+/// Why a [`ServeSpec`] was rejected. Every variant renders as one line,
+/// ready for a CLI's `error:` prefix.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A closed loop was configured with zero clients.
+    NoClients,
+    /// An open loop's offered rate is not finite and positive.
+    BadRate {
+        /// The offending rate, queries per second.
+        rate_qps: f64,
+    },
+    /// The sampling interval is negative or not finite.
+    BadSampling {
+        /// The offending interval, ms.
+        every_ms: f64,
+    },
+    /// The latency-ring window has zero capacity.
+    BadWindow,
+    /// The shared-scan batch window is negative or not finite.
+    BadBatchWindow {
+        /// The offending window, ms.
+        window_ms: f64,
+    },
+    /// More replicas than `M - 1` chain successors exist.
+    TooManyReplicas {
+        /// Requested chain replicas per bucket.
+        replicas: u32,
+        /// Disks in the directory.
+        disks: usize,
+    },
+    /// Shared-scan batching combined with a fault schedule (the shared
+    /// loop is healthy-mode only).
+    SharingWithFaults,
+    /// Shared-scan batching in a closed loop (windows are defined over
+    /// arrival times, which a closed loop does not have).
+    SharingClosedLoop,
+    /// Replica routing in a closed loop (the closed loops route by the
+    /// fixed chain, not by policy).
+    ReplicasClosedLoop,
+    /// Admission control without a fault schedule (only the degraded
+    /// loop sheds arrivals).
+    AdmissionWithoutFaults,
+    /// Explicit arrival times handed to a closed loop.
+    ClosedArrivals,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoClients => write!(f, "closed loop needs at least one client"),
+            SpecError::BadRate { rate_qps } => {
+                write!(
+                    f,
+                    "open-loop rate must be finite and positive, got {rate_qps}"
+                )
+            }
+            SpecError::BadSampling { every_ms } => {
+                write!(
+                    f,
+                    "sampling interval must be finite and non-negative, got {every_ms}"
+                )
+            }
+            SpecError::BadWindow => write!(f, "latency window must hold at least one sample"),
+            SpecError::BadBatchWindow { window_ms } => {
+                write!(
+                    f,
+                    "batch window must be finite and non-negative, got {window_ms}"
+                )
+            }
+            SpecError::TooManyReplicas { replicas, disks } => {
+                write!(
+                    f,
+                    "replica count {replicas} must be below the disk count {disks}"
+                )
+            }
+            SpecError::SharingWithFaults => {
+                write!(f, "shared-scan batching cannot run under a fault schedule")
+            }
+            SpecError::SharingClosedLoop => {
+                write!(f, "shared-scan batching requires an open arrival stream")
+            }
+            SpecError::ReplicasClosedLoop => {
+                write!(f, "replica routing requires an open arrival stream")
+            }
+            SpecError::AdmissionWithoutFaults => {
+                write!(f, "admission control requires a fault schedule")
+            }
+            SpecError::ClosedArrivals => {
+                write!(
+                    f,
+                    "closed loops pace themselves; arrival times need an open spec"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Builder-style specification of one serving run. See the module docs
+/// for the mode × knob dispatch table.
+///
+/// # Example
+///
+/// ```
+/// use decluster_grid::{GridDirectory, GridSpace, RangeQuery};
+/// use decluster_methods::{DeclusteringMethod, DiskModulo};
+/// use decluster_sim::{DiskParams, ServeSpec};
+///
+/// let space = GridSpace::new_2d(8, 8).unwrap();
+/// let dm = DiskModulo::new(&space, 4).unwrap();
+/// let dir = GridDirectory::build(space.clone(), 4, |b| dm.disk_of(b.as_slice()));
+/// let queries = [RangeQuery::new([0, 0], [3, 3])
+///     .unwrap()
+///     .region(&space)
+///     .unwrap()];
+/// let run = ServeSpec::closed(4)
+///     .run_on(&dir, &DiskParams::default(), &queries)
+///     .unwrap();
+/// assert_eq!(run.report.queries, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeSpec {
+    mode: SpecMode,
+    replicas: u32,
+    policy: ReplicaPolicy,
+    retry: RetryPolicy,
+    faults: Option<FaultSchedule>,
+    sample_every_ms: f64,
+    window: usize,
+    batch_window_ms: Option<f64>,
+    max_in_flight: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl ServeSpec {
+    fn new(mode: SpecMode) -> Self {
+        let serve = ServeConfig::default();
+        ServeSpec {
+            mode,
+            replicas: 0,
+            policy: ReplicaPolicy::PrimaryOnly,
+            retry: RetryPolicy::default(),
+            faults: None,
+            sample_every_ms: serve.sample_every_ms,
+            window: serve.window,
+            batch_window_ms: None,
+            max_in_flight: 0,
+            seed: DEFAULT_SPEC_SEED,
+            threads: 1,
+        }
+    }
+
+    /// A closed loop: `clients` users repeatedly issue the next query as
+    /// soon as their previous one completes.
+    pub fn closed(clients: usize) -> Self {
+        ServeSpec::new(SpecMode::Closed { clients })
+    }
+
+    /// An open loop: requests arrive as a Poisson stream at `rate_qps`
+    /// regardless of completions. [`ServeSpec::run`] generates one
+    /// arrival per query deterministically from the spec's seed;
+    /// [`ServeSpec::run_with_arrivals`] takes explicit times instead.
+    pub fn open(rate_qps: f64) -> Self {
+        ServeSpec::new(SpecMode::Open { rate_qps })
+    }
+
+    /// Chain replicas per bucket (`r`); open-loop modes only.
+    #[must_use]
+    pub fn replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// How reads pick among the `1 + r` copies.
+    #[must_use]
+    pub fn policy(mut self, policy: ReplicaPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Timeout and retry budget of failure detection.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Run under a fault schedule (chained failover in closed mode, the
+    /// full degraded event loop in open mode).
+    #[must_use]
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
+    /// Sample mid-run state every `every_ms` of logical time (open-loop
+    /// modes; `0` disables sampling).
+    #[must_use]
+    pub fn sampling(mut self, every_ms: f64) -> Self {
+        self.sample_every_ms = every_ms;
+        self
+    }
+
+    /// Capacity of the windowed latency ring behind each sample's tails.
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Merge overlapping queries arriving within `batch_window_ms` into
+    /// one deduplicated shared scan (open-loop healthy mode only; `0`
+    /// keeps the merge machinery off and is bit-identical to not calling
+    /// this at all).
+    #[must_use]
+    pub fn share(mut self, batch_window_ms: f64) -> Self {
+        self.batch_window_ms = Some(batch_window_ms);
+        self
+    }
+
+    /// Shed arrivals past `max_in_flight` in-flight requests (degraded
+    /// open mode only; `0` disables shedding).
+    #[must_use]
+    pub fn admission(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Seed of self-generated arrivals and retry jitter.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads used to generate the arrival stream in
+    /// [`ServeSpec::run`] (the stream is byte-identical at any count).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Checks every knob against the chosen mode and `disks`.
+    ///
+    /// # Errors
+    /// The first [`SpecError`] the spec violates, in a fixed order.
+    pub fn validate(&self, disks: usize) -> Result<(), SpecError> {
+        match self.mode {
+            SpecMode::Closed { clients } => {
+                if clients == 0 {
+                    return Err(SpecError::NoClients);
+                }
+                if self.batch_window_ms.is_some() {
+                    return Err(SpecError::SharingClosedLoop);
+                }
+                if self.replicas > 0 {
+                    return Err(SpecError::ReplicasClosedLoop);
+                }
+            }
+            SpecMode::Open { rate_qps } => {
+                if !(rate_qps.is_finite() && rate_qps > 0.0) {
+                    return Err(SpecError::BadRate { rate_qps });
+                }
+            }
+        }
+        if !(self.sample_every_ms.is_finite() && self.sample_every_ms >= 0.0) {
+            return Err(SpecError::BadSampling {
+                every_ms: self.sample_every_ms,
+            });
+        }
+        if self.window == 0 {
+            return Err(SpecError::BadWindow);
+        }
+        if let Some(w) = self.batch_window_ms {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(SpecError::BadBatchWindow { window_ms: w });
+            }
+            if self.faults.is_some() {
+                return Err(SpecError::SharingWithFaults);
+            }
+        }
+        if self.replicas as usize >= disks {
+            return Err(SpecError::TooManyReplicas {
+                replicas: self.replicas,
+                disks,
+            });
+        }
+        if self.max_in_flight > 0 && self.faults.is_none() {
+            return Err(SpecError::AdmissionWithoutFaults);
+        }
+        Ok(())
+    }
+
+    fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            sample_every_ms: self.sample_every_ms,
+            window: self.window,
+        }
+    }
+
+    /// Runs the spec, generating the open-loop arrival stream (one
+    /// arrival per query, Poisson at the spec's rate, from the spec's
+    /// seed) when the mode needs one. Sweeps should prefer
+    /// [`ServeSpec::run_with_arrivals`] and reuse one stream.
+    ///
+    /// # Errors
+    /// [`SimError::Spec`] when the spec is invalid for the engine;
+    /// [`SimError::ScheduleMismatch`] when a fault schedule covers a
+    /// different disk count.
+    pub fn run(
+        &self,
+        engine: &MultiUserEngine,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> crate::Result<ServeRun> {
+        match self.mode {
+            SpecMode::Closed { .. } => self.dispatch(engine, params, queries, &[], obs, ls),
+            SpecMode::Open { rate_qps } => {
+                self.validate(engine.num_disks()).map_err(SimError::Spec)?;
+                let arrivals = crate::events::sharded_arrivals(
+                    self.seed,
+                    queries.len(),
+                    InterArrival::Poisson { rate_qps },
+                    self.threads,
+                    obs,
+                );
+                self.dispatch(engine, params, queries, &arrivals, obs, ls)
+            }
+        }
+    }
+
+    /// Runs an open-mode spec over explicit arrival times (allocation-free
+    /// once the scratch is warm). `arrivals_ms[i]` issues query
+    /// `i % queries.len()`.
+    ///
+    /// # Errors
+    /// As [`ServeSpec::run`]; also [`SpecError::ClosedArrivals`] for
+    /// closed mode.
+    pub fn run_with_arrivals(
+        &self,
+        engine: &MultiUserEngine,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> crate::Result<ServeRun> {
+        if matches!(self.mode, SpecMode::Closed { .. }) {
+            return Err(SimError::Spec(SpecError::ClosedArrivals));
+        }
+        self.dispatch(engine, params, queries, arrivals_ms, obs, ls)
+    }
+
+    /// One-shot convenience: builds an engine and scratch for `dir` and
+    /// runs without observability. Sweeps should build a
+    /// [`MultiUserEngine`] once and call [`ServeSpec::run`] instead.
+    ///
+    /// # Errors
+    /// As [`ServeSpec::run`].
+    pub fn run_on(
+        &self,
+        dir: &GridDirectory,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+    ) -> crate::Result<ServeRun> {
+        self.run(
+            &MultiUserEngine::new(dir),
+            params,
+            queries,
+            &Obs::disabled(),
+            &mut LoopScratch::new(),
+        )
+    }
+
+    fn dispatch(
+        &self,
+        engine: &MultiUserEngine,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+        obs: &Obs,
+        ls: &mut LoopScratch,
+    ) -> crate::Result<ServeRun> {
+        self.validate(engine.num_disks()).map_err(SimError::Spec)?;
+        let serving: &ServingEngine = engine.serving();
+        match (self.mode, &self.faults, self.batch_window_ms) {
+            (SpecMode::Closed { clients }, None, _) => {
+                let report = engine.closed_loop_obs(params, queries, clients, obs, ls);
+                Ok(ServeRun::from_closed(report))
+            }
+            (SpecMode::Closed { clients }, Some(schedule), _) => {
+                let dr = engine.degraded_obs(
+                    params,
+                    queries,
+                    clients,
+                    schedule,
+                    &self.retry,
+                    obs,
+                    ls,
+                )?;
+                let mut run = ServeRun::from_closed(dr.report);
+                run.availability = Some(AvailStats {
+                    served: dr.served as u64,
+                    shed: 0,
+                    lost: dr.unavailable as u64,
+                    retries: 0,
+                    timeouts: 0,
+                    failovers: dr.failover_batches as u64,
+                    transitions: 0,
+                });
+                Ok(run)
+            }
+            (SpecMode::Open { .. }, None, None) => {
+                let sr =
+                    serving.serve_core(params, queries, arrivals_ms, &self.serve_config(), obs, ls);
+                Ok(ServeRun::from_serve(sr, None, None))
+            }
+            (SpecMode::Open { .. }, None, Some(batch_window_ms)) => {
+                let cfg = SharedServeConfig {
+                    serve: self.serve_config(),
+                    batch_window_ms,
+                    replicas: self.replicas,
+                    policy: self.policy,
+                };
+                let sr = serving.serve_shared_core(
+                    engine.directory(),
+                    params,
+                    queries,
+                    arrivals_ms,
+                    &cfg,
+                    obs,
+                    ls,
+                );
+                let sharing = ShareStats {
+                    windows: sr.windows,
+                    merged_queries: sr.merged_queries,
+                    pages_saved: sr.pages_saved,
+                };
+                Ok(ServeRun::from_serve(sr.serve, None, Some(sharing)))
+            }
+            (SpecMode::Open { .. }, Some(schedule), _) => {
+                let cfg = DegradedServeConfig {
+                    serve: self.serve_config(),
+                    max_in_flight: self.max_in_flight,
+                    retry: self.retry,
+                    seed: self.seed,
+                };
+                let dr = serving.serve_degraded_core(
+                    params,
+                    queries,
+                    arrivals_ms,
+                    schedule,
+                    self.replicas,
+                    self.policy,
+                    &cfg,
+                    obs,
+                    ls,
+                )?;
+                let avail = AvailStats {
+                    served: dr.served,
+                    shed: dr.shed,
+                    lost: dr.lost,
+                    retries: dr.retries,
+                    timeouts: dr.timeouts,
+                    failovers: dr.failovers,
+                    transitions: dr.transitions,
+                };
+                Ok(ServeRun::from_serve(dr.serve, Some(avail), None))
+            }
+        }
+    }
+}
+
+/// Availability accounting of a fault-injected run. Fields the closed
+/// degraded loop does not track (shedding, retries, timeouts,
+/// transitions) are zero there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AvailStats {
+    /// Requests that completed.
+    pub served: u64,
+    /// Requests refused at admission.
+    pub shed: u64,
+    /// Requests abandoned with no live copy.
+    pub lost: u64,
+    /// Retry events scheduled.
+    pub retries: u64,
+    /// Timed-out batch attempts paid during chain failover.
+    pub timeouts: u64,
+    /// Batches served by a non-primary copy.
+    pub failovers: u64,
+    /// Disk health transitions processed.
+    pub transitions: u64,
+}
+
+impl AvailStats {
+    /// Fraction of arrivals served, in `[0, 1]` (1.0 for an empty run).
+    pub fn availability(&self) -> f64 {
+        let offered = self.served + self.shed + self.lost;
+        if offered == 0 {
+            1.0
+        } else {
+            self.served as f64 / offered as f64
+        }
+    }
+}
+
+/// Shared-scan accounting of a batching run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShareStats {
+    /// Batch windows flushed.
+    pub windows: u64,
+    /// Queries that shared a window with at least one other query.
+    pub merged_queries: u64,
+    /// Duplicate pages eliminated by merging.
+    pub pages_saved: u64,
+}
+
+/// The unified result of one [`ServeSpec`] run: the aggregate report
+/// every mode produces, the event-loop counters of the streaming modes
+/// (zero for closed loops), and the optional availability/sharing
+/// accounting of the modes that track them.
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    /// Aggregate throughput/latency/utilization.
+    pub report: MultiUserReport,
+    /// Events processed (0 for closed loops).
+    pub events: u64,
+    /// High-water mark of in-flight requests (0 for closed loops).
+    pub peak_in_flight: usize,
+    /// Total pages fetched (0 for closed loops).
+    pub pages: u64,
+    /// Mid-run samples recorded into the scratch (0 for closed loops).
+    pub samples: usize,
+    /// Fault accounting, present when the spec had a fault schedule.
+    pub availability: Option<AvailStats>,
+    /// Sharing accounting, present when the spec had a batch window.
+    pub sharing: Option<ShareStats>,
+}
+
+impl ServeRun {
+    fn from_closed(report: MultiUserReport) -> Self {
+        ServeRun {
+            report,
+            events: 0,
+            peak_in_flight: 0,
+            pages: 0,
+            samples: 0,
+            availability: None,
+            sharing: None,
+        }
+    }
+
+    fn from_serve(
+        sr: crate::events::ServeReport,
+        availability: Option<AvailStats>,
+        sharing: Option<ShareStats>,
+    ) -> Self {
+        ServeRun {
+            report: sr.report,
+            events: sr.events,
+            peak_in_flight: sr.peak_in_flight,
+            pages: sr.pages,
+            samples: sr.samples,
+            availability,
+            sharing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_region;
+    use decluster_grid::GridSpace;
+    use decluster_methods::{DeclusteringMethod, Hcam};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (GridDirectory, Vec<BucketRegion>, Vec<f64>) {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 8).unwrap();
+        let dir = GridDirectory::build(space.clone(), 8, |b| hcam.disk_of(b.as_slice()));
+        let mut rng = StdRng::seed_from_u64(42);
+        let queries: Vec<BucketRegion> = (0..40)
+            .map(|_| random_region(&mut rng, &space, &[6, 6]).unwrap())
+            .collect();
+        let arrivals = crate::multiuser::poisson_arrivals(&mut rng, 40, 200.0);
+        (dir, queries, arrivals)
+    }
+
+    #[test]
+    fn validation_errors_render_as_one_line() {
+        let schedule = FaultSchedule::parse("fail:0@5", 8).unwrap();
+        let cases: Vec<(ServeSpec, SpecError)> = vec![
+            (ServeSpec::closed(0), SpecError::NoClients),
+            (ServeSpec::open(0.0), SpecError::BadRate { rate_qps: 0.0 }),
+            (
+                ServeSpec::open(100.0).sampling(f64::NAN),
+                SpecError::BadSampling { every_ms: f64::NAN },
+            ),
+            (ServeSpec::open(100.0).window(0), SpecError::BadWindow),
+            (
+                ServeSpec::open(100.0).share(-1.0),
+                SpecError::BadBatchWindow { window_ms: -1.0 },
+            ),
+            (
+                ServeSpec::open(100.0).replicas(8),
+                SpecError::TooManyReplicas {
+                    replicas: 8,
+                    disks: 8,
+                },
+            ),
+            (
+                ServeSpec::open(100.0).share(4.0).faults(schedule.clone()),
+                SpecError::SharingWithFaults,
+            ),
+            (
+                ServeSpec::closed(4).share(4.0),
+                SpecError::SharingClosedLoop,
+            ),
+            (
+                ServeSpec::closed(4).replicas(1),
+                SpecError::ReplicasClosedLoop,
+            ),
+            (
+                ServeSpec::open(100.0).admission(64),
+                SpecError::AdmissionWithoutFaults,
+            ),
+        ];
+        for (spec, want) in cases {
+            let got = spec.validate(8).expect_err("spec must be rejected");
+            match (&got, &want) {
+                // NaN != NaN, so compare the variant by its rendering.
+                (SpecError::BadSampling { .. }, SpecError::BadSampling { .. }) => {}
+                _ => assert_eq!(got, want),
+            }
+            assert_eq!(
+                got.to_string().lines().count(),
+                1,
+                "{got:?} must render as one line"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_spec_matches_deprecated_wrapper_bitwise() {
+        let (dir, queries, _) = fixture();
+        let params = DiskParams::default();
+        #[allow(deprecated)]
+        let old = crate::run_closed_loop(&dir, &params, &queries, 4);
+        let new = ServeSpec::closed(4)
+            .run_on(&dir, &params, &queries)
+            .unwrap();
+        assert_eq!(old.makespan_ms.to_bits(), new.report.makespan_ms.to_bits());
+        assert_eq!(
+            old.throughput_qps.to_bits(),
+            new.report.throughput_qps.to_bits()
+        );
+        assert_eq!(old.utilization.to_bits(), new.report.utilization.to_bits());
+        assert_eq!(new.events, 0);
+        assert!(new.availability.is_none() && new.sharing.is_none());
+    }
+
+    #[test]
+    fn open_spec_matches_deprecated_wrapper_bitwise() {
+        let (dir, queries, arrivals) = fixture();
+        let params = DiskParams::default();
+        let engine = MultiUserEngine::new(&dir);
+        #[allow(deprecated)]
+        let old = engine.serving().serve_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &ServeConfig::default(),
+            &Obs::disabled(),
+            &mut LoopScratch::new(),
+        );
+        let new = ServeSpec::open(200.0)
+            .run_with_arrivals(
+                &engine,
+                &params,
+                &queries,
+                &arrivals,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        assert_eq!(
+            old.report.makespan_ms.to_bits(),
+            new.report.makespan_ms.to_bits()
+        );
+        assert_eq!(old.events, new.events);
+        assert_eq!(old.pages, new.pages);
+        assert_eq!(old.peak_in_flight, new.peak_in_flight);
+    }
+
+    #[test]
+    fn degraded_spec_matches_deprecated_wrapper_bitwise() {
+        let (dir, queries, arrivals) = fixture();
+        let params = DiskParams::default();
+        let engine = MultiUserEngine::new(&dir);
+        let schedule = FaultSchedule::parse("fail:2@10", 8).unwrap();
+        let cfg = DegradedServeConfig {
+            seed: DEFAULT_SPEC_SEED,
+            ..DegradedServeConfig::default()
+        };
+        #[allow(deprecated)]
+        let old = engine
+            .serving()
+            .serve_degraded_obs(
+                &params,
+                &queries,
+                &arrivals,
+                &schedule,
+                1,
+                ReplicaPolicy::NearestFreeQueue,
+                &cfg,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        let new = ServeSpec::open(200.0)
+            .replicas(1)
+            .policy(ReplicaPolicy::NearestFreeQueue)
+            .faults(schedule)
+            .run_with_arrivals(
+                &engine,
+                &params,
+                &queries,
+                &arrivals,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        let avail = new.availability.expect("degraded run reports availability");
+        assert_eq!(
+            old.serve.report.makespan_ms.to_bits(),
+            new.report.makespan_ms.to_bits()
+        );
+        assert_eq!(old.served, avail.served);
+        assert_eq!(old.failovers, avail.failovers);
+        assert_eq!(old.transitions, avail.transitions);
+    }
+
+    #[test]
+    fn zero_batch_window_is_bit_identical_to_unshared() {
+        let (dir, queries, arrivals) = fixture();
+        let params = DiskParams::default();
+        let engine = MultiUserEngine::new(&dir);
+        let plain = ServeSpec::open(200.0)
+            .run_with_arrivals(
+                &engine,
+                &params,
+                &queries,
+                &arrivals,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        let shared = ServeSpec::open(200.0)
+            .share(0.0)
+            .run_with_arrivals(
+                &engine,
+                &params,
+                &queries,
+                &arrivals,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        assert_eq!(
+            plain.report.makespan_ms.to_bits(),
+            shared.report.makespan_ms.to_bits()
+        );
+        assert_eq!(plain.pages, shared.pages);
+        assert_eq!(plain.events, shared.events);
+        let sharing = shared.sharing.expect("share(0) still reports stats");
+        assert_eq!(sharing, ShareStats::default());
+    }
+
+    #[test]
+    fn sharing_saves_pages_on_overlapping_bursts() {
+        let space = GridSpace::new_2d(16, 16).unwrap();
+        let hcam = Hcam::new(&space, 8).unwrap();
+        let dir = GridDirectory::build(space.clone(), 8, |b| hcam.disk_of(b.as_slice()));
+        let region = decluster_grid::RangeQuery::new([0, 0], [7, 7])
+            .unwrap()
+            .region(&space)
+            .unwrap();
+        let queries = vec![region; 4];
+        // All four arrive inside one 5 ms window.
+        let arrivals = [0.0, 1.0, 2.0, 3.0];
+        let engine = MultiUserEngine::new(&dir);
+        let params = DiskParams::default();
+        let run = ServeSpec::open(200.0)
+            .share(5.0)
+            .run_with_arrivals(
+                &engine,
+                &params,
+                &queries,
+                &arrivals,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        let sharing = run.sharing.expect("sharing stats present");
+        assert_eq!(sharing.windows, 1);
+        assert_eq!(sharing.merged_queries, 4);
+        // Four identical 64-page scans dedup to one: 3 × 64 pages saved.
+        assert_eq!(sharing.pages_saved, 3 * 64);
+        assert_eq!(run.pages, 64);
+        assert_eq!(run.report.queries, 4);
+    }
+}

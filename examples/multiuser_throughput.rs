@@ -14,7 +14,7 @@
 use decluster::grid::GridDirectory;
 use decluster::prelude::*;
 use decluster::sim::workload::random_region;
-use decluster::sim::{run_closed_loop, DiskParams};
+use decluster::sim::{DiskParams, ServeSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,7 +37,10 @@ fn main() {
     for method in registry.paper_methods(&space, m) {
         let dir = GridDirectory::build(space.clone(), m, |b| method.disk_of(b.as_slice()));
         for clients in [1usize, 4, 16] {
-            let report = run_closed_loop(&dir, &params, &queries, clients);
+            let report = ServeSpec::closed(clients)
+                .run_on(&dir, &params, &queries)
+                .expect("the closed spec is valid")
+                .report;
             println!(
                 "{:<6} {:>8} {:>12.2} {:>12.1} {:>12.2} {:>9.1}%",
                 method.name(),

@@ -21,9 +21,9 @@ use decluster::obs::{JsonLinesSink, MetricsRecorder, Obs};
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, InterArrival, ShapeSweep, SizeSweep};
 use decluster::sim::{
-    sharded_arrivals, simulate_rebuild_obs, AvailSweep, DbSizePoint, DegradedServeConfig,
-    DiskParams, FaultEvent, FaultReport, FaultSchedule, LoadPoint, LoopScratch, MultiUserEngine,
-    ReplicaPolicy, Report, ReportFormat, RetryPolicy, ServeConfig, ServeSweep, TextTable,
+    sharded_arrivals, simulate_rebuild_obs, AvailSweep, DbSizePoint, DiskParams, FaultEvent,
+    FaultReport, FaultSchedule, LoadPoint, LoopScratch, MultiUserEngine, ReplicaPolicy, Report,
+    ReportFormat, RetryPolicy, ServeSpec, ServeSweep, ShareSweep, TextTable,
 };
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
@@ -129,6 +129,11 @@ const EXPERIMENTS: &[ExperimentSpec] = &[
         engine: true,
     },
     ExperimentSpec {
+        name: "share",
+        describe: "shared-scan batching: shared vs unshared serving across overlap x replicas (extension)",
+        engine: true,
+    },
+    ExperimentSpec {
         name: "all",
         describe: "everything above (bench stays opt-in)",
         engine: true,
@@ -136,7 +141,7 @@ const EXPERIMENTS: &[ExperimentSpec] = &[
     ExperimentSpec {
         name: "bench",
         describe:
-            "timing snapshots: RT kernel, multi-user engine, serve core (writes BENCH_*.json)",
+            "timing snapshots: RT kernel, multi-user engine, serve core, shared scans (writes BENCH_*.json)",
         engine: false,
     },
 ];
@@ -146,7 +151,7 @@ fn usage() -> String {
     let mut u = format!(
         "usage: repro <{}>\n       [--csv DIR] [--quick] [--threads N] [--faults SPEC] \
          [--method NAME]\n       [--replicas R] [--policy NAME] [--clients N] [--rate R]\n       \
-         [--metrics FILE|-] [--trace FILE|-]\n\n\
+         [--share F] [--batch-window MS] [--metrics FILE|-] [--trace FILE|-]\n\n\
          experiments:\n",
         names.join("|")
     );
@@ -169,6 +174,13 @@ fn usage() -> String {
          experiments.\n",
         ReplicaPolicy::ACCEPTED_NAMES
     ));
+    u.push_str(
+        "\n--share F redirects fraction F (0..=1) of the serve stream to one hot\n\
+         scan and --batch-window MS merges arrivals within MS ms into one shared\n\
+         scan; either routes `serve` through the shared-scan path (spread policy,\n\
+         healthy mode only, so not combinable with --faults). The `share`\n\
+         experiment sweeps overlap x replicas and honors --share as one overlap.\n",
+    );
     u
 }
 
@@ -193,6 +205,13 @@ struct Opts {
     /// Replica-selection policy; `None` = failover for `faults`/`serve`,
     /// all four policies for `avail`.
     policy: Option<ReplicaPolicy>,
+    /// Hot-scan overlap fraction: this share of the `serve` stream is
+    /// redirected to one hot scan and the sweep runs through the
+    /// shared-scan path; `None` = unshared (0 for the `share` sweep).
+    share: Option<f64>,
+    /// Shared-scan batch window in ms for the `serve` sweep; `None` =
+    /// unshared (0 ms once `--share` routes it through the shared path).
+    batch_window: Option<f64>,
     /// Destination for the deterministic metrics snapshot (`-` = stdout).
     metrics: Option<String>,
     /// Destination for JSON-lines trace events (`-` = stdout).
@@ -216,6 +235,8 @@ fn main() -> ExitCode {
         method: None,
         replicas: None,
         policy: None,
+        share: None,
+        batch_window: None,
         metrics: None,
         trace: None,
         obs: Obs::disabled(),
@@ -301,6 +322,20 @@ fn main() -> ExitCode {
                         "--policy needs a replica policy ({})",
                         ReplicaPolicy::ACCEPTED_NAMES
                     );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--share" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(f) if (0.0..=1.0).contains(&f) => opts.share = Some(f),
+                _ => {
+                    eprintln!("--share needs an overlap fraction in 0..=1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch-window" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(w) if w.is_finite() && w >= 0.0 => opts.batch_window = Some(w),
+                _ => {
+                    eprintln!("--batch-window needs a non-negative window in ms");
                     return ExitCode::FAILURE;
                 }
             },
@@ -454,6 +489,16 @@ fn main() -> ExitCode {
         }
         ran_any = true;
     }
+    if run("share") {
+        match share_sweep_exp(&opts) {
+            Ok(sweep) => emit_share(&opts, &sweep),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ran_any = true;
+    }
     // The timing snapshots are opt-in only: their numbers are wall-clock
     // and so not deterministic, unlike everything `all` emits.
     if experiment == "bench" {
@@ -461,6 +506,7 @@ fn main() -> ExitCode {
         println!("{}", bench_multiuser(&opts));
         println!("{}", bench_serve(&opts));
         println!("{}", bench_avail(&opts));
+        println!("{}", bench_share(&opts));
         ran_any = true;
     }
     if !ran_any {
@@ -1033,7 +1079,28 @@ fn serve_sweep(opts: &Opts) -> Result<ServeSweep, String> {
     // Without --faults this is the exact historical serve path; with a
     // schedule the same sweep runs through the fault-injected engine
     // (chaos mode), serving across failures with `--replicas`/`--policy`.
+    // --share/--batch-window route through the shared-scan path instead
+    // (healthy mode only — the shared loop has no fault machinery).
+    let sharing = opts.share.is_some() || opts.batch_window.is_some();
+    if sharing && opts.faults.is_some() {
+        return Err(
+            "--share/--batch-window cannot combine with --faults (the shared loop is \
+             healthy-mode only)"
+                .into(),
+        );
+    }
     let sweep = match &opts.faults {
+        None if sharing => exp
+            .run_serve_sweep_shared(
+                &DiskParams::default(),
+                clients,
+                &rates,
+                MULTIUSER_AREA,
+                opts.share.unwrap_or(0.0),
+                opts.batch_window.unwrap_or(0.0),
+                opts.replicas.unwrap_or(1),
+            )
+            .map_err(|e| e.to_string())?,
         None => exp
             .run_serve_sweep(&DiskParams::default(), clients, &rates, MULTIUSER_AREA)
             .map_err(|e| e.to_string())?,
@@ -1088,6 +1155,69 @@ fn emit_serve(opts: &Opts, sweep: &ServeSweep) {
             std::fs::write(format!("{dir}/serve_samples.csv"), samples)
         }) {
             eprintln!("could not write serve CSVs: {e}");
+        }
+    }
+}
+
+/// Overlap fractions the `share` sweep walks: from disjoint scans to a
+/// fully shared hot scan.
+const SHARE_OVERLAPS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+const SHARE_OVERLAPS_QUICK: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// Share (extension): shared-scan batching versus plain serving across
+/// hot-scan overlap x replica depth, at 1.5x the base rate with an
+/// 8-arrival batch window (override with `--batch-window`). `--share F`
+/// pins the sweep to one overlap, `--replicas R` to one chain depth.
+fn share_sweep_exp(opts: &Opts) -> Result<ShareSweep, String> {
+    let clients = opts
+        .clients
+        .unwrap_or(if opts.quick { 2_000 } else { 20_000 });
+    let rate = 1.5 * opts.rate;
+    let window_ms = opts.batch_window.unwrap_or(8.0 * 1000.0 / rate);
+    let pinned;
+    let overlaps: &[f64] = match opts.share {
+        Some(f) => {
+            pinned = [f];
+            &pinned
+        }
+        None if opts.quick => &SHARE_OVERLAPS_QUICK,
+        None => &SHARE_OVERLAPS,
+    };
+    let replicas: Vec<u32> = match opts.replicas {
+        Some(r) => vec![r],
+        None => vec![0, 1, 2],
+    };
+    let mut exp = experiment_2d(opts);
+    if let Some(kind) = opts.method {
+        exp = exp.with_method_filter(kind.name());
+    }
+    let sweep = exp
+        .run_share_sweep(
+            &DiskParams::default(),
+            clients,
+            rate,
+            MULTIUSER_AREA,
+            overlaps,
+            &replicas,
+            window_ms,
+        )
+        .map_err(|e| e.to_string())?;
+    if sweep.points.is_empty() {
+        let name = opts.method.map(MethodKind::name).unwrap_or("?");
+        return Err(format!(
+            "method {name} is not part of the share sweep (paper methods only)"
+        ));
+    }
+    Ok(sweep)
+}
+
+fn emit_share(opts: &Opts, sweep: &ShareSweep) {
+    println!("{}", sweep.render(ReportFormat::Table));
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(format!("{dir}/share.csv"), sweep.render(ReportFormat::Csv))
+        }) {
+            eprintln!("could not write share.csv: {e}");
         }
     }
 }
@@ -1511,14 +1641,10 @@ fn bench_serve(opts: &Opts) -> String {
         let (mut events, mut peak, mut knee) = (0u64, 0usize, 0.0f64);
         let t = Instant::now();
         for (ri, &rate) in rates.iter().enumerate() {
-            let rep = engine.serving().serve_obs(
-                &params,
-                &regions,
-                &arrivals[ri],
-                &ServeConfig::default(),
-                &obs,
-                &mut ls,
-            );
+            let rep = ServeSpec::open(rate)
+                .seed(SEED)
+                .run_with_arrivals(&engine, &params, &regions, &arrivals[ri], &obs, &mut ls)
+                .expect("the bench serve spec is valid");
             events += rep.events;
             peak = peak.max(rep.peak_in_flight);
             if rep.report.throughput_qps >= 0.95 * rate {
@@ -1620,12 +1746,6 @@ fn bench_avail(opts: &Opts) -> String {
         .fail_stop(3, span / 3)
         .and_then(|s| s.transient(7, span / 2, 3 * span / 4))
         .expect("the bench schedule is valid");
-    let cfg = DegradedServeConfig {
-        serve: ServeConfig::default(),
-        max_in_flight: 0,
-        retry: RetryPolicy::default(),
-        seed: SEED,
-    };
 
     let mut out = format!(
         "Avail bench: {ARRIVALS} arrivals at {:.1} q/s through HCAM, r={REPLICAS}, \
@@ -1645,36 +1765,38 @@ fn bench_avail(opts: &Opts) -> String {
     let (mut events_total, mut secs_total) = (0u64, 0.0f64);
     for policy in ReplicaPolicy::ALL {
         let t = Instant::now();
-        let rep = engine
-            .serving()
-            .serve_degraded_obs(
-                &params, &regions, &arrivals, &schedule, REPLICAS, policy, &cfg, &obs, &mut ls,
-            )
+        let rep = ServeSpec::open(opts.rate)
+            .replicas(REPLICAS)
+            .policy(policy)
+            .faults(schedule.clone())
+            .seed(SEED)
+            .run_with_arrivals(&engine, &params, &regions, &arrivals, &obs, &mut ls)
             .expect("the bench schedule covers the default array");
         let secs = t.elapsed().as_secs_f64();
-        let events_per_sec = rep.serve.events as f64 / secs.max(1e-9);
-        let avail = rep.availability();
+        let stats = rep.availability.expect("degraded run reports availability");
+        let events_per_sec = rep.events as f64 / secs.max(1e-9);
+        let avail = stats.availability();
         out.push_str(&format!(
             "{:<10} {:>10} {:>10.3} {:>13.0} {:>8.2} {:>9}\n",
             policy.name(),
-            rep.serve.events,
+            rep.events,
             secs * 1e3,
             events_per_sec,
             avail * 100.0,
-            rep.failovers
+            stats.failovers
         ));
         per_policy.push(format!(
             "    {{\"policy\": \"{}\", \"events\": {}, \"loop_ms\": {:.3}, \
              \"events_per_sec\": {events_per_sec:.0}, \"availability\": {avail:.6}, \
              \"failovers\": {}, \"retries\": {}, \"lost\": {}}}",
             policy.name(),
-            rep.serve.events,
+            rep.events,
             secs * 1e3,
-            rep.failovers,
-            rep.retries,
-            rep.lost
+            stats.failovers,
+            stats.retries,
+            stats.lost
         ));
-        events_total += rep.serve.events;
+        events_total += rep.events;
         secs_total += secs;
     }
     let total_eps = events_total as f64 / secs_total.max(1e-9);
@@ -1705,6 +1827,172 @@ fn bench_avail(opts: &Opts) -> String {
             format!("{dir}/BENCH_avail.json")
         }
         None => "BENCH_avail.json".into(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
+    }
+    out
+}
+
+/// Timing snapshot of the shared-scan serving path: a high-overlap
+/// stream (90% of arrivals hit one hot scan) runs through HCAM's engine
+/// twice per rate — once plain, once with an 8-arrival batch window
+/// spread over r = 1 chain replicas — over the same rate ladder as the
+/// serve bench. Reports shared vs unshared events/sec, the effective
+/// saturation knee each side holds, and the achieved throughput of both
+/// at the top of the ladder; writes `BENCH_share.json` beside the other
+/// snapshots.
+fn bench_share(opts: &Opts) -> String {
+    use decluster::sim::workload::{random_region, rect_sides_for_area};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    const ARRIVALS: usize = 20_000;
+    const OVERLAP_PCT: usize = 90;
+    const REPLICAS: u32 = 1;
+    let space = grid_2d();
+    let params = DiskParams::default();
+    let method = Hcam::new(&space, DISKS).expect("HCAM applies to the default grid");
+    let dir = GridDirectory::build(space.clone(), DISKS, |b| method.disk_of(b.as_slice()));
+    let engine = MultiUserEngine::new(&dir);
+    let sides = rect_sides_for_area(MULTIUSER_AREA, space.dims()).expect("area fits");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let base: Vec<BucketRegion> = (0..1000)
+        .map(|_| random_region(&mut rng, &space, &sides).expect("placement fits"))
+        .collect();
+    // Redirect OVERLAP_PCT% of the stream onto one hot scan so merged
+    // windows actually dedup pages (a uniform stream shares almost none).
+    let hot = base[0].clone();
+    let regions: Vec<BucketRegion> = base
+        .iter()
+        .enumerate()
+        .map(|(i, region)| {
+            if i % 100 < OVERLAP_PCT {
+                hot.clone()
+            } else {
+                region.clone()
+            }
+        })
+        .collect();
+    let obs = Obs::disabled();
+    let rates: Vec<f64> = SERVE_FRACTIONS.iter().map(|f| f * opts.rate).collect();
+    let arrivals: Vec<Vec<f64>> = rates
+        .iter()
+        .map(|&r| {
+            sharded_arrivals(
+                SEED,
+                ARRIVALS,
+                InterArrival::Poisson { rate_qps: r },
+                opts.threads,
+                &obs,
+            )
+        })
+        .collect();
+
+    let mut out = format!(
+        "Share bench: {ARRIVALS} arrivals per rate through HCAM, {OVERLAP_PCT}% hot overlap, \
+         r={REPLICAS} spread ({GRID_SIDE}x{GRID_SIDE}, M={DISKS})\n\
+         {:<9} {:>12} {:>12} {:>14} {:>14} {:>12}\n",
+        "rate q/s", "unshared q/s", "shared q/s", "unshared ev/s", "shared ev/s", "pages saved"
+    );
+    let mut per_rate = Vec::new();
+    let mut ls = LoopScratch::new();
+    let (mut un_events, mut un_secs, mut un_knee) = (0u64, 0.0f64, 0.0f64);
+    let (mut sh_events, mut sh_secs, mut sh_knee) = (0u64, 0.0f64, 0.0f64);
+    let (mut saved_total, mut last_un_qps, mut last_sh_qps) = (0u64, 0.0f64, 0.0f64);
+    for (ri, &rate) in rates.iter().enumerate() {
+        let t = Instant::now();
+        let plain = ServeSpec::open(rate)
+            .seed(SEED)
+            .run_with_arrivals(&engine, &params, &regions, &arrivals[ri], &obs, &mut ls)
+            .expect("the bench share spec is valid");
+        let plain_secs = t.elapsed().as_secs_f64();
+        let window_ms = 8.0 * 1000.0 / rate;
+        let t = Instant::now();
+        let shared = ServeSpec::open(rate)
+            .seed(SEED)
+            .share(window_ms)
+            .replicas(REPLICAS)
+            .policy(ReplicaPolicy::Spread)
+            .run_with_arrivals(&engine, &params, &regions, &arrivals[ri], &obs, &mut ls)
+            .expect("the bench share spec is valid");
+        let shared_secs = t.elapsed().as_secs_f64();
+        let sharing = shared.sharing.expect("shared run reports sharing stats");
+        let (un_eps, sh_eps) = (
+            plain.events as f64 / plain_secs.max(1e-9),
+            shared.events as f64 / shared_secs.max(1e-9),
+        );
+        if plain.report.throughput_qps >= 0.95 * rate {
+            un_knee = un_knee.max(rate);
+        }
+        if shared.report.throughput_qps >= 0.95 * rate {
+            sh_knee = sh_knee.max(rate);
+        }
+        out.push_str(&format!(
+            "{:<9.2} {:>12.3} {:>12.3} {:>14.0} {:>14.0} {:>12}\n",
+            rate,
+            plain.report.throughput_qps,
+            shared.report.throughput_qps,
+            un_eps,
+            sh_eps,
+            sharing.pages_saved
+        ));
+        per_rate.push(format!(
+            "    {{\"rate_qps\": {rate:.3}, \"unshared_qps\": {:.6}, \"shared_qps\": {:.6}, \
+             \"unshared_events_per_sec\": {un_eps:.0}, \"shared_events_per_sec\": {sh_eps:.0}, \
+             \"windows\": {}, \"merged_queries\": {}, \"pages_saved\": {}}}",
+            plain.report.throughput_qps,
+            shared.report.throughput_qps,
+            sharing.windows,
+            sharing.merged_queries,
+            sharing.pages_saved
+        ));
+        un_events += plain.events;
+        un_secs += plain_secs;
+        sh_events += shared.events;
+        sh_secs += shared_secs;
+        saved_total += sharing.pages_saved;
+        last_un_qps = plain.report.throughput_qps;
+        last_sh_qps = shared.report.throughput_qps;
+    }
+    let (un_eps, sh_eps) = (
+        un_events as f64 / un_secs.max(1e-9),
+        sh_events as f64 / sh_secs.max(1e-9),
+    );
+    out.push_str(&format!(
+        "knee: unshared {un_knee:.2} q/s, shared {sh_knee:.2} q/s; at the top rate shared \
+         serves {last_sh_qps:.3} q/s vs {last_un_qps:.3} unshared ({saved_total} pages saved)\n"
+    ));
+
+    let json = format!(
+        "{{\n  \"name\": \"shared_scan_serve\",\n  \"grid\": [{GRID_SIDE}, {GRID_SIDE}],\n  \
+         \"disks\": {DISKS},\n  \"arrivals_per_rate\": {ARRIVALS},\n  \
+         \"hot_overlap\": 0.{OVERLAP_PCT},\n  \"replicas\": {REPLICAS},\n  \
+         \"base_rate_qps\": {:.3},\n  \
+         \"unshared\": {{\"events\": {un_events}, \"loop_ms\": {:.3}, \
+         \"events_per_sec\": {un_eps:.0}, \"knee_qps\": {un_knee:.3}, \
+         \"qps_at_peak\": {last_un_qps:.6}}},\n  \
+         \"shared\": {{\"events\": {sh_events}, \"loop_ms\": {:.3}, \
+         \"events_per_sec\": {sh_eps:.0}, \"knee_qps\": {sh_knee:.3}, \
+         \"qps_at_peak\": {last_sh_qps:.6}, \"pages_saved\": {saved_total}}},\n  \
+         \"shared_over_unshared_at_peak\": {:.6},\n  \
+         \"per_rate\": [\n{}\n  ]\n}}\n",
+        opts.rate,
+        un_secs * 1e3,
+        sh_secs * 1e3,
+        last_sh_qps / last_un_qps.max(1e-9),
+        per_rate.join(",\n")
+    );
+    let path = match opts.csv_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                out.push_str(&format!("\ncould not create {dir}: {e}\n"));
+            }
+            format!("{dir}/BENCH_share.json")
+        }
+        None => "BENCH_share.json".into(),
     };
     match std::fs::write(&path, json) {
         Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),

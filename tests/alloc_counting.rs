@@ -1,7 +1,8 @@
 //! Proof of the multi-user engine's allocation-free hot path: a counting
 //! global allocator observes zero heap allocations across an entire
-//! closed-loop, open-loop, and event-driven serve run (mid-run sampling
-//! included) once the caller-owned `LoopScratch` has been warmed. Lives at the workspace root because the library crates
+//! closed-loop, open-loop, event-driven serve, degraded, and shared-scan
+//! run (mid-run sampling included) once the caller-owned `LoopScratch`
+//! has been warmed. Lives at the workspace root because the library crates
 //! `forbid(unsafe_code)` and a `GlobalAlloc` impl is necessarily unsafe.
 //!
 //! The file holds exactly one test: the counter is process-wide, and a
@@ -10,8 +11,7 @@
 use decluster::grid::{BucketCoord, BucketRegion, GridDirectory, GridSpace};
 use decluster::prelude::*;
 use decluster::sim::{
-    DegradedServeConfig, DiskParams, FaultSchedule, LoopScratch, MultiUserEngine, ReplicaPolicy,
-    RetryPolicy, ServeConfig,
+    DiskParams, FaultSchedule, LoopScratch, MultiUserEngine, ReplicaPolicy, RetryPolicy, ServeSpec,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -79,79 +79,70 @@ fn warmed_loops_make_zero_heap_allocations() {
     let queries = query_stream(&space, 256);
     let arrivals: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 3.0).collect();
 
-    // Mid-run sampling on: the serve loop must stay allocation-free even
-    // while taking latency-tail snapshots.
-    let cfg = ServeConfig {
-        sample_every_ms: 64.0,
-        ..ServeConfig::default()
-    };
-
     // Degraded serve: a transient outage mid-stream (so retries, timeouts,
     // and losses all fire), a tight admission bound (so sheds fire), and a
-    // burst arrival pattern that keeps the queue pressed against it. The
-    // schedule and config are built before the measured section.
+    // burst arrival pattern that keeps the queue pressed against it. Every
+    // spec is built before the measured section (a spec holding a fault
+    // schedule owns a copy of its event list).
     let schedule = FaultSchedule::healthy(m)
         .transient(3, 20, 90)
         .expect("disk 3 exists on the test array");
     let burst: Vec<f64> = (0..queries.len()).map(|i| i as f64 * 0.5).collect();
-    let degraded_cfg = DegradedServeConfig {
-        serve: cfg,
-        max_in_flight: 4,
-        retry: RetryPolicy {
+    // Mid-run sampling on throughout: the loops must stay allocation-free
+    // even while taking latency-tail snapshots.
+    let serve_spec = ServeSpec::open(200.0).sampling(64.0);
+    let degraded_spec = ServeSpec::open(200.0)
+        .sampling(64.0)
+        .replicas(1)
+        .policy(ReplicaPolicy::PrimaryOnly)
+        .retry(RetryPolicy {
             timeout_units: 2,
             max_retries: 3,
-        },
-        seed: 9,
-    };
+        })
+        .admission(4)
+        .faults(schedule)
+        .seed(9);
+    // Shared scans over the burst: a 24 ms batch window spans dozens of
+    // arrivals, so windows flush, queries merge, and duplicate pages drop
+    // while the loop runs out of the three warmed SharedScan arenas.
+    let shared_spec = ServeSpec::open(200.0)
+        .sampling(64.0)
+        .share(24.0)
+        .replicas(1)
+        .policy(ReplicaPolicy::Spread);
 
     // Warm-up: grows every LoopScratch buffer to the working-set size and
     // compiles the kernel's per-shape corner plans.
     let mut ls = LoopScratch::new();
     let warm_closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
     let warm_open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut ls);
-    let warm_serve = engine
-        .serving()
-        .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
-    let warm_degraded = engine
-        .serving()
-        .serve_degraded_obs(
-            &params,
-            &queries,
-            &burst,
-            &schedule,
-            1,
-            ReplicaPolicy::PrimaryOnly,
-            &degraded_cfg,
-            &obs,
-            &mut ls,
-        )
+    let warm_serve = serve_spec
+        .run_with_arrivals(&engine, &params, &queries, &arrivals, &obs, &mut ls)
+        .expect("the serve spec is valid");
+    let warm_degraded = degraded_spec
+        .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
         .expect("schedule matches the test array");
+    let warm_shared = shared_spec
+        .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
+        .expect("the shared spec is valid");
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
     let open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut ls);
-    let serve = engine
-        .serving()
-        .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
-    let degraded = engine
-        .serving()
-        .serve_degraded_obs(
-            &params,
-            &queries,
-            &burst,
-            &schedule,
-            1,
-            ReplicaPolicy::PrimaryOnly,
-            &degraded_cfg,
-            &obs,
-            &mut ls,
-        )
+    let serve = serve_spec
+        .run_with_arrivals(&engine, &params, &queries, &arrivals, &obs, &mut ls)
+        .expect("the serve spec is valid");
+    let degraded = degraded_spec
+        .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
         .expect("schedule matches the test array");
+    let shared = shared_spec
+        .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
+        .expect("the shared spec is valid");
     let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
     assert_eq!(
         during, 0,
-        "warmed closed+open+serve+degraded loops must not touch the heap ({during} allocations observed)"
+        "warmed closed+open+serve+degraded+shared loops must not touch the heap ({during} allocations observed)"
     );
     // The measured runs are the warm-up runs, bit for bit.
     assert_eq!(
@@ -176,20 +167,38 @@ fn warmed_loops_make_zero_heap_allocations() {
     assert!(serve.samples > 0, "sampling was live in the measured run");
     // The degraded run exercised the availability paths while staying off
     // the heap, and repeats bit for bit.
-    assert!(degraded.retries > 0, "the transient outage forced retries");
-    assert!(degraded.shed > 0, "the admission bound forced sheds");
-    assert!(degraded.transitions > 0, "fault events reached the heap");
+    let avail = degraded
+        .availability
+        .expect("degraded runs report availability");
+    let warm_avail = warm_degraded
+        .availability
+        .expect("degraded runs report availability");
+    assert!(avail.retries > 0, "the transient outage forced retries");
+    assert!(avail.shed > 0, "the admission bound forced sheds");
+    assert!(avail.transitions > 0, "fault events reached the heap");
     assert_eq!(
-        degraded.serve.report.makespan_ms.to_bits(),
-        warm_degraded.serve.report.makespan_ms.to_bits()
+        degraded.report.makespan_ms.to_bits(),
+        warm_degraded.report.makespan_ms.to_bits()
     );
     assert_eq!(
-        degraded.serve.report.latency.mean.to_bits(),
-        warm_degraded.serve.report.latency.mean.to_bits()
+        degraded.report.latency.mean.to_bits(),
+        warm_degraded.report.latency.mean.to_bits()
     );
-    assert_eq!(degraded.served, warm_degraded.served);
-    assert_eq!(degraded.shed, warm_degraded.shed);
-    assert_eq!(degraded.lost, warm_degraded.lost);
-    assert_eq!(degraded.retries, warm_degraded.retries);
-    assert_eq!(degraded.failovers, warm_degraded.failovers);
+    assert_eq!(avail, warm_avail);
+    // The shared run merged windows and dropped duplicate pages while
+    // staying off the heap, and repeats bit for bit.
+    let sharing = shared.sharing.expect("shared runs report sharing stats");
+    let warm_sharing = warm_shared
+        .sharing
+        .expect("shared runs report sharing stats");
+    assert!(sharing.windows > 0, "the batch window flushed");
+    assert!(sharing.merged_queries > 0, "the burst merged queries");
+    assert!(sharing.pages_saved > 0, "merging deduplicated pages");
+    assert_eq!(
+        shared.report.makespan_ms.to_bits(),
+        warm_shared.report.makespan_ms.to_bits()
+    );
+    assert_eq!(shared.events, warm_shared.events);
+    assert_eq!(shared.pages, warm_shared.pages);
+    assert_eq!(sharing, warm_sharing);
 }

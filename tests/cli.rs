@@ -362,3 +362,122 @@ fn repro_faults_is_thread_count_invariant() {
     assert!(ok1 && ok8);
     assert_eq!(t1, t8, "fault tables differ between --threads 1 and 8");
 }
+
+#[test]
+fn repro_rejects_bad_share_fractions() {
+    for f in ["-0.1", "1.5", "NaN", "banana"] {
+        let (ok, _, stderr) = run(REPRO, &["serve", "--quick", "--share", f]);
+        assert!(!ok, "share {f:?} should be rejected");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "one-line error for {f:?}, got:\n{stderr}"
+        );
+        assert!(stderr.contains("--share"), "{stderr}");
+    }
+}
+
+#[test]
+fn repro_rejects_bad_batch_windows() {
+    for w in ["-1", "inf", "NaN", "banana"] {
+        let (ok, _, stderr) = run(REPRO, &["serve", "--quick", "--batch-window", w]);
+        assert!(!ok, "window {w:?} should be rejected");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "one-line error for {w:?}, got:\n{stderr}"
+        );
+        assert!(stderr.contains("--batch-window"), "{stderr}");
+    }
+}
+
+#[test]
+fn repro_rejects_sharing_combined_with_faults() {
+    let (ok, _, stderr) = run(
+        REPRO,
+        &[
+            "serve",
+            "--quick",
+            "--share",
+            "0.5",
+            "--faults",
+            "fail:3@50",
+        ],
+    );
+    assert!(!ok);
+    assert_eq!(stderr.lines().count(), 1, "one-line error, got:\n{stderr}");
+    assert!(stderr.contains("--faults"), "{stderr}");
+}
+
+#[test]
+fn repro_serve_with_zero_share_knobs_matches_plain_serve() {
+    let (ok0, shared0, _) = run(
+        REPRO,
+        &[
+            "serve",
+            "--quick",
+            "--clients",
+            "800",
+            "--share",
+            "0",
+            "--batch-window",
+            "0",
+        ],
+    );
+    let (ok, plain, _) = run(REPRO, &["serve", "--quick", "--clients", "800"]);
+    assert!(ok0 && ok);
+    assert_eq!(
+        shared0, plain,
+        "--share 0 --batch-window 0 must be byte-identical to the unshared serve"
+    );
+}
+
+#[test]
+fn repro_serve_shared_path_reports_curves() {
+    let (ok, stdout, _) = run(
+        REPRO,
+        &[
+            "serve",
+            "--quick",
+            "--clients",
+            "600",
+            "--share",
+            "0.8",
+            "--batch-window",
+            "50",
+        ],
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Shared serve sweep"), "{stdout}");
+    for name in ["DM", "FX", "ECC", "HCAM"] {
+        assert!(
+            stdout.contains(&format!("knee {name}")),
+            "missing knee line for {name} in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn repro_share_reports_speedups() {
+    let (ok, stdout, _) = run(
+        REPRO,
+        &["share", "--quick", "--clients", "500", "--rate", "60"],
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Share sweep"), "{stdout}");
+    assert!(stdout.contains("best speedup"), "{stdout}");
+    assert!(stdout.contains("pages saved"), "{stdout}");
+    // A method outside the sweep is a one-line error, not an empty table.
+    let (ok, _, stderr) = run(REPRO, &["share", "--quick", "--method", "RND"]);
+    assert!(!ok);
+    assert!(stderr.contains("not part of the share sweep"), "{stderr}");
+}
+
+#[test]
+fn repro_share_is_thread_count_invariant() {
+    let args = ["share", "--quick", "--clients", "500", "--rate", "60"];
+    let (ok1, t1, _) = run(REPRO, &[&args[..], &["--threads", "1"][..]].concat());
+    let (ok8, t8, _) = run(REPRO, &[&args[..], &["--threads", "8"][..]].concat());
+    assert!(ok1 && ok8);
+    assert_eq!(t1, t8, "share tables differ between --threads 1 and 8");
+}

@@ -9,8 +9,7 @@ use decluster::grid::{BucketRegion, GridDirectory, GridSpace, IoPlan};
 use decluster::prelude::*;
 use decluster::sim::workload::random_region;
 use decluster::sim::{
-    load_sweep, poisson_arrivals, run_closed_loop, run_open_loop, DiskParams, LoopScratch,
-    MultiUserEngine,
+    load_sweep, poisson_arrivals, DiskParams, LoopScratch, MultiUserEngine, ServeSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,7 +81,10 @@ fn closed_loop_is_bit_identical_to_materialized_plan_loop() {
     let queries = query_stream(&space, 300);
     for clients in [1, 3, 8] {
         let (ref_makespan, ref_latencies) = reference_closed_loop(&dir, &params, &queries, clients);
-        let report = run_closed_loop(&dir, &params, &queries, clients);
+        let report = ServeSpec::closed(clients)
+            .run_on(&dir, &params, &queries)
+            .unwrap()
+            .report;
         assert_eq!(
             report.makespan_ms.to_bits(),
             ref_makespan.to_bits(),
@@ -129,7 +131,14 @@ fn open_loop_is_bit_identical_to_materialized_plan_loop() {
         sum += completion - issue_at;
         makespan = makespan.max(completion);
     }
-    let report = run_open_loop(&dir, &params, &queries, &arrivals);
+    let engine = MultiUserEngine::new(&dir);
+    let report = engine.open_loop_obs(
+        &params,
+        &queries,
+        &arrivals,
+        &decluster::obs::Obs::disabled(),
+        &mut LoopScratch::new(),
+    );
     assert_eq!(report.makespan_ms.to_bits(), makespan.to_bits());
     let ref_mean = sum / queries.len() as f64;
     assert_eq!(report.latency.mean.to_bits(), ref_mean.to_bits());
@@ -178,10 +187,17 @@ fn load_sweep_matches_individual_open_loop_runs() {
     let rates = [20.0, 150.0];
     let points = load_sweep(&[("HCAM", &dir)], &params, &queries, &rates, 9);
     assert_eq!(points.len(), 2);
+    let engine = MultiUserEngine::new(&dir);
     for (point, &rate) in points.iter().zip(&rates) {
         let mut rng = StdRng::seed_from_u64(9);
         let arrivals = poisson_arrivals(&mut rng, queries.len(), rate);
-        let solo = run_open_loop(&dir, &params, &queries, &arrivals);
+        let solo = engine.open_loop_obs(
+            &params,
+            &queries,
+            &arrivals,
+            &decluster::obs::Obs::disabled(),
+            &mut LoopScratch::new(),
+        );
         assert_eq!(point.methods.len(), 1);
         assert_eq!(point.methods[0].name, "HCAM");
         assert_eq!(
@@ -198,11 +214,11 @@ fn load_sweep_matches_individual_open_loop_runs() {
 
 /// The pre-rewire degraded loop, reimplemented over materialized plans:
 /// same chained failover, same timeout charging, same floats. Pins the
-/// event-heap rewrite of `run_closed_loop_degraded`.
+/// event-heap rewrite of the closed degraded loop
+/// (`ServeSpec::closed(..).faults(..)`).
 #[test]
 fn degraded_loop_is_bit_identical_to_materialized_plan_loop() {
     use decluster::sim::faults::{DiskState, FaultSchedule, RetryPolicy};
-    use decluster::sim::run_closed_loop_degraded;
     let (space, dir) = directory();
     let params = DiskParams::default();
     let queries = query_stream(&space, 250);
@@ -271,31 +287,35 @@ fn degraded_loop_is_bit_identical_to_materialized_plan_loop() {
         clients_ready[slot] = completion;
     }
 
-    let report =
-        run_closed_loop_degraded(&dir, &params, &queries, clients, &schedule, &policy).unwrap();
+    let run = ServeSpec::closed(clients)
+        .retry(policy)
+        .faults(schedule)
+        .run_on(&dir, &params, &queries)
+        .unwrap();
+    let avail = run.availability.expect("degraded runs report availability");
     assert!(
         unavailable > 0 && failover > 0,
         "schedule exercises both paths"
     );
-    assert_eq!(report.served, latencies.len());
-    assert_eq!(report.unavailable, unavailable);
-    assert_eq!(report.failover_batches, failover);
+    assert_eq!(avail.served, latencies.len() as u64);
+    assert_eq!(avail.lost, unavailable as u64);
+    assert_eq!(avail.failovers, failover as u64);
     assert_eq!(
-        report.report.makespan_ms.to_bits(),
+        run.report.makespan_ms.to_bits(),
         makespan.to_bits(),
         "degraded makespan differs from the materialized-plan loop"
     );
     let ref_mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
-    assert_eq!(report.report.latency.mean.to_bits(), ref_mean.to_bits());
+    assert_eq!(run.report.latency.mean.to_bits(), ref_mean.to_bits());
 }
 
 /// The serve loop over an arrival stream is the open loop, expressed as
 /// events: identical service model at issue time, so the aggregate
-/// report must match `run_open_loop` bit for bit.
+/// report must match the engine's open loop bit for bit.
 #[test]
 fn serve_report_is_bit_identical_to_open_loop() {
+    use decluster::sim::sharded_arrivals;
     use decluster::sim::workload::InterArrival;
-    use decluster::sim::{sharded_arrivals, ServeConfig};
     let (space, dir) = directory();
     let params = DiskParams::default();
     let queries = query_stream(&space, 240);
@@ -310,14 +330,11 @@ fn serve_report_is_bit_identical_to_open_loop() {
     let engine = MultiUserEngine::new(&dir);
     let mut ls = LoopScratch::new();
     // Sampling on: mid-run snapshots must not perturb the report.
-    let cfg = ServeConfig {
-        sample_every_ms: 500.0,
-        ..ServeConfig::default()
-    };
-    let serve = engine
-        .serving()
-        .serve_obs(&params, &queries, &arrivals, &cfg, &obs, &mut ls);
-    let open = run_open_loop(&dir, &params, &queries, &arrivals);
+    let serve = ServeSpec::open(60.0)
+        .sampling(500.0)
+        .run_with_arrivals(&engine, &params, &queries, &arrivals, &obs, &mut ls)
+        .unwrap();
+    let open = engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut LoopScratch::new());
     assert_eq!(
         serve.report.makespan_ms.to_bits(),
         open.makespan_ms.to_bits()

@@ -7,7 +7,7 @@ use decluster::grid::{
 };
 use decluster::prelude::*;
 use decluster::sim::workload::WorkloadMix;
-use decluster::sim::{poisson_arrivals, run_closed_loop, run_open_loop, DiskParams};
+use decluster::sim::{poisson_arrivals, DiskParams, LoopScratch, MultiUserEngine, ServeSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,9 +111,11 @@ fn closed_loop_ranking_tracks_bucket_metric() {
     let mut results: Vec<(String, f64, u64)> = Vec::new();
     for method in registry.paper_methods(&space, m) {
         let dir = GridDirectory::build(space.clone(), m, |b| method.disk_of(b.as_slice()));
-        let report = run_closed_loop(&dir, &params, &queries, 1);
+        let run = ServeSpec::closed(1)
+            .run_on(&dir, &params, &queries)
+            .expect("the closed spec is valid");
         let buckets: u64 = queries.iter().map(|q| response_time(&method, q)).sum();
-        results.push((method.name().to_owned(), report.throughput_qps, buckets));
+        results.push((method.name().to_owned(), run.report.throughput_qps, buckets));
     }
     // Latency-bound: the best bucket-metric method has the best
     // throughput, the worst the worst.
@@ -145,11 +147,14 @@ fn open_loop_latency_is_monotone_in_load() {
         .map(|_| decluster::sim::workload::random_region(&mut rng, &space, &[2, 2]).expect("fits"))
         .collect();
 
+    let engine = MultiUserEngine::new(&dir);
+    let obs = decluster::obs::Obs::disabled();
     let mut last = 0.0f64;
     for rate in [1.0, 10.0, 100.0] {
         let mut arr_rng = StdRng::seed_from_u64(99);
         let arrivals = poisson_arrivals(&mut arr_rng, queries.len(), rate);
-        let report = run_open_loop(&dir, &params, &queries, &arrivals);
+        let report =
+            engine.open_loop_obs(&params, &queries, &arrivals, &obs, &mut LoopScratch::new());
         assert!(
             report.latency.mean + 1e-9 >= last,
             "latency fell from {last} at rate {rate}"
