@@ -74,16 +74,6 @@ impl RandomAlloc {
             space: space.clone(),
         })
     }
-
-    /// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
-    /// number generators", OOPSLA 2014).
-    #[inline]
-    fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
 }
 
 impl DeclusteringMethod for RandomAlloc {
@@ -98,7 +88,7 @@ impl DeclusteringMethod for RandomAlloc {
     #[inline]
     fn disk_of(&self, bucket: &[u32]) -> DiskId {
         let id = self.space.linearize_unchecked(bucket);
-        DiskId((Self::mix(self.seed ^ id) % u64::from(self.m)) as u32)
+        DiskId((crate::splitmix64(self.seed ^ id) % u64::from(self.m)) as u32)
     }
 }
 

@@ -50,6 +50,7 @@ mod ecc_method;
 mod error;
 mod fx;
 mod gdm;
+mod hash;
 mod hcam;
 mod optimize;
 mod persist;
@@ -69,10 +70,12 @@ pub use ecc_method::EccDecluster;
 pub use error::MethodError;
 pub use fx::FieldwiseXor;
 pub use gdm::GeneralizedDiskModulo;
+pub use hash::{splitmix64, splitmix64_unit};
 pub use hcam::Hcam;
 pub use optimize::{optimize_allocation, LocalSearchConfig, OptimizedAllocation};
+pub use persist::KernelCache;
 pub use plan::{PlanCounts, ShareAttribution, SharedScan};
-pub use prefix::{CornerPlan, DiskCounts, Scratch};
+pub use prefix::{kernel_build_count, CornerPlan, DiskCounts, PlanCache, Scratch};
 pub use registry::{MethodKind, MethodRegistry};
 pub use replication::ChainedDecluster;
 pub use sfc::{CurveAlloc, CurveKind};

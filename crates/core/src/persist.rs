@@ -16,8 +16,34 @@
 //! load as `"TABLE"` (the map itself is what matters). Version 1 images
 //! (no checksum trailer) still load; version 2 images are rejected with
 //! [`MethodError::CorruptImage`] when any byte has been disturbed.
+//!
+//! # Persist v3: compiled-kernel images
+//!
+//! Version 3 extends persistence past the allocation to the *compiled*
+//! [`DiskCounts`] kernel, so a restarted server skips the build phase
+//! entirely (see [`KernelCache`]). A kernel-cache file is its own
+//! container with a distinct magic:
+//!
+//! ```text
+//! "DCLK" | version u16 = 3 | entry_count u32 |
+//! per entry:
+//!   name_len u8 | name bytes | identity u32 |
+//!   k u16 | dims[k] u32 | strides[k] u64 | M u32 |
+//!   lane u8 (16 | 32) | table cells (prod(dims) · M lanes, LE) |
+//! crc32 u32       (IEEE CRC-32 of every preceding byte)
+//! ```
+//!
+//! `identity` is a CRC-32 fingerprint of the source allocation (dims,
+//! disk count, disk table), checked at [`KernelCache::lookup`] time
+//! against the *live* allocation: a stale image — same method name,
+//! different grid or table — misses and the caller recompiles, it never
+//! misreads. The strides are stored and revalidated against
+//! recomputation from the dims, and the lane tag keeps the image
+//! width-aware, so a loaded kernel is bit-identical to a rebuilt one.
+//! AllocationMap images remain at version 2 and load unchanged.
 
-use crate::{AllocationMap, DeclusteringMethod, MethodError, MethodKind, Result};
+use crate::prefix::CountLane;
+use crate::{AllocationMap, DeclusteringMethod, DiskCounts, MethodError, MethodKind, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use decluster_grid::GridSpace;
 
@@ -26,12 +52,20 @@ const MAGIC: &[u8; 4] = b"DCLA";
 const V1: u16 = 1;
 /// Current format version: CRC-32 trailer over the whole image.
 const VERSION: u16 = 2;
+/// Magic of a kernel-cache container (persist v3).
+const KERNEL_MAGIC: &[u8; 4] = b"DCLK";
+/// Kernel-image format version.
+const KERNEL_VERSION: u16 = 3;
 
-/// IEEE CRC-32 (the polynomial used by zip/zlib/Ethernet), table-driven.
-/// Implemented here so persistence stays dependency-free.
+/// IEEE CRC-32 (the polynomial used by zip/zlib/Ethernet), slicing-by-16
+/// table-driven: sixteen bytes are folded per step, so checksumming a
+/// multi-hundred-KiB kernel image costs a fraction of the byte-at-a-time
+/// loop it replaces (the value is unchanged — pinned by the known-vector
+/// test and every persisted-image test). Implemented here so
+/// persistence stays dependency-free.
 fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
+    static TABLES: [[u32; 256]; 16] = {
+        let mut tables = [[0u32; 256]; 16];
         let mut i = 0;
         while i < 256 {
             let mut c = i as u32;
@@ -44,14 +78,42 @@ fn crc32(data: &[u8]) -> u32 {
                 };
                 j += 1;
             }
-            table[i] = c;
+            tables[0][i] = c;
             i += 1;
         }
-        table
+        let mut t = 1;
+        while t < 16 {
+            let mut i = 0;
+            while i < 256 {
+                let prev = tables[t - 1][i];
+                tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+                i += 1;
+            }
+            t += 1;
+        }
+        tables
     };
+    #[inline(always)]
+    fn fold4(word: u32, tables: &[[u32; 256]; 16], base: usize) -> u32 {
+        tables[base + 3][(word & 0xFF) as usize]
+            ^ tables[base + 2][((word >> 8) & 0xFF) as usize]
+            ^ tables[base + 1][((word >> 16) & 0xFF) as usize]
+            ^ tables[base][(word >> 24) as usize]
+    }
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        let w0 = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let w1 = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        let w2 = u32::from_le_bytes([c[8], c[9], c[10], c[11]]);
+        let w3 = u32::from_le_bytes([c[12], c[13], c[14], c[15]]);
+        crc = fold4(w0, &TABLES, 12)
+            ^ fold4(w1, &TABLES, 8)
+            ^ fold4(w2, &TABLES, 4)
+            ^ fold4(w3, &TABLES, 0);
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -170,6 +232,310 @@ impl AllocationMap {
             Ok(kind) => map.renamed(kind.name()),
             Err(_) => map,
         })
+    }
+}
+
+/// CRC-32 fingerprint of an allocation's identity — dims, disk count,
+/// and the full disk table — used to revalidate a persisted kernel
+/// image against the live grid before adopting it.
+fn alloc_identity(map: &AllocationMap) -> u32 {
+    let space = map.space();
+    let table = map.table();
+    let mut buf = BytesMut::with_capacity(2 + 4 * space.k() + 4 + 4 * table.len());
+    buf.put_u16_le(space.k() as u16);
+    for &d in space.dims() {
+        buf.put_u32_le(d);
+    }
+    buf.put_u32_le(map.num_disks());
+    // Bulk-encode the table: identity runs on every warm-start lookup,
+    // so a put call per cell would dominate the revalidation cost.
+    let mut raw = vec![0u8; table.len() * 4];
+    for (dst, &d) in raw.chunks_exact_mut(4).zip(table) {
+        dst.copy_from_slice(&d.to_le_bytes());
+    }
+    buf.put_slice(&raw);
+    crc32(&buf)
+}
+
+/// Row strides implied by `dims` (row-major, innermost stride 1) — the
+/// same derivation as the kernel build, recomputed at load time to
+/// revalidate the persisted stride metadata.
+fn derive_strides(dims: &[u32]) -> Vec<usize> {
+    let k = dims.len();
+    let mut strides = vec![1usize; k];
+    for i in (0..k.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1] as usize;
+    }
+    strides
+}
+
+/// One persisted kernel: the method name it was compiled for, the
+/// source allocation's identity fingerprint, and the compiled table.
+#[derive(Clone, Debug)]
+struct KernelEntry {
+    name: String,
+    identity: u32,
+    kernel: DiskCounts,
+}
+
+/// A persistable set of compiled [`DiskCounts`] kernels, keyed by
+/// method name — the warm-start artifact (persist v3).
+///
+/// A cold process builds its kernels, [`insert`](KernelCache::insert)s
+/// them, and writes [`to_bytes`](KernelCache::to_bytes) to disk; a
+/// restarted process loads the file and resolves each method through
+/// [`lookup`](KernelCache::lookup), reaching its first scored query
+/// with zero build-phase work. Lookups revalidate the stored identity
+/// fingerprint against the live allocation, so an image that no longer
+/// matches the grid (changed dims, disk count, or table) simply misses
+/// and the caller recompiles — stale state can never be misread.
+///
+/// Serialization is canonical: entries are written sorted by name, so
+/// two caches holding the same kernels produce byte-identical files
+/// regardless of insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct KernelCache {
+    entries: Vec<KernelEntry>,
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kernels held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the cache holds a kernel under `name` (regardless of
+    /// whether it would revalidate against any particular allocation).
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Stores `kernel` under `name` (the caller's stable method key —
+    /// engine allocations all materialize as `"TABLE"`, so the key is
+    /// explicit), replacing any previous entry with that name. The
+    /// allocation's identity fingerprint is captured alongside, so
+    /// later lookups only match the exact same grid and table.
+    pub fn insert(&mut self, name: &str, map: &AllocationMap, kernel: &DiskCounts) {
+        let entry = KernelEntry {
+            identity: alloc_identity(map),
+            kernel: kernel.clone(),
+            name: name.to_owned(),
+        };
+        match self.entries.iter_mut().find(|e| e.name == entry.name) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// The kernel stored under `name`, if it revalidates against
+    /// `map`'s live identity (same dims, disk count, and disk table). A
+    /// stale or absent image returns `None` — the caller rebuilds, it
+    /// never misreads.
+    pub fn lookup(&self, name: &str, map: &AllocationMap) -> Option<DiskCounts> {
+        let entry = self.entries.iter().find(|e| e.name == name)?;
+        if entry.kernel.dims() != map.space().dims()
+            || entry.kernel.num_disks() != map.num_disks()
+            || entry.identity != alloc_identity(map)
+        {
+            return None;
+        }
+        Some(entry.kernel.clone())
+    }
+
+    /// Serializes the cache to the v3 container format (canonical
+    /// name-sorted entry order, CRC-32 trailer).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut order: Vec<&KernelEntry> = self.entries.iter().collect();
+        order.sort_by(|a, b| a.name.cmp(&b.name));
+        let cap = 14
+            + self
+                .entries
+                .iter()
+                .map(|e| {
+                    1 + e.name.len()
+                        + 4
+                        + 2
+                        + 12 * e.kernel.dims().len()
+                        + 5
+                        + e.kernel.table_bytes()
+                })
+                .sum::<usize>();
+        let mut buf = BytesMut::with_capacity(cap);
+        buf.put_slice(KERNEL_MAGIC);
+        buf.put_u16_le(KERNEL_VERSION);
+        buf.put_u32_le(order.len() as u32);
+        for entry in order {
+            let name_bytes = &entry.name.as_bytes()[..entry.name.len().min(255)];
+            buf.put_u8(name_bytes.len() as u8);
+            buf.put_slice(name_bytes);
+            buf.put_u32_le(entry.identity);
+            let kernel = &entry.kernel;
+            buf.put_u16_le(kernel.dims().len() as u16);
+            for &d in kernel.dims() {
+                buf.put_u32_le(d);
+            }
+            for &s in kernel.strides() {
+                buf.put_u64_le(s as u64);
+            }
+            buf.put_u32_le(kernel.num_disks());
+            // Bulk-encode the table lane: staging through a byte vector
+            // and appending once is far cheaper than a put call per cell
+            // for the multi-hundred-KiB tables a serving grid produces.
+            match kernel.lane() {
+                CountLane::U16(t) => {
+                    buf.put_u8(16);
+                    let mut raw = vec![0u8; t.len() * 2];
+                    for (dst, &v) in raw.chunks_exact_mut(2).zip(t) {
+                        dst.copy_from_slice(&v.to_le_bytes());
+                    }
+                    buf.put_slice(&raw);
+                }
+                CountLane::U32(t) => {
+                    buf.put_u8(32);
+                    let mut raw = vec![0u8; t.len() * 4];
+                    for (dst, &v) in raw.chunks_exact_mut(4).zip(t) {
+                        dst.copy_from_slice(&v.to_le_bytes());
+                    }
+                    buf.put_slice(&raw);
+                }
+            }
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.freeze()
+    }
+
+    /// Deserializes a cache written by [`KernelCache::to_bytes`].
+    ///
+    /// # Errors
+    /// [`MethodError::CorruptImage`] with a descriptive reason for any
+    /// malformed input: bad magic, unsupported version, truncation,
+    /// trailing garbage, a failing checksum, inconsistent stride
+    /// metadata, or an impossible shape. Never panics on arbitrary
+    /// bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let corrupt = |reason: &str| MethodError::CorruptImage {
+            reason: reason.to_owned(),
+        };
+        if data.len() < 4 + 2 + 4 + 4 {
+            return Err(corrupt("truncated kernel-cache header"));
+        }
+        if &data[..4] != KERNEL_MAGIC {
+            return Err(corrupt("bad kernel-cache magic"));
+        }
+        let version = u16::from_le_bytes([data[4], data[5]]);
+        if version != KERNEL_VERSION {
+            return Err(corrupt("unsupported kernel-cache version"));
+        }
+        let (payload, trailer) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+        if crc32(payload) != stored {
+            return Err(corrupt("kernel-cache checksum mismatch"));
+        }
+        let mut buf = &payload[6..];
+        let count = buf.get_u32_le() as usize;
+        let mut entries: Vec<KernelEntry> = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            if buf.remaining() < 1 {
+                return Err(corrupt("truncated entry name"));
+            }
+            let name_len = buf.get_u8() as usize;
+            if buf.remaining() < name_len + 4 + 2 {
+                return Err(corrupt("truncated entry header"));
+            }
+            let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+                .map_err(|_| corrupt("entry name not UTF-8"))?;
+            if entries.iter().any(|e| e.name == name) {
+                return Err(corrupt("duplicate entry name"));
+            }
+            let identity = buf.get_u32_le();
+            let k = buf.get_u16_le() as usize;
+            if k == 0 || k > 24 {
+                return Err(corrupt("impossible dimension count"));
+            }
+            if buf.remaining() < 4 * k + 8 * k + 4 + 1 {
+                return Err(corrupt("truncated entry shape"));
+            }
+            let dims: Vec<u32> = (0..k).map(|_| buf.get_u32_le()).collect();
+            let strides: Vec<u64> = (0..k).map(|_| buf.get_u64_le()).collect();
+            let m = buf.get_u32_le();
+            let lane = buf.get_u8();
+            if m == 0 {
+                return Err(corrupt("zero disks"));
+            }
+            let total = dims
+                .iter()
+                .try_fold(1u64, |acc, &d| {
+                    if d == 0 {
+                        None
+                    } else {
+                        acc.checked_mul(u64::from(d))
+                    }
+                })
+                .filter(|&t| t <= u64::from(u32::MAX))
+                .ok_or_else(|| corrupt("impossible grid shape"))?;
+            let expect_strides = derive_strides(&dims);
+            if strides
+                .iter()
+                .zip(&expect_strides)
+                .any(|(&got, &want)| got != want as u64)
+            {
+                return Err(corrupt("stride metadata inconsistent with dims"));
+            }
+            let cells = usize::try_from(total)
+                .ok()
+                .and_then(|t| t.checked_mul(m as usize))
+                .ok_or_else(|| corrupt("table too large"))?;
+            let lane_bytes = match lane {
+                16 => 2usize,
+                32 => 4usize,
+                _ => return Err(corrupt("unknown lane width")),
+            };
+            let need = cells
+                .checked_mul(lane_bytes)
+                .ok_or_else(|| corrupt("table too large"))?;
+            if buf.remaining() < need {
+                return Err(corrupt("truncated kernel table"));
+            }
+            // Bulk-decode the table lane straight off the input slice:
+            // one bounds check for the whole table instead of a Buf call
+            // per cell keeps warm-start image loads cheaper than a cold
+            // kernel build.
+            let (raw, rest) = buf.split_at(need);
+            buf = rest;
+            let table = if lane == 16 {
+                CountLane::U16(
+                    raw.chunks_exact(2)
+                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .collect(),
+                )
+            } else {
+                CountLane::U32(
+                    raw.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                )
+            };
+            entries.push(KernelEntry {
+                name,
+                identity,
+                kernel: DiskCounts::from_parts(m, dims, expect_strides, table),
+            });
+        }
+        if buf.remaining() > 0 {
+            return Err(corrupt("oversized kernel-cache image"));
+        }
+        Ok(KernelCache { entries })
     }
 }
 
@@ -329,6 +695,147 @@ mod tests {
         assert_eq!(loaded.name(), "TABLE");
         assert_eq!(loaded, map);
     }
+
+    /// Pins the v2 allocation image byte for byte (and its v1 downgrade),
+    /// so the kernel-image work cannot drift the legacy formats: any
+    /// image written before persist v3 must keep loading unchanged.
+    #[test]
+    fn v1_and_v2_allocation_layouts_are_pinned() {
+        let space = GridSpace::new_2d(2, 2).unwrap();
+        let map = AllocationMap::from_table(&space, 2, vec![0, 1, 1, 0]).unwrap();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"DCLA");
+        expected.extend_from_slice(&2u16.to_le_bytes()); // version
+        expected.extend_from_slice(&2u16.to_le_bytes()); // k
+        expected.extend_from_slice(&2u32.to_le_bytes()); // dims[0]
+        expected.extend_from_slice(&2u32.to_le_bytes()); // dims[1]
+        expected.extend_from_slice(&2u32.to_le_bytes()); // m
+        expected.push(5);
+        expected.extend_from_slice(b"TABLE");
+        expected.extend_from_slice(&[0, 1, 1, 0]); // u8 cells (m <= 256)
+        expected.extend_from_slice(&crc32(&expected).to_le_bytes());
+        assert_eq!(map.to_bytes().as_ref(), expected.as_slice());
+        assert_eq!(AllocationMap::from_bytes(&expected).unwrap(), map);
+        assert_eq!(AllocationMap::from_bytes(&as_v1(&expected)).unwrap(), map);
+    }
+
+    fn table_map(space: &GridSpace, m: u32, salt: u32) -> AllocationMap {
+        let total = space.num_buckets() as usize;
+        let table = (0..total as u32).map(|i| (i + salt) % m).collect();
+        AllocationMap::from_table(space, m, table).unwrap()
+    }
+
+    #[test]
+    fn kernel_cache_roundtrips_and_revalidates() {
+        let map = sample_map();
+        let kernel = map.disk_counts().unwrap();
+        let mut cache = KernelCache::new();
+        assert!(cache.is_empty());
+        cache.insert("HCAM", &map, &kernel);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains("HCAM"));
+
+        let loaded = KernelCache::from_bytes(&cache.to_bytes()).unwrap();
+        let warm = loaded.lookup("HCAM", &map).expect("identity matches");
+        assert_eq!(warm.lane_bits(), kernel.lane_bits());
+        assert_eq!(warm.num_disks(), kernel.num_disks());
+        // The loaded kernel answers queries identically to the built one.
+        let space = map.space();
+        for (lo, hi) in [([0u32, 0u32], [7u32, 7u32]), ([1, 2], [5, 6])] {
+            let r = decluster_grid::BucketRegion::new(space, lo.into(), hi.into()).unwrap();
+            assert_eq!(warm.access_histogram(&r), kernel.access_histogram(&r));
+        }
+    }
+
+    #[test]
+    fn kernel_cache_is_lane_width_aware() {
+        let map = sample_map();
+        let narrow = map.disk_counts().unwrap();
+        let wide = DiskCounts::build_wide(&map).unwrap();
+        assert_eq!(narrow.lane_bits(), 16);
+        assert_eq!(wide.lane_bits(), 32);
+        for kernel in [&narrow, &wide] {
+            let mut cache = KernelCache::new();
+            cache.insert("HCAM", &map, kernel);
+            let warm = KernelCache::from_bytes(&cache.to_bytes())
+                .unwrap()
+                .lookup("HCAM", &map)
+                .unwrap();
+            assert_eq!(warm.lane_bits(), kernel.lane_bits());
+        }
+    }
+
+    #[test]
+    fn stale_images_miss_instead_of_misreading() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let map = table_map(&space, 4, 0);
+        let mut cache = KernelCache::new();
+        cache.insert("TABLE", &map, &map.disk_counts().unwrap());
+
+        // Same name ("TABLE"), different disk table: identity mismatch.
+        let retabled = table_map(&space, 4, 1);
+        assert!(cache.lookup("TABLE", &retabled).is_none());
+        // Same name, different grid: shape mismatch.
+        let regridded = table_map(&GridSpace::new_2d(4, 16).unwrap(), 4, 0);
+        assert!(cache.lookup("TABLE", &regridded).is_none());
+        // Same name, different disk count.
+        let redisked = table_map(&space, 8, 0);
+        assert!(cache.lookup("TABLE", &redisked).is_none());
+        // The exact allocation still hits.
+        assert!(cache.lookup("TABLE", &map).is_some());
+        // A method name never inserted misses.
+        let hcam = sample_map();
+        assert!(cache.lookup("HCAM", &hcam).is_none());
+    }
+
+    #[test]
+    fn cache_bytes_are_canonical_regardless_of_insertion_order() {
+        let space = GridSpace::new_2d(8, 8).unwrap();
+        let hcam = sample_map();
+        let dm_map = {
+            let dm = DiskModulo::new(&space, 5).unwrap();
+            AllocationMap::from_method(&space, &dm).unwrap()
+        };
+        let (hk, dk) = (hcam.disk_counts().unwrap(), dm_map.disk_counts().unwrap());
+        let mut a = KernelCache::new();
+        a.insert("HCAM", &hcam, &hk);
+        a.insert("DM", &dm_map, &dk);
+        let mut b = KernelCache::new();
+        b.insert("DM", &dm_map, &dk);
+        b.insert("HCAM", &hcam, &hk);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        // Re-inserting under the same name replaces, not duplicates.
+        a.insert("HCAM", &hcam, &hk);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn empty_cache_roundtrips() {
+        let cache = KernelCache::new();
+        let loaded = KernelCache::from_bytes(&cache.to_bytes()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn kernel_cache_rejects_structural_corruption() {
+        let map = sample_map();
+        let mut cache = KernelCache::new();
+        cache.insert("TABLE", &map, &map.disk_counts().unwrap());
+        let good = cache.to_bytes();
+
+        // Bad magic (an allocation image is not a kernel cache).
+        assert!(matches!(
+            KernelCache::from_bytes(&map.to_bytes()).unwrap_err(),
+            MethodError::CorruptImage { .. }
+        ));
+        // Trailing garbage.
+        let mut bad = good.to_vec();
+        bad.extend_from_slice(&[0; 3]);
+        assert!(KernelCache::from_bytes(&bad).is_err());
+        // Empty input.
+        assert!(KernelCache::from_bytes(&[]).is_err());
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +895,79 @@ mod proptests {
             let bytes = map.to_bytes();
             let cut = cut % bytes.len();
             prop_assert!(AllocationMap::from_bytes(&bytes[..cut]).is_err());
+        }
+
+        /// Persist v3 round-trip: any kernel image survives
+        /// serialize → deserialize with its lookup revalidating and the
+        /// re-serialized bytes identical (a canonical fixpoint).
+        #[test]
+        fn kernel_images_roundtrip(
+            d0 in 1u32..8, d1 in 1u32..8, m in 1u32..12, seed in any::<u64>()
+        ) {
+            let space = GridSpace::new_2d(d0, d1).unwrap();
+            let total = (d0 * d1) as usize;
+            let table: Vec<u32> = (0..total)
+                .map(|i| ((seed.wrapping_mul(i as u64 + 1) >> 7) % u64::from(m)) as u32)
+                .collect();
+            let map = AllocationMap::from_table(&space, m, table).unwrap();
+            let kernel = map.disk_counts().unwrap();
+            let mut cache = KernelCache::new();
+            cache.insert("HCAM", &map, &kernel);
+            let bytes = cache.to_bytes();
+            let loaded = KernelCache::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(loaded.to_bytes(), bytes);
+            let warm = loaded.lookup("HCAM", &map).expect("identity must revalidate");
+            prop_assert_eq!(warm.lane_bits(), kernel.lane_bits());
+            // Full-grid histogram equality pins the whole table.
+            let r = decluster_grid::BucketRegion::new(
+                &space, [0, 0].into(), [d0 - 1, d1 - 1].into()
+            ).unwrap();
+            prop_assert_eq!(warm.access_histogram(&r), kernel.access_histogram(&r));
+        }
+
+        /// Flipping any single byte of a kernel-cache image is always a
+        /// typed `CorruptImage` error — the v2 methodology applied to v3:
+        /// CRC-32 detects every single-byte error, and v3 has no
+        /// checksum-free legacy escape hatch at all.
+        #[test]
+        fn kernel_image_single_byte_corruption_is_rejected(
+            flip in 0usize..1000, xor in 1u8..255
+        ) {
+            let space = GridSpace::new_2d(4, 4).unwrap();
+            let map = AllocationMap::from_table(
+                &space, 3, (0..16).map(|i| i % 3).collect()
+            ).unwrap();
+            let mut cache = KernelCache::new();
+            cache.insert("TABLE", &map, &map.disk_counts().unwrap());
+            let mut bytes = cache.to_bytes().to_vec();
+            let idx = flip % bytes.len();
+            bytes[idx] ^= xor;
+            prop_assert!(matches!(
+                KernelCache::from_bytes(&bytes).unwrap_err(),
+                MethodError::CorruptImage { .. }
+            ));
+        }
+
+        /// Truncating a kernel-cache image at any point is rejected.
+        #[test]
+        fn kernel_image_truncation_is_rejected(cut in 0usize..1000) {
+            let space = GridSpace::new_2d(4, 4).unwrap();
+            let map = AllocationMap::from_table(
+                &space, 3, (0..16).map(|i| i % 3).collect()
+            ).unwrap();
+            let mut cache = KernelCache::new();
+            cache.insert("TABLE", &map, &map.disk_counts().unwrap());
+            let bytes = cache.to_bytes();
+            let cut = cut % bytes.len();
+            prop_assert!(KernelCache::from_bytes(&bytes[..cut]).is_err());
+        }
+
+        /// Random byte strings never panic the kernel-cache parser.
+        #[test]
+        fn fuzzed_kernel_cache_bytes_never_panic(
+            data in proptest::collection::vec(any::<u8>(), 0..300)
+        ) {
+            let _ = KernelCache::from_bytes(&data);
         }
     }
 }

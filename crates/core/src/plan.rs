@@ -12,7 +12,7 @@
 //! region touches on disk `d` equals the number of the region's buckets
 //! allocated to `d` — the access histogram of the directory's disk table.
 
-use crate::{AllocationMap, DeclusteringMethod, DiskCounts, Scratch};
+use crate::{AllocationMap, DeclusteringMethod, DiskCounts, PlanCache, Scratch};
 use decluster_grid::{BucketRegion, GridDirectory};
 
 /// Per-disk page-count oracle for a directory: a cached prefix-sum kernel
@@ -41,6 +41,43 @@ impl PlanCounts {
             kernel,
             fallback: map,
         }
+    }
+
+    /// Warm-start constructor: snapshots `dir`'s disk table but adopts
+    /// `kernel` (typically loaded from a persisted
+    /// [`crate::KernelCache`] image) instead of rebuilding it, so no
+    /// grid walk happens. With `kernel == None` this is the naive
+    /// fallback, as when the table is too large to build.
+    ///
+    /// # Panics
+    /// Panics if `kernel`'s disk count differs from `dir`'s — a loaded
+    /// image must already have been revalidated against the directory.
+    pub fn with_kernel(dir: &GridDirectory, kernel: Option<DiskCounts>) -> Self {
+        let map = AllocationMap::from_table(dir.space(), dir.num_disks(), dir.disk_table())
+            .expect("directory disk table is grid-shaped by construction");
+        if let Some(k) = &kernel {
+            assert_eq!(
+                k.num_disks(),
+                map.num_disks(),
+                "adopted kernel disk count does not match the directory"
+            );
+        }
+        PlanCounts {
+            kernel,
+            fallback: map,
+        }
+    }
+
+    /// The compiled kernel, when the grid admitted one (for exporting
+    /// into a [`crate::KernelCache`]).
+    pub fn kernel(&self) -> Option<&DiskCounts> {
+        self.kernel.as_ref()
+    }
+
+    /// The materialized allocation backing this oracle (the kernel
+    /// image's revalidation identity is computed from it).
+    pub fn allocation(&self) -> &AllocationMap {
+        &self.fallback
     }
 
     /// Disks (`M`).
@@ -74,6 +111,24 @@ impl PlanCounts {
     ) -> u64 {
         match &self.kernel {
             Some(k) => k.access_histogram_with(region, scratch, out),
+            None => self.fallback.access_histogram_into(region, out),
+        }
+        out.iter().sum()
+    }
+
+    /// As [`PlanCounts::counts_into`], resolving the corner plan through
+    /// a cross-query [`PlanCache`] instead of the scratch's single slot:
+    /// the serving-loop entry point, where arrivals interleave shapes
+    /// that a one-slot cache would thrash on.
+    pub fn counts_into_cached(
+        &self,
+        region: &BucketRegion,
+        plans: &mut PlanCache,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) -> u64 {
+        match &self.kernel {
+            Some(k) => k.access_histogram_cached(region, plans, scratch, out),
             None => self.fallback.access_histogram_into(region, out),
         }
         out.iter().sum()

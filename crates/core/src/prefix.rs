@@ -1,6 +1,22 @@
 use crate::{AllocationMap, DeclusteringMethod, MethodError, Result};
 use decluster_grid::BucketRegion;
 use smallvec::SmallVec;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of kernel table builds (every [`DiskCounts`]
+/// construction that walks the grid, including a cache miss recompiling
+/// a stale image). See [`kernel_build_count`].
+static KERNEL_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of kernel table builds this process has performed.
+///
+/// The warm-start contract is pinned against this counter: a process
+/// that loads every kernel from a persisted [`crate::KernelCache`] must
+/// reach its first scored query with a delta of zero. The counter is a
+/// relaxed atomic — it orders nothing, it only counts.
+pub fn kernel_build_count() -> u64 {
+    KERNEL_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Batched response-time kernel: one k-D inclusive prefix-sum table per
 /// disk over a materialized allocation.
@@ -54,8 +70,11 @@ pub struct DiskCounts {
 /// count fits (bucket total ≤ `u16::MAX`), `u32` otherwise. Both paths
 /// run the same monomorphized build and scoring code and produce
 /// identical counts; only the bytes moved differ.
+///
+/// Crate-visible so `persist` can serialize the table at its native
+/// width (the v3 kernel image is lane-width-aware).
 #[derive(Clone, Debug)]
-enum CountLane {
+pub(crate) enum CountLane {
     U16(Vec<u16>),
     U32(Vec<u32>),
 }
@@ -331,6 +350,140 @@ impl Scratch {
     }
 }
 
+/// One slot of a [`PlanCache`]: a compiled plan plus its last-touched
+/// tick for LRU eviction.
+#[derive(Clone, Debug)]
+struct PlanSlot {
+    plan: CornerPlan,
+    last_used: u64,
+}
+
+/// A bounded, deterministic cross-query cache of [`CornerPlan`]s, keyed
+/// by query shape (per-dimension extents) + grid strides.
+///
+/// [`Scratch`] caches exactly one plan — enough for sweeps that score
+/// placements of one shape back to back, but a serving loop interleaves
+/// arrivals of *different* shapes, recompiling on every alternation.
+/// The serving loops hold one `PlanCache` per loop-scratch instead, so
+/// a working set of up to `capacity` live shapes compiles each shape
+/// once per run.
+///
+/// Determinism: lookups scan slots in insertion order, eviction removes
+/// the least-recently-used slot (ticks are unique, so there are no
+/// ties), and the loops [`clear`](PlanCache::clear) the cache at run
+/// start — hit/miss counts are a pure function of the run's query
+/// sequence, never of which worker previously used the buffers. That
+/// makes the `kernel.shape_cache_*` observability counters
+/// thread-count-deterministic, like the `Scratch` plan counters.
+///
+/// Allocation: slots live in a `Vec` that `clear` keeps at capacity,
+/// and a compiled plan's `SmallVec`s are inline for `k ≤ 4`, so a
+/// warmed serving loop takes hits and compiles misses without touching
+/// the heap.
+#[derive(Clone, Debug)]
+pub struct PlanCache {
+    slots: Vec<PlanSlot>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Default shape working-set bound: comfortably above any paper
+    /// workload mix (the serving mixes use at most a dozen shapes)
+    /// while keeping the linear probe short.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` compiled shapes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a plan cache needs at least one slot");
+        PlanCache {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Compiled shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no compiled shapes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Drops every cached plan (keeping slot capacity) and resets the
+    /// LRU clock. Serving loops call this at run start so cache
+    /// behavior depends only on the run's own query sequence.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.tick = 0;
+    }
+
+    /// Returns `(hits, misses)` accumulated since the last drain and
+    /// resets both to zero.
+    pub fn drain_stats(&mut self) -> (u64, u64) {
+        let stats = (self.hits, self.misses);
+        self.hits = 0;
+        self.misses = 0;
+        stats
+    }
+
+    /// The plan for `region`'s shape on `kernel`, compiling (and
+    /// inserting, evicting the least-recently-used slot when full) on
+    /// miss.
+    fn ensure(&mut self, kernel: &DiskCounts, region: &BucketRegion) -> &CornerPlan {
+        self.tick += 1;
+        if let Some(i) = self
+            .slots
+            .iter()
+            .position(|s| s.plan.matches(kernel, region))
+        {
+            self.hits += 1;
+            self.slots[i].last_used = self.tick;
+            return &self.slots[i].plan;
+        }
+        self.misses += 1;
+        let slot = PlanSlot {
+            plan: kernel.compile_plan(region),
+            last_used: self.tick,
+        };
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        } else {
+            let (lru, _) = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .expect("capacity > 0 means the full cache is non-empty");
+            self.slots[lru] = slot;
+            lru
+        };
+        &self.slots[i].plan
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl DiskCounts {
     /// Builds the per-disk prefix-sum table for `map`, choosing the
     /// narrow (`u16`) count lane whenever the bucket total fits.
@@ -391,12 +544,47 @@ impl DiskCounts {
         } else {
             CountLane::U32(build_table(map, lanes, &dims, &strides))
         };
+        KERNEL_BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(DiskCounts {
             m,
             dims,
             strides,
             table,
         })
+    }
+
+    /// Reassembles a kernel from its persisted parts (the v3 image
+    /// loader in `persist`). The caller guarantees the parts are
+    /// mutually consistent — `persist` revalidates dims, strides, and
+    /// cell count before calling. Does not count as a build: nothing
+    /// walks the grid.
+    pub(crate) fn from_parts(
+        m: u32,
+        dims: Vec<u32>,
+        strides: Vec<usize>,
+        table: CountLane,
+    ) -> Self {
+        DiskCounts {
+            m,
+            dims,
+            strides,
+            table,
+        }
+    }
+
+    /// Partitions per dimension (cached from the grid at build time).
+    pub(crate) fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Cell strides in rows (a row is `m` lanes wide).
+    pub(crate) fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// The table at its native lane width (for serialization).
+    pub(crate) fn lane(&self) -> &CountLane {
+        &self.table
     }
 
     /// Disks (`M`).
@@ -601,6 +789,34 @@ impl DiskCounts {
             CountLane::U32(t) => {
                 accumulate_planned(t, lanes, plan, base, edge, acc32);
                 out.extend(acc32.iter().map(|v| v.widen() as u64));
+            }
+        }
+    }
+
+    /// As [`DiskCounts::access_histogram_with`], but resolving the plan
+    /// through a cross-query [`PlanCache`] instead of the scratch's
+    /// single slot — the serving-loop hot path, where arrivals
+    /// interleave different shapes. The scratch still provides the
+    /// native-width accumulators; its own plan slot is untouched.
+    pub fn access_histogram_cached(
+        &self,
+        region: &BucketRegion,
+        plans: &mut PlanCache,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) {
+        let (base, edge) = self.base_and_edge(region);
+        let lanes = self.m as usize;
+        let plan = plans.ensure(self, region);
+        out.clear();
+        match &self.table {
+            CountLane::U16(t) => {
+                accumulate_planned(t, lanes, plan, base, edge, &mut scratch.acc16);
+                out.extend(scratch.acc16.iter().map(|v| v.widen() as u64));
+            }
+            CountLane::U32(t) => {
+                accumulate_planned(t, lanes, plan, base, edge, &mut scratch.acc32);
+                out.extend(scratch.acc32.iter().map(|v| v.widen() as u64));
             }
         }
     }
@@ -862,6 +1078,79 @@ mod tests {
         );
         let (hits, compiles) = scratch.drain_plan_stats();
         assert_eq!((hits, compiles), (0, 2), "stride change must recompile");
+    }
+
+    #[test]
+    fn plan_cache_amortizes_interleaved_shapes() {
+        // Two alternating shapes thrash the one-slot Scratch cache but
+        // fit the cross-query cache: one compile each, hits thereafter.
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let dm = DiskModulo::new(&g, 4).unwrap();
+        let (map, dc) = kernel_for(&g, &dm);
+        let mut plans = PlanCache::new();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        for i in 0..10u32 {
+            let (h, w) = if i % 2 == 0 { (2, 2) } else { (3, 5) };
+            let r = BucketRegion::new(&g, [i, i].into(), [i + h - 1, i + w - 1].into()).unwrap();
+            dc.access_histogram_cached(&r, &mut plans, &mut scratch, &mut out);
+            assert_eq!(out, map.access_histogram(&r));
+        }
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans.drain_stats(), (8, 2), "one compile per live shape");
+        // The scratch's own single slot was never touched.
+        assert_eq!(scratch.drain_plan_stats(), (0, 0));
+        // clear() forgets the shapes but keeps counting deterministic.
+        plans.clear();
+        assert!(plans.is_empty());
+        let r = BucketRegion::new(&g, [0, 0].into(), [1, 1].into()).unwrap();
+        dc.access_histogram_cached(&r, &mut plans, &mut scratch, &mut out);
+        assert_eq!(plans.drain_stats(), (0, 1));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let g = GridSpace::new_2d(16, 16).unwrap();
+        let dm = DiskModulo::new(&g, 4).unwrap();
+        let (_, dc) = kernel_for(&g, &dm);
+        let mut plans = PlanCache::with_capacity(2);
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        let shape = |w: u32| BucketRegion::new(&g, [0, 0].into(), [0, w].into()).unwrap();
+        // Fill: shapes A, B. Touch A so B is the LRU victim.
+        dc.access_histogram_cached(&shape(1), &mut plans, &mut scratch, &mut out);
+        dc.access_histogram_cached(&shape(2), &mut plans, &mut scratch, &mut out);
+        dc.access_histogram_cached(&shape(1), &mut plans, &mut scratch, &mut out);
+        // C evicts B; A must still be cached.
+        dc.access_histogram_cached(&shape(3), &mut plans, &mut scratch, &mut out);
+        assert_eq!(plans.len(), 2);
+        let _ = plans.drain_stats();
+        dc.access_histogram_cached(&shape(1), &mut plans, &mut scratch, &mut out);
+        assert_eq!(plans.drain_stats(), (1, 0), "A survived the eviction");
+        dc.access_histogram_cached(&shape(2), &mut plans, &mut scratch, &mut out);
+        assert_eq!(plans.drain_stats(), (0, 1), "B was evicted");
+    }
+
+    #[test]
+    fn plan_cache_revalidates_strides_across_grids() {
+        // Same shape extents on two grids with different strides: the
+        // cache must compile per grid, never serving one grid's plan to
+        // the other.
+        let g1 = GridSpace::new_2d(8, 8).unwrap();
+        let g2 = GridSpace::new_2d(8, 16).unwrap();
+        let (map1, dc1) = kernel_for(&g1, &DiskModulo::new(&g1, 4).unwrap());
+        let (map2, dc2) = kernel_for(&g2, &DiskModulo::new(&g2, 4).unwrap());
+        let r1 = BucketRegion::new(&g1, [1, 1].into(), [3, 3].into()).unwrap();
+        let r2 = BucketRegion::new(&g2, [1, 1].into(), [3, 3].into()).unwrap();
+        let mut plans = PlanCache::new();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        dc1.access_histogram_cached(&r1, &mut plans, &mut scratch, &mut out);
+        assert_eq!(out, map1.access_histogram(&r1));
+        dc2.access_histogram_cached(&r2, &mut plans, &mut scratch, &mut out);
+        assert_eq!(out, map2.access_histogram(&r2));
+        assert_eq!(plans.drain_stats(), (0, 2), "stride change must compile");
+        assert_eq!(plans.len(), 2, "both grids' plans coexist");
     }
 
     #[test]

@@ -67,6 +67,62 @@ impl GridDirectory {
         }
     }
 
+    /// Builds a directory directly from a disk-assignment table in
+    /// linear (row-major) bucket order — the inverse of
+    /// [`GridDirectory::disk_table`].
+    ///
+    /// This is the warm-start constructor: a persisted allocation image
+    /// already holds the table, so rebuilding the directory needs no
+    /// method evaluation and no per-bucket coordinate materialization.
+    /// Two flat passes (count per disk, then scatter with pre-sized
+    /// buffers) make it an order of magnitude cheaper than
+    /// [`GridDirectory::build`] with a table-lookup closure, and it
+    /// produces a bit-identical directory: page numbers are assigned in
+    /// ascending linear order per disk either way.
+    ///
+    /// # Errors
+    /// [`crate::GridError::DimensionMismatch`] if the table length does
+    /// not match the grid's bucket count, or if any entry is ≥
+    /// `num_disks`.
+    pub fn from_table(space: GridSpace, num_disks: u32, table: &[u32]) -> Result<Self> {
+        let total = usize::try_from(space.num_buckets())
+            .expect("grid too large to materialize a directory");
+        if table.len() != total {
+            return Err(crate::GridError::DimensionMismatch {
+                expected: total,
+                got: table.len(),
+            });
+        }
+        let mut loads = vec![0u64; num_disks as usize];
+        for &d in table {
+            if d >= num_disks {
+                return Err(crate::GridError::DimensionMismatch {
+                    expected: num_disks as usize,
+                    got: d as usize,
+                });
+            }
+            loads[d as usize] += 1;
+        }
+        let mut per_disk: Vec<Vec<u64>> = loads
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        let mut pages = Vec::with_capacity(total);
+        for (id, &d) in table.iter().enumerate() {
+            let bucket_list = &mut per_disk[d as usize];
+            pages.push(BucketPage {
+                disk: DiskId(d),
+                page: bucket_list.len() as u64,
+            });
+            bucket_list.push(id as u64);
+        }
+        Ok(GridDirectory {
+            space,
+            pages,
+            per_disk,
+        })
+    }
+
     /// The grid this directory covers.
     pub fn space(&self) -> &GridSpace {
         &self.space
@@ -438,6 +494,40 @@ mod tests {
         for id in 0..16u64 {
             assert_eq!(table[id as usize], dir.lookup_linear(id).unwrap().disk.0);
         }
+    }
+
+    #[test]
+    fn from_table_matches_build_bit_for_bit() {
+        let built = round_robin_dir();
+        let table = built.disk_table();
+        let restored = GridDirectory::from_table(built.space().clone(), 4, &table).unwrap();
+        assert_eq!(restored.space(), built.space());
+        assert_eq!(restored.num_disks(), built.num_disks());
+        assert_eq!(restored.disk_table(), table);
+        assert_eq!(restored.load_vector(), built.load_vector());
+        for id in 0..16u64 {
+            assert_eq!(
+                restored.lookup_linear(id).unwrap(),
+                built.lookup_linear(id).unwrap()
+            );
+        }
+        for d in 0..4 {
+            assert_eq!(
+                restored.buckets_on_disk(DiskId(d)),
+                built.buckets_on_disk(DiskId(d))
+            );
+        }
+    }
+
+    #[test]
+    fn from_table_rejects_bad_input() {
+        let space = GridSpace::new_2d(2, 2).unwrap();
+        // Wrong length.
+        assert!(GridDirectory::from_table(space.clone(), 2, &[0, 1, 0]).is_err());
+        // Disk id out of range.
+        assert!(GridDirectory::from_table(space.clone(), 2, &[0, 1, 0, 7]).is_err());
+        // Exact fit succeeds.
+        assert!(GridDirectory::from_table(space, 2, &[0, 1, 0, 1]).is_ok());
     }
 
     #[test]

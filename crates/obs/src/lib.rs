@@ -34,8 +34,19 @@
 //! each scoring batch starts with a cold plan cache, so the counts are a
 //! function of the batch's query sequence alone, never of which worker
 //! (and thus which cache instance) happened to run the previous batch.
-//! Kernel *construction* wall time, by contrast, is scheduling-dependent
-//! and lands in the `walls` section (`kernel.build_ms`).
+//! The serving loops' cross-query corner-plan cache follows the same
+//! rule (`kernel.shape_cache_hits` / `kernel.shape_cache_misses`):
+//! cleared at run start, drained at run end, so the counts are a pure
+//! function of the run's query sequence — identical at any thread
+//! count *and* identical whether the count kernel was built cold or
+//! adopted from a persisted warm-start image. Kernel *construction*
+//! work is deliberately excluded from metrics for that last reason: a
+//! warm start performs zero builds where a cold start performs one per
+//! method, so a build counter would break cold-vs-warm metric
+//! byte-identity. Build wall time is scheduling-dependent anyway and
+//! lands in the `walls` section (`kernel.build_ms`); logical build
+//! counts are exposed process-wide by
+//! `decluster_methods::kernel_build_count` for tests and benches.
 //!
 //! # Example
 //!

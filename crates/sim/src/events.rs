@@ -37,7 +37,7 @@ use crate::stats::Quantiles;
 use crate::workload::InterArrival;
 use crate::{DiskParams, Result, SimError};
 use decluster_grid::{BucketRegion, GridDirectory};
-use decluster_methods::{PlanCounts, Scratch};
+use decluster_methods::{DiskCounts, PlanCache, PlanCounts, Scratch};
 use decluster_obs::{Obs, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -430,24 +430,24 @@ pub struct SharedServeReport {
 /// `(seed, query, attempt)`. A pure function of its inputs, so retry
 /// schedules are byte-identical at any thread count.
 pub(crate) fn retry_jitter01(seed: u64, query: u64, attempt: u32) -> f64 {
-    let mut z = seed ^ query.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 32);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    decluster_methods::splitmix64_unit(
+        seed ^ query.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 32),
+    )
 }
 
 /// Reusable per-run buffers for every serving loop: the kernel
-/// [`Scratch`] (plan cache + accumulators), the per-query count
-/// histogram, the FCFS queue state, the latency vector, the event heap,
-/// and the sampling window. One instance per worker thread makes every
+/// [`Scratch`] (accumulators), the cross-query [`PlanCache`] of
+/// compiled corner plans (amortizes plan compilation across repeated
+/// query shapes within a run), the per-query count histogram, the FCFS
+/// queue state, the latency vector, the event heap, and the sampling
+/// window. One instance per worker thread makes every
 /// loop allocation-free per event once the buffers have grown to the
 /// working-set size. The degraded serve loop adds its own typed event
 /// heap, the per-disk health vector, and the per-query replica targets.
 #[derive(Debug, Default)]
 pub struct LoopScratch {
     pub(crate) scratch: Scratch,
+    pub(crate) plans: PlanCache,
     pub(crate) hist: Vec<u64>,
     pub(crate) disk_free_at: Vec<f64>,
     pub(crate) disk_busy_ms: Vec<f64>,
@@ -477,6 +477,10 @@ impl LoopScratch {
     }
 
     pub(crate) fn begin(&mut self, m: usize, queries: usize) {
+        // Cleared per run (capacity retained) so shape-cache hit/miss
+        // counts are a pure function of the run's query sequence —
+        // byte-identical at any thread count and cold vs warm.
+        self.plans.clear();
         self.disk_free_at.clear();
         self.disk_free_at.resize(m, 0.0);
         self.disk_busy_ms.clear();
@@ -529,6 +533,27 @@ impl ServingEngine {
         }
     }
 
+    /// Warm-start constructor: adopts a previously compiled kernel
+    /// (e.g. loaded from a persist-v3 [`decluster_methods::KernelCache`]
+    /// image) instead of building one, so the engine reaches its first
+    /// scored query with zero build-phase work. `None` behaves like
+    /// [`ServingEngine::new`] minus the kernel (bucket-walk fallback).
+    ///
+    /// # Panics
+    /// Panics if the kernel's disk count disagrees with the directory's.
+    pub fn with_kernel(dir: &GridDirectory, kernel: Option<DiskCounts>) -> Self {
+        ServingEngine {
+            counts: PlanCounts::with_kernel(dir, kernel),
+            loads: dir.load_vector(),
+        }
+    }
+
+    /// The engine's count kernel (for exporting into a
+    /// [`decluster_methods::KernelCache`]).
+    pub fn counts(&self) -> &PlanCounts {
+        &self.counts
+    }
+
     /// Disks (`M`).
     pub fn num_disks(&self) -> usize {
         self.loads.len()
@@ -541,14 +566,16 @@ impl ServingEngine {
     }
 
     /// Per-disk page counts of `region` into `out` via the cached
-    /// kernel; returns the total pages touched.
+    /// kernel, consulting the cross-query corner-plan cache first;
+    /// returns the total pages touched.
     pub(crate) fn counts_into(
         &self,
         region: &BucketRegion,
+        plans: &mut PlanCache,
         scratch: &mut Scratch,
         out: &mut Vec<u64>,
     ) -> u64 {
-        self.counts.counts_into(region, scratch, out)
+        self.counts.counts_into_cached(region, plans, scratch, out)
     }
 
     /// Static load (pages stored) of disk `d`.
@@ -698,9 +725,12 @@ impl ServingEngine {
                 let issue_at = arrival_t;
                 let region = &queries[next_arrival % queries.len()];
                 next_arrival += 1;
-                pages += self
-                    .counts
-                    .counts_into(region, &mut ls.scratch, &mut ls.hist);
+                pages += self.counts.counts_into_cached(
+                    region,
+                    &mut ls.plans,
+                    &mut ls.scratch,
+                    &mut ls.hist,
+                );
                 let completion = self.fan_out(
                     params,
                     issue_at,
@@ -718,12 +748,17 @@ impl ServingEngine {
             events += 1;
         }
 
+        // Drained unconditionally so stats from an obs-disabled run can
+        // never leak into a later metered run sharing this scratch.
+        let (shape_hits, shape_misses) = ls.plans.drain_stats();
         if let Some(meters) = &meters {
             meters.record(n, batches, queued_batches, &ls.disk_busy_ms, &ls.latencies);
             obs.gauge_max("serve.peak_in_flight", ls.events.peak_len() as u64);
             obs.counter_add("serve.events", events);
             obs.counter_add("serve.pages", pages);
             obs.counter_add("serve.samples", ls.samples.len() as u64);
+            obs.counter_add("kernel.shape_cache_hits", shape_hits);
+            obs.counter_add("kernel.shape_cache_misses", shape_misses);
         }
         let report = assemble_report(n, 0, makespan, m, &ls.disk_busy_ms, &mut ls.latencies);
         if obs.trace_enabled() {
@@ -963,6 +998,7 @@ impl ServingEngine {
             events += 1;
         }
 
+        let (shape_hits, shape_misses) = ls.plans.drain_stats();
         if let Some(meters) = &meters {
             meters.record(
                 n,
@@ -975,6 +1011,8 @@ impl ServingEngine {
             obs.counter_add("serve.events", events);
             obs.counter_add("serve.pages", c.pages);
             obs.counter_add("serve.samples", ls.samples.len() as u64);
+            obs.counter_add("kernel.shape_cache_hits", shape_hits);
+            obs.counter_add("kernel.shape_cache_misses", shape_misses);
             obs.counter_add("serve.retries", c.retries);
             obs.counter_add("serve.timeouts", c.timeouts);
             obs.counter_add("serve.sheds", shed);
@@ -1037,9 +1075,9 @@ impl ServingEngine {
     ) {
         let m = self.loads.len();
         let region = &queries[(query as usize) % queries.len()];
-        let page_count = self
-            .counts
-            .counts_into(region, &mut ls.scratch, &mut ls.hist);
+        let page_count =
+            self.counts
+                .counts_into_cached(region, &mut ls.plans, &mut ls.scratch, &mut ls.hist);
         // Pass 1: pick a serving copy for every touched disk, without
         // touching queue state. Any batch with no live copy makes the
         // whole request unserviceable right now.

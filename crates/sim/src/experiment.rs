@@ -11,10 +11,11 @@ use crate::workload::{
 };
 use crate::{DiskParams, Result, SimError, Summary};
 use decluster_grid::{BucketRegion, GridDirectory, GridSpace};
-use decluster_methods::{DeclusteringMethod, MethodRegistry, Scratch};
+use decluster_methods::{AllocationMap, DeclusteringMethod, KernelCache, MethodRegistry, Scratch};
 use decluster_obs::{Obs, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
 
 /// One method's curve in a sweep: mean response time (or deviation) per
 /// x-value. Points where the method does not apply (e.g. ECC at a
@@ -243,11 +244,7 @@ pub struct AvailSweep {
 /// share sweep's hot-pool redirect test. A pure function of the index,
 /// so overlap streams are identical at any thread count.
 fn index_hash01(i: u64) -> f64 {
-    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    decluster_methods::splitmix64_unit(i)
 }
 
 /// One evaluated sweep point: the x-value plus each method's summary and
@@ -284,6 +281,7 @@ pub struct Experiment {
     threads: usize,
     method_filter: Option<String>,
     obs: Obs,
+    kernel_cache: Option<Arc<Mutex<KernelCache>>>,
 }
 
 impl Experiment {
@@ -299,7 +297,20 @@ impl Experiment {
             threads: 1,
             method_filter: None,
             obs: Obs::disabled(),
+            kernel_cache: None,
         }
+    }
+
+    /// Attaches a persist-v3 [`KernelCache`]: engine and context
+    /// construction consults it before compiling each count kernel (a
+    /// hit skips the build phase entirely) and inserts freshly built
+    /// kernels back, so a cold run warms the cache for the next start.
+    /// Results are byte-identical with or without a cache — a stored
+    /// kernel is revalidated against the live allocation and a stale
+    /// entry simply misses. The default is no cache (always build).
+    pub fn with_kernel_cache(mut self, cache: Arc<Mutex<KernelCache>>) -> Self {
+        self.kernel_cache = Some(cache);
+        self
     }
 
     /// Sets how many random query placements are averaged per data point.
@@ -374,8 +385,35 @@ impl Experiment {
     /// oversubscribe the machine.
     fn context_for(&self, space: &GridSpace, m: u32) -> EvalContext {
         let registry = MethodRegistry::with_seed(self.seed);
-        EvalContext::materialize(&registry, space, m, self.include_baselines)
-            .with_obs(self.obs.clone())
+        match &self.kernel_cache {
+            Some(cache) => {
+                let maps = Self::materialize_maps(&registry, space, m, self.include_baselines);
+                let mut guard = cache.lock().expect("kernel cache lock");
+                EvalContext::from_maps_cached(m, maps, &mut guard)
+            }
+            None => EvalContext::materialize(&registry, space, m, self.include_baselines),
+        }
+        .with_obs(self.obs.clone())
+    }
+
+    fn materialize_maps(
+        registry: &MethodRegistry,
+        space: &GridSpace,
+        m: u32,
+        baselines: bool,
+    ) -> Vec<AllocationMap> {
+        let methods = if baselines {
+            registry.with_baselines(space, m)
+        } else {
+            registry.paper_methods(space, m)
+        };
+        methods
+            .iter()
+            .map(|method| {
+                AllocationMap::from_method(space, method.as_ref())
+                    .expect("experiment grids are materializable")
+            })
+            .collect()
     }
 
     /// As [`Experiment::context_for`], materializing methods and
@@ -387,13 +425,24 @@ impl Experiment {
     fn context_for_parallel(&self, space: &GridSpace, m: u32) -> EvalContext {
         let _build = self.obs.time_phase("kernel.build_ms");
         let registry = MethodRegistry::with_seed(self.seed);
-        EvalContext::build_parallel(
-            &registry,
-            space,
-            m,
-            self.include_baselines,
-            self.effective_threads(),
-        )
+        match &self.kernel_cache {
+            // With a kernel cache attached, every stored kernel is
+            // adopted without any build work, so the (serial) cached
+            // constructor beats the parallel builder on the warm path;
+            // on a cold path it additionally populates the cache.
+            Some(cache) => {
+                let maps = Self::materialize_maps(&registry, space, m, self.include_baselines);
+                let mut guard = cache.lock().expect("kernel cache lock");
+                EvalContext::from_maps_cached(m, maps, &mut guard)
+            }
+            None => EvalContext::build_parallel(
+                &registry,
+                space,
+                m,
+                self.include_baselines,
+                self.effective_threads(),
+            ),
+        }
         .with_obs(self.obs.clone())
     }
 
@@ -781,7 +830,32 @@ impl Experiment {
         let _build = self.obs.time_phase("multiuser.build_ms");
         dirs.into_iter()
             .map(|(name, dir)| {
-                let engine = MultiUserEngine::new(&dir);
+                let engine = match &self.kernel_cache {
+                    Some(cache) => {
+                        let map = AllocationMap::from_table(
+                            dir.space(),
+                            dir.num_disks(),
+                            dir.disk_table(),
+                        )
+                        .expect("directory disk table is grid-shaped by construction");
+                        let mut guard = cache.lock().expect("kernel cache lock");
+                        match guard.lookup(&name, &map) {
+                            // Warm: adopt the stored compiled kernel —
+                            // zero build-phase work for this engine.
+                            Some(kernel) => MultiUserEngine::with_kernel(&dir, Some(kernel)),
+                            // Cold (or stale image): build as usual and
+                            // persist the fresh kernel for the next start.
+                            None => {
+                                let engine = MultiUserEngine::new(&dir);
+                                if let Some(k) = engine.serving().counts().kernel() {
+                                    guard.insert(&name, &map, k);
+                                }
+                                engine
+                            }
+                        }
+                    }
+                    None => MultiUserEngine::new(&dir),
+                };
                 (name, engine)
             })
             .collect()

@@ -172,6 +172,19 @@ impl MultiUserEngine {
         }
     }
 
+    /// Warm-start constructor: adopts a previously compiled kernel (from
+    /// a persist-v3 [`decluster_methods::KernelCache`] image) instead of
+    /// building one; see [`ServingEngine::with_kernel`].
+    ///
+    /// # Panics
+    /// Panics if the kernel's disk count disagrees with the directory's.
+    pub fn with_kernel(dir: &GridDirectory, kernel: Option<decluster_methods::DiskCounts>) -> Self {
+        MultiUserEngine {
+            core: ServingEngine::with_kernel(dir, kernel),
+            dir: dir.clone(),
+        }
+    }
+
     /// Disks (`M`).
     pub fn num_disks(&self) -> usize {
         self.core.num_disks()
@@ -224,7 +237,8 @@ impl MultiUserEngine {
 
         for region in queries {
             let issue_at = ls.events.pop().expect("clients > 0").time;
-            self.core.counts_into(region, &mut ls.scratch, &mut ls.hist);
+            self.core
+                .counts_into(region, &mut ls.plans, &mut ls.scratch, &mut ls.hist);
             let completion = self.core.fan_out(
                 params,
                 issue_at,
@@ -240,6 +254,7 @@ impl MultiUserEngine {
             ls.events.push(completion, completion - issue_at);
         }
 
+        let (shape_hits, shape_misses) = ls.plans.drain_stats();
         if let Some(meters) = &meters {
             meters.record(
                 queries.len(),
@@ -248,6 +263,8 @@ impl MultiUserEngine {
                 &ls.disk_busy_ms,
                 &ls.latencies,
             );
+            obs.counter_add("kernel.shape_cache_hits", shape_hits);
+            obs.counter_add("kernel.shape_cache_misses", shape_misses);
         }
         let report = assemble_report(
             queries.len(),
@@ -304,7 +321,8 @@ impl MultiUserEngine {
             while ls.events.peek_time().is_some_and(|t| t <= issue_at) {
                 ls.events.pop();
             }
-            self.core.counts_into(region, &mut ls.scratch, &mut ls.hist);
+            self.core
+                .counts_into(region, &mut ls.plans, &mut ls.scratch, &mut ls.hist);
             let completion = self.core.fan_out(
                 params,
                 issue_at,
@@ -321,6 +339,7 @@ impl MultiUserEngine {
         }
         ls.events.clear();
 
+        let (shape_hits, shape_misses) = ls.plans.drain_stats();
         if let Some(meters) = &meters {
             meters.record(
                 queries.len(),
@@ -329,6 +348,8 @@ impl MultiUserEngine {
                 &ls.disk_busy_ms,
                 &ls.latencies,
             );
+            obs.counter_add("kernel.shape_cache_hits", shape_hits);
+            obs.counter_add("kernel.shape_cache_misses", shape_misses);
         }
         // Open loop: unbounded concurrency, reported as 0 clients.
         let report = assemble_report(
@@ -394,7 +415,8 @@ impl MultiUserEngine {
         for (i, region) in queries.iter().enumerate() {
             let t = i as u64;
             let issue_at = ls.events.pop().expect("clients > 0").time;
-            self.core.counts_into(region, &mut ls.scratch, &mut ls.hist);
+            self.core
+                .counts_into(region, &mut ls.plans, &mut ls.scratch, &mut ls.hist);
             // Availability first: abandon (don't half-schedule) a query
             // whose down disk has a down chain successor.
             let lost = ls
@@ -452,6 +474,7 @@ impl MultiUserEngine {
         }
 
         let served = ls.latencies.len();
+        let (shape_hits, shape_misses) = ls.plans.drain_stats();
         if let Some(meters) = &meters {
             meters.record(
                 served,
@@ -460,6 +483,8 @@ impl MultiUserEngine {
                 &ls.disk_busy_ms,
                 &ls.latencies,
             );
+            obs.counter_add("kernel.shape_cache_hits", shape_hits);
+            obs.counter_add("kernel.shape_cache_misses", shape_misses);
             obs.counter_add("multiuser_degraded.unavailable", unavailable as u64);
             obs.counter_add(
                 "multiuser_degraded.failover_batches",

@@ -794,6 +794,96 @@ mod tests {
     }
 
     #[test]
+    fn warm_started_engine_is_bit_identical_to_cold() {
+        let (dir, queries, arrivals) = fixture();
+        let params = DiskParams::default();
+        // Cold: build the kernel, export it to a persist-v3 image.
+        let cold = MultiUserEngine::new(&dir);
+        let mut cache = decluster_methods::KernelCache::new();
+        let map = cold.serving().counts().allocation();
+        let kernel = cold.serving().counts().kernel().expect("kernel-backed");
+        cache.insert("HCAM", map, kernel);
+        // Warm: reload the image and adopt the stored kernel.
+        let loaded = decluster_methods::KernelCache::from_bytes(&cache.to_bytes()).unwrap();
+        let warm =
+            MultiUserEngine::with_kernel(&dir, Some(loaded.lookup("HCAM", map).expect("fresh")));
+        assert!(warm.kernel_backed());
+        let schedule = FaultSchedule::parse("fail:2@10", 8).unwrap();
+        let closed_cold = ServeSpec::closed(4)
+            .run(
+                &cold,
+                &params,
+                &queries,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        let closed_warm = ServeSpec::closed(4)
+            .run(
+                &warm,
+                &params,
+                &queries,
+                &Obs::disabled(),
+                &mut LoopScratch::new(),
+            )
+            .unwrap();
+        assert_eq!(
+            closed_cold.report.makespan_ms.to_bits(),
+            closed_warm.report.makespan_ms.to_bits()
+        );
+        assert_eq!(
+            closed_cold.report.throughput_qps.to_bits(),
+            closed_warm.report.throughput_qps.to_bits()
+        );
+        for spec in [
+            ServeSpec::open(200.0),
+            ServeSpec::open(200.0).share(5.0),
+            ServeSpec::open(200.0)
+                .replicas(1)
+                .policy(ReplicaPolicy::NearestFreeQueue)
+                .faults(schedule),
+        ] {
+            let a = spec
+                .clone()
+                .run_with_arrivals(
+                    &cold,
+                    &params,
+                    &queries,
+                    &arrivals,
+                    &Obs::disabled(),
+                    &mut LoopScratch::new(),
+                )
+                .unwrap();
+            let b = spec
+                .run_with_arrivals(
+                    &warm,
+                    &params,
+                    &queries,
+                    &arrivals,
+                    &Obs::disabled(),
+                    &mut LoopScratch::new(),
+                )
+                .unwrap();
+            assert_eq!(
+                a.report.makespan_ms.to_bits(),
+                b.report.makespan_ms.to_bits()
+            );
+            assert_eq!(
+                a.report.throughput_qps.to_bits(),
+                b.report.throughput_qps.to_bits()
+            );
+            assert_eq!(
+                a.report.utilization.to_bits(),
+                b.report.utilization.to_bits()
+            );
+            assert_eq!(a.pages, b.pages);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.availability, b.availability);
+            assert_eq!(a.sharing, b.sharing);
+        }
+    }
+
+    #[test]
     fn zero_batch_window_is_bit_identical_to_unshared() {
         let (dir, queries, arrivals) = fixture();
         let params = DiskParams::default();

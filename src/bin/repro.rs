@@ -14,9 +14,14 @@
 //! timings go to stderr). `--faults SPEC` overrides the fault schedule
 //! of the `faults` experiment (grammar: `fail:D@T`, `transient:D@A..B`,
 //! `slow:DxF@A..B`, comma-separated; see EXPERIMENTS.md); `--method
-//! NAME` restricts the `faults` table to one method.
+//! NAME` restricts the `faults` table to one method. `--kernel-cache
+//! FILE` persists the compiled count kernels (persist v3): the first
+//! run pays the build phase and writes FILE, later runs adopt the
+//! stored kernels and reach their first scored query with zero
+//! build-phase work — outputs are byte-identical either way.
 
 use decluster::grid::{GridDirectory, IoPlan};
+use decluster::methods::KernelCache;
 use decluster::obs::{JsonLinesSink, MetricsRecorder, Obs};
 use decluster::prelude::*;
 use decluster::sim::workload::{all_partial_match_queries, InterArrival, ShapeSweep, SizeSweep};
@@ -28,7 +33,7 @@ use decluster::sim::{
 use decluster::theory::{impossibility, partial_match};
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default configuration of the study (see EXPERIMENTS.md).
 const GRID_SIDE: u32 = 64;
@@ -144,6 +149,12 @@ const EXPERIMENTS: &[ExperimentSpec] = &[
             "timing snapshots: RT kernel, multi-user engine, serve core, shared scans (writes BENCH_*.json)",
         engine: false,
     },
+    ExperimentSpec {
+        name: "bench_warm",
+        describe:
+            "warm-start timing: cold vs kernel-cache startup-to-first-query (writes BENCH_warm.json)",
+        engine: false,
+    },
 ];
 
 fn usage() -> String {
@@ -151,7 +162,8 @@ fn usage() -> String {
     let mut u = format!(
         "usage: repro <{}>\n       [--csv DIR] [--quick] [--threads N] [--faults SPEC] \
          [--method NAME]\n       [--replicas R] [--policy NAME] [--clients N] [--rate R]\n       \
-         [--share F] [--batch-window MS] [--metrics FILE|-] [--trace FILE|-]\n\n\
+         [--share F] [--batch-window MS] [--kernel-cache FILE]\n       \
+         [--metrics FILE|-] [--trace FILE|-]\n\n\
          experiments:\n",
         names.join("|")
     );
@@ -180,6 +192,11 @@ fn usage() -> String {
          scan; either routes `serve` through the shared-scan path (spread policy,\n\
          healthy mode only, so not combinable with --faults). The `share`\n\
          experiment sweeps overlap x replicas and honors --share as one overlap.\n",
+    );
+    u.push_str(
+        "\n--kernel-cache FILE loads/saves a persist-v3 image of the compiled count\n\
+         kernels: a warmed run skips the kernel build phase entirely (stale entries\n\
+         revalidate and rebuild; outputs are byte-identical with or without it).\n",
     );
     u
 }
@@ -212,6 +229,13 @@ struct Opts {
     /// Shared-scan batch window in ms for the `serve` sweep; `None` =
     /// unshared (0 ms once `--share` routes it through the shared path).
     batch_window: Option<f64>,
+    /// Path of the persist-v3 compiled-kernel image (`--kernel-cache`):
+    /// loaded before the run when the file exists, consulted by every
+    /// engine/context build (a hit skips the kernel build phase), and
+    /// written back after the run so a cold start warms the next one.
+    kernel_cache_path: Option<String>,
+    /// The loaded kernel cache shared with the experiment harness.
+    kernel_cache: Option<Arc<Mutex<KernelCache>>>,
     /// Destination for the deterministic metrics snapshot (`-` = stdout).
     metrics: Option<String>,
     /// Destination for JSON-lines trace events (`-` = stdout).
@@ -237,6 +261,8 @@ fn main() -> ExitCode {
         policy: None,
         share: None,
         batch_window: None,
+        kernel_cache_path: None,
+        kernel_cache: None,
         metrics: None,
         trace: None,
         obs: Obs::disabled(),
@@ -339,6 +365,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--kernel-cache" => match it.next() {
+                Some(path) => opts.kernel_cache_path = Some(path.clone()),
+                None => {
+                    eprintln!("--kernel-cache needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--metrics" => match it.next() {
                 Some(dest) => opts.metrics = Some(dest.clone()),
                 None => {
@@ -399,6 +432,23 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    if let Some(path) = &opts.kernel_cache_path {
+        let cache = match std::fs::read(path) {
+            Ok(bytes) => match KernelCache::from_bytes(&bytes) {
+                Ok(cache) => cache,
+                Err(e) => {
+                    eprintln!("could not load kernel cache {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => KernelCache::new(),
+            Err(e) => {
+                eprintln!("could not read kernel cache {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        opts.kernel_cache = Some(Arc::new(Mutex::new(cache)));
+    }
     let run = |name: &str| -> bool { experiment == name || experiment == "all" };
     let mut ran_any = false;
     if run("e1") {
@@ -507,11 +557,23 @@ fn main() -> ExitCode {
         println!("{}", bench_serve(&opts));
         println!("{}", bench_avail(&opts));
         println!("{}", bench_share(&opts));
+        println!("{}", bench_warm(&opts));
+        ran_any = true;
+    }
+    if experiment == "bench_warm" {
+        println!("{}", bench_warm(&opts));
         ran_any = true;
     }
     if !ran_any {
         eprintln!("unknown experiment {experiment:?}");
         return ExitCode::FAILURE;
+    }
+    if let (Some(path), Some(cache)) = (&opts.kernel_cache_path, &opts.kernel_cache) {
+        let bytes = cache.lock().expect("kernel cache lock").to_bytes();
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("could not write kernel cache {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(rec) = recorder {
         if let Err(e) = rec.flush() {
@@ -578,11 +640,15 @@ fn grid_2d() -> GridSpace {
 }
 
 fn experiment_2d(opts: &Opts) -> Experiment {
-    Experiment::new(grid_2d(), DISKS)
+    let e = Experiment::new(grid_2d(), DISKS)
         .with_queries_per_point(opts.queries)
         .with_seed(SEED)
         .with_threads(opts.threads)
-        .with_obs(opts.obs.clone())
+        .with_obs(opts.obs.clone());
+    match &opts.kernel_cache {
+        Some(cache) => e.with_kernel_cache(cache.clone()),
+        None => e,
+    }
 }
 
 /// E1: query area 1 → 1024 on the 64×64 grid, near-square shapes.
@@ -1993,6 +2059,230 @@ fn bench_share(opts: &Opts) -> String {
             format!("{dir}/BENCH_share.json")
         }
         None => "BENCH_share.json".into(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
+    }
+    out
+}
+
+/// Warm-start timing: builds the paper-method serving engines cold
+/// (running every declustering method and compiling every count
+/// kernel), persists the allocations as v2 images and the compiled
+/// kernels as one persist-v3 image, then starts again warm from those
+/// images alone — the directories are reconstructed by table lookup and
+/// every kernel is adopted after identity revalidation, so the warm
+/// path does zero method evaluation and zero kernel compilation.
+/// Reports startup-to-first-scored-query latency for both paths, the
+/// kernel build counts (zero on the warm path), the image sizes, the
+/// serve loop's cross-query shape-cache hit rate, and cold-vs-warm
+/// report byte-identity. Writes `BENCH_warm.json`.
+fn bench_warm(opts: &Opts) -> String {
+    use decluster::methods::kernel_build_count;
+    use decluster::obs::Recorder;
+    use decluster::sim::workload::{random_region, rect_sides_for_area};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    let arrivals_n: usize = if opts.quick { 2_000 } else { 20_000 };
+    let space = grid_2d();
+    let params = DiskParams::default();
+    let registry = MethodRegistry::with_seed(SEED);
+    let methods = registry.paper_methods(&space, DISKS);
+    let sides = rect_sides_for_area(MULTIUSER_AREA, space.dims()).expect("area fits");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let regions: Vec<BucketRegion> = (0..1000)
+        .map(|_| random_region(&mut rng, &space, &sides).expect("placement fits"))
+        .collect();
+    let obs = Obs::disabled();
+    let arrivals = sharded_arrivals(
+        SEED,
+        arrivals_n,
+        InterArrival::Poisson {
+            rate_qps: opts.rate,
+        },
+        1,
+        &obs,
+    );
+    let first_query = &regions[..1];
+    let first_arrival = [0.0];
+    let build_dirs = || -> Vec<(String, GridDirectory)> {
+        methods
+            .iter()
+            .map(|m| {
+                let dir = GridDirectory::build(space.clone(), DISKS, |b| m.disk_of(b.as_slice()));
+                (m.name().to_owned(), dir)
+            })
+            .collect()
+    };
+
+    // Cold start: directory + kernel build for every method, then the
+    // first scored query.
+    let builds_before = kernel_build_count();
+    let t = Instant::now();
+    let dirs = build_dirs();
+    let cold_engines: Vec<MultiUserEngine> =
+        dirs.iter().map(|(_, d)| MultiUserEngine::new(d)).collect();
+    let cold_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut ls = LoopScratch::new();
+    let t = Instant::now();
+    let _ = ServeSpec::open(opts.rate)
+        .seed(SEED)
+        .run_with_arrivals(
+            &cold_engines[0],
+            &params,
+            first_query,
+            &first_arrival,
+            &obs,
+            &mut ls,
+        )
+        .expect("the warm bench spec is valid");
+    let cold_first_ms = cold_build_ms + t.elapsed().as_secs_f64() * 1e3;
+    let cold_builds = kernel_build_count() - builds_before;
+
+    // Persist the full warm-start state: every allocation as a v2
+    // image, every compiled kernel in one v3 image.
+    let t = Instant::now();
+    let mut cache = KernelCache::new();
+    let mut alloc_images: Vec<(String, Vec<u8>)> = Vec::with_capacity(dirs.len());
+    for ((name, _), engine) in dirs.iter().zip(&cold_engines) {
+        let counts = engine.serving().counts();
+        if let Some(kernel) = counts.kernel() {
+            cache.insert(name, counts.allocation(), kernel);
+        }
+        alloc_images.push((name.clone(), counts.allocation().to_bytes().to_vec()));
+    }
+    let image = cache.to_bytes();
+    let alloc_bytes: usize = alloc_images.iter().map(|(_, b)| b.len()).sum();
+    let save_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Warm start from the images alone: allocations are reloaded, each
+    // directory is rebuilt by table lookup (no method evaluation), and
+    // every kernel is adopted after identity revalidation.
+    let builds_before = kernel_build_count();
+    let t = Instant::now();
+    let loaded = KernelCache::from_bytes(&image).expect("a just-written image loads");
+    let warm_engines: Vec<MultiUserEngine> = alloc_images
+        .iter()
+        .map(|(name, bytes)| {
+            let map = AllocationMap::from_bytes(bytes).expect("a just-written image loads");
+            let dir = GridDirectory::from_table(space.clone(), DISKS, map.table())
+                .expect("a persisted allocation is grid-shaped");
+            MultiUserEngine::with_kernel(&dir, loaded.lookup(name, &map))
+        })
+        .collect();
+    let warm_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let _ = ServeSpec::open(opts.rate)
+        .seed(SEED)
+        .run_with_arrivals(
+            &warm_engines[0],
+            &params,
+            first_query,
+            &first_arrival,
+            &obs,
+            &mut ls,
+        )
+        .expect("the warm bench spec is valid");
+    let warm_first_ms = warm_build_ms + t.elapsed().as_secs_f64() * 1e3;
+    let warm_builds = kernel_build_count() - builds_before;
+
+    // Full serve run on both paths: throughput, cold-vs-warm
+    // byte-identity, and the shape-cache hit rate (via the metrics
+    // recorder — the counters are deterministic, see decluster-obs).
+    let rec = Arc::new(MetricsRecorder::new());
+    let obs_metrics = Obs::new(rec.clone());
+    let run = |engine: &MultiUserEngine, obs: &Obs, ls: &mut LoopScratch| {
+        ServeSpec::open(opts.rate)
+            .seed(SEED)
+            .run_with_arrivals(engine, &params, &regions, &arrivals, obs, ls)
+            .expect("the warm bench spec is valid")
+    };
+    let t = Instant::now();
+    let cold_run = run(&cold_engines[0], &obs_metrics, &mut ls);
+    let cold_loop_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let warm_run = run(&warm_engines[0], &obs, &mut ls);
+    let warm_loop_ms = t.elapsed().as_secs_f64() * 1e3;
+    let identical = cold_run.report.makespan_ms.to_bits() == warm_run.report.makespan_ms.to_bits()
+        && cold_run.report.throughput_qps.to_bits() == warm_run.report.throughput_qps.to_bits()
+        && cold_run.pages == warm_run.pages
+        && cold_run.events == warm_run.events;
+    let snap = rec.snapshot();
+    let get = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let (hits, misses) = (
+        get("kernel.shape_cache_hits"),
+        get("kernel.shape_cache_misses"),
+    );
+    let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+    let speedup = cold_first_ms / warm_first_ms.max(1e-9);
+
+    let mut out = format!(
+        "Warm-start bench: {} paper methods, {arrivals_n} arrivals through HCAM \
+         ({GRID_SIDE}x{GRID_SIDE}, M={DISKS})\n\
+         {:<22} {:>12} {:>12}\n",
+        methods.len(),
+        "",
+        "cold",
+        "warm"
+    );
+    out.push_str(&format!(
+        "{:<22} {:>12.3} {:>12.3}\n",
+        "build phase ms", cold_build_ms, warm_build_ms
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>12.3} {:>12.3}\n",
+        "first query ms", cold_first_ms, warm_first_ms
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12}\n",
+        "kernel builds", cold_builds, warm_builds
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>12.3} {:>12.3}\n",
+        "serve loop ms", cold_loop_ms, warm_loop_ms
+    ));
+    out.push_str(&format!(
+        "images: {} kernel + {alloc_bytes} allocation bytes ({save_ms:.3} ms to serialize); \
+         startup speedup {speedup:.2}x; \
+         shape cache {hits} hits / {misses} misses ({:.1}% hit rate); \
+         cold-vs-warm reports identical: {identical}\n",
+        image.len(),
+        hit_rate * 100.0
+    ));
+
+    let json = format!(
+        "{{\n  \"name\": \"warm_start_serve\",\n  \"grid\": [{GRID_SIDE}, {GRID_SIDE}],\n  \
+         \"disks\": {DISKS},\n  \"methods\": {},\n  \"arrivals\": {arrivals_n},\n  \
+         \"kernel_image_bytes\": {},\n  \"alloc_image_bytes\": {alloc_bytes},\n  \
+         \"image_save_ms\": {save_ms:.3},\n  \
+         \"cold\": {{\"build_ms\": {cold_build_ms:.3}, \"first_query_ms\": {cold_first_ms:.3}, \
+         \"kernel_builds\": {cold_builds}, \"serve_loop_ms\": {cold_loop_ms:.3}}},\n  \
+         \"warm\": {{\"build_ms\": {warm_build_ms:.3}, \"first_query_ms\": {warm_first_ms:.3}, \
+         \"kernel_builds\": {warm_builds}, \"serve_loop_ms\": {warm_loop_ms:.3}}},\n  \
+         \"startup_speedup\": {speedup:.3},\n  \
+         \"shape_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
+         \"hit_rate\": {hit_rate:.6}}},\n  \
+         \"cold_warm_reports_identical\": {identical}\n}}\n",
+        methods.len(),
+        image.len()
+    );
+    let path = match opts.csv_dir.as_deref() {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                out.push_str(&format!("\ncould not create {dir}: {e}\n"));
+            }
+            format!("{dir}/BENCH_warm.json")
+        }
+        None => "BENCH_warm.json".into(),
     };
     match std::fs::write(&path, json) {
         Ok(()) => out.push_str(&format!("\nsnapshot written to {path}\n")),
