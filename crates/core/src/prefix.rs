@@ -415,6 +415,14 @@ impl PlanCache {
         }
     }
 
+    /// The slot bound this cache was built with (shapes it can hold
+    /// before evicting). Consumers that replicate the cache's LRU
+    /// behavior out-of-band (e.g. sharded serving's hit/miss replay)
+    /// read this instead of hard-coding [`PlanCache::DEFAULT_CAPACITY`].
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Compiled shapes currently cached.
     pub fn len(&self) -> usize {
         self.slots.len()

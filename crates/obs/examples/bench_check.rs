@@ -1,0 +1,46 @@
+//! Validates checked-in benchmark snapshots: every `BENCH_*.json`
+//! argument must parse with the crate's JSON parser into an object
+//! carrying a string `"name"` key. CI runs this over all snapshots at
+//! the repository root, so a hand-edited or truncated snapshot fails
+//! the build rather than silently shipping.
+//!
+//! ```text
+//! cargo run -p decluster-obs --example bench_check -- BENCH_*.json
+//! ```
+
+use decluster_obs::json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_check <BENCH_*.json>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let value = match json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}: not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !value.is_object() {
+            eprintln!("{path}: snapshot is not a JSON object");
+            return ExitCode::FAILURE;
+        }
+        let Some(name) = value.get("name").and_then(|n| n.as_str()) else {
+            eprintln!("{path}: missing string \"name\" key");
+            return ExitCode::FAILURE;
+        };
+        println!("{path}: valid snapshot \"{name}\"");
+    }
+    ExitCode::SUCCESS
+}

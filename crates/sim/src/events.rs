@@ -10,8 +10,9 @@
 //! * [`ServingEngine`] — the per-directory service core: the cached
 //!   [`PlanCounts`] kernel, the static load vector, and the FCFS fan-out
 //!   step that turns one query into per-disk batch service. The streaming
-//!   entry point [`ServingEngine::serve_obs`] consumes an arrival-event
-//!   stream and emits completion events through the heap, sampling
+//!   serve (reached through [`crate::ServeSpec`]) consumes an
+//!   arrival-event stream and emits completion events through the heap,
+//!   sampling
 //!   mid-run state (in-flight, queue depth, windowed p50/p95/p99) at
 //!   configurable logical-time intervals.
 //!
@@ -341,7 +342,7 @@ pub struct DegradedServeConfig {
 pub struct DegradedServeReport {
     /// The fault-free-shaped aggregates; with a healthy schedule, one
     /// replica, [`ReplicaPolicy::PrimaryOnly`], and shedding disabled
-    /// this is bit-identical to [`ServingEngine::serve_obs`] on the same
+    /// this is bit-identical to the plain streaming serve on the same
     /// inputs.
     pub serve: ServeReport,
     /// Requests that completed.
@@ -461,6 +462,9 @@ pub struct LoopScratch {
     pub(crate) targets: Vec<u32>,
     pub(crate) batch: Vec<(u64, f64)>,
     pub(crate) shared: decluster_methods::SharedScan,
+    /// Buffers for sharded parallel runs (see [`crate::shard`]); empty
+    /// and untouched in serial runs.
+    pub(crate) shard: crate::shard::ShardScratch,
 }
 
 impl LoopScratch {
@@ -631,27 +635,12 @@ impl ServingEngine {
     ///
     /// The per-request service math is identical to the open loop's, so
     /// for `arrivals_ms.len() == queries.len()` the aggregate report is
-    /// bit-identical to [`crate::run_open_loop`] on the same inputs.
+    /// bit-identical to [`crate::MultiUserEngine::open_loop_obs`] on the
+    /// same inputs. Reach it through [`crate::ServeSpec::open`].
     ///
     /// # Panics
     /// Panics if `queries` is empty or `arrivals_ms` is not
     /// non-decreasing.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `ServeSpec::open(..).run_with_arrivals(..)` (or `serve` on the engine spec)"
-    )]
-    pub fn serve_obs(
-        &self,
-        params: &DiskParams,
-        queries: &[BucketRegion],
-        arrivals_ms: &[f64],
-        cfg: &ServeConfig,
-        obs: &Obs,
-        ls: &mut LoopScratch,
-    ) -> ServeReport {
-        self.serve_core(params, queries, arrivals_ms, cfg, obs, ls)
-    }
-
     pub(crate) fn serve_core(
         &self,
         params: &DiskParams,
@@ -794,7 +783,7 @@ impl ServingEngine {
     /// report is bit-identical at any thread count. With a healthy
     /// schedule, `replicas = 1`, [`ReplicaPolicy::PrimaryOnly`], and
     /// shedding disabled, the embedded [`ServeReport`] is bit-identical
-    /// to [`ServingEngine::serve_obs`] on the same inputs.
+    /// to the plain streaming serve on the same inputs.
     ///
     /// Batch service uses the serving disk's health at issue time (a
     /// batch started before a boundary is not interrupted), and a
@@ -806,38 +795,9 @@ impl ServingEngine {
     /// differs from the engine's.
     ///
     /// # Panics
-    /// As [`ServingEngine::serve_obs`]; also if `replicas >= M` (CLI and
-    /// constructors validate upstream).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `ServeSpec::open(..).faults(..).run_with_arrivals(..)`"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn serve_degraded_obs(
-        &self,
-        params: &DiskParams,
-        queries: &[BucketRegion],
-        arrivals_ms: &[f64],
-        schedule: &FaultSchedule,
-        replicas: u32,
-        policy: ReplicaPolicy,
-        cfg: &DegradedServeConfig,
-        obs: &Obs,
-        ls: &mut LoopScratch,
-    ) -> Result<DegradedServeReport> {
-        self.serve_degraded_core(
-            params,
-            queries,
-            arrivals_ms,
-            schedule,
-            replicas,
-            policy,
-            cfg,
-            obs,
-            ls,
-        )
-    }
-
+    /// As the plain streaming serve; also if `replicas >= M` (CLI and
+    /// constructors validate upstream). Reach it through
+    /// [`crate::ServeSpec::faults`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn serve_degraded_core(
         &self,
@@ -1868,7 +1828,7 @@ mod tests {
     }
 
     #[test]
-    fn fault_free_degraded_serve_matches_serve_obs_bitwise() {
+    fn fault_free_degraded_serve_matches_serve_core_bitwise() {
         let (_space, engine, queries) = serving_setup();
         let params = DiskParams::default();
         let mut rng = StdRng::seed_from_u64(3);

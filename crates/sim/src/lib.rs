@@ -46,6 +46,7 @@ pub mod faults;
 mod multiuser;
 mod report;
 mod rt;
+mod shard;
 mod spec;
 mod stats;
 pub mod workload;
@@ -65,18 +66,16 @@ pub use faults::{
     simulate_rebuild_obs, DiskState, FaultEvent, FaultMethodStats, FaultReport, FaultSchedule,
     QueryOutcome, RebuildReport, ReplicaPolicy, RetryPolicy,
 };
-#[allow(deprecated)] // the deprecated wrappers stay re-exported until removal
 pub use multiuser::{
-    load_sweep, load_sweep_with_threads, poisson_arrivals, run_closed_loop,
-    run_closed_loop_degraded, run_closed_loop_degraded_obs, run_closed_loop_obs, run_open_loop,
-    run_open_loop_obs, DegradedMultiUserReport, LoadPoint, LoadPointMethod, MultiUserEngine,
-    MultiUserReport,
+    load_sweep, load_sweep_with_threads, poisson_arrivals, DegradedMultiUserReport, LoadPoint,
+    LoadPointMethod, MultiUserEngine, MultiUserReport,
 };
 pub use report::{Report, ReportFormat, TextTable};
 pub use rt::{
     deviation_from_optimal, masked_response_time, masked_response_time_with, optimal_response_time,
     response_time, response_time_batched, response_time_batched_with,
 };
+pub use shard::merge_epoch_max;
 pub use spec::{AvailStats, ServeRun, ServeSpec, ShareStats, SpecError, DEFAULT_SPEC_SEED};
 pub use stats::{Quantiles, Summary};
 

@@ -16,8 +16,8 @@
 //! through the deterministic [`crate::events::EventHeap`], and the
 //! per-query FCFS fan-out is [`ServingEngine::fan_out`] — the identical
 //! float sequence the loops always computed, now shared. The streaming
-//! entry point ([`ServingEngine::serve_obs`]) generalizes the open loop
-//! to unbounded arrival streams with mid-run sampling.
+//! serve (reached through [`crate::ServeSpec::open`]) generalizes the
+//! open loop to unbounded arrival streams with mid-run sampling.
 //!
 //! # The counts fast path
 //!
@@ -209,7 +209,14 @@ impl MultiUserEngine {
         &self.core
     }
 
-    /// Closed-loop run against this engine; see [`run_closed_loop`].
+    /// Closed-loop run against this engine: `clients` users repeatedly
+    /// take the next query from `queries` (in order), waiting for their
+    /// previous query to finish first. Returns aggregate
+    /// throughput/latency/utilization. Deterministic: the only inputs
+    /// are the directory, the disk parameters, and the query order. With
+    /// observability enabled it records `multiuser.*` counters, the
+    /// latency histogram, and a `closed_loop_done` trace event. Reach it
+    /// through [`crate::ServeSpec::closed`].
     ///
     /// # Panics
     /// Panics if `clients == 0`.
@@ -286,10 +293,17 @@ impl MultiUserEngine {
         report
     }
 
-    /// Open-loop run against this engine; see [`run_open_loop`].
+    /// Open-loop run against this engine: query `i` is issued at
+    /// `arrivals_ms[i]` regardless of completions (a load generator, not
+    /// a closed set of clients). Disks serve batches FCFS in arrival
+    /// order; use [`poisson_arrivals`] to generate arrival times at a
+    /// target rate. Records the `openloop.*` loop metrics and an
+    /// `open_loop_done` trace event when observability is enabled. Reach
+    /// it through [`crate::ServeSpec::open`].
     ///
     /// # Panics
-    /// As [`run_open_loop`].
+    /// Panics if `arrivals_ms` is shorter than `queries` or not
+    /// non-decreasing.
     pub fn open_loop_obs(
         &self,
         params: &DiskParams,
@@ -371,8 +385,20 @@ impl MultiUserEngine {
         report
     }
 
-    /// Degraded closed-loop run against this engine; see
-    /// [`run_closed_loop_degraded`].
+    /// Degraded closed-loop run against this engine: the closed-loop
+    /// workload under a fault schedule with chained-declustering
+    /// failover. Query `i` executes at logical fault time `i`, so the
+    /// result is a pure function of the inputs — reproducible under any
+    /// thread count of the surrounding sweep.
+    ///
+    /// Batches to a down disk fail over to the chain successor
+    /// `(d + 1) mod M`, starting no earlier than
+    /// `issue + detection_units × transfer_ms` (the client's timeout and
+    /// retries); batches on a gray disk take its latency factor times as
+    /// long. A query whose down disk has a down successor is counted
+    /// unavailable and abandoned — its client immediately moves on. The
+    /// simulation never panics on a fault. Reach it through
+    /// [`crate::ServeSpec::closed`] plus [`crate::ServeSpec::faults`].
     ///
     /// # Errors
     /// [`SimError::ScheduleMismatch`] when the schedule's disk count
@@ -517,56 +543,6 @@ impl MultiUserEngine {
     }
 }
 
-/// Runs a closed-loop workload: `clients` users repeatedly take the next
-/// query from `queries` (in order), waiting for their previous query to
-/// finish first. Returns aggregate throughput/latency/utilization.
-///
-/// Deterministic: the only inputs are the directory, the disk parameters,
-/// and the query order. Convenience wrapper that builds a
-/// [`MultiUserEngine`] per call — sweeps should build the engine once and
-/// reuse it.
-///
-/// # Panics
-/// Panics if `clients == 0` (a closed loop needs at least one client).
-#[deprecated(
-    since = "0.8.0",
-    note = "use `ServeSpec::closed(clients).run_on(dir, params, queries)`"
-)]
-pub fn run_closed_loop(
-    dir: &GridDirectory,
-    params: &DiskParams,
-    queries: &[BucketRegion],
-    clients: usize,
-) -> MultiUserReport {
-    #[allow(deprecated)] // wrapper delegates to its deprecated sibling
-    run_closed_loop_obs(dir, params, queries, clients, &Obs::disabled())
-}
-
-/// [`run_closed_loop`] with an observability handle: records
-/// `multiuser.*` counters (queries, batches, queued batches, per-disk
-/// busy microseconds), the latency histogram, and a `closed_loop_done`
-/// trace event. All metric values derive from simulated quantities, so
-/// they are deterministic.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `ServeSpec::closed(clients).run(..)` with an observability handle"
-)]
-pub fn run_closed_loop_obs(
-    dir: &GridDirectory,
-    params: &DiskParams,
-    queries: &[BucketRegion],
-    clients: usize,
-    obs: &Obs,
-) -> MultiUserReport {
-    MultiUserEngine::new(dir).closed_loop_obs(
-        params,
-        queries,
-        clients,
-        obs,
-        &mut LoopScratch::new(),
-    )
-}
-
 /// Position-model closed loop over the flat [`IoPlan`] arena: identical
 /// queueing structure to the engine's counts loop, but batch service
 /// times come from [`DiskParams::batch_ms`] over actual page positions.
@@ -663,133 +639,6 @@ pub struct DegradedMultiUserReport {
     pub unavailable: usize,
     /// Batches served by a chain backup instead of their primary disk.
     pub failover_batches: usize,
-}
-
-/// Runs the closed-loop workload of [`run_closed_loop`] under a fault
-/// schedule with chained-declustering failover. Query `i` executes at
-/// logical fault time `i`, so the result is a pure function of the
-/// inputs — reproducible under any thread count of the surrounding
-/// sweep.
-///
-/// Batches to a down disk fail over to the chain successor
-/// `(d + 1) mod M`, starting no earlier than
-/// `issue + detection_units × transfer_ms` (the client's timeout and
-/// retries); batches on a gray disk take its latency factor times as
-/// long. A query whose down disk has a down successor is counted
-/// unavailable and abandoned — its client immediately moves on. The
-/// simulation never panics on a fault.
-///
-/// # Errors
-/// [`SimError::ScheduleMismatch`] when the schedule's disk count differs
-/// from the directory's.
-///
-/// # Panics
-/// Panics if `clients == 0`.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `ServeSpec::closed(clients).faults(schedule, policy).run(..)`"
-)]
-pub fn run_closed_loop_degraded(
-    dir: &GridDirectory,
-    params: &DiskParams,
-    queries: &[BucketRegion],
-    clients: usize,
-    schedule: &FaultSchedule,
-    policy: &RetryPolicy,
-) -> Result<DegradedMultiUserReport> {
-    #[allow(deprecated)] // wrapper delegates to its deprecated sibling
-    run_closed_loop_degraded_obs(
-        dir,
-        params,
-        queries,
-        clients,
-        schedule,
-        policy,
-        &Obs::disabled(),
-    )
-}
-
-/// [`run_closed_loop_degraded`] with an observability handle: records
-/// the `multiuser_degraded.*` loop metrics plus unavailable-query and
-/// failover-batch counters, and a `degraded_loop_done` trace event.
-///
-/// # Errors
-/// As [`run_closed_loop_degraded`].
-///
-/// # Panics
-/// As [`run_closed_loop_degraded`].
-#[allow(clippy::too_many_arguments)]
-#[deprecated(
-    since = "0.8.0",
-    note = "use `ServeSpec::closed(clients).faults(schedule, policy).run(..)`"
-)]
-pub fn run_closed_loop_degraded_obs(
-    dir: &GridDirectory,
-    params: &DiskParams,
-    queries: &[BucketRegion],
-    clients: usize,
-    schedule: &FaultSchedule,
-    policy: &RetryPolicy,
-    obs: &Obs,
-) -> Result<DegradedMultiUserReport> {
-    MultiUserEngine::new(dir).degraded_obs(
-        params,
-        queries,
-        clients,
-        schedule,
-        policy,
-        obs,
-        &mut LoopScratch::new(),
-    )
-}
-
-/// Runs an open-loop workload: query `i` is issued at `arrivals_ms[i]`
-/// regardless of completions (a load generator, not a closed set of
-/// clients). Disks serve batches FCFS in arrival order. Use
-/// [`poisson_arrivals`] to generate arrival times at a target rate.
-///
-/// # Panics
-/// Panics if `arrivals_ms` is shorter than `queries` or not
-/// non-decreasing.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `ServeSpec::open(rate_qps).run_with_arrivals(..)` on a `MultiUserEngine`"
-)]
-pub fn run_open_loop(
-    dir: &GridDirectory,
-    params: &DiskParams,
-    queries: &[BucketRegion],
-    arrivals_ms: &[f64],
-) -> MultiUserReport {
-    #[allow(deprecated)] // wrapper delegates to its deprecated sibling
-    run_open_loop_obs(dir, params, queries, arrivals_ms, &Obs::disabled())
-}
-
-/// [`run_open_loop`] with an observability handle: records the
-/// `openloop.*` loop metrics (queries, batches, queued batches,
-/// per-disk busy microseconds, latency histogram) and an
-/// `open_loop_done` trace event.
-///
-/// # Panics
-/// As [`run_open_loop`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use `ServeSpec::open(rate_qps).run_with_arrivals(..)` on a `MultiUserEngine`"
-)]
-pub fn run_open_loop_obs(
-    dir: &GridDirectory,
-    params: &DiskParams,
-    queries: &[BucketRegion],
-    arrivals_ms: &[f64],
-    obs: &Obs,
-) -> MultiUserReport {
-    MultiUserEngine::new(dir).open_loop_obs(
-        params,
-        queries,
-        arrivals_ms,
-        obs,
-        &mut LoopScratch::new(),
-    )
 }
 
 /// One method's measurements at one offered load.
@@ -906,9 +755,6 @@ pub fn poisson_arrivals<R: rand::Rng>(rng: &mut R, n: usize, rate_qps: f64) -> V
 }
 
 #[cfg(test)]
-// Pin tests: the deprecated free-function wrappers must keep their exact
-// behavior until removal, so these tests keep exercising them.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use decluster_grid::{BucketCoord, DiskId, GridSpace};
@@ -916,6 +762,57 @@ mod tests {
 
     fn directory(m: u32, method: &dyn DeclusteringMethod, space: &GridSpace) -> GridDirectory {
         GridDirectory::build(space.clone(), m, |b| method.disk_of(b.as_slice()))
+    }
+
+    // Test-local shorthands mirroring the removed free-function wrappers:
+    // one engine + fresh scratch per call, observability off.
+    fn run_closed_loop(
+        dir: &GridDirectory,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        clients: usize,
+    ) -> MultiUserReport {
+        MultiUserEngine::new(dir).closed_loop_obs(
+            params,
+            queries,
+            clients,
+            &Obs::disabled(),
+            &mut LoopScratch::new(),
+        )
+    }
+
+    fn run_open_loop(
+        dir: &GridDirectory,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        arrivals_ms: &[f64],
+    ) -> MultiUserReport {
+        MultiUserEngine::new(dir).open_loop_obs(
+            params,
+            queries,
+            arrivals_ms,
+            &Obs::disabled(),
+            &mut LoopScratch::new(),
+        )
+    }
+
+    fn run_closed_loop_degraded(
+        dir: &GridDirectory,
+        params: &DiskParams,
+        queries: &[BucketRegion],
+        clients: usize,
+        schedule: &FaultSchedule,
+        policy: &RetryPolicy,
+    ) -> Result<DegradedMultiUserReport> {
+        MultiUserEngine::new(dir).degraded_obs(
+            params,
+            queries,
+            clients,
+            schedule,
+            policy,
+            &Obs::disabled(),
+            &mut LoopScratch::new(),
+        )
     }
 
     fn small_squares(space: &GridSpace) -> Vec<BucketRegion> {

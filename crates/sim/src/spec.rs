@@ -5,11 +5,12 @@
 //! methods, each with its own argument pile. [`ServeSpec`] collapses them
 //! behind one builder: pick a mode ([`ServeSpec::closed`] or
 //! [`ServeSpec::open`]), chain the knobs that matter (replicas, policy,
-//! retry, faults, sampling, admission, sharing), and run. Every knob the
-//! chosen mode cannot honor is a typed one-line [`SpecError`] instead of
-//! a silent ignore, and every dispatch lands on the exact same loop body
-//! the deprecated entry points wrap — so migrated callers are
-//! bit-identical by construction.
+//! retry, faults, sampling, admission, sharing, shards), and run. Every
+//! knob the chosen mode cannot honor is a typed one-line [`SpecError`]
+//! instead of a silent ignore, and every dispatch lands on the single
+//! canonical loop body for that mode (the deprecated wrappers that used
+//! to alias them were removed once their bit-identity pins had held) —
+//! so migrated callers are bit-identical by construction.
 //!
 //! | spec | loop |
 //! |---|---|
@@ -86,6 +87,13 @@ pub enum SpecError {
     /// Admission control without a fault schedule (only the degraded
     /// loop sheds arrivals).
     AdmissionWithoutFaults,
+    /// The shard count is zero or exceeds the disk count.
+    BadShards {
+        /// Requested worker shards.
+        shards: usize,
+        /// Disks in the directory.
+        disks: usize,
+    },
     /// Explicit arrival times handed to a closed loop.
     ClosedArrivals,
 }
@@ -130,6 +138,12 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::AdmissionWithoutFaults => {
                 write!(f, "admission control requires a fault schedule")
+            }
+            SpecError::BadShards { shards, disks } => {
+                write!(
+                    f,
+                    "shard count {shards} must be between 1 and the disk count {disks}"
+                )
             }
             SpecError::ClosedArrivals => {
                 write!(
@@ -178,6 +192,7 @@ pub struct ServeSpec {
     max_in_flight: usize,
     seed: u64,
     threads: usize,
+    shards: usize,
 }
 
 impl ServeSpec {
@@ -195,6 +210,7 @@ impl ServeSpec {
             max_in_flight: 0,
             seed: DEFAULT_SPEC_SEED,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -282,10 +298,23 @@ impl ServeSpec {
     }
 
     /// Worker threads used to generate the arrival stream in
-    /// [`ServeSpec::run`] (the stream is byte-identical at any count).
+    /// [`ServeSpec::run`] and to walk disk shards when
+    /// [`ServeSpec::shards`] splits the run (the result is byte-identical
+    /// at any count).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Partition the M disks across `shards` worker shards for open-loop
+    /// healthy runs (plain or shared-scan). The report, metrics, and
+    /// samples are byte-identical to the serial loop at any shard count;
+    /// [`ServeSpec::validate`] rejects `0` and values above the disk
+    /// count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -336,6 +365,12 @@ impl ServeSpec {
         }
         if self.max_in_flight > 0 && self.faults.is_none() {
             return Err(SpecError::AdmissionWithoutFaults);
+        }
+        if self.shards == 0 || self.shards > disks {
+            return Err(SpecError::BadShards {
+                shards: self.shards,
+                disks,
+            });
         }
         Ok(())
     }
@@ -462,8 +497,16 @@ impl ServeSpec {
                 Ok(run)
             }
             (SpecMode::Open { .. }, None, None) => {
-                let sr =
-                    serving.serve_core(params, queries, arrivals_ms, &self.serve_config(), obs, ls);
+                let sr = serving.serve_core_sharded(
+                    params,
+                    queries,
+                    arrivals_ms,
+                    &self.serve_config(),
+                    self.shards,
+                    self.threads,
+                    obs,
+                    ls,
+                );
                 Ok(ServeRun::from_serve(sr, None, None))
             }
             (SpecMode::Open { .. }, None, Some(batch_window_ms)) => {
@@ -473,12 +516,14 @@ impl ServeSpec {
                     replicas: self.replicas,
                     policy: self.policy,
                 };
-                let sr = serving.serve_shared_core(
+                let sr = serving.serve_shared_core_sharded(
                     engine.directory(),
                     params,
                     queries,
                     arrivals_ms,
                     &cfg,
+                    self.shards,
+                    self.threads,
                     obs,
                     ls,
                 );
@@ -677,6 +722,20 @@ mod tests {
                 ServeSpec::open(100.0).admission(64),
                 SpecError::AdmissionWithoutFaults,
             ),
+            (
+                ServeSpec::open(100.0).shards(0),
+                SpecError::BadShards {
+                    shards: 0,
+                    disks: 8,
+                },
+            ),
+            (
+                ServeSpec::open(100.0).shards(9),
+                SpecError::BadShards {
+                    shards: 9,
+                    disks: 8,
+                },
+            ),
         ];
         for (spec, want) in cases {
             let got = spec.validate(8).expect_err("spec must be rejected");
@@ -694,11 +753,16 @@ mod tests {
     }
 
     #[test]
-    fn closed_spec_matches_deprecated_wrapper_bitwise() {
+    fn closed_spec_matches_engine_core_bitwise() {
         let (dir, queries, _) = fixture();
         let params = DiskParams::default();
-        #[allow(deprecated)]
-        let old = crate::run_closed_loop(&dir, &params, &queries, 4);
+        let old = MultiUserEngine::new(&dir).closed_loop_obs(
+            &params,
+            &queries,
+            4,
+            &Obs::disabled(),
+            &mut LoopScratch::new(),
+        );
         let new = ServeSpec::closed(4)
             .run_on(&dir, &params, &queries)
             .unwrap();
@@ -713,12 +777,11 @@ mod tests {
     }
 
     #[test]
-    fn open_spec_matches_deprecated_wrapper_bitwise() {
+    fn open_spec_matches_serve_core_bitwise() {
         let (dir, queries, arrivals) = fixture();
         let params = DiskParams::default();
         let engine = MultiUserEngine::new(&dir);
-        #[allow(deprecated)]
-        let old = engine.serving().serve_obs(
+        let old = engine.serving().serve_core(
             &params,
             &queries,
             &arrivals,
@@ -746,7 +809,7 @@ mod tests {
     }
 
     #[test]
-    fn degraded_spec_matches_deprecated_wrapper_bitwise() {
+    fn degraded_spec_matches_degraded_core_bitwise() {
         let (dir, queries, arrivals) = fixture();
         let params = DiskParams::default();
         let engine = MultiUserEngine::new(&dir);
@@ -755,10 +818,9 @@ mod tests {
             seed: DEFAULT_SPEC_SEED,
             ..DegradedServeConfig::default()
         };
-        #[allow(deprecated)]
         let old = engine
             .serving()
-            .serve_degraded_obs(
+            .serve_degraded_core(
                 &params,
                 &queries,
                 &arrivals,

@@ -1,8 +1,8 @@
 //! Proof of the multi-user engine's allocation-free hot path: a counting
 //! global allocator observes zero heap allocations across an entire
-//! closed-loop, open-loop, event-driven serve, degraded, and shared-scan
-//! run (mid-run sampling included) once the caller-owned `LoopScratch`
-//! has been warmed. Lives at the workspace root because the library crates
+//! closed-loop, open-loop, event-driven serve, degraded, shared-scan,
+//! and sharded (serve + shared) run (mid-run sampling included) once the
+//! caller-owned `LoopScratch` has been warmed. Lives at the workspace root because the library crates
 //! `forbid(unsafe_code)` and a `GlobalAlloc` impl is necessarily unsafe.
 //!
 //! The file holds exactly one test: the counter is process-wide, and a
@@ -110,6 +110,18 @@ fn warmed_loops_make_zero_heap_allocations() {
         .share(24.0)
         .replicas(1)
         .policy(ReplicaPolicy::Spread);
+    // Sharded serving: the same serve and shared-scan runs split over 4
+    // disk shards, walked inline (spawning worker threads would itself
+    // allocate), so every warmed shard's walk + merge + replay must stay
+    // off the heap and repeat the serial reports bit for bit.
+    let sharded_spec = ServeSpec::open(200.0).sampling(64.0).shards(4).threads(1);
+    let sharded_shared_spec = ServeSpec::open(200.0)
+        .sampling(64.0)
+        .share(24.0)
+        .replicas(1)
+        .policy(ReplicaPolicy::Spread)
+        .shards(4)
+        .threads(1);
 
     // Warm-up: grows every LoopScratch buffer to the working-set size and
     // compiles the kernel's per-shape corner plans.
@@ -125,6 +137,12 @@ fn warmed_loops_make_zero_heap_allocations() {
     let warm_shared = shared_spec
         .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
         .expect("the shared spec is valid");
+    let _ = sharded_spec
+        .run_with_arrivals(&engine, &params, &queries, &arrivals, &obs, &mut ls)
+        .expect("the sharded spec is valid");
+    let _ = sharded_shared_spec
+        .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
+        .expect("the sharded shared spec is valid");
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let closed = engine.closed_loop_obs(&params, &queries, 8, &obs, &mut ls);
@@ -138,11 +156,17 @@ fn warmed_loops_make_zero_heap_allocations() {
     let shared = shared_spec
         .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
         .expect("the shared spec is valid");
+    let sharded = sharded_spec
+        .run_with_arrivals(&engine, &params, &queries, &arrivals, &obs, &mut ls)
+        .expect("the sharded spec is valid");
+    let sharded_shared = sharded_shared_spec
+        .run_with_arrivals(&engine, &params, &queries, &burst, &obs, &mut ls)
+        .expect("the sharded shared spec is valid");
     let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
     assert_eq!(
         during, 0,
-        "warmed closed+open+serve+degraded+shared loops must not touch the heap ({during} allocations observed)"
+        "warmed closed+open+serve+degraded+shared+sharded loops must not touch the heap ({during} allocations observed)"
     );
     // The measured runs are the warm-up runs, bit for bit.
     assert_eq!(
@@ -201,4 +225,22 @@ fn warmed_loops_make_zero_heap_allocations() {
     assert_eq!(shared.events, warm_shared.events);
     assert_eq!(shared.pages, warm_shared.pages);
     assert_eq!(sharing, warm_sharing);
+    // The sharded runs are the serial runs, bit for bit.
+    assert_eq!(
+        sharded.report.makespan_ms.to_bits(),
+        serve.report.makespan_ms.to_bits()
+    );
+    assert_eq!(sharded.events, serve.events);
+    assert_eq!(sharded.samples, serve.samples);
+    assert_eq!(sharded.peak_in_flight, serve.peak_in_flight);
+    assert_eq!(
+        sharded_shared.report.makespan_ms.to_bits(),
+        shared.report.makespan_ms.to_bits()
+    );
+    assert_eq!(sharded_shared.events, shared.events);
+    assert_eq!(sharded_shared.pages, shared.pages);
+    assert_eq!(
+        sharded_shared.sharing.expect("sharded shared run shares"),
+        sharing
+    );
 }

@@ -95,7 +95,9 @@ pub mod option {
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
     /// `prop::collection::vec` etc. under the conventional alias.
     pub mod prop {
         pub use crate::collection;
@@ -158,6 +160,17 @@ macro_rules! __proptest_impl {
                 }
             }
         )*
+    };
+}
+
+/// Chooses uniformly among alternative strategies producing one value
+/// type (the unweighted subset of upstream's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_alternative($strat),)+
+        ])
     };
 }
 

@@ -190,7 +190,37 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy choosing uniformly among boxed alternatives — the
+/// engine behind [`crate::prop_oneof!`] (uniform subset of upstream's
+/// weighted union).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; panics when empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+/// Boxes one [`crate::prop_oneof!`] alternative (a free function so
+/// the macro can unify arm types by inference instead of an `as` cast,
+/// which rejects `_`).
+pub fn boxed_alternative<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.inner.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
